@@ -1,0 +1,268 @@
+//! Generic two-stage separable allocator.
+//!
+//! Both the VA and the SA units of the baseline router (Figures 3a/3b)
+//! are *separable* allocators: a first stage of arbiters lets each
+//! requestor pick one resource, and a second stage of arbiters resolves
+//! conflicts among requestors that picked the same resource. Separable
+//! allocation is not maximal, but it is cheap and is what real routers
+//! ship — and its structure is exactly what the paper's correction
+//! circuitry wraps.
+//!
+//! The protected router in `shield-router` drives its arbiters directly
+//! (it must interleave fault checks, borrowing and bypass paths between
+//! the two stages); this generic allocator is used by the baseline model
+//! and as a reference implementation for differential testing.
+
+use crate::arbiters::{Arbiter, ArbiterKind};
+
+/// A dense requestor × resource boolean request matrix.
+#[derive(Debug, Clone)]
+pub struct RequestMatrix {
+    requestors: usize,
+    resources: usize,
+    rows: Vec<u32>,
+}
+
+impl RequestMatrix {
+    /// An empty matrix of the given shape (at most 32 resources).
+    pub fn new(requestors: usize, resources: usize) -> Self {
+        assert!(resources <= 32, "at most 32 resources supported");
+        RequestMatrix {
+            requestors,
+            resources,
+            rows: vec![0; requestors],
+        }
+    }
+
+    /// Number of requestors (rows).
+    pub fn requestors(&self) -> usize {
+        self.requestors
+    }
+
+    /// Number of resources (columns).
+    pub fn resources(&self) -> usize {
+        self.resources
+    }
+
+    /// Assert the request line `(requestor, resource)`.
+    pub fn request(&mut self, requestor: usize, resource: usize) {
+        debug_assert!(requestor < self.requestors && resource < self.resources);
+        self.rows[requestor] |= 1 << resource;
+    }
+
+    /// Whether `(requestor, resource)` is requested.
+    pub fn is_requested(&self, requestor: usize, resource: usize) -> bool {
+        self.rows[requestor] & (1 << resource) != 0
+    }
+
+    /// The request bitmask of one requestor.
+    pub fn row(&self, requestor: usize) -> u32 {
+        self.rows[requestor]
+    }
+
+    /// Clear every request (reuse the allocation between cycles).
+    pub fn clear(&mut self) {
+        self.rows.fill(0);
+    }
+
+    /// Whether no requests are asserted.
+    pub fn is_empty(&self) -> bool {
+        self.rows.iter().all(|&r| r == 0)
+    }
+}
+
+/// A two-stage separable allocator: stage 1 holds one arbiter per
+/// requestor (over resources), stage 2 one arbiter per resource (over
+/// requestors).
+pub struct SeparableAllocator {
+    stage1: Vec<Box<dyn Arbiter + Send>>,
+    stage2: Vec<Box<dyn Arbiter + Send>>,
+}
+
+impl SeparableAllocator {
+    /// Build an allocator for `requestors × resources` with the given
+    /// arbiter microarchitecture in both stages.
+    pub fn new(requestors: usize, resources: usize, kind: ArbiterKind) -> Self {
+        assert!(requestors > 0 && requestors <= 32, "requestors out of range");
+        assert!(resources > 0 && resources <= 32, "resources out of range");
+        SeparableAllocator {
+            stage1: (0..requestors).map(|_| kind.build(resources)).collect(),
+            stage2: (0..resources).map(|_| kind.build(requestors)).collect(),
+        }
+    }
+
+    /// Number of requestors.
+    pub fn requestors(&self) -> usize {
+        self.stage1.len()
+    }
+
+    /// Number of resources.
+    pub fn resources(&self) -> usize {
+        self.stage2.len()
+    }
+
+    /// Run one allocation cycle.
+    ///
+    /// Returns `grants[requestor] = Some(resource)` for every requestor
+    /// that won both stages. The result is always a *matching*: each
+    /// granted requestor holds exactly one resource and each resource is
+    /// granted to at most one requestor, and every grant corresponds to an
+    /// asserted request.
+    pub fn allocate(&mut self, requests: &RequestMatrix) -> Vec<Option<usize>> {
+        assert_eq!(requests.requestors(), self.requestors());
+        assert_eq!(requests.resources(), self.resources());
+
+        // Stage 1: each requestor picks one of its requested resources.
+        let picks: Vec<Option<usize>> = self
+            .stage1
+            .iter_mut()
+            .enumerate()
+            .map(|(r, arb)| arb.arbitrate(requests.row(r)))
+            .collect();
+
+        // Stage 2: each resource picks one of the requestors that chose it.
+        let mut stage2_requests = vec![0u32; self.resources()];
+        for (r, pick) in picks.iter().enumerate() {
+            if let Some(res) = *pick {
+                stage2_requests[res] |= 1 << r;
+            }
+        }
+
+        let mut grants = vec![None; self.requestors()];
+        for (res, arb) in self.stage2.iter_mut().enumerate() {
+            if let Some(winner) = arb.arbitrate(stage2_requests[res]) {
+                grants[winner] = Some(res);
+            }
+        }
+        grants
+    }
+
+    /// Reset all priority state.
+    pub fn reset(&mut self) {
+        for a in &mut self.stage1 {
+            a.reset();
+        }
+        for a in &mut self.stage2 {
+            a.reset();
+        }
+    }
+}
+
+impl std::fmt::Debug for SeparableAllocator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SeparableAllocator")
+            .field("requestors", &self.requestors())
+            .field("resources", &self.resources())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_matrix(requestors: usize, resources: usize) -> RequestMatrix {
+        let mut m = RequestMatrix::new(requestors, resources);
+        for r in 0..requestors {
+            for c in 0..resources {
+                m.request(r, c);
+            }
+        }
+        m
+    }
+
+    fn assert_matching(requests: &RequestMatrix, grants: &[Option<usize>]) {
+        let mut used = vec![false; requests.resources()];
+        for (r, g) in grants.iter().enumerate() {
+            if let Some(res) = *g {
+                assert!(requests.is_requested(r, res), "grant without request");
+                assert!(!used[res], "resource granted twice");
+                used[res] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn grants_form_a_matching() {
+        let mut alloc = SeparableAllocator::new(5, 5, ArbiterKind::RoundRobin);
+        let m = full_matrix(5, 5);
+        for _ in 0..10 {
+            let grants = alloc.allocate(&m);
+            assert_matching(&m, &grants);
+            // With everyone requesting everything, stage 1 round-robin
+            // pointers rotate together, but at least one grant must occur.
+            assert!(grants.iter().any(|g| g.is_some()));
+        }
+    }
+
+    #[test]
+    fn disjoint_requests_all_granted() {
+        let mut alloc = SeparableAllocator::new(4, 4, ArbiterKind::RoundRobin);
+        let mut m = RequestMatrix::new(4, 4);
+        for i in 0..4 {
+            m.request(i, (i + 1) % 4);
+        }
+        let grants = alloc.allocate(&m);
+        for (i, g) in grants.iter().enumerate() {
+            assert_eq!(*g, Some((i + 1) % 4));
+        }
+    }
+
+    #[test]
+    fn conflicting_requests_grant_exactly_one() {
+        let mut alloc = SeparableAllocator::new(3, 2, ArbiterKind::FixedPriority);
+        let mut m = RequestMatrix::new(3, 2);
+        m.request(0, 0);
+        m.request(1, 0);
+        m.request(2, 0);
+        let grants = alloc.allocate(&m);
+        let winners: Vec<_> = grants.iter().filter(|g| g.is_some()).collect();
+        assert_eq!(winners.len(), 1);
+        assert_eq!(grants[0], Some(0)); // fixed priority: requestor 0 wins
+    }
+
+    #[test]
+    fn empty_matrix_grants_nothing() {
+        let mut alloc = SeparableAllocator::new(4, 4, ArbiterKind::Matrix);
+        let m = RequestMatrix::new(4, 4);
+        assert!(m.is_empty());
+        assert!(alloc.allocate(&m).iter().all(|g| g.is_none()));
+    }
+
+    #[test]
+    fn round_robin_allocator_serves_all_contenders_over_time() {
+        let mut alloc = SeparableAllocator::new(4, 1, ArbiterKind::RoundRobin);
+        let mut m = RequestMatrix::new(4, 1);
+        for r in 0..4 {
+            m.request(r, 0);
+        }
+        let mut counts = [0u32; 4];
+        for _ in 0..40 {
+            let grants = alloc.allocate(&m);
+            for (r, g) in grants.iter().enumerate() {
+                if g.is_some() {
+                    counts[r] += 1;
+                }
+            }
+        }
+        for c in counts {
+            assert_eq!(c, 10, "fair share expected, got {counts:?}");
+        }
+    }
+
+    #[test]
+    fn matrix_clear_empties_requests() {
+        let mut m = RequestMatrix::new(2, 2);
+        m.request(0, 1);
+        assert!(!m.is_empty());
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.row(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "resources out of range")]
+    fn oversized_allocator_panics() {
+        SeparableAllocator::new(4, 33, ArbiterKind::RoundRobin);
+    }
+}

@@ -1,0 +1,43 @@
+//! Whole-network simulation throughput: cycles/second for the 8×8 mesh
+//! under application traffic — the cost that bounds Figure-7/8 runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noc_sim::Network;
+use noc_traffic::{AppId, SyntheticPattern, TrafficConfig, TrafficGenerator};
+use noc_types::{Mesh, NetworkConfig};
+use shield_router::RouterKind;
+use std::hint::black_box;
+
+fn bench_mesh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesh_8x8");
+    group.sample_size(10);
+    for (label, traffic) in [
+        (
+            "uniform_0.02",
+            TrafficConfig::synthetic(SyntheticPattern::UniformRandom, 0.02),
+        ),
+        ("app_canneal", TrafficConfig::app(AppId::Canneal)),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("2k_cycles", label),
+            &traffic,
+            |b, traffic| {
+                b.iter(|| {
+                    let cfg = NetworkConfig::paper();
+                    let mut net = Network::new(cfg, RouterKind::Protected);
+                    let mut gen = TrafficGenerator::new(*traffic, Mesh::new(8), 1);
+                    for cycle in 0..2_000u64 {
+                        let pkts = gen.tick(cycle);
+                        net.offer_packets(pkts);
+                        net.step(cycle);
+                    }
+                    black_box(net.packet_counters())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mesh);
+criterion_main!(benches);

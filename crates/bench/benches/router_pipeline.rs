@@ -1,0 +1,103 @@
+//! Microbenchmarks of a single router's cycle cost: baseline vs
+//! protected, healthy vs faulted — quantifying the simulation-speed cost
+//! of the correction mechanisms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_faults::FaultSite;
+use noc_types::{Coord, Direction, Mesh, Packet, PacketId, PacketKind, RouterConfig, VcId};
+use shield_router::{Router, RouterKind};
+use std::hint::black_box;
+
+fn loaded_router(kind: RouterKind, faults: &[FaultSite]) -> Router {
+    let here = Coord::new(3, 3);
+    let mut r = Router::new_xy(0, here, Mesh::new(8), RouterConfig::paper(), kind);
+    for &f in faults {
+        r.inject_fault(f, 0);
+    }
+    r
+}
+
+/// Run a router under sustained 5-port traffic for `cycles`, feeding
+/// each port a stream of packets and recycling credits instantly.
+fn run_router(r: &mut Router, cycles: u64) -> u64 {
+    let here = Coord::new(3, 3);
+    let dsts = [
+        Coord::new(3, 1),
+        Coord::new(6, 3),
+        Coord::new(3, 6),
+        Coord::new(0, 3),
+        Coord::new(3, 3),
+    ];
+    let mut sent = 0u64;
+    let mut id = 0u64;
+    let mut occupancy = [[0u32; 4]; 5];
+    for cycle in 0..cycles {
+        for (p, dir) in Direction::ALL.iter().enumerate() {
+            let vc = VcId((cycle % 4) as u8);
+            if occupancy[p][vc.index()] < 4 {
+                id += 1;
+                let dst = dsts[(id as usize + p) % dsts.len()];
+                let dst = if Mesh::new(8).xy_route(here, dst).port() == dir.port() {
+                    here
+                } else {
+                    dst
+                };
+                let flit = Packet::new(PacketId(id), PacketKind::Control, here, dst, cycle)
+                    .segment()
+                    .remove(0);
+                r.receive_flit(dir.port(), vc, flit);
+                occupancy[p][vc.index()] += 1;
+            }
+        }
+        let out = r.step(cycle);
+        sent += out.departures.len() as u64;
+        for c in out.credits {
+            occupancy[c.in_port.index()][c.vc.index()] -= 1;
+        }
+        for d in out.departures {
+            r.receive_credit(d.out_port, d.out_vc);
+        }
+    }
+    sent
+}
+
+fn bench_router(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router_cycle");
+    group.bench_function("baseline_healthy", |b| {
+        b.iter(|| {
+            let mut r = loaded_router(RouterKind::Baseline, &[]);
+            black_box(run_router(&mut r, 200))
+        });
+    });
+    group.bench_function("protected_healthy", |b| {
+        b.iter(|| {
+            let mut r = loaded_router(RouterKind::Protected, &[]);
+            black_box(run_router(&mut r, 200))
+        });
+    });
+    group.bench_function("protected_one_fault_per_stage", |b| {
+        let faults = [
+            FaultSite::RcPrimary {
+                port: Direction::Local.port(),
+            },
+            FaultSite::Va1ArbiterSet {
+                port: Direction::Local.port(),
+                vc: VcId(0),
+            },
+            FaultSite::Sa1Arbiter {
+                port: Direction::West.port(),
+            },
+            FaultSite::XbMux {
+                out_port: Direction::East.port(),
+            },
+        ];
+        b.iter(|| {
+            let mut r = loaded_router(RouterKind::Protected, &faults);
+            black_box(run_router(&mut r, 200))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_router);
+criterion_main!(benches);

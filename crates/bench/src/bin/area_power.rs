@@ -1,0 +1,38 @@
+//! Regenerates **Section VI-A**: area and power overhead of the
+//! correction circuitry (paper: 28%/29% alone, 31%/30% with detection).
+
+use noc_bench::Table;
+use noc_reliability::AreaPowerModel;
+
+fn main() {
+    let r = AreaPowerModel::paper().report();
+    let mut t = Table::new(
+        "Section VI-A: area and power overhead (gate-level accounting model)",
+        &["quantity", "model", "paper"],
+    );
+    t.row(&[
+        "area overhead, correction only".into(),
+        format!("{:.1}%", r.area_overhead_correction * 100.0),
+        "28%".into(),
+    ]);
+    t.row(&[
+        "area overhead incl. detection".into(),
+        format!("{:.1}%", r.area_overhead_total * 100.0),
+        "31%".into(),
+    ]);
+    t.row(&[
+        "power overhead, correction only".into(),
+        format!("{:.1}%", r.power_overhead_correction * 100.0),
+        "29%".into(),
+    ]);
+    t.row(&[
+        "power overhead incl. detection".into(),
+        format!("{:.1}%", r.power_overhead_total * 100.0),
+        "30%".into(),
+    ]);
+    t.print();
+    println!(
+        "\nbaseline area {:.0} u, correction area {:.0} u; baseline power {:.0} u,\ncorrection power {:.0} u. Calibration of the two global factors is recorded\nin EXPERIMENTS.md.",
+        r.baseline_area, r.correction_area, r.baseline_power, r.correction_power
+    );
+}

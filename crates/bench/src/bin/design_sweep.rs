@@ -1,0 +1,73 @@
+//! Ablation: how the router's design parameters interact with the
+//! correction mechanisms. More VCs per port mean more potential lenders
+//! for the VA borrow protocol and more bypass candidates; deeper buffers
+//! absorb the bypass path's serialisation. The paper fixes 4 VCs × 4
+//! flits (Section VI); this sweep shows what its mechanisms cost at
+//! other design points.
+
+use noc_bench::harness::{run_simulation, ExperimentScale};
+use noc_bench::Table;
+use noc_faults::{FaultPlan, InjectionConfig};
+use noc_sim::run_batch;
+use noc_traffic::{SyntheticPattern, TrafficConfig};
+use noc_types::NetworkConfig;
+use shield_router::RouterKind;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let points: Vec<(usize, usize)> = if scale == ExperimentScale::Quick {
+        vec![(2, 4), (4, 4)]
+    } else {
+        vec![(2, 4), (3, 4), (4, 4), (6, 4), (4, 2), (4, 8)]
+    };
+
+    #[derive(Clone, Copy)]
+    struct Job {
+        vcs: usize,
+        depth: usize,
+        faulty: bool,
+    }
+    let mut jobs = Vec::new();
+    for &(vcs, depth) in &points {
+        jobs.push(Job { vcs, depth, faulty: false });
+        jobs.push(Job { vcs, depth, faulty: true });
+    }
+
+    let results = run_batch(jobs.clone(), 0, move |j| {
+        let mut net = NetworkConfig::paper();
+        net.router.vcs = j.vcs;
+        net.router.buffer_depth = j.depth;
+        let sim = scale.sim_config(0xDE51);
+        let horizon = sim.warmup_cycles + sim.measure_cycles;
+        let plan = if j.faulty {
+            let inj = InjectionConfig::accelerated_accumulating(horizon / 2, horizon);
+            FaultPlan::uniform_random(&net.router, net.nodes(), &inj, 0xFA17)
+        } else {
+            FaultPlan::none()
+        };
+        let traffic = TrafficConfig::synthetic(SyntheticPattern::UniformRandom, 0.02);
+        let r = run_simulation(&net, &sim, &traffic, RouterKind::Protected, &plan);
+        assert_eq!(r.flits_dropped, 0);
+        r.mean_latency()
+    });
+
+    let mut t = Table::new(
+        "Design-point sweep: fault cost vs VCs and buffer depth (uniform @0.02)",
+        &["VCs", "buffer depth", "clean (cyc)", "faulty (cyc)", "fault cost"],
+    );
+    for (i, &(vcs, depth)) in points.iter().enumerate() {
+        let clean = results[2 * i];
+        let faulty = results[2 * i + 1];
+        t.row(&[
+            vcs.to_string(),
+            depth.to_string(),
+            format!("{clean:.2}"),
+            format!("{faulty:.2}"),
+            format!("{:+.1}%", (faulty / clean - 1.0) * 100.0),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nTwo opposing effects: more VCs give the borrow/bypass mechanisms more\nlenders and candidates, but also expose more VA fault sites to the\naccumulating campaign; deeper buffers absorb bypass serialisation. The\npaper's 4-VC x 4-flit point sits in the flat middle of this trade-off\n(and see spf_vc_sweep for the reliability side: SPF grows with VCs)."
+    );
+}

@@ -1,0 +1,27 @@
+//! Regenerates **Figure 8**: impact of faults on NoC latency running
+//! PARSEC traffic on an 8×8 mesh of protected routers (paper: overall
+//! latency increase ≈13%).
+
+use noc_bench::experiments::{figure_table, run_figure, FigureConfig};
+use noc_bench::ExperimentScale;
+use noc_traffic::Suite;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let cfg = FigureConfig::at_scale(scale);
+    eprintln!("running Figure 8 at {scale:?} scale (pass --quick for a fast run)...");
+    let result = run_figure(Suite::Parsec, &cfg);
+    figure_table(&result).print();
+    println!(
+        "\nOverall PARSEC latency increase: {:+.1}% (paper: ~13%)",
+        result.overall_increase_pct
+    );
+    match noc_bench::write_csv(
+        &noc_bench::export::default_dir(),
+        "fig8_parsec",
+        &noc_bench::figure_csv(&result),
+    ) {
+        Ok(path) => eprintln!("csv written to {}", path.display()),
+        Err(e) => eprintln!("csv export skipped: {e}"),
+    }
+}

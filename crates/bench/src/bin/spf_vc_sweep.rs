@@ -1,0 +1,39 @@
+//! Ablation (Section VIII-E): SPF as a function of the number of VCs
+//! per input port. The paper notes SPF = 7 at 2 VCs, 11 at 4 VCs, and
+//! higher beyond.
+
+use noc_bench::Table;
+use noc_reliability::{monte_carlo_faults_to_failure, SpfAnalysis};
+use noc_types::RouterConfig;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let trials = if quick { 1_000 } else { 10_000 };
+    let mut t = Table::new(
+        "SPF vs. virtual channels per port (area overhead held at 31%)",
+        &[
+            "VCs",
+            "min to fail",
+            "max tolerated",
+            "mean faults",
+            "SPF",
+            "MC mean faults (all sites)",
+        ],
+    );
+    for vcs in [2usize, 3, 4, 6, 8] {
+        let mut cfg = RouterConfig::paper();
+        cfg.vcs = vcs;
+        let a = SpfAnalysis::analytic(&cfg, 0.31);
+        let mc = monte_carlo_faults_to_failure(&cfg, trials, 7 + vcs as u64);
+        t.row(&[
+            vcs.to_string(),
+            a.min_to_fail.to_string(),
+            a.max_tolerated.to_string(),
+            format!("{:.1}", a.mean_faults_to_failure),
+            format!("{:.2}", a.spf),
+            format!("{:.1}", mc.mean_faults_to_failure),
+        ]);
+    }
+    t.print();
+    println!("(paper: SPF 7 at 2 VCs, 11.4 at 4 VCs, increasing beyond)");
+}

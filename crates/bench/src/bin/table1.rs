@@ -1,0 +1,41 @@
+//! Regenerates **Table I**: FIT values of the baseline pipeline stages.
+
+use noc_bench::Table;
+use noc_reliability::{baseline_inventory, GateLibrary};
+use noc_reliability::inventory::{total_fit, PAPER_DEST_BITS};
+use noc_types::RouterConfig;
+
+fn main() {
+    let lib = GateLibrary::paper();
+    let cfg = RouterConfig::paper();
+    let stages = baseline_inventory(&cfg, PAPER_DEST_BITS);
+
+    println!(
+        "FIT-per-FET = {:.6} (FORC TDDB, Vdd=1V, T=300K, A_TDDB calibrated to the\n6-bit-comparator anchor of Table I)\n",
+        lib.tddb.fit_per_fet()
+    );
+
+    let mut t = Table::new(
+        "Table I: FIT values of baseline pipeline stages (5x5 router, 4 VCs, 8x8 mesh)",
+        &["stage", "fundamental components", "FIT_stage", "paper"],
+    );
+    let paper = [117.0, 1478.0, 203.0, 1024.0];
+    for (s, p) in stages.iter().zip(paper) {
+        let parts: Vec<String> = s
+            .items
+            .iter()
+            .map(|(c, n)| format!("{n} x {c:?} @ {:.1} FIT", lib.fit(*c)))
+            .collect();
+        t.row(&[
+            s.stage.to_string(),
+            parts.join("; "),
+            format!("{:.1}", s.fit(&lib)),
+            format!("{p:.0}"),
+        ]);
+    }
+    t.print();
+    let total = total_fit(&stages, &lib);
+    println!(
+        "\nTotal baseline pipeline FIT = {total:.1} (paper: 2822; the 3.5-FIT gap is the\npaper's own VA row arithmetic, 100*7.4 + 20*36.7 = 1474, printed as 1478 — see EXPERIMENTS.md)"
+    );
+}

@@ -1,0 +1,36 @@
+//! Regenerates **Table II**: FIT rates of the correction circuitry.
+
+use noc_bench::Table;
+use noc_reliability::{correction_inventory, GateLibrary};
+use noc_reliability::inventory::{total_fit, PAPER_DEST_BITS};
+use noc_types::RouterConfig;
+
+fn main() {
+    let lib = GateLibrary::paper();
+    let cfg = RouterConfig::paper();
+    let stages = correction_inventory(&cfg, PAPER_DEST_BITS);
+
+    let mut t = Table::new(
+        "Table II: FIT rates of the correction circuitry",
+        &["stage", "components", "FIT", "paper"],
+    );
+    let paper = [117.0, 60.0, 53.0, 416.0];
+    for (s, p) in stages.iter().zip(paper) {
+        let parts: Vec<String> = s
+            .items
+            .iter()
+            .map(|(c, n)| format!("{n} x {c:?}"))
+            .collect();
+        t.row(&[
+            s.stage.to_string(),
+            parts.join("; "),
+            format!("{:.1}", s.fit(&lib)),
+            format!("{p:.0}"),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nTotal correction-circuitry FIT = {:.1} (paper: 646)",
+        total_fit(&stages, &lib)
+    );
+}

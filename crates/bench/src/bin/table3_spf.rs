@@ -1,0 +1,89 @@
+//! Regenerates **Table III**: SPF comparison with BulletProof, Vicis and
+//! RoCo, plus the Monte-Carlo faults-to-failure experiment.
+
+use noc_bench::Table;
+use noc_reliability::{
+    derive_comparators, monte_carlo_faults_to_failure, monte_carlo_weighted, GateLibrary,
+    SpfAnalysis, PUBLISHED_COMPARATORS,
+};
+use noc_types::RouterConfig;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = RouterConfig::paper();
+    let analysis = SpfAnalysis::analytic(&cfg, 0.31);
+
+    let mut breakdown = Table::new(
+        "Section VIII: faults-to-failure bounds per stage",
+        &["stage", "min faults to fail", "max faults tolerated"],
+    );
+    for (i, name) in ["RC", "VA", "SA", "XB"].iter().enumerate() {
+        breakdown.row(&[
+            name.to_string(),
+            analysis.stage_min[i].to_string(),
+            analysis.stage_max_tolerated[i].to_string(),
+        ]);
+    }
+    breakdown.print();
+    println!(
+        "min {} / max tolerated {} / max to fail {} / mean {}\n(topology-derived XB max: {} — the reconstructed Figure-6 crossbar also\nsurvives the alternating mux triple; Table III uses the paper's bound of 2)\n",
+        analysis.min_to_fail,
+        analysis.max_tolerated,
+        analysis.max_to_fail,
+        analysis.mean_faults_to_failure,
+        analysis.xb_max_tolerated_topology,
+    );
+
+    let mut t = Table::new(
+        "Table III: SPF comparison",
+        &["architecture", "area overhead", "# faults to failure", "SPF"],
+    );
+    for c in PUBLISHED_COMPARATORS {
+        t.row(&[
+            c.architecture.to_string(),
+            c.area_overhead
+                .map(|a| format!("{:.0}%", a * 100.0))
+                .unwrap_or_else(|| "N/A".into()),
+            format!("{:.2}", c.faults_to_failure),
+            if c.upper_bound {
+                format!("<{:.1}", c.spf)
+            } else {
+                format!("{:.2}", c.spf)
+            },
+        ]);
+    }
+    t.row(&[
+        "Proposed Router".into(),
+        format!("{:.0}%", analysis.area_overhead * 100.0),
+        format!("{:.1}", analysis.mean_faults_to_failure),
+        format!("{:.1}", analysis.spf),
+    ]);
+    t.print();
+    println!("(paper: Proposed Router 31% / 15 / 11.4)\n");
+
+    let mut derived = Table::new(
+        "Comparator redundancy models: re-derived faults-to-failure",
+        &["architecture", "model mean (exact)", "published"],
+    );
+    for d in derive_comparators() {
+        derived.row(&[
+            d.name.to_string(),
+            format!("{:.2}", d.model_mean),
+            format!("{:.2}", d.published),
+        ]);
+    }
+    derived.print();
+    println!("(each architecture's redundancy structure, injected to death — see\nnoc-reliability::comparators for the models)\n");
+
+    let trials = if quick { 2_000 } else { 20_000 };
+    let mc = monte_carlo_faults_to_failure(&cfg, trials, 0xD1E5);
+    println!(
+        "Monte-Carlo faults-to-failure over the full 75-site graph ({} trials):\n  mean {:.2}, min {}, max {} — the experimental methodology of BulletProof/\n  Vicis. It differs from the analytic min/max midpoint because random\n  sequences mix scenarios: some faults are never fatal alone (e.g. single\n  VA2 arbiters) while unlucky pairs fail early.",
+        mc.trials, mc.mean_faults_to_failure, mc.min_observed, mc.max_observed
+    );
+    let weighted = monte_carlo_weighted(&cfg, &GateLibrary::paper(), 6, trials, 0xD1E5);
+    println!(
+        "FIT-weighted Monte-Carlo (fault probability ∝ component FIT):\n  mean {:.2}, min {}, max {} — TDDB strikes the large crossbar muxes far\n  more often than state flip-flops, so the physical expectation sits below\n  the uniform one (the XB stage tolerates only two mux faults).",
+        weighted.mean_faults_to_failure, weighted.min_observed, weighted.max_observed
+    );
+}

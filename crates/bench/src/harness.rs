@@ -1,0 +1,102 @@
+//! Simulation glue: configuration → report, with scale presets.
+
+use noc_faults::FaultPlan;
+use noc_sim::{NetworkReport, Simulator};
+use noc_traffic::{TrafficConfig, TrafficGenerator};
+use noc_types::{Mesh, NetworkConfig, SimConfig};
+use shield_router::RouterKind;
+
+/// How big an experiment to run. Binaries map `--quick` to
+/// [`ExperimentScale::Quick`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentScale {
+    /// Short windows, one seed — CI and smoke runs (seconds).
+    Quick,
+    /// The defaults used for the committed EXPERIMENTS.md numbers.
+    Full,
+}
+
+impl ExperimentScale {
+    /// Parse from process args: `--quick` anywhere selects Quick.
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--quick") {
+            ExperimentScale::Quick
+        } else {
+            ExperimentScale::Full
+        }
+    }
+
+    /// The simulation window for this scale.
+    pub fn sim_config(self, seed: u64) -> SimConfig {
+        match self {
+            ExperimentScale::Quick => SimConfig {
+                warmup_cycles: 1_000,
+                measure_cycles: 6_000,
+                drain_cycles: 8_000,
+                seed,
+            },
+            ExperimentScale::Full => SimConfig {
+                warmup_cycles: 5_000,
+                measure_cycles: 30_000,
+                drain_cycles: 20_000,
+                seed,
+            },
+        }
+    }
+
+    /// Seeds (replicates) per configuration.
+    pub fn seeds(self) -> Vec<u64> {
+        match self {
+            ExperimentScale::Quick => vec![0xC0FFEE],
+            ExperimentScale::Full => vec![0xC0FFEE, 0xBEEF, 0xF00D],
+        }
+    }
+}
+
+/// Run one simulation end to end: build the traffic generator from
+/// `traffic`, wire it into the simulator, return the report.
+pub fn run_simulation(
+    net: &NetworkConfig,
+    sim: &SimConfig,
+    traffic: &TrafficConfig,
+    kind: RouterKind,
+    plan: &FaultPlan,
+) -> NetworkReport {
+    let mesh = Mesh::new(net.mesh_k);
+    let mut generator = TrafficGenerator::new(*traffic, mesh, sim.seed ^ 0x5EED);
+    let (report, _outcome) =
+        Simulator::new(*net, *sim, kind, plan.clone()).run(|cycle| generator.tick(cycle));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_traffic::SyntheticPattern;
+
+    #[test]
+    fn run_simulation_smoke() {
+        let mut net = NetworkConfig::paper();
+        net.mesh_k = 4;
+        let sim = SimConfig::smoke(3);
+        let traffic = TrafficConfig::synthetic(SyntheticPattern::UniformRandom, 0.02);
+        let report = run_simulation(
+            &net,
+            &sim,
+            &traffic,
+            RouterKind::Protected,
+            &FaultPlan::none(),
+        );
+        assert!(report.delivered() > 0);
+        assert_eq!(report.flits_dropped, 0);
+        assert_eq!(report.misdelivered, 0);
+    }
+
+    #[test]
+    fn scale_presets_are_ordered() {
+        let q = ExperimentScale::Quick.sim_config(1);
+        let f = ExperimentScale::Full.sim_config(1);
+        assert!(q.measure_cycles < f.measure_cycles);
+        assert!(ExperimentScale::Quick.seeds().len() <= ExperimentScale::Full.seeds().len());
+    }
+}

@@ -1,0 +1,41 @@
+//! # noc-bench
+//!
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation from the models in this workspace.
+//!
+//! | Paper artefact | Binary |
+//! |----------------|--------|
+//! | Table I (baseline stage FITs) | `table1` |
+//! | Table II (correction-circuitry FITs) | `table2` |
+//! | Equations 4–7 (MTTF, 6×) | `mttf` |
+//! | Table III (SPF comparison) | `table3_spf` |
+//! | §VI-A (area 31%, power 30%) | `area_power` |
+//! | §VI-B (critical path) | `critical_path` |
+//! | Figure 7 (SPLASH-2 latency) | `fig7_splash2` |
+//! | Figure 8 (PARSEC latency) | `fig8_parsec` |
+//! | §VIII-E VC sweep (ablation) | `spf_vc_sweep` |
+//! | per-mechanism latency (ablation) | `ablation_mechanisms` |
+//! | load–latency curves (extension) | `load_latency` |
+//! | transient-upset storms (extension) | `transient_storm` |
+//! | detection-latency sensitivity (extension) | `detection_sweep` |
+//! | fault cost vs design point (extension) | `design_sweep` |
+//! | MTTF vs operating conditions (extension) | `mttf_conditions` |
+//! | reliability vs radix (extension) | `radix_sweep` |
+//! | the whole evaluation in one run | `all_experiments` |
+//!
+//! Every binary accepts `--quick` for a reduced run (shorter windows,
+//! fewer seeds) and prints the same rows the paper reports. Criterion
+//! microbenches live under `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod export;
+pub mod harness;
+pub mod tables;
+
+pub use experiments::{FigureConfig, FigureResult, FigureRow};
+pub use export::{figure_csv, write_csv};
+pub use harness::{run_simulation, ExperimentScale};
+pub use tables::Table;

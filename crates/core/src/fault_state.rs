@@ -1,0 +1,246 @@
+//! Time-aware fault state of one router.
+//!
+//! A [`noc_faults::FaultMap`] is a set; the router additionally needs to
+//! know *when* each fault manifested and when it was detected, because
+//! the correction circuitry only engages once the (assumed) detection
+//! mechanism has flagged the component (Section V: “we assume that faults
+//! can be detected by using one of the many existing fault detection
+//! mechanisms”).
+
+use noc_faults::{DetectionModel, FaultMap, FaultSite, PipelineStage};
+use noc_types::{Cycle, PortId, RouterConfig, VcId};
+
+/// Fault bookkeeping with manifestation and detection times.
+#[derive(Debug, Clone)]
+pub struct FaultState {
+    /// Every injected permanent fault with its manifestation cycle.
+    injected: Vec<(FaultSite, Cycle)>,
+    /// Transient upsets: `(site, start, duration)` — the site misbehaves
+    /// during `[start, start + duration)` and then recovers. Extension
+    /// beyond the paper's permanent-fault scope.
+    transients: Vec<(FaultSite, Cycle, u32)>,
+    detection: DetectionModel,
+    /// Sites already *detected* (correction engaged) — refreshed lazily.
+    detected: FaultMap,
+    /// Sites manifested (whether or not detected).
+    active: FaultMap,
+    /// Cycle of the most recent refresh.
+    refreshed_at: Cycle,
+}
+
+impl FaultState {
+    /// A healthy router with the given detection model.
+    pub fn new(detection: DetectionModel) -> Self {
+        FaultState {
+            injected: Vec::new(),
+            transients: Vec::new(),
+            detection,
+            detected: FaultMap::healthy(),
+            active: FaultMap::healthy(),
+            refreshed_at: 0,
+        }
+    }
+
+    /// Schedule (or immediately manifest) a permanent fault at `cycle`.
+    pub fn inject(&mut self, site: FaultSite, cycle: Cycle) {
+        self.injected.push((site, cycle));
+        // Force re-evaluation on next refresh even if time already passed.
+        if cycle <= self.refreshed_at {
+            self.active.inject(site);
+            if cycle + self.detection.latency() as Cycle <= self.refreshed_at {
+                self.detected.inject(site);
+            }
+        }
+    }
+
+    /// Schedule a transient upset on `site` for `[cycle, cycle + duration)`.
+    pub fn inject_transient(&mut self, site: FaultSite, cycle: Cycle, duration: u32) {
+        self.transients.push((site, cycle, duration));
+    }
+
+    /// Whether any transient upsets are scheduled.
+    pub fn has_transients(&self) -> bool {
+        !self.transients.is_empty()
+    }
+
+    /// Change the detection model, keeping every scheduled fault. The
+    /// maps are cleared and repopulated on the next `refresh`.
+    pub fn set_detection(&mut self, detection: DetectionModel) {
+        self.detection = detection;
+        self.active = FaultMap::healthy();
+        self.detected = FaultMap::healthy();
+    }
+
+    /// Advance the fault clock to `now`; must be called once per cycle by
+    /// the router before evaluating its pipeline.
+    pub fn refresh(&mut self, now: Cycle) {
+        self.refreshed_at = now;
+        let lat = self.detection.latency() as Cycle;
+        if self.transients.is_empty() {
+            // Permanent faults only: the maps grow monotonically.
+            for &(site, at) in &self.injected {
+                if at <= now {
+                    self.active.inject(site);
+                }
+                if at + lat <= now {
+                    self.detected.inject(site);
+                }
+            }
+            return;
+        }
+        // With transients in play the active set can shrink, so rebuild.
+        let mut active = FaultMap::healthy();
+        let mut detected = FaultMap::healthy();
+        for &(site, at) in &self.injected {
+            if at <= now {
+                active.inject(site);
+            }
+            if at + lat <= now {
+                detected.inject(site);
+            }
+        }
+        for &(site, start, duration) in &self.transients {
+            let end = start + duration as Cycle;
+            if start <= now && now < end {
+                active.inject(site);
+                if start + lat <= now {
+                    detected.inject(site);
+                }
+            }
+        }
+        self.active = active;
+        self.detected = detected;
+    }
+
+    /// Faults that have manifested (affect behaviour).
+    pub fn active(&self) -> &FaultMap {
+        &self.active
+    }
+
+    /// Faults that are known to the correction logic.
+    pub fn detected(&self) -> &FaultMap {
+        &self.detected
+    }
+
+    /// A site is manifested but not yet detected: the component must be
+    /// treated as silently misbehaving (the conservative model stalls
+    /// operations through it).
+    pub fn latent(&self, site: FaultSite) -> bool {
+        self.active.is_faulty(site) && !self.detected.is_faulty(site)
+    }
+
+    /// Total manifested faults.
+    pub fn count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Manifested faults in one stage.
+    pub fn count_stage(&self, stage: PipelineStage) -> usize {
+        self.active.count_stage(stage)
+    }
+
+    /// Convenience queries forwarding to the *active* map — behaviourally
+    /// a fault affects the circuit as soon as it manifests.
+    pub fn rc_primary_faulty(&self, port: PortId) -> bool {
+        self.active.is_faulty(FaultSite::RcPrimary { port })
+    }
+
+    /// Whether the duplicate RC unit of `port` is faulty.
+    pub fn rc_duplicate_faulty(&self, port: PortId) -> bool {
+        self.active.is_faulty(FaultSite::RcDuplicate { port })
+    }
+
+    /// Whether the VA stage-1 arbiter set of `(port, vc)` is faulty.
+    pub fn va1_faulty(&self, port: PortId, vc: VcId) -> bool {
+        self.active.is_faulty(FaultSite::Va1ArbiterSet { port, vc })
+    }
+
+    /// Whether the VA stage-2 arbiter of downstream `(out_port, out_vc)`
+    /// is faulty.
+    pub fn va2_faulty(&self, out_port: PortId, out_vc: VcId) -> bool {
+        self.active.is_faulty(FaultSite::Va2Arbiter { out_port, out_vc })
+    }
+
+    /// Whether the SA stage-1 arbiter of `port` is faulty.
+    pub fn sa1_faulty(&self, port: PortId) -> bool {
+        self.active.is_faulty(FaultSite::Sa1Arbiter { port })
+    }
+
+    /// Whether the SA stage-1 bypass of `port` is faulty.
+    pub fn sa1_bypass_faulty(&self, port: PortId) -> bool {
+        self.active.is_faulty(FaultSite::Sa1Bypass { port })
+    }
+
+    /// Whether the SA stage-2 arbiter of `out_port` is faulty.
+    pub fn sa2_faulty(&self, out_port: PortId) -> bool {
+        self.active.is_faulty(FaultSite::Sa2Arbiter { out_port })
+    }
+
+    /// Whether the crossbar mux `M_out` is faulty.
+    pub fn xb_mux_faulty(&self, out_port: PortId) -> bool {
+        self.active.is_faulty(FaultSite::XbMux { out_port })
+    }
+
+    /// Whether the secondary path of `out_port` is faulty.
+    pub fn xb_secondary_faulty(&self, out_port: PortId) -> bool {
+        self.active.is_faulty(FaultSite::XbSecondary { out_port })
+    }
+
+    /// The failure predicate of Section VIII: the protected router has
+    /// failed when some port can no longer perform a pipeline function
+    /// through any (primary or correction) path.
+    pub fn protected_router_failed(&self, cfg: &RouterConfig, xbar: &crate::Crossbar) -> bool {
+        self.active
+            .router_failed(cfg, |out| xbar.secondary_source(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_faults::DetectionModel;
+
+    #[test]
+    fn faults_manifest_at_their_cycle() {
+        let mut fs = FaultState::new(DetectionModel::Ideal);
+        fs.inject(FaultSite::Sa1Arbiter { port: PortId(1) }, 100);
+        fs.refresh(99);
+        assert!(!fs.sa1_faulty(PortId(1)));
+        fs.refresh(100);
+        assert!(fs.sa1_faulty(PortId(1)));
+        assert!(fs.detected().is_faulty(FaultSite::Sa1Arbiter { port: PortId(1) }));
+    }
+
+    #[test]
+    fn delayed_detection_leaves_latent_window() {
+        let mut fs = FaultState::new(DetectionModel::Delayed(10));
+        let site = FaultSite::XbMux { out_port: PortId(2) };
+        fs.inject(site, 50);
+        fs.refresh(55);
+        assert!(fs.active().is_faulty(site));
+        assert!(fs.latent(site));
+        fs.refresh(60);
+        assert!(!fs.latent(site));
+        assert!(fs.detected().is_faulty(site));
+    }
+
+    #[test]
+    fn inject_in_the_past_applies_immediately() {
+        let mut fs = FaultState::new(DetectionModel::Ideal);
+        fs.refresh(500);
+        fs.inject(FaultSite::RcPrimary { port: PortId(0) }, 200);
+        assert!(fs.rc_primary_faulty(PortId(0)));
+    }
+
+    #[test]
+    fn counts_by_stage() {
+        let mut fs = FaultState::new(DetectionModel::Ideal);
+        fs.inject(FaultSite::RcPrimary { port: PortId(0) }, 0);
+        fs.inject(FaultSite::RcDuplicate { port: PortId(0) }, 0);
+        fs.inject(FaultSite::XbMux { out_port: PortId(3) }, 0);
+        fs.refresh(0);
+        assert_eq!(fs.count(), 3);
+        assert_eq!(fs.count_stage(PipelineStage::Rc), 2);
+        assert_eq!(fs.count_stage(PipelineStage::Xb), 1);
+    }
+}

@@ -1,0 +1,380 @@
+//! The router model: state, per-cycle orchestration and the XB stage.
+
+use crate::crossbar::Crossbar;
+use crate::fault_state::FaultState;
+use crate::port::InputPort;
+use noc_arbiter::RoundRobinArbiter;
+use noc_faults::{DetectionModel, FaultSite};
+use noc_types::{Coord, Cycle, Flit, Mesh, PortId, RouterConfig, VcId};
+
+/// Which of the paper's two routers to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterKind {
+    /// The unprotected generic router of Section II. Faults manifest
+    /// destructively (misroutes, blocked ports, dropped flits).
+    Baseline,
+    /// The proposed fault-tolerant router of Section V.
+    Protected,
+}
+
+/// A flit leaving the router this cycle.
+#[derive(Debug, Clone)]
+pub struct Departure {
+    /// Logical output port the flit leaves through (the link direction).
+    pub out_port: PortId,
+    /// Downstream VC the flit is headed to.
+    pub out_vc: VcId,
+    /// The flit itself.
+    pub flit: Flit,
+}
+
+/// A credit returned to the upstream router feeding `in_port`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CreditReturn {
+    /// The input port whose buffer slot was freed.
+    pub in_port: PortId,
+    /// The VC whose slot was freed.
+    pub vc: VcId,
+}
+
+/// Everything a [`Router::step`] call produces.
+#[derive(Debug, Default)]
+pub struct StepOutput {
+    /// Flits that traversed the crossbar this cycle.
+    pub departures: Vec<Departure>,
+    /// Credits to return upstream.
+    pub credits: Vec<CreditReturn>,
+    /// Flits destroyed by an unprotected crossbar fault (baseline only).
+    pub dropped: Vec<Flit>,
+}
+
+/// Event counters exposed for experiments and invariant checks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Flits accepted into input buffers.
+    pub flits_in: u64,
+    /// Flits sent through the crossbar.
+    pub flits_out: u64,
+    /// Flits dropped by a faulty baseline crossbar mux.
+    pub flits_dropped: u64,
+    /// Head flits misrouted by a faulty baseline RC unit.
+    pub rc_misroutes: u64,
+    /// RC computations served by the duplicate unit.
+    pub rc_duplicate_uses: u64,
+    /// Successful VA allocations.
+    pub va_grants: u64,
+    /// VA allocations performed through a borrowed arbiter set.
+    pub va_borrows: u64,
+    /// Cycles a VC waited because its intended lender was busy
+    /// (the paper's Scenario 2 extra latency).
+    pub va_borrow_waits: u64,
+    /// SA grants issued.
+    pub sa_grants: u64,
+    /// SA grants issued through the bypass path (default winner).
+    pub sa_bypass_grants: u64,
+    /// VC-to-VC flit transfers performed for the bypass path.
+    pub vc_transfers: u64,
+    /// Flits that traversed the crossbar via a secondary path.
+    pub secondary_path_flits: u64,
+}
+
+/// Routing function: destination coordinate → output port.
+pub type RouteFn = Box<dyn Fn(Coord) -> PortId + Send>;
+
+/// A switch-allocation winner waiting to traverse the crossbar next
+/// cycle. Captures everything needed so later state changes cannot
+/// corrupt the traversal.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct XbGrant {
+    pub(crate) in_port: PortId,
+    pub(crate) in_vc: VcId,
+    /// The link the flit leaves on.
+    pub(crate) logical_out: PortId,
+    /// The primary mux the flit is switched through (differs from
+    /// `logical_out` on a secondary path).
+    pub(crate) mux: PortId,
+    /// Downstream VC (captured at grant time).
+    pub(crate) out_vc: VcId,
+}
+
+/// How often the SA bypass path's default winner rotates (cycles).
+/// Rotation prevents the static-default starvation the paper warns
+/// about; the period is long enough for a transferred packet to drain.
+pub(crate) const DEFAULT_WINNER_PERIOD: Cycle = 8;
+
+/// A cycle-accurate P-port, V-VC router (baseline or protected).
+pub struct Router {
+    pub(crate) id: u16,
+    pub(crate) coord: Coord,
+    pub(crate) cfg: RouterConfig,
+    pub(crate) kind: RouterKind,
+    pub(crate) route: RouteFn,
+    pub(crate) ports: Vec<InputPort>,
+    /// `[out][vc]`: downstream VC currently allocated to a packet.
+    pub(crate) out_vc_busy: Vec<Vec<bool>>,
+    /// `[out][vc]`: free buffer slots at the downstream VC.
+    pub(crate) credits: Vec<Vec<u8>>,
+    /// VA stage 1: `[port][vc][out]`, each a `v:1` arbiter over
+    /// downstream VCs (the paper's 100 4:1 arbiters).
+    pub(crate) va1: Vec<Vec<Vec<RoundRobinArbiter>>>,
+    /// VA stage 2: `[out][out_vc]`, each a `(P·V):1` arbiter
+    /// (the paper's 20 20:1 arbiters).
+    pub(crate) va2: Vec<Vec<RoundRobinArbiter>>,
+    /// SA stage 1: `[port]`, each a `v:1` arbiter.
+    pub(crate) sa1: Vec<RoundRobinArbiter>,
+    /// SA stage 2: `[out]`, each a `P:1` arbiter.
+    pub(crate) sa2: Vec<RoundRobinArbiter>,
+    pub(crate) xbar: Crossbar,
+    pub(crate) faults: FaultState,
+    /// SA winners awaiting crossbar traversal (filled by SA at cycle t,
+    /// drained by XB at t+1).
+    pub(crate) xb_queue: Vec<XbGrant>,
+    /// Per-port rotating pointer for RC service order.
+    pub(crate) rc_pointer: Vec<usize>,
+    /// Per-port reprogrammed bypass register: `(vc, rotation_period)`.
+    /// See `sa_stage` — models the paper's VC-to-VC transfer as a
+    /// 1-cycle reprogramming of the default-winner register.
+    pub(crate) bypass_ptr: Vec<Option<(usize, Cycle)>>,
+    pub(crate) stats: RouterStats,
+}
+
+impl Router {
+    /// Build a router with an arbitrary routing function.
+    pub fn new(
+        id: u16,
+        coord: Coord,
+        cfg: RouterConfig,
+        kind: RouterKind,
+        route: RouteFn,
+        detection: DetectionModel,
+    ) -> Self {
+        cfg.validate().expect("invalid router configuration");
+        let p = cfg.ports;
+        let v = cfg.vcs;
+        Router {
+            id,
+            coord,
+            cfg,
+            kind,
+            route,
+            ports: (0..p).map(|_| InputPort::new(v, cfg.buffer_depth)).collect(),
+            out_vc_busy: vec![vec![false; v]; p],
+            credits: vec![vec![cfg.buffer_depth as u8; v]; p],
+            va1: (0..p)
+                .map(|_| {
+                    (0..v)
+                        .map(|_| (0..p).map(|_| RoundRobinArbiter::new(v)).collect())
+                        .collect()
+                })
+                .collect(),
+            va2: (0..p)
+                .map(|_| (0..v).map(|_| RoundRobinArbiter::new(p * v)).collect())
+                .collect(),
+            sa1: (0..p).map(|_| RoundRobinArbiter::new(v)).collect(),
+            sa2: (0..p).map(|_| RoundRobinArbiter::new(p)).collect(),
+            xbar: Crossbar::new(p),
+            faults: FaultState::new(detection),
+            xb_queue: Vec::new(),
+            rc_pointer: vec![0; p],
+            bypass_ptr: vec![None; p],
+            stats: RouterStats::default(),
+        }
+    }
+
+    /// Build a router that XY-routes within `mesh` from its own `coord`.
+    pub fn new_xy(id: u16, coord: Coord, mesh: Mesh, cfg: RouterConfig, kind: RouterKind) -> Self {
+        let route: RouteFn = Box::new(move |dst| mesh.xy_route(coord, dst).port());
+        Router::new(id, coord, cfg, kind, route, DetectionModel::Ideal)
+    }
+
+    /// The router's id.
+    pub fn id(&self) -> u16 {
+        self.id
+    }
+
+    /// The router's mesh coordinate.
+    pub fn coord(&self) -> Coord {
+        self.coord
+    }
+
+    /// The configuration the router was built with.
+    pub fn config(&self) -> &RouterConfig {
+        &self.cfg
+    }
+
+    /// Baseline or protected.
+    pub fn kind(&self) -> RouterKind {
+        self.kind
+    }
+
+    /// The fault bookkeeping (read-only).
+    pub fn faults(&self) -> &FaultState {
+        &self.faults
+    }
+
+    /// The crossbar topology.
+    pub fn crossbar(&self) -> &Crossbar {
+        &self.xbar
+    }
+
+    /// Event counters.
+    pub fn stats(&self) -> &RouterStats {
+        &self.stats
+    }
+
+    /// Schedule a permanent fault to manifest at `cycle`.
+    pub fn inject_fault(&mut self, site: FaultSite, cycle: Cycle) {
+        self.faults.inject(site, cycle);
+    }
+
+    /// Schedule a transient upset on `site` for `[cycle, cycle+duration)`
+    /// (extension beyond the paper's permanent-fault scope).
+    pub fn inject_transient(&mut self, site: FaultSite, cycle: Cycle, duration: u32) {
+        self.faults.inject_transient(site, cycle, duration);
+    }
+
+    /// Override the detection model (keeps every scheduled fault).
+    pub fn set_detection(&mut self, detection: DetectionModel) {
+        self.faults.set_detection(detection);
+    }
+
+    /// Total flits buffered in the router (drain / conservation checks).
+    pub fn buffered_flits(&self) -> usize {
+        self.ports.iter().map(|p| p.occupancy()).sum::<usize>() + self.xb_queue.len()
+    }
+
+    /// Access an input port (diagnostics, tests).
+    pub fn port(&self, p: PortId) -> &InputPort {
+        &self.ports[p.index()]
+    }
+
+    /// Whether the protected router has exhausted its tolerance (the
+    /// Section VIII failure predicate); for a baseline router, whether
+    /// any fault at all has manifested on a baseline circuit.
+    pub fn is_failed(&self) -> bool {
+        match self.kind {
+            RouterKind::Protected => self.faults.protected_router_failed(&self.cfg, &self.xbar),
+            RouterKind::Baseline => self
+                .faults
+                .active()
+                .iter()
+                .any(|s| !s.is_correction_circuitry()),
+        }
+    }
+
+    /// Accept a flit arriving on `(port, vc)` (buffer write).
+    pub fn receive_flit(&mut self, port: PortId, vc: VcId, flit: Flit) {
+        self.stats.flits_in += 1;
+        self.ports[port.index()].vc_mut(vc).push(flit);
+    }
+
+    /// Accept a credit returned by the downstream router of `out_port`.
+    pub fn receive_credit(&mut self, out_port: PortId, vc: VcId) {
+        let c = &mut self.credits[out_port.index()][vc.index()];
+        assert!(
+            (*c as usize) < self.cfg.buffer_depth,
+            "credit overflow: downstream returned more credits than slots"
+        );
+        *c += 1;
+    }
+
+    /// Current credit count towards `(out_port, vc)`.
+    pub fn credit(&self, out_port: PortId, vc: VcId) -> u8 {
+        self.credits[out_port.index()][vc.index()]
+    }
+
+    /// Whether the downstream VC `(out_port, vc)` is allocated.
+    pub fn out_vc_busy(&self, out_port: PortId, vc: VcId) -> bool {
+        self.out_vc_busy[out_port.index()][vc.index()]
+    }
+
+    /// Advance one clock cycle.
+    ///
+    /// Stages run in reverse pipeline order (XB, SA, VA, RC) so that a
+    /// flit advances through at most one stage per call, yielding the
+    /// 4-cycle head-flit pipeline of Figure 2.
+    pub fn step(&mut self, cycle: Cycle) -> StepOutput {
+        self.faults.refresh(cycle);
+        let mut out = StepOutput::default();
+        self.xb_stage(&mut out);
+        self.sa_stage(cycle);
+        self.va_stage();
+        self.rc_stage();
+        out
+    }
+
+    /// XB stage: execute last cycle's SA grants.
+    fn xb_stage(&mut self, out: &mut StepOutput) {
+        let grants = std::mem::take(&mut self.xb_queue);
+        for g in grants {
+            // Re-validate the physical path: a fault may have manifested
+            // between grant and traversal.
+            let mux_now_faulty = self.faults.xb_mux_faulty(g.mux);
+            if mux_now_faulty {
+                match self.kind {
+                    RouterKind::Baseline => {
+                        // The baseline router is unaware: the flit is
+                        // switched into a dead multiplexer and lost.
+                        let flit = self.ports[g.in_port.index()]
+                            .vc_mut(g.in_vc)
+                            .pop()
+                            .expect("granted VC must hold a flit");
+                        let is_tail = flit.kind.is_tail();
+                        self.stats.flits_dropped += 1;
+                        out.credits.push(CreditReturn {
+                            in_port: g.in_port,
+                            vc: g.in_vc,
+                        });
+                        if is_tail {
+                            self.out_vc_busy[g.logical_out.index()][g.out_vc.index()] = false;
+                        }
+                        out.dropped.push(flit);
+                        continue;
+                    }
+                    RouterKind::Protected => {
+                        // The protected router cancels the traversal; the
+                        // flit stays buffered and SA will re-arbitrate
+                        // with the updated secondary path. Restore the
+                        // reserved credit.
+                        self.credits[g.logical_out.index()][g.out_vc.index()] += 1;
+                        continue;
+                    }
+                }
+            }
+            let flit = {
+                let vc = self.ports[g.in_port.index()].vc_mut(g.in_vc);
+                let mut flit = vc.pop().expect("granted VC must hold a flit");
+                flit.hops += 1;
+                flit
+            };
+            if g.mux != g.logical_out {
+                self.stats.secondary_path_flits += 1;
+            }
+            if flit.kind.is_tail() {
+                self.out_vc_busy[g.logical_out.index()][g.out_vc.index()] = false;
+            }
+            self.stats.flits_out += 1;
+            out.credits.push(CreditReturn {
+                in_port: g.in_port,
+                vc: g.in_vc,
+            });
+            out.departures.push(Departure {
+                out_port: g.logical_out,
+                out_vc: g.out_vc,
+                flit,
+            });
+        }
+    }
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("id", &self.id)
+            .field("coord", &self.coord)
+            .field("kind", &self.kind)
+            .field("buffered", &self.buffered_flits())
+            .field("faults", &self.faults.count())
+            .finish()
+    }
+}

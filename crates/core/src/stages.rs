@@ -1,0 +1,392 @@
+//! RC, VA and SA pipeline stages, including every correction mechanism
+//! of Section V. (XB lives in `router.rs` next to the grant queue.)
+
+use crate::router::{Router, RouterKind, XbGrant, DEFAULT_WINNER_PERIOD};
+use noc_arbiter::Arbiter;
+use noc_faults::FaultSite;
+use noc_types::{Cycle, PortId, VcGlobalState, VcId};
+
+/// One switch-allocation request, formed per active VC each cycle.
+#[derive(Debug, Clone, Copy)]
+struct SaRequest {
+    /// The link the flit must leave on.
+    logical_out: PortId,
+    /// The SA2 arbiter / crossbar mux to compete for (differs from
+    /// `logical_out` when the secondary path is in use).
+    target: PortId,
+    /// The allocated downstream VC.
+    out_vc: VcId,
+}
+
+impl Router {
+    // ------------------------------------------------------------------
+    // RC stage (Section V-A)
+    // ------------------------------------------------------------------
+
+    /// Routing computation: one computation per input port per cycle
+    /// (each port has one RC unit), served round-robin across VCs.
+    pub(crate) fn rc_stage(&mut self) {
+        let v = self.cfg.vcs;
+        for port_idx in 0..self.cfg.ports {
+            let port_id = PortId(port_idx as u8);
+            let start = self.rc_pointer[port_idx];
+            for i in 0..v {
+                let vc_id = VcId(((start + i) % v) as u8);
+                if self.ports[port_idx].vc(vc_id).fields.g != VcGlobalState::Routing {
+                    continue;
+                }
+                let dst = self.ports[port_idx]
+                    .vc(vc_id)
+                    .front()
+                    .expect("routing VC holds its head flit")
+                    .dst;
+                let correct = (self.route)(dst);
+                let primary_faulty = self.faults.rc_primary_faulty(port_id);
+                let computed = match (self.kind, primary_faulty) {
+                    (_, false) => Some(correct),
+                    (RouterKind::Baseline, true) => {
+                        // The unprotected RC unit computes a faulty output
+                        // port (Section V-A). We model a deterministic
+                        // corruption: the next port, cyclically.
+                        self.stats.rc_misroutes += 1;
+                        Some(PortId(((correct.0 as usize + 1) % self.cfg.ports) as u8))
+                    }
+                    (RouterKind::Protected, true) => {
+                        if self.faults.latent(FaultSite::RcPrimary { port: port_id }) {
+                            // Fault not yet detected: conservative stall.
+                            None
+                        } else if self.faults.rc_duplicate_faulty(port_id) {
+                            // Both units dead: routing impossible (failure).
+                            None
+                        } else {
+                            // Switch to the duplicate unit — same result,
+                            // no latency penalty (spatial redundancy).
+                            self.stats.rc_duplicate_uses += 1;
+                            Some(correct)
+                        }
+                    }
+                };
+                if let Some(out) = computed {
+                    let fields = &mut self.ports[port_idx].vc_mut(vc_id).fields;
+                    fields.r = Some(out);
+                    fields.g = VcGlobalState::VcAlloc;
+                    // Pre-compute the secondary-path hint (Section V-D):
+                    // refreshed again at SA time in case faults manifest
+                    // later.
+                    fields.fsp = false;
+                    fields.sp = None;
+                    if self.kind == RouterKind::Protected {
+                        let detected = self.faults.detected();
+                        if detected.xb_primary_dead(out) {
+                            fields.sp = Some(self.xbar.secondary_source(out));
+                            fields.fsp = true;
+                        }
+                    }
+                    self.rc_pointer[port_idx] = (vc_id.index() + 1) % v;
+                }
+                // One RC computation per port per cycle, served or stalled.
+                break;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // VA stage (Section V-B)
+    // ------------------------------------------------------------------
+
+    /// Virtual-channel allocation: two separable stages with the
+    /// protected router's arbiter-borrowing in stage 1 and downstream-VC
+    /// exclusion for faulty stage-2 arbiters.
+    pub(crate) fn va_stage(&mut self) {
+        let p = self.cfg.ports;
+        let v = self.cfg.vcs;
+
+        // ---- Stage 1: each waiting VC picks one free downstream VC ----
+        // (port, requesting vc, owner of the arbiter set used, out, pick)
+        let mut picks: Vec<(usize, VcId, VcId, PortId, VcId)> = Vec::new();
+        for port_idx in 0..p {
+            let port_id = PortId(port_idx as u8);
+            let mut lent = vec![false; v];
+            for vc_idx in 0..v {
+                let vc_id = VcId(vc_idx as u8);
+                let fields = self.ports[port_idx].vc(vc_id).fields;
+                if fields.g != VcGlobalState::VcAlloc {
+                    continue;
+                }
+                let out = fields.r.expect("VcAlloc implies a routed VC");
+
+                // Whose arbiter set performs the allocation?
+                let own_faulty = self.faults.va1_faulty(port_id, vc_id);
+                let owner: Option<VcId> = if !own_faulty {
+                    Some(vc_id)
+                } else {
+                    match self.kind {
+                        RouterKind::Baseline => None, // blocked for good
+                        RouterKind::Protected => {
+                            if self.faults.latent(FaultSite::Va1ArbiterSet {
+                                port: port_id,
+                                vc: vc_id,
+                            }) {
+                                None // undetected: stall
+                            } else {
+                                // Scan the other VCs of this input port for
+                                // a lender whose arbiters are healthy and
+                                // whose G state is idle or SA (Section
+                                // V-B1); a lender serves one borrower per
+                                // cycle.
+                                let lender = (1..v)
+                                    .map(|d| VcId(((vc_idx + d) % v) as u8))
+                                    .find(|&l| {
+                                        !lent[l.index()]
+                                            && !self.faults.va1_faulty(port_id, l)
+                                            && self.ports[port_idx]
+                                                .vc(l)
+                                                .fields
+                                                .g
+                                                .lendable_for_va()
+                                    });
+                                if lender.is_none() {
+                                    // Scenario 2: intended lenders busy in
+                                    // VA — wait a cycle.
+                                    self.stats.va_borrow_waits += 1;
+                                }
+                                lender
+                            }
+                        }
+                    }
+                };
+                let Some(owner) = owner else { continue };
+
+                // Request mask over free downstream VCs at `out`. With
+                // ideal (or completed) detection, downstream VCs whose
+                // stage-2 arbiter is known-faulty are excluded up front —
+                // the inherent-redundancy tolerance of Section V-B3.
+                let mut req: u32 = 0;
+                for ovc in 0..v {
+                    if self.out_vc_busy[out.index()][ovc] {
+                        continue;
+                    }
+                    if self.kind == RouterKind::Protected
+                        && self
+                            .faults
+                            .detected()
+                            .is_faulty(FaultSite::Va2Arbiter {
+                                out_port: out,
+                                out_vc: VcId(ovc as u8),
+                            })
+                    {
+                        continue;
+                    }
+                    req |= 1 << ovc;
+                }
+                if req == 0 {
+                    continue; // no empty VC downstream: retry later
+                }
+                let pick =
+                    self.va1[port_idx][owner.index()][out.index()].arbitrate(req);
+                if let Some(ovc) = pick {
+                    if owner != vc_id {
+                        // Borrow protocol bookkeeping (Figure 4): the
+                        // borrower deposits its RC result and identity in
+                        // the lender's R2/ID fields and raises VF.
+                        let lender_fields =
+                            &mut self.ports[port_idx].vc_mut(owner).fields;
+                        lender_fields.r2 = Some(out);
+                        lender_fields.id = Some(vc_id);
+                        lender_fields.vf = true;
+                        lent[owner.index()] = true;
+                        self.stats.va_borrows += 1;
+                    }
+                    picks.push((port_idx, vc_id, owner, out, VcId(ovc as u8)));
+                }
+            }
+        }
+
+        // ---- Stage 2: per downstream VC, arbitrate among pickers ----
+        let mut stage2: Vec<Vec<u32>> = vec![vec![0; v]; p];
+        for &(port_idx, vc_id, _owner, out, ovc) in &picks {
+            stage2[out.index()][ovc.index()] |= 1 << (port_idx * v + vc_id.index());
+        }
+        for (out_idx, row) in stage2.iter().enumerate() {
+            for (ovc_idx, &req) in row.iter().enumerate() {
+                if req == 0 {
+                    continue;
+                }
+                // A faulty stage-2 arbiter grants nothing: in the baseline
+                // the requestors retry forever; in the protected router
+                // (ideal detection) this arbiter receives no requests, and
+                // during a latent window it stalls.
+                if self
+                    .faults
+                    .va2_faulty(PortId(out_idx as u8), VcId(ovc_idx as u8))
+                {
+                    continue;
+                }
+                if let Some(winner) = self.va2[out_idx][ovc_idx].arbitrate(req) {
+                    let (port_idx, vc_idx) = (winner / v, winner % v);
+                    let fields = &mut self.ports[port_idx]
+                        .vc_mut(VcId(vc_idx as u8))
+                        .fields;
+                    fields.o = Some(VcId(ovc_idx as u8));
+                    fields.g = VcGlobalState::Active;
+                    self.out_vc_busy[out_idx][ovc_idx] = true;
+                    self.stats.va_grants += 1;
+                }
+            }
+        }
+
+        // The VA unit resets the borrow fields once allocation completes
+        // (Section V-B2). We re-establish borrows every cycle, so clear
+        // them all here.
+        for port_idx in 0..p {
+            for vc_idx in 0..v {
+                self.ports[port_idx]
+                    .vc_mut(VcId(vc_idx as u8))
+                    .fields
+                    .clear_borrow();
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // SA stage (Section V-C)
+    // ------------------------------------------------------------------
+
+    /// Switch allocation: two separable stages with the protected
+    /// router's bypass path (rotating default winner + VC transfer) in
+    /// stage 1 and secondary-path redirection for stage 2 / XB faults.
+    // Indexed loops mirror the hardware's parallel per-port/per-VC
+    // structures and mutate several of them at once.
+    #[allow(clippy::needless_range_loop)]
+    pub(crate) fn sa_stage(&mut self, cycle: Cycle) {
+        let p = self.cfg.ports;
+        let v = self.cfg.vcs;
+
+        // ---- Form per-VC requests ----
+        let mut requests: Vec<Vec<Option<SaRequest>>> = vec![vec![None; v]; p];
+        for port_idx in 0..p {
+            for vc_idx in 0..v {
+                let vc_id = VcId(vc_idx as u8);
+                let vc = self.ports[port_idx].vc(vc_id);
+                if vc.fields.g != VcGlobalState::Active || vc.is_empty() {
+                    continue;
+                }
+                let out = vc.fields.r.expect("active VC is routed");
+                let out_vc = vc.fields.o.expect("active VC holds a downstream VC");
+                if self.credits[out.index()][out_vc.index()] == 0 {
+                    continue; // no downstream space
+                }
+                let target = match self.kind {
+                    RouterKind::Baseline => out,
+                    RouterKind::Protected => {
+                        match self.xbar.sa2_target(self.faults.detected(), out) {
+                            Some(t) => t,
+                            None => continue, // output unreachable: blocked
+                        }
+                    }
+                };
+                // Refresh the SP/FSP observability fields.
+                {
+                    let fields = &mut self.ports[port_idx].vc_mut(vc_id).fields;
+                    fields.fsp = target != out;
+                    fields.sp = (target != out).then_some(target);
+                }
+                requests[port_idx][vc_idx] = Some(SaRequest {
+                    logical_out: out,
+                    target,
+                    out_vc,
+                });
+            }
+        }
+
+        // ---- Stage 1: per input port, pick one VC ----
+        let mut port_winner: Vec<Option<usize>> = vec![None; p];
+        for port_idx in 0..p {
+            let port_id = PortId(port_idx as u8);
+            let req_mask: u32 = (0..v)
+                .filter(|&vc| requests[port_idx][vc].is_some())
+                .fold(0, |m, vc| m | (1 << vc));
+            if req_mask == 0 {
+                continue;
+            }
+            if !self.faults.sa1_faulty(port_id) {
+                port_winner[port_idx] = self.sa1[port_idx].arbitrate(req_mask);
+                continue;
+            }
+            match self.kind {
+                RouterKind::Baseline => {} // arbiter dead: port blocked
+                RouterKind::Protected => {
+                    if self.faults.latent(FaultSite::Sa1Arbiter { port: port_id }) {
+                        continue; // undetected: stall
+                    }
+                    if self.faults.sa1_bypass_faulty(port_id) {
+                        continue; // bypass dead too: port blocked (failure)
+                    }
+                    // Bypass path: the default winner is chosen without
+                    // arbitration (Section V-C1). The register rotates
+                    // through the VCs (avoiding the static-default
+                    // starvation the paper warns about); when the current
+                    // default is not requesting, the register is
+                    // re-pointed at a requesting VC, costing the same one
+                    // cycle the paper charges its flit transfer. (The
+                    // paper physically moves the flits into the default
+                    // VC; re-pointing the register has identical latency
+                    // and fault semantics while remaining compatible with
+                    // credit flow control for still-arriving packets —
+                    // see DESIGN.md.)
+                    let period = cycle / DEFAULT_WINNER_PERIOD;
+                    let rotation_default = (period as usize + port_idx) % v;
+                    let effective = match self.bypass_ptr[port_idx] {
+                        Some((vc, p)) if p == period => vc,
+                        _ => rotation_default,
+                    };
+                    if req_mask & (1 << effective) != 0 {
+                        port_winner[port_idx] = Some(effective);
+                        self.stats.sa_bypass_grants += 1;
+                    } else if let Some(src) =
+                        (0..v).find(|&vc| requests[port_idx][vc].is_some())
+                    {
+                        // Re-point the register; no grant this cycle.
+                        self.bypass_ptr[port_idx] = Some((src, period));
+                        self.stats.vc_transfers += 1;
+                    }
+                }
+            }
+        }
+
+        // ---- Stage 2: per target output, pick one input port ----
+        let mut stage2: Vec<u32> = vec![0; p];
+        for (port_idx, winner) in port_winner.iter().enumerate() {
+            if let Some(vc) = winner {
+                let req = requests[port_idx][*vc].expect("winner had a request");
+                stage2[req.target.index()] |= 1 << port_idx;
+            }
+        }
+        for (target_idx, &mask) in stage2.iter().enumerate() {
+            if mask == 0 {
+                continue;
+            }
+            // A faulty stage-2 arbiter grants nothing. Protected VCs never
+            // target a known-faulty arbiter (sa2_target redirects them);
+            // during a latent window, or in the baseline, they stall here.
+            if self.faults.sa2_faulty(PortId(target_idx as u8)) {
+                continue;
+            }
+            if let Some(wport) = self.sa2[target_idx].arbitrate(mask) {
+                let vc_idx = port_winner[wport].expect("stage-2 winner won stage 1");
+                let req = requests[wport][vc_idx].expect("winner had a request");
+                // Reserve the downstream buffer slot now; XB sends next
+                // cycle.
+                self.credits[req.logical_out.index()][req.out_vc.index()] -= 1;
+                self.xb_queue.push(XbGrant {
+                    in_port: PortId(wport as u8),
+                    in_vc: VcId(vc_idx as u8),
+                    logical_out: req.logical_out,
+                    mux: req.target,
+                    out_vc: req.out_vc,
+                });
+                self.stats.sa_grants += 1;
+            }
+        }
+    }
+}

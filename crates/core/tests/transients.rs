@@ -1,0 +1,144 @@
+//! Transient-upset extension tests: the correction circuitry engages for
+//! the duration of an upset and disengages cleanly afterwards.
+
+use noc_faults::FaultSite;
+use noc_types::{Coord, Direction, Mesh, Packet, PacketId, PacketKind, RouterConfig, VcId};
+use shield_router::{Router, RouterKind};
+
+const HERE: Coord = Coord::new(3, 3);
+const EAST_DST: Coord = Coord::new(5, 3);
+
+fn router(kind: RouterKind) -> Router {
+    Router::new_xy(0, HERE, Mesh::new(8), RouterConfig::paper(), kind)
+}
+
+fn single_flit(id: u64) -> noc_types::Flit {
+    Packet::new(PacketId(id), PacketKind::Control, HERE, EAST_DST, 0)
+        .segment()
+        .remove(0)
+}
+
+/// Send one packet at `send_cycle`, return the cycle its flit departed.
+fn departure_cycle(r: &mut Router, id: u64, send_cycle: u64, horizon: u64) -> Option<u64> {
+    let mut sent = false;
+    for cycle in 0..horizon {
+        if cycle == send_cycle && !sent {
+            r.receive_flit(Direction::Local.port(), VcId(0), single_flit(id));
+            sent = true;
+        }
+        let out = r.step(cycle);
+        for d in out.departures {
+            r.receive_credit(d.out_port, d.out_vc);
+            if d.flit.packet == PacketId(id) {
+                return Some(cycle);
+            }
+        }
+    }
+    None
+}
+
+#[test]
+fn transient_rc_upset_uses_duplicate_then_recovers() {
+    let mut r = router(RouterKind::Protected);
+    // Upset during [0, 20): packets sent then use the duplicate unit.
+    r.inject_transient(
+        FaultSite::RcPrimary {
+            port: Direction::Local.port(),
+        },
+        0,
+        20,
+    );
+    let during = departure_cycle(&mut r, 1, 0, 40).expect("delivered during upset");
+    assert_eq!(during, 3, "duplicate RC keeps full speed");
+    let dup_uses_during = r.stats().rc_duplicate_uses;
+    assert!(dup_uses_during >= 1);
+    // After recovery the primary unit serves again.
+    let after = departure_cycle(&mut r, 2, 50, 100).expect("delivered after recovery");
+    assert_eq!(after, 53);
+    assert_eq!(
+        r.stats().rc_duplicate_uses,
+        dup_uses_during,
+        "no duplicate use once the upset has passed"
+    );
+}
+
+#[test]
+fn transient_xb_upset_reroutes_then_restores_primary_path() {
+    let mut r = router(RouterKind::Protected);
+    r.inject_transient(
+        FaultSite::XbMux {
+            out_port: Direction::East.port(),
+        },
+        0,
+        30,
+    );
+    let during = departure_cycle(&mut r, 1, 0, 40).expect("delivered via secondary");
+    assert!(during >= 3);
+    assert_eq!(r.stats().secondary_path_flits, 1);
+    let _after = departure_cycle(&mut r, 2, 60, 120).expect("delivered after recovery");
+    assert_eq!(
+        r.stats().secondary_path_flits,
+        1,
+        "primary path used once the upset has passed"
+    );
+}
+
+#[test]
+fn transient_upset_mid_flight_is_absorbed_without_loss() {
+    // The upset begins exactly when the flit would traverse the east
+    // mux: the protected router cancels the traversal, waits out /
+    // reroutes, and still delivers.
+    let mut r = router(RouterKind::Protected);
+    r.inject_transient(
+        FaultSite::XbMux {
+            out_port: Direction::East.port(),
+        },
+        3, // XB cycle of a packet sent at 0
+        10,
+    );
+    let dep = departure_cycle(&mut r, 1, 0, 60).expect("eventually delivered");
+    assert!(dep > 3, "traversal was deferred: departed at {dep}");
+    assert_eq!(r.stats().flits_dropped, 0);
+    assert_eq!(r.buffered_flits(), 0);
+}
+
+#[test]
+fn baseline_drops_flits_only_during_the_upset_window() {
+    let mut r = router(RouterKind::Baseline);
+    r.inject_transient(
+        FaultSite::XbMux {
+            out_port: Direction::East.port(),
+        },
+        0,
+        10,
+    );
+    // Sent at cycle 0 → XB at 3, inside the window → dropped.
+    assert_eq!(departure_cycle(&mut r, 1, 0, 30), None);
+    assert_eq!(r.stats().flits_dropped, 1);
+    // Sent at cycle 20 → XB at 23, after recovery → delivered.
+    let after = departure_cycle(&mut r, 2, 20, 60).expect("delivered after recovery");
+    assert_eq!(after, 23);
+}
+
+#[test]
+fn permanent_and_transient_faults_compose() {
+    // Permanent east-mux fault + transient upset on its secondary path:
+    // east is unreachable only while the upset lasts.
+    let mut r = router(RouterKind::Protected);
+    r.inject_fault(
+        FaultSite::XbMux {
+            out_port: Direction::East.port(),
+        },
+        0,
+    );
+    r.inject_transient(
+        FaultSite::XbSecondary {
+            out_port: Direction::East.port(),
+        },
+        0,
+        25,
+    );
+    let dep = departure_cycle(&mut r, 1, 0, 80).expect("delivered after the window");
+    assert!(dep >= 25, "blocked while both paths were down: departed {dep}");
+    assert_eq!(r.stats().flits_dropped, 0);
+}

@@ -1,0 +1,34 @@
+//! # noc-faults
+//!
+//! The permanent-fault model for the shield-noc reproduction.
+//!
+//! The paper (Section V) considers **permanent faults in the four control
+//! pipeline stages** of a virtual-channel router — RC, VA, SA and XB —
+//! at the granularity of the components its correction circuitry routes
+//! around: RC units, per-VC arbiter sets, per-port switch arbiters and
+//! bypass registers, crossbar output multiplexers and their secondary
+//! paths. Buffers and datapath multiplexers are explicitly out of scope
+//! (Section V, citing other work), and fault *detection* is assumed to be
+//! provided by an existing mechanism such as NoCAlert.
+//!
+//! This crate defines:
+//!
+//! * [`FaultSite`] — an address for every protectable component in one
+//!   router, including the correction circuitry itself (which can also
+//!   fail, and whose failure the SPF analysis of Section VIII counts);
+//! * [`FaultMap`] — the set of faulty sites of one router;
+//! * [`InjectionEvent`] / [`FaultPlan`] — a network-wide fault campaign,
+//!   either deterministic or drawn from the paper's uniform-random
+//!   injection process (Section IX);
+//! * [`DetectionModel`] — ideal (immediate) or delayed detection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod map;
+pub mod plan;
+pub mod site;
+
+pub use map::FaultMap;
+pub use plan::{DetectionModel, FaultPlan, InjectionConfig, InjectionEvent, TransientEvent};
+pub use site::{canonical_secondary_source, FaultSite, PipelineStage};

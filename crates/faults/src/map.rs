@@ -1,0 +1,265 @@
+//! Per-router fault state.
+
+use crate::site::{FaultSite, PipelineStage};
+use noc_types::{PortId, RouterConfig, VcId};
+use std::collections::HashSet;
+
+/// The set of permanently faulty sites of one router, plus the helper
+/// queries the protected pipeline needs every cycle.
+///
+/// Queries are O(1) hash lookups; the map is tiny (≤ 75 sites for the
+/// paper's router) and is read far more often than written.
+#[derive(Debug, Clone, Default)]
+pub struct FaultMap {
+    faulty: HashSet<FaultSite>,
+}
+
+impl FaultMap {
+    /// An all-healthy router.
+    pub fn healthy() -> Self {
+        FaultMap::default()
+    }
+
+    /// Build a map from a list of sites.
+    pub fn from_sites(sites: impl IntoIterator<Item = FaultSite>) -> Self {
+        FaultMap {
+            faulty: sites.into_iter().collect(),
+        }
+    }
+
+    /// Mark a site permanently faulty. Returns `true` if the site was
+    /// previously healthy.
+    pub fn inject(&mut self, site: FaultSite) -> bool {
+        self.faulty.insert(site)
+    }
+
+    /// Whether a site is faulty.
+    #[inline]
+    pub fn is_faulty(&self, site: FaultSite) -> bool {
+        self.faulty.contains(&site)
+    }
+
+    /// Number of faulty sites.
+    pub fn len(&self) -> usize {
+        self.faulty.len()
+    }
+
+    /// Whether the router is fully healthy.
+    pub fn is_empty(&self) -> bool {
+        self.faulty.is_empty()
+    }
+
+    /// Iterate over the faulty sites (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = FaultSite> + '_ {
+        self.faulty.iter().copied()
+    }
+
+    /// Number of faults in a given pipeline stage.
+    pub fn count_stage(&self, stage: PipelineStage) -> usize {
+        self.faulty.iter().filter(|s| s.stage() == stage).count()
+    }
+
+    // ---- Queries used by the protected router, matching Section V ----
+
+    /// RC is impossible at `port`: both the original and the duplicate RC
+    /// unit are faulty (Section VIII-A's minimum-failure case).
+    pub fn rc_dead(&self, port: PortId) -> bool {
+        self.is_faulty(FaultSite::RcPrimary { port })
+            && self.is_faulty(FaultSite::RcDuplicate { port })
+    }
+
+    /// The VA-stage-1 arbiter set of `(port, vc)` is unusable.
+    pub fn va1_set_faulty(&self, port: PortId, vc: VcId) -> bool {
+        self.is_faulty(FaultSite::Va1ArbiterSet { port, vc })
+    }
+
+    /// VA is impossible at `port`: every VC's arbiter set is faulty
+    /// (Section VIII-B's minimum-failure case).
+    pub fn va_dead(&self, port: PortId, vcs: usize) -> bool {
+        VcId::all(vcs).all(|vc| self.va1_set_faulty(port, vc))
+    }
+
+    /// Switch allocation is impossible at `port`: both the SA1 arbiter
+    /// and its bypass path are faulty (Section VIII-C).
+    pub fn sa1_dead(&self, port: PortId) -> bool {
+        self.is_faulty(FaultSite::Sa1Arbiter { port })
+            && self.is_faulty(FaultSite::Sa1Bypass { port })
+    }
+
+    /// The *normal* path to output `out_port` is unusable: either its
+    /// crossbar mux `M_i` or its SA2 arbiter is faulty. (Either condition
+    /// forces the secondary path; Section V-C2/V-D.)
+    pub fn xb_primary_dead(&self, out_port: PortId) -> bool {
+        self.is_faulty(FaultSite::XbMux { out_port })
+            || self.is_faulty(FaultSite::Sa2Arbiter { out_port })
+    }
+
+    /// The secondary path to `out_port` is unusable.
+    pub fn xb_secondary_dead(&self, out_port: PortId) -> bool {
+        self.is_faulty(FaultSite::XbSecondary { out_port })
+    }
+
+    /// Output `out_port` is completely unreachable (primary and secondary
+    /// paths both dead — Section VIII-D's minimum-failure case). The
+    /// caller must additionally check that the *source* mux of the
+    /// secondary path is alive; that routing decision lives in the
+    /// crossbar model, which knows the secondary topology.
+    pub fn xb_dead(&self, out_port: PortId) -> bool {
+        self.xb_primary_dead(out_port) && self.xb_secondary_dead(out_port)
+    }
+
+    /// All VA stage-2 arbiters of one output port are faulty: no packet
+    /// can ever be allocated a VC towards that port (a failure mode the
+    /// paper's Section-VIII counting omits but that follows from its own
+    /// Section V-B3 mechanism).
+    pub fn va2_dead(&self, out_port: PortId, vcs: usize) -> bool {
+        VcId::all(vcs).all(|out_vc| self.is_faulty(FaultSite::Va2Arbiter { out_port, out_vc }))
+    }
+
+    /// Whether the router, as a whole, can still perform its function for
+    /// every port — the failure predicate used by the Monte-Carlo SPF
+    /// estimator. `secondary_source` maps each output port to the primary
+    /// mux that feeds its secondary path (from the crossbar topology).
+    pub fn router_failed(
+        &self,
+        cfg: &RouterConfig,
+        secondary_source: impl Fn(PortId) -> PortId,
+    ) -> bool {
+        for port in PortId::all(cfg.ports) {
+            if self.rc_dead(port)
+                || self.va_dead(port, cfg.vcs)
+                || self.sa1_dead(port)
+                || self.va2_dead(port, cfg.vcs)
+            {
+                return true;
+            }
+        }
+        for out in PortId::all(cfg.ports) {
+            if self.xb_primary_dead(out) {
+                // must fall back to the secondary path: it needs both the
+                // secondary circuitry and the source mux to be alive, and
+                // the source port's SA2 arbiter to arbitrate through.
+                let src = secondary_source(out);
+                if self.xb_secondary_dead(out)
+                    || self.is_faulty(FaultSite::XbMux { out_port: src })
+                    || self.is_faulty(FaultSite::Sa2Arbiter { out_port: src })
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+impl FromIterator<FaultSite> for FaultMap {
+    fn from_iter<T: IntoIterator<Item = FaultSite>>(iter: T) -> Self {
+        FaultMap::from_sites(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u8) -> PortId {
+        PortId(i)
+    }
+
+    #[test]
+    fn healthy_map_reports_nothing() {
+        let m = FaultMap::healthy();
+        assert!(m.is_empty());
+        assert!(!m.rc_dead(p(0)));
+        assert!(!m.va_dead(p(0), 4));
+        assert!(!m.sa1_dead(p(0)));
+        assert!(!m.xb_dead(p(0)));
+    }
+
+    #[test]
+    fn inject_is_idempotent() {
+        let mut m = FaultMap::healthy();
+        let site = FaultSite::Sa1Arbiter { port: p(2) };
+        assert!(m.inject(site));
+        assert!(!m.inject(site));
+        assert_eq!(m.len(), 1);
+        assert!(m.is_faulty(site));
+    }
+
+    #[test]
+    fn rc_dead_requires_both_units() {
+        let mut m = FaultMap::healthy();
+        m.inject(FaultSite::RcPrimary { port: p(1) });
+        assert!(!m.rc_dead(p(1)));
+        m.inject(FaultSite::RcDuplicate { port: p(1) });
+        assert!(m.rc_dead(p(1)));
+        assert!(!m.rc_dead(p(0)));
+    }
+
+    #[test]
+    fn va_dead_requires_all_vc_sets() {
+        let mut m = FaultMap::healthy();
+        for vc in 0..3 {
+            m.inject(FaultSite::Va1ArbiterSet { port: p(0), vc: VcId(vc) });
+        }
+        assert!(!m.va_dead(p(0), 4), "three of four sets faulty: still alive");
+        m.inject(FaultSite::Va1ArbiterSet { port: p(0), vc: VcId(3) });
+        assert!(m.va_dead(p(0), 4));
+    }
+
+    #[test]
+    fn sa1_dead_requires_arbiter_and_bypass() {
+        let mut m = FaultMap::healthy();
+        m.inject(FaultSite::Sa1Arbiter { port: p(3) });
+        assert!(!m.sa1_dead(p(3)));
+        m.inject(FaultSite::Sa1Bypass { port: p(3) });
+        assert!(m.sa1_dead(p(3)));
+    }
+
+    #[test]
+    fn xb_primary_dead_on_mux_or_sa2_fault() {
+        let mut m = FaultMap::healthy();
+        m.inject(FaultSite::XbMux { out_port: p(2) });
+        assert!(m.xb_primary_dead(p(2)));
+        let mut m2 = FaultMap::healthy();
+        m2.inject(FaultSite::Sa2Arbiter { out_port: p(2) });
+        assert!(m2.xb_primary_dead(p(2)));
+    }
+
+    #[test]
+    fn router_failed_matches_paper_examples() {
+        let cfg = RouterConfig::paper();
+        // secondary source per the Figure 6 reconstruction:
+        // sec(out_i) = M_{i-1} for i>=1, sec(out_0) = M_1 (0-indexed).
+        let sec = |out: PortId| {
+            if out.0 == 0 {
+                PortId(1)
+            } else {
+                PortId(out.0 - 1)
+            }
+        };
+        // M2 and M4 faulty (paper's tolerated example, 1-indexed M2/M4 →
+        // 0-indexed muxes 1 and 3).
+        let mut m = FaultMap::healthy();
+        m.inject(FaultSite::XbMux { out_port: p(1) });
+        m.inject(FaultSite::XbMux { out_port: p(3) });
+        assert!(!m.router_failed(&cfg, sec), "M2+M4 are tolerated");
+        // One more mux fault is fatal.
+        m.inject(FaultSite::XbMux { out_port: p(2) });
+        assert!(m.router_failed(&cfg, sec));
+    }
+
+    #[test]
+    fn count_stage_partitions_faults() {
+        let mut m = FaultMap::healthy();
+        m.inject(FaultSite::RcPrimary { port: p(0) });
+        m.inject(FaultSite::Va1ArbiterSet { port: p(0), vc: VcId(0) });
+        m.inject(FaultSite::Sa1Arbiter { port: p(0) });
+        m.inject(FaultSite::XbMux { out_port: p(0) });
+        m.inject(FaultSite::Sa2Arbiter { out_port: p(0) });
+        assert_eq!(m.count_stage(PipelineStage::Rc), 1);
+        assert_eq!(m.count_stage(PipelineStage::Va), 1);
+        assert_eq!(m.count_stage(PipelineStage::Sa), 1);
+        assert_eq!(m.count_stage(PipelineStage::Xb), 2);
+    }
+}

@@ -1,0 +1,197 @@
+//! Area and average-power overhead model (Section VI-A).
+//!
+//! The paper's 31% area / 30% power overheads come from Cadence
+//! Encounter synthesis at 45 nm — 28% / 29% for the correction circuitry
+//! alone, plus the NoCAlert-style detection mechanism. We cannot run
+//! synthesis, so we account the same structures explicitly:
+//!
+//! * **Baseline area** = control-logic transistors (the Table-I
+//!   inventories) + the input buffers (`P·V·depth·width` SRAM bits at
+//!   0.5 relative density), which the FIT analysis excludes but
+//!   synthesis of a whole router includes.
+//! * **Correction area** = the Table-II inventory, times a global
+//!   wiring/placement factor of **1.30** — correction circuitry is
+//!   distributed across the router (per-VC state fields, crossbar
+//!   demux branches) and pays disproportionate routing overhead.
+//! * **Power** = dynamic (activity-weighted transistors) + static
+//!   (0.10 × transistors), with a **1.25** clock/glitch factor on the
+//!   correction circuitry.
+//!
+//! The two global factors are the model's only free constants; they are
+//! set once so the paper point lands at 28%/29%, and everything else
+//! (per-stage breakdowns, scaling with VCs/width, the detection adder)
+//! is model output. EXPERIMENTS.md records this calibration.
+
+use crate::gates::Component;
+use crate::inventory::{baseline_inventory, correction_inventory, StageInventory};
+use noc_types::RouterConfig;
+use serde::Serialize;
+
+/// Wiring/placement factor applied to correction-circuitry area.
+pub const CORRECTION_WIRING_FACTOR: f64 = 1.30;
+/// Clock/glitch factor applied to correction-circuitry power.
+pub const CORRECTION_POWER_FACTOR: f64 = 1.25;
+/// Static (leakage) power weight per transistor, relative to an
+/// activity-1.0 dynamic transistor.
+pub const STATIC_WEIGHT: f64 = 0.10;
+/// Area added by the fault-detection mechanism (fraction of baseline);
+/// the paper's totals move from 28% → 31%.
+pub const DETECTION_AREA_OVERHEAD: f64 = 0.03;
+/// Power added by the fault-detection mechanism (fraction of baseline);
+/// 29% → 30%.
+pub const DETECTION_POWER_OVERHEAD: f64 = 0.01;
+
+/// The area/power model for one router configuration.
+#[derive(Debug, Clone)]
+pub struct AreaPowerModel {
+    cfg: RouterConfig,
+    dest_bits: u32,
+}
+
+/// Results of the Section VI-A analysis.
+#[derive(Debug, Clone, Serialize)]
+pub struct AreaPowerReport {
+    /// Baseline router area (arbitrary units: density-weighted
+    /// transistors).
+    pub baseline_area: f64,
+    /// Correction-circuitry area (same units, wiring factor applied).
+    pub correction_area: f64,
+    /// Area overhead of the correction circuitry alone (paper: 28%).
+    pub area_overhead_correction: f64,
+    /// Area overhead including detection (paper: 31%).
+    pub area_overhead_total: f64,
+    /// Baseline average power (arbitrary units).
+    pub baseline_power: f64,
+    /// Correction-circuitry average power.
+    pub correction_power: f64,
+    /// Power overhead of the correction circuitry alone (paper: 29%).
+    pub power_overhead_correction: f64,
+    /// Power overhead including detection (paper: 30%).
+    pub power_overhead_total: f64,
+}
+
+fn area_units(items: &[StageInventory]) -> f64 {
+    items
+        .iter()
+        .flat_map(|s| s.items.iter())
+        .map(|&(c, n)| c.transistors() * c.area_density() * n as f64)
+        .sum()
+}
+
+fn power_units(items: &[StageInventory]) -> f64 {
+    items
+        .iter()
+        .flat_map(|s| s.items.iter())
+        .map(|&(c, n)| {
+            let t = c.transistors() * n as f64;
+            t * c.activity() + t * STATIC_WEIGHT
+        })
+        .sum()
+}
+
+impl AreaPowerModel {
+    /// Build the model for a configuration.
+    pub fn new(cfg: RouterConfig, dest_bits: u32) -> Self {
+        AreaPowerModel { cfg, dest_bits }
+    }
+
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        AreaPowerModel::new(RouterConfig::paper(), crate::inventory::PAPER_DEST_BITS)
+    }
+
+    /// The input-buffer storage of the baseline router, which synthesis
+    /// includes but the fault model does not.
+    fn buffer_inventory(&self) -> StageInventory {
+        let bits = (self.cfg.total_vcs() * self.cfg.buffer_depth * self.cfg.flit_width_bits)
+            as u32;
+        StageInventory {
+            stage: noc_faults::PipelineStage::Xb, // storage is stage-less; tag arbitrary
+            items: vec![(Component::BufferBits { bits }, 1)],
+        }
+    }
+
+    /// Evaluate the model.
+    pub fn report(&self) -> AreaPowerReport {
+        let base_logic = baseline_inventory(&self.cfg, self.dest_bits);
+        let corr = correction_inventory(&self.cfg, self.dest_bits);
+        let buffers = self.buffer_inventory();
+
+        let baseline_area = area_units(&base_logic) + area_units(std::slice::from_ref(&buffers));
+        let correction_area = area_units(&corr) * CORRECTION_WIRING_FACTOR;
+        let area_overhead_correction = correction_area / baseline_area;
+        let area_overhead_total = area_overhead_correction + DETECTION_AREA_OVERHEAD;
+
+        let baseline_power =
+            power_units(&base_logic) + power_units(std::slice::from_ref(&buffers));
+        let correction_power = power_units(&corr) * CORRECTION_POWER_FACTOR;
+        let power_overhead_correction = correction_power / baseline_power;
+        let power_overhead_total = power_overhead_correction + DETECTION_POWER_OVERHEAD;
+
+        AreaPowerReport {
+            baseline_area,
+            correction_area,
+            area_overhead_correction,
+            area_overhead_total,
+            baseline_power,
+            correction_power,
+            power_overhead_correction,
+            power_overhead_total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_point_reproduces_section_vi_a() {
+        let r = AreaPowerModel::paper().report();
+        assert!(
+            (r.area_overhead_correction - 0.28).abs() < 0.01,
+            "correction-only area ≈ 28%, got {:.3}",
+            r.area_overhead_correction
+        );
+        assert!(
+            (r.area_overhead_total - 0.31).abs() < 0.012,
+            "total area ≈ 31%, got {:.3}",
+            r.area_overhead_total
+        );
+        assert!(
+            (r.power_overhead_correction - 0.29).abs() < 0.012,
+            "correction-only power ≈ 29%, got {:.3}",
+            r.power_overhead_correction
+        );
+        assert!(
+            (r.power_overhead_total - 0.30).abs() < 0.015,
+            "total power ≈ 30%, got {:.3}",
+            r.power_overhead_total
+        );
+    }
+
+    #[test]
+    fn wider_datapath_amortises_state_field_overhead_direction() {
+        // The correction circuitry is dominated by the 32-bit crossbar
+        // secondary path; a wider datapath grows both baseline XB and
+        // correction XB, so the overhead stays within a few points.
+        let mut cfg = RouterConfig::paper();
+        cfg.flit_width_bits = 128;
+        let wide = AreaPowerModel::new(cfg, 6).report();
+        let paper = AreaPowerModel::paper().report();
+        assert!(
+            (wide.area_overhead_correction - paper.area_overhead_correction).abs() < 0.10
+        );
+    }
+
+    #[test]
+    fn overheads_are_positive_and_bounded() {
+        for vcs in [2usize, 4, 8] {
+            let mut cfg = RouterConfig::paper();
+            cfg.vcs = vcs;
+            let r = AreaPowerModel::new(cfg, 6).report();
+            assert!(r.area_overhead_total > 0.0 && r.area_overhead_total < 1.0);
+            assert!(r.power_overhead_total > 0.0 && r.power_overhead_total < 1.0);
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Behavioural redundancy models of the comparator architectures.
+//!
+//! Table III cites faults-to-failure numbers that BulletProof and Vicis
+//! obtained *experimentally* (random fault injection until the router
+//! dies) and that the paper deduced for RoCo. We recreate each
+//! architecture's redundancy structure as a small fault-group model and
+//! re-derive those numbers by the same Monte-Carlo methodology, so the
+//! comparison row values are checked against their published sources
+//! rather than merely transcribed:
+//!
+//! * **BulletProof** — the design point with area comparable to the
+//!   proposed router protects the router as a few large duplicated
+//!   components (N-modular redundancy): a component dies when its
+//!   original *and* its replica are hit. Three duplicated groups yield
+//!   an exact mean of 3.2 faults-to-failure (published: 3.15).
+//! * **Vicis** — port swapping and the crossbar bypass bus let each of
+//!   the five port slices absorb two faults (the third in one slice is
+//!   fatal), while the ECC-protected datapath corrects its faults
+//!   outright. This yields ≈9.5 (published 9.3).
+//! * **RoCo** — the router decomposes into row, column and shared
+//!   control structures that degrade independently through two faults
+//!   each. This yields ≈5.5 (the paper deduces 5.5).
+//!
+//! These are *failure-accounting* models (who dies after how many
+//! faults), not performance models; they are exactly the abstraction
+//! SPF is defined over.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// A group of fault sites with bounded tolerance: the architecture fails
+/// once more than `tolerable` faults land in one group.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct FaultGroup {
+    /// Label for reporting.
+    pub name: &'static str,
+    /// Number of distinct fault sites in the group.
+    pub sites: u32,
+    /// Faults the group absorbs; the `tolerable + 1`-th is fatal.
+    pub tolerable: u32,
+}
+
+/// A redundancy model: the router fails when any group fails.
+#[derive(Debug, Clone, Serialize)]
+pub struct RedundancyModel {
+    /// Architecture name.
+    pub name: &'static str,
+    /// The fault groups.
+    pub groups: Vec<FaultGroup>,
+}
+
+impl RedundancyModel {
+    /// BulletProof's comparable-area design point: three large router
+    /// components, each with one replica.
+    pub fn bulletproof() -> Self {
+        RedundancyModel {
+            name: "BulletProof",
+            groups: vec![
+                FaultGroup { name: "input block", sites: 2, tolerable: 1 },
+                FaultGroup { name: "allocators", sites: 2, tolerable: 1 },
+                FaultGroup { name: "crossbar", sites: 2, tolerable: 1 },
+            ],
+        }
+    }
+
+    /// Vicis: five port slices, each absorbing two faults via port
+    /// swapping and the crossbar bypass bus, plus an ECC-protected
+    /// datapath whose faults are corrected outright (an absorber group
+    /// that never kills the router).
+    pub fn vicis() -> Self {
+        let mut groups: Vec<FaultGroup> = (0..5)
+            .map(|_| FaultGroup {
+                name: "port slice",
+                sites: 3,
+                tolerable: 2,
+            })
+            .collect();
+        groups.push(FaultGroup {
+            name: "ECC datapath",
+            sites: 3,
+            tolerable: 3, // ECC corrects: never fatal
+        });
+        RedundancyModel {
+            name: "Vicis",
+            groups,
+        }
+    }
+
+    /// RoCo: the row module, the column module and the shared
+    /// lookahead-routing / arbiter-sharing logic, each degrading
+    /// gracefully through two faults.
+    pub fn roco() -> Self {
+        RedundancyModel {
+            name: "RoCo",
+            groups: vec![
+                FaultGroup { name: "row module", sites: 4, tolerable: 2 },
+                FaultGroup { name: "column module", sites: 4, tolerable: 2 },
+                FaultGroup { name: "shared control", sites: 4, tolerable: 2 },
+            ],
+        }
+    }
+
+    /// Total fault sites.
+    pub fn total_sites(&self) -> u32 {
+        self.groups.iter().map(|g| g.sites).sum()
+    }
+
+    /// Monte-Carlo mean faults-to-failure: inject distinct sites in
+    /// random order until some group exceeds its tolerance.
+    pub fn monte_carlo_mean(&self, trials: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Flatten sites to group indices.
+        let mut sites: Vec<usize> = Vec::new();
+        for (gi, g) in self.groups.iter().enumerate() {
+            for _ in 0..g.sites {
+                sites.push(gi);
+            }
+        }
+        let mut total = 0u64;
+        for _ in 0..trials {
+            let mut order = sites.clone();
+            order.shuffle(&mut rng);
+            let mut hits = vec![0u32; self.groups.len()];
+            let mut n = 0u64;
+            for gi in order {
+                hits[gi] += 1;
+                n += 1;
+                if hits[gi] > self.groups[gi].tolerable {
+                    break;
+                }
+            }
+            total += n;
+        }
+        total as f64 / trials.max(1) as f64
+    }
+
+    /// Exact mean faults-to-failure by exhaustive recursion over fault
+    /// orders (feasible for these small models): `E[N] = Σ P(survive ≥ k)`.
+    pub fn exact_mean(&self) -> f64 {
+        // P(survive k) = probability that after k distinct uniform site
+        // choices no group exceeds its tolerance. Computed by dynamic
+        // programming over per-group hit counts.
+        let total = self.total_sites() as usize;
+        // State: distribution over vectors of per-group hits. Groups are
+        // small, so enumerate recursively.
+        fn survive_prob(
+            groups: &[FaultGroup],
+            hits: &mut Vec<u32>,
+            remaining: usize,
+            sites_left: usize,
+        ) -> f64 {
+            if remaining == 0 {
+                return 1.0;
+            }
+            let mut p = 0.0;
+            for gi in 0..groups.len() {
+                let free = groups[gi].sites - hits[gi];
+                if free == 0 {
+                    continue;
+                }
+                // Choosing any free site of group gi.
+                let choose_p = free as f64 / sites_left as f64;
+                hits[gi] += 1;
+                if hits[gi] <= groups[gi].tolerable {
+                    p += choose_p
+                        * survive_prob(groups, hits, remaining - 1, sites_left - 1);
+                }
+                hits[gi] -= 1;
+            }
+            p
+        }
+        let mut mean = 0.0;
+        for k in 0..=total {
+            let mut hits = vec![0u32; self.groups.len()];
+            mean += survive_prob(&self.groups, &mut hits, k, total);
+        }
+        mean
+    }
+}
+
+/// Re-derived Table III row: model vs published.
+#[derive(Debug, Clone, Serialize)]
+pub struct DerivedComparison {
+    /// Architecture.
+    pub name: &'static str,
+    /// Exact mean faults-to-failure of the redundancy model.
+    pub model_mean: f64,
+    /// The published value the paper tabulates.
+    pub published: f64,
+}
+
+/// Derive all three comparator rows.
+pub fn derive_comparators() -> Vec<DerivedComparison> {
+    vec![
+        DerivedComparison {
+            name: "BulletProof",
+            model_mean: RedundancyModel::bulletproof().exact_mean(),
+            published: 3.15,
+        },
+        DerivedComparison {
+            name: "Vicis",
+            model_mean: RedundancyModel::vicis().exact_mean(),
+            published: 9.3,
+        },
+        DerivedComparison {
+            name: "RoCo",
+            model_mean: RedundancyModel::roco().exact_mean(),
+            published: 5.5,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bulletproof_exact_mean_matches_publication() {
+        let m = RedundancyModel::bulletproof().exact_mean();
+        // Analytic: 1 + 1 + 4/5 + 2/5 = 3.2; published 3.15.
+        assert!((m - 3.2).abs() < 1e-9, "exact = {m}");
+        assert!((m - 3.15).abs() < 0.1);
+    }
+
+    #[test]
+    fn vicis_exact_mean_matches_publication() {
+        let m = RedundancyModel::vicis().exact_mean();
+        assert!((m - 9.3).abs() < 0.5, "exact = {m}");
+    }
+
+    #[test]
+    fn roco_exact_mean_matches_publication() {
+        let m = RedundancyModel::roco().exact_mean();
+        assert!((m - 5.5).abs() < 0.5, "exact = {m}");
+    }
+
+    #[test]
+    fn monte_carlo_converges_to_exact() {
+        for model in [
+            RedundancyModel::bulletproof(),
+            RedundancyModel::vicis(),
+            RedundancyModel::roco(),
+        ] {
+            let exact = model.exact_mean();
+            let mc = model.monte_carlo_mean(8_000, 9);
+            assert!(
+                (mc - exact).abs() < 0.15,
+                "{}: mc {mc} vs exact {exact}",
+                model.name
+            );
+        }
+    }
+
+    #[test]
+    fn ordering_matches_table_iii() {
+        // Vicis > RoCo > BulletProof in faults-to-failure, and the
+        // proposed router (15) beats them all.
+        let rows = derive_comparators();
+        let get = |n: &str| rows.iter().find(|r| r.name == n).unwrap().model_mean;
+        assert!(get("Vicis") > get("RoCo"));
+        assert!(get("RoCo") > get("BulletProof"));
+        assert!(15.0 > get("Vicis"));
+    }
+
+    #[test]
+    fn survive_probability_is_monotone() {
+        // Sanity: P(survive k) decreasing ⇒ mean ≤ total sites.
+        for model in [RedundancyModel::vicis(), RedundancyModel::roco()] {
+            let m = model.exact_mean();
+            assert!(m > 1.0 && m <= model.total_sites() as f64);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Component inventories of the baseline pipeline stages (Table I) and
+//! of the correction circuitry (Table II), parameterised over the router
+//! configuration.
+
+use crate::gates::{Component, GateLibrary};
+use noc_faults::PipelineStage;
+use noc_types::RouterConfig;
+use shield_router::Crossbar;
+
+/// Destination-address width for the paper's 8×8 mesh (64 nodes → two
+/// 6-bit comparators per RC unit).
+pub const PAPER_DEST_BITS: u32 = 6;
+
+/// The components of one pipeline stage.
+#[derive(Debug, Clone)]
+pub struct StageInventory {
+    /// Which stage this is.
+    pub stage: PipelineStage,
+    /// `(component, count)` pairs.
+    pub items: Vec<(Component, u32)>,
+}
+
+impl StageInventory {
+    /// Total FIT of the stage under SOFR.
+    pub fn fit(&self, lib: &GateLibrary) -> f64 {
+        lib.fit_of_inventory(&self.items)
+    }
+
+    /// Total effective transistors.
+    pub fn transistors(&self) -> f64 {
+        self.items
+            .iter()
+            .map(|&(c, n)| c.transistors() * n as f64)
+            .sum()
+    }
+}
+
+/// Comparator width for a mesh with `nodes` destinations.
+pub fn dest_bits(nodes: usize) -> u32 {
+    (nodes as f64).log2().ceil() as u32
+}
+
+/// The baseline pipeline inventories (Table I).
+///
+/// For the paper's 5-port, 4-VC router in an 8×8 mesh this yields
+/// RC 117, VA 1474, SA 203.5, XB 1024 FIT. (The paper prints VA = 1478;
+/// its own factors give 100·7.4 + 20·36.7 = 1474 — see EXPERIMENTS.md.)
+pub fn baseline_inventory(cfg: &RouterConfig, dest_bits: u32) -> Vec<StageInventory> {
+    let p = cfg.ports as u32;
+    let v = cfg.vcs as u32;
+    let w = cfg.flit_width_bits as u32;
+    vec![
+        // RC: two comparators (X and Y) per input port.
+        StageInventory {
+            stage: PipelineStage::Rc,
+            items: vec![(Component::Comparator { bits: dest_bits }, 2 * p)],
+        },
+        // VA: per input VC, `po` v:1 arbiters (stage 1); per downstream
+        // VC, one (pi·v):1 arbiter (stage 2).
+        StageInventory {
+            stage: PipelineStage::Va,
+            items: vec![
+                (Component::Arbiter { inputs: v }, p * v * p),
+                (Component::Arbiter { inputs: p * v }, p * v),
+            ],
+        },
+        // SA: per input port a v:1 arbiter (stage 1); per output port a
+        // pi:1 arbiter (stage 2); plus the pi×po grid of v:1 control
+        // muxes that steer the winning VC's request (Table I lists 25
+        // 4:1 muxes for the 5×5 router).
+        StageInventory {
+            stage: PipelineStage::Sa,
+            items: vec![
+                (Component::Arbiter { inputs: v }, p),
+                (Component::Arbiter { inputs: p }, p),
+                (Component::Mux { inputs: v, width: 1 }, p * p),
+            ],
+        },
+        // XB: one flit-wide pi:1 mux per output port.
+        StageInventory {
+            stage: PipelineStage::Xb,
+            items: vec![(Component::Mux { inputs: p, width: w }, p)],
+        },
+    ]
+}
+
+/// The correction-circuitry inventories (Table II).
+///
+/// For the paper's configuration: RC 117, VA 60, SA 53, XB 416 FIT.
+pub fn correction_inventory(cfg: &RouterConfig, dest_bits: u32) -> Vec<StageInventory> {
+    let p = cfg.ports as u32;
+    let v = cfg.vcs as u32;
+    let w = cfg.flit_width_bits as u32;
+    let total_vcs = p * v;
+    let port_bits = (cfg.ports as f64).log2().ceil() as u32; // 'R2'/'SP'
+    let vc_bits = (cfg.vcs as f64).log2().ceil() as u32; // 'ID'
+    let xbar = Crossbar::new(cfg.ports);
+
+    // Demuxes demanded by the secondary-path topology: one (ways):1
+    // demux on every primary mux that feeds at least one secondary.
+    let mut demuxes: Vec<(Component, u32)> = Vec::new();
+    for m in noc_types::PortId::all(cfg.ports) {
+        let ways = xbar.demux_ways(m) as u32;
+        if ways >= 2 {
+            demuxes.push((
+                Component::Demux {
+                    outputs: ways,
+                    width: w,
+                },
+                1,
+            ));
+        }
+    }
+
+    let mut xb_items = vec![(Component::Mux { inputs: 2, width: w }, p)];
+    xb_items.extend(demuxes);
+
+    vec![
+        // RC: a duplicate RC unit (two comparators) per input port.
+        StageInventory {
+            stage: PipelineStage::Rc,
+            items: vec![(Component::Comparator { bits: dest_bits }, 2 * p)],
+        },
+        // VA: the 'R2', 'VF' and 'ID' fields per input VC.
+        StageInventory {
+            stage: PipelineStage::Va,
+            items: vec![
+                (Component::Dff { width: port_bits }, total_vcs), // R2
+                (Component::Dff { width: 1 }, total_vcs),         // VF
+                (Component::Dff { width: vc_bits }, total_vcs),   // ID
+            ],
+        },
+        // SA: the bypass path (2:1 mux + default-winner register) per
+        // input port, and the 'SP'/'FSP' fields per input VC.
+        StageInventory {
+            stage: PipelineStage::Sa,
+            items: vec![
+                (Component::Mux { inputs: 2, width: 1 }, p),
+                (Component::Dff { width: vc_bits }, p), // default-winner reg
+                (Component::Dff { width: port_bits }, total_vcs), // SP
+                (Component::Dff { width: 1 }, total_vcs), // FSP
+            ],
+        },
+        // XB: the five 2:1 output muxes plus the topology's demuxes.
+        StageInventory {
+            stage: PipelineStage::Xb,
+            items: xb_items,
+        },
+    ]
+}
+
+/// Total FIT of a set of stage inventories.
+pub fn total_fit(stages: &[StageInventory], lib: &GateLibrary) -> f64 {
+    stages.iter().map(|s| s.fit(lib)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib() -> GateLibrary {
+        GateLibrary::paper()
+    }
+
+    fn stage_fit(stages: &[StageInventory], stage: PipelineStage) -> f64 {
+        stages
+            .iter()
+            .filter(|s| s.stage == stage)
+            .map(|s| s.fit(&lib()))
+            .sum()
+    }
+
+    #[test]
+    fn table_one_stage_fits() {
+        let inv = baseline_inventory(&RouterConfig::paper(), PAPER_DEST_BITS);
+        let close = |a: f64, b: f64, tol: f64| {
+            assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+        };
+        close(stage_fit(&inv, PipelineStage::Rc), 117.0, 1e-9);
+        // Paper prints 1478 but its own factors give 1474.
+        close(stage_fit(&inv, PipelineStage::Va), 1474.0, 0.5);
+        close(stage_fit(&inv, PipelineStage::Sa), 203.0, 1.0);
+        close(stage_fit(&inv, PipelineStage::Xb), 1024.0, 1e-9);
+    }
+
+    #[test]
+    fn table_two_correction_fits() {
+        let inv = correction_inventory(&RouterConfig::paper(), PAPER_DEST_BITS);
+        let close = |a: f64, b: f64, tol: f64| {
+            assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+        };
+        close(stage_fit(&inv, PipelineStage::Rc), 117.0, 1e-9);
+        close(stage_fit(&inv, PipelineStage::Va), 60.0, 1e-9);
+        close(stage_fit(&inv, PipelineStage::Sa), 53.0, 1e-9);
+        close(stage_fit(&inv, PipelineStage::Xb), 416.0, 1e-9);
+        let total = total_fit(&inv, &lib());
+        close(total, 646.0, 1e-6);
+    }
+
+    #[test]
+    fn baseline_total_matches_paper_within_arithmetic_slip() {
+        let inv = baseline_inventory(&RouterConfig::paper(), PAPER_DEST_BITS);
+        let total = total_fit(&inv, &lib());
+        // Paper: 2822 (with its VA=1478 and SA=203); ours: 2818.5.
+        assert!((total - 2818.5).abs() < 1.0, "total = {total}");
+        assert!((total - 2822.0).abs() / 2822.0 < 0.005, "within 0.5% of paper");
+    }
+
+    #[test]
+    fn dest_bits_for_common_meshes() {
+        assert_eq!(dest_bits(64), 6);
+        assert_eq!(dest_bits(16), 4);
+        assert_eq!(dest_bits(256), 8);
+    }
+
+    #[test]
+    fn inventories_scale_with_vcs() {
+        let mut cfg = RouterConfig::paper();
+        cfg.vcs = 2;
+        let inv = baseline_inventory(&cfg, PAPER_DEST_BITS);
+        // Fewer VCs → fewer VA arbiters → lower VA FIT.
+        let va2 = stage_fit(&inv, PipelineStage::Va);
+        let inv4 = baseline_inventory(&RouterConfig::paper(), PAPER_DEST_BITS);
+        let va4: f64 = inv4
+            .iter()
+            .filter(|s| s.stage == PipelineStage::Va)
+            .map(|s| s.fit(&lib()))
+            .sum();
+        assert!(va2 < va4);
+    }
+}

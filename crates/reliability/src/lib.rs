@@ -1,0 +1,51 @@
+//! # noc-reliability
+//!
+//! The reliability, area, power and timing models of the paper's
+//! evaluation (Sections VI, VII and VIII):
+//!
+//! * [`forc`] — the FORC TDDB failure-rate model of Shin et al.
+//!   (Equations 2 and 3), with the fitting parameters the paper takes
+//!   from Srinivasan et al., calibrated once against Table I's anchor
+//!   component (the 6-bit comparator at 11.7 FIT).
+//! * [`gates`] — the component library: effective transistor counts,
+//!   FIT, area and switching-activity weights for every component class
+//!   used by the router (comparators, arbiters, muxes, demuxes, DFFs).
+//! * [`inventory`] — the per-stage component inventories of the baseline
+//!   pipeline (Table I) and of the correction circuitry (Table II).
+//! * [`mttf`] — SOFR aggregation and the MTTF equations (4)–(7),
+//!   including both the paper's Equation 5 *as printed* and the textbook
+//!   two-unit parallel-system formula (see EXPERIMENTS.md for the
+//!   discrepancy discussion).
+//! * [`spf`] — Silicon Protection Factor: the analytic min/max
+//!   faults-to-failure analysis of Section VIII, a Monte-Carlo
+//!   faults-to-failure estimator over the real fault-site graph, and the
+//!   published comparison points for BulletProof, Vicis and RoCo
+//!   (Table III).
+//! * [`area`] — the area and average-power overhead model behind the
+//!   31% / 30% figures of Section VI-A.
+//! * [`timing`] — the gate-depth critical-path model behind the
+//!   per-stage increases of Section VI-B.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod comparators;
+pub mod forc;
+pub mod gates;
+pub mod inventory;
+pub mod mttf;
+pub mod spf;
+pub mod timing;
+
+pub use area::{AreaPowerModel, AreaPowerReport};
+pub use comparators::{derive_comparators, RedundancyModel};
+pub use forc::{ForcParams, TddbModel};
+pub use gates::{Component, GateLibrary};
+pub use inventory::{correction_inventory, baseline_inventory, StageInventory};
+pub use mttf::{mttf_paper_eq5, mttf_parallel_textbook, MttfReport};
+pub use spf::{
+    monte_carlo_faults_to_failure, monte_carlo_weighted, SpfAnalysis, SpfComparison,
+    PUBLISHED_COMPARATORS,
+};
+pub use timing::{CriticalPathReport, TimingModel};

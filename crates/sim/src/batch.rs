@@ -1,0 +1,98 @@
+//! Parallel batch runner for parameter sweeps.
+//!
+//! Individual simulations are completely independent, which makes sweeps
+//! over seeds, injection rates and applications embarrassingly parallel.
+//! Workers pull jobs from a crossbeam channel inside a scoped thread
+//! pool, so results never race and arrive back in input order.
+
+use crossbeam::channel;
+use std::num::NonZeroUsize;
+
+/// Run `f` over every input on a scoped thread pool, preserving input
+/// order in the output. `threads = 0` uses the available parallelism.
+pub fn run_batch<T, R, F>(inputs: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(4)
+    } else {
+        threads
+    }
+    .min(n);
+
+    if threads <= 1 {
+        return inputs.into_iter().map(f).collect();
+    }
+
+    let (job_tx, job_rx) = channel::unbounded::<(usize, T)>();
+    let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
+    for pair in inputs.into_iter().enumerate() {
+        job_tx.send(pair).expect("queueing jobs");
+    }
+    drop(job_tx);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            let f = &f;
+            scope.spawn(move || {
+                while let Ok((ix, input)) = job_rx.recv() {
+                    let out = f(input);
+                    if res_tx.send((ix, out)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+    });
+
+    let mut results: Vec<(usize, R)> = res_rx.into_iter().collect();
+    results.sort_by_key(|(ix, _)| *ix);
+    assert_eq!(results.len(), n, "every job must produce a result");
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let outputs = run_batch(inputs, 8, |x| x * x);
+        for (i, o) in outputs.iter().enumerate() {
+            assert_eq!(*o, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let outputs: Vec<u32> = run_batch(Vec::<u32>::new(), 4, |x| x);
+        assert!(outputs.is_empty());
+    }
+
+    #[test]
+    fn single_thread_fallback_matches() {
+        let a = run_batch(vec![1, 2, 3], 1, |x| x + 1);
+        let b = run_batch(vec![1, 2, 3], 3, |x| x + 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_threads_uses_default_parallelism() {
+        let outputs = run_batch((0..32).collect::<Vec<i32>>(), 0, |x| -x);
+        assert_eq!(outputs.len(), 32);
+        assert_eq!(outputs[5], -5);
+    }
+}

@@ -1,0 +1,37 @@
+//! # noc-sim
+//!
+//! A cycle-accurate `k × k` mesh NoC simulator built around the
+//! [`shield_router::Router`] model — the reproduction's substitute for
+//! the paper's GEM5 + GARNET infrastructure (Section IX).
+//!
+//! The simulator provides:
+//!
+//! * [`Network`] — routers wired in a mesh with 1-cycle links,
+//!   credit-based wormhole flow control and network interfaces;
+//! * [`NetworkInterface`] — per-node injection queues (credit- and
+//!   VC-aware) and ejection with latency bookkeeping;
+//! * [`Simulator`] — warm-up / measure / drain phasing, fault-plan
+//!   application and the deadlock watchdog;
+//! * [`NetworkReport`] — latency distributions (mean, percentiles),
+//!   throughput, delivery accounting;
+//! * [`batch`] — an embarrassingly-parallel batch runner for parameter
+//!   sweeps (one OS thread per independent simulation).
+//!
+//! Packet sources are plain closures `FnMut(Cycle) -> Vec<Packet>`
+//! invoked once per cycle, which keeps this crate decoupled from the
+//! traffic models in `noc-traffic`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod network;
+pub mod ni;
+pub mod simulator;
+pub mod stats;
+
+pub use batch::run_batch;
+pub use network::Network;
+pub use ni::NetworkInterface;
+pub use simulator::{SimOutcome, Simulator};
+pub use stats::{LatencySummary, NetworkReport};

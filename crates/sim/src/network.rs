@@ -1,0 +1,334 @@
+//! The mesh network: routers, links, NIs and the per-cycle update.
+
+use crate::ni::NetworkInterface;
+use crate::stats::RouterEventTotals;
+use noc_faults::FaultPlan;
+use noc_types::{
+    Cycle, DeliveredPacket, Direction, Flit, Mesh, NetworkConfig, Packet, PortId, VcId,
+};
+use shield_router::{Router, RouterKind};
+
+/// A flit or credit in flight on a link.
+#[derive(Debug)]
+enum Wire {
+    Flit {
+        router: usize,
+        port: PortId,
+        vc: VcId,
+        flit: Flit,
+    },
+    Credit {
+        router: usize,
+        out_port: PortId,
+        vc: VcId,
+    },
+    /// A flit on its way from a router's local output to the NI.
+    Eject { node: usize, flit: Flit },
+    /// A credit from the NI back to the router's local output.
+    NiCredit { router: usize, vc: VcId },
+}
+
+/// The `k × k` mesh network.
+pub struct Network {
+    cfg: NetworkConfig,
+    mesh: Mesh,
+    routers: Vec<Router>,
+    nis: Vec<NetworkInterface>,
+    /// Ring buffer of in-flight wire traffic; slot 0 arrives this cycle.
+    wires: Vec<Vec<Wire>>,
+    deliveries: Vec<DeliveredPacket>,
+    /// Flits sent per router per output port (`[router][port]`) —
+    /// the link-utilisation matrix behind congestion heatmaps.
+    link_flits: Vec<[u64; 5]>,
+    /// Cycles stepped so far (denominator for utilisation).
+    cycles_stepped: u64,
+    /// Flits that fell off the mesh edge after a misroute.
+    pub flits_edge_dropped: u64,
+    /// Flits destroyed inside faulty baseline crossbars.
+    pub flits_dropped: u64,
+    /// Cycle of the most recent flit movement (watchdog).
+    pub last_activity: Cycle,
+}
+
+impl Network {
+    /// Build a fault-free network of the given router kind.
+    pub fn new(cfg: NetworkConfig, kind: RouterKind) -> Self {
+        Network::with_faults(cfg, kind, &FaultPlan::none())
+    }
+
+    /// Build a network and pre-apply a fault campaign (each event
+    /// manifests at its scheduled cycle).
+    pub fn with_faults(cfg: NetworkConfig, kind: RouterKind, plan: &FaultPlan) -> Self {
+        cfg.validate().expect("invalid network configuration");
+        let mesh = Mesh::new(cfg.mesh_k);
+        let mut routers: Vec<Router> = (0..mesh.len())
+            .map(|i| {
+                let coord = mesh.coord_of(noc_types::RouterId(i as u16));
+                let mut r = Router::new_xy(i as u16, coord, mesh, cfg.router, kind);
+                r.set_detection(plan.detection());
+                r
+            })
+            .collect();
+        for ev in plan.events() {
+            routers[ev.router.index()].inject_fault(ev.site, ev.cycle);
+        }
+        for t in plan.transients() {
+            routers[t.router.index()].inject_transient(t.site, t.cycle, t.duration);
+        }
+        let nis = (0..mesh.len())
+            .map(|i| {
+                NetworkInterface::new(
+                    mesh.coord_of(noc_types::RouterId(i as u16)),
+                    cfg.router.vcs,
+                    cfg.router.buffer_depth,
+                    cfg.ni_queue_packets,
+                )
+            })
+            .collect();
+        let slots = cfg.link_latency as usize + 1;
+        Network {
+            cfg,
+            mesh,
+            routers,
+            nis,
+            wires: (0..slots).map(|_| Vec::new()).collect(),
+            deliveries: Vec::new(),
+            link_flits: vec![[0; 5]; mesh.len()],
+            cycles_stepped: 0,
+            flits_edge_dropped: 0,
+            flits_dropped: 0,
+            last_activity: 0,
+        }
+    }
+
+    /// The mesh geometry.
+    pub fn mesh(&self) -> Mesh {
+        self.mesh
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// Access one router.
+    pub fn router(&self, id: usize) -> &Router {
+        &self.routers[id]
+    }
+
+    /// Mutable access to one router (tests, ad-hoc fault injection).
+    pub fn router_mut(&mut self, id: usize) -> &mut Router {
+        &mut self.routers[id]
+    }
+
+    /// Access one NI.
+    pub fn ni(&self, id: usize) -> &NetworkInterface {
+        &self.nis[id]
+    }
+
+    /// The completed-delivery log (correct destinations only).
+    pub fn deliveries(&self) -> &[DeliveredPacket] {
+        &self.deliveries
+    }
+
+    /// Total packets offered / injected / ejected / misdelivered.
+    pub fn packet_counters(&self) -> (u64, u64, u64, u64) {
+        let offered = self.nis.iter().map(|n| n.offered).sum();
+        let injected = self.nis.iter().map(|n| n.injected).sum();
+        let ejected = self.nis.iter().map(|n| n.ejected).sum();
+        let mis = self.nis.iter().map(|n| n.misdelivered).sum();
+        (offered, injected, ejected, mis)
+    }
+
+    /// Flits currently inside routers, NIs or on wires.
+    pub fn in_flight_flits(&self) -> u64 {
+        let in_routers: usize = self.routers.iter().map(|r| r.buffered_flits()).sum();
+        let in_nis: usize = self.nis.iter().map(|n| n.pending_flits()).sum();
+        let on_wires: usize = self
+            .wires
+            .iter()
+            .flatten()
+            .filter(|w| matches!(w, Wire::Flit { .. } | Wire::Eject { .. }))
+            .count();
+        (in_routers + in_nis + on_wires) as u64
+    }
+
+    /// Packets waiting in NI injection queues.
+    pub fn queued_packets(&self) -> u64 {
+        self.nis.iter().map(|n| n.queued() as u64).sum()
+    }
+
+    /// Sum router event counters across the mesh.
+    pub fn router_event_totals(&self) -> RouterEventTotals {
+        let mut t = RouterEventTotals::default();
+        for r in &self.routers {
+            let s = r.stats();
+            t.rc_duplicate_uses += s.rc_duplicate_uses;
+            t.rc_misroutes += s.rc_misroutes;
+            t.va_borrows += s.va_borrows;
+            t.va_borrow_waits += s.va_borrow_waits;
+            t.sa_bypass_grants += s.sa_bypass_grants;
+            t.vc_transfers += s.vc_transfers;
+            t.secondary_path_flits += s.secondary_path_flits;
+        }
+        t
+    }
+
+    /// Offer packets to their source NIs. Returns the number refused by
+    /// bounded queues.
+    pub fn offer_packets(&mut self, packets: Vec<Packet>) -> u64 {
+        let mut refused = 0;
+        for p in packets {
+            let node = self.mesh.id_of(p.src).index();
+            if !self.nis[node].offer(p) {
+                refused += 1;
+            }
+        }
+        refused
+    }
+
+    /// Flits sent by `router` through each of its five output ports.
+    pub fn link_flits(&self, router: usize) -> [u64; 5] {
+        self.link_flits[router]
+    }
+
+    /// Per-router total output utilisation (flits per cycle, all ports),
+    /// the basis for congestion heatmaps.
+    pub fn utilisation(&self) -> Vec<f64> {
+        let cycles = self.cycles_stepped.max(1) as f64;
+        self.link_flits
+            .iter()
+            .map(|ports| ports.iter().sum::<u64>() as f64 / cycles)
+            .collect()
+    }
+
+    /// Render the per-router utilisation as a text heatmap
+    /// (one character per router: `.` idle → `#` busiest).
+    pub fn utilisation_heatmap(&self) -> String {
+        let util = self.utilisation();
+        let max = util.iter().cloned().fold(0.0_f64, f64::max).max(1e-12);
+        const RAMP: [char; 6] = ['.', ':', '-', '=', '+', '#'];
+        let k = self.mesh.k as usize;
+        let mut out = String::new();
+        for y in 0..k {
+            for x in 0..k {
+                let u = util[y * k + x] / max;
+                let ix = ((u * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+                out.push(RAMP[ix]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Advance the whole network by one cycle.
+    pub fn step(&mut self, cycle: Cycle) {
+        self.cycles_stepped += 1;
+        // 1. Deliver wire traffic scheduled for this cycle.
+        let arrivals = std::mem::take(&mut self.wires[0]);
+        self.wires.rotate_left(1);
+        for w in arrivals {
+            match w {
+                Wire::Flit {
+                    router,
+                    port,
+                    vc,
+                    flit,
+                } => self.routers[router].receive_flit(port, vc, flit),
+                Wire::Credit {
+                    router,
+                    out_port,
+                    vc,
+                } => self.routers[router].receive_credit(out_port, vc),
+                Wire::Eject { node, flit } => {
+                    // The matching local-output credit was scheduled at
+                    // departure time (it names the local-output VC).
+                    if let Some(d) = self.nis[node].eject(flit, cycle) {
+                        if d.dst == self.nis[node].node() {
+                            self.deliveries.push(d);
+                        }
+                    }
+                }
+                Wire::NiCredit { router, vc } => {
+                    self.routers[router].receive_credit(Direction::Local.port(), vc)
+                }
+            }
+        }
+
+        // 2. NI injection (one flit per node per cycle).
+        for node in 0..self.nis.len() {
+            if let Some((vc, flit)) = self.nis[node].inject(cycle) {
+                self.routers[node].receive_flit(Direction::Local.port(), vc, flit);
+            }
+        }
+
+        // 3. Routers compute one cycle.
+        for id in 0..self.routers.len() {
+            let out = self.routers[id].step(cycle);
+            if !out.departures.is_empty() {
+                self.last_activity = cycle;
+            }
+            self.flits_dropped += out.dropped.len() as u64;
+            let coord = self.routers[id].coord();
+            for d in &out.departures {
+                self.link_flits[id][d.out_port.index()] += 1;
+            }
+            for d in out.departures {
+                if d.out_port == Direction::Local.port() {
+                    // Local link to the NI; the NI returns the credit for
+                    // the local-output VC one link-latency later.
+                    self.schedule(Wire::Eject {
+                        node: id,
+                        flit: d.flit,
+                    });
+                    self.schedule(Wire::NiCredit {
+                        router: id,
+                        vc: d.out_vc,
+                    });
+                } else {
+                    let dir = Direction::from_port(d.out_port)
+                        .expect("departure on a valid port");
+                    match self.mesh.neighbour(coord, dir) {
+                        Some(n) => self.schedule(Wire::Flit {
+                            router: n.index(),
+                            port: dir.opposite().port(),
+                            vc: d.out_vc,
+                            flit: d.flit,
+                        }),
+                        None => {
+                            // Misrouted off the mesh edge (baseline RC
+                            // faults): the flit is lost; restore the
+                            // consumed credit so the counter stays sane.
+                            self.flits_edge_dropped += 1;
+                            self.routers[id].receive_credit(d.out_port, d.out_vc);
+                        }
+                    }
+                }
+            }
+            for c in out.credits {
+                if c.in_port == Direction::Local.port() {
+                    // Slot freed at the local input: credit to the NI.
+                    self.nis[id].credit(c.vc);
+                } else {
+                    let dir =
+                        Direction::from_port(c.in_port).expect("credit from a valid port");
+                    if let Some(upstream) = self.mesh.neighbour(coord, dir) {
+                        self.schedule(Wire::Credit {
+                            router: upstream.index(),
+                            out_port: dir.opposite().port(),
+                            vc: c.vc,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Schedule wire traffic to arrive `link_latency` cycles from now.
+    /// The ring already rotated this cycle, so slot `L-1` is taken at
+    /// `now + L`.
+    fn schedule(&mut self, wire: Wire) {
+        let slot = self.cfg.link_latency as usize - 1;
+        self.wires[slot].push(wire);
+    }
+}

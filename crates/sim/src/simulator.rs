@@ -1,0 +1,109 @@
+//! Run orchestration: warm-up / measurement / drain phases, the
+//! deadlock watchdog and report assembly.
+
+use crate::network::Network;
+use crate::stats::NetworkReport;
+use noc_faults::FaultPlan;
+use noc_types::{Cycle, NetworkConfig, Packet, SimConfig};
+use shield_router::RouterKind;
+
+/// Cycles without any crossbar traversal (while flits are buffered)
+/// after which the watchdog declares a suspected deadlock.
+const WATCHDOG_CYCLES: Cycle = 10_000;
+
+/// How a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimOutcome {
+    /// Ran to the configured horizon (drain included).
+    Completed,
+    /// Every flit drained before the horizon.
+    DrainedEarly,
+    /// The watchdog fired.
+    DeadlockSuspected,
+}
+
+/// A configured simulation, ready to run against a packet source.
+pub struct Simulator {
+    net_cfg: NetworkConfig,
+    sim_cfg: SimConfig,
+    kind: RouterKind,
+    plan: FaultPlan,
+}
+
+impl Simulator {
+    /// Configure a simulation.
+    pub fn new(
+        net_cfg: NetworkConfig,
+        sim_cfg: SimConfig,
+        kind: RouterKind,
+        plan: FaultPlan,
+    ) -> Self {
+        Simulator {
+            net_cfg,
+            sim_cfg,
+            kind,
+            plan,
+        }
+    }
+
+    /// Run the simulation.
+    ///
+    /// `source` is called once per cycle during warm-up and measurement
+    /// (never during drain) and returns the packets created that cycle;
+    /// each packet's `src` selects the injecting node. Returns the
+    /// report plus how the run ended.
+    pub fn run(
+        &self,
+        mut source: impl FnMut(Cycle) -> Vec<Packet>,
+    ) -> (NetworkReport, SimOutcome) {
+        let mut net = Network::with_faults(self.net_cfg, self.kind, &self.plan);
+        let warmup = self.sim_cfg.warmup_cycles;
+        let measure_end = warmup + self.sim_cfg.measure_cycles;
+        let horizon = self.sim_cfg.total_cycles();
+
+        let mut outcome = SimOutcome::Completed;
+        let mut cycles_run = horizon;
+        for cycle in 0..horizon {
+            if cycle < measure_end {
+                let packets = source(cycle);
+                if !packets.is_empty() {
+                    net.offer_packets(packets);
+                }
+            }
+            net.step(cycle);
+            if cycle >= measure_end
+                && net.in_flight_flits() == 0
+                && net.queued_packets() == 0
+            {
+                outcome = SimOutcome::DrainedEarly;
+                cycles_run = cycle + 1;
+                break;
+            }
+            if net.in_flight_flits() > 0
+                && cycle.saturating_sub(net.last_activity) > WATCHDOG_CYCLES
+            {
+                outcome = SimOutcome::DeadlockSuspected;
+                cycles_run = cycle + 1;
+                break;
+            }
+        }
+
+        let (offered, injected, _ejected, misdelivered) = net.packet_counters();
+        let report = NetworkReport::build(
+            (warmup, measure_end),
+            cycles_run,
+            net.mesh().len(),
+            offered,
+            injected,
+            misdelivered,
+            net.flits_dropped,
+            net.flits_edge_dropped,
+            net.in_flight_flits(),
+            net.deliveries(),
+            outcome == SimOutcome::DeadlockSuspected,
+            net.router_event_totals(),
+            net.utilisation_heatmap(),
+        );
+        (report, outcome)
+    }
+}

@@ -1,0 +1,253 @@
+//! Simulation statistics and reporting.
+
+use noc_types::{Cycle, DeliveredPacket};
+use serde::Serialize;
+
+/// Summary statistics of a latency sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean (cycles).
+    pub mean: f64,
+    /// Minimum.
+    pub min: u64,
+    /// Median (p50).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+impl LatencySummary {
+    /// Summarise a sample (empty samples give an all-zero summary).
+    pub fn of(mut samples: Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return LatencySummary {
+                count: 0,
+                mean: 0.0,
+                min: 0,
+                p50: 0,
+                p95: 0,
+                p99: 0,
+                max: 0,
+            };
+        }
+        samples.sort_unstable();
+        let count = samples.len();
+        let sum: u128 = samples.iter().map(|&s| s as u128).sum();
+        // Nearest-rank percentile: ceil(p·N)-th order statistic.
+        let pct = |p: f64| -> u64 {
+            let rank = (count as f64 * p).ceil() as usize;
+            samples[rank.clamp(1, count) - 1]
+        };
+        LatencySummary {
+            count,
+            mean: sum as f64 / count as f64,
+            min: samples[0],
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            max: samples[count - 1],
+        }
+    }
+}
+
+/// The full result of one simulation run.
+#[derive(Debug, Clone, Serialize)]
+pub struct NetworkReport {
+    /// Measurement window the report covers (packets *created* in it).
+    pub window: (Cycle, Cycle),
+    /// Cycles actually simulated.
+    pub cycles_run: Cycle,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Packets offered to NIs during the window.
+    pub offered: u64,
+    /// Packets fully injected during the run.
+    pub injected: u64,
+    /// Packets delivered to their correct destination (window only).
+    pub delivered: u64,
+    /// Packets ejected at a wrong node (baseline misrouting).
+    pub misdelivered: u64,
+    /// Flits destroyed by baseline crossbar faults.
+    pub flits_dropped: u64,
+    /// Flits that left the mesh edge after a misroute.
+    pub flits_edge_dropped: u64,
+    /// Flits still inside routers/NIs when the run ended.
+    pub in_flight_at_end: u64,
+    /// End-to-end packet latency (creation → tail ejection).
+    pub total_latency: LatencySummary,
+    /// In-network latency (head injection → tail ejection).
+    pub network_latency: LatencySummary,
+    /// Mean hop count of delivered packets.
+    pub mean_hops: f64,
+    /// Delivered flits per node per cycle over the window.
+    pub throughput: f64,
+    /// True when the watchdog saw no movement for its timeout while
+    /// flits were buffered.
+    pub deadlock_suspected: bool,
+    /// Aggregate router event counters (summed over all routers).
+    pub router_events: RouterEventTotals,
+    /// Text heatmap of per-router output utilisation (`.` idle → `#`
+    /// busiest), one row per mesh row.
+    pub utilisation_heatmap: String,
+}
+
+/// Network-wide sums of [`shield_router::RouterStats`] counters.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct RouterEventTotals {
+    /// RC computations served by duplicate units.
+    pub rc_duplicate_uses: u64,
+    /// Head flits misrouted by faulty baseline RC units.
+    pub rc_misroutes: u64,
+    /// VA allocations via borrowed arbiter sets.
+    pub va_borrows: u64,
+    /// Cycles spent waiting for a lendable arbiter set.
+    pub va_borrow_waits: u64,
+    /// SA grants through the bypass path.
+    pub sa_bypass_grants: u64,
+    /// Bypass-register reprogrammings (the paper's VC transfers).
+    pub vc_transfers: u64,
+    /// Flits that used a crossbar secondary path.
+    pub secondary_path_flits: u64,
+}
+
+impl NetworkReport {
+    /// Build a report from the raw delivery log.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn build(
+        window: (Cycle, Cycle),
+        cycles_run: Cycle,
+        nodes: usize,
+        offered: u64,
+        injected: u64,
+        misdelivered: u64,
+        flits_dropped: u64,
+        flits_edge_dropped: u64,
+        in_flight_at_end: u64,
+        deliveries: &[DeliveredPacket],
+        deadlock_suspected: bool,
+        router_events: RouterEventTotals,
+        utilisation_heatmap: String,
+    ) -> Self {
+        let in_window: Vec<&DeliveredPacket> = deliveries
+            .iter()
+            .filter(|d| d.created_at >= window.0 && d.created_at < window.1)
+            .collect();
+        let delivered = in_window.len() as u64;
+        let total_latency =
+            LatencySummary::of(in_window.iter().map(|d| d.total_latency()).collect());
+        let network_latency =
+            LatencySummary::of(in_window.iter().map(|d| d.network_latency()).collect());
+        let mean_hops = if in_window.is_empty() {
+            0.0
+        } else {
+            in_window.iter().map(|d| d.hops as f64).sum::<f64>() / in_window.len() as f64
+        };
+        let window_len = (window.1 - window.0).max(1) as f64;
+        let delivered_flits: u64 = in_window
+            .iter()
+            .map(|d| d.kind.flits() as u64)
+            .sum();
+        NetworkReport {
+            window,
+            cycles_run,
+            nodes,
+            offered,
+            injected,
+            delivered,
+            misdelivered,
+            flits_dropped,
+            flits_edge_dropped,
+            in_flight_at_end,
+            total_latency,
+            network_latency,
+            mean_hops,
+            throughput: delivered_flits as f64 / window_len / nodes as f64,
+            deadlock_suspected,
+            router_events,
+            utilisation_heatmap,
+        }
+    }
+
+    /// Delivered packet count (correct destinations, window only).
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Mean end-to-end latency in cycles.
+    pub fn mean_latency(&self) -> f64 {
+        self.total_latency.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_types::{Coord, PacketId, PacketKind};
+
+    fn delivery(created: Cycle, injected: Cycle, ejected: Cycle) -> DeliveredPacket {
+        DeliveredPacket {
+            id: PacketId(created),
+            kind: PacketKind::Control,
+            src: Coord::new(0, 0),
+            dst: Coord::new(1, 1),
+            created_at: created,
+            injected_at: injected,
+            ejected_at: ejected,
+            hops: 2,
+        }
+    }
+
+    #[test]
+    fn summary_of_empty_sample_is_zero() {
+        let s = LatencySummary::of(vec![]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn summary_percentiles_are_order_statistics() {
+        let s = LatencySummary::of((1..=100).collect());
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p95, 95);
+        assert_eq!(s.p99, 99);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_filters_to_window() {
+        let deliveries = vec![
+            delivery(5, 6, 20),   // before window
+            delivery(15, 16, 40), // inside
+            delivery(95, 96, 130), // after window
+        ];
+        let r = NetworkReport::build(
+            (10, 90),
+            150,
+            4,
+            3,
+            3,
+            0,
+            0,
+            0,
+            0,
+            &deliveries,
+            false,
+            RouterEventTotals::default(),
+            String::new(),
+        );
+        assert_eq!(r.delivered(), 1);
+        assert_eq!(r.total_latency.count, 1);
+        assert_eq!(r.total_latency.mean, 25.0);
+        assert_eq!(r.network_latency.mean, 24.0);
+        assert!(r.throughput > 0.0);
+    }
+}

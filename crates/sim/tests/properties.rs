@@ -1,0 +1,175 @@
+//! Network-level property tests: conservation and loss-freedom under
+//! randomised meshes, loads and tolerated fault campaigns.
+
+use noc_faults::{FaultPlan, InjectionConfig};
+use noc_sim::{SimOutcome, Simulator};
+use noc_types::{Coord, NetworkConfig, Packet, PacketId, PacketKind, RouterConfig, SimConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic uniform source for property runs.
+struct Source {
+    rng: StdRng,
+    k: u8,
+    rate: f64,
+    next: u64,
+}
+
+impl Source {
+    fn tick(&mut self, cycle: u64) -> Vec<Packet> {
+        let mut out = Vec::new();
+        for y in 0..self.k {
+            for x in 0..self.k {
+                if self.rng.random::<f64>() < self.rate {
+                    let src = Coord::new(x, y);
+                    let dst = loop {
+                        let d = Coord::new(
+                            self.rng.random_range(0..self.k),
+                            self.rng.random_range(0..self.k),
+                        );
+                        if d != src {
+                            break d;
+                        }
+                    };
+                    let kind = if self.next.is_multiple_of(3) {
+                        PacketKind::Data
+                    } else {
+                        PacketKind::Control
+                    };
+                    self.next += 1;
+                    out.push(Packet::new(PacketId(self.next), kind, src, dst, cycle));
+                }
+            }
+        }
+        out
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Fault-free networks of either kind deliver every packet, in
+    /// bounded time, regardless of mesh size, load point and seed.
+    #[test]
+    fn fault_free_network_delivers_everything(
+        k in 2u8..=5,
+        rate_milli in 5u64..40,
+        seed in 0u64..1_000,
+        protected in any::<bool>(),
+    ) {
+        let mut net = NetworkConfig::paper();
+        net.mesh_k = k;
+        let sim = SimConfig {
+            warmup_cycles: 100,
+            measure_cycles: 1_200,
+            drain_cycles: 4_000,
+            seed,
+        };
+        let kind = if protected {
+            shield_router::RouterKind::Protected
+        } else {
+            shield_router::RouterKind::Baseline
+        };
+        let mut src = Source {
+            rng: StdRng::seed_from_u64(seed),
+            k,
+            rate: rate_milli as f64 / 1_000.0,
+            next: 0,
+        };
+        let (report, outcome) = Simulator::new(net, sim, kind, FaultPlan::none())
+            .run(|c| src.tick(c));
+        prop_assert_eq!(outcome, SimOutcome::DrainedEarly);
+        prop_assert_eq!(report.misdelivered, 0);
+        prop_assert_eq!(report.flits_dropped, 0);
+        prop_assert_eq!(report.in_flight_at_end, 0);
+        prop_assert_eq!(report.offered, report.injected);
+        prop_assert!(!report.deadlock_suspected);
+    }
+
+    /// A tolerated (accumulating) fault campaign on the protected mesh
+    /// never loses, misdelivers or deadlocks traffic.
+    #[test]
+    fn tolerated_campaigns_never_lose_packets(
+        k in 2u8..=4,
+        seed in 0u64..1_000,
+        fault_seed in 0u64..1_000,
+    ) {
+        let mut net = NetworkConfig::paper();
+        net.mesh_k = k;
+        let sim = SimConfig {
+            warmup_cycles: 100,
+            measure_cycles: 1_500,
+            drain_cycles: 6_000,
+            seed,
+        };
+        let horizon = sim.warmup_cycles + sim.measure_cycles;
+        let inj = InjectionConfig::accelerated_accumulating(horizon / 2, horizon);
+        let plan = FaultPlan::uniform_random(
+            &RouterConfig::paper(),
+            (k as usize).pow(2),
+            &inj,
+            fault_seed,
+        );
+        let mut src = Source {
+            rng: StdRng::seed_from_u64(seed),
+            k,
+            rate: 0.015,
+            next: 0,
+        };
+        let (report, outcome) = Simulator::new(
+            net,
+            sim,
+            shield_router::RouterKind::Protected,
+            plan,
+        )
+        .run(|c| src.tick(c));
+        prop_assert_eq!(outcome, SimOutcome::DrainedEarly);
+        prop_assert_eq!(report.flits_dropped, 0);
+        prop_assert_eq!(report.misdelivered, 0);
+        prop_assert_eq!(report.in_flight_at_end, 0);
+        prop_assert!(!report.deadlock_suspected);
+    }
+
+    /// Transient storms on the protected mesh are absorbed without loss.
+    #[test]
+    fn transient_storms_are_absorbed(
+        k in 2u8..=4,
+        seed in 0u64..500,
+        duration in 5u32..100,
+    ) {
+        let mut net = NetworkConfig::paper();
+        net.mesh_k = k;
+        let sim = SimConfig {
+            warmup_cycles: 100,
+            measure_cycles: 1_000,
+            drain_cycles: 6_000,
+            seed,
+        };
+        let horizon = sim.warmup_cycles + sim.measure_cycles;
+        let plan = FaultPlan::transient_storm(
+            &RouterConfig::paper(),
+            (k as usize).pow(2),
+            1.0 / 400.0,
+            duration,
+            horizon,
+            seed ^ 0xA11,
+        );
+        let mut src = Source {
+            rng: StdRng::seed_from_u64(seed),
+            k,
+            rate: 0.01,
+            next: 0,
+        };
+        let (report, _) = Simulator::new(
+            net,
+            sim,
+            shield_router::RouterKind::Protected,
+            plan,
+        )
+        .run(|c| src.tick(c));
+        prop_assert_eq!(report.flits_dropped, 0);
+        prop_assert_eq!(report.misdelivered, 0);
+        prop_assert_eq!(report.in_flight_at_end, 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # noc-traffic
+//!
+//! Workload generation for the shield-noc experiments.
+//!
+//! Two families of traffic are provided:
+//!
+//! * **Synthetic patterns** ([`SyntheticPattern`]) — uniform random,
+//!   transpose, bit-complement, bit-reverse, shuffle, tornado,
+//!   neighbour and hotspot — with Bernoulli injection at a configurable
+//!   rate. These drive the load–latency sweeps.
+//! * **Application models** ([`AppModel`]) — stochastic models of the
+//!   SPLASH-2 and PARSEC applications the paper runs under GEM5
+//!   (Section IX). Each application is characterised by a per-node
+//!   request rate, a read (data-response) fraction, a destination
+//!   locality and a burstiness profile, and traffic follows the
+//!   MOESI-directory request/response shape: 1-flit control requests to
+//!   an address-hashed home node, answered by 5-flit data packets or
+//!   1-flit acknowledgements after a directory service delay. The
+//!   parameters are synthesised from published NoC characterisations of
+//!   these suites — the substitution for real GEM5 traces is documented
+//!   in DESIGN.md.
+//!
+//! [`TrafficGenerator`] turns either family into a deterministic,
+//! seeded `tick(cycle) -> Vec<Packet>` source for `noc-sim`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod generator;
+pub mod synthetic;
+pub mod trace;
+
+pub use apps::{AppId, AppModel, Suite};
+pub use generator::{TrafficConfig, TrafficGenerator, TrafficSpec};
+pub use synthetic::SyntheticPattern;
+pub use trace::{Trace, TracePlayer, TraceRecord};

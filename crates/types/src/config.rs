@@ -1,0 +1,203 @@
+//! Configuration structs for the router model and the network simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// Microarchitectural parameters of one router.
+///
+/// The paper's evaluation point (Section VI) is `ports = 5`, `vcs = 4`,
+/// `buffer_depth = 4`, with a 32-bit datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouterConfig {
+    /// Number of input (= output) ports, `P`.
+    pub ports: usize,
+    /// Virtual channels per input port, `V`.
+    pub vcs: usize,
+    /// Buffer slots per VC, in flits.
+    pub buffer_depth: usize,
+    /// Datapath (flit) width in bits — used by the reliability models.
+    pub flit_width_bits: usize,
+}
+
+impl RouterConfig {
+    /// The paper's 5-port, 4-VC, 4-deep, 32-bit configuration.
+    pub const fn paper() -> Self {
+        RouterConfig {
+            ports: 5,
+            vcs: 4,
+            buffer_depth: 4,
+            flit_width_bits: 32,
+        }
+    }
+
+    /// Total number of input VCs in the router (`P · V`).
+    #[inline]
+    pub const fn total_vcs(&self) -> usize {
+        self.ports * self.vcs
+    }
+
+    /// Validate invariants required by the models.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ports < 2 {
+            return Err("a router needs at least 2 ports".into());
+        }
+        if self.ports > 32 {
+            return Err("at most 32 ports are supported".into());
+        }
+        if self.vcs == 0 || self.vcs > 32 {
+            return Err("1..=32 virtual channels per port are supported".into());
+        }
+        if self.buffer_depth == 0 {
+            return Err("VC buffers need at least one slot".into());
+        }
+        if self.flit_width_bits == 0 {
+            return Err("flit width must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig::paper()
+    }
+}
+
+/// Parameters of the mesh network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Mesh side length `k` (the paper's latency study uses `k = 8`).
+    pub mesh_k: u8,
+    /// Per-router configuration.
+    pub router: RouterConfig,
+    /// Link traversal latency in cycles (1 in GARNET's fixed pipeline).
+    pub link_latency: u32,
+    /// Depth of each NI injection queue, in packets (0 = unbounded).
+    pub ni_queue_packets: usize,
+}
+
+impl NetworkConfig {
+    /// The paper's 8×8 mesh with the 5-port 4-VC router.
+    pub const fn paper() -> Self {
+        NetworkConfig {
+            mesh_k: 8,
+            router: RouterConfig::paper(),
+            link_latency: 1,
+            ni_queue_packets: 0,
+        }
+    }
+
+    /// Number of routers (`k²`).
+    #[inline]
+    pub const fn nodes(&self) -> usize {
+        (self.mesh_k as usize) * (self.mesh_k as usize)
+    }
+
+    /// Validate invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.mesh_k == 0 {
+            return Err("mesh side must be positive".into());
+        }
+        if self.router.ports != 5 {
+            return Err("the mesh simulator requires 5-port routers".into());
+        }
+        if self.link_latency == 0 {
+            return Err("link latency must be at least 1 cycle".into());
+        }
+        self.router.validate()
+    }
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig::paper()
+    }
+}
+
+/// Parameters of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Cycles to run before statistics start (pipeline warm-up).
+    pub warmup_cycles: u64,
+    /// Measured cycles after warm-up.
+    pub measure_cycles: u64,
+    /// Extra cycles allowed for in-flight packets to drain after the
+    /// measurement window (statistics still recorded for packets created
+    /// during measurement).
+    pub drain_cycles: u64,
+    /// RNG seed for everything stochastic in the run.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// A small configuration suitable for unit tests.
+    pub const fn smoke(seed: u64) -> Self {
+        SimConfig {
+            warmup_cycles: 500,
+            measure_cycles: 3_000,
+            drain_cycles: 2_000,
+            seed,
+        }
+    }
+
+    /// Total cycles the simulator will execute.
+    #[inline]
+    pub const fn total_cycles(&self) -> u64 {
+        self.warmup_cycles + self.measure_cycles + self.drain_cycles
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            warmup_cycles: 10_000,
+            measure_cycles: 100_000,
+            drain_cycles: 20_000,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_validate() {
+        assert!(RouterConfig::paper().validate().is_ok());
+        assert!(NetworkConfig::paper().validate().is_ok());
+        assert_eq!(RouterConfig::paper().total_vcs(), 20);
+        assert_eq!(NetworkConfig::paper().nodes(), 64);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut r = RouterConfig::paper();
+        r.ports = 1;
+        assert!(r.validate().is_err());
+        let mut r = RouterConfig::paper();
+        r.vcs = 0;
+        assert!(r.validate().is_err());
+        let mut r = RouterConfig::paper();
+        r.buffer_depth = 0;
+        assert!(r.validate().is_err());
+        let mut n = NetworkConfig::paper();
+        n.mesh_k = 0;
+        assert!(n.validate().is_err());
+        let mut n = NetworkConfig::paper();
+        n.link_latency = 0;
+        assert!(n.validate().is_err());
+    }
+
+    #[test]
+    fn sim_config_total_cycles_adds_up() {
+        let s = SimConfig::smoke(1);
+        assert_eq!(s.total_cycles(), 5_500);
+    }
+
+    #[test]
+    fn default_configs_match_paper_point() {
+        assert_eq!(RouterConfig::default(), RouterConfig::paper());
+        assert_eq!(NetworkConfig::default(), NetworkConfig::paper());
+        assert_eq!(NetworkConfig::default().mesh_k, 8);
+    }
+}

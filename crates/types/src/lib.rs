@@ -1,0 +1,34 @@
+//! # noc-types
+//!
+//! Fundamental, dependency-light types shared by every crate in the
+//! `shield-noc` workspace — the Rust reproduction of Poluri & Louri,
+//! *“An Improved Router Design for Reliable On-Chip Networks”* (IPDPS 2014).
+//!
+//! The crate deliberately contains **data** types only (plus small pure
+//! helpers on them): flits and packets, identifier newtypes, mesh geometry
+//! and XY routing arithmetic, virtual-channel state fields (including the
+//! paper's added `R2`/`VF`/`ID`/`SP`/`FSP` fields), and the configuration
+//! structs consumed by the router model and the network simulator.
+//!
+//! Behaviour — pipelines, arbitration, fault handling — lives in
+//! `shield-router`, `noc-arbiter` and `noc-sim`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod flit;
+pub mod geometry;
+pub mod ids;
+pub mod packet;
+pub mod vc;
+
+pub use config::{NetworkConfig, RouterConfig, SimConfig};
+pub use flit::{Flit, FlitKind};
+pub use geometry::{Coord, Direction, Mesh};
+pub use ids::{FlitSeq, PacketId, PortId, RouterId, VcId};
+pub use packet::{DeliveredPacket, Packet, PacketKind};
+pub use vc::{VcGlobalState, VcStateFields};
+
+/// Simulation time, measured in router clock cycles from simulation start.
+pub type Cycle = u64;

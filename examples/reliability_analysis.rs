@@ -1,0 +1,80 @@
+//! Reliability analysis walk-through: reproduce the paper's MTTF, SPF
+//! and overhead analyses for the default router, then explore how the
+//! numbers move with the design parameters — the kind of what-if a
+//! designer adopting this router would run.
+//!
+//! ```sh
+//! cargo run --release --example reliability_analysis
+//! ```
+
+use shield_noc::reliability::{
+    monte_carlo_faults_to_failure, AreaPowerModel, GateLibrary, MttfReport, SpfAnalysis,
+    TimingModel,
+};
+use shield_noc::types::RouterConfig;
+
+fn main() {
+    // --- The paper point ----------------------------------------------
+    let mttf = MttfReport::paper();
+    println!("MTTF analysis (Section VII)");
+    println!("  baseline pipeline FIT  : {:.1}", mttf.baseline_fit);
+    println!("  correction FIT         : {:.1}", mttf.correction_fit);
+    println!("  baseline MTTF          : {:.0} h (~{:.1} years)",
+        mttf.mttf_baseline_hours, mttf.mttf_baseline_hours / 8760.0);
+    println!("  protected MTTF (paper) : {:.0} h (~{:.1} years)",
+        mttf.mttf_protected_paper_hours, mttf.mttf_protected_paper_hours / 8760.0);
+    println!("  improvement            : {:.2}x (paper claims ~6x)", mttf.improvement_paper);
+
+    let spf = SpfAnalysis::analytic(&RouterConfig::paper(), 0.31);
+    println!("\nSPF analysis (Section VIII)");
+    println!("  min faults to fail     : {}", spf.min_to_fail);
+    println!("  max faults tolerated   : {}", spf.max_tolerated);
+    println!("  mean faults to failure : {}", spf.mean_faults_to_failure);
+    println!("  SPF                    : {:.1} (paper: 11.4)", spf.spf);
+
+    let mc = monte_carlo_faults_to_failure(&RouterConfig::paper(), 5_000, 1);
+    println!(
+        "  Monte-Carlo mean       : {:.1} faults over {} random sequences",
+        mc.mean_faults_to_failure, mc.trials
+    );
+
+    let area = AreaPowerModel::paper().report();
+    println!("\nOverheads (Section VI-A)");
+    println!("  area  : {:.1}% (+detection → {:.1}%)",
+        area.area_overhead_correction * 100.0, area.area_overhead_total * 100.0);
+    println!("  power : {:.1}% (+detection → {:.1}%)",
+        area.power_overhead_correction * 100.0, area.power_overhead_total * 100.0);
+
+    let timing = TimingModel::paper().report();
+    println!("\nCritical path (Section VI-B)");
+    for s in timing.per_stage {
+        println!(
+            "  {:<3} {:>4.0} → {:>4.0} FO4  ({:+.0}%)",
+            s.stage.to_string(),
+            s.baseline_fo4,
+            s.protected_fo4,
+            s.increase * 100.0
+        );
+    }
+
+    // --- What-if: operating conditions ---------------------------------
+    println!("\nWhat-if: TDDB acceleration with temperature/voltage");
+    let lib = GateLibrary::paper();
+    for (vdd, t) in [(1.0, 300.0), (1.0, 350.0), (1.1, 300.0), (1.1, 350.0)] {
+        let hot = lib.tddb.at(vdd, t);
+        let scale = hot.fit_per_fet() / lib.tddb.fit_per_fet();
+        println!(
+            "  Vdd={vdd:.1} V, T={t:.0} K: FIT x{scale:.2}, baseline MTTF ≈ {:.0} h",
+            mttf.mttf_baseline_hours / scale
+        );
+    }
+
+    // --- What-if: number of VCs ---------------------------------------
+    println!("\nWhat-if: SPF vs virtual channels (Section VIII-E)");
+    for vcs in [2usize, 4, 8] {
+        let mut cfg = RouterConfig::paper();
+        cfg.vcs = vcs;
+        let s = SpfAnalysis::analytic(&cfg, 0.31);
+        println!("  {vcs} VCs: SPF {:.1}", s.spf);
+    }
+}

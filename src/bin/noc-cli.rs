@@ -1,0 +1,414 @@
+//! `noc-cli` — command-line front end to the shield-noc stack.
+//!
+//! ```text
+//! noc-cli simulate [--mesh K] [--router protected|baseline]
+//!                  [--pattern NAME --rate F | --app NAME | --trace-in FILE]
+//!                  [--cycles N] [--seed S]
+//!                  [--faults none|accumulate|storm] [--fault-mean N]
+//! noc-cli trace    --app NAME|--pattern NAME --rate F --cycles N --out FILE [--mesh K] [--seed S]
+//! noc-cli analyze  [--vcs V]
+//! ```
+
+use shield_noc::faults::{FaultPlan, InjectionConfig};
+use shield_noc::prelude::*;
+use shield_noc::reliability::{AreaPowerModel, MttfReport, SpfAnalysis};
+use shield_noc::traffic::{AppId, Trace, TrafficGenerator};
+use shield_noc::types::{Mesh, RouterConfig, SimConfig};
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+enum Command {
+    Simulate(SimulateArgs),
+    Trace(TraceArgs),
+    Analyze { vcs: usize },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct SimulateArgs {
+    mesh: u8,
+    protected: bool,
+    source: Source,
+    cycles: u64,
+    seed: u64,
+    faults: FaultMode,
+    fault_mean: Option<u64>,
+    heatmap: bool,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Source {
+    Pattern(SyntheticPattern, f64),
+    App(AppId),
+    TraceFile(String),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultMode {
+    None,
+    Accumulate,
+    Storm,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct TraceArgs {
+    mesh: u8,
+    source: Source,
+    cycles: u64,
+    seed: u64,
+    out: String,
+}
+
+fn parse_pattern(name: &str) -> Result<SyntheticPattern, String> {
+    Ok(match name {
+        "uniform" => SyntheticPattern::UniformRandom,
+        "transpose" => SyntheticPattern::Transpose,
+        "bitcomplement" => SyntheticPattern::BitComplement,
+        "bitreverse" => SyntheticPattern::BitReverse,
+        "shuffle" => SyntheticPattern::Shuffle,
+        "tornado" => SyntheticPattern::Tornado,
+        "neighbour" | "neighbor" => SyntheticPattern::Neighbour,
+        "hotspot" => SyntheticPattern::Hotspot { fraction: 0.2 },
+        other => return Err(format!("unknown pattern {other:?}")),
+    })
+}
+
+fn parse_app(name: &str) -> Result<AppId, String> {
+    AppId::SPLASH2
+        .iter()
+        .chain(AppId::PARSEC.iter())
+        .copied()
+        .find(|a| a.name() == name)
+        .ok_or_else(|| format!("unknown application {name:?}"))
+}
+
+fn take_value<'a>(
+    args: &'a [String],
+    i: &mut usize,
+    flag: &str,
+) -> Result<&'a str, String> {
+    *i += 1;
+    args.get(*i)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn parse(args: &[String]) -> Result<Command, String> {
+    let cmd = args.first().ok_or(USAGE)?;
+    match cmd.as_str() {
+        "simulate" => {
+            let mut a = SimulateArgs {
+                mesh: 8,
+                protected: true,
+                source: Source::Pattern(SyntheticPattern::UniformRandom, 0.02),
+                cycles: 30_000,
+                seed: 0xC0FFEE,
+                faults: FaultMode::None,
+                fault_mean: None,
+                heatmap: false,
+            };
+            let mut rate = 0.02;
+            let mut pattern: Option<SyntheticPattern> = None;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--mesh" => a.mesh = take_value(args, &mut i, "--mesh")?.parse().map_err(|e| format!("--mesh: {e}"))?,
+                    "--router" => {
+                        a.protected = match take_value(args, &mut i, "--router")? {
+                            "protected" => true,
+                            "baseline" => false,
+                            other => return Err(format!("--router: {other:?}")),
+                        }
+                    }
+                    "--pattern" => pattern = Some(parse_pattern(take_value(args, &mut i, "--pattern")?)?),
+                    "--rate" => rate = take_value(args, &mut i, "--rate")?.parse().map_err(|e| format!("--rate: {e}"))?,
+                    "--app" => a.source = Source::App(parse_app(take_value(args, &mut i, "--app")?)?),
+                    "--trace-in" => a.source = Source::TraceFile(take_value(args, &mut i, "--trace-in")?.to_string()),
+                    "--cycles" => a.cycles = take_value(args, &mut i, "--cycles")?.parse().map_err(|e| format!("--cycles: {e}"))?,
+                    "--seed" => a.seed = take_value(args, &mut i, "--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+                    "--faults" => {
+                        a.faults = match take_value(args, &mut i, "--faults")? {
+                            "none" => FaultMode::None,
+                            "accumulate" => FaultMode::Accumulate,
+                            "storm" => FaultMode::Storm,
+                            other => return Err(format!("--faults: {other:?}")),
+                        }
+                    }
+                    "--fault-mean" => {
+                        a.fault_mean = Some(take_value(args, &mut i, "--fault-mean")?.parse().map_err(|e| format!("--fault-mean: {e}"))?)
+                    }
+                    "--heatmap" => a.heatmap = true,
+                    other => return Err(format!("simulate: unknown flag {other:?}")),
+                }
+                i += 1;
+            }
+            if let Some(p) = pattern {
+                a.source = Source::Pattern(p, rate);
+            } else if let Source::Pattern(_, r) = &mut a.source {
+                *r = rate;
+            }
+            Ok(Command::Simulate(a))
+        }
+        "trace" => {
+            let mut t = TraceArgs {
+                mesh: 8,
+                source: Source::Pattern(SyntheticPattern::UniformRandom, 0.02),
+                cycles: 10_000,
+                seed: 0xC0FFEE,
+                out: String::new(),
+            };
+            let mut rate = 0.02;
+            let mut pattern: Option<SyntheticPattern> = None;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--mesh" => t.mesh = take_value(args, &mut i, "--mesh")?.parse().map_err(|e| format!("--mesh: {e}"))?,
+                    "--pattern" => pattern = Some(parse_pattern(take_value(args, &mut i, "--pattern")?)?),
+                    "--rate" => rate = take_value(args, &mut i, "--rate")?.parse().map_err(|e| format!("--rate: {e}"))?,
+                    "--app" => t.source = Source::App(parse_app(take_value(args, &mut i, "--app")?)?),
+                    "--cycles" => t.cycles = take_value(args, &mut i, "--cycles")?.parse().map_err(|e| format!("--cycles: {e}"))?,
+                    "--seed" => t.seed = take_value(args, &mut i, "--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+                    "--out" => t.out = take_value(args, &mut i, "--out")?.to_string(),
+                    other => return Err(format!("trace: unknown flag {other:?}")),
+                }
+                i += 1;
+            }
+            if let Some(p) = pattern {
+                t.source = Source::Pattern(p, rate);
+            }
+            if t.out.is_empty() {
+                return Err("trace: --out FILE is required".into());
+            }
+            Ok(Command::Trace(t))
+        }
+        "analyze" => {
+            let mut vcs = 4usize;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--vcs" => vcs = take_value(args, &mut i, "--vcs")?.parse().map_err(|e| format!("--vcs: {e}"))?,
+                    other => return Err(format!("analyze: unknown flag {other:?}")),
+                }
+                i += 1;
+            }
+            Ok(Command::Analyze { vcs })
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+const USAGE: &str = "usage: noc-cli <simulate|trace|analyze> [flags] (see module docs)";
+
+fn traffic_of(source: &Source) -> Result<TrafficConfig, String> {
+    Ok(match source {
+        Source::Pattern(p, r) => TrafficConfig::synthetic(*p, *r),
+        Source::App(a) => TrafficConfig::app(*a),
+        Source::TraceFile(_) => unreachable!("trace replay handled separately"),
+    })
+}
+
+fn run_simulate(a: SimulateArgs) -> Result<(), String> {
+    let mut net = NetworkConfig::paper();
+    net.mesh_k = a.mesh;
+    net.validate()?;
+    let kind = if a.protected {
+        RouterKind::Protected
+    } else {
+        RouterKind::Baseline
+    };
+    let sim = SimConfig {
+        warmup_cycles: a.cycles / 10,
+        measure_cycles: a.cycles,
+        drain_cycles: a.cycles / 2,
+        seed: a.seed,
+    };
+    let horizon = sim.warmup_cycles + sim.measure_cycles;
+    let plan = match a.faults {
+        FaultMode::None => FaultPlan::none(),
+        FaultMode::Accumulate => {
+            let inj = InjectionConfig::accelerated_accumulating(
+                a.fault_mean.unwrap_or(horizon / 2),
+                horizon,
+            );
+            FaultPlan::uniform_random(&RouterConfig::paper(), net.nodes(), &inj, a.seed ^ 0xFA17)
+        }
+        FaultMode::Storm => FaultPlan::transient_storm(
+            &RouterConfig::paper(),
+            net.nodes(),
+            1.0 / a.fault_mean.unwrap_or(2_000) as f64,
+            50,
+            horizon,
+            a.seed ^ 0x5708,
+        ),
+    };
+
+    let report = match &a.source {
+        Source::TraceFile(path) => {
+            let trace = Trace::load(path)?;
+            if trace.mesh_k != a.mesh {
+                return Err(format!(
+                    "trace was recorded on a {0}x{0} mesh, simulating {1}x{1}",
+                    trace.mesh_k, a.mesh
+                ));
+            }
+            let mut player = trace.player();
+            let (report, _) = shield_noc::sim::Simulator::new(net, sim, kind, plan.clone())
+                .run(|c| player.tick(c));
+            report
+        }
+        src => {
+            let traffic = traffic_of(src)?;
+            run_simulation(&net, &sim, &traffic, kind, &plan)
+        }
+    };
+
+    println!("router          : {kind:?} on a {0}x{0} mesh", a.mesh);
+    println!("faults          : {} permanent, {} transient", plan.len(), plan.transients().len());
+    println!("packets         : {} delivered, {} misdelivered", report.delivered(), report.misdelivered);
+    println!("flits dropped   : {}", report.flits_dropped + report.flits_edge_dropped);
+    println!(
+        "latency (cycles): mean {:.2}, p50 {}, p95 {}, p99 {}, max {}",
+        report.total_latency.mean,
+        report.total_latency.p50,
+        report.total_latency.p95,
+        report.total_latency.p99,
+        report.total_latency.max
+    );
+    println!("throughput      : {:.4} flits/node/cycle", report.throughput);
+    println!("mean hops       : {:.2}", report.mean_hops);
+    if report.deadlock_suspected {
+        println!("WARNING: deadlock suspected (traffic stopped moving)");
+    }
+    let ev = report.router_events;
+    if plan.len() + plan.transients().len() > 0 {
+        println!(
+            "mechanisms      : {} dup-RC, {} borrows, {} bypass grants, {} secondary flits",
+            ev.rc_duplicate_uses, ev.va_borrows, ev.sa_bypass_grants, ev.secondary_path_flits
+        );
+    }
+    if a.heatmap {
+        println!("utilisation heatmap ('.' idle → '#' busiest):");
+        print!("{}", report.utilisation_heatmap);
+    }
+    Ok(())
+}
+
+fn run_trace(t: TraceArgs) -> Result<(), String> {
+    let traffic = traffic_of(&t.source)?;
+    let mut generator = TrafficGenerator::new(traffic, Mesh::new(t.mesh), t.seed ^ 0x5EED);
+    let trace = Trace::record(&mut generator, t.mesh, t.cycles);
+    trace.save(&t.out).map_err(|e| e.to_string())?;
+    println!("recorded {} packets over {} cycles into {}", trace.len(), t.cycles, t.out);
+    Ok(())
+}
+
+fn run_analyze(vcs: usize) -> Result<(), String> {
+    let mut cfg = RouterConfig::paper();
+    cfg.vcs = vcs;
+    cfg.validate()?;
+    let lib = shield_noc::reliability::GateLibrary::paper();
+    let mttf = MttfReport::compute(&lib, &cfg, 6);
+    let spf = SpfAnalysis::analytic(&cfg, 0.31);
+    let ap = AreaPowerModel::new(cfg, 6).report();
+    println!("router: 5 ports, {vcs} VCs");
+    println!("  baseline FIT        : {:.1}", mttf.baseline_fit);
+    println!("  MTTF improvement    : {:.2}x (paper eq. 5)", mttf.improvement_paper);
+    println!("  SPF                 : {:.2}", spf.spf);
+    println!("  area overhead       : {:.1}%", ap.area_overhead_total * 100.0);
+    println!("  power overhead      : {:.1}%", ap.power_overhead_total * 100.0);
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let outcome = parse(&args).and_then(|cmd| match cmd {
+        Command::Simulate(a) => run_simulate(a),
+        Command::Trace(t) => run_trace(t),
+        Command::Analyze { vcs } => run_analyze(vcs),
+    });
+    if let Err(e) = outcome {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_simulate_defaults() {
+        let cmd = parse(&args("simulate")).unwrap();
+        match cmd {
+            Command::Simulate(a) => {
+                assert_eq!(a.mesh, 8);
+                assert!(a.protected);
+                assert_eq!(a.faults, FaultMode::None);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn parses_simulate_flags() {
+        let cmd = parse(&args(
+            "simulate --mesh 4 --router baseline --app fft --cycles 500 --seed 9 --faults accumulate --fault-mean 100",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Simulate(a) => {
+                assert_eq!(a.mesh, 4);
+                assert!(!a.protected);
+                assert_eq!(a.source, Source::App(AppId::Fft));
+                assert_eq!(a.cycles, 500);
+                assert_eq!(a.seed, 9);
+                assert_eq!(a.faults, FaultMode::Accumulate);
+                assert_eq!(a.fault_mean, Some(100));
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn parses_pattern_and_rate() {
+        let cmd = parse(&args("simulate --pattern transpose --rate 0.07")).unwrap();
+        match cmd {
+            Command::Simulate(a) => {
+                assert_eq!(a.source, Source::Pattern(SyntheticPattern::Transpose, 0.07));
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn trace_requires_out() {
+        assert!(parse(&args("trace --app fft")).is_err());
+        assert!(parse(&args("trace --app fft --out /tmp/x.trace")).is_ok());
+    }
+
+    #[test]
+    fn rejects_unknown_input() {
+        assert!(parse(&args("frobnicate")).is_err());
+        assert!(parse(&args("simulate --bogus 1")).is_err());
+        assert!(parse(&args("simulate --app not-an-app")).is_err());
+        assert!(parse(&args("simulate --pattern not-a-pattern")).is_err());
+        assert!(parse(&args("simulate --router sideways")).is_err());
+        assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn analyze_parses_vcs() {
+        assert_eq!(parse(&args("analyze --vcs 2")).unwrap(), Command::Analyze { vcs: 2 });
+        assert_eq!(parse(&args("analyze")).unwrap(), Command::Analyze { vcs: 4 });
+    }
+
+    #[test]
+    fn all_sixteen_apps_parse() {
+        for a in AppId::SPLASH2.iter().chain(AppId::PARSEC.iter()) {
+            assert_eq!(parse_app(a.name()).unwrap(), *a);
+        }
+    }
+}
