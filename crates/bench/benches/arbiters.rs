@@ -1,52 +1,49 @@
 //! Microbenchmarks of the arbiter and allocator primitives — the
 //! structures every router cycle exercises hundreds of times.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use noc_arbiter::{
     Arbiter, ArbiterKind, MatrixArbiter, RequestMatrix, RoundRobinArbiter, SeparableAllocator,
 };
+use noc_bench::bench;
 use std::hint::black_box;
 
-fn bench_arbiters(c: &mut Criterion) {
-    let mut group = c.benchmark_group("arbiter");
+fn bench_arbiters() {
     for width in [4usize, 5, 20] {
-        group.bench_with_input(
-            BenchmarkId::new("round_robin", width),
-            &width,
-            |b, &w| {
-                let mut arb = RoundRobinArbiter::new(w);
-                let req = if w >= 32 { u32::MAX } else { (1u32 << w) - 1 };
-                b.iter(|| black_box(arb.arbitrate(black_box(req))));
-            },
-        );
-        group.bench_with_input(BenchmarkId::new("matrix", width), &width, |b, &w| {
-            let mut arb = MatrixArbiter::new(w);
-            let req = if w >= 32 { u32::MAX } else { (1u32 << w) - 1 };
-            b.iter(|| black_box(arb.arbitrate(black_box(req))));
+        let req = if width >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << width) - 1
+        };
+        let mut arb = RoundRobinArbiter::new(width);
+        bench(&format!("arbiter/round_robin/{width}"), || {
+            black_box(arb.arbitrate(black_box(req)));
+        });
+        let mut arb = MatrixArbiter::new(width);
+        bench(&format!("arbiter/matrix/{width}"), || {
+            black_box(arb.arbitrate(black_box(req)));
         });
     }
-    group.finish();
 }
 
-fn bench_allocator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("separable_allocator");
+fn bench_allocator() {
     // The VA shape (20 requestors × 20 resources) and the SA shape (5×5).
     for (reqs, ress, label) in [(20usize, 20usize, "va_20x20"), (5, 5, "sa_5x5")] {
-        group.bench_function(label, |b| {
-            let mut alloc = SeparableAllocator::new(reqs, ress, ArbiterKind::RoundRobin);
-            let mut m = RequestMatrix::new(reqs, ress);
-            for r in 0..reqs {
-                for c2 in 0..ress {
-                    if (r + c2) % 3 != 0 {
-                        m.request(r, c2);
-                    }
+        let mut alloc = SeparableAllocator::new(reqs, ress, ArbiterKind::RoundRobin);
+        let mut m = RequestMatrix::new(reqs, ress);
+        for r in 0..reqs {
+            for c2 in 0..ress {
+                if (r + c2) % 3 != 0 {
+                    m.request(r, c2);
                 }
             }
-            b.iter(|| black_box(alloc.allocate(black_box(&m))));
+        }
+        bench(&format!("separable_allocator/{label}"), || {
+            black_box(alloc.allocate(black_box(&m)));
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_arbiters, bench_allocator);
-criterion_main!(benches);
+fn main() {
+    bench_arbiters();
+    bench_allocator();
+}

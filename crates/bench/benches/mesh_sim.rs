@@ -1,16 +1,30 @@
 //! Whole-network simulation throughput: cycles/second for the 8×8 mesh
-//! under application traffic — the cost that bounds Figure-7/8 runs.
+//! under moderate load — the cost that bounds Figure-7/8 runs and the
+//! number `BENCH_hotpath.json` tracks across hot-path PRs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noc_bench::bench;
 use noc_sim::Network;
 use noc_traffic::{AppId, SyntheticPattern, TrafficConfig, TrafficGenerator};
 use noc_types::{Mesh, NetworkConfig};
 use shield_router::RouterKind;
 use std::hint::black_box;
 
-fn bench_mesh(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mesh_8x8");
-    group.sample_size(10);
+const CYCLES: u64 = 2_000;
+
+fn run_once(traffic: &TrafficConfig) {
+    let cfg = NetworkConfig::paper();
+    let mut net = Network::new(cfg, RouterKind::Protected);
+    let mut gen = TrafficGenerator::new(*traffic, Mesh::new(8), 1);
+    for cycle in 0..CYCLES {
+        let pkts = gen.tick(cycle);
+        net.offer_packets(pkts);
+        net.step(cycle);
+    }
+    black_box(net.packet_counters());
+}
+
+fn main() {
+    let mut json = Vec::new();
     for (label, traffic) in [
         (
             "uniform_0.02",
@@ -18,26 +32,15 @@ fn bench_mesh(c: &mut Criterion) {
         ),
         ("app_canneal", TrafficConfig::app(AppId::Canneal)),
     ] {
-        group.bench_with_input(
-            BenchmarkId::new("2k_cycles", label),
-            &traffic,
-            |b, traffic| {
-                b.iter(|| {
-                    let cfg = NetworkConfig::paper();
-                    let mut net = Network::new(cfg, RouterKind::Protected);
-                    let mut gen = TrafficGenerator::new(*traffic, Mesh::new(8), 1);
-                    for cycle in 0..2_000u64 {
-                        let pkts = gen.tick(cycle);
-                        net.offer_packets(pkts);
-                        net.step(cycle);
-                    }
-                    black_box(net.packet_counters())
-                });
-            },
-        );
+        let m = bench(&format!("mesh_8x8/2k_cycles/{label}"), || {
+            run_once(&traffic);
+        });
+        let cycles_per_sec = m.per_second() * CYCLES as f64;
+        println!("  -> {cycles_per_sec:.0} simulated cycles/sec");
+        json.push(format!(
+            "  {{\"bench\": \"{label}\", \"mesh\": \"8x8\", \"sim_cycles_per_second\": {cycles_per_sec:.0}, \"ns_per_sim_cycle\": {:.1}}}",
+            m.ns_per_iter / CYCLES as f64
+        ));
     }
-    group.finish();
+    println!("\nJSON:\n[\n{}\n]", json.join(",\n"));
 }
-
-criterion_group!(benches, bench_mesh);
-criterion_main!(benches);

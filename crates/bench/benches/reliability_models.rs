@@ -1,24 +1,20 @@
 //! Benchmarks of the analytical reliability models — cheap, but worth
 //! tracking because the VC sweep and Monte-Carlo SPF call them in loops.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use noc_bench::bench;
 use noc_reliability::{monte_carlo_faults_to_failure, MttfReport, SpfAnalysis};
 use noc_types::RouterConfig;
 use std::hint::black_box;
 
-fn bench_models(c: &mut Criterion) {
-    c.bench_function("mttf_report", |b| {
-        b.iter(|| black_box(MttfReport::paper()));
+fn main() {
+    bench("mttf_report", || {
+        black_box(MttfReport::paper());
     });
-    c.bench_function("spf_analytic", |b| {
-        let cfg = RouterConfig::paper();
-        b.iter(|| black_box(SpfAnalysis::analytic(black_box(&cfg), 0.31)));
+    let cfg = RouterConfig::paper();
+    bench("spf_analytic", || {
+        black_box(SpfAnalysis::analytic(black_box(&cfg), 0.31));
     });
-    c.bench_function("spf_monte_carlo_100", |b| {
-        let cfg = RouterConfig::paper();
-        b.iter(|| black_box(monte_carlo_faults_to_failure(black_box(&cfg), 100, 1)));
+    bench("spf_monte_carlo_100", || {
+        black_box(monte_carlo_faults_to_failure(black_box(&cfg), 100, 1));
     });
 }
-
-criterion_group!(benches, bench_models);
-criterion_main!(benches);

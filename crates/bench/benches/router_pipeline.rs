@@ -2,7 +2,7 @@
 //! protected, healthy vs faulted — quantifying the simulation-speed cost
 //! of the correction mechanisms.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use noc_bench::bench;
 use noc_faults::FaultSite;
 use noc_types::{Coord, Direction, Mesh, Packet, PacketId, PacketKind, RouterConfig, VcId};
 use shield_router::{Router, RouterKind};
@@ -61,43 +61,32 @@ fn run_router(r: &mut Router, cycles: u64) -> u64 {
     sent
 }
 
-fn bench_router(c: &mut Criterion) {
-    let mut group = c.benchmark_group("router_cycle");
-    group.bench_function("baseline_healthy", |b| {
-        b.iter(|| {
-            let mut r = loaded_router(RouterKind::Baseline, &[]);
-            black_box(run_router(&mut r, 200))
-        });
+fn main() {
+    bench("router_cycle/baseline_healthy", || {
+        let mut r = loaded_router(RouterKind::Baseline, &[]);
+        black_box(run_router(&mut r, 200));
     });
-    group.bench_function("protected_healthy", |b| {
-        b.iter(|| {
-            let mut r = loaded_router(RouterKind::Protected, &[]);
-            black_box(run_router(&mut r, 200))
-        });
+    bench("router_cycle/protected_healthy", || {
+        let mut r = loaded_router(RouterKind::Protected, &[]);
+        black_box(run_router(&mut r, 200));
     });
-    group.bench_function("protected_one_fault_per_stage", |b| {
-        let faults = [
-            FaultSite::RcPrimary {
-                port: Direction::Local.port(),
-            },
-            FaultSite::Va1ArbiterSet {
-                port: Direction::Local.port(),
-                vc: VcId(0),
-            },
-            FaultSite::Sa1Arbiter {
-                port: Direction::West.port(),
-            },
-            FaultSite::XbMux {
-                out_port: Direction::East.port(),
-            },
-        ];
-        b.iter(|| {
-            let mut r = loaded_router(RouterKind::Protected, &faults);
-            black_box(run_router(&mut r, 200))
-        });
+    let faults = [
+        FaultSite::RcPrimary {
+            port: Direction::Local.port(),
+        },
+        FaultSite::Va1ArbiterSet {
+            port: Direction::Local.port(),
+            vc: VcId(0),
+        },
+        FaultSite::Sa1Arbiter {
+            port: Direction::West.port(),
+        },
+        FaultSite::XbMux {
+            out_port: Direction::East.port(),
+        },
+    ];
+    bench("router_cycle/protected_one_fault_per_stage", || {
+        let mut r = loaded_router(RouterKind::Protected, &faults);
+        black_box(run_router(&mut r, 200));
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_router);
-criterion_main!(benches);

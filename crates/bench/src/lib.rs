@@ -24,8 +24,8 @@
 //! | the whole evaluation in one run | `all_experiments` |
 //!
 //! Every binary accepts `--quick` for a reduced run (shorter windows,
-//! fewer seeds) and prints the same rows the paper reports. Criterion
-//! microbenches live under `benches/`.
+//! fewer seeds) and prints the same rows the paper reports. Microbenches
+//! live under `benches/` and time themselves with [`microbench`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,9 +33,11 @@
 pub mod experiments;
 pub mod export;
 pub mod harness;
+pub mod microbench;
 pub mod tables;
 
 pub use experiments::{FigureConfig, FigureResult, FigureRow};
 pub use export::{figure_csv, write_csv};
 pub use harness::{run_simulation, ExperimentScale};
+pub use microbench::{bench, bench_with, Measurement};
 pub use tables::Table;

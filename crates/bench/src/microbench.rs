@@ -1,0 +1,99 @@
+//! A small self-contained timing harness for the `benches/` targets.
+//!
+//! The build environment has no crates.io access, so instead of
+//! Criterion the benches use this: warm up, auto-scale the batch size
+//! until a sample takes long enough to time reliably, take several
+//! samples and report the median. Output is one line per benchmark plus
+//! an optional machine-readable JSON blob (used by `BENCH_hotpath.json`).
+
+use std::time::{Duration, Instant};
+
+/// Result of timing one benchmark.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name.
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations per sample at the final batch size.
+    pub iters_per_sample: u64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+impl Measurement {
+    /// Iterations per second implied by the median sample.
+    pub fn per_second(&self) -> f64 {
+        1e9 / self.ns_per_iter
+    }
+}
+
+/// Time `f`, auto-scaling the batch size so one sample runs at least
+/// `min_sample`, then taking `samples` samples and keeping the median.
+pub fn bench_with<F: FnMut()>(
+    name: &str,
+    samples: usize,
+    min_sample: Duration,
+    mut f: F,
+) -> Measurement {
+    // Warm-up and batch-size discovery.
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= min_sample {
+            break;
+        }
+        // Grow geometrically, at least doubling, towards the target.
+        let scale = (min_sample.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).ceil();
+        iters = iters.saturating_mul((scale as u64).clamp(2, 100));
+    }
+
+    let mut per_iter: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+
+    let m = Measurement {
+        name: name.to_string(),
+        ns_per_iter: median,
+        iters_per_sample: iters,
+        samples: per_iter.len(),
+    };
+    println!(
+        "{:<40} {:>14.1} ns/iter   ({} iters/sample, {} samples)",
+        m.name, m.ns_per_iter, m.iters_per_sample, m.samples
+    );
+    m
+}
+
+/// [`bench_with`] with the default sampling policy (7 samples of ≥100ms).
+pub fn bench<F: FnMut()>(name: &str, f: F) -> Measurement {
+    bench_with(name, 7, Duration::from_millis(100), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hint::black_box;
+
+    #[test]
+    fn measures_something_positive() {
+        let m = bench_with("spin", 3, Duration::from_micros(50), || {
+            black_box((0..100u64).sum::<u64>());
+        });
+        assert!(m.ns_per_iter > 0.0);
+        assert!(m.iters_per_sample >= 1);
+        assert!(m.per_second() > 0.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Offline stand-in for the subset of the `rand` 0.9 API this workspace
+//! uses.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the handful of primitives it needs: a seedable 64-bit
+//! generator ([`rngs::StdRng`], xoshiro256** seeded via SplitMix64), the
+//! [`Rng`] sampling surface (`random::<f64>()`, `random_range`), and the
+//! slice helpers in [`seq`] (`shuffle`, `choose`). Sampling is unbiased
+//! (Lemire rejection) and fully deterministic for a given seed, which is
+//! all the simulator's statistical tests rely on — no claim of
+//! cryptographic strength is made.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rngs;
+pub mod seq;
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can seed themselves from a single `u64`.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A source of random numbers.
+///
+/// Only `next_u64` is required; the sampling methods are provided.
+pub trait Rng {
+    /// The next 64 uniformly-distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample a value of type `T` from its standard distribution
+    /// (`f64` is uniform in `[0, 1)`).
+    fn random<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from a range (`0..n` or `0..=n`).
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.random::<f64>() < p
+    }
+}
+
+/// Types with a canonical "standard" distribution for [`Rng::random`].
+pub trait StandardSample {
+    /// Draw one value.
+    fn sample<G: Rng>(rng: &mut G) -> Self;
+}
+
+impl StandardSample for f64 {
+    #[inline]
+    fn sample<G: Rng>(rng: &mut G) -> f64 {
+        // 53 uniform mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for u64 {
+    #[inline]
+    fn sample<G: Rng>(rng: &mut G) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    #[inline]
+    fn sample<G: Rng>(rng: &mut G) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardSample for bool {
+    #[inline]
+    fn sample<G: Rng>(rng: &mut G) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that [`Rng::random_range`] can sample from.
+pub trait SampleRange {
+    /// The element type of the range.
+    type Output;
+    /// Draw one value uniformly from the range.
+    fn sample<G: Rng>(self, rng: &mut G) -> Self::Output;
+}
+
+/// Unbiased uniform draw from `[0, n)` via Lemire's multiply-and-reject.
+#[inline]
+fn uniform_below<G: Rng>(rng: &mut G, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    let threshold = n.wrapping_neg() % n;
+    loop {
+        let m = u128::from(rng.next_u64()) * u128::from(n);
+        if m as u64 >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample<G: Rng>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample<G: Rng>(self, rng: &mut G) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + uniform_below(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_is_uniform_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = rng.random::<f64>();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn range_covers_all_values_without_bias() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0u32; 5];
+        let n = 50_000;
+        for _ in 0..n {
+            counts[rng.random_range(0..5usize)] += 1;
+        }
+        for c in counts {
+            let expected = n as f64 / 5.0;
+            assert!((f64::from(c) - expected).abs() < expected * 0.1, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_both_ends() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..1_000 {
+            match rng.random_range(0..=3u8) {
+                0 => lo = true,
+                3 => hi = true,
+                _ => {}
+            }
+        }
+        assert!(lo && hi);
+    }
+
+    #[test]
+    fn full_u64_range_is_accepted() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = rng.random_range(0..=u64::MAX);
+    }
+}

@@ -1,0 +1,68 @@
+//! Sequence helpers: in-place shuffling and uniform element choice.
+
+use crate::Rng;
+
+/// In-place slice randomisation.
+pub trait SliceRandom {
+    /// Fisher–Yates shuffle.
+    fn shuffle<G: Rng>(&mut self, rng: &mut G);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<G: Rng>(&mut self, rng: &mut G) {
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+/// Uniform random element choice from an indexable sequence.
+pub trait IndexedRandom {
+    /// The element type.
+    type Item;
+    /// A uniformly-chosen element, or `None` when empty.
+    fn choose<G: Rng>(&self, rng: &mut G) -> Option<&Self::Item>;
+}
+
+impl<T> IndexedRandom for [T] {
+    type Item = T;
+    fn choose<G: Rng>(&self, rng: &mut G) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(rng.random_range(0..self.len()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements almost surely move");
+    }
+
+    #[test]
+    fn choose_covers_every_element() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let v = [10, 20, 30];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let x = *v.choose(&mut rng).unwrap();
+            seen[(x / 10 - 1) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+        assert!(Vec::<u8>::new().choose(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline stand-in for the `serde` surface this workspace uses.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` (for
+//! downstream consumers of the result types); nothing in-tree actually
+//! serialises, and the build environment has no crates.io access. The
+//! traits here are therefore empty markers implemented for every type,
+//! and the re-exported derives (behind the `derive` feature, mirroring
+//! upstream) expand to nothing. Swapping the real serde back in later is
+//! a Cargo.toml-only change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize`; implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,23 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline `serde`
+//! stand-in.
+//!
+//! The sibling `serde` crate implements its marker traits for every
+//! type, so the derives have nothing to emit — they exist only so that
+//! `#[derive(Serialize, Deserialize)]` and `#[serde(...)]` attributes in
+//! the workspace compile unchanged without crates.io access.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards the annotated item; `serde::Serialize` is
+/// blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards the annotated item; `serde::Deserialize` is
+/// blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -3,15 +3,16 @@
 //!
 //! Section IV: “Assuming that each individual pipeline stage is affected
 //! by only one permanent fault, the protected router pipeline will be
-//! able to tolerate four permanent faults.” We generate arbitrary
-//! traffic and arbitrary one-fault-per-stage placements and assert full,
-//! in-order, loss-free delivery.
+//! able to tolerate four permanent faults.” We generate seeded-random
+//! traffic and one-fault-per-stage placements and assert full, in-order,
+//! loss-free delivery.
 
 use noc_faults::FaultSite;
 use noc_types::{
     Coord, Direction, Flit, Mesh, Packet, PacketId, PacketKind, PortId, RouterConfig, VcId,
 };
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use shield_router::{Router, RouterKind};
 use std::collections::{HashMap, VecDeque};
 
@@ -69,16 +70,14 @@ struct GenPacket {
     at: u64,
 }
 
-fn gen_packet() -> impl Strategy<Value = GenPacket> {
-    (0u8..5, 0u8..4, any::<bool>(), 0u8..5, 0u64..40).prop_map(|(port, vc, data, dst_ix, at)| {
-        GenPacket {
-            port,
-            vc,
-            data,
-            dst_ix,
-            at,
-        }
-    })
+fn gen_packet(rng: &mut StdRng) -> GenPacket {
+    GenPacket {
+        port: rng.random_range(0u8..5),
+        vc: rng.random_range(0u8..4),
+        data: rng.random::<bool>(),
+        dst_ix: rng.random_range(0u8..5),
+        at: rng.random_range(0u64..40),
+    }
 }
 
 /// Destinations chosen so XY routing leaves HERE in every direction,
@@ -100,19 +99,18 @@ struct StageFaults {
     xb_out: Option<u8>,
 }
 
-fn gen_faults() -> impl Strategy<Value = StageFaults> {
-    (
-        proptest::option::of(0u8..5),
-        proptest::option::of((0u8..5, 0u8..4)),
-        proptest::option::of(0u8..5),
-        proptest::option::of(0u8..5),
-    )
-        .prop_map(|(rc_port, va1, sa1_port, xb_out)| StageFaults {
-            rc_port,
-            va1,
-            sa1_port,
-            xb_out,
-        })
+fn gen_faults(rng: &mut StdRng) -> StageFaults {
+    let opt = |rng: &mut StdRng| -> Option<u8> {
+        rng.random::<bool>().then(|| rng.random_range(0u8..5))
+    };
+    StageFaults {
+        rc_port: opt(rng),
+        va1: rng
+            .random::<bool>()
+            .then(|| (rng.random_range(0u8..5), rng.random_range(0u8..4))),
+        sa1_port: opt(rng),
+        xb_out: opt(rng),
+    }
 }
 
 fn apply_faults(r: &mut Router, f: &StageFaults) {
@@ -136,26 +134,36 @@ fn apply_faults(r: &mut Router, f: &StageFaults) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Full, loss-free, in-order delivery with ≤1 fault per stage under
+/// arbitrary traffic — the paper's tolerance claim.
+#[test]
+fn protected_router_delivers_everything_with_one_fault_per_stage() {
+    for case in 0u64..64 {
+        let mut rng = StdRng::seed_from_u64(0x9607_EC7E_D000 ^ case);
+        let packets: Vec<GenPacket> = (0..rng.random_range(1usize..24))
+            .map(|_| gen_packet(&mut rng))
+            .collect();
+        let faults = gen_faults(&mut rng);
 
-    /// Full, loss-free, in-order delivery with ≤1 fault per stage under
-    /// arbitrary traffic — the paper's tolerance claim.
-    #[test]
-    fn protected_router_delivers_everything_with_one_fault_per_stage(
-        packets in proptest::collection::vec(gen_packet(), 1..24),
-        faults in gen_faults(),
-    ) {
-        let mut r = Router::new_xy(0, HERE, Mesh::new(8), RouterConfig::paper(),
-                                   RouterKind::Protected);
+        let mut r = Router::new_xy(
+            0,
+            HERE,
+            Mesh::new(8),
+            RouterConfig::paper(),
+            RouterKind::Protected,
+        );
         apply_faults(&mut r, &faults);
-        prop_assert!(!r.is_failed());
+        assert!(!r.is_failed());
 
         let mut arrivals = Vec::new();
         let mut expected: HashMap<PacketId, (usize, Direction)> = HashMap::new();
         for (i, g) in packets.iter().enumerate() {
             let id = PacketId(i as u64);
-            let kind = if g.data { PacketKind::Data } else { PacketKind::Control };
+            let kind = if g.data {
+                PacketKind::Data
+            } else {
+                PacketKind::Control
+            };
             let dst = DSTS[g.dst_ix as usize];
             let dir = Mesh::new(8).xy_route(HERE, dst);
             // A packet cannot depart through the port it arrived on
@@ -174,38 +182,52 @@ proptest! {
         let total: usize = expected.values().map(|(n, _)| n).sum();
 
         let (delivered, dropped, leftover) = drive(&mut r, arrivals, 4_000);
-        prop_assert!(dropped.is_empty(), "protected router never drops");
-        prop_assert_eq!(leftover, 0, "upstream fully drained");
-        prop_assert_eq!(delivered.len(), total, "all flits delivered");
+        assert!(dropped.is_empty(), "protected router never drops");
+        assert_eq!(leftover, 0, "upstream fully drained");
+        assert_eq!(delivered.len(), total, "all flits delivered (case {case})");
 
         // Per-packet: right output port, sequence strictly ordered.
         let mut seen: HashMap<PacketId, u16> = HashMap::new();
         for (_, out_port, flit) in &delivered {
             let (_, dir) = expected[&flit.packet];
-            prop_assert_eq!(*out_port, dir.port(), "flit left on the XY port");
+            assert_eq!(*out_port, dir.port(), "flit left on the XY port");
             let next = seen.entry(flit.packet).or_insert(0);
-            prop_assert_eq!(flit.seq.0, *next, "in-order within the packet");
+            assert_eq!(flit.seq.0, *next, "in-order within the packet");
             *next += 1;
         }
-        prop_assert_eq!(r.buffered_flits(), 0, "router drained");
+        assert_eq!(r.buffered_flits(), 0, "router drained");
     }
+}
 
-    /// The baseline router under the same faults loses or blocks traffic
-    /// whenever a fault lies on an exercised path — and never *creates*
-    /// flits.
-    #[test]
-    fn baseline_router_never_creates_flits_under_faults(
-        packets in proptest::collection::vec(gen_packet(), 1..16),
-        faults in gen_faults(),
-    ) {
-        let mut r = Router::new_xy(0, HERE, Mesh::new(8), RouterConfig::paper(),
-                                   RouterKind::Baseline);
+/// The baseline router under the same faults loses or blocks traffic
+/// whenever a fault lies on an exercised path — and never *creates*
+/// flits.
+#[test]
+fn baseline_router_never_creates_flits_under_faults() {
+    for case in 0u64..64 {
+        let mut rng = StdRng::seed_from_u64(0xBA5E_11E0_0000 ^ case);
+        let packets: Vec<GenPacket> = (0..rng.random_range(1usize..16))
+            .map(|_| gen_packet(&mut rng))
+            .collect();
+        let faults = gen_faults(&mut rng);
+
+        let mut r = Router::new_xy(
+            0,
+            HERE,
+            Mesh::new(8),
+            RouterConfig::paper(),
+            RouterKind::Baseline,
+        );
         apply_faults(&mut r, &faults);
         let mut arrivals = Vec::new();
         let mut total = 0usize;
         for (i, g) in packets.iter().enumerate() {
             let id = PacketId(i as u64);
-            let kind = if g.data { PacketKind::Data } else { PacketKind::Control };
+            let kind = if g.data {
+                PacketKind::Data
+            } else {
+                PacketKind::Control
+            };
             let dst = DSTS[g.dst_ix as usize];
             total += kind.flits();
             for f in Packet::new(id, kind, HERE, dst, g.at).segment() {
@@ -214,7 +236,10 @@ proptest! {
         }
         let (delivered, dropped, leftover) = drive(&mut r, arrivals, 2_000);
         let buffered = r.buffered_flits();
-        prop_assert_eq!(delivered.len() + dropped.len() + buffered + leftover, total,
-            "conservation: delivered + dropped + stuck + never-injected = injected");
+        assert_eq!(
+            delivered.len() + dropped.len() + buffered + leftover,
+            total,
+            "conservation: delivered + dropped + stuck + never-injected = injected (case {case})"
+        );
     }
 }

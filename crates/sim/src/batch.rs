@@ -2,11 +2,13 @@
 //!
 //! Individual simulations are completely independent, which makes sweeps
 //! over seeds, injection rates and applications embarrassingly parallel.
-//! Workers pull jobs from a crossbeam channel inside a scoped thread
-//! pool, so results never race and arrive back in input order.
+//! Workers claim jobs from a shared atomic cursor inside a scoped thread
+//! pool and write results straight into their input slot, so results
+//! never race and arrive back in input order.
 
-use crossbeam::channel;
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Run `f` over every input on a scoped thread pool, preserving input
 /// order in the output. `threads = 0` uses the available parallelism.
@@ -33,34 +35,36 @@ where
         return inputs.into_iter().map(f).collect();
     }
 
-    let (job_tx, job_rx) = channel::unbounded::<(usize, T)>();
-    let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
-    for pair in inputs.into_iter().enumerate() {
-        job_tx.send(pair).expect("queueing jobs");
-    }
-    drop(job_tx);
+    let jobs: Vec<Mutex<Option<T>>> = inputs.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            let job_rx = job_rx.clone();
-            let res_tx = res_tx.clone();
-            let f = &f;
-            scope.spawn(move || {
-                while let Ok((ix, input)) = job_rx.recv() {
-                    let out = f(input);
-                    if res_tx.send((ix, out)).is_err() {
-                        break;
-                    }
+            scope.spawn(|| loop {
+                let ix = cursor.fetch_add(1, Ordering::Relaxed);
+                if ix >= n {
+                    break;
                 }
+                let input = jobs[ix]
+                    .lock()
+                    .expect("job slot poisoned")
+                    .take()
+                    .expect("each job is claimed exactly once");
+                let out = f(input);
+                *results[ix].lock().expect("result slot poisoned") = Some(out);
             });
         }
-        drop(res_tx);
     });
 
-    let mut results: Vec<(usize, R)> = res_rx.into_iter().collect();
-    results.sort_by_key(|(ix, _)| *ix);
-    assert_eq!(results.len(), n, "every job must produce a result");
-    results.into_iter().map(|(_, r)| r).collect()
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job must produce a result")
+        })
+        .collect()
 }
 
 #[cfg(test)]

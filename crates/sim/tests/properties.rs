@@ -4,7 +4,6 @@
 use noc_faults::{FaultPlan, InjectionConfig};
 use noc_sim::{SimOutcome, Simulator};
 use noc_types::{Coord, NetworkConfig, Packet, PacketId, PacketKind, RouterConfig, SimConfig};
-use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -46,18 +45,17 @@ impl Source {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// Fault-free networks of either kind deliver every packet, in
+/// bounded time, regardless of mesh size, load point and seed.
+#[test]
+fn fault_free_network_delivers_everything() {
+    let mut pick = StdRng::seed_from_u64(0xF2EE);
+    for case in 0u64..12 {
+        let k = pick.random_range(2u8..=5);
+        let rate_milli = pick.random_range(5u64..40);
+        let seed = pick.random_range(0u64..1_000);
+        let protected = case % 2 == 0;
 
-    /// Fault-free networks of either kind deliver every packet, in
-    /// bounded time, regardless of mesh size, load point and seed.
-    #[test]
-    fn fault_free_network_delivers_everything(
-        k in 2u8..=5,
-        rate_milli in 5u64..40,
-        seed in 0u64..1_000,
-        protected in any::<bool>(),
-    ) {
         let mut net = NetworkConfig::paper();
         net.mesh_k = k;
         let sim = SimConfig {
@@ -77,24 +75,28 @@ proptest! {
             rate: rate_milli as f64 / 1_000.0,
             next: 0,
         };
-        let (report, outcome) = Simulator::new(net, sim, kind, FaultPlan::none())
-            .run(|c| src.tick(c));
-        prop_assert_eq!(outcome, SimOutcome::DrainedEarly);
-        prop_assert_eq!(report.misdelivered, 0);
-        prop_assert_eq!(report.flits_dropped, 0);
-        prop_assert_eq!(report.in_flight_at_end, 0);
-        prop_assert_eq!(report.offered, report.injected);
-        prop_assert!(!report.deadlock_suspected);
+        let (report, outcome) =
+            Simulator::new(net, sim, kind, FaultPlan::none()).run(|c| src.tick(c));
+        let ctx = format!("case {case}: k={k} rate={rate_milli}m seed={seed}");
+        assert_eq!(outcome, SimOutcome::DrainedEarly, "{ctx}");
+        assert_eq!(report.misdelivered, 0, "{ctx}");
+        assert_eq!(report.flits_dropped, 0, "{ctx}");
+        assert_eq!(report.in_flight_at_end, 0, "{ctx}");
+        assert_eq!(report.offered, report.injected, "{ctx}");
+        assert!(!report.deadlock_suspected, "{ctx}");
     }
+}
 
-    /// A tolerated (accumulating) fault campaign on the protected mesh
-    /// never loses, misdelivers or deadlocks traffic.
-    #[test]
-    fn tolerated_campaigns_never_lose_packets(
-        k in 2u8..=4,
-        seed in 0u64..1_000,
-        fault_seed in 0u64..1_000,
-    ) {
+/// A tolerated (accumulating) fault campaign on the protected mesh
+/// never loses, misdelivers or deadlocks traffic.
+#[test]
+fn tolerated_campaigns_never_lose_packets() {
+    let mut pick = StdRng::seed_from_u64(0x70_1E2A);
+    for case in 0u64..12 {
+        let k = pick.random_range(2u8..=4);
+        let seed = pick.random_range(0u64..1_000);
+        let fault_seed = pick.random_range(0u64..1_000);
+
         let mut net = NetworkConfig::paper();
         net.mesh_k = k;
         let sim = SimConfig {
@@ -117,27 +119,27 @@ proptest! {
             rate: 0.015,
             next: 0,
         };
-        let (report, outcome) = Simulator::new(
-            net,
-            sim,
-            shield_router::RouterKind::Protected,
-            plan,
-        )
-        .run(|c| src.tick(c));
-        prop_assert_eq!(outcome, SimOutcome::DrainedEarly);
-        prop_assert_eq!(report.flits_dropped, 0);
-        prop_assert_eq!(report.misdelivered, 0);
-        prop_assert_eq!(report.in_flight_at_end, 0);
-        prop_assert!(!report.deadlock_suspected);
+        let (report, outcome) =
+            Simulator::new(net, sim, shield_router::RouterKind::Protected, plan)
+                .run(|c| src.tick(c));
+        let ctx = format!("case {case}: k={k} seed={seed} fault_seed={fault_seed}");
+        assert_eq!(outcome, SimOutcome::DrainedEarly, "{ctx}");
+        assert_eq!(report.flits_dropped, 0, "{ctx}");
+        assert_eq!(report.misdelivered, 0, "{ctx}");
+        assert_eq!(report.in_flight_at_end, 0, "{ctx}");
+        assert!(!report.deadlock_suspected, "{ctx}");
     }
+}
 
-    /// Transient storms on the protected mesh are absorbed without loss.
-    #[test]
-    fn transient_storms_are_absorbed(
-        k in 2u8..=4,
-        seed in 0u64..500,
-        duration in 5u32..100,
-    ) {
+/// Transient storms on the protected mesh are absorbed without loss.
+#[test]
+fn transient_storms_are_absorbed() {
+    let mut pick = StdRng::seed_from_u64(0x5708_3);
+    for case in 0u64..12 {
+        let k = pick.random_range(2u8..=4);
+        let seed = pick.random_range(0u64..500);
+        let duration = pick.random_range(5u32..100);
+
         let mut net = NetworkConfig::paper();
         net.mesh_k = k;
         let sim = SimConfig {
@@ -161,15 +163,11 @@ proptest! {
             rate: 0.01,
             next: 0,
         };
-        let (report, _) = Simulator::new(
-            net,
-            sim,
-            shield_router::RouterKind::Protected,
-            plan,
-        )
-        .run(|c| src.tick(c));
-        prop_assert_eq!(report.flits_dropped, 0);
-        prop_assert_eq!(report.misdelivered, 0);
-        prop_assert_eq!(report.in_flight_at_end, 0);
+        let (report, _) = Simulator::new(net, sim, shield_router::RouterKind::Protected, plan)
+            .run(|c| src.tick(c));
+        let ctx = format!("case {case}: k={k} seed={seed} duration={duration}");
+        assert_eq!(report.flits_dropped, 0, "{ctx}");
+        assert_eq!(report.misdelivered, 0, "{ctx}");
+        assert_eq!(report.in_flight_at_end, 0, "{ctx}");
     }
 }

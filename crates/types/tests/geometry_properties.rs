@@ -1,75 +1,87 @@
 //! Property tests for mesh geometry and XY routing.
+//!
+//! The state spaces here are small enough to enumerate, so instead of
+//! sampling random cases these tests check every (src, dst) pair
+//! exhaustively — strictly stronger than the randomised originals.
 
 use noc_types::{Coord, Direction, Mesh};
-use proptest::prelude::*;
 
-fn coord_in(k: u8) -> impl Strategy<Value = Coord> {
-    (0..k, 0..k).prop_map(|(x, y)| Coord::new(x, y))
+fn all_pairs(k: u8) -> Vec<(Coord, Coord)> {
+    let coords: Vec<Coord> = Mesh::new(k).coords().collect();
+    coords
+        .iter()
+        .flat_map(|&src| coords.iter().map(move |&dst| (src, dst)))
+        .collect()
 }
 
-proptest! {
-    /// XY paths are always minimal (length = Manhattan distance).
-    #[test]
-    fn xy_paths_are_minimal(k in 2u8..=12, seed in any::<u64>()) {
+/// XY paths are always minimal (length = Manhattan distance).
+#[test]
+fn xy_paths_are_minimal() {
+    for k in 2u8..=12 {
         let m = Mesh::new(k);
-        let mut s = seed;
-        let mut next = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((s >> 33) % k as u64) as u8
-        };
-        let src = Coord::new(next(), next());
-        let dst = Coord::new(next(), next());
-        let path = m.xy_path(src, dst);
-        prop_assert_eq!(path.len() as u32, src.manhattan(dst) + 1);
+        for (src, dst) in all_pairs(k) {
+            let path = m.xy_path(src, dst);
+            assert_eq!(
+                path.len() as u32,
+                src.manhattan(dst) + 1,
+                "k={k} {src:?}->{dst:?}"
+            );
+        }
     }
+}
 
-    /// XY routing never takes a Y step before X is resolved — the
-    /// turn-model property that makes it deadlock-free.
-    #[test]
-    fn xy_never_turns_from_y_back_to_x(src in coord_in(8), dst in coord_in(8)) {
-        let m = Mesh::new(8);
+/// XY routing never takes a Y step before X is resolved — the
+/// turn-model property that makes it deadlock-free.
+#[test]
+fn xy_never_turns_from_y_back_to_x() {
+    let m = Mesh::new(8);
+    for (src, dst) in all_pairs(8) {
         let path = m.xy_path(src, dst);
         let mut seen_y = false;
         for w in path.windows(2) {
             let moved_x = w[0].x != w[1].x;
             let moved_y = w[0].y != w[1].y;
-            prop_assert!(moved_x ^ moved_y, "each hop moves one dimension");
+            assert!(moved_x ^ moved_y, "each hop moves one dimension");
             if moved_y {
                 seen_y = true;
             }
             if moved_x {
-                prop_assert!(!seen_y, "X movement after a Y move violates XY order");
+                assert!(!seen_y, "X movement after a Y move violates XY order");
             }
         }
     }
+}
 
-    /// Every hop of an XY path follows the direction `xy_route` reports,
-    /// and stepping in it lands on the next path node.
-    #[test]
-    fn route_and_step_agree(src in coord_in(8), dst in coord_in(8)) {
-        let m = Mesh::new(8);
+/// Every hop of an XY path follows the direction `xy_route` reports,
+/// and stepping in it lands on the next path node.
+#[test]
+fn route_and_step_agree() {
+    let m = Mesh::new(8);
+    for (src, dst) in all_pairs(8) {
         let mut here = src;
         let mut hops = 0;
         while here != dst {
             let dir = m.xy_route(here, dst);
-            prop_assert_ne!(dir, Direction::Local);
+            assert_ne!(dir, Direction::Local);
             here = here.step(dir, 8).expect("XY keeps paths inside the mesh");
             hops += 1;
-            prop_assert!(hops <= 14, "bounded by the mesh diameter");
+            assert!(hops <= 14, "bounded by the mesh diameter");
         }
-        prop_assert_eq!(m.xy_route(dst, dst), Direction::Local);
+        assert_eq!(m.xy_route(dst, dst), Direction::Local);
     }
+}
 
-    /// Router-id ↔ coordinate mapping is a bijection on every mesh.
-    #[test]
-    fn id_coord_bijection(k in 1u8..=15) {
+/// Router-id ↔ coordinate mapping is a bijection on every mesh.
+#[test]
+fn id_coord_bijection() {
+    for k in 1u8..=15 {
         let m = Mesh::new(k);
         let mut seen = std::collections::HashSet::new();
         for c in m.coords() {
             let id = m.id_of(c);
-            prop_assert!(seen.insert(id), "duplicate id {:?}", id);
-            prop_assert_eq!(m.coord_of(id), c);
+            assert!(seen.insert(id), "duplicate id {id:?}");
+            assert_eq!(m.coord_of(id), c);
         }
-        prop_assert_eq!(seen.len(), m.len());
+        assert_eq!(seen.len(), m.len());
     }
 }
