@@ -83,7 +83,10 @@ impl SeparableAllocator {
     /// Build an allocator for `requestors × resources` with the given
     /// arbiter microarchitecture in both stages.
     pub fn new(requestors: usize, resources: usize, kind: ArbiterKind) -> Self {
-        assert!(requestors > 0 && requestors <= 32, "requestors out of range");
+        assert!(
+            requestors > 0 && requestors <= 32,
+            "requestors out of range"
+        );
         assert!(resources > 0 && resources <= 32, "resources out of range");
         SeparableAllocator {
             stage1: (0..requestors).map(|_| kind.build(resources)).collect(),

@@ -54,7 +54,10 @@ impl RoundRobinArbiter {
     /// # Panics
     /// Panics if `width` is 0 or exceeds [`MAX_WIDTH`].
     pub fn new(width: usize) -> Self {
-        assert!(width > 0 && width <= MAX_WIDTH, "arbiter width out of range");
+        assert!(
+            width > 0 && width <= MAX_WIDTH,
+            "arbiter width out of range"
+        );
         RoundRobinArbiter { width, pointer: 0 }
     }
 
@@ -112,7 +115,10 @@ pub struct FixedPriorityArbiter {
 impl FixedPriorityArbiter {
     /// Create a fixed-priority arbiter over `width` lines.
     pub fn new(width: usize) -> Self {
-        assert!(width > 0 && width <= MAX_WIDTH, "arbiter width out of range");
+        assert!(
+            width > 0 && width <= MAX_WIDTH,
+            "arbiter width out of range"
+        );
         FixedPriorityArbiter { width }
     }
 }
@@ -149,7 +155,10 @@ impl MatrixArbiter {
     /// Create a matrix arbiter over `width` lines; initially lower
     /// indices beat higher indices.
     pub fn new(width: usize) -> Self {
-        assert!(width > 0 && width <= MAX_WIDTH, "arbiter width out of range");
+        assert!(
+            width > 0 && width <= MAX_WIDTH,
+            "arbiter width out of range"
+        );
         let mut beats = [0u32; MAX_WIDTH];
         for (i, row) in beats.iter_mut().enumerate().take(width) {
             // i beats all j > i at power-on.
@@ -187,8 +196,7 @@ impl Arbiter for MatrixArbiter {
             req & (1 << i) != 0 && {
                 let rivals = req & !(1 << i);
                 // rivals that beat i = rivals whose row has bit i set
-                !(0..self.width)
-                    .any(|j| rivals & (1 << j) != 0 && self.beats[j] & (1 << i) != 0)
+                !(0..self.width).any(|j| rivals & (1 << j) != 0 && self.beats[j] & (1 << i) != 0)
             }
         })
     }

@@ -15,9 +15,11 @@ fn run_once(traffic: &TrafficConfig) {
     let cfg = NetworkConfig::paper();
     let mut net = Network::new(cfg, RouterKind::Protected);
     let mut gen = TrafficGenerator::new(*traffic, Mesh::new(8), 1);
+    let mut pkts = Vec::new();
     for cycle in 0..CYCLES {
-        let pkts = gen.tick(cycle);
-        net.offer_packets(pkts);
+        pkts.clear();
+        gen.tick_into(cycle, &mut pkts);
+        net.offer_packets_from(&mut pkts);
         net.step(cycle);
     }
     black_box(net.packet_counters());

@@ -31,6 +31,7 @@ fn run_router(r: &mut Router, cycles: u64) -> u64 {
     let mut sent = 0u64;
     let mut id = 0u64;
     let mut occupancy = [[0u32; 4]; 5];
+    let mut out = shield_router::StepOutput::default();
     for cycle in 0..cycles {
         for (p, dir) in Direction::ALL.iter().enumerate() {
             let vc = VcId((cycle % 4) as u8);
@@ -49,12 +50,12 @@ fn run_router(r: &mut Router, cycles: u64) -> u64 {
                 occupancy[p][vc.index()] += 1;
             }
         }
-        let out = r.step(cycle);
+        r.step_into(cycle, &mut out);
         sent += out.departures.len() as u64;
-        for c in out.credits {
+        for c in out.credits.drain(..) {
             occupancy[c.in_port.index()][c.vc.index()] -= 1;
         }
-        for d in out.departures {
+        for d in out.departures.drain(..) {
             r.receive_credit(d.out_port, d.out_vc);
         }
     }

@@ -22,22 +22,37 @@ fn main() {
     type SiteFn = fn(RouterId) -> FaultSite;
     let scenarios: Vec<(&str, Option<SiteFn>)> = vec![
         ("fault-free", None),
-        ("RC primary faulty (duplicate in use)", Some(|_r| FaultSite::RcPrimary {
-            port: Direction::Local.port(),
-        })),
-        ("VA1 arbiter set faulty (borrowing)", Some(|_r| FaultSite::Va1ArbiterSet {
-            port: Direction::Local.port(),
-            vc: VcId(0),
-        })),
-        ("SA1 arbiter faulty (bypass path)", Some(|_r| FaultSite::Sa1Arbiter {
-            port: Direction::Local.port(),
-        })),
-        ("XB mux faulty (secondary path)", Some(|_r| FaultSite::XbMux {
-            out_port: Direction::East.port(),
-        })),
-        ("SA2 arbiter faulty (secondary path)", Some(|_r| FaultSite::Sa2Arbiter {
-            out_port: Direction::East.port(),
-        })),
+        (
+            "RC primary faulty (duplicate in use)",
+            Some(|_r| FaultSite::RcPrimary {
+                port: Direction::Local.port(),
+            }),
+        ),
+        (
+            "VA1 arbiter set faulty (borrowing)",
+            Some(|_r| FaultSite::Va1ArbiterSet {
+                port: Direction::Local.port(),
+                vc: VcId(0),
+            }),
+        ),
+        (
+            "SA1 arbiter faulty (bypass path)",
+            Some(|_r| FaultSite::Sa1Arbiter {
+                port: Direction::Local.port(),
+            }),
+        ),
+        (
+            "XB mux faulty (secondary path)",
+            Some(|_r| FaultSite::XbMux {
+                out_port: Direction::East.port(),
+            }),
+        ),
+        (
+            "SA2 arbiter faulty (secondary path)",
+            Some(|_r| FaultSite::Sa2Arbiter {
+                out_port: Direction::East.port(),
+            }),
+        ),
     ];
 
     let jobs: Vec<usize> = (0..scenarios.len()).collect();
@@ -52,13 +67,22 @@ fn main() {
         };
         let sim = scale.sim_config(0xAB1A);
         let report = run_simulation(&net, &sim, &traffic, RouterKind::Protected, &plan);
-        (report.mean_latency(), report.router_events, report.flits_dropped)
+        (
+            report.mean_latency(),
+            report.router_events,
+            report.flits_dropped,
+        )
     });
 
     let baseline = results[0].0;
     let mut t = Table::new(
         "Per-mechanism latency ablation (every router faulted, uniform traffic @0.015)",
-        &["scenario", "mean latency (cyc)", "delta", "mechanism events"],
+        &[
+            "scenario",
+            "mean latency (cyc)",
+            "delta",
+            "mechanism events",
+        ],
     );
     for (ix, (name, _)) in scenarios.iter().enumerate() {
         let (lat, ev, dropped) = &results[ix];

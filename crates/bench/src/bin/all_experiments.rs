@@ -10,9 +10,8 @@ use noc_bench::experiments::{figure_table, run_figure, FigureConfig};
 use noc_bench::{ExperimentScale, Table};
 use noc_reliability::inventory::{total_fit, PAPER_DEST_BITS};
 use noc_reliability::{
-    baseline_inventory, correction_inventory, derive_comparators,
-    monte_carlo_faults_to_failure, AreaPowerModel, GateLibrary, MttfReport, SpfAnalysis,
-    TimingModel, PUBLISHED_COMPARATORS,
+    baseline_inventory, correction_inventory, derive_comparators, monte_carlo_faults_to_failure,
+    AreaPowerModel, GateLibrary, MttfReport, SpfAnalysis, TimingModel, PUBLISHED_COMPARATORS,
 };
 use noc_traffic::Suite;
 use noc_types::RouterConfig;
@@ -27,14 +26,28 @@ fn main() {
     // --- E1 / E2: Tables I and II ---
     let base = baseline_inventory(&cfg, PAPER_DEST_BITS);
     let corr = correction_inventory(&cfg, PAPER_DEST_BITS);
-    let mut t1 = Table::new("E1 — Table I: baseline stage FITs", &["stage", "FIT", "paper"]);
+    let mut t1 = Table::new(
+        "E1 — Table I: baseline stage FITs",
+        &["stage", "FIT", "paper"],
+    );
     for (s, p) in base.iter().zip([117.0, 1478.0, 203.0, 1024.0]) {
-        t1.row(&[s.stage.to_string(), format!("{:.1}", s.fit(&lib)), format!("{p:.0}")]);
+        t1.row(&[
+            s.stage.to_string(),
+            format!("{:.1}", s.fit(&lib)),
+            format!("{p:.0}"),
+        ]);
     }
     t1.print();
-    let mut t2 = Table::new("E2 — Table II: correction-circuitry FITs", &["stage", "FIT", "paper"]);
+    let mut t2 = Table::new(
+        "E2 — Table II: correction-circuitry FITs",
+        &["stage", "FIT", "paper"],
+    );
     for (s, p) in corr.iter().zip([117.0, 60.0, 53.0, 416.0]) {
-        t2.row(&[s.stage.to_string(), format!("{:.1}", s.fit(&lib)), format!("{p:.0}")]);
+        t2.row(&[
+            s.stage.to_string(),
+            format!("{:.1}", s.fit(&lib)),
+            format!("{p:.0}"),
+        ]);
     }
     t2.print();
     println!(
@@ -45,10 +58,14 @@ fn main() {
 
     // --- E3: MTTF ---
     let mttf = MttfReport::paper();
-    println!("E3 — MTTF: baseline {:.0} h, protected {:.0} h (paper eq. 5) → {:.2}x",
-        mttf.mttf_baseline_hours, mttf.mttf_protected_paper_hours, mttf.improvement_paper);
-    println!("     textbook parallel formula: {:.0} h → {:.2}x\n",
-        mttf.mttf_protected_textbook_hours, mttf.improvement_textbook);
+    println!(
+        "E3 — MTTF: baseline {:.0} h, protected {:.0} h (paper eq. 5) → {:.2}x",
+        mttf.mttf_baseline_hours, mttf.mttf_protected_paper_hours, mttf.improvement_paper
+    );
+    println!(
+        "     textbook parallel formula: {:.0} h → {:.2}x\n",
+        mttf.mttf_protected_textbook_hours, mttf.improvement_textbook
+    );
 
     // --- E4: SPF ---
     let spf = SpfAnalysis::analytic(&cfg, 0.31);
@@ -59,9 +76,15 @@ fn main() {
     for c in PUBLISHED_COMPARATORS {
         t3.row(&[
             c.architecture.to_string(),
-            c.area_overhead.map(|a| format!("{:.0}%", a * 100.0)).unwrap_or("N/A".into()),
+            c.area_overhead
+                .map(|a| format!("{:.0}%", a * 100.0))
+                .unwrap_or("N/A".into()),
             format!("{:.2}", c.faults_to_failure),
-            if c.upper_bound { format!("<{:.1}", c.spf) } else { format!("{:.2}", c.spf) },
+            if c.upper_bound {
+                format!("<{:.1}", c.spf)
+            } else {
+                format!("{:.2}", c.spf)
+            },
         ]);
     }
     t3.row(&[
@@ -71,11 +94,21 @@ fn main() {
         format!("{:.2}", spf.spf),
     ]);
     t3.print();
-    let trials = if scale == ExperimentScale::Quick { 2_000 } else { 20_000 };
+    let trials = if scale == ExperimentScale::Quick {
+        2_000
+    } else {
+        20_000
+    };
     let mc = monte_carlo_faults_to_failure(&cfg, trials, 0xD1E5);
-    println!("Monte-Carlo (proposed, all 75 sites, {} trials): mean {:.2}", mc.trials, mc.mean_faults_to_failure);
+    println!(
+        "Monte-Carlo (proposed, all 75 sites, {} trials): mean {:.2}",
+        mc.trials, mc.mean_faults_to_failure
+    );
     for d in derive_comparators() {
-        println!("  re-derived {}: {:.2} (published {:.2})", d.name, d.model_mean, d.published);
+        println!(
+            "  re-derived {}: {:.2} (published {:.2})",
+            d.name, d.model_mean, d.published
+        );
     }
     println!();
 
@@ -117,12 +150,18 @@ fn main() {
     for vcs in [2usize, 4, 8] {
         let mut c = RouterConfig::paper();
         c.vcs = vcs;
-        sweep.row(&[vcs.to_string(), format!("{:.2}", SpfAnalysis::analytic(&c, 0.31).spf)]);
+        sweep.row(&[
+            vcs.to_string(),
+            format!("{:.2}", SpfAnalysis::analytic(&c, 0.31).spf),
+        ]);
     }
     sweep.print();
 
     // --- radix sweep (analytic, cheap; per-radix area overhead) ---
-    let mut radix = Table::new("Extension — MTTF gain & SPF vs radix", &["ports", "MTTF gain", "SPF"]);
+    let mut radix = Table::new(
+        "Extension — MTTF gain & SPF vs radix",
+        &["ports", "MTTF gain", "SPF"],
+    );
     for ports in [3usize, 5, 7, 9] {
         let mut c = RouterConfig::paper();
         c.ports = ports;

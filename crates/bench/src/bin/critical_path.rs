@@ -10,7 +10,13 @@ fn main() {
     let paper = ["~0%", "+20%", "+10%", "+25%"];
     let mut t = Table::new(
         "Section VI-B: critical path per pipeline stage (FO4 gate-depth model)",
-        &["stage", "baseline (FO4)", "protected (FO4)", "increase", "paper"],
+        &[
+            "stage",
+            "baseline (FO4)",
+            "protected (FO4)",
+            "increase",
+            "paper",
+        ],
     );
     for (s, p) in report.per_stage.iter().zip(paper) {
         t.row(&[

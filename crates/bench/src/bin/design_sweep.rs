@@ -29,8 +29,16 @@ fn main() {
     }
     let mut jobs = Vec::new();
     for &(vcs, depth) in &points {
-        jobs.push(Job { vcs, depth, faulty: false });
-        jobs.push(Job { vcs, depth, faulty: true });
+        jobs.push(Job {
+            vcs,
+            depth,
+            faulty: false,
+        });
+        jobs.push(Job {
+            vcs,
+            depth,
+            faulty: true,
+        });
     }
 
     let results = run_batch(jobs.clone(), 0, move |j| {
@@ -53,7 +61,13 @@ fn main() {
 
     let mut t = Table::new(
         "Design-point sweep: fault cost vs VCs and buffer depth (uniform @0.02)",
-        &["VCs", "buffer depth", "clean (cyc)", "faulty (cyc)", "fault cost"],
+        &[
+            "VCs",
+            "buffer depth",
+            "clean (cyc)",
+            "faulty (cyc)",
+            "fault cost",
+        ],
     );
     for (i, &(vcs, depth)) in points.iter().enumerate() {
         let clean = results[2 * i];

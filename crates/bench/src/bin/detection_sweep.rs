@@ -43,20 +43,36 @@ fn main() {
 
     // Fault-free reference.
     let sim = scale.sim_config(0xDE7EC7);
-    let clean = run_simulation(&net, &sim, &traffic, RouterKind::Protected, &FaultPlan::none());
+    let clean = run_simulation(
+        &net,
+        &sim,
+        &traffic,
+        RouterKind::Protected,
+        &FaultPlan::none(),
+    );
 
     let mut t = Table::new(
         "Detection-latency sensitivity (accumulating fault campaign, uniform @0.02)",
-        &["detection latency (cyc)", "mean latency", "vs fault-free", "delivered", "lost"],
+        &[
+            "detection latency (cyc)",
+            "mean latency",
+            "vs fault-free",
+            "delivered",
+            "lost",
+        ],
     );
     for (lat, (mean, delivered, dropped)) in latencies.iter().zip(&results) {
         assert_eq!(*dropped, 0, "stall-while-latent never loses flits");
         t.row(&[
-            if *lat == 0 { "ideal (0)".into() } else { lat.to_string() },
+            if *lat == 0 {
+                "ideal (0)".into()
+            } else {
+                lat.to_string()
+            },
             format!("{mean:.2}"),
             format!("{:+.1}%", (mean / clean.mean_latency() - 1.0) * 100.0),
             delivered.to_string(),
-        dropped.to_string(),
+            dropped.to_string(),
         ]);
     }
     t.print();

@@ -22,20 +22,37 @@ fn main() {
 
     // Scattered one-per-stage faults on every fourth router.
     let fault_plan = FaultPlan::at_start(
-        (0..net.nodes() as u16).filter(|r| r % 4 == 0).flat_map(|r| {
-            [
-                (RouterId(r), FaultSite::RcPrimary { port: Direction::Local.port() }),
-                (
-                    RouterId(r),
-                    FaultSite::Va1ArbiterSet {
-                        port: Direction::West.port(),
-                        vc: VcId(0),
-                    },
-                ),
-                (RouterId(r), FaultSite::Sa1Arbiter { port: Direction::North.port() }),
-                (RouterId(r), FaultSite::XbMux { out_port: Direction::East.port() }),
-            ]
-        }),
+        (0..net.nodes() as u16)
+            .filter(|r| r % 4 == 0)
+            .flat_map(|r| {
+                [
+                    (
+                        RouterId(r),
+                        FaultSite::RcPrimary {
+                            port: Direction::Local.port(),
+                        },
+                    ),
+                    (
+                        RouterId(r),
+                        FaultSite::Va1ArbiterSet {
+                            port: Direction::West.port(),
+                            vc: VcId(0),
+                        },
+                    ),
+                    (
+                        RouterId(r),
+                        FaultSite::Sa1Arbiter {
+                            port: Direction::North.port(),
+                        },
+                    ),
+                    (
+                        RouterId(r),
+                        FaultSite::XbMux {
+                            out_port: Direction::East.port(),
+                        },
+                    ),
+                ]
+            }),
         DetectionModel::Ideal,
     );
 
@@ -47,14 +64,30 @@ fn main() {
     }
     let mut jobs = Vec::new();
     for &rate in &rates {
-        jobs.push(Job { rate, kind: RouterKind::Baseline, faulty: false });
-        jobs.push(Job { rate, kind: RouterKind::Protected, faulty: false });
-        jobs.push(Job { rate, kind: RouterKind::Protected, faulty: true });
+        jobs.push(Job {
+            rate,
+            kind: RouterKind::Baseline,
+            faulty: false,
+        });
+        jobs.push(Job {
+            rate,
+            kind: RouterKind::Protected,
+            faulty: false,
+        });
+        jobs.push(Job {
+            rate,
+            kind: RouterKind::Protected,
+            faulty: true,
+        });
     }
     let plan_ref = &fault_plan;
     let net_ref = &net;
     let results = run_batch(jobs.clone(), 0, move |j| {
-        let plan = if j.faulty { plan_ref.clone() } else { FaultPlan::none() };
+        let plan = if j.faulty {
+            plan_ref.clone()
+        } else {
+            FaultPlan::none()
+        };
         let traffic = TrafficConfig::synthetic(SyntheticPattern::UniformRandom, j.rate);
         let sim = scale.sim_config(0x10AD);
         let r = run_simulation(net_ref, &sim, &traffic, j.kind, &plan);
@@ -84,5 +117,7 @@ fn main() {
         ]);
     }
     t.print();
-    println!("\n(protected == baseline when fault-free; the fault column shows graceful degradation)");
+    println!(
+        "\n(protected == baseline when fault-free; the fault column shows graceful degradation)"
+    );
 }

@@ -7,8 +7,7 @@
 use noc_bench::Table;
 use noc_reliability::inventory::{dest_bits, total_fit};
 use noc_reliability::{
-    baseline_inventory, correction_inventory, AreaPowerModel, GateLibrary, MttfReport,
-    SpfAnalysis,
+    baseline_inventory, correction_inventory, AreaPowerModel, GateLibrary, MttfReport, SpfAnalysis,
 };
 use noc_types::RouterConfig;
 

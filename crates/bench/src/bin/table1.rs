@@ -1,8 +1,8 @@
 //! Regenerates **Table I**: FIT values of the baseline pipeline stages.
 
 use noc_bench::Table;
-use noc_reliability::{baseline_inventory, GateLibrary};
 use noc_reliability::inventory::{total_fit, PAPER_DEST_BITS};
+use noc_reliability::{baseline_inventory, GateLibrary};
 use noc_types::RouterConfig;
 
 fn main() {

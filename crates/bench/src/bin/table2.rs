@@ -1,8 +1,8 @@
 //! Regenerates **Table II**: FIT rates of the correction circuitry.
 
 use noc_bench::Table;
-use noc_reliability::{correction_inventory, GateLibrary};
 use noc_reliability::inventory::{total_fit, PAPER_DEST_BITS};
+use noc_reliability::{correction_inventory, GateLibrary};
 use noc_types::RouterConfig;
 
 fn main() {

@@ -36,7 +36,12 @@ fn main() {
 
     let mut t = Table::new(
         "Table III: SPF comparison",
-        &["architecture", "area overhead", "# faults to failure", "SPF"],
+        &[
+            "architecture",
+            "area overhead",
+            "# faults to failure",
+            "SPF",
+        ],
     );
     for c in PUBLISHED_COMPARATORS {
         t.row(&[

@@ -57,7 +57,11 @@ fn main() {
         assert_eq!(*dropped, 0, "transients must never cause loss");
         assert_eq!(*mis, 0);
         t.row(&[
-            if *gap == 0 { "no upsets".into() } else { gap.to_string() },
+            if *gap == 0 {
+                "no upsets".into()
+            } else {
+                gap.to_string()
+            },
             upsets.to_string(),
             format!("{lat:.2}"),
             format!("{:+.1}%", (lat / baseline - 1.0) * 100.0),

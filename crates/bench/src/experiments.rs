@@ -116,7 +116,11 @@ pub fn run_figure(suite: Suite, cfg: &FigureConfig) -> FigureResult {
             RouterKind::Protected,
             &plan,
         );
-        (report.mean_latency(), report.delivered() as f64, faults as f64)
+        (
+            report.mean_latency(),
+            report.delivered() as f64,
+            faults as f64,
+        )
     });
 
     let mut rows = Vec::new();
@@ -148,8 +152,7 @@ pub fn run_figure(suite: Suite, cfg: &FigureConfig) -> FigureResult {
             delivered: clean.1 / n,
         });
     }
-    let overall_increase_pct =
-        rows.iter().map(|r| r.increase_pct).sum::<f64>() / rows.len() as f64;
+    let overall_increase_pct = rows.iter().map(|r| r.increase_pct).sum::<f64>() / rows.len() as f64;
     FigureResult {
         suite,
         rows,
@@ -160,8 +163,12 @@ pub fn run_figure(suite: Suite, cfg: &FigureConfig) -> FigureResult {
 /// Render a figure result as the table the paper plots.
 pub fn figure_table(result: &FigureResult) -> crate::tables::Table {
     let title = match result.suite {
-        Suite::Splash2 => "Figure 7: SPLASH-2 latency, fault-free vs fault-injected (protected router, 8x8 mesh)",
-        Suite::Parsec => "Figure 8: PARSEC latency, fault-free vs fault-injected (protected router, 8x8 mesh)",
+        Suite::Splash2 => {
+            "Figure 7: SPLASH-2 latency, fault-free vs fault-injected (protected router, 8x8 mesh)"
+        }
+        Suite::Parsec => {
+            "Figure 8: PARSEC latency, fault-free vs fault-injected (protected router, 8x8 mesh)"
+        }
     };
     let mut t = crate::tables::Table::new(
         title,

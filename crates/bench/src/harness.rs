@@ -64,8 +64,8 @@ pub fn run_simulation(
 ) -> NetworkReport {
     let mesh = Mesh::new(net.mesh_k);
     let mut generator = TrafficGenerator::new(*traffic, mesh, sim.seed ^ 0x5EED);
-    let (report, _outcome) =
-        Simulator::new(*net, *sim, kind, plan.clone()).run(|cycle| generator.tick(cycle));
+    let (report, _outcome) = Simulator::new(*net, *sim, kind, plan.clone())
+        .run_with(|cycle, out| generator.tick_into(cycle, out));
     report
 }
 

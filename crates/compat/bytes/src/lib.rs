@@ -151,6 +151,9 @@ mod tests {
 
     #[test]
     fn debug_escapes_bytes() {
-        assert_eq!(format!("{:?}", Bytes::from_static(b"a\"\n")), "b\"a\\\"\\n\"");
+        assert_eq!(
+            format!("{:?}", Bytes::from_static(b"a\"\n")),
+            "b\"a\\\"\\n\""
+        );
     }
 }

@@ -182,7 +182,10 @@ mod tests {
         }
         for c in counts {
             let expected = n as f64 / 5.0;
-            assert!((f64::from(c) - expected).abs() < expected * 0.1, "{counts:?}");
+            assert!(
+                (f64::from(c) - expected).abs() < expected * 0.1,
+                "{counts:?}"
+            );
         }
     }
 

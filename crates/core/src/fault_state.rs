@@ -158,7 +158,8 @@ impl FaultState {
     /// Whether the VA stage-2 arbiter of downstream `(out_port, out_vc)`
     /// is faulty.
     pub fn va2_faulty(&self, out_port: PortId, out_vc: VcId) -> bool {
-        self.active.is_faulty(FaultSite::Va2Arbiter { out_port, out_vc })
+        self.active
+            .is_faulty(FaultSite::Va2Arbiter { out_port, out_vc })
     }
 
     /// Whether the SA stage-1 arbiter of `port` is faulty.
@@ -208,13 +209,17 @@ mod tests {
         assert!(!fs.sa1_faulty(PortId(1)));
         fs.refresh(100);
         assert!(fs.sa1_faulty(PortId(1)));
-        assert!(fs.detected().is_faulty(FaultSite::Sa1Arbiter { port: PortId(1) }));
+        assert!(fs
+            .detected()
+            .is_faulty(FaultSite::Sa1Arbiter { port: PortId(1) }));
     }
 
     #[test]
     fn delayed_detection_leaves_latent_window() {
         let mut fs = FaultState::new(DetectionModel::Delayed(10));
-        let site = FaultSite::XbMux { out_port: PortId(2) };
+        let site = FaultSite::XbMux {
+            out_port: PortId(2),
+        };
         fs.inject(site, 50);
         fs.refresh(55);
         assert!(fs.active().is_faulty(site));
@@ -237,7 +242,12 @@ mod tests {
         let mut fs = FaultState::new(DetectionModel::Ideal);
         fs.inject(FaultSite::RcPrimary { port: PortId(0) }, 0);
         fs.inject(FaultSite::RcDuplicate { port: PortId(0) }, 0);
-        fs.inject(FaultSite::XbMux { out_port: PortId(3) }, 0);
+        fs.inject(
+            FaultSite::XbMux {
+                out_port: PortId(3),
+            },
+            0,
+        );
         fs.refresh(0);
         assert_eq!(fs.count(), 3);
         assert_eq!(fs.count_stage(PipelineStage::Rc), 2);

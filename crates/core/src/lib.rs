@@ -64,4 +64,6 @@ mod stages;
 pub use crossbar::{Crossbar, XbPath};
 pub use fault_state::FaultState;
 pub use port::{InputPort, VirtualChannel};
-pub use router::{CreditReturn, Departure, Router, RouterKind, RouterStats, StepOutput};
+pub use router::{
+    CreditReturn, Departure, Router, RouterKind, RouterStats, RoutingAlgorithm, StepOutput,
+};

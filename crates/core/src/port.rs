@@ -51,7 +51,10 @@ impl VirtualChannel {
     /// Panics if the buffer is full — arrival beyond capacity means the
     /// credit protocol was violated, which is a simulator bug.
     pub fn push(&mut self, flit: Flit) {
-        assert!(!self.is_full(), "VC buffer overflow: credit protocol violated");
+        assert!(
+            !self.is_full(),
+            "VC buffer overflow: credit protocol violated"
+        );
         if self.buffer.is_empty() && self.fields.g == VcGlobalState::Idle {
             debug_assert!(
                 flit.kind.is_head(),
@@ -119,14 +122,56 @@ impl VirtualChannel {
 #[derive(Debug, Clone)]
 pub struct InputPort {
     vcs: Vec<VirtualChannel>,
+    /// Bit `i` set ⇔ VC `i` is not `Idle`. Lets the pipeline stages skip
+    /// whole ports without touching any per-VC state. Maintained by
+    /// [`InputPort::push_flit`] / [`InputPort::pop_flit`]; the stages
+    /// only ever move VCs between non-idle states, so the mask cannot
+    /// go stale between flit events.
+    nonidle: u32,
 }
 
 impl InputPort {
     /// Build a port with `vcs` channels of `depth` flits each.
     pub fn new(vcs: usize, depth: usize) -> Self {
+        assert!(vcs <= 32, "the non-idle mask holds at most 32 VCs");
         InputPort {
             vcs: (0..vcs).map(|_| VirtualChannel::new(depth)).collect(),
+            nonidle: 0,
         }
+    }
+
+    /// Bitmask of VCs whose `G` state is anything but `Idle`.
+    #[inline]
+    pub fn nonidle_mask(&self) -> u32 {
+        self.nonidle
+    }
+
+    #[inline]
+    fn sync_nonidle(&mut self, vc: VcId) {
+        let bit = 1u32 << vc.index();
+        if self.vcs[vc.index()].fields.g == VcGlobalState::Idle {
+            self.nonidle &= !bit;
+        } else {
+            self.nonidle |= bit;
+        }
+    }
+
+    /// Append an arriving flit to `vc`, keeping the non-idle mask in
+    /// sync. Router code must use this (not `vc_mut().push`) so the
+    /// stage-skipping mask stays accurate.
+    #[inline]
+    pub fn push_flit(&mut self, vc: VcId, flit: Flit) {
+        self.vcs[vc.index()].push(flit);
+        self.sync_nonidle(vc);
+    }
+
+    /// Remove and return the front flit of `vc`, keeping the non-idle
+    /// mask in sync.
+    #[inline]
+    pub fn pop_flit(&mut self, vc: VcId) -> Option<Flit> {
+        let flit = self.vcs[vc.index()].pop();
+        self.sync_nonidle(vc);
+        flit
     }
 
     /// Number of VCs.
@@ -146,13 +191,13 @@ impl InputPort {
 
     /// Exclusive access to two distinct VCs at once (for transfers and
     /// the borrow protocol).
-    pub fn vc_pair_mut(
-        &mut self,
-        a: VcId,
-        b: VcId,
-    ) -> (&mut VirtualChannel, &mut VirtualChannel) {
+    pub fn vc_pair_mut(&mut self, a: VcId, b: VcId) -> (&mut VirtualChannel, &mut VirtualChannel) {
         assert_ne!(a, b, "need two distinct VCs");
-        let (lo, hi) = if a.index() < b.index() { (a, b) } else { (b, a) };
+        let (lo, hi) = if a.index() < b.index() {
+            (a, b)
+        } else {
+            (b, a)
+        };
         let (left, right) = self.vcs.split_at_mut(hi.index());
         let (first, second) = (&mut left[lo.index()], &mut right[0]);
         if a.index() < b.index() {
@@ -169,10 +214,7 @@ impl InputPort {
 
     /// Iterate over `(VcId, &VirtualChannel)`.
     pub fn iter(&self) -> impl Iterator<Item = (VcId, &VirtualChannel)> {
-        self.vcs
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (VcId(i as u8), v))
+        self.vcs.iter().enumerate().map(|(i, v)| (VcId(i as u8), v))
     }
 }
 
@@ -220,7 +262,11 @@ mod tests {
         vc.push(tail(1));
         vc.push(head(2)); // next packet queued behind
         assert_eq!(vc.pop().unwrap().kind, FlitKind::Head);
-        assert_eq!(vc.fields.g, VcGlobalState::Active, "non-tail pop keeps state");
+        assert_eq!(
+            vc.fields.g,
+            VcGlobalState::Active,
+            "non-tail pop keeps state"
+        );
         assert_eq!(vc.pop().unwrap().kind, FlitKind::Tail);
         assert_eq!(vc.fields.g, VcGlobalState::Routing, "next head wakes VC");
         assert_eq!(vc.occupancy(), 1);
@@ -275,6 +321,20 @@ mod tests {
         b.push(head(2));
         b.fields.g = VcGlobalState::Idle; // force the empty check to fire first
         a.transfer_into(b);
+    }
+
+    #[test]
+    fn nonidle_mask_tracks_push_and_pop() {
+        let mut port = InputPort::new(4, 4);
+        assert_eq!(port.nonidle_mask(), 0);
+        port.push_flit(VcId(2), head(1));
+        assert_eq!(port.nonidle_mask(), 0b0100);
+        port.vc_mut(VcId(2)).fields.g = VcGlobalState::Active;
+        port.push_flit(VcId(2), tail(1));
+        port.pop_flit(VcId(2));
+        assert_eq!(port.nonidle_mask(), 0b0100, "mid-packet stays non-idle");
+        port.pop_flit(VcId(2));
+        assert_eq!(port.nonidle_mask(), 0, "tail pop emptying the VC goes idle");
     }
 
     #[test]

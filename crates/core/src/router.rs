@@ -38,6 +38,10 @@ pub struct CreditReturn {
 }
 
 /// Everything a [`Router::step`] call produces.
+///
+/// For allocation-free stepping, keep one `StepOutput` alive across
+/// cycles and pass it to [`Router::step_into`]: the vectors are cleared,
+/// not reallocated, so steady state performs no heap allocation.
 #[derive(Debug, Default)]
 pub struct StepOutput {
     /// Flits that traversed the crossbar this cycle.
@@ -46,6 +50,15 @@ pub struct StepOutput {
     pub credits: Vec<CreditReturn>,
     /// Flits destroyed by an unprotected crossbar fault (baseline only).
     pub dropped: Vec<Flit>,
+}
+
+impl StepOutput {
+    /// Empty all three event lists, keeping their capacity.
+    pub fn clear(&mut self) {
+        self.departures.clear();
+        self.credits.clear();
+        self.dropped.clear();
+    }
 }
 
 /// Event counters exposed for experiments and invariant checks.
@@ -78,8 +91,57 @@ pub struct RouterStats {
     pub secondary_path_flits: u64,
 }
 
-/// Routing function: destination coordinate → output port.
-pub type RouteFn = Box<dyn Fn(Coord) -> PortId + Send>;
+/// The routing computation a router's RC units perform, as a closed
+/// enum so the per-cycle hot path dispatches statically instead of
+/// through a boxed `dyn Fn`.
+#[derive(Debug, Clone)]
+pub enum RoutingAlgorithm {
+    /// Dimension-ordered XY routing from `coord` within `mesh`.
+    Xy {
+        /// The mesh the router lives in.
+        mesh: Mesh,
+        /// The router's own coordinate.
+        coord: Coord,
+    },
+    /// An explicit routing table: destination router id → output port.
+    /// Covers arbitrary-radix / arbitrary-topology routers (Section VI)
+    /// that previously needed a custom closure.
+    Table {
+        /// Maps destination coordinates to table indices.
+        mesh: Mesh,
+        /// One output port per destination router id.
+        ports: Vec<PortId>,
+    },
+}
+
+impl RoutingAlgorithm {
+    /// XY routing for the router at `coord` in `mesh`.
+    pub fn xy(mesh: Mesh, coord: Coord) -> Self {
+        RoutingAlgorithm::Xy { mesh, coord }
+    }
+
+    /// A routing table over `mesh`'s router ids.
+    ///
+    /// # Panics
+    /// Panics if the table does not cover every router in the mesh.
+    pub fn table(mesh: Mesh, ports: Vec<PortId>) -> Self {
+        assert_eq!(
+            ports.len(),
+            mesh.len(),
+            "routing table must cover every destination"
+        );
+        RoutingAlgorithm::Table { mesh, ports }
+    }
+
+    /// The output port for a packet headed to `dst`.
+    #[inline]
+    pub fn route(&self, dst: Coord) -> PortId {
+        match self {
+            RoutingAlgorithm::Xy { mesh, coord } => mesh.xy_route(*coord, dst).port(),
+            RoutingAlgorithm::Table { mesh, ports } => ports[mesh.id_of(dst).index()],
+        }
+    }
+}
 
 /// A switch-allocation winner waiting to traverse the crossbar next
 /// cycle. Captures everything needed so later state changes cannot
@@ -108,7 +170,7 @@ pub struct Router {
     pub(crate) coord: Coord,
     pub(crate) cfg: RouterConfig,
     pub(crate) kind: RouterKind,
-    pub(crate) route: RouteFn,
+    pub(crate) route: RoutingAlgorithm,
     pub(crate) ports: Vec<InputPort>,
     /// `[out][vc]`: downstream VC currently allocated to a packet.
     pub(crate) out_vc_busy: Vec<Vec<bool>>,
@@ -135,17 +197,20 @@ pub struct Router {
     /// See `sa_stage` — models the paper's VC-to-VC transfer as a
     /// 1-cycle reprogramming of the default-winner register.
     pub(crate) bypass_ptr: Vec<Option<(usize, Cycle)>>,
+    /// Preallocated per-cycle working storage for the VA/SA stages,
+    /// cleared (never reallocated) each cycle.
+    pub(crate) scratch: crate::stages::StageScratch,
     pub(crate) stats: RouterStats,
 }
 
 impl Router {
-    /// Build a router with an arbitrary routing function.
+    /// Build a router with an arbitrary routing algorithm.
     pub fn new(
         id: u16,
         coord: Coord,
         cfg: RouterConfig,
         kind: RouterKind,
-        route: RouteFn,
+        route: RoutingAlgorithm,
         detection: DetectionModel,
     ) -> Self {
         cfg.validate().expect("invalid router configuration");
@@ -157,7 +222,9 @@ impl Router {
             cfg,
             kind,
             route,
-            ports: (0..p).map(|_| InputPort::new(v, cfg.buffer_depth)).collect(),
+            ports: (0..p)
+                .map(|_| InputPort::new(v, cfg.buffer_depth))
+                .collect(),
             out_vc_busy: vec![vec![false; v]; p],
             credits: vec![vec![cfg.buffer_depth as u8; v]; p],
             va1: (0..p)
@@ -174,16 +241,17 @@ impl Router {
             sa2: (0..p).map(|_| RoundRobinArbiter::new(p)).collect(),
             xbar: Crossbar::new(p),
             faults: FaultState::new(detection),
-            xb_queue: Vec::new(),
+            xb_queue: Vec::with_capacity(p),
             rc_pointer: vec![0; p],
             bypass_ptr: vec![None; p],
+            scratch: crate::stages::StageScratch::new(p, v),
             stats: RouterStats::default(),
         }
     }
 
     /// Build a router that XY-routes within `mesh` from its own `coord`.
     pub fn new_xy(id: u16, coord: Coord, mesh: Mesh, cfg: RouterConfig, kind: RouterKind) -> Self {
-        let route: RouteFn = Box::new(move |dst| mesh.xy_route(coord, dst).port());
+        let route = RoutingAlgorithm::xy(mesh, coord);
         Router::new(id, coord, cfg, kind, route, DetectionModel::Ideal)
     }
 
@@ -243,6 +311,16 @@ impl Router {
         self.ports.iter().map(|p| p.occupancy()).sum::<usize>() + self.xb_queue.len()
     }
 
+    /// SA grants queued for crossbar traversal that target downstream
+    /// `(out, vc)`. Each holds one reserved downstream credit until the
+    /// traversal executes, drops or is cancelled (conservation checks).
+    pub fn queued_to(&self, out: PortId, vc: VcId) -> usize {
+        self.xb_queue
+            .iter()
+            .filter(|g| g.logical_out == out && g.out_vc == vc)
+            .count()
+    }
+
     /// Access an input port (diagnostics, tests).
     pub fn port(&self, p: PortId) -> &InputPort {
         &self.ports[p.index()]
@@ -265,7 +343,7 @@ impl Router {
     /// Accept a flit arriving on `(port, vc)` (buffer write).
     pub fn receive_flit(&mut self, port: PortId, vc: VcId, flit: Flit) {
         self.stats.flits_in += 1;
-        self.ports[port.index()].vc_mut(vc).push(flit);
+        self.ports[port.index()].push_flit(vc, flit);
     }
 
     /// Accept a credit returned by the downstream router of `out_port`.
@@ -288,25 +366,39 @@ impl Router {
         self.out_vc_busy[out_port.index()][vc.index()]
     }
 
-    /// Advance one clock cycle.
+    /// Advance one clock cycle, allocating a fresh [`StepOutput`].
+    ///
+    /// Convenience wrapper over [`Router::step_into`]; hot loops should
+    /// hold a reusable `StepOutput` and call `step_into` instead.
+    pub fn step(&mut self, cycle: Cycle) -> StepOutput {
+        let mut out = StepOutput::default();
+        self.step_into(cycle, &mut out);
+        out
+    }
+
+    /// Advance one clock cycle, writing this cycle's events into `out`
+    /// (cleared first). With a long-lived `out`, steady-state stepping
+    /// performs no heap allocation.
     ///
     /// Stages run in reverse pipeline order (XB, SA, VA, RC) so that a
     /// flit advances through at most one stage per call, yielding the
     /// 4-cycle head-flit pipeline of Figure 2.
-    pub fn step(&mut self, cycle: Cycle) -> StepOutput {
+    pub fn step_into(&mut self, cycle: Cycle, out: &mut StepOutput) {
+        out.clear();
         self.faults.refresh(cycle);
-        let mut out = StepOutput::default();
-        self.xb_stage(&mut out);
+        self.xb_stage(out);
         self.sa_stage(cycle);
         self.va_stage();
         self.rc_stage();
-        out
     }
 
     /// XB stage: execute last cycle's SA grants.
     fn xb_stage(&mut self, out: &mut StepOutput) {
-        let grants = std::mem::take(&mut self.xb_queue);
-        for g in grants {
+        // SA refills the queue only after this drain, so the whole
+        // current contents are this cycle's work. `XbGrant` is `Copy`:
+        // iterate by index and clear, keeping the queue's capacity.
+        for i in 0..self.xb_queue.len() {
+            let g = self.xb_queue[i];
             // Re-validate the physical path: a fault may have manifested
             // between grant and traversal.
             let mux_now_faulty = self.faults.xb_mux_faulty(g.mux);
@@ -316,11 +408,18 @@ impl Router {
                         // The baseline router is unaware: the flit is
                         // switched into a dead multiplexer and lost.
                         let flit = self.ports[g.in_port.index()]
-                            .vc_mut(g.in_vc)
-                            .pop()
+                            .pop_flit(g.in_vc)
                             .expect("granted VC must hold a flit");
                         let is_tail = flit.kind.is_tail();
                         self.stats.flits_dropped += 1;
+                        // The downstream slot reserved at SA-grant time is
+                        // never consumed — the flit dies in the mux, so
+                        // nothing arrives downstream and no credit will
+                        // ever come back for it. Restore it here, exactly
+                        // as the protected cancel path does; otherwise the
+                        // link leaks one credit per dropped flit until it
+                        // wedges at zero.
+                        self.credits[g.logical_out.index()][g.out_vc.index()] += 1;
                         out.credits.push(CreditReturn {
                             in_port: g.in_port,
                             vc: g.in_vc,
@@ -342,8 +441,9 @@ impl Router {
                 }
             }
             let flit = {
-                let vc = self.ports[g.in_port.index()].vc_mut(g.in_vc);
-                let mut flit = vc.pop().expect("granted VC must hold a flit");
+                let mut flit = self.ports[g.in_port.index()]
+                    .pop_flit(g.in_vc)
+                    .expect("granted VC must hold a flit");
                 flit.hops += 1;
                 flit
             };
@@ -364,6 +464,7 @@ impl Router {
                 flit,
             });
         }
+        self.xb_queue.clear();
     }
 }
 

@@ -8,7 +8,7 @@ use noc_types::{Cycle, PortId, VcGlobalState, VcId};
 
 /// One switch-allocation request, formed per active VC each cycle.
 #[derive(Debug, Clone, Copy)]
-struct SaRequest {
+pub(crate) struct SaRequest {
     /// The link the flit must leave on.
     logical_out: PortId,
     /// The SA2 arbiter / crossbar mux to compete for (differs from
@@ -16,6 +16,37 @@ struct SaRequest {
     target: PortId,
     /// The allocated downstream VC.
     out_vc: VcId,
+}
+
+/// Preallocated per-cycle working storage for the VA and SA stages.
+/// Every vector is sized once at construction and cleared — never
+/// reallocated — each cycle, so `Router::step_into` stays off the heap.
+#[derive(Debug)]
+pub(crate) struct StageScratch {
+    /// VA stage-1 picks: `(port, requesting vc, arbiter owner, out,
+    /// picked downstream vc)`. At most one per input VC.
+    va_picks: Vec<(usize, VcId, VcId, PortId, VcId)>,
+    /// VA stage-2 request masks, indexed `out * v + out_vc`; bit
+    /// `port * v + vc` set means that input VC competes.
+    va_stage2: Vec<u32>,
+    /// SA requests, indexed `port * v + vc`.
+    sa_requests: Vec<Option<SaRequest>>,
+    /// SA stage-1 winner VC per input port.
+    sa_port_winner: Vec<Option<usize>>,
+    /// SA stage-2 request masks per target output (bit = input port).
+    sa_stage2: Vec<u32>,
+}
+
+impl StageScratch {
+    pub(crate) fn new(p: usize, v: usize) -> Self {
+        StageScratch {
+            va_picks: Vec::with_capacity(p * v),
+            va_stage2: vec![0; p * v],
+            sa_requests: vec![None; p * v],
+            sa_port_winner: vec![None; p],
+            sa_stage2: vec![0; p],
+        }
+    }
 }
 
 impl Router {
@@ -29,9 +60,16 @@ impl Router {
         let v = self.cfg.vcs;
         for port_idx in 0..self.cfg.ports {
             let port_id = PortId(port_idx as u8);
+            let nonidle = self.ports[port_idx].nonidle_mask();
+            if nonidle == 0 {
+                continue; // every VC idle: nothing to route
+            }
             let start = self.rc_pointer[port_idx];
             for i in 0..v {
                 let vc_id = VcId(((start + i) % v) as u8);
+                if nonidle & (1 << vc_id.index()) == 0 {
+                    continue;
+                }
                 if self.ports[port_idx].vc(vc_id).fields.g != VcGlobalState::Routing {
                     continue;
                 }
@@ -40,7 +78,7 @@ impl Router {
                     .front()
                     .expect("routing VC holds its head flit")
                     .dst;
-                let correct = (self.route)(dst);
+                let correct = self.route.route(dst);
                 let primary_faulty = self.faults.rc_primary_faulty(port_id);
                 let computed = match (self.kind, primary_faulty) {
                     (_, false) => Some(correct),
@@ -102,12 +140,19 @@ impl Router {
         let v = self.cfg.vcs;
 
         // ---- Stage 1: each waiting VC picks one free downstream VC ----
-        // (port, requesting vc, owner of the arbiter set used, out, pick)
-        let mut picks: Vec<(usize, VcId, VcId, PortId, VcId)> = Vec::new();
+        self.scratch.va_picks.clear();
         for port_idx in 0..p {
             let port_id = PortId(port_idx as u8);
-            let mut lent = vec![false; v];
+            let nonidle = self.ports[port_idx].nonidle_mask();
+            if nonidle == 0 {
+                continue; // every VC idle: none can be in VcAlloc
+            }
+            // Bit per VC: lender already serving a borrower this cycle.
+            let mut lent: u32 = 0;
             for vc_idx in 0..v {
+                if nonidle & (1 << vc_idx) == 0 {
+                    continue;
+                }
                 let vc_id = VcId(vc_idx as u8);
                 let fields = self.ports[port_idx].vc(vc_id).fields;
                 if fields.g != VcGlobalState::VcAlloc {
@@ -131,19 +176,17 @@ impl Router {
                             } else {
                                 // Scan the other VCs of this input port for
                                 // a lender whose arbiters are healthy and
-                                // whose G state is idle or SA (Section
-                                // V-B1); a lender serves one borrower per
-                                // cycle.
-                                let lender = (1..v)
-                                    .map(|d| VcId(((vc_idx + d) % v) as u8))
-                                    .find(|&l| {
-                                        !lent[l.index()]
+                                // not in use: its G state must be Idle or
+                                // Active — i.e. past VA, in the SA stage —
+                                // matching `VcGlobalState::lendable_for_va`
+                                // and Section V-B1 ("not utilizing its VA
+                                // arbiters"). A lender serves one borrower
+                                // per cycle.
+                                let lender =
+                                    (1..v).map(|d| VcId(((vc_idx + d) % v) as u8)).find(|&l| {
+                                        lent & (1 << l.index()) == 0
                                             && !self.faults.va1_faulty(port_id, l)
-                                            && self.ports[port_idx]
-                                                .vc(l)
-                                                .fields
-                                                .g
-                                                .lendable_for_va()
+                                            && self.ports[port_idx].vc(l).fields.g.lendable_for_va()
                                     });
                                 if lender.is_none() {
                                     // Scenario 2: intended lenders busy in
@@ -167,13 +210,10 @@ impl Router {
                         continue;
                     }
                     if self.kind == RouterKind::Protected
-                        && self
-                            .faults
-                            .detected()
-                            .is_faulty(FaultSite::Va2Arbiter {
-                                out_port: out,
-                                out_vc: VcId(ovc as u8),
-                            })
+                        && self.faults.detected().is_faulty(FaultSite::Va2Arbiter {
+                            out_port: out,
+                            out_vc: VcId(ovc as u8),
+                        })
                     {
                         continue;
                     }
@@ -182,33 +222,36 @@ impl Router {
                 if req == 0 {
                     continue; // no empty VC downstream: retry later
                 }
-                let pick =
-                    self.va1[port_idx][owner.index()][out.index()].arbitrate(req);
+                let pick = self.va1[port_idx][owner.index()][out.index()].arbitrate(req);
                 if let Some(ovc) = pick {
                     if owner != vc_id {
                         // Borrow protocol bookkeeping (Figure 4): the
                         // borrower deposits its RC result and identity in
                         // the lender's R2/ID fields and raises VF.
-                        let lender_fields =
-                            &mut self.ports[port_idx].vc_mut(owner).fields;
+                        let lender_fields = &mut self.ports[port_idx].vc_mut(owner).fields;
                         lender_fields.r2 = Some(out);
                         lender_fields.id = Some(vc_id);
                         lender_fields.vf = true;
-                        lent[owner.index()] = true;
+                        lent |= 1 << owner.index();
                         self.stats.va_borrows += 1;
                     }
-                    picks.push((port_idx, vc_id, owner, out, VcId(ovc as u8)));
+                    self.scratch
+                        .va_picks
+                        .push((port_idx, vc_id, owner, out, VcId(ovc as u8)));
                 }
             }
         }
 
         // ---- Stage 2: per downstream VC, arbitrate among pickers ----
-        let mut stage2: Vec<Vec<u32>> = vec![vec![0; v]; p];
-        for &(port_idx, vc_id, _owner, out, ovc) in &picks {
-            stage2[out.index()][ovc.index()] |= 1 << (port_idx * v + vc_id.index());
+        self.scratch.va_stage2.fill(0);
+        for i in 0..self.scratch.va_picks.len() {
+            let (port_idx, vc_id, _owner, out, ovc) = self.scratch.va_picks[i];
+            self.scratch.va_stage2[out.index() * v + ovc.index()] |=
+                1 << (port_idx * v + vc_id.index());
         }
-        for (out_idx, row) in stage2.iter().enumerate() {
-            for (ovc_idx, &req) in row.iter().enumerate() {
+        for out_idx in 0..p {
+            for ovc_idx in 0..v {
+                let req = self.scratch.va_stage2[out_idx * v + ovc_idx];
                 if req == 0 {
                     continue;
                 }
@@ -224,9 +267,7 @@ impl Router {
                 }
                 if let Some(winner) = self.va2[out_idx][ovc_idx].arbitrate(req) {
                     let (port_idx, vc_idx) = (winner / v, winner % v);
-                    let fields = &mut self.ports[port_idx]
-                        .vc_mut(VcId(vc_idx as u8))
-                        .fields;
+                    let fields = &mut self.ports[port_idx].vc_mut(VcId(vc_idx as u8)).fields;
                     fields.o = Some(VcId(ovc_idx as u8));
                     fields.g = VcGlobalState::Active;
                     self.out_vc_busy[out_idx][ovc_idx] = true;
@@ -236,15 +277,12 @@ impl Router {
         }
 
         // The VA unit resets the borrow fields once allocation completes
-        // (Section V-B2). We re-establish borrows every cycle, so clear
-        // them all here.
-        for port_idx in 0..p {
-            for vc_idx in 0..v {
-                self.ports[port_idx]
-                    .vc_mut(VcId(vc_idx as u8))
-                    .fields
-                    .clear_borrow();
-            }
+        // (Section V-B2). Borrows are re-established every cycle and only
+        // ever raised on this cycle's pick owners, so clearing those
+        // owners is equivalent to sweeping every VC.
+        for i in 0..self.scratch.va_picks.len() {
+            let (port_idx, _vc, owner, _out, _ovc) = self.scratch.va_picks[i];
+            self.ports[port_idx].vc_mut(owner).fields.clear_borrow();
         }
     }
 
@@ -263,9 +301,16 @@ impl Router {
         let v = self.cfg.vcs;
 
         // ---- Form per-VC requests ----
-        let mut requests: Vec<Vec<Option<SaRequest>>> = vec![vec![None; v]; p];
+        self.scratch.sa_requests.fill(None);
         for port_idx in 0..p {
+            let nonidle = self.ports[port_idx].nonidle_mask();
+            if nonidle == 0 {
+                continue; // every VC idle: no flits to switch
+            }
             for vc_idx in 0..v {
+                if nonidle & (1 << vc_idx) == 0 {
+                    continue;
+                }
                 let vc_id = VcId(vc_idx as u8);
                 let vc = self.ports[port_idx].vc(vc_id);
                 if vc.fields.g != VcGlobalState::Active || vc.is_empty() {
@@ -273,25 +318,27 @@ impl Router {
                 }
                 let out = vc.fields.r.expect("active VC is routed");
                 let out_vc = vc.fields.o.expect("active VC holds a downstream VC");
+                let target = match self.kind {
+                    RouterKind::Baseline => Some(out),
+                    RouterKind::Protected => self.xbar.sa2_target(self.faults.detected(), out),
+                };
+                // Refresh the SP/FSP observability fields before any
+                // skip: a VC stalled on credits, or blocked on an
+                // unreachable output, must still report its current
+                // secondary-path status rather than last cycle's.
+                {
+                    let fields = &mut self.ports[port_idx].vc_mut(vc_id).fields;
+                    let diverted = target.is_some_and(|t| t != out);
+                    fields.fsp = diverted;
+                    fields.sp = if diverted { target } else { None };
+                }
+                let Some(target) = target else {
+                    continue; // output unreachable: blocked
+                };
                 if self.credits[out.index()][out_vc.index()] == 0 {
                     continue; // no downstream space
                 }
-                let target = match self.kind {
-                    RouterKind::Baseline => out,
-                    RouterKind::Protected => {
-                        match self.xbar.sa2_target(self.faults.detected(), out) {
-                            Some(t) => t,
-                            None => continue, // output unreachable: blocked
-                        }
-                    }
-                };
-                // Refresh the SP/FSP observability fields.
-                {
-                    let fields = &mut self.ports[port_idx].vc_mut(vc_id).fields;
-                    fields.fsp = target != out;
-                    fields.sp = (target != out).then_some(target);
-                }
-                requests[port_idx][vc_idx] = Some(SaRequest {
+                self.scratch.sa_requests[port_idx * v + vc_idx] = Some(SaRequest {
                     logical_out: out,
                     target,
                     out_vc,
@@ -300,17 +347,17 @@ impl Router {
         }
 
         // ---- Stage 1: per input port, pick one VC ----
-        let mut port_winner: Vec<Option<usize>> = vec![None; p];
+        self.scratch.sa_port_winner.fill(None);
         for port_idx in 0..p {
             let port_id = PortId(port_idx as u8);
             let req_mask: u32 = (0..v)
-                .filter(|&vc| requests[port_idx][vc].is_some())
+                .filter(|&vc| self.scratch.sa_requests[port_idx * v + vc].is_some())
                 .fold(0, |m, vc| m | (1 << vc));
             if req_mask == 0 {
                 continue;
             }
             if !self.faults.sa1_faulty(port_id) {
-                port_winner[port_idx] = self.sa1[port_idx].arbitrate(req_mask);
+                self.scratch.sa_port_winner[port_idx] = self.sa1[port_idx].arbitrate(req_mask);
                 continue;
             }
             match self.kind {
@@ -341,10 +388,10 @@ impl Router {
                         _ => rotation_default,
                     };
                     if req_mask & (1 << effective) != 0 {
-                        port_winner[port_idx] = Some(effective);
+                        self.scratch.sa_port_winner[port_idx] = Some(effective);
                         self.stats.sa_bypass_grants += 1;
                     } else if let Some(src) =
-                        (0..v).find(|&vc| requests[port_idx][vc].is_some())
+                        (0..v).find(|&vc| self.scratch.sa_requests[port_idx * v + vc].is_some())
                     {
                         // Re-point the register; no grant this cycle.
                         self.bypass_ptr[port_idx] = Some((src, period));
@@ -355,14 +402,16 @@ impl Router {
         }
 
         // ---- Stage 2: per target output, pick one input port ----
-        let mut stage2: Vec<u32> = vec![0; p];
-        for (port_idx, winner) in port_winner.iter().enumerate() {
-            if let Some(vc) = winner {
-                let req = requests[port_idx][*vc].expect("winner had a request");
-                stage2[req.target.index()] |= 1 << port_idx;
+        self.scratch.sa_stage2.fill(0);
+        for port_idx in 0..p {
+            if let Some(vc) = self.scratch.sa_port_winner[port_idx] {
+                let req =
+                    self.scratch.sa_requests[port_idx * v + vc].expect("winner had a request");
+                self.scratch.sa_stage2[req.target.index()] |= 1 << port_idx;
             }
         }
-        for (target_idx, &mask) in stage2.iter().enumerate() {
+        for target_idx in 0..p {
+            let mask = self.scratch.sa_stage2[target_idx];
             if mask == 0 {
                 continue;
             }
@@ -373,8 +422,10 @@ impl Router {
                 continue;
             }
             if let Some(wport) = self.sa2[target_idx].arbitrate(mask) {
-                let vc_idx = port_winner[wport].expect("stage-2 winner won stage 1");
-                let req = requests[wport][vc_idx].expect("winner had a request");
+                let vc_idx =
+                    self.scratch.sa_port_winner[wport].expect("stage-2 winner won stage 1");
+                let req =
+                    self.scratch.sa_requests[wport * v + vc_idx].expect("winner had a request");
                 // Reserve the downstream buffer slot now; XB sends next
                 // cycle.
                 self.credits[req.logical_out.index()][req.out_vc.index()] -= 1;

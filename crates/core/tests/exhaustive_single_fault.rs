@@ -44,11 +44,7 @@ fn full_port_matrix_delivery(router: &mut Router) -> (usize, usize) {
             }
             id += 1;
             let pkt = Packet::new(PacketId(id), PacketKind::Control, HERE, dst, 0);
-            arrivals.push((
-                in_dir.port(),
-                VcId((id % 4) as u8),
-                pkt.segment(),
-            ));
+            arrivals.push((in_dir.port(), VcId((id % 4) as u8), pkt.segment()));
             expected += 1;
         }
     }
@@ -94,7 +90,10 @@ fn every_single_fault_site_is_tolerated() {
     for site in FaultSite::enumerate(&cfg) {
         let mut r = Router::new_xy(0, HERE, Mesh::new(8), cfg, RouterKind::Protected);
         r.inject_fault(site, 0);
-        assert!(!r.is_failed(), "{site}: single fault can never fail the router");
+        assert!(
+            !r.is_failed(),
+            "{site}: single fault can never fail the router"
+        );
         let (delivered, expected) = full_port_matrix_delivery(&mut r);
         assert_eq!(
             delivered, expected,
@@ -111,9 +110,14 @@ fn every_stage_pairs_with_every_other_stage() {
     let cfg = RouterConfig::paper();
     let representative = [
         FaultSite::RcPrimary { port: PortId(0) },
-        FaultSite::Va1ArbiterSet { port: PortId(1), vc: VcId(2) },
+        FaultSite::Va1ArbiterSet {
+            port: PortId(1),
+            vc: VcId(2),
+        },
         FaultSite::Sa1Arbiter { port: PortId(4) },
-        FaultSite::XbMux { out_port: PortId(2) },
+        FaultSite::XbMux {
+            out_port: PortId(2),
+        },
     ];
     for (i, &a) in representative.iter().enumerate() {
         for &b in &representative[i + 1..] {
@@ -142,8 +146,12 @@ fn fatal_pairs_block_but_never_drop() {
             FaultSite::Sa1Bypass { port: PortId(0) },
         ),
         (
-            FaultSite::XbMux { out_port: PortId(2) },
-            FaultSite::XbSecondary { out_port: PortId(2) },
+            FaultSite::XbMux {
+                out_port: PortId(2),
+            },
+            FaultSite::XbSecondary {
+                out_port: PortId(2),
+            },
         ),
     ];
     for (a, b) in fatal_pairs {

@@ -100,9 +100,8 @@ struct StageFaults {
 }
 
 fn gen_faults(rng: &mut StdRng) -> StageFaults {
-    let opt = |rng: &mut StdRng| -> Option<u8> {
-        rng.random::<bool>().then(|| rng.random_range(0u8..5))
-    };
+    let opt =
+        |rng: &mut StdRng| -> Option<u8> { rng.random::<bool>().then(|| rng.random_range(0u8..5)) };
     StageFaults {
         rc_port: opt(rng),
         va1: rng
@@ -130,7 +129,12 @@ fn apply_faults(r: &mut Router, f: &StageFaults) {
         r.inject_fault(FaultSite::Sa1Arbiter { port: PortId(p) }, 0);
     }
     if let Some(o) = f.xb_out {
-        r.inject_fault(FaultSite::XbMux { out_port: PortId(o) }, 0);
+        r.inject_fault(
+            FaultSite::XbMux {
+                out_port: PortId(o),
+            },
+            0,
+        );
     }
 }
 

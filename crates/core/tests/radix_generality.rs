@@ -4,18 +4,21 @@
 //! through the full pipeline, with and without faults.
 
 use noc_faults::{DetectionModel, FaultSite};
-use noc_types::{
-    Coord, Flit, FlitKind, FlitSeq, PacketId, PortId, RouterConfig, VcId,
-};
-use shield_router::{Router, RouterKind};
+use noc_types::{Coord, Flit, FlitKind, FlitSeq, Mesh, PacketId, PortId, RouterConfig, VcId};
+use shield_router::{Router, RouterKind, RoutingAlgorithm};
 
-/// Build a `ports`-radix protected router whose routing function maps a
+/// Build a `ports`-radix protected router whose routing table maps a
 /// destination's x coordinate to output port `x % ports` — a stand-in
 /// for an arbitrary topology's routing table.
 fn radix_router(ports: usize, kind: RouterKind) -> Router {
     let mut cfg = RouterConfig::paper();
     cfg.ports = ports;
-    let route = Box::new(move |dst: Coord| PortId((dst.x as usize % ports) as u8));
+    let mesh = Mesh::new(10);
+    let table: Vec<PortId> = mesh
+        .coords()
+        .map(|c| PortId((c.x as usize % ports) as u8))
+        .collect();
+    let route = RoutingAlgorithm::table(mesh, table);
     Router::new(0, Coord::new(0, 0), cfg, kind, route, DetectionModel::Ideal)
 }
 
@@ -71,7 +74,12 @@ fn seven_port_secondary_paths_cover_every_output() {
     // Single mux faults are tolerated at radix 7 exactly as at radix 5.
     for out in 0..7u8 {
         let mut r = radix_router(7, RouterKind::Protected);
-        r.inject_fault(FaultSite::XbMux { out_port: PortId(out) }, 0);
+        r.inject_fault(
+            FaultSite::XbMux {
+                out_port: PortId(out),
+            },
+            0,
+        );
         assert!(!r.is_failed(), "mux {out} alone can never fail the router");
         let delivered = drive_all_outputs(&mut r, 7);
         assert_eq!(delivered, vec![1; 7], "mux {out} faulty");
@@ -82,9 +90,20 @@ fn seven_port_secondary_paths_cover_every_output() {
 fn seven_port_one_fault_per_stage_is_tolerated() {
     let mut r = radix_router(7, RouterKind::Protected);
     r.inject_fault(FaultSite::RcPrimary { port: PortId(1) }, 0);
-    r.inject_fault(FaultSite::Va1ArbiterSet { port: PortId(1), vc: VcId(0) }, 0);
+    r.inject_fault(
+        FaultSite::Va1ArbiterSet {
+            port: PortId(1),
+            vc: VcId(0),
+        },
+        0,
+    );
     r.inject_fault(FaultSite::Sa1Arbiter { port: PortId(1) }, 0);
-    r.inject_fault(FaultSite::XbMux { out_port: PortId(0) }, 0);
+    r.inject_fault(
+        FaultSite::XbMux {
+            out_port: PortId(0),
+        },
+        0,
+    );
     assert!(!r.is_failed());
     let delivered = drive_all_outputs(&mut r, 7);
     assert_eq!(delivered.iter().sum::<u64>(), 7, "{delivered:?}");

@@ -135,9 +135,7 @@ fn credits_throttle_when_downstream_never_replies() {
     // returns credits.
     let mut sent = 0;
     for cycle in 0..30 {
-        if !flits.is_empty()
-            && r.port(Direction::Local.port()).vc(VcId(0)).occupancy() < 4
-        {
+        if !flits.is_empty() && r.port(Direction::Local.port()).vc(VcId(0)).occupancy() < 4 {
             r.receive_flit(Direction::Local.port(), VcId(0), flits.pop().unwrap());
         }
         sent += r.step(cycle).departures.len();
@@ -195,8 +193,14 @@ fn two_ports_contending_for_one_output_serialise() {
     ];
     let (deps, _) = drive(&mut r, arrivals, 15);
     assert_eq!(deps.len(), 2);
-    assert_eq!(deps[0].0 + 1, deps[1].0, "crossbar sends one flit per output per cycle");
-    assert!(deps.iter().all(|(_, d)| d.out_port == Direction::East.port()));
+    assert_eq!(
+        deps[0].0 + 1,
+        deps[1].0,
+        "crossbar sends one flit per output per cycle"
+    );
+    assert!(deps
+        .iter()
+        .all(|(_, d)| d.out_port == Direction::East.port()));
 }
 
 // ---------------------------------------------------------------------
@@ -323,7 +327,11 @@ fn protected_va2_fault_excludes_downstream_vc() {
     let arrivals = inject_at_local(packet(1, PacketKind::Control, EAST_DST), 0);
     let (deps, _) = drive(&mut r, arrivals, 10);
     assert_eq!(deps.len(), 1);
-    assert_ne!(deps[0].1.out_vc, VcId(0), "faulty downstream VC never allocated");
+    assert_ne!(
+        deps[0].1.out_vc,
+        VcId(0),
+        "faulty downstream VC never allocated"
+    );
     assert!(!r.is_failed());
 }
 
@@ -347,11 +355,20 @@ fn borrow_scenario_two_adds_one_cycle() {
     ));
     let (deps, _) = drive(&mut r, arrivals, 20);
     assert_eq!(deps.len(), 2);
-    let d_vc1 = deps.iter().find(|(_, d)| d.flit.packet == PacketId(2)).unwrap();
-    let d_vc0 = deps.iter().find(|(_, d)| d.flit.packet == PacketId(1)).unwrap();
+    let d_vc1 = deps
+        .iter()
+        .find(|(_, d)| d.flit.packet == PacketId(2))
+        .unwrap();
+    let d_vc0 = deps
+        .iter()
+        .find(|(_, d)| d.flit.packet == PacketId(1))
+        .unwrap();
     // The shared RC unit serves VC0 first, so VC1's own pipeline is
     // RC@1, VA@2, SA@3, XB@4.
-    assert_eq!(d_vc1.0, 4, "lender's own packet is unimpeded beyond RC sharing");
+    assert_eq!(
+        d_vc1.0, 4,
+        "lender's own packet is unimpeded beyond RC sharing"
+    );
     // VC0 waits while VC1 is in VA, borrows once VC1 is active.
     assert!(d_vc0.0 > 4, "borrower pays at least one extra cycle");
     assert!(r.stats().va_borrow_waits >= 1);
@@ -458,7 +475,9 @@ fn protected_sa2_fault_takes_secondary_path() {
     let arrivals = inject_at_local(packet(1, PacketKind::Data, EAST_DST), 0);
     let (deps, _) = drive(&mut r, arrivals, 20);
     assert_eq!(deps.len(), 5);
-    assert!(deps.iter().all(|(_, d)| d.out_port == Direction::East.port()));
+    assert!(deps
+        .iter()
+        .all(|(_, d)| d.out_port == Direction::East.port()));
     assert_eq!(r.stats().secondary_path_flits, 5);
 }
 
@@ -474,9 +493,45 @@ fn baseline_xb_mux_fault_drops_flits() {
     let arrivals = inject_at_local(packet(1, PacketKind::Control, EAST_DST), 0);
     let (deps, dropped) = drive(&mut r, arrivals, 12);
     assert!(deps.is_empty());
-    assert_eq!(dropped.len(), 1, "the baseline crossbar silently loses the flit");
+    assert_eq!(
+        dropped.len(),
+        1,
+        "the baseline crossbar silently loses the flit"
+    );
     assert_eq!(r.stats().flits_dropped, 1);
     assert_eq!(r.buffered_flits(), 0);
+}
+
+#[test]
+fn baseline_xb_mux_drop_restores_the_reserved_credit() {
+    // Regression: the drop path used to leak the downstream slot
+    // reserved at SA-grant. A dropped flit never reaches the neighbour,
+    // so no credit ever comes back for it; the drop itself must restore
+    // the reservation or the output wedges after `buffer_depth` drops.
+    let mut r = router(RouterKind::Baseline);
+    let depth = r.config().buffer_depth as u8;
+    let east = Direction::East.port();
+    r.inject_fault(FaultSite::XbMux { out_port: east }, 0);
+
+    // A multi-flit data packet: every flit dies in the faulty mux, and
+    // with a leak the link would lose one credit per flit — more than
+    // the depth, so it would wedge mid-packet.
+    let flits = packet(1, PacketKind::Data, EAST_DST);
+    let n_flits = flits.len();
+    assert!(n_flits > r.config().buffer_depth);
+    let arrivals = inject_at_local(flits, 0);
+    let (deps, dropped) = drive(&mut r, arrivals, 40);
+
+    assert!(deps.is_empty());
+    assert_eq!(dropped.len(), n_flits, "every flit of the packet is lost");
+    assert_eq!(r.buffered_flits(), 0);
+    for vc in 0..r.config().vcs {
+        assert_eq!(
+            r.credit(east, VcId(vc as u8)),
+            depth,
+            "all reserved credits towards East vc{vc} must be restored"
+        );
+    }
 }
 
 #[test]
@@ -529,8 +584,18 @@ fn paper_m2_m4_example_still_delivers_everywhere() {
     // 0-indexed muxes 1 and 3 (the paper's M2 and M4) faulty: all five
     // outputs remain reachable.
     let mut r = router(RouterKind::Protected);
-    r.inject_fault(FaultSite::XbMux { out_port: PortId(1) }, 0);
-    r.inject_fault(FaultSite::XbMux { out_port: PortId(3) }, 0);
+    r.inject_fault(
+        FaultSite::XbMux {
+            out_port: PortId(1),
+        },
+        0,
+    );
+    r.inject_fault(
+        FaultSite::XbMux {
+            out_port: PortId(3),
+        },
+        0,
+    );
     assert!(!r.is_failed());
     // Send one packet to each direction (dst chosen per XY routing).
     let dsts = [
@@ -567,7 +632,13 @@ fn one_fault_in_every_stage_is_tolerated_simultaneously() {
     let mut r = router(RouterKind::Protected);
     let local = Direction::Local.port();
     r.inject_fault(FaultSite::RcPrimary { port: local }, 0);
-    r.inject_fault(FaultSite::Va1ArbiterSet { port: local, vc: VcId(0) }, 0);
+    r.inject_fault(
+        FaultSite::Va1ArbiterSet {
+            port: local,
+            vc: VcId(0),
+        },
+        0,
+    );
     r.inject_fault(FaultSite::Sa1Arbiter { port: local }, 0);
     r.inject_fault(
         FaultSite::XbMux {
@@ -579,8 +650,14 @@ fn one_fault_in_every_stage_is_tolerated_simultaneously() {
     let arrivals = inject_at_local(packet(1, PacketKind::Data, EAST_DST), 0);
     let (deps, dropped) = drive(&mut r, arrivals, 40);
     assert!(dropped.is_empty());
-    assert_eq!(deps.len(), 5, "all five flits delivered despite four faults");
-    assert!(deps.iter().all(|(_, d)| d.out_port == Direction::East.port()));
+    assert_eq!(
+        deps.len(),
+        5,
+        "all five flits delivered despite four faults"
+    );
+    assert!(deps
+        .iter()
+        .all(|(_, d)| d.out_port == Direction::East.port()));
     let s = r.stats();
     assert!(s.rc_duplicate_uses >= 1);
     assert!(s.va_borrows >= 1);

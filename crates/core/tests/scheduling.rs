@@ -79,14 +79,19 @@ fn bypass_default_winner_rotation_prevents_starvation() {
         0,
     );
     let per_vc = sustained_per_vc_throughput(&mut r, 1_500);
-    let counts: Vec<u64> = (0..4).map(|v| *per_vc.get(&PacketId(v)).unwrap_or(&0)).collect();
+    let counts: Vec<u64> = (0..4)
+        .map(|v| *per_vc.get(&PacketId(v)).unwrap_or(&0))
+        .collect();
     assert!(
         counts.iter().all(|&c| c > 0),
         "no VC may starve behind the bypass path: {counts:?}"
     );
     // Degraded throughput is expected, but not collapse.
     let total: u64 = counts.iter().sum();
-    assert!(total > 300, "bypass path sustains useful throughput: {total}");
+    assert!(
+        total > 300,
+        "bypass path sustains useful throughput: {total}"
+    );
 }
 
 #[test]
@@ -97,7 +102,11 @@ fn rc_unit_rotates_across_waiting_vcs() {
     let mut r = router(RouterKind::Protected);
     let east = Coord::new(6, 3);
     for vc in 0..4u8 {
-        r.receive_flit(Direction::Local.port(), VcId(vc), single(vc as u64 + 1, east));
+        r.receive_flit(
+            Direction::Local.port(),
+            VcId(vc),
+            single(vc as u64 + 1, east),
+        );
     }
     let mut cycles_seen = Vec::new();
     for cycle in 0..20 {
@@ -108,7 +117,11 @@ fn rc_unit_rotates_across_waiting_vcs() {
         }
     }
     assert_eq!(cycles_seen.len(), 4, "all four packets delivered");
-    assert_eq!(cycles_seen, vec![3, 4, 5, 6], "RC serialises one VC per cycle");
+    assert_eq!(
+        cycles_seen,
+        vec![3, 4, 5, 6],
+        "RC serialises one VC per cycle"
+    );
 }
 
 #[test]

@@ -4,8 +4,7 @@
 
 use noc_faults::FaultSite;
 use noc_types::{
-    Coord, Direction, Mesh, Packet, PacketId, PacketKind, PortId, RouterConfig, VcGlobalState,
-    VcId,
+    Coord, Direction, Mesh, Packet, PacketId, PacketKind, PortId, RouterConfig, VcGlobalState, VcId,
 };
 use shield_router::{Router, RouterKind};
 
@@ -13,7 +12,13 @@ const HERE: Coord = Coord::new(3, 3);
 const EAST_DST: Coord = Coord::new(5, 3);
 
 fn router_with(fault: Option<FaultSite>) -> Router {
-    let mut r = Router::new_xy(0, HERE, Mesh::new(8), RouterConfig::paper(), RouterKind::Protected);
+    let mut r = Router::new_xy(
+        0,
+        HERE,
+        Mesh::new(8),
+        RouterConfig::paper(),
+        RouterKind::Protected,
+    );
     if let Some(f) = fault {
         r.inject_fault(f, 0);
     }

@@ -139,6 +139,9 @@ fn permanent_and_transient_faults_compose() {
         25,
     );
     let dep = departure_cycle(&mut r, 1, 0, 80).expect("delivered after the window");
-    assert!(dep >= 25, "blocked while both paths were down: departed {dep}");
+    assert!(
+        dep >= 25,
+        "blocked while both paths were down: departed {dep}"
+    );
     assert_eq!(r.stats().flits_dropped, 0);
 }

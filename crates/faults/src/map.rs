@@ -200,10 +200,19 @@ mod tests {
     fn va_dead_requires_all_vc_sets() {
         let mut m = FaultMap::healthy();
         for vc in 0..3 {
-            m.inject(FaultSite::Va1ArbiterSet { port: p(0), vc: VcId(vc) });
+            m.inject(FaultSite::Va1ArbiterSet {
+                port: p(0),
+                vc: VcId(vc),
+            });
         }
-        assert!(!m.va_dead(p(0), 4), "three of four sets faulty: still alive");
-        m.inject(FaultSite::Va1ArbiterSet { port: p(0), vc: VcId(3) });
+        assert!(
+            !m.va_dead(p(0), 4),
+            "three of four sets faulty: still alive"
+        );
+        m.inject(FaultSite::Va1ArbiterSet {
+            port: p(0),
+            vc: VcId(3),
+        });
         assert!(m.va_dead(p(0), 4));
     }
 
@@ -253,7 +262,10 @@ mod tests {
     fn count_stage_partitions_faults() {
         let mut m = FaultMap::healthy();
         m.inject(FaultSite::RcPrimary { port: p(0) });
-        m.inject(FaultSite::Va1ArbiterSet { port: p(0), vc: VcId(0) });
+        m.inject(FaultSite::Va1ArbiterSet {
+            port: p(0),
+            vc: VcId(0),
+        });
         m.inject(FaultSite::Sa1Arbiter { port: p(0) });
         m.inject(FaultSite::XbMux { out_port: p(0) });
         m.inject(FaultSite::Sa2Arbiter { out_port: p(0) });

@@ -356,7 +356,9 @@ mod tests {
         let e2 = InjectionEvent {
             cycle: 50,
             router: RouterId(1),
-            site: FaultSite::XbMux { out_port: PortId(1) },
+            site: FaultSite::XbMux {
+                out_port: PortId(1),
+            },
         };
         let p = FaultPlan::deterministic(vec![e1, e2], DetectionModel::Ideal);
         assert_eq!(p.events()[0].cycle, 50);
@@ -411,7 +413,9 @@ mod tests {
         assert_eq!(plan.len(), 1);
         assert_eq!(plan.events()[0].cycle, 0);
         assert_eq!(plan.detection().latency(), 8);
-        assert!(plan.final_map(RouterId(3)).is_faulty(FaultSite::Sa1Arbiter { port: PortId(2) }));
+        assert!(plan
+            .final_map(RouterId(3))
+            .is_faulty(FaultSite::Sa1Arbiter { port: PortId(2) }));
         assert!(plan.final_map(RouterId(0)).is_empty());
     }
 

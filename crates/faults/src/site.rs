@@ -219,10 +219,22 @@ mod tests {
             .map(|&st| FaultSite::enumerate_stage(&cfg, st).len())
             .sum();
         assert_eq!(total, FaultSite::enumerate(&cfg).len());
-        assert_eq!(FaultSite::enumerate_stage(&cfg, PipelineStage::Rc).len(), 10);
-        assert_eq!(FaultSite::enumerate_stage(&cfg, PipelineStage::Va).len(), 40);
-        assert_eq!(FaultSite::enumerate_stage(&cfg, PipelineStage::Sa).len(), 10);
-        assert_eq!(FaultSite::enumerate_stage(&cfg, PipelineStage::Xb).len(), 15);
+        assert_eq!(
+            FaultSite::enumerate_stage(&cfg, PipelineStage::Rc).len(),
+            10
+        );
+        assert_eq!(
+            FaultSite::enumerate_stage(&cfg, PipelineStage::Va).len(),
+            40
+        );
+        assert_eq!(
+            FaultSite::enumerate_stage(&cfg, PipelineStage::Sa).len(),
+            10
+        );
+        assert_eq!(
+            FaultSite::enumerate_stage(&cfg, PipelineStage::Xb).len(),
+            15
+        );
     }
 
     #[test]
@@ -246,13 +258,20 @@ mod tests {
             PipelineStage::Va
         );
         assert_eq!(
-            FaultSite::Va2Arbiter { out_port: p, out_vc: v }.stage(),
+            FaultSite::Va2Arbiter {
+                out_port: p,
+                out_vc: v
+            }
+            .stage(),
             PipelineStage::Va
         );
         assert_eq!(FaultSite::Sa1Arbiter { port: p }.stage(), PipelineStage::Sa);
         // SA2 is tolerated by the crossbar mechanism; the paper counts it
         // with the crossbar in the SPF analysis, and so do we.
-        assert_eq!(FaultSite::Sa2Arbiter { out_port: p }.stage(), PipelineStage::Xb);
+        assert_eq!(
+            FaultSite::Sa2Arbiter { out_port: p }.stage(),
+            PipelineStage::Xb
+        );
         assert_eq!(FaultSite::XbMux { out_port: p }.stage(), PipelineStage::Xb);
     }
 

@@ -103,8 +103,7 @@ impl AreaPowerModel {
     /// The input-buffer storage of the baseline router, which synthesis
     /// includes but the fault model does not.
     fn buffer_inventory(&self) -> StageInventory {
-        let bits = (self.cfg.total_vcs() * self.cfg.buffer_depth * self.cfg.flit_width_bits)
-            as u32;
+        let bits = (self.cfg.total_vcs() * self.cfg.buffer_depth * self.cfg.flit_width_bits) as u32;
         StageInventory {
             stage: noc_faults::PipelineStage::Xb, // storage is stage-less; tag arbitrary
             items: vec![(Component::BufferBits { bits }, 1)],
@@ -122,8 +121,7 @@ impl AreaPowerModel {
         let area_overhead_correction = correction_area / baseline_area;
         let area_overhead_total = area_overhead_correction + DETECTION_AREA_OVERHEAD;
 
-        let baseline_power =
-            power_units(&base_logic) + power_units(std::slice::from_ref(&buffers));
+        let baseline_power = power_units(&base_logic) + power_units(std::slice::from_ref(&buffers));
         let correction_power = power_units(&corr) * CORRECTION_POWER_FACTOR;
         let power_overhead_correction = correction_power / baseline_power;
         let power_overhead_total = power_overhead_correction + DETECTION_POWER_OVERHEAD;
@@ -179,9 +177,7 @@ mod tests {
         cfg.flit_width_bits = 128;
         let wide = AreaPowerModel::new(cfg, 6).report();
         let paper = AreaPowerModel::paper().report();
-        assert!(
-            (wide.area_overhead_correction - paper.area_overhead_correction).abs() < 0.10
-        );
+        assert!((wide.area_overhead_correction - paper.area_overhead_correction).abs() < 0.10);
     }
 
     #[test]

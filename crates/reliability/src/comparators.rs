@@ -58,9 +58,21 @@ impl RedundancyModel {
         RedundancyModel {
             name: "BulletProof",
             groups: vec![
-                FaultGroup { name: "input block", sites: 2, tolerable: 1 },
-                FaultGroup { name: "allocators", sites: 2, tolerable: 1 },
-                FaultGroup { name: "crossbar", sites: 2, tolerable: 1 },
+                FaultGroup {
+                    name: "input block",
+                    sites: 2,
+                    tolerable: 1,
+                },
+                FaultGroup {
+                    name: "allocators",
+                    sites: 2,
+                    tolerable: 1,
+                },
+                FaultGroup {
+                    name: "crossbar",
+                    sites: 2,
+                    tolerable: 1,
+                },
             ],
         }
     }
@@ -95,9 +107,21 @@ impl RedundancyModel {
         RedundancyModel {
             name: "RoCo",
             groups: vec![
-                FaultGroup { name: "row module", sites: 4, tolerable: 2 },
-                FaultGroup { name: "column module", sites: 4, tolerable: 2 },
-                FaultGroup { name: "shared control", sites: 4, tolerable: 2 },
+                FaultGroup {
+                    name: "row module",
+                    sites: 4,
+                    tolerable: 2,
+                },
+                FaultGroup {
+                    name: "column module",
+                    sites: 4,
+                    tolerable: 2,
+                },
+                FaultGroup {
+                    name: "shared control",
+                    sites: 4,
+                    tolerable: 2,
+                },
             ],
         }
     }
@@ -164,8 +188,7 @@ impl RedundancyModel {
                 let choose_p = free as f64 / sites_left as f64;
                 hits[gi] += 1;
                 if hits[gi] <= groups[gi].tolerable {
-                    p += choose_p
-                        * survive_prob(groups, hits, remaining - 1, sites_left - 1);
+                    p += choose_p * survive_prob(groups, hits, remaining - 1, sites_left - 1);
                 }
                 hits[gi] -= 1;
             }

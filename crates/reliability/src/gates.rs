@@ -135,10 +135,7 @@ impl GateLibrary {
 
     /// FIT of a list of `(component, count)` pairs under SOFR.
     pub fn fit_of_inventory(&self, items: &[(Component, u32)]) -> f64 {
-        items
-            .iter()
-            .map(|&(c, n)| self.fit(c) * n as f64)
-            .sum()
+        items.iter().map(|&(c, n)| self.fit(c) * n as f64).sum()
     }
 }
 
@@ -160,12 +157,18 @@ mod tests {
         // The paper's 5:1 arbiter (9.3) via the affine law: 9.23.
         assert!(close(l.fit(Component::Arbiter { inputs: 5 }), 9.3, 0.1));
         assert!(close(
-            l.fit(Component::Mux { inputs: 4, width: 1 }),
+            l.fit(Component::Mux {
+                inputs: 4,
+                width: 1
+            }),
             4.8,
             1e-9
         ));
         assert!(close(
-            l.fit(Component::Mux { inputs: 5, width: 32 }),
+            l.fit(Component::Mux {
+                inputs: 5,
+                width: 32
+            }),
             204.8,
             1e-9
         ));
@@ -175,11 +178,20 @@ mod tests {
     #[test]
     fn mux_law_matches_two_to_one_tree() {
         let l = lib();
-        let m2 = l.fit(Component::Mux { inputs: 2, width: 1 });
-        let m5 = l.fit(Component::Mux { inputs: 5, width: 1 });
+        let m2 = l.fit(Component::Mux {
+            inputs: 2,
+            width: 1,
+        });
+        let m5 = l.fit(Component::Mux {
+            inputs: 5,
+            width: 1,
+        });
         assert!((m5 - 4.0 * m2).abs() < 1e-9);
         // Width scales linearly.
-        let wide = l.fit(Component::Mux { inputs: 2, width: 32 });
+        let wide = l.fit(Component::Mux {
+            inputs: 2,
+            width: 32,
+        });
         assert!((wide - 32.0 * m2).abs() < 1e-9);
     }
 
@@ -197,7 +209,19 @@ mod tests {
     #[test]
     fn degenerate_components_have_zero_fit() {
         let l = lib();
-        assert_eq!(l.fit(Component::Mux { inputs: 1, width: 8 }), 0.0);
-        assert_eq!(l.fit(Component::Demux { outputs: 1, width: 8 }), 0.0);
+        assert_eq!(
+            l.fit(Component::Mux {
+                inputs: 1,
+                width: 8
+            }),
+            0.0
+        );
+        assert_eq!(
+            l.fit(Component::Demux {
+                outputs: 1,
+                width: 8
+            }),
+            0.0
+        );
     }
 }

@@ -73,13 +73,25 @@ pub fn baseline_inventory(cfg: &RouterConfig, dest_bits: u32) -> Vec<StageInvent
             items: vec![
                 (Component::Arbiter { inputs: v }, p),
                 (Component::Arbiter { inputs: p }, p),
-                (Component::Mux { inputs: v, width: 1 }, p * p),
+                (
+                    Component::Mux {
+                        inputs: v,
+                        width: 1,
+                    },
+                    p * p,
+                ),
             ],
         },
         // XB: one flit-wide pi:1 mux per output port.
         StageInventory {
             stage: PipelineStage::Xb,
-            items: vec![(Component::Mux { inputs: p, width: w }, p)],
+            items: vec![(
+                Component::Mux {
+                    inputs: p,
+                    width: w,
+                },
+                p,
+            )],
         },
     ]
 }
@@ -112,7 +124,13 @@ pub fn correction_inventory(cfg: &RouterConfig, dest_bits: u32) -> Vec<StageInve
         }
     }
 
-    let mut xb_items = vec![(Component::Mux { inputs: 2, width: w }, p)];
+    let mut xb_items = vec![(
+        Component::Mux {
+            inputs: 2,
+            width: w,
+        },
+        p,
+    )];
     xb_items.extend(demuxes);
 
     vec![
@@ -135,7 +153,13 @@ pub fn correction_inventory(cfg: &RouterConfig, dest_bits: u32) -> Vec<StageInve
         StageInventory {
             stage: PipelineStage::Sa,
             items: vec![
-                (Component::Mux { inputs: 2, width: 1 }, p),
+                (
+                    Component::Mux {
+                        inputs: 2,
+                        width: 1,
+                    },
+                    p,
+                ),
                 (Component::Dff { width: vc_bits }, p), // default-winner reg
                 (Component::Dff { width: port_bits }, total_vcs), // SP
                 (Component::Dff { width: 1 }, total_vcs), // FSP
@@ -203,7 +227,10 @@ mod tests {
         let total = total_fit(&inv, &lib());
         // Paper: 2822 (with its VA=1478 and SA=203); ours: 2818.5.
         assert!((total - 2818.5).abs() < 1.0, "total = {total}");
-        assert!((total - 2822.0).abs() / 2822.0 < 0.005, "within 0.5% of paper");
+        assert!(
+            (total - 2822.0).abs() / 2822.0 < 0.005,
+            "within 0.5% of paper"
+        );
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub use area::{AreaPowerModel, AreaPowerReport};
 pub use comparators::{derive_comparators, RedundancyModel};
 pub use forc::{ForcParams, TddbModel};
 pub use gates::{Component, GateLibrary};
-pub use inventory::{correction_inventory, baseline_inventory, StageInventory};
+pub use inventory::{baseline_inventory, correction_inventory, StageInventory};
 pub use mttf::{mttf_paper_eq5, mttf_parallel_textbook, MttfReport};
 pub use spf::{
     monte_carlo_faults_to_failure, monte_carlo_weighted, SpfAnalysis, SpfComparison,

@@ -62,8 +62,7 @@ impl MttfReport {
         let correction_fit = total_fit(&correction_inventory(cfg, dest_bits), lib);
         let mttf_baseline_hours = mttf_hours(baseline_fit);
         let mttf_protected_paper_hours = mttf_paper_eq5(baseline_fit, correction_fit);
-        let mttf_protected_textbook_hours =
-            mttf_parallel_textbook(baseline_fit, correction_fit);
+        let mttf_protected_textbook_hours = mttf_parallel_textbook(baseline_fit, correction_fit);
         MttfReport {
             baseline_fit,
             correction_fit,
@@ -105,7 +104,11 @@ mod tests {
         // Paper: ≈ 2,190,696 h.
         let r = MttfReport::paper();
         let rel = (r.mttf_protected_paper_hours - 2_190_696.0).abs() / 2_190_696.0;
-        assert!(rel < 0.005, "protected MTTF {} off by {rel}", r.mttf_protected_paper_hours);
+        assert!(
+            rel < 0.005,
+            "protected MTTF {} off by {rel}",
+            r.mttf_protected_paper_hours
+        );
     }
 
     #[test]

@@ -204,11 +204,20 @@ pub fn site_component(site: FaultSite, cfg: &RouterConfig, dest_bits: u32) -> Co
         FaultSite::Va2Arbiter { .. } => Component::Arbiter { inputs: p * v },
         FaultSite::Sa1Arbiter { .. } => Component::Arbiter { inputs: v },
         // Bypass = 2:1 mux + default-winner register bits.
-        FaultSite::Sa1Bypass { .. } => Component::Mux { inputs: 2, width: 2 },
+        FaultSite::Sa1Bypass { .. } => Component::Mux {
+            inputs: 2,
+            width: 2,
+        },
         FaultSite::Sa2Arbiter { .. } => Component::Arbiter { inputs: p },
-        FaultSite::XbMux { .. } => Component::Mux { inputs: p, width: w },
+        FaultSite::XbMux { .. } => Component::Mux {
+            inputs: p,
+            width: w,
+        },
         // Secondary path = 2:1 output mux + a demux branch per bit.
-        FaultSite::XbSecondary { .. } => Component::Mux { inputs: 3, width: w },
+        FaultSite::XbSecondary { .. } => Component::Mux {
+            inputs: 3,
+            width: w,
+        },
     }
 }
 
@@ -411,7 +420,10 @@ mod tests {
             weighted.mean_faults_to_failure,
             uniform.mean_faults_to_failure
         );
-        assert!(weighted.min_observed >= 2, "still no single point of failure");
+        assert!(
+            weighted.min_observed >= 2,
+            "still no single point of failure"
+        );
     }
 
     #[test]
@@ -419,7 +431,9 @@ mod tests {
         let cfg = RouterConfig::paper();
         let lib = GateLibrary::paper();
         let mux = lib.fit(site_component(
-            FaultSite::XbMux { out_port: PortId(0) },
+            FaultSite::XbMux {
+                out_port: PortId(0),
+            },
             &cfg,
             6,
         ));
@@ -428,7 +442,10 @@ mod tests {
             &cfg,
             6,
         ));
-        assert!(mux > 50.0 * dff_mux, "crossbar muxes dominate: {mux} vs {dff_mux}");
+        assert!(
+            mux > 50.0 * dff_mux,
+            "crossbar muxes dominate: {mux} vs {dff_mux}"
+        );
         for s in FaultSite::enumerate(&cfg) {
             assert!(lib.fit(site_component(s, &cfg, 6)) > 0.0, "{s}");
         }
@@ -451,7 +468,10 @@ mod tests {
         // fact also survives the alternating {M1, M3, M5} triple.
         assert_eq!(max, 3, "topology-derived maximum");
         let a = SpfAnalysis::analytic(&cfg, PAPER_AREA);
-        assert_eq!(a.stage_max_tolerated[3], 2, "Table III uses the paper's bound");
+        assert_eq!(
+            a.stage_max_tolerated[3], 2,
+            "Table III uses the paper's bound"
+        );
         assert_eq!(a.xb_max_tolerated_topology, 3);
     }
 }

@@ -176,9 +176,18 @@ mod tests {
     fn section_vi_b_percentages() {
         let m = TimingModel::paper();
         assert_eq!(m.increase(PipelineStage::Rc), 0.0, "RC: negligible impact");
-        assert!((m.increase(PipelineStage::Va) - 0.20).abs() < 0.01, "VA +20%");
-        assert!((m.increase(PipelineStage::Sa) - 0.10).abs() < 0.01, "SA +10%");
-        assert!((m.increase(PipelineStage::Xb) - 0.25).abs() < 0.01, "XB +25%");
+        assert!(
+            (m.increase(PipelineStage::Va) - 0.20).abs() < 0.01,
+            "VA +20%"
+        );
+        assert!(
+            (m.increase(PipelineStage::Sa) - 0.10).abs() < 0.01,
+            "SA +10%"
+        );
+        assert!(
+            (m.increase(PipelineStage::Xb) - 0.25).abs() < 0.01,
+            "XB +25%"
+        );
     }
 
     #[test]
@@ -211,9 +220,7 @@ mod tests {
                 .filter(|e| e.correction)
                 .map(|e| e.delay)
                 .sum();
-            assert!(
-                (m.protected_depth(s) - m.baseline_depth(s) - delta).abs() < 1e-12
-            );
+            assert!((m.protected_depth(s) - m.baseline_depth(s) - delta).abs() < 1e-12);
         }
     }
 }

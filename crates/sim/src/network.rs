@@ -6,7 +6,7 @@ use noc_faults::FaultPlan;
 use noc_types::{
     Cycle, DeliveredPacket, Direction, Flit, Mesh, NetworkConfig, Packet, PortId, VcId,
 };
-use shield_router::{Router, RouterKind};
+use shield_router::{Router, RouterKind, StepOutput};
 
 /// A flit or credit in flight on a link.
 #[derive(Debug)]
@@ -36,6 +36,11 @@ pub struct Network {
     nis: Vec<NetworkInterface>,
     /// Ring buffer of in-flight wire traffic; slot 0 arrives this cycle.
     wires: Vec<Vec<Wire>>,
+    /// Spare vector swapped with `wires[0]` each cycle so arrival
+    /// processing reuses capacity instead of reallocating.
+    arrivals_scratch: Vec<Wire>,
+    /// Reusable per-router step output (cleared, not reallocated).
+    step_scratch: StepOutput,
     deliveries: Vec<DeliveredPacket>,
     /// Flits sent per router per output port (`[router][port]`) —
     /// the link-utilisation matrix behind congestion heatmaps.
@@ -92,6 +97,8 @@ impl Network {
             routers,
             nis,
             wires: (0..slots).map(|_| Vec::new()).collect(),
+            arrivals_scratch: Vec::new(),
+            step_scratch: StepOutput::default(),
             deliveries: Vec::new(),
             link_flits: vec![[0; 5]; mesh.len()],
             cycles_stepped: 0,
@@ -177,8 +184,16 @@ impl Network {
     /// Offer packets to their source NIs. Returns the number refused by
     /// bounded queues.
     pub fn offer_packets(&mut self, packets: Vec<Packet>) -> u64 {
+        let mut packets = packets;
+        self.offer_packets_from(&mut packets)
+    }
+
+    /// Drain `packets` into their source NIs, leaving the vector empty
+    /// but with its capacity intact (allocation-free injection loops).
+    /// Returns the number refused by bounded queues.
+    pub fn offer_packets_from(&mut self, packets: &mut Vec<Packet>) -> u64 {
         let mut refused = 0;
-        for p in packets {
+        for p in packets.drain(..) {
             let node = self.mesh.id_of(p.src).index();
             if !self.nis[node].offer(p) {
                 refused += 1;
@@ -224,10 +239,13 @@ impl Network {
     /// Advance the whole network by one cycle.
     pub fn step(&mut self, cycle: Cycle) {
         self.cycles_stepped += 1;
-        // 1. Deliver wire traffic scheduled for this cycle.
-        let arrivals = std::mem::take(&mut self.wires[0]);
+        // 1. Deliver wire traffic scheduled for this cycle. Swap the
+        // arriving slot with the spare vector so both keep their
+        // capacity as they circulate through the ring.
+        let mut arrivals = std::mem::take(&mut self.arrivals_scratch);
+        std::mem::swap(&mut arrivals, &mut self.wires[0]);
         self.wires.rotate_left(1);
-        for w in arrivals {
+        for w in arrivals.drain(..) {
             match w {
                 Wire::Flit {
                     router,
@@ -254,6 +272,7 @@ impl Network {
                 }
             }
         }
+        self.arrivals_scratch = arrivals;
 
         // 2. NI injection (one flit per node per cycle).
         for node in 0..self.nis.len() {
@@ -262,9 +281,11 @@ impl Network {
             }
         }
 
-        // 3. Routers compute one cycle.
+        // 3. Routers compute one cycle, reusing one StepOutput across
+        // the whole mesh.
+        let mut out = std::mem::take(&mut self.step_scratch);
         for id in 0..self.routers.len() {
-            let out = self.routers[id].step(cycle);
+            self.routers[id].step_into(cycle, &mut out);
             if !out.departures.is_empty() {
                 self.last_activity = cycle;
             }
@@ -273,7 +294,7 @@ impl Network {
             for d in &out.departures {
                 self.link_flits[id][d.out_port.index()] += 1;
             }
-            for d in out.departures {
+            for d in out.departures.drain(..) {
                 if d.out_port == Direction::Local.port() {
                     // Local link to the NI; the NI returns the credit for
                     // the local-output VC one link-latency later.
@@ -286,8 +307,7 @@ impl Network {
                         vc: d.out_vc,
                     });
                 } else {
-                    let dir = Direction::from_port(d.out_port)
-                        .expect("departure on a valid port");
+                    let dir = Direction::from_port(d.out_port).expect("departure on a valid port");
                     match self.mesh.neighbour(coord, dir) {
                         Some(n) => self.schedule(Wire::Flit {
                             router: n.index(),
@@ -305,13 +325,12 @@ impl Network {
                     }
                 }
             }
-            for c in out.credits {
+            for c in out.credits.drain(..) {
                 if c.in_port == Direction::Local.port() {
                     // Slot freed at the local input: credit to the NI.
                     self.nis[id].credit(c.vc);
                 } else {
-                    let dir =
-                        Direction::from_port(c.in_port).expect("credit from a valid port");
+                    let dir = Direction::from_port(c.in_port).expect("credit from a valid port");
                     if let Some(upstream) = self.mesh.neighbour(coord, dir) {
                         self.schedule(Wire::Credit {
                             router: upstream.index(),
@@ -322,6 +341,7 @@ impl Network {
                 }
             }
         }
+        self.step_scratch = out;
     }
 
     /// Schedule wire traffic to arrive `link_latency` cycles from now.
@@ -330,5 +350,108 @@ impl Network {
     fn schedule(&mut self, wire: Wire) {
         let slot = self.cfg.link_latency as usize - 1;
         self.wires[slot].push(wire);
+    }
+
+    /// Check the credit-conservation invariant on every link and panic
+    /// with a diagnostic on the first violation.
+    ///
+    /// Called between cycles, for every upstream router `u`, output
+    /// `(out_port, vc)`:
+    ///
+    /// ```text
+    ///   u.credits[out][vc]            free slots as seen upstream
+    /// + u queued XB grants to (out,vc)  slots reserved at SA-grant
+    /// + flits in flight on the link
+    /// + credits in flight back to u
+    /// + downstream input-VC occupancy
+    /// == buffer_depth
+    /// ```
+    ///
+    /// and symmetrically for each NI→router local-input link. Any leak —
+    /// e.g. a drop path that forgets to restore a reserved credit —
+    /// breaks the equation permanently.
+    pub fn assert_credit_conservation(&self) {
+        let depth = self.cfg.router.buffer_depth;
+        let v = self.cfg.router.vcs;
+        for id in 0..self.routers.len() {
+            let coord = self.routers[id].coord();
+            for dir in Direction::ALL {
+                let out_port = dir.port();
+                for vc_idx in 0..v {
+                    let vc = VcId(vc_idx as u8);
+                    let credits = self.routers[id].credit(out_port, vc) as usize;
+                    let queued = self.routers[id].queued_to(out_port, vc);
+                    let (flits_in_flight, credits_in_flight, downstream_occ) =
+                        if dir == Direction::Local {
+                            // Link to the NI: ejection is instantaneous on
+                            // arrival; the slot travels back as a NiCredit.
+                            let cr = self
+                                .wires
+                                .iter()
+                                .flatten()
+                                .filter(|w| {
+                                    matches!(w, Wire::NiCredit { router, vc: wvc }
+                                    if *router == id && *wvc == vc)
+                                })
+                                .count();
+                            (0, cr, 0)
+                        } else {
+                            match self.mesh.neighbour(coord, dir) {
+                                Some(n) => {
+                                    let down = n.index();
+                                    let in_port = dir.opposite().port();
+                                    let fl = self
+                                        .wires
+                                        .iter()
+                                        .flatten()
+                                        .filter(|w| {
+                                            matches!(w, Wire::Flit { router, port, vc: wvc, .. }
+                                            if *router == down && *port == in_port && *wvc == vc)
+                                        })
+                                        .count();
+                                    let cr = self
+                                    .wires
+                                    .iter()
+                                    .flatten()
+                                    .filter(|w| {
+                                        matches!(w, Wire::Credit { router, out_port: wp, vc: wvc }
+                                            if *router == id && *wp == out_port && *wvc == vc)
+                                    })
+                                    .count();
+                                    let occ = self.routers[down].port(in_port).vc(vc).occupancy();
+                                    (fl, cr, occ)
+                                }
+                                // Edge "link": no downstream exists. Edge
+                                // drops restore their credit immediately,
+                                // so only queued grants can be out.
+                                None => (0, 0, 0),
+                            }
+                        };
+                    let total =
+                        credits + queued + flits_in_flight + credits_in_flight + downstream_occ;
+                    assert_eq!(
+                        total, depth,
+                        "credit leak on router {id} {dir:?} vc{vc_idx}: credits={credits} \
+                         queued={queued} flits_in_flight={flits_in_flight} \
+                         credits_in_flight={credits_in_flight} occupancy={downstream_occ}"
+                    );
+                }
+            }
+        }
+        // NI→router local-input links: injection and credit return are
+        // both immediate, so the equation has no in-flight terms.
+        for id in 0..self.nis.len() {
+            let in_port = Direction::Local.port();
+            for vc_idx in 0..v {
+                let vc = VcId(vc_idx as u8);
+                let credits = self.nis[id].credit_count(vc) as usize;
+                let occ = self.routers[id].port(in_port).vc(vc).occupancy();
+                assert_eq!(
+                    credits + occ,
+                    depth,
+                    "credit leak on NI {id} vc{vc_idx}: credits={credits} occupancy={occ}"
+                );
+            }
+        }
     }
 }

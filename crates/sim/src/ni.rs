@@ -7,9 +7,7 @@
 //! reassembles packets, checks they reached the right node, and returns
 //! credits.
 
-use noc_types::{
-    Coord, Cycle, DeliveredPacket, Flit, Packet, PacketId, VcId,
-};
+use noc_types::{Coord, Cycle, DeliveredPacket, Flit, Packet, PacketId, VcId};
 use std::collections::{HashMap, VecDeque};
 
 /// An in-progress transmission on one local-input VC.
@@ -118,6 +116,12 @@ impl NetworkInterface {
         *c += 1;
     }
 
+    /// Free downstream slots this NI believes VC `vc` of the router's
+    /// local input has. Exposed for the credit-conservation checker.
+    pub(crate) fn credit_count(&self, vc: VcId) -> u8 {
+        self.credits[vc.index()]
+    }
+
     /// Injection step: start a new send if a VC is free, then emit at
     /// most one flit (the local link carries one flit per cycle).
     /// Returns `(vc, flit)` to hand to the router.
@@ -170,14 +174,11 @@ impl NetworkInterface {
     /// Returns a [`DeliveredPacket`] when the tail completes a packet.
     pub fn eject(&mut self, flit: Flit, cycle: Cycle) -> Option<DeliveredPacket> {
         self.flits_ejected += 1;
-        let entry = self
-            .reassembly
-            .entry(flit.packet)
-            .or_insert(Reassembly {
-                injected_at: flit.injected_at,
-                created_at: flit.created_at,
-                flits_seen: 0,
-            });
+        let entry = self.reassembly.entry(flit.packet).or_insert(Reassembly {
+            injected_at: flit.injected_at,
+            created_at: flit.created_at,
+            flits_seen: 0,
+        });
         entry.flits_seen += 1;
         if !flit.kind.is_tail() {
             return None;
@@ -277,7 +278,13 @@ mod tests {
     fn ejection_reassembles_and_detects_misdelivery() {
         let mut n = ni();
         // A packet destined for (1,1) — this node.
-        let good = Packet::new(PacketId(7), PacketKind::Data, Coord::new(0, 0), Coord::new(1, 1), 0);
+        let good = Packet::new(
+            PacketId(7),
+            PacketKind::Data,
+            Coord::new(0, 0),
+            Coord::new(1, 1),
+            0,
+        );
         let mut done = None;
         for f in good.segment() {
             done = n.eject(f, 30);
@@ -288,7 +295,13 @@ mod tests {
         assert_eq!(n.ejected, 1);
         assert_eq!(n.misdelivered, 0);
         // A packet destined elsewhere, ejected here by a misroute.
-        let bad = Packet::new(PacketId(8), PacketKind::Control, Coord::new(0, 0), Coord::new(3, 3), 0);
+        let bad = Packet::new(
+            PacketId(8),
+            PacketKind::Control,
+            Coord::new(0, 0),
+            Coord::new(3, 3),
+            0,
+        );
         let d = n.eject(bad.segment().remove(0), 40).unwrap();
         assert_eq!(d.dst, Coord::new(3, 3));
         assert_eq!(n.misdelivered, 1);

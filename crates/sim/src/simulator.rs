@@ -52,11 +52,19 @@ impl Simulator {
     /// (never during drain) and returns the packets created that cycle;
     /// each packet's `src` selects the injecting node. Returns the
     /// report plus how the run ended.
-    pub fn run(
+    pub fn run(&self, mut source: impl FnMut(Cycle) -> Vec<Packet>) -> (NetworkReport, SimOutcome) {
+        self.run_with(|cycle, out| out.extend(source(cycle)))
+    }
+
+    /// Allocation-free variant of [`Simulator::run`]: `source` appends
+    /// this cycle's packets into a buffer the simulator owns and clears,
+    /// so a steady-state cycle touches no allocator.
+    pub fn run_with(
         &self,
-        mut source: impl FnMut(Cycle) -> Vec<Packet>,
+        mut source: impl FnMut(Cycle, &mut Vec<Packet>),
     ) -> (NetworkReport, SimOutcome) {
         let mut net = Network::with_faults(self.net_cfg, self.kind, &self.plan);
+        let mut packet_buf: Vec<Packet> = Vec::new();
         let warmup = self.sim_cfg.warmup_cycles;
         let measure_end = warmup + self.sim_cfg.measure_cycles;
         let horizon = self.sim_cfg.total_cycles();
@@ -65,16 +73,14 @@ impl Simulator {
         let mut cycles_run = horizon;
         for cycle in 0..horizon {
             if cycle < measure_end {
-                let packets = source(cycle);
-                if !packets.is_empty() {
-                    net.offer_packets(packets);
+                packet_buf.clear();
+                source(cycle, &mut packet_buf);
+                if !packet_buf.is_empty() {
+                    net.offer_packets_from(&mut packet_buf);
                 }
             }
             net.step(cycle);
-            if cycle >= measure_end
-                && net.in_flight_flits() == 0
-                && net.queued_packets() == 0
-            {
+            if cycle >= measure_end && net.in_flight_flits() == 0 && net.queued_packets() == 0 {
                 outcome = SimOutcome::DrainedEarly;
                 cycles_run = cycle + 1;
                 break;

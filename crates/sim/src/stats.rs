@@ -149,10 +149,7 @@ impl NetworkReport {
             in_window.iter().map(|d| d.hops as f64).sum::<f64>() / in_window.len() as f64
         };
         let window_len = (window.1 - window.0).max(1) as f64;
-        let delivered_flits: u64 = in_window
-            .iter()
-            .map(|d| d.kind.flits() as u64)
-            .sum();
+        let delivered_flits: u64 = in_window.iter().map(|d| d.kind.flits() as u64).sum();
         NetworkReport {
             window,
             cycles_run,
@@ -225,8 +222,8 @@ mod tests {
     #[test]
     fn report_filters_to_window() {
         let deliveries = vec![
-            delivery(5, 6, 20),   // before window
-            delivery(15, 16, 40), // inside
+            delivery(5, 6, 20),    // before window
+            delivery(15, 16, 40),  // inside
             delivery(95, 96, 130), // after window
         ];
         let r = NetworkReport::build(

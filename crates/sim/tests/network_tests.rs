@@ -77,8 +77,8 @@ fn zero_load_latency_is_exact() {
         seed: 1,
     };
     let mut sent = false;
-    let (report, outcome) = Simulator::new(net, sim, RouterKind::Protected, FaultPlan::none())
-        .run(|_cycle| {
+    let (report, outcome) =
+        Simulator::new(net, sim, RouterKind::Protected, FaultPlan::none()).run(|_cycle| {
             if !sent {
                 sent = true;
                 vec![Packet::new(
@@ -110,8 +110,8 @@ fn neighbour_packet_latency() {
         seed: 1,
     };
     let mut sent = false;
-    let (report, _) = Simulator::new(net, sim, RouterKind::Protected, FaultPlan::none()).run(
-        |_c| {
+    let (report, _) =
+        Simulator::new(net, sim, RouterKind::Protected, FaultPlan::none()).run(|_c| {
             if !sent {
                 sent = true;
                 vec![Packet::new(
@@ -124,8 +124,7 @@ fn neighbour_packet_latency() {
             } else {
                 Vec::new()
             }
-        },
-    );
+        });
     assert_eq!(report.total_latency.mean, 8.0);
 }
 
@@ -140,8 +139,8 @@ fn data_packet_tail_latency_adds_serialisation() {
         seed: 1,
     };
     let mut sent = false;
-    let (report, _) = Simulator::new(net, sim, RouterKind::Protected, FaultPlan::none()).run(
-        |_c| {
+    let (report, _) =
+        Simulator::new(net, sim, RouterKind::Protected, FaultPlan::none()).run(|_c| {
             if !sent {
                 sent = true;
                 vec![Packet::new(
@@ -154,8 +153,7 @@ fn data_packet_tail_latency_adds_serialisation() {
             } else {
                 Vec::new()
             }
-        },
-    );
+        });
     assert_eq!(report.delivered(), 1);
     assert_eq!(report.total_latency.mean, 12.0);
 }
@@ -299,7 +297,11 @@ fn faulty_protected_latency_is_at_least_fault_free_latency() {
     };
     let clean = run(false);
     let faulty = run(true);
-    assert_eq!(clean.delivered(), faulty.delivered(), "no packets lost either way");
+    assert_eq!(
+        clean.delivered(),
+        faulty.delivered(),
+        "no packets lost either way"
+    );
     assert!(
         faulty.total_latency.mean >= clean.total_latency.mean,
         "faults cannot make the network faster: {} vs {}",
@@ -328,8 +330,7 @@ fn baseline_crossbar_fault_loses_flits() {
         noc_faults::DetectionModel::Ideal,
     );
     let mut src = UniformSource::new(4, 0.02, 77);
-    let (report, _) =
-        Simulator::new(net, sim, RouterKind::Baseline, plan).run(|c| src.tick(c));
+    let (report, _) = Simulator::new(net, sim, RouterKind::Baseline, plan).run(|c| src.tick(c));
     assert!(report.flits_dropped > 0, "baseline loses flits: {report:?}");
 }
 
@@ -355,21 +356,20 @@ fn watchdog_detects_blocked_traffic() {
         noc_faults::DetectionModel::Ideal,
     );
     let mut sent = false;
-    let (report, outcome) =
-        Simulator::new(net, sim, RouterKind::Baseline, plan).run(|_c| {
-            if !sent {
-                sent = true;
-                vec![Packet::new(
-                    PacketId(1),
-                    PacketKind::Control,
-                    Coord::new(0, 0),
-                    Coord::new(1, 1),
-                    0,
-                )]
-            } else {
-                Vec::new()
-            }
-        });
+    let (report, outcome) = Simulator::new(net, sim, RouterKind::Baseline, plan).run(|_c| {
+        if !sent {
+            sent = true;
+            vec![Packet::new(
+                PacketId(1),
+                PacketKind::Control,
+                Coord::new(0, 0),
+                Coord::new(1, 1),
+                0,
+            )]
+        } else {
+            Vec::new()
+        }
+    });
     assert_eq!(outcome, SimOutcome::DeadlockSuspected);
     assert!(report.deadlock_suspected);
     assert_eq!(report.delivered(), 0);
@@ -468,7 +468,10 @@ fn link_utilisation_tracks_traffic() {
     assert!(util[0] > util[6]);
     let map = net.utilisation_heatmap();
     assert_eq!(map.lines().count(), 3);
-    assert!(map.lines().next().unwrap().contains('#'), "hot row visible: {map}");
+    assert!(
+        map.lines().next().unwrap().contains('#'),
+        "hot row visible: {map}"
+    );
 }
 
 #[test]
@@ -485,15 +488,18 @@ fn bounded_ni_queues_shed_offered_load_at_saturation() {
         seed: 21,
     };
     let mut src = UniformSource::new(4, 0.5, 77);
-    let (report, _) = Simulator::new(cfg, sim, RouterKind::Protected, FaultPlan::none())
-        .run(|c| src.tick(c));
+    let (report, _) =
+        Simulator::new(cfg, sim, RouterKind::Protected, FaultPlan::none()).run(|c| src.tick(c));
     assert!(
         report.offered > report.injected,
         "overload must be shed: offered {} vs injected {}",
         report.offered,
         report.injected
     );
-    assert_eq!(report.flits_dropped, 0, "shedding happens at the NI, not in-network");
+    assert_eq!(
+        report.flits_dropped, 0,
+        "shedding happens at the NI, not in-network"
+    );
     assert_eq!(report.misdelivered, 0);
     assert!(report.delivered() > 0);
 }

@@ -128,15 +128,25 @@ impl TrafficGenerator {
         PacketId(self.next_id)
     }
 
-    /// Packets created this cycle.
+    /// Packets created this cycle, as a fresh vector.
+    ///
+    /// Hot loops should prefer [`TrafficGenerator::tick_into`], which
+    /// reuses the caller's buffer instead of allocating every cycle.
     pub fn tick(&mut self, cycle: Cycle) -> Vec<Packet> {
+        let mut out = Vec::new();
+        self.tick_into(cycle, &mut out);
+        out
+    }
+
+    /// Append the packets created this cycle to `out` (not cleared).
+    pub fn tick_into(&mut self, cycle: Cycle, out: &mut Vec<Packet>) {
         match self.cfg.spec {
             TrafficSpec::Synthetic {
                 pattern,
                 rate,
                 data_fraction,
-            } => self.tick_synthetic(cycle, pattern, rate, data_fraction),
-            TrafficSpec::App(_) => self.tick_app(cycle),
+            } => self.tick_synthetic(cycle, pattern, rate, data_fraction, out),
+            TrafficSpec::App(_) => self.tick_app(cycle, out),
         }
     }
 
@@ -146,13 +156,14 @@ impl TrafficGenerator {
         pattern: SyntheticPattern,
         rate: f64,
         data_fraction: f64,
-    ) -> Vec<Packet> {
-        let mut out = Vec::new();
-        for src in self.mesh.coords().collect::<Vec<_>>() {
+        out: &mut Vec<Packet>,
+    ) {
+        let mesh = self.mesh;
+        for src in mesh.coords() {
             if self.rng.random::<f64>() >= rate {
                 continue;
             }
-            let dst = pattern.destination(src, self.mesh, &mut self.rng);
+            let dst = pattern.destination(src, mesh, &mut self.rng);
             if dst == src {
                 continue; // deterministic patterns may self-address; skip
             }
@@ -164,18 +175,13 @@ impl TrafficGenerator {
             let id = self.fresh_id();
             out.push(Packet::new(id, kind, src, dst, cycle));
         }
-        out
     }
 
-    fn tick_app(&mut self, cycle: Cycle) -> Vec<Packet> {
+    fn tick_app(&mut self, cycle: Cycle, out: &mut Vec<Packet>) {
         let model = self.app.expect("app spec has a model");
-        let mut out = Vec::new();
 
         // 1. Release matured directory responses.
-        let due: Vec<PendingResponse> = self
-            .pending
-            .remove(&cycle)
-            .unwrap_or_default();
+        let due: Vec<PendingResponse> = self.pending.remove(&cycle).unwrap_or_default();
         for r in due {
             let id = self.fresh_id();
             out.push(Packet::new(id, r.kind, r.home, r.requester, cycle));
@@ -192,11 +198,16 @@ impl TrafficGenerator {
             // Stationary distribution: P(on) = duty.
             (BURST_EXIT_P * duty / (1.0 - duty)).min(1.0)
         };
-        for (ix, src) in self.mesh.coords().enumerate().collect::<Vec<_>>() {
+        let mesh = self.mesh;
+        for (ix, src) in mesh.coords().enumerate() {
             // Burst state transition.
             let on = self.node_on[ix];
             let flip = self.rng.random::<f64>();
-            self.node_on[ix] = if on { flip >= p_on_off } else { flip < p_off_on };
+            self.node_on[ix] = if on {
+                flip >= p_on_off
+            } else {
+                flip < p_off_on
+            };
             if !self.node_on[ix] || self.rng.random::<f64>() >= rate_on {
                 continue;
             }
@@ -212,13 +223,15 @@ impl TrafficGenerator {
                 PacketKind::Control
             };
             let release = cycle + model.service_delay;
-            self.pending.entry(release).or_default().push(PendingResponse {
-                home,
-                requester: src,
-                kind,
-            });
+            self.pending
+                .entry(release)
+                .or_default()
+                .push(PendingResponse {
+                    home,
+                    requester: src,
+                    kind,
+                });
         }
-        out
     }
 
     /// Pick the home-directory node: within Manhattan distance 2 with
@@ -425,6 +438,9 @@ mod tests {
                 zero_cycles += 1;
             }
         }
-        assert!(zero_cycles > 1_000, "quiet cycles expected, got {zero_cycles}");
+        assert!(
+            zero_cycles > 1_000,
+            "quiet cycles expected, got {zero_cycles}"
+        );
     }
 }

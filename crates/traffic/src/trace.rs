@@ -91,10 +91,15 @@ impl Trace {
             }
             let fields: Vec<&str> = line.split(',').collect();
             if fields.len() != 7 {
-                return Err(format!("line {}: expected 7 fields, got {}", n + 2, fields.len()));
+                return Err(format!(
+                    "line {}: expected 7 fields, got {}",
+                    n + 2,
+                    fields.len()
+                ));
             }
-            let parse =
-                |s: &str| -> Result<u64, String> { s.trim().parse().map_err(|e| format!("line {}: {e}", n + 2)) };
+            let parse = |s: &str| -> Result<u64, String> {
+                s.trim().parse().map_err(|e| format!("line {}: {e}", n + 2))
+            };
             let kind = match fields[2].trim() {
                 "C" => PacketKind::Control,
                 "D" => PacketKind::Data,
@@ -247,11 +252,8 @@ mod tests {
 
     #[test]
     fn app_trace_records_requests_and_responses() {
-        let mut g = TrafficGenerator::new(
-            TrafficConfig::app(crate::apps::AppId::Fft),
-            Mesh::new(4),
-            3,
-        );
+        let mut g =
+            TrafficGenerator::new(TrafficConfig::app(crate::apps::AppId::Fft), Mesh::new(4), 3);
         let t = Trace::record(&mut g, 4, 1_000);
         assert!(t.records.iter().any(|r| r.kind == PacketKind::Data));
         assert!(t.records.iter().any(|r| r.kind == PacketKind::Control));

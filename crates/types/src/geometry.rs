@@ -260,11 +260,26 @@ mod tests {
     #[test]
     fn xy_route_resolves_x_before_y() {
         let m = Mesh::new(4);
-        assert_eq!(m.xy_route(Coord::new(0, 0), Coord::new(2, 2)), Direction::East);
-        assert_eq!(m.xy_route(Coord::new(2, 0), Coord::new(2, 2)), Direction::South);
-        assert_eq!(m.xy_route(Coord::new(3, 3), Coord::new(1, 1)), Direction::West);
-        assert_eq!(m.xy_route(Coord::new(1, 3), Coord::new(1, 1)), Direction::North);
-        assert_eq!(m.xy_route(Coord::new(1, 1), Coord::new(1, 1)), Direction::Local);
+        assert_eq!(
+            m.xy_route(Coord::new(0, 0), Coord::new(2, 2)),
+            Direction::East
+        );
+        assert_eq!(
+            m.xy_route(Coord::new(2, 0), Coord::new(2, 2)),
+            Direction::South
+        );
+        assert_eq!(
+            m.xy_route(Coord::new(3, 3), Coord::new(1, 1)),
+            Direction::West
+        );
+        assert_eq!(
+            m.xy_route(Coord::new(1, 3), Coord::new(1, 1)),
+            Direction::North
+        );
+        assert_eq!(
+            m.xy_route(Coord::new(1, 1), Coord::new(1, 1)),
+            Direction::Local
+        );
     }
 
     #[test]
@@ -274,14 +289,22 @@ mod tests {
         assert_eq!(Coord::new(0, 0).step(Direction::West, k), None);
         assert_eq!(Coord::new(2, 2).step(Direction::South, k), None);
         assert_eq!(Coord::new(2, 2).step(Direction::East, k), None);
-        assert_eq!(Coord::new(1, 1).step(Direction::East, k), Some(Coord::new(2, 1)));
+        assert_eq!(
+            Coord::new(1, 1).step(Direction::East, k),
+            Some(Coord::new(2, 1))
+        );
     }
 
     #[test]
     fn neighbour_is_symmetric() {
         let m = Mesh::new(5);
         for c in m.coords() {
-            for d in [Direction::North, Direction::East, Direction::South, Direction::West] {
+            for d in [
+                Direction::North,
+                Direction::East,
+                Direction::South,
+                Direction::West,
+            ] {
                 if let Some(n) = m.neighbour(c, d) {
                     let back = m.neighbour(m.coord_of(n), d.opposite());
                     assert_eq!(back, Some(m.id_of(c)));

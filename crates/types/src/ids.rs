@@ -97,7 +97,10 @@ mod tests {
     #[test]
     fn port_all_yields_each_port_once() {
         let ports: Vec<PortId> = PortId::all(5).collect();
-        assert_eq!(ports, vec![PortId(0), PortId(1), PortId(2), PortId(3), PortId(4)]);
+        assert_eq!(
+            ports,
+            vec![PortId(0), PortId(1), PortId(2), PortId(3), PortId(4)]
+        );
     }
 
     #[test]

@@ -24,7 +24,13 @@ fn main() {
 
     for app in [AppId::Canneal, AppId::Swaptions] {
         let traffic = TrafficConfig::app(app);
-        let clean = run_simulation(&net, &sim, &traffic, RouterKind::Protected, &FaultPlan::none());
+        let clean = run_simulation(
+            &net,
+            &sim,
+            &traffic,
+            RouterKind::Protected,
+            &FaultPlan::none(),
+        );
 
         // Accelerated uniform-random fault campaign: faults accumulate
         // up to (never beyond) the correction capacity of each stage.
@@ -52,7 +58,10 @@ fn main() {
             faulty.router_events.sa_bypass_grants,
             faulty.router_events.secondary_path_flits
         );
-        assert_eq!(faulty.flits_dropped, 0, "all faults are tolerated — no loss");
+        assert_eq!(
+            faulty.flits_dropped, 0,
+            "all faults are tolerated — no loss"
+        );
         println!();
     }
     println!("Heavier coherence traffic amplifies the latency cost of tolerated faults —");

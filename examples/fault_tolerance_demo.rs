@@ -9,9 +9,7 @@
 
 use shield_noc::faults::FaultSite;
 use shield_noc::router::{Router, RouterKind};
-use shield_noc::types::{
-    Coord, Direction, Mesh, Packet, PacketId, PacketKind, RouterConfig, VcId,
-};
+use shield_noc::types::{Coord, Direction, Mesh, Packet, PacketId, PacketKind, RouterConfig, VcId};
 
 const HERE: Coord = Coord::new(3, 3);
 
@@ -72,12 +70,21 @@ fn the_four_faults() -> [FaultSite; 4] {
 
 fn main() {
     println!("=== protected router: one permanent fault in every pipeline stage ===");
-    let mut protected = Router::new_xy(0, HERE, Mesh::new(8), RouterConfig::paper(), RouterKind::Protected);
+    let mut protected = Router::new_xy(
+        0,
+        HERE,
+        Mesh::new(8),
+        RouterConfig::paper(),
+        RouterKind::Protected,
+    );
     for f in the_four_faults() {
         println!("  injecting {f}");
         protected.inject_fault(f, 0);
     }
-    assert!(!protected.is_failed(), "four faults, one per stage: tolerated");
+    assert!(
+        !protected.is_failed(),
+        "four faults, one per stage: tolerated"
+    );
     let (delivered, dropped) = drive_one_packet(&mut protected);
     let s = protected.stats();
     println!("  delivered {delivered}/5 flits, dropped {dropped}");
@@ -89,15 +96,19 @@ fn main() {
     assert_eq!((delivered, dropped), (5, 0));
 
     println!("\n=== baseline router: the same four faults ===");
-    let mut baseline = Router::new_xy(0, HERE, Mesh::new(8), RouterConfig::paper(), RouterKind::Baseline);
+    let mut baseline = Router::new_xy(
+        0,
+        HERE,
+        Mesh::new(8),
+        RouterConfig::paper(),
+        RouterKind::Baseline,
+    );
     for f in the_four_faults() {
         baseline.inject_fault(f, 0);
     }
     let (delivered, dropped) = drive_one_packet(&mut baseline);
     let stuck = baseline.buffered_flits();
-    println!(
-        "  delivered {delivered}/5 flits, dropped {dropped}, stuck in buffers {stuck}"
-    );
+    println!("  delivered {delivered}/5 flits, dropped {dropped}, stuck in buffers {stuck}");
     println!("  (misroutes: {})", baseline.stats().rc_misroutes);
     assert!(delivered < 5, "the unprotected router cannot cope");
 

@@ -25,15 +25,37 @@ fn main() {
         seed: 42,
     };
 
-    println!("simulating {} routers for {} cycles...", net.nodes(), sim.total_cycles());
-    let report = run_simulation(&net, &sim, &traffic, RouterKind::Protected, &FaultPlan::none());
+    println!(
+        "simulating {} routers for {} cycles...",
+        net.nodes(),
+        sim.total_cycles()
+    );
+    let report = run_simulation(
+        &net,
+        &sim,
+        &traffic,
+        RouterKind::Protected,
+        &FaultPlan::none(),
+    );
 
     println!("delivered packets : {}", report.delivered());
-    println!("mean latency      : {:.2} cycles (creation → tail ejection)", report.total_latency.mean);
-    println!("p95 / p99 latency : {} / {} cycles", report.total_latency.p95, report.total_latency.p99);
+    println!(
+        "mean latency      : {:.2} cycles (creation → tail ejection)",
+        report.total_latency.mean
+    );
+    println!(
+        "p95 / p99 latency : {} / {} cycles",
+        report.total_latency.p95, report.total_latency.p99
+    );
     println!("mean hops         : {:.2}", report.mean_hops);
-    println!("throughput        : {:.4} flits/node/cycle", report.throughput);
+    println!(
+        "throughput        : {:.4} flits/node/cycle",
+        report.throughput
+    );
     println!("misdelivered      : {}", report.misdelivered);
     println!("flits dropped     : {}", report.flits_dropped);
-    assert_eq!(report.flits_dropped, 0, "a healthy protected mesh never drops flits");
+    assert_eq!(
+        report.flits_dropped, 0,
+        "a healthy protected mesh never drops flits"
+    );
 }

@@ -19,11 +19,20 @@ fn main() {
     println!("MTTF analysis (Section VII)");
     println!("  baseline pipeline FIT  : {:.1}", mttf.baseline_fit);
     println!("  correction FIT         : {:.1}", mttf.correction_fit);
-    println!("  baseline MTTF          : {:.0} h (~{:.1} years)",
-        mttf.mttf_baseline_hours, mttf.mttf_baseline_hours / 8760.0);
-    println!("  protected MTTF (paper) : {:.0} h (~{:.1} years)",
-        mttf.mttf_protected_paper_hours, mttf.mttf_protected_paper_hours / 8760.0);
-    println!("  improvement            : {:.2}x (paper claims ~6x)", mttf.improvement_paper);
+    println!(
+        "  baseline MTTF          : {:.0} h (~{:.1} years)",
+        mttf.mttf_baseline_hours,
+        mttf.mttf_baseline_hours / 8760.0
+    );
+    println!(
+        "  protected MTTF (paper) : {:.0} h (~{:.1} years)",
+        mttf.mttf_protected_paper_hours,
+        mttf.mttf_protected_paper_hours / 8760.0
+    );
+    println!(
+        "  improvement            : {:.2}x (paper claims ~6x)",
+        mttf.improvement_paper
+    );
 
     let spf = SpfAnalysis::analytic(&RouterConfig::paper(), 0.31);
     println!("\nSPF analysis (Section VIII)");
@@ -40,10 +49,16 @@ fn main() {
 
     let area = AreaPowerModel::paper().report();
     println!("\nOverheads (Section VI-A)");
-    println!("  area  : {:.1}% (+detection → {:.1}%)",
-        area.area_overhead_correction * 100.0, area.area_overhead_total * 100.0);
-    println!("  power : {:.1}% (+detection → {:.1}%)",
-        area.power_overhead_correction * 100.0, area.power_overhead_total * 100.0);
+    println!(
+        "  area  : {:.1}% (+detection → {:.1}%)",
+        area.area_overhead_correction * 100.0,
+        area.area_overhead_total * 100.0
+    );
+    println!(
+        "  power : {:.1}% (+detection → {:.1}%)",
+        area.power_overhead_correction * 100.0,
+        area.power_overhead_total * 100.0
+    );
 
     let timing = TimingModel::paper().report();
     println!("\nCritical path (Section VI-B)");

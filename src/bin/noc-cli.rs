@@ -81,11 +81,7 @@ fn parse_app(name: &str) -> Result<AppId, String> {
         .ok_or_else(|| format!("unknown application {name:?}"))
 }
 
-fn take_value<'a>(
-    args: &'a [String],
-    i: &mut usize,
-    flag: &str,
-) -> Result<&'a str, String> {
+fn take_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
     *i += 1;
     args.get(*i)
         .map(|s| s.as_str())
@@ -111,7 +107,11 @@ fn parse(args: &[String]) -> Result<Command, String> {
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
-                    "--mesh" => a.mesh = take_value(args, &mut i, "--mesh")?.parse().map_err(|e| format!("--mesh: {e}"))?,
+                    "--mesh" => {
+                        a.mesh = take_value(args, &mut i, "--mesh")?
+                            .parse()
+                            .map_err(|e| format!("--mesh: {e}"))?
+                    }
                     "--router" => {
                         a.protected = match take_value(args, &mut i, "--router")? {
                             "protected" => true,
@@ -119,12 +119,31 @@ fn parse(args: &[String]) -> Result<Command, String> {
                             other => return Err(format!("--router: {other:?}")),
                         }
                     }
-                    "--pattern" => pattern = Some(parse_pattern(take_value(args, &mut i, "--pattern")?)?),
-                    "--rate" => rate = take_value(args, &mut i, "--rate")?.parse().map_err(|e| format!("--rate: {e}"))?,
-                    "--app" => a.source = Source::App(parse_app(take_value(args, &mut i, "--app")?)?),
-                    "--trace-in" => a.source = Source::TraceFile(take_value(args, &mut i, "--trace-in")?.to_string()),
-                    "--cycles" => a.cycles = take_value(args, &mut i, "--cycles")?.parse().map_err(|e| format!("--cycles: {e}"))?,
-                    "--seed" => a.seed = take_value(args, &mut i, "--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+                    "--pattern" => {
+                        pattern = Some(parse_pattern(take_value(args, &mut i, "--pattern")?)?)
+                    }
+                    "--rate" => {
+                        rate = take_value(args, &mut i, "--rate")?
+                            .parse()
+                            .map_err(|e| format!("--rate: {e}"))?
+                    }
+                    "--app" => {
+                        a.source = Source::App(parse_app(take_value(args, &mut i, "--app")?)?)
+                    }
+                    "--trace-in" => {
+                        a.source =
+                            Source::TraceFile(take_value(args, &mut i, "--trace-in")?.to_string())
+                    }
+                    "--cycles" => {
+                        a.cycles = take_value(args, &mut i, "--cycles")?
+                            .parse()
+                            .map_err(|e| format!("--cycles: {e}"))?
+                    }
+                    "--seed" => {
+                        a.seed = take_value(args, &mut i, "--seed")?
+                            .parse()
+                            .map_err(|e| format!("--seed: {e}"))?
+                    }
                     "--faults" => {
                         a.faults = match take_value(args, &mut i, "--faults")? {
                             "none" => FaultMode::None,
@@ -134,7 +153,11 @@ fn parse(args: &[String]) -> Result<Command, String> {
                         }
                     }
                     "--fault-mean" => {
-                        a.fault_mean = Some(take_value(args, &mut i, "--fault-mean")?.parse().map_err(|e| format!("--fault-mean: {e}"))?)
+                        a.fault_mean = Some(
+                            take_value(args, &mut i, "--fault-mean")?
+                                .parse()
+                                .map_err(|e| format!("--fault-mean: {e}"))?,
+                        )
                     }
                     "--heatmap" => a.heatmap = true,
                     other => return Err(format!("simulate: unknown flag {other:?}")),
@@ -161,12 +184,32 @@ fn parse(args: &[String]) -> Result<Command, String> {
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
-                    "--mesh" => t.mesh = take_value(args, &mut i, "--mesh")?.parse().map_err(|e| format!("--mesh: {e}"))?,
-                    "--pattern" => pattern = Some(parse_pattern(take_value(args, &mut i, "--pattern")?)?),
-                    "--rate" => rate = take_value(args, &mut i, "--rate")?.parse().map_err(|e| format!("--rate: {e}"))?,
-                    "--app" => t.source = Source::App(parse_app(take_value(args, &mut i, "--app")?)?),
-                    "--cycles" => t.cycles = take_value(args, &mut i, "--cycles")?.parse().map_err(|e| format!("--cycles: {e}"))?,
-                    "--seed" => t.seed = take_value(args, &mut i, "--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+                    "--mesh" => {
+                        t.mesh = take_value(args, &mut i, "--mesh")?
+                            .parse()
+                            .map_err(|e| format!("--mesh: {e}"))?
+                    }
+                    "--pattern" => {
+                        pattern = Some(parse_pattern(take_value(args, &mut i, "--pattern")?)?)
+                    }
+                    "--rate" => {
+                        rate = take_value(args, &mut i, "--rate")?
+                            .parse()
+                            .map_err(|e| format!("--rate: {e}"))?
+                    }
+                    "--app" => {
+                        t.source = Source::App(parse_app(take_value(args, &mut i, "--app")?)?)
+                    }
+                    "--cycles" => {
+                        t.cycles = take_value(args, &mut i, "--cycles")?
+                            .parse()
+                            .map_err(|e| format!("--cycles: {e}"))?
+                    }
+                    "--seed" => {
+                        t.seed = take_value(args, &mut i, "--seed")?
+                            .parse()
+                            .map_err(|e| format!("--seed: {e}"))?
+                    }
                     "--out" => t.out = take_value(args, &mut i, "--out")?.to_string(),
                     other => return Err(format!("trace: unknown flag {other:?}")),
                 }
@@ -185,7 +228,11 @@ fn parse(args: &[String]) -> Result<Command, String> {
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
-                    "--vcs" => vcs = take_value(args, &mut i, "--vcs")?.parse().map_err(|e| format!("--vcs: {e}"))?,
+                    "--vcs" => {
+                        vcs = take_value(args, &mut i, "--vcs")?
+                            .parse()
+                            .map_err(|e| format!("--vcs: {e}"))?
+                    }
                     other => return Err(format!("analyze: unknown flag {other:?}")),
                 }
                 i += 1;
@@ -262,9 +309,20 @@ fn run_simulate(a: SimulateArgs) -> Result<(), String> {
     };
 
     println!("router          : {kind:?} on a {0}x{0} mesh", a.mesh);
-    println!("faults          : {} permanent, {} transient", plan.len(), plan.transients().len());
-    println!("packets         : {} delivered, {} misdelivered", report.delivered(), report.misdelivered);
-    println!("flits dropped   : {}", report.flits_dropped + report.flits_edge_dropped);
+    println!(
+        "faults          : {} permanent, {} transient",
+        plan.len(),
+        plan.transients().len()
+    );
+    println!(
+        "packets         : {} delivered, {} misdelivered",
+        report.delivered(),
+        report.misdelivered
+    );
+    println!(
+        "flits dropped   : {}",
+        report.flits_dropped + report.flits_edge_dropped
+    );
     println!(
         "latency (cycles): mean {:.2}, p50 {}, p95 {}, p99 {}, max {}",
         report.total_latency.mean,
@@ -273,7 +331,10 @@ fn run_simulate(a: SimulateArgs) -> Result<(), String> {
         report.total_latency.p99,
         report.total_latency.max
     );
-    println!("throughput      : {:.4} flits/node/cycle", report.throughput);
+    println!(
+        "throughput      : {:.4} flits/node/cycle",
+        report.throughput
+    );
     println!("mean hops       : {:.2}", report.mean_hops);
     if report.deadlock_suspected {
         println!("WARNING: deadlock suspected (traffic stopped moving)");
@@ -297,7 +358,12 @@ fn run_trace(t: TraceArgs) -> Result<(), String> {
     let mut generator = TrafficGenerator::new(traffic, Mesh::new(t.mesh), t.seed ^ 0x5EED);
     let trace = Trace::record(&mut generator, t.mesh, t.cycles);
     trace.save(&t.out).map_err(|e| e.to_string())?;
-    println!("recorded {} packets over {} cycles into {}", trace.len(), t.cycles, t.out);
+    println!(
+        "recorded {} packets over {} cycles into {}",
+        trace.len(),
+        t.cycles,
+        t.out
+    );
     Ok(())
 }
 
@@ -311,10 +377,19 @@ fn run_analyze(vcs: usize) -> Result<(), String> {
     let ap = AreaPowerModel::new(cfg, 6).report();
     println!("router: 5 ports, {vcs} VCs");
     println!("  baseline FIT        : {:.1}", mttf.baseline_fit);
-    println!("  MTTF improvement    : {:.2}x (paper eq. 5)", mttf.improvement_paper);
+    println!(
+        "  MTTF improvement    : {:.2}x (paper eq. 5)",
+        mttf.improvement_paper
+    );
     println!("  SPF                 : {:.2}", spf.spf);
-    println!("  area overhead       : {:.1}%", ap.area_overhead_total * 100.0);
-    println!("  power overhead      : {:.1}%", ap.power_overhead_total * 100.0);
+    println!(
+        "  area overhead       : {:.1}%",
+        ap.area_overhead_total * 100.0
+    );
+    println!(
+        "  power overhead      : {:.1}%",
+        ap.power_overhead_total * 100.0
+    );
     Ok(())
 }
 
@@ -401,8 +476,14 @@ mod tests {
 
     #[test]
     fn analyze_parses_vcs() {
-        assert_eq!(parse(&args("analyze --vcs 2")).unwrap(), Command::Analyze { vcs: 2 });
-        assert_eq!(parse(&args("analyze")).unwrap(), Command::Analyze { vcs: 4 });
+        assert_eq!(
+            parse(&args("analyze --vcs 2")).unwrap(),
+            Command::Analyze { vcs: 2 }
+        );
+        assert_eq!(
+            parse(&args("analyze")).unwrap(),
+            Command::Analyze { vcs: 4 }
+        );
     }
 
     #[test]

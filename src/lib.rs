@@ -50,8 +50,6 @@ pub mod prelude {
     pub use noc_faults::FaultPlan;
     pub use noc_sim::{NetworkReport, Simulator};
     pub use noc_traffic::{SyntheticPattern, TrafficConfig};
-    pub use noc_types::{
-        Coord, Direction, Mesh, NetworkConfig, RouterConfig, SimConfig,
-    };
+    pub use noc_types::{Coord, Direction, Mesh, NetworkConfig, RouterConfig, SimConfig};
     pub use shield_router::RouterKind;
 }

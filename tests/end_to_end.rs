@@ -165,6 +165,12 @@ fn prelude_quickstart_shape() {
     let net = NetworkConfig::paper();
     let sim = SimConfig::smoke(42);
     let traffic = TrafficConfig::synthetic(SyntheticPattern::UniformRandom, 0.05);
-    let report = run_simulation(&net, &sim, &traffic, RouterKind::Protected, &FaultPlan::none());
+    let report = run_simulation(
+        &net,
+        &sim,
+        &traffic,
+        RouterKind::Protected,
+        &FaultPlan::none(),
+    );
     assert!(report.delivered() > 0);
 }
