@@ -1,20 +1,30 @@
-//! Whole-network simulation throughput: cycles/second for the 8×8 mesh
-//! under moderate load — the cost that bounds Figure-7/8 runs and the
-//! number `BENCH_hotpath.json` tracks across hot-path PRs.
+//! Whole-network simulation throughput: cycles/second under moderate
+//! load — the cost that bounds Figure-7/8 runs. Tracks the serial hot
+//! path (`BENCH_hotpath.json`) and the sharded parallel stepper plus
+//! active-router worklist (`BENCH_parallel_step.json`).
+//!
+//! Matrix: 8×8 and 16×16 meshes × uniform low/high load and canneal ×
+//! a pre-worklist serial baseline and threads ∈ {1, 2, 4, 8}. Pass
+//! `--quick` for a single-sample smoke run (CI); any other argument is
+//! a substring filter on the bench names.
 
-use noc_bench::bench;
+use noc_bench::{bench_with, Measurement};
 use noc_sim::Network;
 use noc_traffic::{AppId, SyntheticPattern, TrafficConfig, TrafficGenerator};
 use noc_types::{Mesh, NetworkConfig};
 use shield_router::RouterKind;
 use std::hint::black_box;
+use std::time::Duration;
 
 const CYCLES: u64 = 2_000;
 
-fn run_once(traffic: &TrafficConfig) {
-    let cfg = NetworkConfig::paper();
+fn run_once(k: u8, traffic: &TrafficConfig, threads: usize, skip_idle: bool) {
+    let mut cfg = NetworkConfig::paper();
+    cfg.mesh_k = k;
     let mut net = Network::new(cfg, RouterKind::Protected);
-    let mut gen = TrafficGenerator::new(*traffic, Mesh::new(8), 1);
+    net.set_threads(threads);
+    net.set_skip_idle(skip_idle);
+    let mut gen = TrafficGenerator::new(*traffic, Mesh::new(k), 1);
     let mut pkts = Vec::new();
     for cycle in 0..CYCLES {
         pkts.clear();
@@ -26,23 +36,62 @@ fn run_once(traffic: &TrafficConfig) {
 }
 
 fn main() {
-    let mut json = Vec::new();
-    for (label, traffic) in [
-        (
-            "uniform_0.02",
-            TrafficConfig::synthetic(SyntheticPattern::UniformRandom, 0.02),
-        ),
-        ("app_canneal", TrafficConfig::app(AppId::Canneal)),
-    ] {
-        let m = bench(&format!("mesh_8x8/2k_cycles/{label}"), || {
-            run_once(&traffic);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let filters: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let (samples, min_sample) = if quick {
+        (1, Duration::from_millis(20))
+    } else {
+        (7, Duration::from_millis(100))
+    };
+    let run = |name: &str, k: u8, traffic: &TrafficConfig, threads: usize, skip: bool| {
+        if !filters.is_empty() && !filters.iter().any(|f| name.contains(f.as_str())) {
+            return None;
+        }
+        let m: Measurement = bench_with(name, samples, min_sample, || {
+            run_once(k, traffic, threads, skip)
         });
         let cycles_per_sec = m.per_second() * CYCLES as f64;
         println!("  -> {cycles_per_sec:.0} simulated cycles/sec");
-        json.push(format!(
-            "  {{\"bench\": \"{label}\", \"mesh\": \"8x8\", \"sim_cycles_per_second\": {cycles_per_sec:.0}, \"ns_per_sim_cycle\": {:.1}}}",
+        Some(format!(
+            "  {{\"bench\": \"{name}\", \"sim_cycles_per_second\": {cycles_per_sec:.0}, \
+             \"ns_per_sim_cycle\": {:.1}}}",
             m.ns_per_iter / CYCLES as f64
-        ));
+        ))
+    };
+
+    let mut json = Vec::new();
+    for k in [8u8, 16] {
+        for (label, traffic) in [
+            (
+                "uniform_0.02",
+                TrafficConfig::synthetic(SyntheticPattern::UniformRandom, 0.02),
+            ),
+            (
+                "uniform_0.10",
+                TrafficConfig::synthetic(SyntheticPattern::UniformRandom, 0.10),
+            ),
+            ("app_canneal", TrafficConfig::app(AppId::Canneal)),
+        ] {
+            // The pre-PR stepper: serial, stepping every router.
+            json.push(run(
+                &format!("mesh_{k}x{k}/2k_cycles/{label}/serial_no_worklist"),
+                k,
+                &traffic,
+                1,
+                false,
+            ));
+            for threads in [1usize, 2, 4, 8] {
+                json.push(run(
+                    &format!("mesh_{k}x{k}/2k_cycles/{label}/threads_{threads}"),
+                    k,
+                    &traffic,
+                    threads,
+                    true,
+                ));
+            }
+        }
     }
+    let json: Vec<String> = json.into_iter().flatten().collect();
     println!("\nJSON:\n[\n{}\n]", json.join(",\n"));
 }

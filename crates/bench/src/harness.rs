@@ -53,6 +53,26 @@ impl ExperimentScale {
     }
 }
 
+/// Stepper thread count for experiment binaries: `--threads N` on the
+/// command line wins, then the `NOC_SIM_THREADS` environment variable,
+/// else serial. `0` means one thread per available CPU. Results are
+/// bit-identical at every value (see `noc_sim::Network::set_threads`);
+/// the knob only changes wall-clock.
+pub fn sim_threads() -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                return n;
+            }
+        }
+    }
+    std::env::var("NOC_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
 /// Run one simulation end to end: build the traffic generator from
 /// `traffic`, wire it into the simulator, return the report.
 pub fn run_simulation(
@@ -65,6 +85,7 @@ pub fn run_simulation(
     let mesh = Mesh::new(net.mesh_k);
     let mut generator = TrafficGenerator::new(*traffic, mesh, sim.seed ^ 0x5EED);
     let (report, _outcome) = Simulator::new(*net, *sim, kind, plan.clone())
+        .with_threads(sim_threads())
         .run_with(|cycle, out| generator.tick_into(cycle, out));
     report
 }

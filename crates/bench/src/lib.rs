@@ -38,6 +38,6 @@ pub mod tables;
 
 pub use experiments::{FigureConfig, FigureResult, FigureRow};
 pub use export::{figure_csv, write_csv};
-pub use harness::{run_simulation, ExperimentScale};
+pub use harness::{run_simulation, sim_threads, ExperimentScale};
 pub use microbench::{bench, bench_with, Measurement};
 pub use tables::Table;

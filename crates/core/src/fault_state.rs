@@ -63,6 +63,15 @@ impl FaultState {
         !self.transients.is_empty()
     }
 
+    /// Whether this state can never change: no permanent faults were ever
+    /// injected and no transients are scheduled. For an inert state,
+    /// [`FaultState::refresh`] is a pure no-op (the maps stay healthy at
+    /// every cycle), which is what lets a simulator skip idle routers
+    /// without desynchronising their fault clocks.
+    pub fn is_inert(&self) -> bool {
+        self.injected.is_empty() && self.transients.is_empty()
+    }
+
     /// Change the detection model, keeping every scheduled fault. The
     /// maps are cleared and repopulated on the next `refresh`.
     pub fn set_detection(&mut self, detection: DetectionModel) {

@@ -340,6 +340,38 @@ impl Router {
         }
     }
 
+    /// Whether stepping this router would be an observable no-op, so a
+    /// network-level worklist may skip its [`Router::step_into`] call
+    /// entirely.
+    ///
+    /// A router is idle when:
+    ///
+    /// * every VC of every input port is in the `Idle` G state — no flit
+    ///   is buffered and no packet is mid-flight through the router, so
+    ///   RC/VA/SA have no requests (which also implies every `out_vc_busy`
+    ///   flag is clear: downstream VCs are released by the tail flit,
+    ///   whose pop is what returns the input VC to `Idle`);
+    /// * the crossbar grant queue is empty — no traversal is pending; and
+    /// * the fault state is inert ([`FaultState::is_inert`]) — skipping
+    ///   the per-cycle `faults.refresh` cannot change the active or
+    ///   detected maps, now or later. Routers with any scheduled fault
+    ///   are simply always stepped; fault campaigns touch few routers.
+    ///
+    /// Arbiter pointers, the bypass register and every statistics counter
+    /// only move when a stage sees a request, so an idle step touches
+    /// nothing observable. The `worklist_is_sound` property test steps
+    /// idle routers anyway and asserts exactly that.
+    ///
+    /// Credits arriving from downstream do *not* wake a router: absorbing
+    /// a credit is handled at delivery time by [`Router::receive_credit`]
+    /// and needs no pipeline evaluation. A flit arrival flips its VC out
+    /// of `Idle`, so the next `is_idle` check sees it.
+    pub fn is_idle(&self) -> bool {
+        self.xb_queue.is_empty()
+            && self.faults.is_inert()
+            && self.ports.iter().all(|p| p.nonidle_mask() == 0)
+    }
+
     /// Accept a flit arriving on `(port, vc)` (buffer write).
     pub fn receive_flit(&mut self, port: PortId, vc: VcId, flit: Flit) {
         self.stats.flits_in += 1;

@@ -703,3 +703,71 @@ fn flit_conservation_under_heavy_multi_vc_traffic() {
     assert_eq!(r.stats().flits_out, total);
     assert_eq!(r.buffered_flits(), 0);
 }
+
+// ---------------------------------------------------------------------
+// The idle predicate (the simulator's active-router worklist)
+// ---------------------------------------------------------------------
+
+/// A fresh healthy router is idle, stays idle while only stepped, and
+/// an idle step produces nothing.
+#[test]
+fn fresh_router_is_idle_and_idle_steps_are_no_ops() {
+    let mut r = router(RouterKind::Protected);
+    assert!(r.is_idle());
+    for cycle in 0..20 {
+        let out = r.step(cycle);
+        assert!(out.departures.is_empty() && out.credits.is_empty() && out.dropped.is_empty());
+        assert!(r.is_idle());
+    }
+    assert_eq!(r.stats().flits_out, 0);
+}
+
+/// A router holding any part of a packet is non-idle from the first
+/// flit until the tail has fully departed, and becomes idle again after.
+#[test]
+fn router_is_nonidle_exactly_while_it_holds_traffic() {
+    let mut r = router(RouterKind::Protected);
+    let flits = packet(1, PacketKind::Data, EAST_DST);
+    let total = flits.len();
+    r.receive_flit(Direction::Local.port(), VcId(0), flits[0].clone());
+    assert!(
+        !r.is_idle(),
+        "a buffered head flit must mark the router active"
+    );
+    let mut seen = 0usize;
+    let mut cycle = 0u64;
+    let mut next = 1usize;
+    while seen < total {
+        assert!(!r.is_idle(), "mid-packet router went idle at cycle {cycle}");
+        let out = r.step(cycle);
+        for d in out.departures {
+            r.receive_credit(d.out_port, d.out_vc);
+            seen += 1;
+        }
+        if next < total {
+            r.receive_flit(Direction::Local.port(), VcId(0), flits[next].clone());
+            next += 1;
+        }
+        cycle += 1;
+    }
+    // Credits all returned, tail departed: idle again.
+    assert!(r.is_idle(), "drained router must return to idle");
+}
+
+/// Any scheduled fault — even one far in the future, or an expired
+/// transient — keeps the router out of the worklist's idle set, because
+/// its fault clock must keep advancing.
+#[test]
+fn faulted_routers_are_never_idle() {
+    let mut r = router(RouterKind::Protected);
+    r.inject_fault(FaultSite::Sa1Arbiter { port: PortId(1) }, 10_000);
+    assert!(!r.is_idle());
+
+    let mut t = router(RouterKind::Protected);
+    t.inject_transient(FaultSite::Sa1Arbiter { port: PortId(1) }, 5, 3);
+    assert!(!t.is_idle());
+    for cycle in 0..50 {
+        t.step(cycle);
+        assert!(!t.is_idle(), "transient schedule keeps the router active");
+    }
+}

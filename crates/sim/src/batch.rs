@@ -2,16 +2,19 @@
 //!
 //! Individual simulations are completely independent, which makes sweeps
 //! over seeds, injection rates and applications embarrassingly parallel.
-//! Workers claim jobs from a shared atomic cursor inside a scoped thread
-//! pool and write results straight into their input slot, so results
-//! never race and arrive back in input order.
+//! Jobs run on the crate's shared persistent [`WorkerPool`] (no threads
+//! are spawned per call): inputs are cut into one contiguous chunk per
+//! pool task, each task maps its chunk in place, and the chunks are
+//! reassembled in input order.
 
-use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::pool::WorkerPool;
 use std::sync::Mutex;
 
-/// Run `f` over every input on a scoped thread pool, preserving input
-/// order in the output. `threads = 0` uses the available parallelism.
+/// Run `f` over every input in parallel, preserving input order in the
+/// output. `threads = 0` uses the available parallelism; `threads = 1`
+/// runs serially on the calling thread. Counts above the global pool's
+/// size are clamped — the pool is shared and persistent, sized once to
+/// the machine.
 pub fn run_batch<T, R, F>(inputs: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Send,
@@ -22,12 +25,11 @@ where
     if n == 0 {
         return Vec::new();
     }
+    let pool = WorkerPool::global();
     let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(4)
+        pool.workers() + 1
     } else {
-        threads
+        threads.min(pool.workers() + 1)
     }
     .min(n);
 
@@ -35,36 +37,30 @@ where
         return inputs.into_iter().map(f).collect();
     }
 
-    let jobs: Vec<Mutex<Option<T>>> = inputs.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
+    // One contiguous chunk per task; the chunk index alone determines
+    // where its results land, so no per-job synchronisation is needed.
+    let base = n / threads;
+    let extra = n % threads;
+    let mut inputs = inputs;
+    let mut chunks: Vec<Mutex<(Vec<T>, Vec<R>)>> = Vec::with_capacity(threads);
+    for c in (0..threads).rev() {
+        let len = base + usize::from(c < extra);
+        let tail = inputs.split_off(inputs.len() - len);
+        chunks.push(Mutex::new((tail, Vec::with_capacity(len))));
+    }
+    chunks.reverse();
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let ix = cursor.fetch_add(1, Ordering::Relaxed);
-                if ix >= n {
-                    break;
-                }
-                let input = jobs[ix]
-                    .lock()
-                    .expect("job slot poisoned")
-                    .take()
-                    .expect("each job is claimed exactly once");
-                let out = f(input);
-                *results[ix].lock().expect("result slot poisoned") = Some(out);
-            });
-        }
+    pool.broadcast(threads, &|c| {
+        let mut slot = chunks[c].lock().expect("chunk slot poisoned");
+        let (input, output) = &mut *slot;
+        output.extend(input.drain(..).map(&f));
     });
 
-    results
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result slot poisoned")
-                .expect("every job must produce a result")
-        })
-        .collect()
+    let mut out = Vec::with_capacity(n);
+    for chunk in chunks {
+        out.append(&mut chunk.into_inner().expect("chunk slot poisoned").1);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -98,5 +94,22 @@ mod tests {
         let outputs = run_batch((0..32).collect::<Vec<i32>>(), 0, |x| -x);
         assert_eq!(outputs.len(), 32);
         assert_eq!(outputs[5], -5);
+    }
+
+    #[test]
+    fn uneven_chunks_cover_every_input() {
+        // 7 inputs over 3 tasks: chunk sizes 3/2/2.
+        let outputs = run_batch((0..7).collect::<Vec<i64>>(), 3, |x| x * 10);
+        assert_eq!(outputs, vec![0, 10, 20, 30, 40, 50, 60]);
+    }
+
+    #[test]
+    fn nested_batches_do_not_deadlock() {
+        // An outer batch job running an inner batch re-enters the shared
+        // pool; the inner call must fall back to inline execution.
+        let outputs = run_batch((0..4).collect::<Vec<u32>>(), 0, |x| {
+            run_batch(vec![x, x + 1], 0, |y| y * 2).iter().sum::<u32>()
+        });
+        assert_eq!(outputs, vec![2, 6, 10, 14]);
     }
 }

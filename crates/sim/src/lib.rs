@@ -14,24 +14,31 @@
 //!   application and the deadlock watchdog;
 //! * [`NetworkReport`] — latency distributions (mean, percentiles),
 //!   throughput, delivery accounting;
+//! * [`WorkerPool`] — a persistent std-only thread pool shared by the
+//!   sharded parallel stepper ([`Network::set_threads`]) and the batch
+//!   runner;
 //! * [`batch`] — an embarrassingly-parallel batch runner for parameter
-//!   sweeps (one OS thread per independent simulation).
+//!   sweeps on the shared pool.
 //!
 //! Packet sources are plain closures `FnMut(Cycle) -> Vec<Packet>`
 //! invoked once per cycle, which keeps this crate decoupled from the
 //! traffic models in `noc-traffic`.
 
-#![forbid(unsafe_code)]
+// `pool` needs two well-audited unsafe blocks to hand lifetime-erased
+// task references to persistent workers; everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batch;
 pub mod network;
 pub mod ni;
+pub mod pool;
 pub mod simulator;
 pub mod stats;
 
 pub use batch::run_batch;
 pub use network::Network;
 pub use ni::NetworkInterface;
+pub use pool::WorkerPool;
 pub use simulator::{SimOutcome, Simulator};
 pub use stats::{LatencySummary, NetworkReport};

@@ -1,12 +1,42 @@
 //! The mesh network: routers, links, NIs and the per-cycle update.
+//!
+//! # Stepping modes
+//!
+//! [`Network::step`] has two interchangeable execution strategies that
+//! produce bit-identical results:
+//!
+//! * **Serial** (default): every router stepped in id order on the
+//!   calling thread, allocation-free in steady state.
+//! * **Sharded parallel** ([`Network::set_threads`] > 1): the mesh is
+//!   partitioned into contiguous row bands, each stepped by a persistent
+//!   worker on a [`crate::WorkerPool`]. A cycle runs in three phases —
+//!   deliver (arrivals partitioned by destination shard), shard-step
+//!   (each shard steps its routers into shard-local buffers), merge
+//!   (shard buffers appended to the wire ring in fixed shard order).
+//!   Because link latency is ≥ 1 cycle, a router's step never reads
+//!   another router's same-cycle output, so shards are independent
+//!   within a cycle and the merge order alone fixes the result; see
+//!   ARCHITECTURE.md §2.1 for the full determinism argument.
+//!
+//! Independently of the thread count, an **active-router worklist**
+//! skips [`shield_router::Router::step_into`] for routers that are
+//! provably inert this cycle ([`shield_router::Router::is_idle`]): no
+//! buffered flits, no pending crossbar grants, no scheduled faults. At
+//! the low injection rates that dominate latency–load sweeps this is
+//! most of the mesh. [`Network::set_skip_idle`] disables it, and
+//! [`Network::set_worklist_audit`] steps idle routers anyway while
+//! asserting their step was an observable no-op (used by the
+//! `worklist_is_sound` property test).
 
 use crate::ni::NetworkInterface;
+use crate::pool::WorkerPool;
 use crate::stats::RouterEventTotals;
 use noc_faults::FaultPlan;
 use noc_types::{
     Cycle, DeliveredPacket, Direction, Flit, Mesh, NetworkConfig, Packet, PortId, VcId,
 };
-use shield_router::{Router, RouterKind, StepOutput};
+use shield_router::{Router, RouterKind, RouterStats, StepOutput};
+use std::sync::Mutex;
 
 /// A flit or credit in flight on a link.
 #[derive(Debug)]
@@ -28,6 +58,251 @@ enum Wire {
     NiCredit { router: usize, vc: VcId },
 }
 
+impl Wire {
+    /// The router (or node) index this wire is travelling towards — the
+    /// key arrivals are partitioned by in the parallel stepper.
+    fn dest(&self) -> usize {
+        match self {
+            Wire::Flit { router, .. }
+            | Wire::Credit { router, .. }
+            | Wire::NiCredit { router, .. } => *router,
+            Wire::Eject { node, .. } => *node,
+        }
+    }
+}
+
+/// Reusable per-shard working state for the parallel stepper. All
+/// buffers keep their capacity across cycles.
+#[derive(Default)]
+struct ShardScratch {
+    /// This shard's slice of the cycle's arrivals, in global order.
+    arrivals: Vec<Wire>,
+    /// Wire traffic produced by this shard's routers, in router order.
+    wires_out: Vec<Wire>,
+    /// Packets completed at this shard's NIs this cycle.
+    deliveries: Vec<DeliveredPacket>,
+    /// Per-shard reusable router step output.
+    step_out: StepOutput,
+    flits_dropped: u64,
+    flits_edge_dropped: u64,
+    routers_stepped: u64,
+    routers_skipped: u64,
+    any_departure: bool,
+}
+
+/// Everything the parallel stepper owns: the worker pool plus the
+/// shard partition (contiguous row bands over router ids).
+struct ParState {
+    pool: WorkerPool,
+    /// Per shard: the `[start, end)` router-id range it owns.
+    bounds: Vec<(usize, usize)>,
+    /// Router id → owning shard.
+    shard_of: Vec<usize>,
+    shards: Vec<ShardScratch>,
+}
+
+impl ParState {
+    fn new(threads: usize, mesh: Mesh) -> Self {
+        let k = mesh.k as usize;
+        // One band per thread, but never split a row and never create
+        // an empty shard.
+        let nshards = threads.min(k).max(1);
+        let mut bounds = Vec::with_capacity(nshards);
+        let mut row = 0;
+        for s in 0..nshards {
+            let rows = k / nshards + usize::from(s < k % nshards);
+            bounds.push((row * k, (row + rows) * k));
+            row += rows;
+        }
+        let mut shard_of = vec![0; mesh.len()];
+        for (s, &(lo, hi)) in bounds.iter().enumerate() {
+            for slot in &mut shard_of[lo..hi] {
+                *slot = s;
+            }
+        }
+        ParState {
+            // The caller participates in every broadcast, so `nshards`
+            // shards need only `nshards - 1` background workers.
+            pool: WorkerPool::new(nshards - 1),
+            bounds,
+            shard_of,
+            shards: (0..nshards).map(|_| ShardScratch::default()).collect(),
+        }
+    }
+}
+
+/// One shard's mutable view of the network for phase B of a parallel
+/// cycle: disjoint slices of the routers, NIs and link counters, plus
+/// the shard scratch. No two shards alias, and nothing here touches the
+/// wire ring — cross-shard traffic only flows through `wires_out`,
+/// merged serially in phase C.
+struct ShardCtx<'a> {
+    base: usize,
+    mesh: Mesh,
+    skip_idle: bool,
+    routers: &'a mut [Router],
+    nis: &'a mut [NetworkInterface],
+    link_flits: &'a mut [[u64; 5]],
+    scratch: &'a mut ShardScratch,
+}
+
+impl ShardCtx<'_> {
+    /// One shard's share of a cycle: deliver arrivals, inject, step.
+    /// Mirrors the serial stepper's per-router order exactly.
+    fn run(&mut self, cycle: Cycle) {
+        let ShardCtx {
+            base,
+            mesh,
+            skip_idle,
+            routers,
+            nis,
+            link_flits,
+            scratch,
+        } = self;
+        let base = *base;
+        for w in scratch.arrivals.drain(..) {
+            apply_arrival(w, base, routers, nis, &mut scratch.deliveries, cycle);
+        }
+        for local in 0..nis.len() {
+            if let Some((vc, flit)) = nis[local].inject(cycle) {
+                routers[local].receive_flit(Direction::Local.port(), vc, flit);
+            }
+        }
+        for local in 0..routers.len() {
+            if *skip_idle && routers[local].is_idle() {
+                scratch.routers_skipped += 1;
+                continue;
+            }
+            routers[local].step_into(cycle, &mut scratch.step_out);
+            scratch.routers_stepped += 1;
+            process_router_outputs(
+                base + local,
+                &mut routers[local],
+                &mut nis[local],
+                *mesh,
+                &mut scratch.step_out,
+                &mut scratch.wires_out,
+                &mut link_flits[local],
+                &mut scratch.flits_dropped,
+                &mut scratch.flits_edge_dropped,
+                &mut scratch.any_departure,
+            );
+        }
+    }
+}
+
+/// Deliver one arriving wire to its router or NI. `base` is the id of
+/// `routers[0]`/`nis[0]` (0 for the serial stepper, the shard's first
+/// router in the parallel one).
+fn apply_arrival(
+    w: Wire,
+    base: usize,
+    routers: &mut [Router],
+    nis: &mut [NetworkInterface],
+    deliveries: &mut Vec<DeliveredPacket>,
+    cycle: Cycle,
+) {
+    match w {
+        Wire::Flit {
+            router,
+            port,
+            vc,
+            flit,
+        } => routers[router - base].receive_flit(port, vc, flit),
+        Wire::Credit {
+            router,
+            out_port,
+            vc,
+        } => routers[router - base].receive_credit(out_port, vc),
+        Wire::Eject { node, flit } => {
+            // The matching local-output credit was scheduled at
+            // departure time (it names the local-output VC).
+            let ni = &mut nis[node - base];
+            if let Some(d) = ni.eject(flit, cycle) {
+                if d.dst == ni.node() {
+                    deliveries.push(d);
+                }
+            }
+        }
+        Wire::NiCredit { router, vc } => {
+            routers[router - base].receive_credit(Direction::Local.port(), vc)
+        }
+    }
+}
+
+/// Turn one router's [`StepOutput`] into wire traffic and counters.
+/// Shared verbatim by the serial and parallel steppers: the serial path
+/// passes the live wire-ring slot as `wires_out`, a shard passes its
+/// local buffer.
+#[allow(clippy::too_many_arguments)]
+fn process_router_outputs(
+    id: usize,
+    router: &mut Router,
+    ni: &mut NetworkInterface,
+    mesh: Mesh,
+    out: &mut StepOutput,
+    wires_out: &mut Vec<Wire>,
+    link_row: &mut [u64; 5],
+    flits_dropped: &mut u64,
+    flits_edge_dropped: &mut u64,
+    any_departure: &mut bool,
+) {
+    if !out.departures.is_empty() {
+        *any_departure = true;
+    }
+    *flits_dropped += out.dropped.len() as u64;
+    let coord = router.coord();
+    for d in &out.departures {
+        link_row[d.out_port.index()] += 1;
+    }
+    for d in out.departures.drain(..) {
+        if d.out_port == Direction::Local.port() {
+            // Local link to the NI; the NI returns the credit for the
+            // local-output VC one link-latency later.
+            wires_out.push(Wire::Eject {
+                node: id,
+                flit: d.flit,
+            });
+            wires_out.push(Wire::NiCredit {
+                router: id,
+                vc: d.out_vc,
+            });
+        } else {
+            let dir = Direction::from_port(d.out_port).expect("departure on a valid port");
+            match mesh.neighbour(coord, dir) {
+                Some(n) => wires_out.push(Wire::Flit {
+                    router: n.index(),
+                    port: dir.opposite().port(),
+                    vc: d.out_vc,
+                    flit: d.flit,
+                }),
+                None => {
+                    // Misrouted off the mesh edge (baseline RC faults):
+                    // the flit is lost; restore the consumed credit so
+                    // the counter stays sane.
+                    *flits_edge_dropped += 1;
+                    router.receive_credit(d.out_port, d.out_vc);
+                }
+            }
+        }
+    }
+    for c in out.credits.drain(..) {
+        if c.in_port == Direction::Local.port() {
+            // Slot freed at the local input: credit to the NI.
+            ni.credit(c.vc);
+        } else {
+            let dir = Direction::from_port(c.in_port).expect("credit from a valid port");
+            if let Some(upstream) = mesh.neighbour(coord, dir) {
+                wires_out.push(Wire::Credit {
+                    router: upstream.index(),
+                    out_port: dir.opposite().port(),
+                    vc: c.vc,
+                });
+            }
+        }
+    }
+}
+
 /// The `k × k` mesh network.
 pub struct Network {
     cfg: NetworkConfig,
@@ -47,6 +322,16 @@ pub struct Network {
     link_flits: Vec<[u64; 5]>,
     /// Cycles stepped so far (denominator for utilisation).
     cycles_stepped: u64,
+    /// Skip provably idle routers (the active-router worklist).
+    skip_idle: bool,
+    /// Step idle routers anyway and assert the step was a no-op.
+    worklist_audit: bool,
+    /// Router steps actually executed (worklist observability).
+    routers_stepped: u64,
+    /// Router steps skipped by the worklist.
+    routers_skipped: u64,
+    /// Parallel stepper state; `None` = serial.
+    par: Option<ParState>,
     /// Flits that fell off the mesh edge after a misroute.
     pub flits_edge_dropped: u64,
     /// Flits destroyed inside faulty baseline crossbars.
@@ -102,6 +387,11 @@ impl Network {
             deliveries: Vec::new(),
             link_flits: vec![[0; 5]; mesh.len()],
             cycles_stepped: 0,
+            skip_idle: true,
+            worklist_audit: false,
+            routers_stepped: 0,
+            routers_skipped: 0,
+            par: None,
             flits_edge_dropped: 0,
             flits_dropped: 0,
             last_activity: 0,
@@ -131,6 +421,62 @@ impl Network {
     /// Access one NI.
     pub fn ni(&self, id: usize) -> &NetworkInterface {
         &self.nis[id]
+    }
+
+    /// Set how many OS threads step the mesh each cycle (`0` = one per
+    /// available CPU, `1` = the serial stepper). Thread counts beyond
+    /// the mesh's row count are clamped — shards are whole row bands.
+    /// Results are bit-identical for every thread count; see the module
+    /// docs. Can be changed at any cycle boundary.
+    pub fn set_threads(&mut self, threads: usize) {
+        let t = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            threads
+        };
+        let t = t.min(self.mesh.k as usize).max(1);
+        if t <= 1 {
+            self.par = None;
+        } else if self.threads() != t {
+            self.par = Some(ParState::new(t, self.mesh));
+        }
+    }
+
+    /// Threads stepping the mesh (1 = serial).
+    pub fn threads(&self) -> usize {
+        self.par.as_ref().map_or(1, |p| p.pool.workers() + 1)
+    }
+
+    /// Enable or disable the active-router worklist (default: enabled).
+    /// Disabling it steps every router every cycle; results are
+    /// identical either way.
+    pub fn set_skip_idle(&mut self, on: bool) {
+        self.skip_idle = on;
+    }
+
+    /// Whether the active-router worklist is enabled.
+    pub fn skip_idle(&self) -> bool {
+        self.skip_idle
+    }
+
+    /// Test hook: step idle routers anyway (serial mode only) and panic
+    /// if any "idle" step turns out to be observable — i.e. it produced
+    /// departures, credits or drops, or changed the router's stats,
+    /// credit counters or buffered-flit count. Used by the worklist
+    /// soundness property test; costs a heap snapshot per idle router
+    /// per cycle, so leave it off outside tests.
+    pub fn set_worklist_audit(&mut self, on: bool) {
+        self.worklist_audit = on;
+    }
+
+    /// Router steps executed so far (i.e. not skipped by the worklist).
+    pub fn routers_stepped(&self) -> u64 {
+        self.routers_stepped
+    }
+
+    /// Router steps skipped by the active-router worklist so far.
+    pub fn routers_skipped(&self) -> u64 {
+        self.routers_skipped
     }
 
     /// The completed-delivery log (correct destinations only).
@@ -238,6 +584,16 @@ impl Network {
 
     /// Advance the whole network by one cycle.
     pub fn step(&mut self, cycle: Cycle) {
+        if self.par.is_some() {
+            self.step_parallel(cycle);
+        } else {
+            self.step_serial(cycle);
+        }
+    }
+
+    /// The serial stepper: arrivals, injection, then every router in id
+    /// order, writing wire traffic straight into the ring.
+    fn step_serial(&mut self, cycle: Cycle) {
         self.cycles_stepped += 1;
         // 1. Deliver wire traffic scheduled for this cycle. Swap the
         // arriving slot with the spare vector so both keep their
@@ -246,31 +602,14 @@ impl Network {
         std::mem::swap(&mut arrivals, &mut self.wires[0]);
         self.wires.rotate_left(1);
         for w in arrivals.drain(..) {
-            match w {
-                Wire::Flit {
-                    router,
-                    port,
-                    vc,
-                    flit,
-                } => self.routers[router].receive_flit(port, vc, flit),
-                Wire::Credit {
-                    router,
-                    out_port,
-                    vc,
-                } => self.routers[router].receive_credit(out_port, vc),
-                Wire::Eject { node, flit } => {
-                    // The matching local-output credit was scheduled at
-                    // departure time (it names the local-output VC).
-                    if let Some(d) = self.nis[node].eject(flit, cycle) {
-                        if d.dst == self.nis[node].node() {
-                            self.deliveries.push(d);
-                        }
-                    }
-                }
-                Wire::NiCredit { router, vc } => {
-                    self.routers[router].receive_credit(Direction::Local.port(), vc)
-                }
-            }
+            apply_arrival(
+                w,
+                0,
+                &mut self.routers,
+                &mut self.nis,
+                &mut self.deliveries,
+                cycle,
+            );
         }
         self.arrivals_scratch = arrivals;
 
@@ -282,74 +621,159 @@ impl Network {
         }
 
         // 3. Routers compute one cycle, reusing one StepOutput across
-        // the whole mesh.
+        // the whole mesh. The ring already rotated, so departures land
+        // in slot `link_latency - 1`, taken `link_latency` cycles from
+        // now.
+        let slot = self.cfg.link_latency as usize - 1;
         let mut out = std::mem::take(&mut self.step_scratch);
         for id in 0..self.routers.len() {
+            let idle = self.routers[id].is_idle();
+            if idle && self.skip_idle && !self.worklist_audit {
+                self.routers_skipped += 1;
+                continue;
+            }
+            let audit = idle.then(|| self.worklist_audit.then(|| self.audit_snapshot(id)));
             self.routers[id].step_into(cycle, &mut out);
-            if !out.departures.is_empty() {
+            self.routers_stepped += 1;
+            if let Some(Some(snap)) = audit {
+                self.audit_check(id, &out, snap);
+            }
+            let mut any_departure = false;
+            process_router_outputs(
+                id,
+                &mut self.routers[id],
+                &mut self.nis[id],
+                self.mesh,
+                &mut out,
+                &mut self.wires[slot],
+                &mut self.link_flits[id],
+                &mut self.flits_dropped,
+                &mut self.flits_edge_dropped,
+                &mut any_departure,
+            );
+            if any_departure {
                 self.last_activity = cycle;
-            }
-            self.flits_dropped += out.dropped.len() as u64;
-            let coord = self.routers[id].coord();
-            for d in &out.departures {
-                self.link_flits[id][d.out_port.index()] += 1;
-            }
-            for d in out.departures.drain(..) {
-                if d.out_port == Direction::Local.port() {
-                    // Local link to the NI; the NI returns the credit for
-                    // the local-output VC one link-latency later.
-                    self.schedule(Wire::Eject {
-                        node: id,
-                        flit: d.flit,
-                    });
-                    self.schedule(Wire::NiCredit {
-                        router: id,
-                        vc: d.out_vc,
-                    });
-                } else {
-                    let dir = Direction::from_port(d.out_port).expect("departure on a valid port");
-                    match self.mesh.neighbour(coord, dir) {
-                        Some(n) => self.schedule(Wire::Flit {
-                            router: n.index(),
-                            port: dir.opposite().port(),
-                            vc: d.out_vc,
-                            flit: d.flit,
-                        }),
-                        None => {
-                            // Misrouted off the mesh edge (baseline RC
-                            // faults): the flit is lost; restore the
-                            // consumed credit so the counter stays sane.
-                            self.flits_edge_dropped += 1;
-                            self.routers[id].receive_credit(d.out_port, d.out_vc);
-                        }
-                    }
-                }
-            }
-            for c in out.credits.drain(..) {
-                if c.in_port == Direction::Local.port() {
-                    // Slot freed at the local input: credit to the NI.
-                    self.nis[id].credit(c.vc);
-                } else {
-                    let dir = Direction::from_port(c.in_port).expect("credit from a valid port");
-                    if let Some(upstream) = self.mesh.neighbour(coord, dir) {
-                        self.schedule(Wire::Credit {
-                            router: upstream.index(),
-                            out_port: dir.opposite().port(),
-                            vc: c.vc,
-                        });
-                    }
-                }
             }
         }
         self.step_scratch = out;
     }
 
-    /// Schedule wire traffic to arrive `link_latency` cycles from now.
-    /// The ring already rotated this cycle, so slot `L-1` is taken at
-    /// `now + L`.
-    fn schedule(&mut self, wire: Wire) {
-        let slot = self.cfg.link_latency as usize - 1;
-        self.wires[slot].push(wire);
+    /// The sharded parallel stepper. Three phases per cycle:
+    ///
+    /// * **A (serial)**: rotate the wire ring and partition this cycle's
+    ///   arrivals by destination shard, preserving arrival order.
+    /// * **B (parallel)**: each shard applies its arrivals, injects from
+    ///   its NIs and steps its routers, writing departures, credits and
+    ///   counters into shard-local buffers. Shards touch disjoint state.
+    /// * **C (serial)**: append shard buffers to the wire ring and the
+    ///   delivery log in shard order — which equals router-id order, the
+    ///   exact order the serial stepper produces.
+    fn step_parallel(&mut self, cycle: Cycle) {
+        self.cycles_stepped += 1;
+        let mut arrivals = std::mem::take(&mut self.arrivals_scratch);
+        std::mem::swap(&mut arrivals, &mut self.wires[0]);
+        self.wires.rotate_left(1);
+
+        let Network {
+            cfg,
+            mesh,
+            routers,
+            nis,
+            wires,
+            deliveries,
+            link_flits,
+            skip_idle,
+            routers_stepped,
+            routers_skipped,
+            par,
+            flits_edge_dropped,
+            flits_dropped,
+            last_activity,
+            ..
+        } = self;
+        let ParState {
+            pool,
+            bounds,
+            shard_of,
+            shards,
+        } = par.as_mut().expect("parallel step requires ParState");
+
+        // Phase A: partition arrivals by destination shard. Each shard's
+        // queue is a subsequence of the global arrival order, so per-
+        // destination delivery order matches the serial stepper.
+        for w in arrivals.drain(..) {
+            shards[shard_of[w.dest()]].arrivals.push(w);
+        }
+
+        // Phase B: hand each shard its disjoint slice of the mesh.
+        let mut tasks: Vec<Mutex<ShardCtx>> = Vec::with_capacity(shards.len());
+        {
+            let mut r_rest: &mut [Router] = routers;
+            let mut n_rest: &mut [NetworkInterface] = nis;
+            let mut l_rest: &mut [[u64; 5]] = link_flits;
+            for (scratch, &(lo, hi)) in shards.iter_mut().zip(bounds.iter()) {
+                let len = hi - lo;
+                let (r, rr) = r_rest.split_at_mut(len);
+                let (n, nn) = n_rest.split_at_mut(len);
+                let (l, ll) = l_rest.split_at_mut(len);
+                (r_rest, n_rest, l_rest) = (rr, nn, ll);
+                tasks.push(Mutex::new(ShardCtx {
+                    base: lo,
+                    mesh: *mesh,
+                    skip_idle: *skip_idle,
+                    routers: r,
+                    nis: n,
+                    link_flits: l,
+                    scratch,
+                }));
+            }
+        }
+        pool.broadcast(tasks.len(), &|i| {
+            tasks[i].lock().expect("shard task poisoned").run(cycle);
+        });
+        drop(tasks);
+
+        // Phase C: merge in fixed shard order (= router-id order).
+        let slot = cfg.link_latency as usize - 1;
+        for scratch in shards.iter_mut() {
+            wires[slot].append(&mut scratch.wires_out);
+            deliveries.append(&mut scratch.deliveries);
+            *flits_dropped += std::mem::take(&mut scratch.flits_dropped);
+            *flits_edge_dropped += std::mem::take(&mut scratch.flits_edge_dropped);
+            *routers_stepped += std::mem::take(&mut scratch.routers_stepped);
+            *routers_skipped += std::mem::take(&mut scratch.routers_skipped);
+            if std::mem::take(&mut scratch.any_departure) {
+                *last_activity = cycle;
+            }
+        }
+        self.arrivals_scratch = arrivals;
+    }
+
+    /// Snapshot the observable state of one router for the worklist
+    /// audit: stats, every output credit counter, buffered flits.
+    fn audit_snapshot(&self, id: usize) -> (RouterStats, Vec<u8>, usize) {
+        let r = &self.routers[id];
+        let v = self.cfg.router.vcs;
+        let mut credits = Vec::with_capacity(5 * v);
+        for dir in Direction::ALL {
+            for vc in 0..v {
+                credits.push(r.credit(dir.port(), VcId(vc as u8)));
+            }
+        }
+        (*r.stats(), credits, r.buffered_flits())
+    }
+
+    /// Assert that stepping an idle router changed nothing observable.
+    fn audit_check(&self, id: usize, out: &StepOutput, before: (RouterStats, Vec<u8>, usize)) {
+        assert!(
+            out.departures.is_empty() && out.credits.is_empty() && out.dropped.is_empty(),
+            "worklist audit: idle router {id} produced output"
+        );
+        let after = self.audit_snapshot(id);
+        assert_eq!(
+            before, after,
+            "worklist audit: idle router {id} changed state"
+        );
     }
 
     /// Check the credit-conservation invariant on every link and panic
@@ -370,10 +794,40 @@ impl Network {
     /// and symmetrically for each NI→router local-input link. Any leak —
     /// e.g. a drop path that forgets to restore a reserved credit —
     /// breaks the equation permanently.
+    ///
+    /// The in-flight terms are tallied in one pass over the wire ring,
+    /// then every link is checked in O(1) — so property tests that call
+    /// this every cycle cost O(links + in-flight wires) per cycle, not
+    /// O(links × in-flight wires).
     pub fn assert_credit_conservation(&self) {
         let depth = self.cfg.router.buffer_depth;
         let v = self.cfg.router.vcs;
-        for id in 0..self.routers.len() {
+        let n = self.routers.len();
+        let at =
+            |router: usize, port: PortId, vc: VcId| (router * 5 + port.index()) * v + vc.index();
+        // In-flight flits keyed by (destination router, input port, vc);
+        // in-flight credits keyed by (upstream router, output port, vc);
+        // NI credits keyed by (router, local-output vc).
+        let mut flits_in_flight = vec![0u32; n * 5 * v];
+        let mut credits_in_flight = vec![0u32; n * 5 * v];
+        let mut ni_credits_in_flight = vec![0u32; n * v];
+        for w in self.wires.iter().flatten() {
+            match w {
+                Wire::Flit {
+                    router, port, vc, ..
+                } => flits_in_flight[at(*router, *port, *vc)] += 1,
+                Wire::Credit {
+                    router,
+                    out_port,
+                    vc,
+                } => credits_in_flight[at(*router, *out_port, *vc)] += 1,
+                Wire::NiCredit { router, vc } => {
+                    ni_credits_in_flight[*router * v + vc.index()] += 1
+                }
+                Wire::Eject { .. } => {}
+            }
+        }
+        for id in 0..n {
             let coord = self.routers[id].coord();
             for dir in Direction::ALL {
                 let out_port = dir.port();
@@ -381,59 +835,33 @@ impl Network {
                     let vc = VcId(vc_idx as u8);
                     let credits = self.routers[id].credit(out_port, vc) as usize;
                     let queued = self.routers[id].queued_to(out_port, vc);
-                    let (flits_in_flight, credits_in_flight, downstream_occ) =
-                        if dir == Direction::Local {
-                            // Link to the NI: ejection is instantaneous on
-                            // arrival; the slot travels back as a NiCredit.
-                            let cr = self
-                                .wires
-                                .iter()
-                                .flatten()
-                                .filter(|w| {
-                                    matches!(w, Wire::NiCredit { router, vc: wvc }
-                                    if *router == id && *wvc == vc)
-                                })
-                                .count();
-                            (0, cr, 0)
-                        } else {
-                            match self.mesh.neighbour(coord, dir) {
-                                Some(n) => {
-                                    let down = n.index();
-                                    let in_port = dir.opposite().port();
-                                    let fl = self
-                                        .wires
-                                        .iter()
-                                        .flatten()
-                                        .filter(|w| {
-                                            matches!(w, Wire::Flit { router, port, vc: wvc, .. }
-                                            if *router == down && *port == in_port && *wvc == vc)
-                                        })
-                                        .count();
-                                    let cr = self
-                                    .wires
-                                    .iter()
-                                    .flatten()
-                                    .filter(|w| {
-                                        matches!(w, Wire::Credit { router, out_port: wp, vc: wvc }
-                                            if *router == id && *wp == out_port && *wvc == vc)
-                                    })
-                                    .count();
-                                    let occ = self.routers[down].port(in_port).vc(vc).occupancy();
-                                    (fl, cr, occ)
-                                }
-                                // Edge "link": no downstream exists. Edge
-                                // drops restore their credit immediately,
-                                // so only queued grants can be out.
-                                None => (0, 0, 0),
+                    let (flits_in, credits_in, downstream_occ) = if dir == Direction::Local {
+                        // Link to the NI: ejection is instantaneous on
+                        // arrival; the slot travels back as a NiCredit.
+                        (0, ni_credits_in_flight[id * v + vc_idx] as usize, 0)
+                    } else {
+                        match self.mesh.neighbour(coord, dir) {
+                            Some(nb) => {
+                                let down = nb.index();
+                                let in_port = dir.opposite().port();
+                                (
+                                    flits_in_flight[at(down, in_port, vc)] as usize,
+                                    credits_in_flight[at(id, out_port, vc)] as usize,
+                                    self.routers[down].port(in_port).vc(vc).occupancy(),
+                                )
                             }
-                        };
-                    let total =
-                        credits + queued + flits_in_flight + credits_in_flight + downstream_occ;
+                            // Edge "link": no downstream exists. Edge
+                            // drops restore their credit immediately,
+                            // so only queued grants can be out.
+                            None => (0, 0, 0),
+                        }
+                    };
+                    let total = credits + queued + flits_in + credits_in + downstream_occ;
                     assert_eq!(
                         total, depth,
                         "credit leak on router {id} {dir:?} vc{vc_idx}: credits={credits} \
-                         queued={queued} flits_in_flight={flits_in_flight} \
-                         credits_in_flight={credits_in_flight} occupancy={downstream_occ}"
+                         queued={queued} flits_in_flight={flits_in} \
+                         credits_in_flight={credits_in} occupancy={downstream_occ}"
                     );
                 }
             }

@@ -28,10 +28,23 @@ pub struct Simulator {
     sim_cfg: SimConfig,
     kind: RouterKind,
     plan: FaultPlan,
+    threads: usize,
+}
+
+/// Default stepper thread count, read from `NOC_SIM_THREADS` (`1` =
+/// serial, `0` = one per CPU). Having every `Simulator` honour the
+/// variable lets CI run the whole test suite on the parallel stepper as
+/// a nondeterminism canary without touching any call site.
+fn env_threads() -> usize {
+    std::env::var("NOC_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
 }
 
 impl Simulator {
-    /// Configure a simulation.
+    /// Configure a simulation. The stepper thread count defaults from
+    /// the `NOC_SIM_THREADS` environment variable (serial when unset).
     pub fn new(
         net_cfg: NetworkConfig,
         sim_cfg: SimConfig,
@@ -43,7 +56,16 @@ impl Simulator {
             sim_cfg,
             kind,
             plan,
+            threads: env_threads(),
         }
+    }
+
+    /// Set how many threads step the mesh (`0` = one per CPU, `1` =
+    /// serial). Results are bit-identical for every value; see
+    /// [`Network::set_threads`].
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Run the simulation.
@@ -64,6 +86,7 @@ impl Simulator {
         mut source: impl FnMut(Cycle, &mut Vec<Packet>),
     ) -> (NetworkReport, SimOutcome) {
         let mut net = Network::with_faults(self.net_cfg, self.kind, &self.plan);
+        net.set_threads(self.threads);
         let mut packet_buf: Vec<Packet> = Vec::new();
         let warmup = self.sim_cfg.warmup_cycles;
         let measure_end = warmup + self.sim_cfg.measure_cycles;

@@ -98,7 +98,7 @@ pub struct NetworkReport {
 }
 
 /// Network-wide sums of [`shield_router::RouterStats`] counters.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct RouterEventTotals {
     /// RC computations served by duplicate units.
     pub rc_duplicate_uses: u64,
