@@ -8,8 +8,9 @@
 //! `--quick` for a single-sample smoke run (CI); any other argument is
 //! a substring filter on the bench names.
 
-use noc_bench::{bench_with, Measurement};
+use noc_bench::{bench_envelope, bench_with, measurement_json, Measurement};
 use noc_sim::Network;
+use noc_telemetry::JsonValue;
 use noc_traffic::{AppId, SyntheticPattern, TrafficConfig, TrafficGenerator};
 use noc_types::{Mesh, NetworkConfig};
 use shield_router::RouterKind;
@@ -51,13 +52,11 @@ fn main() {
         let m: Measurement = bench_with(name, samples, min_sample, || {
             run_once(k, traffic, threads, skip)
         });
-        let cycles_per_sec = m.per_second() * CYCLES as f64;
-        println!("  -> {cycles_per_sec:.0} simulated cycles/sec");
-        Some(format!(
-            "  {{\"bench\": \"{name}\", \"sim_cycles_per_second\": {cycles_per_sec:.0}, \
-             \"ns_per_sim_cycle\": {:.1}}}",
-            m.ns_per_iter / CYCLES as f64
-        ))
+        println!(
+            "  -> {:.0} simulated cycles/sec",
+            m.per_second() * CYCLES as f64
+        );
+        Some(measurement_json(&m, CYCLES))
     };
 
     let mut json = Vec::new();
@@ -92,6 +91,13 @@ fn main() {
             }
         }
     }
-    let json: Vec<String> = json.into_iter().flatten().collect();
-    println!("\nJSON:\n[\n{}\n]", json.join(",\n"));
+    let rows: Vec<JsonValue> = json.into_iter().flatten().collect();
+    let doc = bench_envelope(
+        "mesh_sim",
+        "Whole-network simulation throughput across mesh size, load and \
+         stepper thread count.",
+        "ad-hoc run; see the committed BENCH_*.json files for recorded numbers",
+        JsonValue::Arr(rows),
+    );
+    println!("\nJSON:\n{}", doc.render());
 }

@@ -1,0 +1,99 @@
+//! Cost of the telemetry subsystem on the simulation hot path
+//! (`BENCH_telemetry.json`): the same 2 000-cycle 8×8 run stepped
+//! (a) untraced — `NullObserver`, every emission site compiled out, the
+//! configuration whose allocation-freedom and equivalence the tier-1
+//! suites pin — and (b) traced into per-shard `EventRing`s, the
+//! `--trace` configuration. The gap is the price of turning tracing
+//! on; (a) versus the pre-telemetry baseline is by construction zero
+//! code difference.
+//!
+//! Pass `--quick` for a single-sample smoke run; any other argument is
+//! a substring filter on the bench names.
+
+use noc_bench::{bench_envelope, bench_with, measurement_json};
+use noc_sim::Network;
+use noc_telemetry::{JsonValue, ShardedTracer};
+use noc_traffic::{SyntheticPattern, TrafficConfig, TrafficGenerator};
+use noc_types::{Mesh, NetworkConfig};
+use shield_router::RouterKind;
+use std::hint::black_box;
+use std::time::Duration;
+
+const CYCLES: u64 = 2_000;
+const K: u8 = 8;
+
+fn network(threads: usize) -> (Network, TrafficGenerator) {
+    let mut cfg = NetworkConfig::paper();
+    cfg.mesh_k = K;
+    let mut net = Network::new(cfg, RouterKind::Protected);
+    net.set_threads(threads);
+    let traffic = TrafficConfig::synthetic(SyntheticPattern::UniformRandom, 0.02);
+    (net, TrafficGenerator::new(traffic, Mesh::new(K), 1))
+}
+
+fn run_untraced(threads: usize) {
+    let (mut net, mut gen) = network(threads);
+    let mut pkts = Vec::new();
+    for cycle in 0..CYCLES {
+        pkts.clear();
+        gen.tick_into(cycle, &mut pkts);
+        net.offer_packets_from(&mut pkts);
+        net.step(cycle);
+    }
+    black_box(net.packet_counters());
+}
+
+fn run_traced(threads: usize, tracer: &mut ShardedTracer) {
+    let (mut net, mut gen) = network(threads);
+    tracer.clear();
+    let mut pkts = Vec::new();
+    for cycle in 0..CYCLES {
+        pkts.clear();
+        gen.tick_into(cycle, &mut pkts);
+        net.offer_packets_from(&mut pkts);
+        net.step_observed(cycle, tracer.rings_mut());
+    }
+    black_box((net.packet_counters(), tracer.len()));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let filters: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let (samples, min_sample) = if quick {
+        (1, Duration::from_millis(20))
+    } else {
+        (7, Duration::from_millis(100))
+    };
+    let keep = |name: &str| filters.is_empty() || filters.iter().any(|f| name.contains(f.as_str()));
+
+    let mut rows: Vec<JsonValue> = Vec::new();
+    for threads in [1usize, 2] {
+        let name = format!("mesh_8x8/2k_cycles/uniform_0.02/untraced/threads_{threads}");
+        if keep(&name) {
+            let m = bench_with(&name, samples, min_sample, || run_untraced(threads));
+            rows.push(measurement_json(&m, CYCLES));
+        }
+        let name = format!("mesh_8x8/2k_cycles/uniform_0.02/traced/threads_{threads}");
+        if keep(&name) {
+            // Shard count is fixed by the network, not the tracer; size
+            // the rings once, outside the timed region.
+            let (net, _) = network(threads);
+            let mut tracer = ShardedTracer::new(net.shard_count(), 1 << 20);
+            drop(net);
+            let m = bench_with(&name, samples, min_sample, || {
+                run_traced(threads, &mut tracer)
+            });
+            rows.push(measurement_json(&m, CYCLES));
+        }
+    }
+
+    let doc = bench_envelope(
+        "telemetry_overhead",
+        "Simulation throughput with tracing off (NullObserver, compiled out) \
+         versus on (per-shard EventRing recording), 8x8 mesh at uniform 0.02 load.",
+        "see BENCH_telemetry.json for the committed run",
+        JsonValue::Arr(rows),
+    );
+    println!("\nJSON:\n{}", doc.render());
+}

@@ -37,7 +37,9 @@ pub mod microbench;
 pub mod tables;
 
 pub use experiments::{FigureConfig, FigureResult, FigureRow};
-pub use export::{figure_csv, write_csv};
-pub use harness::{run_simulation, sim_threads, ExperimentScale};
+pub use export::{
+    bench_envelope, figure_csv, measurement_json, write_csv, write_json, SCHEMA_VERSION,
+};
+pub use harness::{run_simulation, sim_threads, ExperimentScale, TelemetryArgs};
 pub use microbench::{bench, bench_with, Measurement};
 pub use tables::Table;

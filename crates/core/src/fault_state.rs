@@ -8,6 +8,7 @@
 //! mechanisms”).
 
 use noc_faults::{DetectionModel, FaultMap, FaultSite, PipelineStage};
+use noc_telemetry::{Event, EventKind, NullObserver, Observer};
 use noc_types::{Cycle, PortId, RouterConfig, VcId};
 
 /// Fault bookkeeping with manifestation and detection times.
@@ -83,6 +84,21 @@ impl FaultState {
     /// Advance the fault clock to `now`; must be called once per cycle by
     /// the router before evaluating its pipeline.
     pub fn refresh(&mut self, now: Cycle) {
+        self.refresh_observed(now, 0, &mut NullObserver);
+    }
+
+    /// [`FaultState::refresh`] with a telemetry observer; `router` only
+    /// labels the emitted events.
+    ///
+    /// Fault events are edge-triggered on exact cycles (`at == now` for
+    /// activation, `at + latency == now` for detection, window end for
+    /// transient clearing), which keeps emission allocation-free: no
+    /// before/after map diffing. This is sound because any router with a
+    /// scheduled fault is never inert ([`FaultState::is_inert`]), so the
+    /// network worklist steps it — and therefore refreshes it — on every
+    /// cycle, including each edge. Faults injected at an already-elapsed
+    /// cycle manifest correctly but emit no (retroactive) event.
+    pub fn refresh_observed<O: Observer>(&mut self, now: Cycle, router: u16, obs: &mut O) {
         self.refreshed_at = now;
         let lat = self.detection.latency() as Cycle;
         if self.transients.is_empty() {
@@ -93,6 +109,25 @@ impl FaultState {
                 }
                 if at + lat <= now {
                     self.detected.inject(site);
+                }
+                if O::ENABLED {
+                    if at == now {
+                        obs.record(Event {
+                            cycle: now,
+                            router,
+                            kind: EventKind::FaultActivated {
+                                site,
+                                transient: false,
+                            },
+                        });
+                    }
+                    if at + lat == now {
+                        obs.record(Event {
+                            cycle: now,
+                            router,
+                            kind: EventKind::FaultDetected { site },
+                        });
+                    }
                 }
             }
             return;
@@ -107,6 +142,25 @@ impl FaultState {
             if at + lat <= now {
                 detected.inject(site);
             }
+            if O::ENABLED {
+                if at == now {
+                    obs.record(Event {
+                        cycle: now,
+                        router,
+                        kind: EventKind::FaultActivated {
+                            site,
+                            transient: false,
+                        },
+                    });
+                }
+                if at + lat == now {
+                    obs.record(Event {
+                        cycle: now,
+                        router,
+                        kind: EventKind::FaultDetected { site },
+                    });
+                }
+            }
         }
         for &(site, start, duration) in &self.transients {
             let end = start + duration as Cycle;
@@ -114,6 +168,32 @@ impl FaultState {
                 active.inject(site);
                 if start + lat <= now {
                     detected.inject(site);
+                }
+            }
+            if O::ENABLED {
+                if start == now {
+                    obs.record(Event {
+                        cycle: now,
+                        router,
+                        kind: EventKind::FaultActivated {
+                            site,
+                            transient: true,
+                        },
+                    });
+                }
+                if start + lat == now && now < end {
+                    obs.record(Event {
+                        cycle: now,
+                        router,
+                        kind: EventKind::FaultDetected { site },
+                    });
+                }
+                if end == now {
+                    obs.record(Event {
+                        cycle: now,
+                        router,
+                        kind: EventKind::FaultCleared { site },
+                    });
                 }
             }
         }

@@ -5,6 +5,7 @@ use crate::fault_state::FaultState;
 use crate::port::InputPort;
 use noc_arbiter::RoundRobinArbiter;
 use noc_faults::{DetectionModel, FaultSite};
+use noc_telemetry::{Event, EventKind, NullObserver, Observer};
 use noc_types::{Coord, Cycle, Flit, Mesh, PortId, RouterConfig, VcId};
 
 /// Which of the paper's two routers to model.
@@ -306,6 +307,16 @@ impl Router {
         self.faults.set_detection(detection);
     }
 
+    /// Replace the routing algorithm. Routes already computed (VCs past
+    /// RC) keep their old output port; only subsequent computations use
+    /// the new algorithm. Exists for topology experiments and for tests
+    /// that need deliberately deadlock-prone routing (XY is
+    /// deadlock-free on a mesh, so a circular wait cannot be forced
+    /// without replacing it).
+    pub fn set_routing(&mut self, route: RoutingAlgorithm) {
+        self.route = route;
+    }
+
     /// Total flits buffered in the router (drain / conservation checks).
     pub fn buffered_flits(&self) -> usize {
         self.ports.iter().map(|p| p.occupancy()).sum::<usize>() + self.xb_queue.len()
@@ -416,16 +427,32 @@ impl Router {
     /// flit advances through at most one stage per call, yielding the
     /// 4-cycle head-flit pipeline of Figure 2.
     pub fn step_into(&mut self, cycle: Cycle, out: &mut StepOutput) {
+        self.step_into_observed(cycle, out, &mut NullObserver);
+    }
+
+    /// [`Router::step_into`] with a telemetry observer.
+    ///
+    /// Dispatch is static: with [`NullObserver`] (whose
+    /// `Observer::ENABLED` is `false`) every emission site — including
+    /// the event construction — is compiled out, so this is exactly the
+    /// uninstrumented step. The counting-allocator and
+    /// parallel-equivalence suites run through this path and pin that.
+    pub fn step_into_observed<O: Observer>(
+        &mut self,
+        cycle: Cycle,
+        out: &mut StepOutput,
+        obs: &mut O,
+    ) {
         out.clear();
-        self.faults.refresh(cycle);
-        self.xb_stage(out);
-        self.sa_stage(cycle);
-        self.va_stage();
-        self.rc_stage();
+        self.faults.refresh_observed(cycle, self.id, obs);
+        self.xb_stage(cycle, out, obs);
+        self.sa_stage(cycle, obs);
+        self.va_stage(cycle, obs);
+        self.rc_stage(cycle, obs);
     }
 
     /// XB stage: execute last cycle's SA grants.
-    fn xb_stage(&mut self, out: &mut StepOutput) {
+    fn xb_stage<O: Observer>(&mut self, cycle: Cycle, out: &mut StepOutput, obs: &mut O) {
         // SA refills the queue only after this drain, so the whole
         // current contents are this cycle's work. `XbGrant` is `Copy`:
         // iterate by index and clear, keeping the queue's capacity.
@@ -459,6 +486,17 @@ impl Router {
                         if is_tail {
                             self.out_vc_busy[g.logical_out.index()][g.out_vc.index()] = false;
                         }
+                        if O::ENABLED {
+                            obs.record(Event {
+                                cycle,
+                                router: self.id,
+                                kind: EventKind::FlitDrop {
+                                    packet: flit.packet.0,
+                                    seq: flit.seq.0,
+                                    out_port: g.logical_out.0,
+                                },
+                            });
+                        }
                         out.dropped.push(flit);
                         continue;
                     }
@@ -486,6 +524,19 @@ impl Router {
                 self.out_vc_busy[g.logical_out.index()][g.out_vc.index()] = false;
             }
             self.stats.flits_out += 1;
+            if O::ENABLED {
+                obs.record(Event {
+                    cycle,
+                    router: self.id,
+                    kind: EventKind::FlitHop {
+                        packet: flit.packet.0,
+                        seq: flit.seq.0,
+                        in_port: g.in_port.0,
+                        out_port: g.logical_out.0,
+                        secondary: g.mux != g.logical_out,
+                    },
+                });
+            }
             out.credits.push(CreditReturn {
                 in_port: g.in_port,
                 vc: g.in_vc,

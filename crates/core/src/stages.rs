@@ -4,6 +4,7 @@
 use crate::router::{Router, RouterKind, XbGrant, DEFAULT_WINNER_PERIOD};
 use noc_arbiter::Arbiter;
 use noc_faults::FaultSite;
+use noc_telemetry::{Event, EventKind, Observer};
 use noc_types::{Cycle, PortId, VcGlobalState, VcId};
 
 /// One switch-allocation request, formed per active VC each cycle.
@@ -56,7 +57,7 @@ impl Router {
 
     /// Routing computation: one computation per input port per cycle
     /// (each port has one RC unit), served round-robin across VCs.
-    pub(crate) fn rc_stage(&mut self) {
+    pub(crate) fn rc_stage<O: Observer>(&mut self, cycle: Cycle, obs: &mut O) {
         let v = self.cfg.vcs;
         for port_idx in 0..self.cfg.ports {
             let port_id = PortId(port_idx as u8);
@@ -80,6 +81,8 @@ impl Router {
                     .dst;
                 let correct = self.route.route(dst);
                 let primary_faulty = self.faults.rc_primary_faulty(port_id);
+                let mut misrouted = false;
+                let mut duplicate = false;
                 let computed = match (self.kind, primary_faulty) {
                     (_, false) => Some(correct),
                     (RouterKind::Baseline, true) => {
@@ -87,6 +90,7 @@ impl Router {
                         // port (Section V-A). We model a deterministic
                         // corruption: the next port, cyclically.
                         self.stats.rc_misroutes += 1;
+                        misrouted = true;
                         Some(PortId(((correct.0 as usize + 1) % self.cfg.ports) as u8))
                     }
                     (RouterKind::Protected, true) => {
@@ -100,11 +104,32 @@ impl Router {
                             // Switch to the duplicate unit — same result,
                             // no latency penalty (spatial redundancy).
                             self.stats.rc_duplicate_uses += 1;
+                            duplicate = true;
                             Some(correct)
                         }
                     }
                 };
                 if let Some(out) = computed {
+                    if O::ENABLED {
+                        obs.record(Event {
+                            cycle,
+                            router: self.id,
+                            kind: if misrouted {
+                                EventKind::RcMisroute {
+                                    port: port_id.0,
+                                    vc: vc_id.0,
+                                    out_port: out.0,
+                                }
+                            } else {
+                                EventKind::RcComplete {
+                                    port: port_id.0,
+                                    vc: vc_id.0,
+                                    out_port: out.0,
+                                    duplicate,
+                                }
+                            },
+                        });
+                    }
                     let fields = &mut self.ports[port_idx].vc_mut(vc_id).fields;
                     fields.r = Some(out);
                     fields.g = VcGlobalState::VcAlloc;
@@ -135,7 +160,7 @@ impl Router {
     /// Virtual-channel allocation: two separable stages with the
     /// protected router's arbiter-borrowing in stage 1 and downstream-VC
     /// exclusion for faulty stage-2 arbiters.
-    pub(crate) fn va_stage(&mut self) {
+    pub(crate) fn va_stage<O: Observer>(&mut self, cycle: Cycle, obs: &mut O) {
         let p = self.cfg.ports;
         let v = self.cfg.vcs;
 
@@ -192,6 +217,16 @@ impl Router {
                                     // Scenario 2: intended lenders busy in
                                     // VA — wait a cycle.
                                     self.stats.va_borrow_waits += 1;
+                                    if O::ENABLED {
+                                        obs.record(Event {
+                                            cycle,
+                                            router: self.id,
+                                            kind: EventKind::VaBorrowWait {
+                                                port: port_id.0,
+                                                vc: vc_id.0,
+                                            },
+                                        });
+                                    }
                                 }
                                 lender
                             }
@@ -234,6 +269,17 @@ impl Router {
                         lender_fields.vf = true;
                         lent |= 1 << owner.index();
                         self.stats.va_borrows += 1;
+                        if O::ENABLED {
+                            obs.record(Event {
+                                cycle,
+                                router: self.id,
+                                kind: EventKind::VaBorrow {
+                                    port: port_id.0,
+                                    vc: vc_id.0,
+                                    lender_vc: owner.0,
+                                },
+                            });
+                        }
                     }
                     self.scratch
                         .va_picks
@@ -272,6 +318,18 @@ impl Router {
                     fields.g = VcGlobalState::Active;
                     self.out_vc_busy[out_idx][ovc_idx] = true;
                     self.stats.va_grants += 1;
+                    if O::ENABLED {
+                        obs.record(Event {
+                            cycle,
+                            router: self.id,
+                            kind: EventKind::VaGrant {
+                                port: port_idx as u8,
+                                vc: vc_idx as u8,
+                                out_port: out_idx as u8,
+                                out_vc: ovc_idx as u8,
+                            },
+                        });
+                    }
                 }
             }
         }
@@ -296,7 +354,7 @@ impl Router {
     // Indexed loops mirror the hardware's parallel per-port/per-VC
     // structures and mutate several of them at once.
     #[allow(clippy::needless_range_loop)]
-    pub(crate) fn sa_stage(&mut self, cycle: Cycle) {
+    pub(crate) fn sa_stage<O: Observer>(&mut self, cycle: Cycle, obs: &mut O) {
         let p = self.cfg.ports;
         let v = self.cfg.vcs;
 
@@ -390,12 +448,33 @@ impl Router {
                     if req_mask & (1 << effective) != 0 {
                         self.scratch.sa_port_winner[port_idx] = Some(effective);
                         self.stats.sa_bypass_grants += 1;
+                        if O::ENABLED {
+                            obs.record(Event {
+                                cycle,
+                                router: self.id,
+                                kind: EventKind::SaBypassGrant {
+                                    port: port_idx as u8,
+                                    vc: effective as u8,
+                                },
+                            });
+                        }
                     } else if let Some(src) =
                         (0..v).find(|&vc| self.scratch.sa_requests[port_idx * v + vc].is_some())
                     {
                         // Re-point the register; no grant this cycle.
                         self.bypass_ptr[port_idx] = Some((src, period));
                         self.stats.vc_transfers += 1;
+                        if O::ENABLED {
+                            obs.record(Event {
+                                cycle,
+                                router: self.id,
+                                kind: EventKind::VcTransfer {
+                                    port: port_idx as u8,
+                                    from_vc: effective as u8,
+                                    to_vc: src as u8,
+                                },
+                            });
+                        }
                     }
                 }
             }
@@ -437,6 +516,17 @@ impl Router {
                     out_vc: req.out_vc,
                 });
                 self.stats.sa_grants += 1;
+                if O::ENABLED {
+                    obs.record(Event {
+                        cycle,
+                        router: self.id,
+                        kind: EventKind::SaGrant {
+                            port: wport as u8,
+                            vc: vc_idx as u8,
+                            out_port: req.logical_out.0,
+                        },
+                    });
+                }
             }
         }
     }

@@ -12,8 +12,10 @@
 //!   VC-aware) and ejection with latency bookkeeping;
 //! * [`Simulator`] — warm-up / measure / drain phasing, fault-plan
 //!   application and the deadlock watchdog;
-//! * [`NetworkReport`] — latency distributions (mean, percentiles),
-//!   throughput, delivery accounting;
+//! * [`NetworkReport`] — latency distributions (mean, stddev,
+//!   percentiles, log2 histogram), throughput, delivery accounting,
+//!   worklist skip rate, optional epoch time series and deadlock
+//!   flight record;
 //! * [`WorkerPool`] — a persistent std-only thread pool shared by the
 //!   sharded parallel stepper ([`Network::set_threads`]) and the batch
 //!   runner;
@@ -23,6 +25,14 @@
 //! Packet sources are plain closures `FnMut(Cycle) -> Vec<Packet>`
 //! invoked once per cycle, which keeps this crate decoupled from the
 //! traffic models in `noc-traffic`.
+//!
+//! Telemetry: [`Network::step_observed`] threads a
+//! [`noc_telemetry::Observer`] per stepper shard through every router
+//! step, [`Simulator::run_traced`] records a whole run into a
+//! [`noc_telemetry::ShardedTracer`], and
+//! [`Network::flight_record`] snapshots the blocking structure when
+//! the watchdog fires. With the default
+//! [`noc_telemetry::NullObserver`] all of it compiles out.
 
 // `pool` needs two well-audited unsafe blocks to hand lifetime-erased
 // task references to persistent workers; everything else stays safe.
@@ -41,4 +51,4 @@ pub use network::Network;
 pub use ni::NetworkInterface;
 pub use pool::WorkerPool;
 pub use simulator::{SimOutcome, Simulator};
-pub use stats::{LatencySummary, NetworkReport};
+pub use stats::{LatencySummary, NetworkReport, RouterEventTotals, LATENCY_BUCKETS};

@@ -32,8 +32,13 @@ use crate::ni::NetworkInterface;
 use crate::pool::WorkerPool;
 use crate::stats::RouterEventTotals;
 use noc_faults::FaultPlan;
+use noc_telemetry::{
+    Event, EventKind, FlightRecord, NullObserver, Observer, RouterDump, VcDump, WaitEdge,
+    WaitForGraph, WaitNode, WaitReason,
+};
 use noc_types::{
-    Cycle, DeliveredPacket, Direction, Flit, Mesh, NetworkConfig, Packet, PortId, VcId,
+    Cycle, DeliveredPacket, Direction, Flit, Mesh, NetworkConfig, Packet, PortId, VcGlobalState,
+    VcId,
 };
 use shield_router::{Router, RouterKind, RouterStats, StepOutput};
 use std::sync::Mutex;
@@ -85,6 +90,7 @@ struct ShardScratch {
     step_out: StepOutput,
     flits_dropped: u64,
     flits_edge_dropped: u64,
+    flits_injected: u64,
     routers_stepped: u64,
     routers_skipped: u64,
     any_departure: bool,
@@ -136,7 +142,7 @@ impl ParState {
 /// the shard scratch. No two shards alias, and nothing here touches the
 /// wire ring — cross-shard traffic only flows through `wires_out`,
 /// merged serially in phase C.
-struct ShardCtx<'a> {
+struct ShardCtx<'a, O: Observer> {
     base: usize,
     mesh: Mesh,
     skip_idle: bool,
@@ -144,9 +150,10 @@ struct ShardCtx<'a> {
     nis: &'a mut [NetworkInterface],
     link_flits: &'a mut [[u64; 5]],
     scratch: &'a mut ShardScratch,
+    obs: &'a mut O,
 }
 
-impl ShardCtx<'_> {
+impl<O: Observer> ShardCtx<'_, O> {
     /// One shard's share of a cycle: deliver arrivals, inject, step.
     /// Mirrors the serial stepper's per-router order exactly.
     fn run(&mut self, cycle: Cycle) {
@@ -158,13 +165,26 @@ impl ShardCtx<'_> {
             nis,
             link_flits,
             scratch,
+            obs,
         } = self;
         let base = *base;
         for w in scratch.arrivals.drain(..) {
-            apply_arrival(w, base, routers, nis, &mut scratch.deliveries, cycle);
+            apply_arrival(w, base, routers, nis, &mut scratch.deliveries, cycle, *obs);
         }
         for local in 0..nis.len() {
             if let Some((vc, flit)) = nis[local].inject(cycle) {
+                scratch.flits_injected += 1;
+                if O::ENABLED {
+                    obs.record(Event {
+                        cycle,
+                        router: (base + local) as u16,
+                        kind: EventKind::FlitInject {
+                            packet: flit.packet.0,
+                            seq: flit.seq.0,
+                            vc: vc.0,
+                        },
+                    });
+                }
                 routers[local].receive_flit(Direction::Local.port(), vc, flit);
             }
         }
@@ -173,7 +193,7 @@ impl ShardCtx<'_> {
                 scratch.routers_skipped += 1;
                 continue;
             }
-            routers[local].step_into(cycle, &mut scratch.step_out);
+            routers[local].step_into_observed(cycle, &mut scratch.step_out, *obs);
             scratch.routers_stepped += 1;
             process_router_outputs(
                 base + local,
@@ -194,13 +214,14 @@ impl ShardCtx<'_> {
 /// Deliver one arriving wire to its router or NI. `base` is the id of
 /// `routers[0]`/`nis[0]` (0 for the serial stepper, the shard's first
 /// router in the parallel one).
-fn apply_arrival(
+fn apply_arrival<O: Observer>(
     w: Wire,
     base: usize,
     routers: &mut [Router],
     nis: &mut [NetworkInterface],
     deliveries: &mut Vec<DeliveredPacket>,
     cycle: Cycle,
+    obs: &mut O,
 ) {
     match w {
         Wire::Flit {
@@ -215,6 +236,16 @@ fn apply_arrival(
             vc,
         } => routers[router - base].receive_credit(out_port, vc),
         Wire::Eject { node, flit } => {
+            if O::ENABLED {
+                obs.record(Event {
+                    cycle,
+                    router: node as u16,
+                    kind: EventKind::FlitEject {
+                        packet: flit.packet.0,
+                        seq: flit.seq.0,
+                    },
+                });
+            }
             // The matching local-output credit was scheduled at
             // departure time (it names the local-output VC).
             let ni = &mut nis[node - base];
@@ -336,6 +367,8 @@ pub struct Network {
     pub flits_edge_dropped: u64,
     /// Flits destroyed inside faulty baseline crossbars.
     pub flits_dropped: u64,
+    /// Flits the NIs have injected into local input ports.
+    pub flits_injected: u64,
     /// Cycle of the most recent flit movement (watchdog).
     pub last_activity: Cycle,
 }
@@ -394,6 +427,7 @@ impl Network {
             par: None,
             flits_edge_dropped: 0,
             flits_dropped: 0,
+            flits_injected: 0,
             last_activity: 0,
         }
     }
@@ -511,6 +545,140 @@ impl Network {
         self.nis.iter().map(|n| n.queued() as u64).sum()
     }
 
+    /// Total flits ejected at NIs so far (any destination).
+    pub fn flits_ejected(&self) -> u64 {
+        self.nis.iter().map(|n| n.flits_ejected).sum()
+    }
+
+    /// Fraction of all VC buffer slots currently occupied.
+    pub fn buffer_occupancy(&self) -> f64 {
+        let buffered: usize = self.routers.iter().map(|r| r.buffered_flits()).sum();
+        let slots = self.routers.len() * 5 * self.cfg.router.vcs * self.cfg.router.buffer_depth;
+        buffered as f64 / slots.max(1) as f64
+    }
+
+    /// Capture a deadlock flight record: every non-idle VC's pipeline
+    /// state plus the wait-for graph over blocked VCs, with the first
+    /// circular wait (if any) already extracted.
+    ///
+    /// Two kinds of wait-for edges are recorded, both pointing at the
+    /// downstream input VC whose buffer space the blocked VC needs:
+    ///
+    /// * an `Active` VC whose allocated downstream VC has zero credits
+    ///   is *credit-starved* by that VC;
+    /// * a `VcAlloc` VC all of whose candidate downstream VCs are
+    ///   already allocated is *VA-busy* on each of them (the wait is
+    ///   disjunctive — any one draining unblocks it — so a cycle
+    ///   through such an edge names one witness, not the only one).
+    pub fn flight_record(&self, cycle: Cycle) -> FlightRecord {
+        let v = self.cfg.router.vcs;
+        let mut routers = Vec::new();
+        let mut graph = WaitForGraph::default();
+        for (id, r) in self.routers.iter().enumerate() {
+            let coord = r.coord();
+            let mut vcs = Vec::new();
+            for dir in Direction::ALL {
+                let port = dir.port();
+                for vc_idx in 0..v {
+                    let vc_id = VcId(vc_idx as u8);
+                    let ch = r.port(port).vc(vc_id);
+                    let state = ch.fields.g;
+                    if state == VcGlobalState::Idle && ch.is_empty() {
+                        continue;
+                    }
+                    let route = ch.fields.r;
+                    let out_vc = ch.fields.o;
+                    let credits = match (route, out_vc) {
+                        (Some(o), Some(ov)) => Some(r.credit(o, ov)),
+                        _ => None,
+                    };
+                    vcs.push(VcDump {
+                        port: port.0,
+                        vc: vc_id.0,
+                        state,
+                        occupancy: ch.occupancy(),
+                        route: route.map(|p| p.0),
+                        out_vc: out_vc.map(|x| x.0),
+                        credits,
+                        head_packet: ch.front().map(|f| f.packet.0),
+                    });
+                    let from = WaitNode {
+                        router: id as u16,
+                        port: port.0,
+                        vc: vc_id.0,
+                    };
+                    // Downstream of the local port is the NI, which
+                    // always drains — never part of a circular wait.
+                    let downstream = |out: PortId| -> Option<(u16, u8)> {
+                        if out == Direction::Local.port() {
+                            return None;
+                        }
+                        let d = Direction::from_port(out)?;
+                        let nb = self.mesh.neighbour(coord, d)?;
+                        Some((nb.index() as u16, d.opposite().port().0))
+                    };
+                    match state {
+                        VcGlobalState::Active => {
+                            if let (Some(out), Some(ov)) = (route, out_vc) {
+                                if r.credit(out, ov) == 0 {
+                                    if let Some((down, in_port)) = downstream(out) {
+                                        graph.edges.push(WaitEdge {
+                                            from,
+                                            to: WaitNode {
+                                                router: down,
+                                                port: in_port,
+                                                vc: ov.0,
+                                            },
+                                            reason: WaitReason::CreditStarved,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                        VcGlobalState::VcAlloc => {
+                            if let Some(out) = route {
+                                let all_busy = (0..v).all(|ov| r.out_vc_busy(out, VcId(ov as u8)));
+                                if all_busy {
+                                    if let Some((down, in_port)) = downstream(out) {
+                                        for ov in 0..v {
+                                            graph.edges.push(WaitEdge {
+                                                from,
+                                                to: WaitNode {
+                                                    router: down,
+                                                    port: in_port,
+                                                    vc: ov as u8,
+                                                },
+                                                reason: WaitReason::VcAllocBusy,
+                                            });
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            if !vcs.is_empty() {
+                routers.push(RouterDump {
+                    router: id as u16,
+                    buffered_flits: r.buffered_flits() as u64,
+                    vcs,
+                });
+            }
+        }
+        let cycle_edges = graph.find_cycle();
+        FlightRecord {
+            cycle,
+            last_activity: self.last_activity,
+            in_flight: self.in_flight_flits(),
+            queued: self.queued_packets(),
+            routers,
+            graph,
+            cycle_edges,
+        }
+    }
+
     /// Sum router event counters across the mesh.
     pub fn router_event_totals(&self) -> RouterEventTotals {
         let mut t = RouterEventTotals::default();
@@ -582,18 +750,49 @@ impl Network {
         out
     }
 
+    /// Number of stepper shards (1 when serial). This is how many
+    /// observers [`Network::step_observed`] needs; it only changes when
+    /// [`Network::set_threads`] does.
+    pub fn shard_count(&self) -> usize {
+        self.par.as_ref().map_or(1, |p| p.shards.len())
+    }
+
     /// Advance the whole network by one cycle.
     pub fn step(&mut self, cycle: Cycle) {
         if self.par.is_some() {
-            self.step_parallel(cycle);
+            // A `Vec` of zero-sized observers never allocates, so the
+            // untraced hot path stays allocation-free.
+            let mut nulls = vec![NullObserver; self.shard_count()];
+            self.step_parallel(cycle, &mut nulls);
         } else {
-            self.step_serial(cycle);
+            self.step_serial(cycle, &mut NullObserver);
+        }
+    }
+
+    /// Advance one cycle while recording telemetry events.
+    ///
+    /// `obs` must hold at least [`Network::shard_count`] observers;
+    /// shard `s` records into `obs[s]` (the serial stepper uses
+    /// `obs[0]` only). Hand each shard one ring of a
+    /// [`noc_telemetry::ShardedTracer`] and merge afterwards; the
+    /// merged stream is identical for every thread count.
+    pub fn step_observed<O: Observer + Send>(&mut self, cycle: Cycle, obs: &mut [O]) {
+        assert!(
+            obs.len() >= self.shard_count(),
+            "step_observed needs one observer per shard ({} < {})",
+            obs.len(),
+            self.shard_count()
+        );
+        if self.par.is_some() {
+            self.step_parallel(cycle, obs);
+        } else {
+            self.step_serial(cycle, &mut obs[0]);
         }
     }
 
     /// The serial stepper: arrivals, injection, then every router in id
     /// order, writing wire traffic straight into the ring.
-    fn step_serial(&mut self, cycle: Cycle) {
+    fn step_serial<O: Observer>(&mut self, cycle: Cycle, obs: &mut O) {
         self.cycles_stepped += 1;
         // 1. Deliver wire traffic scheduled for this cycle. Swap the
         // arriving slot with the spare vector so both keep their
@@ -609,6 +808,7 @@ impl Network {
                 &mut self.nis,
                 &mut self.deliveries,
                 cycle,
+                obs,
             );
         }
         self.arrivals_scratch = arrivals;
@@ -616,6 +816,18 @@ impl Network {
         // 2. NI injection (one flit per node per cycle).
         for node in 0..self.nis.len() {
             if let Some((vc, flit)) = self.nis[node].inject(cycle) {
+                self.flits_injected += 1;
+                if O::ENABLED {
+                    obs.record(Event {
+                        cycle,
+                        router: node as u16,
+                        kind: EventKind::FlitInject {
+                            packet: flit.packet.0,
+                            seq: flit.seq.0,
+                            vc: vc.0,
+                        },
+                    });
+                }
                 self.routers[node].receive_flit(Direction::Local.port(), vc, flit);
             }
         }
@@ -633,7 +845,7 @@ impl Network {
                 continue;
             }
             let audit = idle.then(|| self.worklist_audit.then(|| self.audit_snapshot(id)));
-            self.routers[id].step_into(cycle, &mut out);
+            self.routers[id].step_into_observed(cycle, &mut out, obs);
             self.routers_stepped += 1;
             if let Some(Some(snap)) = audit {
                 self.audit_check(id, &out, snap);
@@ -668,7 +880,7 @@ impl Network {
     /// * **C (serial)**: append shard buffers to the wire ring and the
     ///   delivery log in shard order — which equals router-id order, the
     ///   exact order the serial stepper produces.
-    fn step_parallel(&mut self, cycle: Cycle) {
+    fn step_parallel<O: Observer + Send>(&mut self, cycle: Cycle, obs: &mut [O]) {
         self.cycles_stepped += 1;
         let mut arrivals = std::mem::take(&mut self.arrivals_scratch);
         std::mem::swap(&mut arrivals, &mut self.wires[0]);
@@ -688,6 +900,7 @@ impl Network {
             par,
             flits_edge_dropped,
             flits_dropped,
+            flits_injected,
             last_activity,
             ..
         } = self;
@@ -705,18 +918,21 @@ impl Network {
             shards[shard_of[w.dest()]].arrivals.push(w);
         }
 
-        // Phase B: hand each shard its disjoint slice of the mesh.
-        let mut tasks: Vec<Mutex<ShardCtx>> = Vec::with_capacity(shards.len());
+        // Phase B: hand each shard its disjoint slice of the mesh (and
+        // its own observer — shard `s` records into `obs[s]`).
+        let mut tasks: Vec<Mutex<ShardCtx<O>>> = Vec::with_capacity(shards.len());
         {
             let mut r_rest: &mut [Router] = routers;
             let mut n_rest: &mut [NetworkInterface] = nis;
             let mut l_rest: &mut [[u64; 5]] = link_flits;
+            let mut o_rest: &mut [O] = obs;
             for (scratch, &(lo, hi)) in shards.iter_mut().zip(bounds.iter()) {
                 let len = hi - lo;
                 let (r, rr) = r_rest.split_at_mut(len);
                 let (n, nn) = n_rest.split_at_mut(len);
                 let (l, ll) = l_rest.split_at_mut(len);
-                (r_rest, n_rest, l_rest) = (rr, nn, ll);
+                let (o, oo) = o_rest.split_at_mut(1);
+                (r_rest, n_rest, l_rest, o_rest) = (rr, nn, ll, oo);
                 tasks.push(Mutex::new(ShardCtx {
                     base: lo,
                     mesh: *mesh,
@@ -725,6 +941,7 @@ impl Network {
                     nis: n,
                     link_flits: l,
                     scratch,
+                    obs: &mut o[0],
                 }));
             }
         }
@@ -740,6 +957,7 @@ impl Network {
             deliveries.append(&mut scratch.deliveries);
             *flits_dropped += std::mem::take(&mut scratch.flits_dropped);
             *flits_edge_dropped += std::mem::take(&mut scratch.flits_edge_dropped);
+            *flits_injected += std::mem::take(&mut scratch.flits_injected);
             *routers_stepped += std::mem::take(&mut scratch.routers_stepped);
             *routers_skipped += std::mem::take(&mut scratch.routers_skipped);
             if std::mem::take(&mut scratch.any_departure) {

@@ -1,9 +1,10 @@
 //! Run orchestration: warm-up / measurement / drain phases, the
-//! deadlock watchdog and report assembly.
+//! deadlock watchdog, epoch sampling and report assembly.
 
 use crate::network::Network;
 use crate::stats::NetworkReport;
 use noc_faults::FaultPlan;
+use noc_telemetry::{EpochSample, NullObserver, Observer, ShardedTracer, TimeSeries};
 use noc_types::{Cycle, NetworkConfig, Packet, SimConfig};
 use shield_router::RouterKind;
 
@@ -29,6 +30,7 @@ pub struct Simulator {
     kind: RouterKind,
     plan: FaultPlan,
     threads: usize,
+    sample_every: Option<Cycle>,
 }
 
 /// Default stepper thread count, read from `NOC_SIM_THREADS` (`1` =
@@ -40,6 +42,64 @@ fn env_threads() -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(1)
+}
+
+/// Rolling state for the epoch sampler: the counter values at the last
+/// epoch boundary, so each sample reports deltas.
+struct EpochState {
+    series: TimeSeries,
+    epoch_start: Cycle,
+    deliveries_seen: usize,
+    flits_ejected: u64,
+    flits_injected: u64,
+    routers_stepped: u64,
+    routers_skipped: u64,
+}
+
+impl EpochState {
+    fn new(every: Cycle) -> Self {
+        EpochState {
+            series: TimeSeries::new(every),
+            epoch_start: 0,
+            deliveries_seen: 0,
+            flits_ejected: 0,
+            flits_injected: 0,
+            routers_stepped: 0,
+            routers_skipped: 0,
+        }
+    }
+
+    /// Close the epoch ending just after `cycle` and append its sample.
+    fn close(&mut self, net: &Network, cycle: Cycle) {
+        let new = &net.deliveries()[self.deliveries_seen..];
+        let latencies: Vec<u64> = new.iter().map(|d| d.total_latency()).collect();
+        let mean_latency = if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
+        };
+        let sample = EpochSample {
+            epoch: self.series.samples.len() as u64,
+            start_cycle: self.epoch_start,
+            end_cycle: cycle + 1,
+            delivered_packets: new.len() as u64,
+            delivered_flits: net.flits_ejected() - self.flits_ejected,
+            injected_flits: net.flits_injected - self.flits_injected,
+            mean_latency,
+            max_latency: latencies.iter().copied().max().unwrap_or(0),
+            buffered_flits: net.in_flight_flits(),
+            vc_occupancy: net.buffer_occupancy(),
+            routers_stepped: net.routers_stepped() - self.routers_stepped,
+            routers_skipped: net.routers_skipped() - self.routers_skipped,
+        };
+        self.series.push(sample);
+        self.epoch_start = cycle + 1;
+        self.deliveries_seen = net.deliveries().len();
+        self.flits_ejected = net.flits_ejected();
+        self.flits_injected = net.flits_injected;
+        self.routers_stepped = net.routers_stepped();
+        self.routers_skipped = net.routers_skipped();
+    }
 }
 
 impl Simulator {
@@ -57,6 +117,7 @@ impl Simulator {
             kind,
             plan,
             threads: env_threads(),
+            sample_every: None,
         }
     }
 
@@ -65,6 +126,14 @@ impl Simulator {
     /// [`Network::set_threads`].
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Sample a time-series [`EpochSample`] every `every` cycles (`0`
+    /// disables sampling). The series lands in
+    /// [`NetworkReport::epochs`].
+    pub fn with_sample_every(mut self, every: Cycle) -> Self {
+        self.sample_every = if every == 0 { None } else { Some(every) };
         self
     }
 
@@ -83,17 +152,74 @@ impl Simulator {
     /// so a steady-state cycle touches no allocator.
     pub fn run_with(
         &self,
-        mut source: impl FnMut(Cycle, &mut Vec<Packet>),
+        source: impl FnMut(Cycle, &mut Vec<Packet>),
     ) -> (NetworkReport, SimOutcome) {
+        let mut net = self.build_network();
+        // Zero-sized observers: the Vec never allocates and every
+        // `O::ENABLED` guard in the steppers compiles out.
+        let mut nulls = vec![NullObserver; net.shard_count()];
+        self.run_core(&mut net, source, &mut nulls)
+    }
+
+    /// [`Simulator::run_with`] with event tracing enabled.
+    ///
+    /// Allocates one drop-oldest ring of `capacity_per_shard` events
+    /// per stepper shard up front, records into them allocation-free,
+    /// and returns the tracer alongside the report. Merge it with
+    /// [`ShardedTracer::merged`] for the canonical stream — identical
+    /// for every thread count — and check
+    /// [`ShardedTracer::dropped`] before trusting totals from a long
+    /// run.
+    pub fn run_traced(
+        &self,
+        source: impl FnMut(Cycle, &mut Vec<Packet>),
+        capacity_per_shard: usize,
+    ) -> (NetworkReport, SimOutcome, ShardedTracer) {
+        let mut net = self.build_network();
+        let mut tracer = ShardedTracer::new(net.shard_count(), capacity_per_shard);
+        let (report, outcome) = self.run_core(&mut net, source, tracer.rings_mut());
+        (report, outcome, tracer)
+    }
+
+    /// Run the phased loop (warm-up / measure / drain, watchdog, epoch
+    /// sampling, report assembly) on a caller-built network.
+    ///
+    /// This is the hook for experiments the stock constructor cannot
+    /// express — e.g. re-routing routers onto a deliberately
+    /// deadlock-prone table to exercise the flight recorder. The
+    /// caller is responsible for the network's faults and thread
+    /// count; this simulator's own `net_cfg`/`plan` are ignored.
+    pub fn run_on(
+        &self,
+        net: &mut Network,
+        source: impl FnMut(Cycle, &mut Vec<Packet>),
+    ) -> (NetworkReport, SimOutcome) {
+        let mut nulls = vec![NullObserver; net.shard_count()];
+        self.run_core(net, source, &mut nulls)
+    }
+
+    fn build_network(&self) -> Network {
         let mut net = Network::with_faults(self.net_cfg, self.kind, &self.plan);
         net.set_threads(self.threads);
+        net
+    }
+
+    /// The shared run loop; `obs` holds one observer per stepper shard.
+    fn run_core<O: Observer + Send>(
+        &self,
+        net: &mut Network,
+        mut source: impl FnMut(Cycle, &mut Vec<Packet>),
+        obs: &mut [O],
+    ) -> (NetworkReport, SimOutcome) {
         let mut packet_buf: Vec<Packet> = Vec::new();
         let warmup = self.sim_cfg.warmup_cycles;
         let measure_end = warmup + self.sim_cfg.measure_cycles;
         let horizon = self.sim_cfg.total_cycles();
+        let mut epochs = self.sample_every.map(EpochState::new);
 
         let mut outcome = SimOutcome::Completed;
         let mut cycles_run = horizon;
+        let mut deadlock = None;
         for cycle in 0..horizon {
             if cycle < measure_end {
                 packet_buf.clear();
@@ -102,7 +228,12 @@ impl Simulator {
                     net.offer_packets_from(&mut packet_buf);
                 }
             }
-            net.step(cycle);
+            net.step_observed(cycle, obs);
+            if let Some(ep) = &mut epochs {
+                if (cycle + 1).is_multiple_of(ep.series.every) {
+                    ep.close(net, cycle);
+                }
+            }
             if cycle >= measure_end && net.in_flight_flits() == 0 && net.queued_packets() == 0 {
                 outcome = SimOutcome::DrainedEarly;
                 cycles_run = cycle + 1;
@@ -113,12 +244,19 @@ impl Simulator {
             {
                 outcome = SimOutcome::DeadlockSuspected;
                 cycles_run = cycle + 1;
+                deadlock = Some(net.flight_record(cycle));
                 break;
+            }
+        }
+        if let Some(ep) = &mut epochs {
+            // Close the final partial epoch so short runs still sample.
+            if ep.epoch_start < cycles_run {
+                ep.close(net, cycles_run - 1);
             }
         }
 
         let (offered, injected, _ejected, misdelivered) = net.packet_counters();
-        let report = NetworkReport::build(
+        let mut report = NetworkReport::build(
             (warmup, measure_end),
             cycles_run,
             net.mesh().len(),
@@ -133,6 +271,16 @@ impl Simulator {
             net.router_event_totals(),
             net.utilisation_heatmap(),
         );
+        report.routers_stepped = net.routers_stepped();
+        report.routers_skipped = net.routers_skipped();
+        let considered = report.routers_stepped + report.routers_skipped;
+        report.worklist_skip_rate = if considered == 0 {
+            0.0
+        } else {
+            report.routers_skipped as f64 / considered as f64
+        };
+        report.epochs = epochs.map(|e| e.series);
+        report.deadlock = deadlock;
         (report, outcome)
     }
 }

@@ -1,7 +1,11 @@
 //! Simulation statistics and reporting.
 
+use noc_telemetry::{FlightRecord, TimeSeries};
 use noc_types::{Cycle, DeliveredPacket};
 use serde::Serialize;
+
+/// Number of log2 histogram buckets in a [`LatencySummary`].
+pub const LATENCY_BUCKETS: usize = 32;
 
 /// Summary statistics of a latency sample.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
@@ -10,6 +14,8 @@ pub struct LatencySummary {
     pub count: usize,
     /// Arithmetic mean (cycles).
     pub mean: f64,
+    /// Population standard deviation (cycles).
+    pub stddev: f64,
     /// Minimum.
     pub min: u64,
     /// Median (p50).
@@ -18,27 +24,58 @@ pub struct LatencySummary {
     pub p95: u64,
     /// 99th percentile.
     pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
     /// Maximum.
     pub max: u64,
+    /// Log2-bucketed histogram: bucket 0 counts zeros, bucket `i ≥ 1`
+    /// counts samples in `[2^(i-1), 2^i)`, and the last bucket absorbs
+    /// everything at or above `2^(LATENCY_BUCKETS-2)`.
+    pub histogram: [u64; LATENCY_BUCKETS],
 }
 
 impl LatencySummary {
+    /// The histogram bucket a sample falls into (see the field docs).
+    pub fn bucket_of(sample: u64) -> usize {
+        ((u64::BITS - sample.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
+    }
+
+    /// Lower bound (inclusive) of histogram bucket `i`.
+    pub fn bucket_low(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            _ => 1u64 << (i - 1),
+        }
+    }
+
     /// Summarise a sample (empty samples give an all-zero summary).
     pub fn of(mut samples: Vec<u64>) -> Self {
         if samples.is_empty() {
             return LatencySummary {
                 count: 0,
                 mean: 0.0,
+                stddev: 0.0,
                 min: 0,
                 p50: 0,
                 p95: 0,
                 p99: 0,
+                p999: 0,
                 max: 0,
+                histogram: [0; LATENCY_BUCKETS],
             };
         }
         samples.sort_unstable();
         let count = samples.len();
         let sum: u128 = samples.iter().map(|&s| s as u128).sum();
+        let sum_sq: u128 = samples.iter().map(|&s| (s as u128) * (s as u128)).sum();
+        let mean = sum as f64 / count as f64;
+        // Population variance via E[X²] − E[X]²; the sums are exact
+        // (u128), so the only rounding is the final f64 conversion.
+        let variance = (sum_sq as f64 / count as f64 - mean * mean).max(0.0);
+        let mut histogram = [0u64; LATENCY_BUCKETS];
+        for &s in &samples {
+            histogram[Self::bucket_of(s)] += 1;
+        }
         // Nearest-rank percentile: ceil(p·N)-th order statistic.
         let pct = |p: f64| -> u64 {
             let rank = (count as f64 * p).ceil() as usize;
@@ -46,12 +83,15 @@ impl LatencySummary {
         };
         LatencySummary {
             count,
-            mean: sum as f64 / count as f64,
+            mean,
+            stddev: variance.sqrt(),
             min: samples[0],
             p50: pct(0.50),
             p95: pct(0.95),
             p99: pct(0.99),
+            p999: pct(0.999),
             max: samples[count - 1],
+            histogram,
         }
     }
 }
@@ -95,6 +135,19 @@ pub struct NetworkReport {
     /// Text heatmap of per-router output utilisation (`.` idle → `#`
     /// busiest), one row per mesh row.
     pub utilisation_heatmap: String,
+    /// Router steps executed (not skipped by the active-router
+    /// worklist) over the whole run.
+    pub routers_stepped: u64,
+    /// Router steps the worklist skipped over the whole run.
+    pub routers_skipped: u64,
+    /// `routers_skipped / (routers_stepped + routers_skipped)`, `0.0`
+    /// when no router was ever considered.
+    pub worklist_skip_rate: f64,
+    /// Per-epoch time series, when the simulator was configured with
+    /// [`crate::Simulator::with_sample_every`].
+    pub epochs: Option<TimeSeries>,
+    /// Deadlock flight record, captured iff `deadlock_suspected`.
+    pub deadlock: Option<FlightRecord>,
 }
 
 /// Network-wide sums of [`shield_router::RouterStats`] counters.
@@ -168,6 +221,14 @@ impl NetworkReport {
             deadlock_suspected,
             router_events,
             utilisation_heatmap,
+            // Worklist counters, the time series and the flight record
+            // are stamped by the simulator after the build — they come
+            // from the live network, not the delivery log.
+            routers_stepped: 0,
+            routers_skipped: 0,
+            worklist_skip_rate: 0.0,
+            epochs: None,
+            deadlock: None,
         }
     }
 
@@ -216,7 +277,56 @@ mod tests {
         assert_eq!(s.p50, 50);
         assert_eq!(s.p95, 95);
         assert_eq!(s.p99, 99);
+        assert_eq!(s.p999, 100, "p999 of 100 samples is the maximum");
         assert!((s.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p999_separates_from_p99_on_large_samples() {
+        // 1..=1000: nearest rank puts p99 at the 990th and p999 at the
+        // 999th order statistic.
+        let s = LatencySummary::of((1..=1000).collect());
+        assert_eq!(s.p99, 990);
+        assert_eq!(s.p999, 999);
+    }
+
+    #[test]
+    fn stddev_matches_hand_computation() {
+        // {2, 4, 4, 4, 5, 5, 7, 9}: the classic example with mean 5 and
+        // population stddev exactly 2.
+        let s = LatencySummary::of(vec![2, 4, 4, 4, 5, 5, 7, 9]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.stddev - 2.0).abs() < 1e-9);
+        // A constant sample has zero spread.
+        let c = LatencySummary::of(vec![42; 10]);
+        assert_eq!(c.stddev, 0.0);
+        assert_eq!(LatencySummary::of(vec![]).stddev, 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(LatencySummary::bucket_of(0), 0);
+        assert_eq!(LatencySummary::bucket_of(1), 1);
+        assert_eq!(LatencySummary::bucket_of(2), 2);
+        assert_eq!(LatencySummary::bucket_of(3), 2);
+        assert_eq!(LatencySummary::bucket_of(4), 3);
+        assert_eq!(LatencySummary::bucket_of(u64::MAX), LATENCY_BUCKETS - 1);
+        for i in 1..LATENCY_BUCKETS - 1 {
+            let low = LatencySummary::bucket_low(i);
+            assert_eq!(LatencySummary::bucket_of(low), i, "lower edge of {i}");
+            assert_eq!(
+                LatencySummary::bucket_of(2 * low - 1),
+                i,
+                "upper edge of {i}"
+            );
+        }
+        let s = LatencySummary::of(vec![0, 1, 1, 3, 8, 9, 1_000_000]);
+        assert_eq!(s.histogram[0], 1);
+        assert_eq!(s.histogram[1], 2);
+        assert_eq!(s.histogram[2], 1);
+        assert_eq!(s.histogram[4], 2);
+        assert_eq!(s.histogram[20], 1, "1e6 lands in [2^19, 2^20)");
+        assert_eq!(s.histogram.iter().sum::<u64>(), s.count as u64);
     }
 
     #[test]

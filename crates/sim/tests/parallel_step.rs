@@ -63,9 +63,13 @@ struct Fingerprint {
     packet_counters: (u64, u64, u64, u64),
     flits_dropped: u64,
     flits_edge_dropped: u64,
+    flits_injected: u64,
     in_flight: u64,
     queued: u64,
     last_activity: u64,
+    /// `(routers_stepped, routers_skipped)` — thread-count-invariant,
+    /// but *not* invariant to toggling the worklist itself.
+    worklist: (u64, u64),
 }
 
 fn fingerprint(net: &Network) -> Fingerprint {
@@ -95,9 +99,11 @@ fn fingerprint(net: &Network) -> Fingerprint {
         packet_counters: net.packet_counters(),
         flits_dropped: net.flits_dropped,
         flits_edge_dropped: net.flits_edge_dropped,
+        flits_injected: net.flits_injected,
         in_flight: net.in_flight_flits(),
         queued: net.queued_packets(),
         last_activity: net.last_activity,
+        worklist: (net.routers_stepped(), net.routers_skipped()),
     }
 }
 
@@ -192,7 +198,11 @@ fn worklist_on_and_off_are_equivalent() {
     let k = 4u8;
     for (name, kind, plan) in campaigns(k, 0x1D1E) {
         let on = run(k, kind, &plan, 0xBEEF, 0.01, 1, true);
-        let off = run(k, kind, &plan, 0xBEEF, 0.01, 1, false);
+        let mut off = run(k, kind, &plan, 0xBEEF, 0.01, 1, false);
+        // The stepped/skipped split is the one observable the toggle
+        // legitimately changes; everything else must match exactly.
+        assert_eq!(off.worklist.1, 0, "worklist off never skips");
+        off.worklist = on.worklist;
         assert_eq!(on, off, "serial worklist divergence: campaign={name}");
         let par_on = run(k, kind, &plan, 0xBEEF, 0.01, 4, true);
         assert_eq!(on, par_on, "parallel worklist divergence: campaign={name}");
@@ -269,6 +279,42 @@ fn worklist_skips_most_idle_routers_at_low_load() {
     assert!(
         skipped > stepped,
         "expected most steps skipped at 0.5% load, got {stepped} stepped / {skipped} skipped"
+    );
+}
+
+/// The worklist's effectiveness is a first-class report field: the
+/// counters land in [`noc_sim::NetworkReport`] and the derived skip
+/// rate is consistent with them.
+#[test]
+fn report_exposes_worklist_skip_rate() {
+    let mut net_cfg = NetworkConfig::paper();
+    net_cfg.mesh_k = 6;
+    let sim_cfg = noc_types::SimConfig {
+        warmup_cycles: 100,
+        measure_cycles: 400,
+        drain_cycles: 500,
+        seed: 0,
+    };
+    let mut src = Source {
+        rng: StdRng::seed_from_u64(0x10AD),
+        k: 6,
+        rate: 0.005,
+        next: 0,
+    };
+    let sim = noc_sim::Simulator::new(net_cfg, sim_cfg, RouterKind::Protected, FaultPlan::none());
+    let (report, _outcome) = sim.run(|cycle| src.tick(cycle));
+    let considered = report.routers_stepped + report.routers_skipped;
+    assert_eq!(
+        considered,
+        36 * report.cycles_run,
+        "every router is either stepped or skipped each cycle"
+    );
+    let expected = report.routers_skipped as f64 / considered as f64;
+    assert!((report.worklist_skip_rate - expected).abs() < 1e-12);
+    assert!(
+        report.worklist_skip_rate > 0.5,
+        "a 0.5%-load mesh should skip most steps, got {}",
+        report.worklist_skip_rate
     );
 }
 

@@ -1,0 +1,67 @@
+//! The static-dispatch observer seam.
+//!
+//! Instrumentation sites in the router pipeline are written as
+//!
+//! ```ignore
+//! if O::ENABLED {
+//!     obs.record(Event { .. });
+//! }
+//! ```
+//!
+//! With [`NullObserver`] the `ENABLED` constant is `false`, the branch
+//! is trivially dead and the event construction is removed at
+//! monomorphisation time — there is no observer pointer, no branch and
+//! no store in the compiled hot path. That is what keeps the PR-1
+//! counting-allocator test and the PR-2 serial/parallel equivalence
+//! fingerprints untouched by instrumentation.
+
+use crate::event::Event;
+use crate::ring::EventRing;
+
+/// A sink for telemetry events, dispatched statically.
+///
+/// Implementors that actually record must leave `ENABLED` at its
+/// default of `true`; only no-op sinks should override it, because
+/// emission sites skip all work (including building the event) when it
+/// is `false`.
+pub trait Observer {
+    /// Whether emission sites should construct and record events at
+    /// all. A `false` value compiles instrumentation out entirely.
+    const ENABLED: bool = true;
+
+    /// Record one event. Must be cheap and must not allocate in steady
+    /// state — it runs inside the router's per-cycle hot path.
+    fn record(&mut self, event: Event);
+}
+
+/// The disabled observer: a zero-sized type with `ENABLED = false`.
+///
+/// Passing this through the generic step paths yields exactly the
+/// uninstrumented router — see the module docs for the argument.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn record(&mut self, _event: Event) {}
+}
+
+impl Observer for EventRing {
+    #[inline]
+    fn record(&mut self, event: Event) {
+        self.push(event);
+    }
+}
+
+/// Forwarding impl so call sites can hand out reborrows of a shard's
+/// observer without consuming it.
+impl<O: Observer> Observer for &mut O {
+    const ENABLED: bool = O::ENABLED;
+
+    #[inline(always)]
+    fn record(&mut self, event: Event) {
+        (**self).record(event);
+    }
+}

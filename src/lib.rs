@@ -17,6 +17,8 @@
 //! * [`sim`] — cycle-accurate k×k mesh simulator and statistics.
 //! * [`traffic`] — synthetic patterns and SPLASH-2/PARSEC app models.
 //! * [`reliability`] — FIT/MTTF/SPF, area, power and critical-path models.
+//! * [`telemetry`] — zero-cost-when-off event tracing, epoch sampling
+//!   and the deadlock flight recorder.
 //! * [`bench`] — the experiment harness behind every table and figure.
 //!
 //! ## Quickstart
@@ -40,6 +42,7 @@ pub use noc_bench as bench;
 pub use noc_faults as faults;
 pub use noc_reliability as reliability;
 pub use noc_sim as sim;
+pub use noc_telemetry as telemetry;
 pub use noc_traffic as traffic;
 pub use noc_types as types;
 pub use shield_router as router;
