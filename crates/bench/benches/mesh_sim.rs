@@ -8,11 +8,11 @@
 //! `--quick` for a single-sample smoke run (CI); any other argument is
 //! a substring filter on the bench names.
 
-use noc_bench::{bench_envelope, bench_with, measurement_json, Measurement};
+use noc_bench::{apply_topology_arg, bench_envelope, bench_with, measurement_json, Measurement};
 use noc_sim::Network;
 use noc_telemetry::JsonValue;
 use noc_traffic::{AppId, SyntheticPattern, TrafficConfig, TrafficGenerator};
-use noc_types::{Mesh, NetworkConfig};
+use noc_types::NetworkConfig;
 use shield_router::RouterKind;
 use std::hint::black_box;
 use std::time::Duration;
@@ -22,10 +22,11 @@ const CYCLES: u64 = 2_000;
 fn run_once(k: u8, traffic: &TrafficConfig, threads: usize, skip_idle: bool) {
     let mut cfg = NetworkConfig::paper();
     cfg.mesh_k = k;
+    let cfg = apply_topology_arg(cfg);
     let mut net = Network::new(cfg, RouterKind::Protected);
     net.set_threads(threads);
     net.set_skip_idle(skip_idle);
-    let mut gen = TrafficGenerator::new(*traffic, Mesh::new(k), 1);
+    let mut gen = TrafficGenerator::new(*traffic, cfg.grid(), 1);
     let mut pkts = Vec::new();
     for cycle in 0..CYCLES {
         pkts.clear();
@@ -39,7 +40,22 @@ fn run_once(k: u8, traffic: &TrafficConfig, threads: usize, skip_idle: bool) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let filters: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    // `--topology <tag>` (handled by `apply_topology_arg` inside
+    // `run_once`) must not leak its operand into the name filters.
+    let mut filters: Vec<&String> = Vec::new();
+    let mut skip_next = false;
+    for a in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--topology" {
+            skip_next = true;
+        } else if !a.starts_with("--") {
+            filters.push(a);
+        }
+    }
+    let topology_tag = apply_topology_arg(NetworkConfig::paper()).topology.tag();
     let (samples, min_sample) = if quick {
         (1, Duration::from_millis(20))
     } else {
@@ -96,6 +112,7 @@ fn main() {
         "mesh_sim",
         "Whole-network simulation throughput across mesh size, load and \
          stepper thread count.",
+        topology_tag,
         "ad-hoc run; see the committed BENCH_*.json files for recorded numbers",
         JsonValue::Arr(rows),
     );

@@ -92,6 +92,7 @@ fn main() {
         "telemetry_overhead",
         "Simulation throughput with tracing off (NullObserver, compiled out) \
          versus on (per-shard EventRing recording), 8x8 mesh at uniform 0.02 load.",
+        "mesh",
         "see BENCH_telemetry.json for the committed run",
         JsonValue::Arr(rows),
     );

@@ -17,13 +17,20 @@ use std::path::{Path, PathBuf};
 /// `schema_version` field so downstream tooling can detect layout
 /// changes. Bump on any incompatible change to [`bench_envelope`] or
 /// the per-measurement row layout.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// History: v1 = original envelope; v2 added the mandatory `topology`
+/// field (`mesh` / `torus` / `cutmesh`) when the simulator grew
+/// non-mesh topologies.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Wrap benchmark `data` in the versioned envelope:
-/// `{schema_version, name, description, machine_note, data}`.
+/// `{schema_version, name, description, topology, machine_note, data}`.
+/// `topology` is the [`noc_types::TopologySpec::tag`] the measurements
+/// ran on (`"mesh"` for everything predating the topology layer).
 pub fn bench_envelope(
     name: &str,
     description: &str,
+    topology: &str,
     machine_note: &str,
     data: JsonValue,
 ) -> JsonValue {
@@ -31,6 +38,7 @@ pub fn bench_envelope(
         ("schema_version".into(), SCHEMA_VERSION.into()),
         ("name".into(), name.into()),
         ("description".into(), description.into()),
+        ("topology".into(), topology.into()),
         ("machine_note".into(), machine_note.into()),
         ("data".into(), data),
     ])
@@ -182,6 +190,7 @@ mod tests {
         let env = bench_envelope(
             "demo",
             "a demo artefact",
+            "mesh",
             "test machine",
             JsonValue::Arr(vec![measurement_json(&m, 2_000)]),
         );
@@ -191,6 +200,7 @@ mod tests {
             Some(SCHEMA_VERSION)
         );
         assert_eq!(doc.get("name").unwrap().as_str(), Some("demo"));
+        assert_eq!(doc.get("topology").unwrap().as_str(), Some("mesh"));
         let rows = doc.get("data").unwrap().as_array().unwrap();
         // 2ms/iter at 2000 cycles/iter = 1us per simulated cycle.
         assert_eq!(
@@ -227,6 +237,11 @@ mod tests {
             assert!(
                 doc.get("description").is_some(),
                 "{name} must carry a description"
+            );
+            let topo = doc.get("topology").and_then(|v| v.as_str());
+            assert!(
+                matches!(topo, Some("mesh" | "torus" | "cutmesh")),
+                "{name} must carry a known topology tag, got {topo:?}"
             );
         }
     }

@@ -4,7 +4,7 @@
 use noc_faults::FaultPlan;
 use noc_sim::{NetworkReport, Simulator};
 use noc_traffic::{TrafficConfig, TrafficGenerator};
-use noc_types::{Mesh, NetworkConfig, SimConfig};
+use noc_types::{NetworkConfig, SimConfig, TopologySpec};
 use shield_router::RouterKind;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -74,6 +74,36 @@ pub fn sim_threads() -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(1)
+}
+
+/// Topology knob for experiment binaries: `--topology {mesh,torus}`
+/// rewrites a config still carrying the default
+/// [`TopologySpec::MeshK`] into the named topology over the same
+/// `mesh_k` grid. Configs that name their topology explicitly win, as
+/// with the `NOC_TOPOLOGY` environment override (which the simulator
+/// itself applies, and which this flag takes precedence over simply by
+/// making the spec explicit).
+pub fn apply_topology_arg(net: NetworkConfig) -> NetworkConfig {
+    let mut net = net;
+    if net.topology != TopologySpec::MeshK {
+        return net;
+    }
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--topology" {
+            match args.next().as_deref() {
+                Some("mesh") | None => {}
+                Some("torus") => {
+                    net.topology = TopologySpec::Torus {
+                        w: net.mesh_k,
+                        h: net.mesh_k,
+                    }
+                }
+                Some(other) => panic!("--topology: expected mesh or torus, got {other:?}"),
+            }
+        }
+    }
+    net
 }
 
 /// Telemetry options every experiment binary understands:
@@ -149,9 +179,9 @@ pub fn run_simulation_telemetry(
     plan: &FaultPlan,
     tel: &TelemetryArgs,
 ) -> NetworkReport {
-    let mesh = Mesh::new(net.mesh_k);
-    let mut generator = TrafficGenerator::new(*traffic, mesh, sim.seed ^ 0x5EED);
-    let simulator = Simulator::new(*net, *sim, kind, plan.clone())
+    let net = apply_topology_arg(*net);
+    let mut generator = TrafficGenerator::new(*traffic, net.grid(), sim.seed ^ 0x5EED);
+    let simulator = Simulator::new(net, *sim, kind, plan.clone())
         .with_threads(sim_threads())
         .with_sample_every(tel.sample_every);
     let source = |cycle, out: &mut Vec<_>| generator.tick_into(cycle, out);

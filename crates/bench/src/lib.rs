@@ -40,6 +40,8 @@ pub use experiments::{FigureConfig, FigureResult, FigureRow};
 pub use export::{
     bench_envelope, figure_csv, measurement_json, write_csv, write_json, SCHEMA_VERSION,
 };
-pub use harness::{run_simulation, sim_threads, ExperimentScale, TelemetryArgs};
+pub use harness::{
+    apply_topology_arg, run_simulation, sim_threads, ExperimentScale, TelemetryArgs,
+};
 pub use microbench::{bench, bench_with, Measurement};
 pub use tables::Table;

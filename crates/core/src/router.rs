@@ -6,6 +6,7 @@ use crate::port::InputPort;
 use noc_arbiter::RoundRobinArbiter;
 use noc_faults::{DetectionModel, FaultSite};
 use noc_telemetry::{Event, EventKind, NullObserver, Observer};
+use noc_topology::Topology;
 use noc_types::{Coord, Cycle, Flit, Mesh, PortId, RouterConfig, VcId};
 
 /// Which of the paper's two routers to model.
@@ -113,6 +114,17 @@ pub enum RoutingAlgorithm {
         /// One output port per destination router id.
         ports: Vec<PortId>,
     },
+    /// Topology-generic routing: delegate to a shared
+    /// [`Topology`](noc_topology::Topology) (torus dateline routing,
+    /// irregular up*/down* tables, …). The `Arc` is shared by every
+    /// router of a network, so a rerouting event (dead router) swaps
+    /// all tables with one allocation.
+    Topo {
+        /// The network graph, shared across the network's routers.
+        topo: std::sync::Arc<Topology>,
+        /// This router's node id within the topology.
+        node: usize,
+    },
 }
 
 impl RoutingAlgorithm {
@@ -134,12 +146,39 @@ impl RoutingAlgorithm {
         RoutingAlgorithm::Table { mesh, ports }
     }
 
+    /// Route via a shared [`Topology`] from the node with id `node`.
+    pub fn topo(topo: std::sync::Arc<Topology>, node: usize) -> Self {
+        assert!(node < topo.len(), "node id outside the topology");
+        RoutingAlgorithm::Topo { topo, node }
+    }
+
     /// The output port for a packet headed to `dst`.
     #[inline]
     pub fn route(&self, dst: Coord) -> PortId {
         match self {
             RoutingAlgorithm::Xy { mesh, coord } => mesh.xy_route(*coord, dst).port(),
             RoutingAlgorithm::Table { mesh, ports } => ports[mesh.id_of(dst).index()],
+            RoutingAlgorithm::Topo { topo, node } => {
+                let d = topo.grid().id_of(dst).index();
+                topo.route(*node, d).0.port()
+            }
+        }
+    }
+
+    /// The output port *and* the bitmask of legal downstream VCs for a
+    /// packet headed to `dst` (`vcs` = VCs per port). Mesh XY and table
+    /// routing never restrict the VCs; topology routing maps the route's
+    /// [`noc_topology::VcClass`] onto the lower/upper half of the VCs
+    /// (the torus dateline scheme).
+    #[inline]
+    pub fn route_masked(&self, dst: Coord, vcs: usize) -> (PortId, u32) {
+        match self {
+            RoutingAlgorithm::Xy { .. } | RoutingAlgorithm::Table { .. } => (self.route(dst), !0),
+            RoutingAlgorithm::Topo { topo, node } => {
+                let d = topo.grid().id_of(dst).index();
+                let (dir, class) = topo.route(*node, d);
+                (dir.port(), class.mask(vcs))
+            }
         }
     }
 }

@@ -79,7 +79,7 @@ impl Router {
                     .front()
                     .expect("routing VC holds its head flit")
                     .dst;
-                let correct = self.route.route(dst);
+                let (correct, vmask) = self.route.route_masked(dst, v);
                 let primary_faulty = self.faults.rc_primary_faulty(port_id);
                 let mut misrouted = false;
                 let mut duplicate = false;
@@ -132,6 +132,7 @@ impl Router {
                     }
                     let fields = &mut self.ports[port_idx].vc_mut(vc_id).fields;
                     fields.r = Some(out);
+                    fields.vmask = vmask;
                     fields.g = VcGlobalState::VcAlloc;
                     // Pre-compute the secondary-path hint (Section V-D):
                     // refreshed again at SA time in case faults manifest
@@ -254,6 +255,10 @@ impl Router {
                     }
                     req |= 1 << ovc;
                 }
+                // Topology VC-class restriction (torus datelines): the RC
+                // unit deposited the legal downstream set in `vmask`; VA
+                // never requests outside it.
+                req &= fields.vmask;
                 if req == 0 {
                     continue; // no empty VC downstream: retry later
                 }

@@ -1,12 +1,15 @@
 //! # noc-sim
 //!
-//! A cycle-accurate `k × k` mesh NoC simulator built around the
+//! A cycle-accurate NoC simulator built around the
 //! [`shield_router::Router`] model — the reproduction's substitute for
-//! the paper's GEM5 + GARNET infrastructure (Section IX).
+//! the paper's GEM5 + GARNET infrastructure (Section IX). Networks are
+//! wired from a [`noc_topology::Topology`]: the paper's square mesh by
+//! default, or rectangular meshes, tori and irregular cut-link graphs
+//! via [`noc_types::TopologySpec`] (ARCHITECTURE.md §4).
 //!
 //! The simulator provides:
 //!
-//! * [`Network`] — routers wired in a mesh with 1-cycle links,
+//! * [`Network`] — routers wired by the topology with 1-cycle links,
 //!   credit-based wormhole flow control and network interfaces;
 //! * [`NetworkInterface`] — per-node injection queues (credit- and
 //!   VC-aware) and ejection with latency bookkeeping;

@@ -1,4 +1,10 @@
-//! The mesh network: routers, links, NIs and the per-cycle update.
+//! The network: routers, links, NIs and the per-cycle update, built
+//! from a [`noc_topology::Topology`] (mesh, torus or irregular graph —
+//! see [`noc_types::TopologySpec`] and ARCHITECTURE.md §4). Wires,
+//! credit links and NI attachment all follow the topology's link set; a
+//! missing link (cut, or the edge of a mesh) behaves like the mesh edge
+//! always has — a misrouted departure onto it is dropped and its credit
+//! restored.
 //!
 //! # Stepping modes
 //!
@@ -7,16 +13,19 @@
 //!
 //! * **Serial** (default): every router stepped in id order on the
 //!   calling thread, allocation-free in steady state.
-//! * **Sharded parallel** ([`Network::set_threads`] > 1): the mesh is
-//!   partitioned into contiguous row bands, each stepped by a persistent
-//!   worker on a [`crate::WorkerPool`]. A cycle runs in three phases —
-//!   deliver (arrivals partitioned by destination shard), shard-step
-//!   (each shard steps its routers into shard-local buffers), merge
-//!   (shard buffers appended to the wire ring in fixed shard order).
-//!   Because link latency is ≥ 1 cycle, a router's step never reads
-//!   another router's same-cycle output, so shards are independent
-//!   within a cycle and the merge order alone fixes the result; see
-//!   ARCHITECTURE.md §2.1 for the full determinism argument.
+//! * **Sharded parallel** ([`Network::set_threads`] > 1): the node grid
+//!   is partitioned into contiguous row bands in topology node order,
+//!   each stepped by a persistent worker on a [`crate::WorkerPool`]. A
+//!   cycle runs in three phases — deliver (arrivals partitioned by
+//!   destination shard), shard-step (each shard steps its routers into
+//!   shard-local buffers), merge (shard buffers appended to the wire
+//!   ring in fixed shard order). Because link latency is ≥ 1 cycle, a
+//!   router's step never reads another router's same-cycle output, so
+//!   shards are independent within a cycle and the merge order alone
+//!   fixes the result — wraparound and cut links included, since the
+//!   wiring table only changes *which* ring slot entries are written,
+//!   never when they are read; see ARCHITECTURE.md §2.1 for the full
+//!   determinism argument.
 //!
 //! Independently of the thread count, an **active-router worklist**
 //! skips [`shield_router::Router::step_into`] for routers that are
@@ -36,12 +45,19 @@ use noc_telemetry::{
     Event, EventKind, FlightRecord, NullObserver, Observer, RouterDump, VcDump, WaitEdge,
     WaitForGraph, WaitNode, WaitReason,
 };
+use noc_topology::Topology;
 use noc_types::{
-    Cycle, DeliveredPacket, Direction, Flit, Mesh, NetworkConfig, Packet, PortId, VcGlobalState,
-    VcId,
+    Cycle, DeliveredPacket, Direction, Flit, Mesh, NetworkConfig, Packet, PortId, TopologySpec,
+    VcGlobalState, VcId,
 };
-use shield_router::{Router, RouterKind, RouterStats, StepOutput};
-use std::sync::Mutex;
+use shield_router::{Router, RouterKind, RouterStats, RoutingAlgorithm, StepOutput};
+use std::sync::{Arc, Mutex};
+
+/// One router's outgoing wiring: per output port, the downstream router
+/// and the port the link enters it through (`None` = no link — grid
+/// edge, cut link, or the local port). Precomputed from the topology so
+/// the hot path never recomputes neighbours.
+type WiringRow = [Option<(usize, PortId)>; 5];
 
 /// A flit or credit in flight on a link.
 #[derive(Debug)]
@@ -109,15 +125,18 @@ struct ParState {
 
 impl ParState {
     fn new(threads: usize, mesh: Mesh) -> Self {
-        let k = mesh.k as usize;
-        // One band per thread, but never split a row and never create
-        // an empty shard.
-        let nshards = threads.min(k).max(1);
+        let w = mesh.w as usize;
+        let h = mesh.h as usize;
+        // One band per thread, but never split a grid row and never
+        // create an empty shard. Bands follow topology node order
+        // (= row-major id order), so the partition is identical for
+        // every topology over the same grid.
+        let nshards = threads.min(h).max(1);
         let mut bounds = Vec::with_capacity(nshards);
         let mut row = 0;
         for s in 0..nshards {
-            let rows = k / nshards + usize::from(s < k % nshards);
-            bounds.push((row * k, (row + rows) * k));
+            let rows = h / nshards + usize::from(s < h % nshards);
+            bounds.push((row * w, (row + rows) * w));
             row += rows;
         }
         let mut shard_of = vec![0; mesh.len()];
@@ -144,7 +163,8 @@ impl ParState {
 /// merged serially in phase C.
 struct ShardCtx<'a, O: Observer> {
     base: usize,
-    mesh: Mesh,
+    /// This shard's slice of the network wiring table.
+    wiring: &'a [WiringRow],
     skip_idle: bool,
     routers: &'a mut [Router],
     nis: &'a mut [NetworkInterface],
@@ -159,7 +179,7 @@ impl<O: Observer> ShardCtx<'_, O> {
     fn run(&mut self, cycle: Cycle) {
         let ShardCtx {
             base,
-            mesh,
+            wiring,
             skip_idle,
             routers,
             nis,
@@ -199,7 +219,7 @@ impl<O: Observer> ShardCtx<'_, O> {
                 base + local,
                 &mut routers[local],
                 &mut nis[local],
-                *mesh,
+                &wiring[local],
                 &mut scratch.step_out,
                 &mut scratch.wires_out,
                 &mut link_flits[local],
@@ -270,7 +290,7 @@ fn process_router_outputs(
     id: usize,
     router: &mut Router,
     ni: &mut NetworkInterface,
-    mesh: Mesh,
+    wiring_row: &WiringRow,
     out: &mut StepOutput,
     wires_out: &mut Vec<Wire>,
     link_row: &mut [u64; 5],
@@ -282,7 +302,6 @@ fn process_router_outputs(
         *any_departure = true;
     }
     *flits_dropped += out.dropped.len() as u64;
-    let coord = router.coord();
     for d in &out.departures {
         link_row[d.out_port.index()] += 1;
     }
@@ -299,18 +318,18 @@ fn process_router_outputs(
                 vc: d.out_vc,
             });
         } else {
-            let dir = Direction::from_port(d.out_port).expect("departure on a valid port");
-            match mesh.neighbour(coord, dir) {
-                Some(n) => wires_out.push(Wire::Flit {
-                    router: n.index(),
-                    port: dir.opposite().port(),
+            match wiring_row[d.out_port.index()] {
+                Some((down, in_port)) => wires_out.push(Wire::Flit {
+                    router: down,
+                    port: in_port,
                     vc: d.out_vc,
                     flit: d.flit,
                 }),
                 None => {
-                    // Misrouted off the mesh edge (baseline RC faults):
-                    // the flit is lost; restore the consumed credit so
-                    // the counter stays sane.
+                    // Misrouted onto a missing link — the grid edge or a
+                    // cut link (baseline RC faults): the flit is lost;
+                    // restore the consumed credit so the counter stays
+                    // sane.
                     *flits_edge_dropped += 1;
                     router.receive_credit(d.out_port, d.out_vc);
                 }
@@ -321,23 +340,28 @@ fn process_router_outputs(
         if c.in_port == Direction::Local.port() {
             // Slot freed at the local input: credit to the NI.
             ni.credit(c.vc);
-        } else {
-            let dir = Direction::from_port(c.in_port).expect("credit from a valid port");
-            if let Some(upstream) = mesh.neighbour(coord, dir) {
-                wires_out.push(Wire::Credit {
-                    router: upstream.index(),
-                    out_port: dir.opposite().port(),
-                    vc: c.vc,
-                });
-            }
+        } else if let Some((upstream, up_port)) = wiring_row[c.in_port.index()] {
+            // Links are symmetric: the port our link enters the
+            // neighbour through is also the neighbour's output port
+            // facing us, which is where the credit belongs.
+            wires_out.push(Wire::Credit {
+                router: upstream,
+                out_port: up_port,
+                vc: c.vc,
+            });
         }
     }
 }
 
-/// The `k × k` mesh network.
+/// The simulated network: a grid of routers wired by a [`Topology`].
 pub struct Network {
     cfg: NetworkConfig,
+    /// The bounding coordinate grid (id ↔ coordinate mapping).
     mesh: Mesh,
+    /// The network graph: links, liveness, route computation.
+    topo: Arc<Topology>,
+    /// Per router, per output port: downstream router and entry port.
+    wiring: Vec<WiringRow>,
     routers: Vec<Router>,
     nis: Vec<NetworkInterface>,
     /// Ring buffer of in-flight wire traffic; slot 0 arrives this cycle.
@@ -381,13 +405,35 @@ impl Network {
 
     /// Build a network and pre-apply a fault campaign (each event
     /// manifests at its scheduled cycle).
+    ///
+    /// Honours the `NOC_TOPOLOGY` environment variable (`mesh`, `torus`
+    /// or `cutmesh<N>`) when — and only when — the config carries the
+    /// default [`TopologySpec::MeshK`]: explicit topology specs always
+    /// win. The override reuses `mesh_k` as both grid dimensions, so CI
+    /// can re-run the mesh test matrix on other topologies untouched.
     pub fn with_faults(cfg: NetworkConfig, kind: RouterKind, plan: &FaultPlan) -> Self {
+        let cfg = apply_topology_override(cfg);
         cfg.validate().expect("invalid network configuration");
-        let mesh = Mesh::new(cfg.mesh_k);
+        let mesh = cfg.grid();
+        let topo = Arc::new(Topology::from_spec(&cfg));
+        let wiring = build_wiring(&topo);
         let mut routers: Vec<Router> = (0..mesh.len())
             .map(|i| {
                 let coord = mesh.coord_of(noc_types::RouterId(i as u16));
-                let mut r = Router::new_xy(i as u16, coord, mesh, cfg.router, kind);
+                // Meshes keep the two-comparator XY algorithm (the
+                // paper's configuration and the hot path); the other
+                // topologies route through the shared topology.
+                let mut r = match &*topo {
+                    Topology::Mesh(_) => Router::new_xy(i as u16, coord, mesh, cfg.router, kind),
+                    _ => Router::new(
+                        i as u16,
+                        coord,
+                        cfg.router,
+                        kind,
+                        RoutingAlgorithm::topo(Arc::clone(&topo), i),
+                        noc_faults::DetectionModel::Ideal,
+                    ),
+                };
                 r.set_detection(plan.detection());
                 r
             })
@@ -412,6 +458,8 @@ impl Network {
         Network {
             cfg,
             mesh,
+            topo,
+            wiring,
             routers,
             nis,
             wires: (0..slots).map(|_| Vec::new()).collect(),
@@ -432,9 +480,39 @@ impl Network {
         }
     }
 
-    /// The mesh geometry.
+    /// The bounding grid geometry (row-major id ↔ coordinate mapping;
+    /// which links actually exist is the topology's business).
     pub fn mesh(&self) -> Mesh {
         self.mesh
+    }
+
+    /// The network graph the wires were built from.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Declare a router dead at the routing level: rebuild the topology
+    /// with the node quarantined ([`Topology::with_dead`]) and swap the
+    /// new routing tables into every router. Routes already computed
+    /// (VCs past RC) keep their old output port — the up*/down*
+    /// orientation is shared across the swap, so mixed old/new paths
+    /// remain deadlock-free (see `noc_topology::irregular`).
+    ///
+    /// The dead router's pipeline keeps running: it drains its buffered
+    /// flits and still accepts packets addressed *to* it; it is only
+    /// removed as a transit node.
+    ///
+    /// # Panics
+    /// Panics on non-irregular topologies (XY/dimension-order routing
+    /// cannot detour; use a `CutMesh` spec — possibly with zero cuts —
+    /// to make a mesh survivable), or if the kill disconnects alive
+    /// routers.
+    pub fn fail_router(&mut self, node: usize) {
+        let new_topo = Arc::new(self.topo.with_dead(node));
+        self.topo = Arc::clone(&new_topo);
+        for (i, r) in self.routers.iter_mut().enumerate() {
+            r.set_routing(RoutingAlgorithm::topo(Arc::clone(&new_topo), i));
+        }
     }
 
     /// The configuration.
@@ -468,7 +546,7 @@ impl Network {
         } else {
             threads
         };
-        let t = t.min(self.mesh.k as usize).max(1);
+        let t = t.min(self.mesh.h as usize).max(1);
         if t <= 1 {
             self.par = None;
         } else if self.threads() != t {
@@ -575,7 +653,6 @@ impl Network {
         let mut routers = Vec::new();
         let mut graph = WaitForGraph::default();
         for (id, r) in self.routers.iter().enumerate() {
-            let coord = r.coord();
             let mut vcs = Vec::new();
             for dir in Direction::ALL {
                 let port = dir.port();
@@ -609,13 +686,14 @@ impl Network {
                     };
                     // Downstream of the local port is the NI, which
                     // always drains — never part of a circular wait.
+                    // Missing links (grid edge, cut) have no downstream
+                    // buffer either, so they never carry a wait edge.
                     let downstream = |out: PortId| -> Option<(u16, u8)> {
                         if out == Direction::Local.port() {
                             return None;
                         }
-                        let d = Direction::from_port(out)?;
-                        let nb = self.mesh.neighbour(coord, d)?;
-                        Some((nb.index() as u16, d.opposite().port().0))
+                        let (nb, in_port) = self.wiring[id][out.index()]?;
+                        Some((nb as u16, in_port.0))
                     };
                     match state {
                         VcGlobalState::Active => {
@@ -737,11 +815,12 @@ impl Network {
         let util = self.utilisation();
         let max = util.iter().cloned().fold(0.0_f64, f64::max).max(1e-12);
         const RAMP: [char; 6] = ['.', ':', '-', '=', '+', '#'];
-        let k = self.mesh.k as usize;
+        let w = self.mesh.w as usize;
+        let h = self.mesh.h as usize;
         let mut out = String::new();
-        for y in 0..k {
-            for x in 0..k {
-                let u = util[y * k + x] / max;
+        for y in 0..h {
+            for x in 0..w {
+                let u = util[y * w + x] / max;
                 let ix = ((u * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
                 out.push(RAMP[ix]);
             }
@@ -855,7 +934,7 @@ impl Network {
                 id,
                 &mut self.routers[id],
                 &mut self.nis[id],
-                self.mesh,
+                &self.wiring[id],
                 &mut out,
                 &mut self.wires[slot],
                 &mut self.link_flits[id],
@@ -888,7 +967,7 @@ impl Network {
 
         let Network {
             cfg,
-            mesh,
+            wiring,
             routers,
             nis,
             wires,
@@ -926,16 +1005,18 @@ impl Network {
             let mut n_rest: &mut [NetworkInterface] = nis;
             let mut l_rest: &mut [[u64; 5]] = link_flits;
             let mut o_rest: &mut [O] = obs;
+            let mut w_rest: &[WiringRow] = wiring;
             for (scratch, &(lo, hi)) in shards.iter_mut().zip(bounds.iter()) {
                 let len = hi - lo;
                 let (r, rr) = r_rest.split_at_mut(len);
                 let (n, nn) = n_rest.split_at_mut(len);
                 let (l, ll) = l_rest.split_at_mut(len);
                 let (o, oo) = o_rest.split_at_mut(1);
-                (r_rest, n_rest, l_rest, o_rest) = (rr, nn, ll, oo);
+                let (w, ww) = w_rest.split_at(len);
+                (r_rest, n_rest, l_rest, o_rest, w_rest) = (rr, nn, ll, oo, ww);
                 tasks.push(Mutex::new(ShardCtx {
                     base: lo,
-                    mesh: *mesh,
+                    wiring: w,
                     skip_idle: *skip_idle,
                     routers: r,
                     nis: n,
@@ -1046,7 +1127,6 @@ impl Network {
             }
         }
         for id in 0..n {
-            let coord = self.routers[id].coord();
             for dir in Direction::ALL {
                 let out_port = dir.port();
                 for vc_idx in 0..v {
@@ -1058,19 +1138,16 @@ impl Network {
                         // arrival; the slot travels back as a NiCredit.
                         (0, ni_credits_in_flight[id * v + vc_idx] as usize, 0)
                     } else {
-                        match self.mesh.neighbour(coord, dir) {
-                            Some(nb) => {
-                                let down = nb.index();
-                                let in_port = dir.opposite().port();
-                                (
-                                    flits_in_flight[at(down, in_port, vc)] as usize,
-                                    credits_in_flight[at(id, out_port, vc)] as usize,
-                                    self.routers[down].port(in_port).vc(vc).occupancy(),
-                                )
-                            }
-                            // Edge "link": no downstream exists. Edge
-                            // drops restore their credit immediately,
-                            // so only queued grants can be out.
+                        match self.wiring[id][out_port.index()] {
+                            Some((down, in_port)) => (
+                                flits_in_flight[at(down, in_port, vc)] as usize,
+                                credits_in_flight[at(id, out_port, vc)] as usize,
+                                self.routers[down].port(in_port).vc(vc).occupancy(),
+                            ),
+                            // Missing link (grid edge or cut): no
+                            // downstream exists. Drops onto it restore
+                            // their credit immediately, so only queued
+                            // grants can be out.
                             None => (0, 0, 0),
                         }
                     };
@@ -1100,4 +1177,68 @@ impl Network {
             }
         }
     }
+}
+
+/// Apply the `NOC_TOPOLOGY` environment override: `mesh` (no-op),
+/// `torus` or `cutmesh<N>` (N = links to cut). Only configs still
+/// carrying the default [`TopologySpec::MeshK`] are rewritten — a config
+/// that names its topology explicitly always wins — so the existing
+/// `mesh_k`-based test matrix can be replayed on other topologies
+/// without touching any test.
+fn apply_topology_override(mut cfg: NetworkConfig) -> NetworkConfig {
+    if cfg.topology != TopologySpec::MeshK {
+        return cfg;
+    }
+    let Ok(raw) = std::env::var("NOC_TOPOLOGY") else {
+        return cfg;
+    };
+    let k = cfg.mesh_k;
+    cfg.topology = match raw.trim() {
+        "" | "mesh" => TopologySpec::MeshK,
+        "torus" => TopologySpec::Torus { w: k, h: k },
+        s if s.starts_with("cutmesh") => {
+            let cuts: u16 = s["cutmesh".len()..]
+                .parse()
+                .unwrap_or_else(|_| panic!("NOC_TOPOLOGY: bad cut count in {s:?}"));
+            // A k×k grid has 2k(k−1) links and needs n−1 to stay
+            // connected; clamp so small grids in property tests don't
+            // request more cuts than connectivity allows.
+            let n = k as u16 * k as u16;
+            let links = 2 * k as u16 * (k as u16 - 1);
+            let cuts = cuts.min(links.saturating_sub(n - 1));
+            TopologySpec::CutMesh {
+                w: k,
+                h: k,
+                cuts,
+                seed: 0xC0FFEE ^ k as u64,
+            }
+        }
+        other => {
+            panic!(
+                "NOC_TOPOLOGY: unrecognised value {other:?} (expected mesh | torus | cutmesh<N>)"
+            )
+        }
+    };
+    cfg
+}
+
+/// Precompute the per-router wiring table from the topology. For every
+/// output direction the entry names the downstream router and the input
+/// port our link enters it through; links are symmetric, so the same
+/// entry also names where the reverse credit belongs. The local port's
+/// slot stays `None` — NI traffic takes the dedicated `Eject`/`NiCredit`
+/// wires.
+fn build_wiring(topo: &Topology) -> Vec<WiringRow> {
+    (0..topo.len())
+        .map(|n| {
+            let mut row: WiringRow = [None; 5];
+            for dir in Direction::ALL {
+                if dir == Direction::Local {
+                    continue;
+                }
+                row[dir.port().index()] = topo.link(n, dir).map(|m| (m, dir.opposite().port()));
+            }
+            row
+        })
+        .collect()
 }

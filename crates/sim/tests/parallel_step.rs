@@ -7,7 +7,8 @@ use noc_faults::{FaultPlan, InjectionConfig};
 use noc_sim::stats::RouterEventTotals;
 use noc_sim::Network;
 use noc_types::{
-    Coord, DeliveredPacket, NetworkConfig, Packet, PacketId, PacketKind, RouterConfig, VcId,
+    Coord, DeliveredPacket, NetworkConfig, Packet, PacketId, PacketKind, RouterConfig,
+    TopologySpec, VcId,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -316,6 +317,54 @@ fn report_exposes_worklist_skip_rate() {
         "a 0.5%-load mesh should skip most steps, got {}",
         report.worklist_skip_rate
     );
+}
+
+/// The serial == N-threads guarantee is topology-generic: the wiring
+/// table only changes which ring slots departures land in, never when
+/// they are read, so wraparound and cut links shard identically.
+#[test]
+fn parallel_step_matches_serial_on_torus_and_cut_mesh() {
+    for (name, spec) in [
+        ("torus", TopologySpec::Torus { w: 6, h: 6 }),
+        (
+            "cutmesh",
+            TopologySpec::CutMesh {
+                w: 6,
+                h: 6,
+                cuts: 5,
+                seed: 0xC11,
+            },
+        ),
+    ] {
+        let run_spec = |threads: usize| {
+            let mut net_cfg = NetworkConfig::paper();
+            net_cfg.mesh_k = 6;
+            net_cfg.topology = spec;
+            let mut net = Network::new(net_cfg, RouterKind::Protected);
+            net.set_threads(threads);
+            let mut src = Source {
+                rng: StdRng::seed_from_u64(0x7070),
+                k: 6,
+                rate: 0.03,
+                next: 0,
+            };
+            for cycle in 0..800u64 {
+                if cycle < 550 {
+                    net.offer_packets(src.tick(cycle));
+                }
+                net.step(cycle);
+            }
+            fingerprint(&net)
+        };
+        let serial = run_spec(1);
+        for threads in [2usize, 4, 8] {
+            let parallel = run_spec(threads);
+            assert_eq!(
+                serial, parallel,
+                "divergence: topology={name} threads={threads}"
+            );
+        }
+    }
 }
 
 /// Thread counts beyond the row count clamp instead of misbehaving, and

@@ -1,0 +1,566 @@
+//! Irregular topologies: arbitrary connected subgraphs of the grid,
+//! routed by precomputed up\*/down\* tables.
+//!
+//! Cut links and dead routers break the regularity XY routing relies
+//! on, so irregular graphs use the classic *up\*/down\** scheme
+//! (Autonet): orient every link by a BFS spanning hierarchy rooted at
+//! node 0 — the endpoint with the smaller `(BFS level, id)` is *up* —
+//! and restrict every route to zero or more up hops followed by zero or
+//! more down hops. Any cycle in the channel-dependency graph would need
+//! a down→up turn somewhere, which the restriction forbids, so routing
+//! is deadlock-free on a single VC class with no mask.
+//!
+//! Within the legal paths we route greedily by two distance fields:
+//!
+//! * `D_down[n][d]` — shortest *down-only* distance from `n` to `d`
+//!   (infinite if no down-only path exists);
+//! * `D[n][d]` — `D_down` where finite, else `1 + min` over up-
+//!   neighbours of their `D` (the best "climb, then descend" cost).
+//!
+//! A node with finite `D_down` is in *down mode* and commits to
+//! descending: its next hop is the down-neighbour minimising
+//! `(D_down, id)`. Every such neighbour has finite `D_down` too, so the
+//! commitment is statelessly consistent — the packet can never turn
+//! back up, which up\*/down\* legality requires. Otherwise the node
+//! climbs via the up-neighbour minimising `(D, id)`. `D` strictly
+//! decreases while climbing and `D_down` strictly decreases while
+//! descending, so every route terminates. The cost of statelessness is
+//! that routes are shortest *within the down-commitment*, not always
+//! globally shortest among legal paths — see ARCHITECTURE.md §4.
+//!
+//! **Dead routers.** [`Irregular::with_dead`] quarantines a node: the
+//! distance relaxations never pass *through* it (it can still be a
+//! destination, and the dead router's own table entries are kept so its
+//! buffered flits drain). The BFS orientation is deliberately *not*
+//! recomputed — packets routed under the old tables and packets routed
+//! under the new ones must coexist in flight, and sharing one link
+//! orientation keeps every mixed path inside the same up\*/down\* legal
+//! set, preserving deadlock freedom across the swap.
+
+use noc_types::{Coord, Direction, Mesh, RouterId};
+
+/// Distances use this as infinity; small enough that `1 + INF` cannot
+/// wrap.
+const INF: u32 = u32::MAX / 4;
+
+/// An arbitrary connected subgraph of a `w × h` grid with up\*/down\*
+/// routing tables. Immutable after construction.
+#[derive(Debug, Clone)]
+pub struct Irregular {
+    grid: Mesh,
+    /// `active[n][dir]`: the link out of `n` through `dir` exists.
+    active: Vec<[bool; 5]>,
+    /// Routers that participate in routing (dead ones stay in the graph
+    /// but are never transited).
+    alive: Vec<bool>,
+    /// BFS level of each node in the orientation hierarchy, fixed at
+    /// construction and kept across [`Irregular::with_dead`].
+    level: Vec<u32>,
+    /// `next[n * len + d]`: direction to take at `n` towards `d`
+    /// (`Local` when `n == d` or `d` is unreachable from `n`).
+    next: Vec<Direction>,
+    /// `reach[n * len + d]`: a route from `n` to `d` exists.
+    reach: Vec<bool>,
+}
+
+/// The four non-local directions.
+const SIDES: [Direction; 4] = [
+    Direction::North,
+    Direction::East,
+    Direction::South,
+    Direction::West,
+];
+
+impl Irregular {
+    /// A full `w × h` mesh as an irregular topology — same links as
+    /// [`crate::Topology::Mesh`] but up\*/down\*-routed and therefore
+    /// able to survive [`Irregular::with_dead`].
+    pub fn from_full_mesh(w: u8, h: u8) -> Self {
+        Irregular::mesh_with_cut_links(w, h, &[])
+    }
+
+    /// A `w × h` mesh with the given bidirectional links removed. Each
+    /// cut is named from either endpoint: `(coord, direction)`.
+    ///
+    /// # Panics
+    /// Panics if a cut names a non-existent link or if the cuts
+    /// disconnect the graph.
+    pub fn mesh_with_cut_links(w: u8, h: u8, cuts: &[(Coord, Direction)]) -> Self {
+        let grid = Mesh::rect(w, h);
+        let n = grid.len();
+        let mut active = vec![[false; 5]; n];
+        for c in grid.coords() {
+            for dir in SIDES {
+                active[grid.id_of(c).index()][dir.port().index()] =
+                    grid.neighbour(c, dir).is_some();
+            }
+        }
+        let mut topo = Irregular {
+            grid,
+            active,
+            alive: vec![true; n],
+            level: vec![0; n],
+            next: Vec::new(),
+            reach: Vec::new(),
+        };
+        for &(c, dir) in cuts {
+            topo.cut(c, dir);
+        }
+        assert!(
+            topo.is_connected(),
+            "the requested cuts disconnect the {w}x{h} mesh"
+        );
+        topo.level = topo.bfs_levels();
+        topo.rebuild_tables();
+        topo
+    }
+
+    /// A `w × h` mesh with `cuts` links removed, chosen deterministically
+    /// from `seed` while keeping the graph connected (candidate cuts that
+    /// would disconnect it are skipped).
+    ///
+    /// # Panics
+    /// Panics if fewer than `cuts` links can be removed without
+    /// disconnecting the graph.
+    pub fn random_cuts(w: u8, h: u8, cuts: u16, seed: u64) -> Self {
+        let mut topo = Irregular::mesh_with_cut_links(w, h, &[]);
+        // Candidate pool: every internal link once (from its west/north
+        // endpoint).
+        let mut pool: Vec<(Coord, Direction)> = Vec::new();
+        for c in topo.grid.coords() {
+            for dir in [Direction::East, Direction::South] {
+                if topo.grid.neighbour(c, dir).is_some() {
+                    pool.push((c, dir));
+                }
+            }
+        }
+        let mut rng = seed ^ 0x9E3779B97F4A7C15;
+        let mut done = 0u16;
+        while done < cuts && !pool.is_empty() {
+            let ix = (splitmix64(&mut rng) % pool.len() as u64) as usize;
+            let (c, dir) = pool.swap_remove(ix);
+            topo.cut(c, dir);
+            if topo.is_connected() {
+                done += 1;
+            } else {
+                topo.uncut(c, dir);
+            }
+        }
+        assert!(
+            done == cuts,
+            "only {done} of {cuts} requested cuts keep the {w}x{h} mesh connected"
+        );
+        topo.level = topo.bfs_levels();
+        topo.rebuild_tables();
+        topo
+    }
+
+    /// A new topology with `node` declared dead (see module docs).
+    ///
+    /// # Panics
+    /// Panics if the quarantine disconnects any pair of *alive* routers
+    /// — killing a cut vertex has no deadlock-free answer here.
+    pub fn with_dead(&self, node: usize) -> Self {
+        assert!(node < self.grid.len(), "dead node id out of range");
+        let mut topo = self.clone();
+        topo.alive[node] = false;
+        topo.rebuild_tables();
+        for n in 0..topo.grid.len() {
+            for d in 0..topo.grid.len() {
+                if topo.alive[n] && topo.alive[d] {
+                    assert!(
+                        topo.reach[n * topo.grid.len() + d],
+                        "declaring router {node} dead disconnects {n} from {d}"
+                    );
+                }
+            }
+        }
+        topo
+    }
+
+    /// The bounding grid.
+    #[inline]
+    pub fn grid(&self) -> Mesh {
+        self.grid
+    }
+
+    /// Whether `node` participates in routing.
+    #[inline]
+    pub fn is_alive(&self, node: usize) -> bool {
+        self.alive[node]
+    }
+
+    /// The neighbour reached through `dir`, if that link is active.
+    #[inline]
+    pub fn link(&self, node: usize, dir: Direction) -> Option<usize> {
+        if dir == Direction::Local || !self.active[node][dir.port().index()] {
+            return None;
+        }
+        self.grid
+            .neighbour(self.grid.coord_of(RouterId(node as u16)), dir)
+            .map(|id| id.index())
+    }
+
+    /// Next-hop direction at `node` towards `dst` (`Local` when
+    /// `node == dst` or `dst` is unreachable).
+    #[inline]
+    pub fn route(&self, node: usize, dst: usize) -> Direction {
+        self.next[node * self.grid.len() + dst]
+    }
+
+    /// Whether a route from `node` to `dst` exists.
+    #[inline]
+    pub fn reachable(&self, node: usize, dst: usize) -> bool {
+        self.reach[node * self.grid.len() + dst]
+    }
+
+    /// Number of active bidirectional links.
+    pub fn link_count(&self) -> usize {
+        let mut n = 0;
+        for node in 0..self.grid.len() {
+            for dir in [Direction::East, Direction::South] {
+                if self.link(node, dir).is_some() {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    fn cut(&mut self, c: Coord, dir: Direction) {
+        let here = self.grid.id_of(c).index();
+        let there = self
+            .grid
+            .neighbour(c, dir)
+            .unwrap_or_else(|| panic!("cut names a non-existent link: {c} {dir}"))
+            .index();
+        assert!(
+            self.active[here][dir.port().index()],
+            "link {c} {dir} is already cut"
+        );
+        self.active[here][dir.port().index()] = false;
+        self.active[there][dir.opposite().port().index()] = false;
+    }
+
+    fn uncut(&mut self, c: Coord, dir: Direction) {
+        let here = self.grid.id_of(c).index();
+        let there = self
+            .grid
+            .neighbour(c, dir)
+            .expect("uncut of a grid edge")
+            .index();
+        self.active[here][dir.port().index()] = true;
+        self.active[there][dir.opposite().port().index()] = true;
+    }
+
+    /// Active neighbours of `node`, as `(direction, neighbour id)`.
+    fn neighbours(&self, node: usize) -> impl Iterator<Item = (Direction, usize)> + '_ {
+        SIDES
+            .iter()
+            .filter_map(move |&dir| self.link(node, dir).map(|m| (dir, m)))
+    }
+
+    /// Whether all alive nodes form one connected component over active
+    /// links (dead nodes don't count and don't conduct).
+    fn is_connected(&self) -> bool {
+        let n = self.grid.len();
+        let Some(start) = (0..n).find(|&i| self.alive[i]) else {
+            return true;
+        };
+        let mut seen = vec![false; n];
+        let mut queue = vec![start];
+        seen[start] = true;
+        let mut count = 1;
+        while let Some(u) = queue.pop() {
+            for (_, v) in self.neighbours(u) {
+                if self.alive[v] && !seen[v] {
+                    seen[v] = true;
+                    count += 1;
+                    queue.push(v);
+                }
+            }
+        }
+        count == (0..n).filter(|&i| self.alive[i]).count()
+    }
+
+    /// BFS levels from node 0 over active links (alive nodes only at
+    /// construction time, when everything is alive).
+    fn bfs_levels(&self) -> Vec<u32> {
+        let n = self.grid.len();
+        let mut level = vec![u32::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        level[0] = 0;
+        queue.push_back(0usize);
+        while let Some(u) = queue.pop_front() {
+            for (_, v) in self.neighbours(u) {
+                if level[v] == u32::MAX {
+                    level[v] = level[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        assert!(
+            level.iter().all(|&l| l != u32::MAX),
+            "orientation BFS must reach every node of a connected graph"
+        );
+        level
+    }
+
+    /// `true` if the hop `from → to` goes *up* the orientation hierarchy.
+    #[inline]
+    fn is_up(&self, from: usize, to: usize) -> bool {
+        (self.level[to], to) < (self.level[from], from)
+    }
+
+    /// Recompute `D_down`, `D`, and the next-hop/reachability tables from
+    /// the current link set, liveness and (fixed) orientation.
+    fn rebuild_tables(&mut self) {
+        let n = self.grid.len();
+        // Down-only shortest distances. Down edges strictly increase
+        // (level, id), so the relaxation reaches a fixpoint in at most n
+        // sweeps; the graph is tiny (n ≤ 65k, typically ≤ 256).
+        let mut d_down = vec![INF; n * n];
+        for d in 0..n {
+            d_down[d * n + d] = 0;
+        }
+        loop {
+            let mut changed = false;
+            for node in 0..n {
+                for (_, m) in self.neighbours(node).collect::<Vec<_>>() {
+                    if self.is_up(node, m) {
+                        continue; // only down hops
+                    }
+                    for d in 0..n {
+                        if !self.alive[m] && m != d {
+                            continue; // never transit a dead router
+                        }
+                        let cand = 1 + d_down[m * n + d];
+                        if cand < d_down[node * n + d] {
+                            d_down[node * n + d] = cand;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Full metric: climb cost where no down-only path exists. Up
+        // edges strictly decrease (level, id) — acyclic, so this also
+        // reaches a fixpoint.
+        let mut dist = d_down.clone();
+        loop {
+            let mut changed = false;
+            for node in 0..n {
+                for (_, m) in self.neighbours(node).collect::<Vec<_>>() {
+                    if !self.is_up(node, m) {
+                        continue; // only up hops
+                    }
+                    for d in 0..n {
+                        if d_down[node * n + d] != INF {
+                            continue; // down mode is committed
+                        }
+                        if !self.alive[m] && m != d {
+                            continue;
+                        }
+                        let cand = 1 + dist[m * n + d];
+                        if cand < dist[node * n + d] {
+                            dist[node * n + d] = cand;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Next hops.
+        let mut next = vec![Direction::Local; n * n];
+        let mut reach = vec![false; n * n];
+        for node in 0..n {
+            for d in 0..n {
+                if node == d {
+                    reach[node * n + d] = true;
+                    continue;
+                }
+                let down_mode = d_down[node * n + d] != INF;
+                let mut best: Option<(u32, usize, Direction)> = None;
+                for (dir, m) in self.neighbours(node) {
+                    if !self.alive[m] && m != d {
+                        continue;
+                    }
+                    if self.is_up(node, m) == down_mode {
+                        continue; // down mode takes down hops, up mode up hops
+                    }
+                    let metric = if down_mode {
+                        d_down[m * n + d]
+                    } else {
+                        dist[m * n + d]
+                    };
+                    if metric == INF {
+                        continue;
+                    }
+                    if best.is_none_or(|(bm, bid, _)| (metric, m) < (bm, bid)) {
+                        best = Some((metric, m, dir));
+                    }
+                }
+                if let Some((_, _, dir)) = best {
+                    next[node * n + d] = dir;
+                    reach[node * n + d] = true;
+                }
+            }
+        }
+        self.next = next;
+        self.reach = reach;
+    }
+}
+
+/// SplitMix64 — a tiny, seedable, dependency-free PRNG for the
+/// deterministic cut selection.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Follow the tables from `src` to `dst`, returning the node path.
+    fn walk(t: &Irregular, src: usize, dst: usize) -> Vec<usize> {
+        let mut here = src;
+        let mut path = vec![src];
+        for _ in 0..2 * t.grid().len() + 2 {
+            let dir = t.route(here, dst);
+            if dir == Direction::Local {
+                assert_eq!(here, dst, "route parked short of the destination");
+                return path;
+            }
+            here = t.link(here, dir).expect("route uses only active links");
+            path.push(here);
+        }
+        panic!("route {src}→{dst} did not terminate: {path:?}");
+    }
+
+    #[test]
+    fn full_mesh_routes_every_pair() {
+        let t = Irregular::from_full_mesh(4, 3);
+        for s in 0..12 {
+            for d in 0..12 {
+                assert!(t.reachable(s, d));
+                walk(&t, s, d);
+            }
+        }
+    }
+
+    #[test]
+    fn paths_are_up_then_down() {
+        let t = Irregular::random_cuts(5, 5, 6, 0xD1CE);
+        for s in 0..25 {
+            for d in 0..25 {
+                let path = walk(&t, s, d);
+                let mut descending = false;
+                for hop in path.windows(2) {
+                    let up = t.is_up(hop[0], hop[1]);
+                    if !up {
+                        descending = true;
+                    } else {
+                        assert!(!descending, "illegal down→up turn in {path:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_cuts_are_respected() {
+        let cut = (Coord::new(1, 1), Direction::East);
+        let t = Irregular::mesh_with_cut_links(4, 4, &[cut]);
+        let a = t.grid().id_of(Coord::new(1, 1)).index();
+        let b = t.grid().id_of(Coord::new(2, 1)).index();
+        assert_eq!(t.link(a, Direction::East), None);
+        assert_eq!(t.link(b, Direction::West), None);
+        assert_eq!(t.link_count(), 24 - 1);
+        let path = walk(&t, a, b);
+        assert!(path.len() > 2, "route detours around the cut link");
+    }
+
+    #[test]
+    fn random_cuts_are_deterministic_and_counted() {
+        let a = Irregular::random_cuts(8, 8, 4, 42);
+        let b = Irregular::random_cuts(8, 8, 4, 42);
+        assert_eq!(a.link_count(), b.link_count());
+        assert_eq!(a.next, b.next, "same seed, same tables");
+        assert_eq!(a.link_count(), 2 * 8 * 7 - 4);
+        let c = Irregular::random_cuts(8, 8, 4, 43);
+        assert_eq!(c.link_count(), a.link_count(), "same number of cuts");
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnect")]
+    fn disconnecting_cuts_panic() {
+        // Cutting both links of a 2x2 corner isolates it.
+        Irregular::mesh_with_cut_links(
+            2,
+            2,
+            &[
+                (Coord::new(0, 0), Direction::East),
+                (Coord::new(0, 0), Direction::South),
+            ],
+        );
+    }
+
+    #[test]
+    fn dead_router_is_never_transited() {
+        let t = Irregular::from_full_mesh(5, 5);
+        let dead = t.grid().id_of(Coord::new(2, 2)).index();
+        let t = t.with_dead(dead);
+        for s in 0..25 {
+            for d in 0..25 {
+                if s == dead {
+                    continue;
+                }
+                if d == dead {
+                    // Still reachable as a destination (it drains/accepts).
+                    assert!(t.reachable(s, d));
+                    continue;
+                }
+                let path = walk(&t, s, d);
+                assert!(
+                    !path[..path.len() - 1].contains(&dead),
+                    "route {s}→{d} transits the dead router: {path:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dead_router_still_drains_its_own_buffers() {
+        let t = Irregular::from_full_mesh(4, 4).with_dead(5);
+        for d in 0..16 {
+            if d != 5 {
+                let path = walk(&t, 5, d);
+                assert_eq!(*path.last().unwrap(), d);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnects")]
+    fn killing_a_cut_vertex_panics() {
+        // On a 1-wide strip every interior node is a cut vertex.
+        Irregular::from_full_mesh(3, 1).with_dead(1);
+    }
+
+    #[test]
+    fn orientation_survives_a_kill() {
+        let base = Irregular::random_cuts(6, 6, 5, 0xFEED);
+        let killed = base.with_dead(14);
+        assert_eq!(base.level, killed.level, "BFS orientation is kept");
+    }
+}

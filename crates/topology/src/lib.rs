@@ -1,0 +1,317 @@
+//! # noc-topology
+//!
+//! The network-graph layer of the workspace: which routers exist, which
+//! links connect them, and how a packet at one node reaches another.
+//!
+//! The paper evaluates its router inside an 8×8 XY-routed mesh
+//! (Section VII-B) and leaves network-level fault handling to future
+//! work. This crate supplies that complement: three topology families
+//! over a shared rectangular coordinate grid, each with a deadlock-free
+//! deterministic routing function —
+//!
+//! * [`Topology::Mesh`] — rectangular `w × h` mesh, XY routing (the
+//!   paper's configuration when `w = h = 8`);
+//! * [`Topology::Torus`] — wraparound links in both dimensions,
+//!   dimension-order routing with minimal wrap, and a *dateline*
+//!   virtual-channel scheme that keeps the ring cycles acyclic (see
+//!   [`torus`] and ARCHITECTURE.md §4);
+//! * [`Topology::Irregular`] — an arbitrary connected subgraph of the
+//!   grid (cut links, dead routers) routed by precomputed up\*/down\*
+//!   tables ([`irregular`]), the classic scheme for irregular networks.
+//!
+//! Routes are `(output direction, VC class)` pairs: topologies whose
+//! deadlock-freedom argument needs VC classes (the torus) restrict the
+//! downstream VCs a hop may use; the others leave the class
+//! unconstrained. The router core turns the class into a bitmask over
+//! its `V` virtual channels.
+//!
+//! Everything here is pure data + arithmetic: the simulator owns wires
+//! and credits, the router core owns the pipeline. A `Topology` is
+//! immutable once built — declaring a router dead
+//! ([`Topology::with_dead`]) produces a *new* value with recomputed
+//! tables, which the simulator swaps in atomically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod irregular;
+pub mod torus;
+
+pub use irregular::Irregular;
+
+use noc_types::{Direction, Mesh, NetworkConfig, TopologySpec};
+
+/// Which class of downstream virtual channels a routed hop may use.
+///
+/// Classes split the `V` VCs of a port into a lower half (`0 .. V/2`)
+/// and an upper half (`V/2 .. V`). The torus dateline scheme assigns
+/// every hop one of the halves; meshes and irregular graphs don't need
+/// the restriction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VcClass {
+    /// Any VC of the downstream port.
+    Any,
+    /// Only VCs `0 .. V/2` (torus: the packet still has the current
+    /// dimension's dateline ahead of it).
+    Lower,
+    /// Only VCs `V/2 .. V` (torus: the packet has crossed — or will
+    /// never cross — the current dimension's dateline).
+    Upper,
+}
+
+impl VcClass {
+    /// The bitmask over VC indices `0..vcs` this class permits.
+    ///
+    /// `Lower`/`Upper` require `vcs >= 2` (validated by
+    /// `NetworkConfig::validate` for the torus).
+    #[inline]
+    pub fn mask(self, vcs: usize) -> u32 {
+        debug_assert!((1..=32).contains(&vcs));
+        let all = if vcs >= 32 { !0 } else { (1u32 << vcs) - 1 };
+        match self {
+            VcClass::Any => all,
+            VcClass::Lower => (1u32 << (vcs / 2)) - 1,
+            VcClass::Upper => all & !((1u32 << (vcs / 2)) - 1),
+        }
+    }
+}
+
+/// A concrete network graph: nodes embedded in a rectangular grid,
+/// links, liveness, and a deterministic deadlock-free routing function.
+#[derive(Debug, Clone)]
+pub enum Topology {
+    /// Rectangular mesh, XY-routed.
+    Mesh(Mesh),
+    /// Torus (wraparound mesh), dimension-order routed with dateline VCs.
+    Torus(Mesh),
+    /// Connected subgraph of the grid with precomputed routing tables.
+    Irregular(Irregular),
+}
+
+impl Topology {
+    /// Build the topology a [`NetworkConfig`] describes.
+    ///
+    /// # Panics
+    /// Panics if the config is invalid for its topology (zero-sized
+    /// grid, a `CutMesh` whose requested cuts would disconnect it, …).
+    pub fn from_spec(cfg: &NetworkConfig) -> Topology {
+        let (w, h) = cfg.dims();
+        match cfg.topology {
+            TopologySpec::MeshK | TopologySpec::Mesh { .. } => Topology::Mesh(Mesh::rect(w, h)),
+            TopologySpec::Torus { .. } => Topology::Torus(Mesh::rect(w, h)),
+            TopologySpec::CutMesh { cuts, seed, .. } => {
+                Topology::Irregular(Irregular::random_cuts(w, h, cuts, seed))
+            }
+        }
+    }
+
+    /// The bounding coordinate grid (id ↔ coordinate mapping is always
+    /// the grid's row-major one, independent of which links exist).
+    #[inline]
+    pub fn grid(&self) -> Mesh {
+        match self {
+            Topology::Mesh(g) | Topology::Torus(g) => *g,
+            Topology::Irregular(ir) => ir.grid(),
+        }
+    }
+
+    /// Number of nodes (dead routers included — they keep their id).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.grid().len()
+    }
+
+    /// Whether the topology has no nodes (never: grids are non-empty).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// A short lowercase tag (`mesh` / `torus` / `irregular`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Topology::Mesh(_) => "mesh",
+            Topology::Torus(_) => "torus",
+            Topology::Irregular(_) => "irregular",
+        }
+    }
+
+    /// The node reached by leaving `node` through `dir`, if such a link
+    /// exists. `Local` never has a link.
+    pub fn link(&self, node: usize, dir: Direction) -> Option<usize> {
+        if dir == Direction::Local {
+            return None;
+        }
+        match self {
+            Topology::Mesh(g) => g
+                .neighbour(g.coord_of(noc_types::RouterId(node as u16)), dir)
+                .map(|id| id.index()),
+            Topology::Torus(g) => {
+                let c = g.coord_of(noc_types::RouterId(node as u16));
+                let n = c.step_wrapping(dir, g.w, g.h);
+                // A 1-wide ring would self-link; the torus validator
+                // forbids those grids, but stay defensive.
+                let id = g.id_of(n).index();
+                if id == node {
+                    None
+                } else {
+                    Some(id)
+                }
+            }
+            Topology::Irregular(ir) => ir.link(node, dir),
+        }
+    }
+
+    /// Route one hop: the output direction a packet at `node` headed for
+    /// `dst` must take, and the class of downstream VCs it may claim.
+    ///
+    /// Deterministic and total; `node == dst` routes `Local`.
+    pub fn route(&self, node: usize, dst: usize) -> (Direction, VcClass) {
+        match self {
+            Topology::Mesh(g) => {
+                let here = g.coord_of(noc_types::RouterId(node as u16));
+                let to = g.coord_of(noc_types::RouterId(dst as u16));
+                (g.xy_route(here, to), VcClass::Any)
+            }
+            Topology::Torus(g) => {
+                let here = g.coord_of(noc_types::RouterId(node as u16));
+                let to = g.coord_of(noc_types::RouterId(dst as u16));
+                torus::route(*g, here, to)
+            }
+            Topology::Irregular(ir) => (ir.route(node, dst), VcClass::Any),
+        }
+    }
+
+    /// Whether `node` is alive (participates in routing). Always true
+    /// for mesh and torus; irregular graphs may have dead routers.
+    pub fn is_alive(&self, node: usize) -> bool {
+        match self {
+            Topology::Mesh(_) | Topology::Torus(_) => true,
+            Topology::Irregular(ir) => ir.is_alive(node),
+        }
+    }
+
+    /// Whether a packet injected at `node` can reach `dst` under this
+    /// topology's routing (always true on mesh/torus).
+    pub fn reachable(&self, node: usize, dst: usize) -> bool {
+        match self {
+            Topology::Mesh(_) | Topology::Torus(_) => true,
+            Topology::Irregular(ir) => ir.reachable(node, dst),
+        }
+    }
+
+    /// The ids of all alive nodes, in grid (row-major) order — the node
+    /// set traffic generators sample from and the canonical order the
+    /// sharded stepper partitions.
+    pub fn alive_nodes(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&n| self.is_alive(n)).collect()
+    }
+
+    /// A new topology with `node` declared dead: excluded as a routing
+    /// transit node, tables recomputed around it. The dead router keeps
+    /// its id and links so packets already queued inside it can drain,
+    /// and packets addressed *to* it are still routed toward it where a
+    /// path exists.
+    ///
+    /// Supported on [`Topology::Irregular`] only (mesh/torus dimension-
+    /// order routing cannot detour); convert via
+    /// [`Irregular::from_full_mesh`] first if needed.
+    ///
+    /// # Panics
+    /// Panics if the variant is not `Irregular`, or if removing the
+    /// node disconnects any pair of alive routers.
+    pub fn with_dead(&self, node: usize) -> Topology {
+        match self {
+            Topology::Irregular(ir) => Topology::Irregular(ir.with_dead(node)),
+            _ => panic!(
+                "with_dead is only supported on irregular topologies \
+                 (build one with Irregular::from_full_mesh)"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vc_class_masks_partition_the_vcs() {
+        for vcs in [2usize, 3, 4, 8, 32] {
+            let any = VcClass::Any.mask(vcs);
+            let lo = VcClass::Lower.mask(vcs);
+            let hi = VcClass::Upper.mask(vcs);
+            assert_eq!(lo | hi, any, "classes cover all VCs (vcs={vcs})");
+            assert_eq!(lo & hi, 0, "classes are disjoint (vcs={vcs})");
+            assert!(lo != 0 && hi != 0, "both classes non-empty (vcs={vcs})");
+            assert_eq!(any.count_ones() as usize, vcs);
+        }
+    }
+
+    #[test]
+    fn from_spec_builds_each_family() {
+        let mut cfg = NetworkConfig::paper();
+        assert_eq!(Topology::from_spec(&cfg).tag(), "mesh");
+        cfg.topology = noc_types::TopologySpec::Torus { w: 4, h: 4 };
+        assert_eq!(Topology::from_spec(&cfg).tag(), "torus");
+        cfg.topology = noc_types::TopologySpec::CutMesh {
+            w: 4,
+            h: 4,
+            cuts: 2,
+            seed: 7,
+        };
+        let t = Topology::from_spec(&cfg);
+        assert_eq!(t.tag(), "irregular");
+        assert_eq!(t.len(), 16);
+        assert_eq!(t.alive_nodes().len(), 16);
+    }
+
+    #[test]
+    fn mesh_links_match_grid_neighbours() {
+        let cfg = NetworkConfig::paper();
+        let t = Topology::from_spec(&cfg);
+        let g = t.grid();
+        for n in 0..t.len() {
+            let c = g.coord_of(noc_types::RouterId(n as u16));
+            for d in Direction::ALL {
+                assert_eq!(t.link(n, d), g.neighbour(c, d).map(|id| id.index()));
+            }
+        }
+    }
+
+    #[test]
+    fn torus_links_wrap_and_are_symmetric() {
+        let mut cfg = NetworkConfig::paper();
+        cfg.topology = noc_types::TopologySpec::Torus { w: 4, h: 3 };
+        let t = Topology::from_spec(&cfg);
+        for n in 0..t.len() {
+            for d in [
+                Direction::North,
+                Direction::East,
+                Direction::South,
+                Direction::West,
+            ] {
+                let m = t.link(n, d).expect("every torus port is wired");
+                assert_eq!(t.link(m, d.opposite()), Some(n), "symmetric link");
+            }
+        }
+        // Wraparound spot check: (0,0) west → (3,0) = id 3.
+        assert_eq!(t.link(0, Direction::West), Some(3));
+    }
+
+    #[test]
+    fn mesh_route_agrees_with_xy() {
+        let cfg = NetworkConfig::paper();
+        let t = Topology::from_spec(&cfg);
+        let g = t.grid();
+        for n in 0..t.len() {
+            for d in 0..t.len() {
+                let (dir, class) = t.route(n, d);
+                let here = g.coord_of(noc_types::RouterId(n as u16));
+                let to = g.coord_of(noc_types::RouterId(d as u16));
+                assert_eq!(dir, g.xy_route(here, to));
+                assert_eq!(class, VcClass::Any);
+            }
+        }
+    }
+}

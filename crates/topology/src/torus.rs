@@ -1,0 +1,192 @@
+//! Torus routing: dimension-order with minimal wrap, dateline VCs.
+//!
+//! A `w × h` torus adds wraparound links to the mesh, halving worst-case
+//! hop counts — and closing each row and column into a ring, which makes
+//! naive dimension-order routing deadlock-prone: the channels of a ring
+//! form a cycle in the channel-dependency graph.
+//!
+//! The classic fix (Dally & Seitz) is a *dateline* per dimension: one
+//! designated edge of each ring — here the wraparound edge between
+//! `x = w-1` and `x = 0` (and `y = h-1` / `y = 0`) in either direction.
+//! Downstream buffers are split into two classes, and a hop's class is
+//! determined by whether the packet still has the current dimension's
+//! dateline ahead of it:
+//!
+//! * **class 0 (lower VCs)** — the remaining path in this dimension,
+//!   *after* the hop lands, still crosses the dateline;
+//! * **class 1 (upper VCs)** — the hop crosses the dateline itself, or
+//!   the packet's path in this dimension never crosses it.
+//!
+//! Why this breaks every cycle: within one ring, class-0 buffers only
+//! depend on each other along arcs that stop strictly before the
+//! dateline edge (a class-0 hop *into* the dateline is impossible — if
+//! the dateline is the next edge, the remaining path after it no longer
+//! crosses it, making the hop class 1). So the class-0 subgraph is a
+//! broken ring: acyclic. The class-1 subgraph likewise never uses the
+//! dateline edge *towards* more class-1 hops in a cycle — a class-1
+//! packet has no dateline ahead, so its remaining arc never wraps, and
+//! the dependencies form chains, not cycles. Transitions only go
+//! 0 → 1 (crossing is irreversible), so the combined graph is acyclic.
+//! Across dimensions, strict X-before-Y ordering keeps inter-dimension
+//! dependencies acyclic exactly as on the mesh. The property test
+//! `dateline_classes_break_every_ring_cycle` checks the full
+//! channel-dependency graph mechanically.
+
+use crate::VcClass;
+use noc_types::{Coord, Direction, Mesh};
+
+/// Minimal wrap-aware distance between two coordinates on the torus.
+pub fn distance(grid: Mesh, a: Coord, b: Coord) -> u32 {
+    let dim = |p: u8, q: u8, k: u8| -> u32 {
+        let fwd = (q as u32 + k as u32 - p as u32) % k as u32;
+        fwd.min(k as u32 - fwd)
+    };
+    dim(a.x, b.x, grid.w) + dim(a.y, b.y, grid.h)
+}
+
+/// One routing decision: output direction and downstream VC class for a
+/// packet at `here` headed for `dst`.
+///
+/// Dimension-order: X resolves fully before Y. Within a dimension the
+/// shorter way around the ring wins; ties break towards East/South so
+/// the function stays deterministic on even-sided rings.
+pub fn route(grid: Mesh, here: Coord, dst: Coord) -> (Direction, VcClass) {
+    if here.x != dst.x {
+        let w = grid.w as u16;
+        let east = (dst.x as u16 + w - here.x as u16) % w;
+        let west = w - east;
+        if east <= west {
+            let next = if here.x as u16 + 1 == w {
+                0
+            } else {
+                here.x + 1
+            };
+            (Direction::East, class_for(next > dst.x))
+        } else {
+            let next = if here.x == 0 { grid.w - 1 } else { here.x - 1 };
+            (Direction::West, class_for(next < dst.x))
+        }
+    } else if here.y != dst.y {
+        let h = grid.h as u16;
+        let south = (dst.y as u16 + h - here.y as u16) % h;
+        let north = h - south;
+        if south <= north {
+            let next = if here.y as u16 + 1 == h {
+                0
+            } else {
+                here.y + 1
+            };
+            (Direction::South, class_for(next > dst.y))
+        } else {
+            let next = if here.y == 0 { grid.h - 1 } else { here.y - 1 };
+            (Direction::North, class_for(next < dst.y))
+        }
+    } else {
+        (Direction::Local, VcClass::Any)
+    }
+}
+
+/// Class 0 (lower) while the dateline is still ahead, class 1 (upper)
+/// from the crossing hop onwards and for paths that never cross.
+#[inline]
+fn class_for(dateline_still_ahead: bool) -> VcClass {
+    if dateline_still_ahead {
+        VcClass::Lower
+    } else {
+        VcClass::Upper
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn walk(grid: Mesh, src: Coord, dst: Coord) -> Vec<(Coord, Direction, VcClass)> {
+        let mut here = src;
+        let mut hops = Vec::new();
+        for _ in 0..4 * grid.len() {
+            let (dir, class) = route(grid, here, dst);
+            if dir == Direction::Local {
+                return hops;
+            }
+            hops.push((here, dir, class));
+            here = here.step_wrapping(dir, grid.w, grid.h);
+        }
+        panic!("route from {src} to {dst} did not terminate");
+    }
+
+    #[test]
+    fn routes_are_minimal_and_terminate() {
+        for (w, h) in [(4u8, 4u8), (5, 3), (2, 6)] {
+            let g = Mesh::rect(w, h);
+            for src in g.coords() {
+                for dst in g.coords() {
+                    let hops = walk(g, src, dst);
+                    assert_eq!(
+                        hops.len() as u32,
+                        distance(g, src, dst),
+                        "non-minimal route {src}→{dst} on {w}x{h}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn x_resolves_before_y() {
+        let g = Mesh::rect(4, 4);
+        for (here, dir, _) in walk(g, Coord::new(0, 0), Coord::new(2, 2)) {
+            if here.x != 2 {
+                assert_eq!(dir, Direction::East);
+            } else {
+                assert_eq!(dir, Direction::South);
+            }
+        }
+    }
+
+    #[test]
+    fn wrap_is_taken_when_shorter() {
+        let g = Mesh::rect(8, 8);
+        // 0 → 6 eastwards is 6 hops, westwards (wrapping) is 2.
+        let (dir, _) = route(g, Coord::new(0, 0), Coord::new(6, 0));
+        assert_eq!(dir, Direction::West);
+        // Tie on an even ring breaks East.
+        let (dir, _) = route(g, Coord::new(0, 0), Coord::new(4, 0));
+        assert_eq!(dir, Direction::East);
+    }
+
+    #[test]
+    fn class_becomes_upper_at_the_dateline_crossing() {
+        let g = Mesh::rect(4, 1);
+        // 3 → 1 on a 5-ring: west is shorter (2 vs 3) and the path
+        // 3→2→1 never wraps, so every hop is Upper.
+        let hops = walk(Mesh::rect(5, 1), Coord::new(3, 0), Coord::new(1, 0));
+        assert!(hops
+            .iter()
+            .all(|&(_, d, c)| d == Direction::West && c == VcClass::Upper));
+        // 3 → 0 on a 4-ring: east = 1 (crossing hop) → Upper immediately.
+        let hops = walk(g, Coord::new(3, 0), Coord::new(0, 0));
+        assert_eq!(
+            hops,
+            vec![(Coord::new(3, 0), Direction::East, VcClass::Upper)]
+        );
+        // 2 → 0 on a 4-ring going east: first hop still has the dateline
+        // ahead → Lower, the crossing hop → Upper.
+        let hops = walk(g, Coord::new(2, 0), Coord::new(0, 0));
+        assert_eq!(
+            hops,
+            vec![
+                (Coord::new(2, 0), Direction::East, VcClass::Lower),
+                (Coord::new(3, 0), Direction::East, VcClass::Upper),
+            ]
+        );
+    }
+
+    #[test]
+    fn non_wrapping_paths_use_upper_class_throughout() {
+        let g = Mesh::rect(6, 6);
+        for (_, _, class) in walk(g, Coord::new(1, 1), Coord::new(3, 3)) {
+            assert_eq!(class, VcClass::Upper, "no wrap → dateline never ahead");
+        }
+    }
+}

@@ -77,6 +77,14 @@ struct PendingResponse {
 pub struct TrafficGenerator {
     cfg: TrafficConfig,
     mesh: Mesh,
+    /// The nodes packets may originate at or target: every grid
+    /// coordinate by default, the topology's alive-node set under
+    /// [`TrafficGenerator::for_topology`].
+    nodes: Vec<Coord>,
+    /// Whether `nodes` covers the whole grid (lets uniform draws sample
+    /// coordinates directly instead of indexing the node list, which
+    /// keeps the RNG stream of existing mesh campaigns unchanged).
+    all_nodes: bool,
     rng: StdRng,
     next_id: u64,
     /// App model, if the spec is an application.
@@ -108,6 +116,8 @@ impl TrafficGenerator {
         TrafficGenerator {
             cfg,
             mesh,
+            nodes: mesh.coords().collect(),
+            all_nodes: true,
             rng: StdRng::seed_from_u64(seed),
             next_id: 0,
             app,
@@ -116,6 +126,25 @@ impl TrafficGenerator {
             requests_issued: 0,
             responses_issued: 0,
         }
+    }
+
+    /// Build a generator whose sources and destinations are the
+    /// topology's alive-node set (identical to [`TrafficGenerator::new`]
+    /// on a full grid). Deterministic patterns whose image leaves the
+    /// node set have those packets skipped, like self-addressed ones.
+    pub fn for_topology(cfg: TrafficConfig, topo: &noc_topology::Topology, seed: u64) -> Self {
+        let mesh = topo.grid();
+        let nodes: Vec<Coord> = topo
+            .alive_nodes()
+            .into_iter()
+            .map(|n| mesh.coord_of(noc_types::RouterId(n as u16)))
+            .collect();
+        let all_nodes = nodes.len() == mesh.len();
+        let mut g = TrafficGenerator::new(cfg, mesh, seed);
+        g.node_on = vec![true; nodes.len()];
+        g.nodes = nodes;
+        g.all_nodes = all_nodes;
+        g
     }
 
     /// The configuration in use.
@@ -159,13 +188,27 @@ impl TrafficGenerator {
         out: &mut Vec<Packet>,
     ) {
         let mesh = self.mesh;
-        for src in mesh.coords() {
+        for ix in 0..self.nodes.len() {
+            let src = self.nodes[ix];
             if self.rng.random::<f64>() >= rate {
                 continue;
             }
-            let dst = pattern.destination(src, mesh, &mut self.rng);
+            let dst = if self.all_nodes || !matches!(pattern, SyntheticPattern::UniformRandom) {
+                pattern.destination(src, mesh, &mut self.rng)
+            } else {
+                // Restricted node set: draw uniformly from it directly.
+                loop {
+                    let d = self.nodes[self.rng.random_range(0..self.nodes.len())];
+                    if d != src || self.nodes.len() == 1 {
+                        break d;
+                    }
+                }
+            };
             if dst == src {
                 continue; // deterministic patterns may self-address; skip
+            }
+            if !self.all_nodes && !self.nodes.contains(&dst) {
+                continue; // pattern image left the alive-node set; skip
             }
             let kind = if self.rng.random::<f64>() < data_fraction {
                 PacketKind::Data
@@ -198,8 +241,8 @@ impl TrafficGenerator {
             // Stationary distribution: P(on) = duty.
             (BURST_EXIT_P * duty / (1.0 - duty)).min(1.0)
         };
-        let mesh = self.mesh;
-        for (ix, src) in mesh.coords().enumerate() {
+        for ix in 0..self.nodes.len() {
+            let src = self.nodes[ix];
             // Burst state transition.
             let on = self.node_on[ix];
             let flip = self.rng.random::<f64>();
@@ -239,8 +282,9 @@ impl TrafficGenerator {
     fn home_node(&mut self, src: Coord, locality: f64) -> Coord {
         if self.rng.random::<f64>() < locality {
             let near: Vec<Coord> = self
-                .mesh
-                .coords()
+                .nodes
+                .iter()
+                .copied()
                 .filter(|&c| c != src && c.manhattan(src) <= 2)
                 .collect();
             if !near.is_empty() {
@@ -248,11 +292,15 @@ impl TrafficGenerator {
             }
         }
         loop {
-            let d = Coord::new(
-                self.rng.random_range(0..self.mesh.k),
-                self.rng.random_range(0..self.mesh.k),
-            );
-            if d != src || self.mesh.k == 1 {
+            let d = if self.all_nodes {
+                Coord::new(
+                    self.rng.random_range(0..self.mesh.w),
+                    self.rng.random_range(0..self.mesh.h),
+                )
+            } else {
+                self.nodes[self.rng.random_range(0..self.nodes.len())]
+            };
+            if d != src || self.nodes.len() == 1 {
                 return d;
             }
         }

@@ -13,7 +13,8 @@ use serde::{Deserialize, Serialize};
 pub enum SyntheticPattern {
     /// Every other node equally likely.
     UniformRandom,
-    /// `(x, y) → (y, x)`.
+    /// Matrix transpose of the node index (`(x, y) → (y, x)` on square
+    /// grids; the index map `y·w + x → x·h + y` in general).
     Transpose,
     /// Bitwise complement of the node index (within the mesh).
     BitComplement,
@@ -38,15 +39,18 @@ impl SyntheticPattern {
     /// Self-addressed results are remapped by the caller (the generator
     /// redraws or skips them).
     pub fn destination(&self, src: Coord, mesh: Mesh, rng: &mut impl Rng) -> Coord {
-        let k = mesh.k;
+        let (w, h) = (mesh.w, mesh.h);
         match *self {
             SyntheticPattern::UniformRandom => loop {
-                let d = Coord::new(rng.random_range(0..k), rng.random_range(0..k));
-                if d != src || k == 1 {
+                let d = Coord::new(rng.random_range(0..w), rng.random_range(0..h));
+                if d != src || mesh.len() == 1 {
                     return d;
                 }
             },
-            SyntheticPattern::Transpose => Coord::new(src.y, src.x),
+            SyntheticPattern::Transpose => {
+                let ix = src.x as u16 * h as u16 + src.y as u16;
+                mesh.coord_of(noc_types::RouterId(ix))
+            }
             SyntheticPattern::BitComplement => {
                 let n = mesh.len() as u16;
                 let ix = mesh.id_of(src).0;
@@ -65,18 +69,18 @@ impl SyntheticPattern {
                 mesh.coord_of(noc_types::RouterId(shuffled as u16))
             }
             SyntheticPattern::Tornado => Coord::new(
-                ((src.x as u16 + (k as u16 - 1) / 2) % k as u16) as u8,
+                ((src.x as u16 + (w as u16 - 1) / 2) % w as u16) as u8,
                 src.y,
             ),
-            SyntheticPattern::Neighbour => Coord::new((src.x + 1) % k, src.y),
+            SyntheticPattern::Neighbour => Coord::new((src.x + 1) % w, src.y),
             SyntheticPattern::Hotspot { fraction } => {
-                let hot = Coord::new(k / 2, k / 2);
+                let hot = Coord::new(w / 2, h / 2);
                 if rng.random::<f64>() < fraction && src != hot {
                     hot
                 } else {
                     loop {
-                        let d = Coord::new(rng.random_range(0..k), rng.random_range(0..k));
-                        if d != src || k == 1 {
+                        let d = Coord::new(rng.random_range(0..w), rng.random_range(0..h));
+                        if d != src || mesh.len() == 1 {
                             return d;
                         }
                     }
@@ -121,6 +125,29 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let d = SyntheticPattern::Transpose.destination(Coord::new(2, 5), mesh(), &mut rng);
         assert_eq!(d, Coord::new(5, 2));
+    }
+
+    #[test]
+    fn transpose_is_a_permutation_on_rectangles() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Mesh::rect(4, 6);
+        let dests: std::collections::HashSet<Coord> = m
+            .coords()
+            .map(|src| SyntheticPattern::Transpose.destination(src, m, &mut rng))
+            .collect();
+        assert_eq!(dests.len(), m.len(), "index transpose must be a bijection");
+    }
+
+    #[test]
+    fn uniform_stays_inside_rectangular_grids() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = Mesh::rect(3, 7);
+        let src = Coord::new(1, 1);
+        for _ in 0..500 {
+            let d = SyntheticPattern::UniformRandom.destination(src, m, &mut rng);
+            assert!(d.x < 3 && d.y < 7);
+            assert_ne!(d, src);
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Configuration structs for the router model and the network simulator.
 
+use crate::geometry::Mesh;
 use serde::{Deserialize, Serialize};
 
 /// Microarchitectural parameters of one router.
@@ -62,11 +63,71 @@ impl Default for RouterConfig {
     }
 }
 
-/// Parameters of the mesh network.
+/// Which network graph to build on top of the `w × h` coordinate grid.
+///
+/// Route computation for each variant lives in the `noc-topology` crate;
+/// this spec is the serialisable configuration handle. Every variant is
+/// embedded in a rectangular grid, so router ids and coordinates keep
+/// their row-major meaning throughout the stack.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TopologySpec {
+    /// Square `mesh_k × mesh_k` mesh driven by [`NetworkConfig::mesh_k`]
+    /// — the historical (and default) configuration.
+    #[default]
+    MeshK,
+    /// Rectangular `w × h` mesh with XY routing.
+    Mesh {
+        /// Columns.
+        w: u8,
+        /// Rows.
+        h: u8,
+    },
+    /// `w × h` torus: wraparound links in both dimensions, dimension-order
+    /// routing with minimal wrap, dateline VCs for deadlock freedom
+    /// (requires `vcs >= 2`).
+    Torus {
+        /// Columns.
+        w: u8,
+        /// Rows.
+        h: u8,
+    },
+    /// A `w × h` mesh with `cuts` links removed (deterministically chosen
+    /// from `seed`, keeping the graph connected), routed by precomputed
+    /// up*/down* tables.
+    CutMesh {
+        /// Columns.
+        w: u8,
+        /// Rows.
+        h: u8,
+        /// Number of bidirectional links to cut.
+        cuts: u16,
+        /// Seed for the deterministic cut selection.
+        seed: u64,
+    },
+}
+
+impl TopologySpec {
+    /// A short lowercase tag for reports and bench envelopes.
+    pub const fn tag(&self) -> &'static str {
+        match self {
+            TopologySpec::MeshK | TopologySpec::Mesh { .. } => "mesh",
+            TopologySpec::Torus { .. } => "torus",
+            TopologySpec::CutMesh { .. } => "cutmesh",
+        }
+    }
+}
+
+/// Parameters of the simulated network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NetworkConfig {
-    /// Mesh side length `k` (the paper's latency study uses `k = 8`).
+    /// Mesh side length `k` for the default [`TopologySpec::MeshK`]
+    /// topology (the paper's latency study uses `k = 8`). Ignored by the
+    /// other topology variants, which carry their own dimensions.
     pub mesh_k: u8,
+    /// Which network graph to build (default: square mesh of side
+    /// [`NetworkConfig::mesh_k`]).
+    #[serde(default)]
+    pub topology: TopologySpec,
     /// Per-router configuration.
     pub router: RouterConfig,
     /// Link traversal latency in cycles (1 in GARNET's fixed pipeline).
@@ -80,28 +141,67 @@ impl NetworkConfig {
     pub const fn paper() -> Self {
         NetworkConfig {
             mesh_k: 8,
+            topology: TopologySpec::MeshK,
             router: RouterConfig::paper(),
             link_latency: 1,
             ni_queue_packets: 0,
         }
     }
 
-    /// Number of routers (`k²`).
+    /// The `(w, h)` dimensions of the bounding coordinate grid.
+    #[inline]
+    pub const fn dims(&self) -> (u8, u8) {
+        match self.topology {
+            TopologySpec::MeshK => (self.mesh_k, self.mesh_k),
+            TopologySpec::Mesh { w, h }
+            | TopologySpec::Torus { w, h }
+            | TopologySpec::CutMesh { w, h, .. } => (w, h),
+        }
+    }
+
+    /// The bounding coordinate grid (id ↔ coordinate mapping).
+    #[inline]
+    pub fn grid(&self) -> Mesh {
+        let (w, h) = self.dims();
+        Mesh::rect(w, h)
+    }
+
+    /// Number of routers (`w · h`).
     #[inline]
     pub const fn nodes(&self) -> usize {
-        (self.mesh_k as usize) * (self.mesh_k as usize)
+        let (w, h) = self.dims();
+        (w as usize) * (h as usize)
     }
 
     /// Validate invariants.
     pub fn validate(&self) -> Result<(), String> {
-        if self.mesh_k == 0 {
-            return Err("mesh side must be positive".into());
+        let (w, h) = self.dims();
+        if w == 0 || h == 0 {
+            return Err("grid dimensions must be positive".into());
         }
         if self.router.ports != 5 {
-            return Err("the mesh simulator requires 5-port routers".into());
+            return Err("the grid simulator requires 5-port routers".into());
         }
         if self.link_latency == 0 {
             return Err("link latency must be at least 1 cycle".into());
+        }
+        match self.topology {
+            TopologySpec::Torus { w, h } => {
+                if w < 2 || h < 2 {
+                    return Err("a torus needs both dimensions >= 2".into());
+                }
+                if self.router.vcs < 2 {
+                    return Err(
+                        "torus dateline deadlock avoidance needs at least 2 VCs per port".into(),
+                    );
+                }
+            }
+            TopologySpec::CutMesh { w, h, cuts, .. } => {
+                if (w as usize) * (h as usize) < 2 && cuts > 0 {
+                    return Err("cannot cut links of a single-node mesh".into());
+                }
+            }
+            TopologySpec::MeshK | TopologySpec::Mesh { .. } => {}
         }
         self.router.validate()
     }
@@ -186,6 +286,37 @@ mod tests {
         let mut n = NetworkConfig::paper();
         n.link_latency = 0;
         assert!(n.validate().is_err());
+    }
+
+    #[test]
+    fn topology_spec_defaults_to_square_mesh() {
+        let n = NetworkConfig::paper();
+        assert_eq!(n.topology, TopologySpec::MeshK);
+        assert_eq!(n.dims(), (8, 8));
+        assert_eq!(n.grid(), Mesh::new(8));
+        assert_eq!(n.topology.tag(), "mesh");
+    }
+
+    #[test]
+    fn rectangular_and_torus_specs_carry_their_own_dims() {
+        let mut n = NetworkConfig::paper();
+        n.topology = TopologySpec::Mesh { w: 3, h: 5 };
+        assert_eq!(n.nodes(), 15);
+        assert!(n.validate().is_ok());
+        n.topology = TopologySpec::Torus { w: 4, h: 4 };
+        assert_eq!(n.topology.tag(), "torus");
+        assert!(n.validate().is_ok());
+    }
+
+    #[test]
+    fn torus_needs_two_vcs_and_side_two() {
+        let mut n = NetworkConfig::paper();
+        n.topology = TopologySpec::Torus { w: 4, h: 4 };
+        n.router.vcs = 1;
+        assert!(n.validate().is_err(), "dateline scheme needs 2 VCs");
+        let mut n = NetworkConfig::paper();
+        n.topology = TopologySpec::Torus { w: 1, h: 4 };
+        assert!(n.validate().is_err(), "a 1-wide torus is degenerate");
     }
 
     #[test]

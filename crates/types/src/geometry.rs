@@ -1,13 +1,17 @@
-//! Mesh geometry, directions and dimension-order (XY) routing arithmetic.
+//! Grid geometry, directions and dimension-order (XY) routing arithmetic.
 //!
 //! The paper evaluates an 8×8 mesh with XY routing (Section VII-B); the
-//! router model itself is radix-agnostic, so everything here is
-//! parameterised over the mesh side `k`.
+//! router model itself is radix-agnostic. [`Mesh`] here is a rectangular
+//! `w × h` grid — the coordinate system every topology in
+//! `noc-topology` (mesh, torus, irregular) embeds its nodes into. Route
+//! computation for non-mesh topologies lives in that crate; this module
+//! only carries the shared coordinate/id arithmetic and the classic XY
+//! scheme.
 
 use crate::ids::{PortId, RouterId};
 use serde::{Deserialize, Serialize};
 
-/// A position in the 2-D mesh. `(0, 0)` is the north-west corner; `x` grows
+/// A position in the 2-D grid. `(0, 0)` is the north-west corner; `x` grows
 /// eastwards and `y` grows southwards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Coord {
@@ -24,22 +28,35 @@ impl Coord {
         Coord { x, y }
     }
 
-    /// Manhattan distance between two coordinates — the minimal hop count.
+    /// Manhattan distance between two coordinates — the minimal hop count
+    /// on a mesh (a torus can do better by wrapping).
     #[inline]
     pub fn manhattan(self, other: Coord) -> u32 {
         self.x.abs_diff(other.x) as u32 + self.y.abs_diff(other.y) as u32
     }
 
     /// The neighbouring coordinate one hop in `dir`, if it stays inside a
-    /// `k × k` mesh.
-    pub fn step(self, dir: Direction, k: u8) -> Option<Coord> {
+    /// `w × h` grid.
+    pub fn step(self, dir: Direction, w: u8, h: u8) -> Option<Coord> {
         match dir {
             Direction::North if self.y > 0 => Some(Coord::new(self.x, self.y - 1)),
-            Direction::South if self.y + 1 < k => Some(Coord::new(self.x, self.y + 1)),
+            Direction::South if self.y + 1 < h => Some(Coord::new(self.x, self.y + 1)),
             Direction::West if self.x > 0 => Some(Coord::new(self.x - 1, self.y)),
-            Direction::East if self.x + 1 < k => Some(Coord::new(self.x + 1, self.y)),
+            Direction::East if self.x + 1 < w => Some(Coord::new(self.x + 1, self.y)),
             Direction::Local => Some(self),
             _ => None,
+        }
+    }
+
+    /// [`Coord::step`] with wraparound at the grid edges (torus links).
+    /// Never `None` except for nonsensical zero-sized grids.
+    pub fn step_wrapping(self, dir: Direction, w: u8, h: u8) -> Coord {
+        match dir {
+            Direction::Local => self,
+            Direction::North => Coord::new(self.x, if self.y == 0 { h - 1 } else { self.y - 1 }),
+            Direction::South => Coord::new(self.x, if self.y + 1 == h { 0 } else { self.y + 1 }),
+            Direction::West => Coord::new(if self.x == 0 { w - 1 } else { self.x - 1 }, self.y),
+            Direction::East => Coord::new(if self.x + 1 == w { 0 } else { self.x + 1 }, self.y),
         }
     }
 }
@@ -50,7 +67,7 @@ impl std::fmt::Display for Coord {
     }
 }
 
-/// The five ports of a mesh router.
+/// The five ports of a grid router.
 ///
 /// The numeric values double as the canonical [`PortId`] assignment:
 /// `Local = 0`, `North = 1`, `East = 2`, `South = 3`, `West = 4`.
@@ -86,7 +103,7 @@ impl Direction {
     }
 
     /// The direction a flit *arrives from* when its upstream router sent it
-    /// out through `self`: the mesh link inverts the direction.
+    /// out through `self`: the link inverts the direction.
     #[inline]
     pub const fn opposite(self) -> Direction {
         match self {
@@ -117,30 +134,42 @@ impl std::fmt::Display for Direction {
     }
 }
 
-/// A `k × k` mesh: bidirectional id/coordinate mapping and XY routing.
+/// A rectangular `w × h` grid: bidirectional id/coordinate mapping and XY
+/// routing. [`Mesh::new`] keeps the historical square `k × k` shape;
+/// [`Mesh::rect`] builds rectangles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Mesh {
-    /// Side length of the mesh (number of routers per row/column).
-    pub k: u8,
+    /// Width (number of columns; `x < w`).
+    pub w: u8,
+    /// Height (number of rows; `y < h`).
+    pub h: u8,
 }
 
 impl Mesh {
-    /// Construct a mesh of side `k`.
+    /// Construct a square mesh of side `k` (`w = h = k`).
     ///
     /// # Panics
     /// Panics if `k == 0`.
     pub fn new(k: u8) -> Self {
-        assert!(k > 0, "mesh side must be positive");
-        Mesh { k }
+        Mesh::rect(k, k)
     }
 
-    /// Total number of routers (`k²`).
+    /// Construct a rectangular `w × h` mesh.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn rect(w: u8, h: u8) -> Self {
+        assert!(w > 0 && h > 0, "mesh dimensions must be positive");
+        Mesh { w, h }
+    }
+
+    /// Total number of routers (`w · h`).
     #[inline]
     pub fn len(&self) -> usize {
-        self.k as usize * self.k as usize
+        self.w as usize * self.h as usize
     }
 
-    /// Whether the mesh has no routers (never true: `k > 0` is enforced).
+    /// Whether the mesh has no routers (never true: `w, h > 0` is enforced).
     #[inline]
     pub fn is_empty(&self) -> bool {
         false
@@ -149,21 +178,21 @@ impl Mesh {
     /// Router id of a coordinate (row-major numbering).
     #[inline]
     pub fn id_of(&self, c: Coord) -> RouterId {
-        debug_assert!(c.x < self.k && c.y < self.k, "coordinate outside mesh");
-        RouterId(c.y as u16 * self.k as u16 + c.x as u16)
+        debug_assert!(c.x < self.w && c.y < self.h, "coordinate outside mesh");
+        RouterId(c.y as u16 * self.w as u16 + c.x as u16)
     }
 
     /// Coordinate of a router id.
     #[inline]
     pub fn coord_of(&self, id: RouterId) -> Coord {
         debug_assert!((id.0 as usize) < self.len(), "router id outside mesh");
-        Coord::new((id.0 % self.k as u16) as u8, (id.0 / self.k as u16) as u8)
+        Coord::new((id.0 % self.w as u16) as u8, (id.0 / self.w as u16) as u8)
     }
 
     /// Iterate over every coordinate of the mesh, row-major.
     pub fn coords(&self) -> impl Iterator<Item = Coord> + '_ {
-        let k = self.k;
-        (0..k).flat_map(move |y| (0..k).map(move |x| Coord::new(x, y)))
+        let (w, h) = (self.w, self.h);
+        (0..h).flat_map(move |y| (0..w).map(move |x| Coord::new(x, y)))
     }
 
     /// Dimension-order (XY) routing: the output direction a packet at
@@ -202,7 +231,7 @@ impl Mesh {
         while here != dest {
             let dir = self.xy_route(here, dest);
             here = here
-                .step(dir, self.k)
+                .step(dir, self.w, self.h)
                 .expect("XY routing stepped outside the mesh");
             path.push(here);
         }
@@ -214,7 +243,7 @@ impl Mesh {
         if dir == Direction::Local {
             return None;
         }
-        here.step(dir, self.k).map(|c| self.id_of(c))
+        here.step(dir, self.w, self.h).map(|c| self.id_of(c))
     }
 }
 
@@ -229,6 +258,16 @@ mod tests {
             assert_eq!(m.coord_of(m.id_of(c)), c);
         }
         assert_eq!(m.len(), 64);
+    }
+
+    #[test]
+    fn rectangular_id_coord_roundtrip() {
+        let m = Mesh::rect(3, 5);
+        assert_eq!(m.len(), 15);
+        for (ix, c) in m.coords().enumerate() {
+            assert_eq!(m.id_of(c).index(), ix, "row-major numbering");
+            assert_eq!(m.coord_of(m.id_of(c)), c);
+        }
     }
 
     #[test]
@@ -283,21 +322,60 @@ mod tests {
     }
 
     #[test]
-    fn step_stays_inside_mesh() {
-        let k = 3;
-        assert_eq!(Coord::new(0, 0).step(Direction::North, k), None);
-        assert_eq!(Coord::new(0, 0).step(Direction::West, k), None);
-        assert_eq!(Coord::new(2, 2).step(Direction::South, k), None);
-        assert_eq!(Coord::new(2, 2).step(Direction::East, k), None);
+    fn step_stays_inside_grid() {
+        let (w, h) = (3, 3);
+        assert_eq!(Coord::new(0, 0).step(Direction::North, w, h), None);
+        assert_eq!(Coord::new(0, 0).step(Direction::West, w, h), None);
+        assert_eq!(Coord::new(2, 2).step(Direction::South, w, h), None);
+        assert_eq!(Coord::new(2, 2).step(Direction::East, w, h), None);
         assert_eq!(
-            Coord::new(1, 1).step(Direction::East, k),
+            Coord::new(1, 1).step(Direction::East, w, h),
             Some(Coord::new(2, 1))
         );
     }
 
     #[test]
+    fn step_bounds_each_dimension_independently() {
+        // The historical bug class: a single `k` bound let x range over
+        // the height (and vice versa) on rectangles.
+        let (w, h) = (2, 6);
+        assert_eq!(Coord::new(1, 0).step(Direction::East, w, h), None);
+        assert_eq!(
+            Coord::new(1, 4).step(Direction::South, w, h),
+            Some(Coord::new(1, 5))
+        );
+        assert_eq!(Coord::new(1, 5).step(Direction::South, w, h), None);
+    }
+
+    #[test]
+    fn step_wrapping_wraps_every_edge() {
+        let (w, h) = (4, 3);
+        assert_eq!(
+            Coord::new(0, 0).step_wrapping(Direction::West, w, h),
+            Coord::new(3, 0)
+        );
+        assert_eq!(
+            Coord::new(3, 0).step_wrapping(Direction::East, w, h),
+            Coord::new(0, 0)
+        );
+        assert_eq!(
+            Coord::new(2, 0).step_wrapping(Direction::North, w, h),
+            Coord::new(2, 2)
+        );
+        assert_eq!(
+            Coord::new(2, 2).step_wrapping(Direction::South, w, h),
+            Coord::new(2, 0)
+        );
+        // Interior steps agree with the bounded version.
+        assert_eq!(
+            Coord::new(1, 1).step_wrapping(Direction::East, w, h),
+            Coord::new(1, 1).step(Direction::East, w, h).unwrap()
+        );
+    }
+
+    #[test]
     fn neighbour_is_symmetric() {
-        let m = Mesh::new(5);
+        let m = Mesh::rect(5, 3);
         for c in m.coords() {
             for d in [
                 Direction::North,

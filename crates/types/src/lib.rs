@@ -5,10 +5,13 @@
 //! *“An Improved Router Design for Reliable On-Chip Networks”* (IPDPS 2014).
 //!
 //! The crate deliberately contains **data** types only (plus small pure
-//! helpers on them): flits and packets, identifier newtypes, mesh geometry
-//! and XY routing arithmetic, virtual-channel state fields (including the
-//! paper's added `R2`/`VF`/`ID`/`SP`/`FSP` fields), and the configuration
-//! structs consumed by the router model and the network simulator.
+//! helpers on them): flits and packets, identifier newtypes, rectangular
+//! grid geometry with XY routing arithmetic (richer topologies — torus,
+//! irregular graphs — are built on top by `noc-topology`), virtual-channel
+//! state fields (including the paper's added `R2`/`VF`/`ID`/`SP`/`FSP`
+//! fields), and the configuration structs consumed by the router model and
+//! the network simulator, including the [`TopologySpec`] selecting which
+//! network graph to simulate.
 //!
 //! Behaviour — pipelines, arbitration, fault handling — lives in
 //! `shield-router`, `noc-arbiter` and `noc-sim`.
@@ -23,7 +26,7 @@ pub mod ids;
 pub mod packet;
 pub mod vc;
 
-pub use config::{NetworkConfig, RouterConfig, SimConfig};
+pub use config::{NetworkConfig, RouterConfig, SimConfig, TopologySpec};
 pub use flit::{Flit, FlitKind};
 pub use geometry::{Coord, Direction, Mesh};
 pub use ids::{FlitSeq, PacketId, PortId, RouterId, VcId};

@@ -60,6 +60,12 @@ pub struct VcStateFields {
     pub sp: Option<PortId>,
     /// `FSP` (protected only): the secondary path must be used.
     pub fsp: bool,
+    /// Legal downstream VCs for the routed output, as a bitmask over VC
+    /// indices. Deposited by the RC unit alongside `R`; the VA unit only
+    /// requests output VCs inside the mask. `!0` (the default) means
+    /// unrestricted — topologies with VC-class deadlock avoidance (e.g.
+    /// torus datelines) narrow it.
+    pub vmask: u32,
 }
 
 impl Default for VcStateFields {
@@ -73,6 +79,7 @@ impl Default for VcStateFields {
             id: None,
             sp: None,
             fsp: false,
+            vmask: !0,
         }
     }
 }
@@ -113,6 +120,7 @@ mod tests {
         assert_eq!(s.g, VcGlobalState::Idle);
         assert!(s.r.is_none() && s.o.is_none() && s.r2.is_none());
         assert!(!s.vf && !s.fsp);
+        assert_eq!(s.vmask, !0, "default mask is unrestricted");
     }
 
     #[test]
@@ -134,12 +142,14 @@ mod tests {
             id: Some(VcId(0)),
             sp: Some(PortId(1)),
             fsp: true,
+            vmask: 0b01,
         };
         s.clear_borrow();
         assert!(s.r2.is_none() && s.id.is_none() && !s.vf);
         assert_eq!(s.r, Some(PortId(2)));
         assert_eq!(s.o, Some(VcId(1)));
         assert!(s.fsp);
+        assert_eq!(s.vmask, 0b01, "clear_borrow leaves the VC mask alone");
     }
 
     #[test]

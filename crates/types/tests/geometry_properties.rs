@@ -63,7 +63,9 @@ fn route_and_step_agree() {
         while here != dst {
             let dir = m.xy_route(here, dst);
             assert_ne!(dir, Direction::Local);
-            here = here.step(dir, 8).expect("XY keeps paths inside the mesh");
+            here = here
+                .step(dir, 8, 8)
+                .expect("XY keeps paths inside the mesh");
             hops += 1;
             assert!(hops <= 14, "bounded by the mesh diameter");
         }
