@@ -66,6 +66,22 @@ impl RoundRobinArbiter {
         self.pointer
     }
 
+    /// Number of request lines.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Restore the priority pointer captured by
+    /// [`RoundRobinArbiter::pointer`] — used when rebuilding arbiter
+    /// state from a simulation snapshot.
+    ///
+    /// # Panics
+    /// Panics if `pointer` is not a valid line index.
+    pub fn set_pointer(&mut self, pointer: usize) {
+        assert!(pointer < self.width, "pointer out of range");
+        self.pointer = pointer;
+    }
+
     fn scan(&self, requests: u32) -> Option<usize> {
         let req = masked(requests, self.width);
         if req == 0 {

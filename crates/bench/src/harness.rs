@@ -76,13 +76,15 @@ pub fn sim_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Topology knob for experiment binaries: `--topology {mesh,torus}`
-/// rewrites a config still carrying the default
-/// [`TopologySpec::MeshK`] into the named topology over the same
-/// `mesh_k` grid. Configs that name their topology explicitly win, as
-/// with the `NOC_TOPOLOGY` environment override (which the simulator
-/// itself applies, and which this flag takes precedence over simply by
-/// making the spec explicit).
+/// Topology knob for experiment binaries: `--topology
+/// mesh|torus|cutmesh<N>[:seed]` rewrites a config still carrying the
+/// default [`TopologySpec::MeshK`] into the named topology over the
+/// same `mesh_k` grid (the grammar is [`TopologySpec::parse_arg`], the
+/// same one the CLI and the campaign service use). Configs that name
+/// their topology explicitly win, as with the `NOC_TOPOLOGY`
+/// environment override (which the simulator itself applies, and which
+/// this flag takes precedence over simply by making the spec
+/// explicit).
 pub fn apply_topology_arg(net: NetworkConfig) -> NetworkConfig {
     let mut net = net;
     if net.topology != TopologySpec::MeshK {
@@ -91,15 +93,10 @@ pub fn apply_topology_arg(net: NetworkConfig) -> NetworkConfig {
     let mut args = std::env::args();
     while let Some(a) = args.next() {
         if a == "--topology" {
-            match args.next().as_deref() {
-                Some("mesh") | None => {}
-                Some("torus") => {
-                    net.topology = TopologySpec::Torus {
-                        w: net.mesh_k,
-                        h: net.mesh_k,
-                    }
-                }
-                Some(other) => panic!("--topology: expected mesh or torus, got {other:?}"),
+            let value = args.next().unwrap_or_default();
+            match TopologySpec::parse_arg(&value, net.mesh_k) {
+                Ok(spec) => net.topology = spec,
+                Err(e) => panic!("--topology: {e}"),
             }
         }
     }

@@ -32,6 +32,31 @@ impl SeedableRng for StdRng {
     }
 }
 
+impl StdRng {
+    /// The four xoshiro256** state words, for checkpointing. Together
+    /// with [`StdRng::from_state`] this makes the generator resumable:
+    /// a restored generator continues the exact stream the snapshotted
+    /// one would have produced.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from state words captured by
+    /// [`StdRng::state`].
+    ///
+    /// # Panics
+    /// Panics on the all-zero state, which xoshiro256** can never reach
+    /// from a seeded start (it is the one fixed point of the transition
+    /// function) — accepting it would yield a generator stuck on zero.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(
+            s.iter().any(|&w| w != 0),
+            "the all-zero state is not a valid xoshiro256** state"
+        );
+        StdRng { s }
+    }
+}
+
 impl Rng for StdRng {
     #[inline]
     fn next_u64(&mut self) -> u64 {

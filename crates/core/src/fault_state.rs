@@ -285,6 +285,80 @@ impl FaultState {
     }
 }
 
+// ---------------------------------------------------------------------
+// Snapshot / restore
+// ---------------------------------------------------------------------
+
+use noc_telemetry::json::{obj, JsonValue};
+use noc_telemetry::snapshot::{
+    arr_field, decode_field, u64_field, Restore, Snapshot, SnapshotError,
+};
+
+impl Snapshot for FaultState {
+    fn snapshot(&self) -> JsonValue {
+        // Only the *schedule* is stored. The `active`/`detected` maps are
+        // pure functions of (schedule, detection model, refreshed_at) and
+        // are replayed on restore — see `Restore` below.
+        obj([
+            ("detection", self.detection.snapshot()),
+            ("refreshed_at", self.refreshed_at.into()),
+            (
+                "injected",
+                JsonValue::Arr(
+                    self.injected
+                        .iter()
+                        .map(|&(site, at)| obj([("site", site.snapshot()), ("at", at.into())]))
+                        .collect(),
+                ),
+            ),
+            (
+                "transients",
+                JsonValue::Arr(
+                    self.transients
+                        .iter()
+                        .map(|&(site, at, duration)| {
+                            obj([
+                                ("site", site.snapshot()),
+                                ("at", at.into()),
+                                ("duration", (duration as u64).into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl Restore for FaultState {
+    fn restore(&mut self, v: &JsonValue) -> Result<(), SnapshotError> {
+        self.detection = decode_field(v, "detection")?;
+        self.injected = arr_field(v, "injected")?
+            .iter()
+            .map(|e| Ok((decode_field(e, "site")?, u64_field(e, "at")?)))
+            .collect::<Result<_, SnapshotError>>()
+            .map_err(|e| e.within("injected"))?;
+        self.transients = arr_field(v, "transients")?
+            .iter()
+            .map(|e| {
+                Ok((
+                    decode_field(e, "site")?,
+                    u64_field(e, "at")?,
+                    u64_field(e, "duration")? as u32,
+                ))
+            })
+            .collect::<Result<_, SnapshotError>>()
+            .map_err(|e| e.within("transients"))?;
+        // Replaying the refresh at the recorded clock reproduces the
+        // active/detected maps exactly: both refresh paths derive the
+        // maps from the schedule and `now` alone.
+        self.active = FaultMap::healthy();
+        self.detected = FaultMap::healthy();
+        self.refresh(u64_field(v, "refreshed_at")?);
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -59,6 +59,7 @@ pub mod crossbar;
 pub mod fault_state;
 pub mod port;
 pub mod router;
+pub mod snapshot;
 mod stages;
 
 pub use crossbar::{Crossbar, XbPath};

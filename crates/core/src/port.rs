@@ -218,6 +218,81 @@ impl InputPort {
     }
 }
 
+// ---------------------------------------------------------------------
+// Snapshot / restore
+// ---------------------------------------------------------------------
+
+use noc_telemetry::json::{obj, JsonValue};
+use noc_telemetry::snapshot::{
+    arr_field, decode_field, field, FromSnapshot, Restore, Snapshot, SnapshotError,
+};
+
+impl Snapshot for VirtualChannel {
+    fn snapshot(&self) -> JsonValue {
+        obj([
+            ("fields", self.fields.snapshot()),
+            (
+                "buffer",
+                JsonValue::Arr(self.buffer.iter().map(Snapshot::snapshot).collect()),
+            ),
+        ])
+    }
+}
+
+impl Restore for VirtualChannel {
+    /// Overwrite buffer and state fields directly, bypassing
+    /// [`VirtualChannel::push`]'s arrival invariants — a snapshot captures
+    /// mid-pipeline states (e.g. a non-head flit at the front of an
+    /// `Active` VC) that no single arrival sequence could reconstruct.
+    fn restore(&mut self, v: &JsonValue) -> Result<(), SnapshotError> {
+        let flits =
+            Vec::<Flit>::from_snapshot(field(v, "buffer")?).map_err(|e| e.within("buffer"))?;
+        if flits.len() > self.depth {
+            return Err(SnapshotError::new(format!(
+                "snapshot holds {} flits but the VC depth is {}",
+                flits.len(),
+                self.depth
+            )));
+        }
+        self.fields = decode_field(v, "fields")?;
+        self.buffer.clear();
+        self.buffer.extend(flits);
+        Ok(())
+    }
+}
+
+impl Snapshot for InputPort {
+    fn snapshot(&self) -> JsonValue {
+        // `nonidle` is a pure function of the per-VC `G` fields and is
+        // resynthesised on restore rather than stored.
+        obj([(
+            "vcs",
+            JsonValue::Arr(self.vcs.iter().map(Snapshot::snapshot).collect()),
+        )])
+    }
+}
+
+impl Restore for InputPort {
+    fn restore(&mut self, v: &JsonValue) -> Result<(), SnapshotError> {
+        let arr = arr_field(v, "vcs")?;
+        if arr.len() != self.vcs.len() {
+            return Err(SnapshotError::new(format!(
+                "snapshot has {} VCs but the port was built with {}",
+                arr.len(),
+                self.vcs.len()
+            )));
+        }
+        for (i, (vc, s)) in self.vcs.iter_mut().zip(arr).enumerate() {
+            vc.restore(s).map_err(|e| e.within(&format!("vcs[{i}]")))?;
+        }
+        self.nonidle = 0;
+        for i in 0..self.vcs.len() {
+            self.sync_nonidle(VcId(i as u8));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -20,7 +20,7 @@ pub enum RouterKind {
 }
 
 /// A flit leaving the router this cycle.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Departure {
     /// Logical output port the flit leaves through (the link direction).
     pub out_port: PortId,

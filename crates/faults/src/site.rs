@@ -179,6 +179,62 @@ pub fn canonical_secondary_source(out: PortId) -> PortId {
     }
 }
 
+impl std::str::FromStr for FaultSite {
+    type Err = String;
+
+    /// Parse the compact form produced by `Display` — the canonical
+    /// fault-site codec used by fault plans and simulation snapshots.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (name, rest) = s
+            .split_once('[')
+            .ok_or_else(|| format!("`{s}`: expected NAME[ADDR]"))?;
+        let addr = rest
+            .strip_suffix(']')
+            .ok_or_else(|| format!("`{s}`: missing closing bracket"))?;
+        let port = |a: &str| -> Result<PortId, String> {
+            a.strip_prefix('P')
+                .and_then(|d| d.parse::<u8>().ok())
+                .map(PortId)
+                .ok_or_else(|| format!("`{a}` is not a port id"))
+        };
+        let port_vc = |a: &str| -> Result<(PortId, VcId), String> {
+            let (p, v) = a
+                .split_once('.')
+                .ok_or_else(|| format!("`{a}`: expected PORT.VC"))?;
+            let vc = v
+                .strip_prefix("VC")
+                .and_then(|d| d.parse::<u8>().ok())
+                .map(VcId)
+                .ok_or_else(|| format!("`{v}` is not a VC id"))?;
+            Ok((port(p)?, vc))
+        };
+        match name {
+            "RC" => Ok(FaultSite::RcPrimary { port: port(addr)? }),
+            "RCdup" => Ok(FaultSite::RcDuplicate { port: port(addr)? }),
+            "VA1" => {
+                let (port, vc) = port_vc(addr)?;
+                Ok(FaultSite::Va1ArbiterSet { port, vc })
+            }
+            "VA2" => {
+                let (out_port, out_vc) = port_vc(addr)?;
+                Ok(FaultSite::Va2Arbiter { out_port, out_vc })
+            }
+            "SA1" => Ok(FaultSite::Sa1Arbiter { port: port(addr)? }),
+            "SA1byp" => Ok(FaultSite::Sa1Bypass { port: port(addr)? }),
+            "SA2" => Ok(FaultSite::Sa2Arbiter {
+                out_port: port(addr)?,
+            }),
+            "XB" => Ok(FaultSite::XbMux {
+                out_port: port(addr)?,
+            }),
+            "XBsec" => Ok(FaultSite::XbSecondary {
+                out_port: port(addr)?,
+            }),
+            other => Err(format!("unknown fault-site kind `{other}`")),
+        }
+    }
+}
+
 impl std::fmt::Display for FaultSite {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -273,6 +329,19 @@ mod tests {
             PipelineStage::Xb
         );
         assert_eq!(FaultSite::XbMux { out_port: p }.stage(), PipelineStage::Xb);
+    }
+
+    #[test]
+    fn display_round_trips_through_from_str() {
+        let cfg = RouterConfig::paper();
+        for site in FaultSite::enumerate(&cfg) {
+            let parsed: FaultSite = site.to_string().parse().expect("canonical form parses");
+            assert_eq!(parsed, site);
+        }
+        assert!("VA1[P0]".parse::<FaultSite>().is_err(), "VA1 needs a VC");
+        assert!("RC[3]".parse::<FaultSite>().is_err(), "port needs P prefix");
+        assert!("BOGUS[P0]".parse::<FaultSite>().is_err());
+        assert!("RC".parse::<FaultSite>().is_err());
     }
 
     #[test]

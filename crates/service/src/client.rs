@@ -1,0 +1,98 @@
+//! A minimal HTTP/1.1 client for talking to `noc-serviced` — one
+//! request per connection, `Connection: close`, body read to EOF. Used
+//! by the `noc-cli submit`/`status`/`result` subcommands and the
+//! integration tests.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// An HTTP response: status code and body text.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// Numeric status code.
+    pub status: u16,
+    /// Response headers as `(lowercased-name, value)` pairs.
+    pub headers: Vec<(String, String)>,
+    /// Body text.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// First header with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Issue one request to `addr` (e.g. `127.0.0.1:7070`).
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let body = body.unwrap_or("");
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
+         Content-Type: application/json\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    parse_response(&raw)
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response"))
+}
+
+fn parse_response(raw: &str) -> Option<HttpResponse> {
+    let (head, body) = raw.split_once("\r\n\r\n")?;
+    let mut lines = head.lines();
+    let status_line = lines.next()?;
+    let status: u16 = status_line.split_whitespace().nth(1)?.parse().ok()?;
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Some(HttpResponse {
+        status,
+        headers,
+        body: body.to_string(),
+    })
+}
+
+/// Convenience wrappers for the job API.
+pub mod jobs {
+    use super::{request, HttpResponse};
+
+    /// `POST /jobs` with a spec document.
+    pub fn submit(addr: &str, spec_json: &str) -> std::io::Result<HttpResponse> {
+        request(addr, "POST", "/jobs", Some(spec_json))
+    }
+
+    /// `GET /jobs/:id`.
+    pub fn status(addr: &str, id: &str) -> std::io::Result<HttpResponse> {
+        request(addr, "GET", &format!("/jobs/{id}"), None)
+    }
+
+    /// `GET /jobs/:id/result`.
+    pub fn result(addr: &str, id: &str) -> std::io::Result<HttpResponse> {
+        request(addr, "GET", &format!("/jobs/{id}/result"), None)
+    }
+
+    /// `GET /healthz`.
+    pub fn healthz(addr: &str) -> std::io::Result<HttpResponse> {
+        request(addr, "GET", "/healthz", None)
+    }
+
+    /// `GET /metrics`.
+    pub fn metrics(addr: &str) -> std::io::Result<HttpResponse> {
+        request(addr, "GET", "/metrics", None)
+    }
+}

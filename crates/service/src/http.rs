@@ -1,0 +1,204 @@
+//! A deliberately small HTTP/1.1 server over `std::net` — no external
+//! dependencies, one short-lived thread per connection, `Connection:
+//! close` semantics. Exactly what the five-route job API needs and
+//! nothing more.
+//!
+//! | Method | Path              | Purpose                                   |
+//! |--------|-------------------|-------------------------------------------|
+//! | POST   | `/jobs`           | submit a campaign spec (JSON body)        |
+//! | GET    | `/jobs/:id`       | job status + progress                     |
+//! | GET    | `/jobs/:id/result`| final report (202 while still running)    |
+//! | GET    | `/healthz`        | liveness probe                            |
+//! | GET    | `/metrics`        | Prometheus text metrics                   |
+
+use crate::scheduler::{Scheduler, SubmitError};
+use crate::spec::CampaignSpec;
+use noc_telemetry::json::obj;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+/// Largest request body we accept (a campaign spec is < 1 KiB).
+const MAX_BODY: usize = 1 << 20;
+
+/// A parsed request: method, path, body.
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+}
+
+/// Read one request off the stream. Returns `None` on malformed input
+/// (the connection is just dropped — curl and our client both retry
+/// nothing on a request they never finished sending).
+fn read_request(stream: &mut TcpStream) -> Option<Request> {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .ok()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).ok()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?.to_string();
+    let path = parts.next()?.to_string();
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).ok()?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok()?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return None;
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).ok()?;
+    Some(Request {
+        method,
+        path,
+        body: String::from_utf8(body).ok()?,
+    })
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &str,
+) {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+fn json_response(stream: &mut TcpStream, status: u16, reason: &str, body: &str) {
+    write_response(stream, status, reason, "application/json", &[], body);
+}
+
+fn error_body(message: &str) -> String {
+    obj([("error", message.into())]).render()
+}
+
+fn handle(stream: &mut TcpStream, sched: &Scheduler) {
+    let Some(req) = read_request(stream) else {
+        return;
+    };
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => write_response(stream, 200, "OK", "text/plain", &[], "ok\n"),
+        ("GET", "/metrics") => write_response(
+            stream,
+            200,
+            "OK",
+            "text/plain; version=0.0.4",
+            &[],
+            &sched.metrics_text(),
+        ),
+        ("POST", "/jobs") => match CampaignSpec::from_text(&req.body) {
+            Err(e) => json_response(stream, 400, "Bad Request", &error_body(&e)),
+            Ok(spec) => match sched.submit(spec) {
+                Ok(id) => json_response(stream, 201, "Created", &obj([("id", id.into())]).render()),
+                Err(SubmitError::QueueFull { retry_after_secs }) => write_response(
+                    stream,
+                    429,
+                    "Too Many Requests",
+                    "application/json",
+                    &[("Retry-After", retry_after_secs.to_string())],
+                    &error_body("queue full"),
+                ),
+                Err(SubmitError::Invalid(e)) => {
+                    json_response(stream, 400, "Bad Request", &error_body(&e))
+                }
+                Err(SubmitError::Io(e)) => json_response(
+                    stream,
+                    500,
+                    "Internal Server Error",
+                    &error_body(&e.to_string()),
+                ),
+            },
+        },
+        ("GET", path) if path.starts_with("/jobs/") => {
+            let rest = &path["/jobs/".len()..];
+            if let Some(id) = rest.strip_suffix("/result") {
+                match sched.result_text(id) {
+                    Some(text) => json_response(stream, 200, "OK", &text),
+                    None if sched.knows(id) => {
+                        // Known but unfinished: point at the status doc.
+                        let status = sched
+                            .status_json(id)
+                            .map(|d| d.render())
+                            .unwrap_or_default();
+                        json_response(stream, 202, "Accepted", &status);
+                    }
+                    None => json_response(stream, 404, "Not Found", &error_body("unknown job")),
+                }
+            } else {
+                match sched.status_json(rest) {
+                    Some(doc) => json_response(stream, 200, "OK", &doc.render()),
+                    None => json_response(stream, 404, "Not Found", &error_body("unknown job")),
+                }
+            }
+        }
+        ("POST" | "GET", _) => {
+            json_response(stream, 404, "Not Found", &error_body("no such route"))
+        }
+        _ => json_response(
+            stream,
+            405,
+            "Method Not Allowed",
+            &error_body("method not allowed"),
+        ),
+    }
+}
+
+/// Accept connections until `should_stop` turns true (checked between
+/// accepts; the listener runs non-blocking with a short sleep so
+/// shutdown latency is tens of milliseconds).
+pub fn serve(
+    listener: TcpListener,
+    sched: Scheduler,
+    should_stop: impl Fn() -> bool,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        if should_stop() {
+            break;
+        }
+        match listener.accept() {
+            Ok((mut stream, _addr)) => {
+                let sched = sched.clone();
+                handlers.push(std::thread::spawn(move || {
+                    let _ = stream.set_nonblocking(false);
+                    handle(&mut stream, &sched);
+                }));
+                handlers.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! # noc-service
+//!
+//! The campaign service: long simulation campaigns as **resumable
+//! jobs** behind a std-only HTTP daemon (ARCHITECTURE.md §5).
+//!
+//! Three layers, each usable on its own:
+//!
+//! * [`spec::CampaignSpec`] — the JSON job description and its
+//!   translation into `Simulator`/`TrafficGenerator` configuration;
+//! * [`scheduler::Scheduler`] — a bounded job queue drained by worker
+//!   threads, with every job spooled to disk (spec, periodic
+//!   checkpoints, final result) so a killed process recovers on the
+//!   next start without losing or changing any result;
+//! * [`http`] / [`client`] — a hand-rolled HTTP/1.1 server for the
+//!   `noc-serviced` binary, and the matching client used by the CLI
+//!   and the tests.
+//!
+//! The whole crate rides on one invariant, pinned by the
+//! resume-determinism tests in `noc-sim`: a campaign resumed from a
+//! checkpoint produces a **byte-identical** report to the
+//! uninterrupted run. Crash recovery is therefore semantically
+//! invisible — it only costs wall-clock time.
+//!
+//! No external dependencies: TCP, threads, files and the project's own
+//! JSON live entirely in `std` and the workspace.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod scheduler;
+pub mod spec;
+
+pub use scheduler::{JobPhase, Scheduler, ServiceConfig, SubmitError};
+pub use spec::CampaignSpec;

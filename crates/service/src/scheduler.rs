@@ -1,0 +1,618 @@
+//! The campaign scheduler: a bounded job queue drained by a fixed set
+//! of worker threads, with every job's state spooled to disk so a
+//! killed daemon resumes exactly where it stopped.
+//!
+//! Spool layout (one directory per job under the spool root):
+//!
+//! ```text
+//! spool/job-000001/spec.json        # fully-resolved CampaignSpec
+//! spool/job-000001/checkpoint.json  # latest checkpoint (tmp+rename)
+//! spool/job-000001/result.json      # final report; job is done
+//! spool/job-000001/error.txt        # terminal failure; job is dead
+//! ```
+//!
+//! Recovery on startup rescans the spool: any job directory with a
+//! spec but neither a result nor an error is re-queued, resuming from
+//! its checkpoint when one exists. Because a resumed run is
+//! byte-identical to an uninterrupted one (see the resume-determinism
+//! tests in `noc-sim`), a crash costs at most one checkpoint interval
+//! of work and never changes a result.
+
+use crate::spec::CampaignSpec;
+use noc_sim::SimOutcome;
+use noc_telemetry::json::{obj, JsonValue};
+use noc_telemetry::snapshot::SNAPSHOT_SCHEMA_VERSION;
+use std::collections::{HashMap, VecDeque};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Spool directory (created if missing).
+    pub spool: PathBuf,
+    /// Concurrent jobs (worker threads).
+    pub workers: usize,
+    /// Maximum queued (not yet running) jobs before submissions are
+    /// rejected with a retry hint.
+    pub queue_cap: usize,
+    /// Checkpoint cadence applied to specs that left `checkpoint_every`
+    /// at 0. Never 0 itself: the cadence is also the daemon's
+    /// graceful-shutdown latency.
+    pub default_checkpoint_every: u64,
+    /// `Retry-After` hint (seconds) handed out with queue-full
+    /// rejections.
+    pub retry_after_secs: u64,
+}
+
+impl ServiceConfig {
+    /// Defaults rooted at the given spool directory.
+    pub fn new(spool: impl Into<PathBuf>) -> Self {
+        ServiceConfig {
+            spool: spool.into(),
+            workers: 2,
+            queue_cap: 16,
+            default_checkpoint_every: 5_000,
+            retry_after_secs: 2,
+        }
+    }
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Waiting for a worker (includes jobs recovered from the spool).
+    Queued,
+    /// A worker is stepping it.
+    Running,
+    /// `result.json` is on disk.
+    Completed,
+    /// Terminal error (`error.txt` on disk).
+    Failed,
+}
+
+impl JobPhase {
+    fn tag(self) -> &'static str {
+        match self {
+            JobPhase::Queued => "queued",
+            JobPhase::Running => "running",
+            JobPhase::Completed => "completed",
+            JobPhase::Failed => "failed",
+        }
+    }
+}
+
+/// A submission that could not be accepted.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The queue is at capacity; retry after the given seconds.
+    QueueFull {
+        /// Seconds the client should wait before retrying.
+        retry_after_secs: u64,
+    },
+    /// The spec failed validation.
+    Invalid(String),
+    /// The spool rejected the write.
+    Io(std::io::Error),
+}
+
+struct JobRecord {
+    spec: CampaignSpec,
+    phase: JobPhase,
+    error: Option<String>,
+    /// Cycles completed as of the last checkpoint (or completion).
+    cycles_done: u64,
+    /// When the last checkpoint hit the spool.
+    checkpointed: Option<Instant>,
+}
+
+struct SchedState {
+    queue: VecDeque<String>,
+    jobs: HashMap<String, JobRecord>,
+    next_id: u64,
+    running: usize,
+}
+
+struct SchedInner {
+    cfg: ServiceConfig,
+    state: Mutex<SchedState>,
+    work: Condvar,
+    shutdown: AtomicBool,
+    started: Instant,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    rejected: AtomicU64,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Handle to the scheduler; cheap to clone, shared by the HTTP server
+/// and the daemon main loop.
+#[derive(Clone)]
+pub struct Scheduler {
+    inner: Arc<SchedInner>,
+}
+
+/// Write `text` to `path` atomically (same-directory tmp + rename), so
+/// a crash mid-write never leaves a torn file for recovery to trip on.
+fn write_atomic(path: &Path, text: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+impl Scheduler {
+    /// Create the spool (if missing), recover any interrupted jobs and
+    /// start the worker threads.
+    pub fn start(cfg: ServiceConfig) -> std::io::Result<Scheduler> {
+        fs::create_dir_all(&cfg.spool)?;
+        let workers = cfg.workers.max(1);
+        let inner = Arc::new(SchedInner {
+            cfg,
+            state: Mutex::new(SchedState {
+                queue: VecDeque::new(),
+                jobs: HashMap::new(),
+                next_id: 1,
+                running: 0,
+            }),
+            work: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            workers: Mutex::new(Vec::new()),
+        });
+        let sched = Scheduler { inner };
+        sched.recover()?;
+        let mut handles = sched.inner.workers.lock().unwrap();
+        for i in 0..workers {
+            let inner = Arc::clone(&sched.inner);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("noc-service-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))?,
+            );
+        }
+        drop(handles);
+        Ok(sched)
+    }
+
+    /// Scan the spool for jobs that were submitted but never finished
+    /// and re-queue them (recovery after a crash or SIGKILL).
+    fn recover(&self) -> std::io::Result<()> {
+        let mut ids: Vec<String> = Vec::new();
+        for entry in fs::read_dir(&self.inner.cfg.spool)? {
+            let entry = entry?;
+            if entry.file_type()?.is_dir() {
+                ids.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        ids.sort();
+        let mut state = self.inner.state.lock().unwrap();
+        for id in ids {
+            let dir = self.inner.cfg.spool.join(&id);
+            // Keep the id counter ahead of everything already spooled.
+            if let Some(n) = id.strip_prefix("job-").and_then(|s| s.parse::<u64>().ok()) {
+                state.next_id = state.next_id.max(n + 1);
+            }
+            let Ok(spec_text) = fs::read_to_string(dir.join("spec.json")) else {
+                continue; // torn submission: no durable spec, nothing to run
+            };
+            let Ok(spec) = CampaignSpec::from_text(&spec_text) else {
+                continue;
+            };
+            let phase = if dir.join("result.json").exists() {
+                JobPhase::Completed
+            } else if dir.join("error.txt").exists() {
+                JobPhase::Failed
+            } else {
+                JobPhase::Queued
+            };
+            let total = spec.total_cycles();
+            state.jobs.insert(
+                id.clone(),
+                JobRecord {
+                    spec,
+                    phase,
+                    error: fs::read_to_string(dir.join("error.txt")).ok(),
+                    cycles_done: if phase == JobPhase::Completed {
+                        total
+                    } else {
+                        0
+                    },
+                    checkpointed: None,
+                },
+            );
+            if phase == JobPhase::Queued {
+                state.queue.push_back(id);
+            }
+        }
+        Ok(())
+    }
+
+    /// Submit a campaign. Returns the job id, or a queue-full rejection
+    /// carrying the configured retry hint.
+    pub fn submit(&self, spec: CampaignSpec) -> Result<String, SubmitError> {
+        spec.validate().map_err(SubmitError::Invalid)?;
+        let id = {
+            let mut state = self.inner.state.lock().unwrap();
+            if state.queue.len() >= self.inner.cfg.queue_cap {
+                self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::QueueFull {
+                    retry_after_secs: self.inner.cfg.retry_after_secs,
+                });
+            }
+            let id = format!("job-{:06}", state.next_id);
+            state.next_id += 1;
+            state.jobs.insert(
+                id.clone(),
+                JobRecord {
+                    spec: spec.clone(),
+                    phase: JobPhase::Queued,
+                    error: None,
+                    cycles_done: 0,
+                    checkpointed: None,
+                },
+            );
+            state.queue.push_back(id.clone());
+            id
+        };
+        // Durable spec before the submission is acknowledged: a job the
+        // client was told about survives any crash from here on.
+        let dir = self.job_dir(&id);
+        let write = fs::create_dir_all(&dir)
+            .and_then(|()| write_atomic(&dir.join("spec.json"), &spec.to_json().render()));
+        if let Err(e) = write {
+            let mut state = self.inner.state.lock().unwrap();
+            state.queue.retain(|q| q != &id);
+            state.jobs.remove(&id);
+            return Err(SubmitError::Io(e));
+        }
+        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        self.inner.work.notify_one();
+        Ok(id)
+    }
+
+    fn job_dir(&self, id: &str) -> PathBuf {
+        self.inner.cfg.spool.join(id)
+    }
+
+    /// Status document for one job, or `None` for an unknown id.
+    pub fn status_json(&self, id: &str) -> Option<JsonValue> {
+        let state = self.inner.state.lock().unwrap();
+        let rec = state.jobs.get(id)?;
+        let total = rec.spec.total_cycles();
+        Some(obj([
+            ("id", id.into()),
+            ("name", rec.spec.name.clone().into()),
+            ("phase", rec.phase.tag().into()),
+            ("cycles_done", rec.cycles_done.into()),
+            ("total_cycles", total.into()),
+            (
+                "progress",
+                if total == 0 {
+                    0.0.into()
+                } else {
+                    ((rec.cycles_done as f64 / total as f64).min(1.0)).into()
+                },
+            ),
+            (
+                "checkpoint_age_secs",
+                match rec.checkpointed {
+                    Some(at) => at.elapsed().as_secs_f64().into(),
+                    None => JsonValue::Null,
+                },
+            ),
+            (
+                "error",
+                match &rec.error {
+                    Some(e) => e.clone().into(),
+                    None => JsonValue::Null,
+                },
+            ),
+            ("spec", rec.spec.to_json()),
+        ]))
+    }
+
+    /// The completed result document (raw JSON text), `None` while the
+    /// job is unknown or unfinished.
+    pub fn result_text(&self, id: &str) -> Option<String> {
+        {
+            let state = self.inner.state.lock().unwrap();
+            if state.jobs.get(id)?.phase != JobPhase::Completed {
+                return None;
+            }
+        }
+        fs::read_to_string(self.job_dir(id).join("result.json")).ok()
+    }
+
+    /// Whether the id names a known job.
+    pub fn knows(&self, id: &str) -> bool {
+        self.inner.state.lock().unwrap().jobs.contains_key(id)
+    }
+
+    /// Jobs waiting for a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.state.lock().unwrap().queue.len()
+    }
+
+    /// Jobs currently being stepped.
+    pub fn running(&self) -> usize {
+        self.inner.state.lock().unwrap().running
+    }
+
+    /// Prometheus text-format metrics.
+    pub fn metrics_text(&self) -> String {
+        let uptime = self.inner.started.elapsed().as_secs_f64();
+        let completed = self.inner.completed.load(Ordering::Relaxed);
+        let jobs_per_sec = if uptime > 0.0 {
+            completed as f64 / uptime
+        } else {
+            0.0
+        };
+        let (depth, running, checkpoint_ages) = {
+            let state = self.inner.state.lock().unwrap();
+            let ages: Vec<(String, f64)> = state
+                .jobs
+                .iter()
+                .filter(|(_, r)| r.phase == JobPhase::Running)
+                .filter_map(|(id, r)| {
+                    r.checkpointed
+                        .map(|at| (id.clone(), at.elapsed().as_secs_f64()))
+                })
+                .collect();
+            (state.queue.len(), state.running, ages)
+        };
+        let mut out = String::new();
+        let mut gauge = |name: &str, help: &str, value: String| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+            ));
+        };
+        gauge(
+            "noc_service_queue_depth",
+            "Jobs waiting for a worker.",
+            depth.to_string(),
+        );
+        gauge(
+            "noc_service_running_jobs",
+            "Jobs currently being stepped.",
+            running.to_string(),
+        );
+        gauge(
+            "noc_service_uptime_seconds",
+            "Seconds since the scheduler started.",
+            format!("{uptime:.3}"),
+        );
+        gauge(
+            "noc_service_jobs_per_second",
+            "Completed jobs per second of uptime.",
+            format!("{jobs_per_sec:.6}"),
+        );
+        for (name, help, counter) in [
+            (
+                "noc_service_jobs_submitted_total",
+                "Jobs accepted.",
+                &self.inner.submitted,
+            ),
+            (
+                "noc_service_jobs_completed_total",
+                "Jobs finished with a result.",
+                &self.inner.completed,
+            ),
+            (
+                "noc_service_jobs_failed_total",
+                "Jobs that ended in error.",
+                &self.inner.failed,
+            ),
+            (
+                "noc_service_jobs_rejected_total",
+                "Submissions rejected by backpressure.",
+                &self.inner.rejected,
+            ),
+        ] {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {}\n",
+                counter.load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str(
+            "# HELP noc_service_checkpoint_age_seconds Seconds since a running job's \
+             last checkpoint hit the spool.\n\
+             # TYPE noc_service_checkpoint_age_seconds gauge\n",
+        );
+        for (id, age) in checkpoint_ages {
+            out.push_str(&format!(
+                "noc_service_checkpoint_age_seconds{{job=\"{id}\"}} {age:.3}\n"
+            ));
+        }
+        out
+    }
+
+    /// Whether a shutdown has been requested.
+    pub fn shutting_down(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: stop handing out queued jobs, interrupt
+    /// running jobs at their next checkpoint (which is already on disk
+    /// by then) and join every worker. Interrupted and queued jobs stay
+    /// in the spool and resume on the next start.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.work.notify_all();
+        let handles: Vec<_> = self.inner.workers.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Block until every queued/running job has finished (test helper;
+    /// returns `false` on timeout).
+    pub fn drain(&self, timeout: std::time::Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            {
+                let state = self.inner.state.lock().unwrap();
+                if state.queue.is_empty() && state.running == 0 {
+                    return true;
+                }
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+    }
+}
+
+fn worker_loop(inner: &Arc<SchedInner>) {
+    loop {
+        let id = {
+            let mut state = inner.state.lock().unwrap();
+            loop {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(id) = state.queue.pop_front() {
+                    state.running += 1;
+                    if let Some(rec) = state.jobs.get_mut(&id) {
+                        rec.phase = JobPhase::Running;
+                    }
+                    break id;
+                }
+                state = inner.work.wait(state).unwrap();
+            }
+        };
+        let outcome = run_job(inner, &id);
+        let mut state = inner.state.lock().unwrap();
+        state.running -= 1;
+        if let Some(rec) = state.jobs.get_mut(&id) {
+            match outcome {
+                JobOutcome::Completed => {
+                    rec.phase = JobPhase::Completed;
+                    rec.cycles_done = rec.spec.total_cycles();
+                    inner.completed.fetch_add(1, Ordering::Relaxed);
+                }
+                JobOutcome::Interrupted => {
+                    // Back to the durable queue: the next start resumes it.
+                    rec.phase = JobPhase::Queued;
+                }
+                JobOutcome::Failed(e) => {
+                    rec.phase = JobPhase::Failed;
+                    rec.error = Some(e);
+                    inner.failed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+enum JobOutcome {
+    Completed,
+    Interrupted,
+    Failed(String),
+}
+
+/// Execute one job end to end: resume from the spooled checkpoint when
+/// present, checkpoint periodically, and persist the result atomically.
+fn run_job(inner: &Arc<SchedInner>, id: &str) -> JobOutcome {
+    let dir = inner.cfg.spool.join(id);
+    let spec = {
+        let state = inner.state.lock().unwrap();
+        match state.jobs.get(id) {
+            Some(rec) => rec.spec.clone(),
+            None => return JobOutcome::Failed("job record vanished".into()),
+        }
+    };
+    let every = if spec.checkpoint_every == 0 {
+        inner.cfg.default_checkpoint_every
+    } else {
+        spec.checkpoint_every
+    };
+    let sim = match spec.simulator(every) {
+        Ok(s) => s,
+        Err(e) => return JobOutcome::Failed(fail(&dir, &e)),
+    };
+    let mut gen = match spec.generator() {
+        Ok(g) => g,
+        Err(e) => return JobOutcome::Failed(fail(&dir, &e)),
+    };
+    let checkpoint_path = dir.join("checkpoint.json");
+    let resume = match fs::read_to_string(&checkpoint_path) {
+        Ok(text) => match JsonValue::parse(&text) {
+            Ok(doc) => Some(doc),
+            Err(e) => return JobOutcome::Failed(fail(&dir, &format!("bad checkpoint: {e}"))),
+        },
+        Err(_) => None,
+    };
+    if let Some(doc) = &resume {
+        if let Some(cycle) = doc.get("cycle").and_then(JsonValue::as_u64) {
+            let mut state = inner.state.lock().unwrap();
+            if let Some(rec) = state.jobs.get_mut(id) {
+                rec.cycles_done = cycle;
+            }
+        }
+    }
+
+    let run = sim.run_resumable(&mut gen, resume.as_ref(), |doc| {
+        let ok = write_atomic(&checkpoint_path, &doc.render()).is_ok();
+        if ok {
+            if let Some(cycle) = doc.get("cycle").and_then(JsonValue::as_u64) {
+                let mut state = inner.state.lock().unwrap();
+                if let Some(rec) = state.jobs.get_mut(id) {
+                    rec.cycles_done = cycle;
+                    rec.checkpointed = Some(Instant::now());
+                }
+            }
+        }
+        // A checkpoint that failed to persist must not become the one
+        // we stop on; keep running unless it is safely spooled.
+        !(ok && inner.shutdown.load(Ordering::SeqCst))
+    });
+    match run {
+        Err(e) => JobOutcome::Failed(fail(&dir, &e.to_string())),
+        Ok((_, SimOutcome::Interrupted)) => JobOutcome::Interrupted,
+        Ok((report, outcome)) => {
+            let doc = obj([
+                ("schema_version", SNAPSHOT_SCHEMA_VERSION.into()),
+                ("job", id.into()),
+                (
+                    "outcome",
+                    match outcome {
+                        SimOutcome::Completed => "completed",
+                        SimOutcome::DrainedEarly => "drained_early",
+                        SimOutcome::DeadlockSuspected => "deadlock_suspected",
+                        SimOutcome::Interrupted => unreachable!("handled above"),
+                    }
+                    .into(),
+                ),
+                ("spec", spec.to_json()),
+                ("report", report.to_json()),
+            ]);
+            if let Err(e) = write_atomic(&dir.join("result.json"), &doc.render()) {
+                return JobOutcome::Failed(fail(&dir, &format!("writing result: {e}")));
+            }
+            let _ = fs::remove_file(&checkpoint_path);
+            JobOutcome::Completed
+        }
+    }
+}
+
+/// Record a terminal failure in the spool (so recovery won't retry it
+/// forever) and pass the message through.
+fn fail(dir: &Path, msg: &str) -> String {
+    let _ = write_atomic(&dir.join("error.txt"), msg);
+    msg.to_string()
+}

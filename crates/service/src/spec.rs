@@ -1,0 +1,315 @@
+//! Campaign specifications: the JSON job description accepted by
+//! `POST /jobs` and stored in the spool, plus its translation into the
+//! simulator's configuration types.
+
+use noc_faults::FaultPlan;
+use noc_sim::Simulator;
+use noc_telemetry::json::{obj, JsonValue};
+use noc_topology::Topology;
+use noc_traffic::{SyntheticPattern, TrafficConfig, TrafficGenerator};
+use noc_types::{NetworkConfig, SimConfig, TopologySpec};
+use shield_router::RouterKind;
+
+/// One simulation campaign, as submitted over HTTP. Every field has a
+/// default, so `{}` is a valid (small smoke-run) spec; [`CampaignSpec::to_json`]
+/// always renders the fully-resolved form, which is what the spool
+/// stores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Free-form label echoed in status responses.
+    pub name: String,
+    /// Mesh side length `k`.
+    pub mesh_k: u8,
+    /// Topology argument: `mesh`, `torus` or `cutmesh<N>[:seed]` —
+    /// the same grammar as the bench/CLI `--topology` flag.
+    pub topology: String,
+    /// `baseline` or `protected`.
+    pub router_kind: RouterKind,
+    /// Synthetic pattern name (`uniform_random`, `transpose`,
+    /// `bit_complement`, `bit_reverse`, `shuffle`, `tornado`,
+    /// `neighbour` or `hotspot:<fraction>`).
+    pub pattern: String,
+    /// Offered load in packets per node per cycle.
+    pub rate: f64,
+    /// Warm-up cycles before the measurement window.
+    pub warmup_cycles: u64,
+    /// Measured cycles.
+    pub measure_cycles: u64,
+    /// Drain allowance after the window.
+    pub drain_cycles: u64,
+    /// Seed for everything stochastic in the run.
+    pub seed: u64,
+    /// Stepper threads (`1` = serial; results are identical either way).
+    pub threads: usize,
+    /// Epoch sampling cadence (`0` = no time series).
+    pub sample_every: u64,
+    /// Checkpoint cadence in cycles; `0` defers to the daemon default.
+    pub checkpoint_every: u64,
+}
+
+impl Default for CampaignSpec {
+    fn default() -> Self {
+        CampaignSpec {
+            name: String::new(),
+            mesh_k: 4,
+            topology: "mesh".into(),
+            router_kind: RouterKind::Protected,
+            pattern: "uniform_random".into(),
+            rate: 0.1,
+            warmup_cycles: 200,
+            measure_cycles: 1_000,
+            drain_cycles: 500,
+            seed: 1,
+            threads: 1,
+            sample_every: 0,
+            checkpoint_every: 0,
+        }
+    }
+}
+
+fn opt_u64(v: &JsonValue, key: &str, default: u64) -> Result<u64, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(f) => f
+            .as_u64()
+            .ok_or_else(|| format!("`{key}` must be a number")),
+    }
+}
+
+fn opt_f64(v: &JsonValue, key: &str, default: f64) -> Result<f64, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(f) => f
+            .as_f64()
+            .ok_or_else(|| format!("`{key}` must be a number")),
+    }
+}
+
+fn opt_str(v: &JsonValue, key: &str, default: &str) -> Result<String, String> {
+    match v.get(key) {
+        None => Ok(default.to_string()),
+        Some(JsonValue::Str(s)) => Ok(s.clone()),
+        Some(_) => Err(format!("`{key}` must be a string")),
+    }
+}
+
+/// Parse a synthetic-pattern name as documented on
+/// [`CampaignSpec::pattern`].
+pub fn parse_pattern(name: &str) -> Result<SyntheticPattern, String> {
+    match name {
+        "uniform_random" => Ok(SyntheticPattern::UniformRandom),
+        "transpose" => Ok(SyntheticPattern::Transpose),
+        "bit_complement" => Ok(SyntheticPattern::BitComplement),
+        "bit_reverse" => Ok(SyntheticPattern::BitReverse),
+        "shuffle" => Ok(SyntheticPattern::Shuffle),
+        "tornado" => Ok(SyntheticPattern::Tornado),
+        "neighbour" => Ok(SyntheticPattern::Neighbour),
+        s if s.starts_with("hotspot:") => {
+            let fraction: f64 = s["hotspot:".len()..]
+                .parse()
+                .map_err(|_| format!("bad hotspot fraction in {s:?}"))?;
+            Ok(SyntheticPattern::Hotspot { fraction })
+        }
+        other => Err(format!("unknown traffic pattern {other:?}")),
+    }
+}
+
+impl CampaignSpec {
+    /// Parse and validate a spec document. Unknown keys are rejected so
+    /// a typo'd field name fails loudly instead of silently defaulting.
+    pub fn from_json(v: &JsonValue) -> Result<Self, String> {
+        let JsonValue::Obj(entries) = v else {
+            return Err("campaign spec must be a JSON object".into());
+        };
+        const KNOWN: &[&str] = &[
+            "name",
+            "mesh_k",
+            "topology",
+            "router_kind",
+            "pattern",
+            "rate",
+            "warmup_cycles",
+            "measure_cycles",
+            "drain_cycles",
+            "seed",
+            "threads",
+            "sample_every",
+            "checkpoint_every",
+        ];
+        for (k, _) in entries {
+            if !KNOWN.contains(&k.as_str()) {
+                return Err(format!("unknown spec field {k:?}"));
+            }
+        }
+        let d = CampaignSpec::default();
+        let spec = CampaignSpec {
+            name: opt_str(v, "name", &d.name)?,
+            mesh_k: u8::try_from(opt_u64(v, "mesh_k", d.mesh_k as u64)?)
+                .map_err(|_| "`mesh_k` out of range".to_string())?,
+            topology: opt_str(v, "topology", &d.topology)?,
+            router_kind: match opt_str(v, "router_kind", "protected")?.as_str() {
+                "baseline" => RouterKind::Baseline,
+                "protected" => RouterKind::Protected,
+                other => return Err(format!("unknown router kind {other:?}")),
+            },
+            pattern: opt_str(v, "pattern", &d.pattern)?,
+            rate: opt_f64(v, "rate", d.rate)?,
+            warmup_cycles: opt_u64(v, "warmup_cycles", d.warmup_cycles)?,
+            measure_cycles: opt_u64(v, "measure_cycles", d.measure_cycles)?,
+            drain_cycles: opt_u64(v, "drain_cycles", d.drain_cycles)?,
+            seed: opt_u64(v, "seed", d.seed)?,
+            threads: opt_u64(v, "threads", d.threads as u64)? as usize,
+            sample_every: opt_u64(v, "sample_every", d.sample_every)?,
+            checkpoint_every: opt_u64(v, "checkpoint_every", d.checkpoint_every)?,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Parse from JSON text (the HTTP request body).
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let doc = JsonValue::parse(text).map_err(|e| format!("bad JSON: {e}"))?;
+        CampaignSpec::from_json(&doc)
+    }
+
+    /// The fully-resolved spec as JSON.
+    pub fn to_json(&self) -> JsonValue {
+        obj([
+            ("name", self.name.clone().into()),
+            ("mesh_k", (self.mesh_k as u64).into()),
+            ("topology", self.topology.clone().into()),
+            (
+                "router_kind",
+                match self.router_kind {
+                    RouterKind::Baseline => "baseline",
+                    RouterKind::Protected => "protected",
+                }
+                .into(),
+            ),
+            ("pattern", self.pattern.clone().into()),
+            ("rate", self.rate.into()),
+            ("warmup_cycles", self.warmup_cycles.into()),
+            ("measure_cycles", self.measure_cycles.into()),
+            ("drain_cycles", self.drain_cycles.into()),
+            ("seed", self.seed.into()),
+            ("threads", (self.threads as u64).into()),
+            ("sample_every", self.sample_every.into()),
+            ("checkpoint_every", self.checkpoint_every.into()),
+        ])
+    }
+
+    /// Cheap validation: everything needed to build the simulator parses
+    /// and the resulting network configuration is well-formed.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.rate) {
+            return Err("`rate` must be in [0, 1]".into());
+        }
+        if self.measure_cycles == 0 {
+            return Err("`measure_cycles` must be positive".into());
+        }
+        parse_pattern(&self.pattern)?;
+        self.network_config()?.validate()
+    }
+
+    /// Total cycles the campaign will run (before any early drain).
+    pub fn total_cycles(&self) -> u64 {
+        self.warmup_cycles + self.measure_cycles + self.drain_cycles
+    }
+
+    /// The network configuration this spec describes.
+    pub fn network_config(&self) -> Result<NetworkConfig, String> {
+        Ok(NetworkConfig {
+            mesh_k: self.mesh_k,
+            topology: TopologySpec::parse_arg(&self.topology, self.mesh_k)?,
+            ..NetworkConfig::paper()
+        })
+    }
+
+    /// The simulation phase configuration this spec describes.
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig {
+            warmup_cycles: self.warmup_cycles,
+            measure_cycles: self.measure_cycles,
+            drain_cycles: self.drain_cycles,
+            seed: self.seed,
+        }
+    }
+
+    /// Build the simulator for this campaign. `checkpoint_every` is the
+    /// resolved cadence (spec value, or the daemon default when the spec
+    /// left it 0).
+    pub fn simulator(&self, checkpoint_every: u64) -> Result<Simulator, String> {
+        Ok(Simulator::new(
+            self.network_config()?,
+            self.sim_config(),
+            self.router_kind,
+            FaultPlan::none(),
+        )
+        .with_threads(self.threads)
+        .with_sample_every(self.sample_every)
+        .with_checkpoint_every(checkpoint_every))
+    }
+
+    /// Build the campaign's traffic generator (deterministic in the
+    /// spec: same spec → same packet stream).
+    pub fn generator(&self) -> Result<TrafficGenerator, String> {
+        let cfg = self.network_config()?;
+        let traffic = TrafficConfig::synthetic(parse_pattern(&self.pattern)?, self.rate);
+        let topo = Topology::from_spec(&cfg);
+        Ok(TrafficGenerator::for_topology(traffic, &topo, self.seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_object_is_the_default_spec() {
+        let spec = CampaignSpec::from_text("{}").unwrap();
+        assert_eq!(spec, CampaignSpec::default());
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let spec = CampaignSpec {
+            name: "torus probe".into(),
+            mesh_k: 6,
+            topology: "torus".into(),
+            router_kind: RouterKind::Baseline,
+            pattern: "hotspot:0.2".into(),
+            rate: 0.25,
+            seed: 42,
+            threads: 4,
+            sample_every: 500,
+            checkpoint_every: 1_000,
+            ..CampaignSpec::default()
+        };
+        let text = spec.to_json().render();
+        assert_eq!(CampaignSpec::from_text(&text).unwrap(), spec);
+    }
+
+    #[test]
+    fn rejects_unknown_fields_and_bad_values() {
+        assert!(CampaignSpec::from_text("{\"warmup\": 5}").is_err());
+        assert!(CampaignSpec::from_text("{\"rate\": 1.5}").is_err());
+        assert!(CampaignSpec::from_text("{\"pattern\": \"zigzag\"}").is_err());
+        assert!(CampaignSpec::from_text("{\"topology\": \"klein-bottle\"}").is_err());
+        assert!(CampaignSpec::from_text("not json").is_err());
+    }
+
+    #[test]
+    fn cutmesh_topology_arg_is_accepted() {
+        let spec = CampaignSpec::from_text("{\"topology\": \"cutmesh3:7\"}").unwrap();
+        let cfg = spec.network_config().unwrap();
+        assert_eq!(
+            cfg.topology,
+            TopologySpec::CutMesh {
+                w: 4,
+                h: 4,
+                cuts: 3,
+                seed: 7
+            }
+        );
+    }
+}

@@ -1,0 +1,298 @@
+//! End-to-end campaign service tests: scheduler completion against a
+//! direct-simulator reference, queue backpressure, and the full daemon
+//! crash drill — SIGKILL mid-campaign, restart on the same spool, and
+//! byte-identical results versus uninterrupted runs.
+
+use noc_service::client::jobs;
+use noc_service::{CampaignSpec, Scheduler, ServiceConfig, SubmitError};
+use noc_telemetry::json::JsonValue;
+use std::io::BufRead;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// A fresh scratch directory under the target-adjacent temp root;
+/// removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "noc-service-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The report an uninterrupted, service-independent run of `spec`
+/// produces, as canonical JSON bytes.
+fn reference_report(spec: &CampaignSpec) -> String {
+    let sim = spec.simulator(1_000).unwrap();
+    let mut gen = spec.generator().unwrap();
+    let (report, _) = sim.run_resumable(&mut gen, None, |_| true).unwrap();
+    report.to_json().render()
+}
+
+/// The `report` object out of a spooled/HTTP result document.
+fn report_of(result_text: &str) -> String {
+    JsonValue::parse(result_text)
+        .expect("result must be JSON")
+        .get("report")
+        .expect("result must embed the report")
+        .render()
+}
+
+fn quick_spec(seed: u64) -> CampaignSpec {
+    CampaignSpec {
+        name: format!("quick-{seed}"),
+        seed,
+        warmup_cycles: 100,
+        measure_cycles: 600,
+        drain_cycles: 300,
+        rate: 0.08,
+        ..CampaignSpec::default()
+    }
+}
+
+#[test]
+fn scheduler_completes_jobs_with_reference_identical_reports() {
+    let scratch = Scratch::new("sched");
+    let mut cfg = ServiceConfig::new(scratch.0.join("spool"));
+    cfg.workers = 2;
+    cfg.default_checkpoint_every = 250;
+    let sched = Scheduler::start(cfg).unwrap();
+
+    // Mixed topologies — including a cut mesh — through the same queue.
+    let mut specs = [quick_spec(11), quick_spec(12)];
+    specs[1].topology = "cutmesh2".into();
+    let ids: Vec<String> = specs
+        .iter()
+        .map(|s| sched.submit(s.clone()).unwrap())
+        .collect();
+    assert!(sched.drain(Duration::from_secs(120)), "jobs must finish");
+
+    for (spec, id) in specs.iter().zip(&ids) {
+        let status = sched.status_json(id).unwrap();
+        assert_eq!(status.get("phase").unwrap().as_str(), Some("completed"));
+        let result = sched.result_text(id).expect("completed job has a result");
+        assert_eq!(report_of(&result), reference_report(spec), "job {id}");
+    }
+    sched.shutdown();
+}
+
+#[test]
+fn queue_backpressure_rejects_with_retry_hint() {
+    let scratch = Scratch::new("backpressure");
+    let mut cfg = ServiceConfig::new(scratch.0.join("spool"));
+    cfg.workers = 1;
+    cfg.queue_cap = 2;
+    cfg.retry_after_secs = 7;
+    let sched = Scheduler::start(cfg).unwrap();
+
+    // A worker may drain up to one job from the queue while we flood,
+    // so over-fill by enough that rejection is guaranteed.
+    let mut rejected = None;
+    for seed in 0..6 {
+        match sched.submit(quick_spec(seed)) {
+            Ok(_) => {}
+            Err(SubmitError::QueueFull { retry_after_secs }) => {
+                rejected = Some(retry_after_secs);
+                break;
+            }
+            Err(e) => panic!("unexpected submit error: {e:?}"),
+        }
+    }
+    assert_eq!(rejected, Some(7), "flooding a cap-2 queue must reject");
+    assert!(sched
+        .metrics_text()
+        .contains("noc_service_jobs_rejected_total 1"));
+    sched.shutdown();
+}
+
+/// A running daemon child plus its address; killed on drop.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn start(spool: &PathBuf, extra: &[&str]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_noc-serviced"))
+            .arg("--port")
+            .arg("0")
+            .arg("--spool")
+            .arg(spool)
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("daemon must start");
+        let stdout = child.stdout.take().unwrap();
+        let mut lines = std::io::BufReader::new(stdout).lines();
+        let first = lines
+            .next()
+            .expect("daemon prints its address")
+            .expect("readable stdout");
+        let addr = first
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner: {first:?}"))
+            .to_string();
+        // Drain the rest of stdout in the background so the child never
+        // blocks on a full pipe.
+        std::thread::spawn(move || for _ in lines {});
+        Daemon { child, addr }
+    }
+
+    fn kill9(&mut self) {
+        // On Unix `Child::kill` delivers SIGKILL: no handler runs, no
+        // checkpoint is flushed — the crash we are drilling for.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.kill9();
+    }
+}
+
+fn poll_until(timeout: Duration, mut f: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if f() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    false
+}
+
+#[test]
+fn daemon_survives_sigkill_with_identical_results() {
+    let scratch = Scratch::new("daemon");
+    let spool = scratch.0.join("spool");
+
+    // Three concurrent campaigns, long enough to be mid-flight when the
+    // daemon dies, checkpointing densely enough to resume cheaply.
+    let mut specs = vec![quick_spec(21), quick_spec(22), quick_spec(23)];
+    for spec in &mut specs {
+        spec.measure_cycles = 6_000;
+        spec.drain_cycles = 800;
+        spec.checkpoint_every = 500;
+    }
+    specs[1].topology = "torus".into();
+    specs[2].router_kind = shield_router::RouterKind::Baseline;
+    let references: Vec<String> = specs.iter().map(reference_report).collect();
+
+    let mut daemon = Daemon::start(&spool, &["--workers", "3", "--queue-cap", "8"]);
+    let ids: Vec<String> = specs
+        .iter()
+        .map(|spec| {
+            let resp = jobs::submit(&daemon.addr, &spec.to_json().render()).unwrap();
+            assert_eq!(resp.status, 201, "{}", resp.body);
+            JsonValue::parse(&resp.body)
+                .unwrap()
+                .get("id")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_string()
+        })
+        .collect();
+
+    // The daemon must stay responsive under load: health and metrics
+    // answer while all three jobs are being stepped.
+    let health = jobs::healthz(&daemon.addr).unwrap();
+    assert_eq!((health.status, health.body.as_str()), (200, "ok\n"));
+    let metrics = jobs::metrics(&daemon.addr).unwrap();
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.body.contains("noc_service_queue_depth"));
+    assert!(metrics.body.contains("noc_service_running_jobs"));
+
+    // Wait until every job has at least one checkpoint on disk, then
+    // pull the plug with no warning whatsoever.
+    let progressed = poll_until(Duration::from_secs(120), || {
+        ids.iter().all(|id| {
+            jobs::status(&daemon.addr, id).is_ok_and(|resp| {
+                JsonValue::parse(&resp.body)
+                    .ok()
+                    .and_then(|doc| doc.get("cycles_done")?.as_u64())
+                    .is_some_and(|c| c >= 500)
+            })
+        })
+    });
+    assert!(progressed, "jobs must reach their first checkpoint");
+    daemon.kill9();
+
+    // Restart on the same spool: recovery re-queues the interrupted
+    // jobs and finishes them from their checkpoints.
+    let daemon = Daemon::start(&spool, &["--workers", "3", "--queue-cap", "8"]);
+    let done = poll_until(Duration::from_secs(180), || {
+        ids.iter()
+            .all(|id| jobs::result(&daemon.addr, id).is_ok_and(|resp| resp.status == 200))
+    });
+    assert!(done, "recovered jobs must complete");
+
+    for (i, id) in ids.iter().enumerate() {
+        let resp = jobs::result(&daemon.addr, id).unwrap();
+        assert_eq!(
+            report_of(&resp.body),
+            references[i],
+            "job {id} diverged after SIGKILL + resume"
+        );
+    }
+}
+
+#[test]
+fn daemon_returns_429_and_404_properly() {
+    let scratch = Scratch::new("http");
+    let spool = scratch.0.join("spool");
+    let daemon = Daemon::start(
+        &spool,
+        &[
+            "--workers",
+            "1",
+            "--queue-cap",
+            "1",
+            "--checkpoint-every",
+            "500",
+        ],
+    );
+
+    // Slow-ish jobs so the queue stays occupied while we flood.
+    let mut spec = quick_spec(31);
+    spec.measure_cycles = 6_000;
+    let mut saw_429 = None;
+    for _ in 0..6 {
+        let resp = jobs::submit(&daemon.addr, &spec.to_json().render()).unwrap();
+        match resp.status {
+            201 => {}
+            429 => {
+                saw_429 = Some(resp.header("retry-after").map(str::to_string));
+                break;
+            }
+            other => panic!("unexpected status {other}: {}", resp.body),
+        }
+    }
+    let retry_after = saw_429.expect("flooding a cap-1 queue must 429");
+    assert!(retry_after.is_some(), "429 must carry Retry-After");
+
+    let resp = jobs::status(&daemon.addr, "job-999999").unwrap();
+    assert_eq!(resp.status, 404);
+    let resp = jobs::result(&daemon.addr, "job-999999").unwrap();
+    assert_eq!(resp.status, 404);
+    let resp =
+        noc_service::client::request(&daemon.addr, "POST", "/jobs", Some("{\"rate\": 9}")).unwrap();
+    assert_eq!(resp.status, 400);
+}

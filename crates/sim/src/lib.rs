@@ -26,8 +26,13 @@
 //!   sweeps on the shared pool.
 //!
 //! Packet sources are plain closures `FnMut(Cycle) -> Vec<Packet>`
-//! invoked once per cycle, which keeps this crate decoupled from the
-//! traffic models in `noc-traffic`.
+//! invoked once per cycle. Checkpointable runs use the
+//! [`PacketSource`] trait instead (implemented by
+//! [`noc_traffic::TrafficGenerator`]): [`Simulator::run_resumable`]
+//! emits self-describing JSON checkpoints of the complete simulation
+//! state — every router, NI, wire, credit and RNG stream — and a run
+//! resumed from one produces a byte-identical [`NetworkReport`]
+//! (ARCHITECTURE.md §5).
 //!
 //! Telemetry: [`Network::step_observed`] threads a
 //! [`noc_telemetry::Observer`] per stepper shard through every router
@@ -53,5 +58,5 @@ pub use batch::run_batch;
 pub use network::Network;
 pub use ni::NetworkInterface;
 pub use pool::WorkerPool;
-pub use simulator::{SimOutcome, Simulator};
+pub use simulator::{PacketSource, SimOutcome, Simulator};
 pub use stats::{LatencySummary, NetworkReport, RouterEventTotals, LATENCY_BUCKETS};

@@ -1179,12 +1179,272 @@ impl Network {
     }
 }
 
+// ---------------------------------------------------------------------
+// Snapshot / restore
+// ---------------------------------------------------------------------
+
+use noc_telemetry::json::{obj, JsonValue};
+use noc_telemetry::snapshot::{
+    arr_field, decode_field, field, hex, str_field, u64_field, FromSnapshot, Restore, Snapshot,
+    SnapshotError, SNAPSHOT_SCHEMA_VERSION,
+};
+
+impl Snapshot for Wire {
+    fn snapshot(&self) -> JsonValue {
+        match self {
+            Wire::Flit {
+                router,
+                port,
+                vc,
+                flit,
+            } => obj([
+                ("t", "flit".into()),
+                ("router", (*router as u64).into()),
+                ("port", port.snapshot()),
+                ("vc", vc.snapshot()),
+                ("flit", flit.snapshot()),
+            ]),
+            Wire::Credit {
+                router,
+                out_port,
+                vc,
+            } => obj([
+                ("t", "credit".into()),
+                ("router", (*router as u64).into()),
+                ("out_port", out_port.snapshot()),
+                ("vc", vc.snapshot()),
+            ]),
+            Wire::Eject { node, flit } => obj([
+                ("t", "eject".into()),
+                ("node", (*node as u64).into()),
+                ("flit", flit.snapshot()),
+            ]),
+            Wire::NiCredit { router, vc } => obj([
+                ("t", "ni_credit".into()),
+                ("router", (*router as u64).into()),
+                ("vc", vc.snapshot()),
+            ]),
+        }
+    }
+}
+
+impl FromSnapshot for Wire {
+    fn from_snapshot(v: &JsonValue) -> Result<Self, SnapshotError> {
+        match str_field(v, "t")? {
+            "flit" => Ok(Wire::Flit {
+                router: u64_field(v, "router")? as usize,
+                port: decode_field(v, "port")?,
+                vc: decode_field(v, "vc")?,
+                flit: decode_field(v, "flit")?,
+            }),
+            "credit" => Ok(Wire::Credit {
+                router: u64_field(v, "router")? as usize,
+                out_port: decode_field(v, "out_port")?,
+                vc: decode_field(v, "vc")?,
+            }),
+            "eject" => Ok(Wire::Eject {
+                node: u64_field(v, "node")? as usize,
+                flit: decode_field(v, "flit")?,
+            }),
+            "ni_credit" => Ok(Wire::NiCredit {
+                router: u64_field(v, "router")? as usize,
+                vc: decode_field(v, "vc")?,
+            }),
+            other => Err(SnapshotError::new(format!("unknown wire tag `{other}`"))),
+        }
+    }
+}
+
+/// Canonical rendering of the construction parameters a [`Network`]
+/// snapshot was taken under. Stored in the snapshot and compared (as
+/// rendered bytes) on restore: a snapshot only restores into a network
+/// built from the *same* configuration.
+fn config_fingerprint(cfg: &NetworkConfig, kind: RouterKind) -> JsonValue {
+    let topology = match cfg.topology {
+        TopologySpec::MeshK => obj([("kind", "mesh_k".into())]),
+        TopologySpec::Mesh { w, h } => obj([
+            ("kind", "mesh".into()),
+            ("w", (w as u64).into()),
+            ("h", (h as u64).into()),
+        ]),
+        TopologySpec::Torus { w, h } => obj([
+            ("kind", "torus".into()),
+            ("w", (w as u64).into()),
+            ("h", (h as u64).into()),
+        ]),
+        TopologySpec::CutMesh { w, h, cuts, seed } => obj([
+            ("kind", "cutmesh".into()),
+            ("w", (w as u64).into()),
+            ("h", (h as u64).into()),
+            ("cuts", (cuts as u64).into()),
+            ("seed", hex(seed)),
+        ]),
+    };
+    obj([
+        ("mesh_k", (cfg.mesh_k as u64).into()),
+        ("topology", topology),
+        ("ports", (cfg.router.ports as u64).into()),
+        ("vcs", (cfg.router.vcs as u64).into()),
+        ("buffer_depth", (cfg.router.buffer_depth as u64).into()),
+        (
+            "flit_width_bits",
+            (cfg.router.flit_width_bits as u64).into(),
+        ),
+        ("link_latency", (cfg.link_latency as u64).into()),
+        ("ni_queue_packets", (cfg.ni_queue_packets as u64).into()),
+        (
+            "router_kind",
+            match kind {
+                RouterKind::Baseline => "baseline",
+                RouterKind::Protected => "protected",
+            }
+            .into(),
+        ),
+    ])
+}
+
+impl Network {
+    /// The router kind this network was built with (uniform by
+    /// construction).
+    pub fn kind(&self) -> RouterKind {
+        self.routers[0].kind()
+    }
+}
+
+impl Snapshot for Network {
+    /// The network's complete resumable state at a cycle boundary:
+    /// every router and NI, the wire ring (slot 0 first — the slot
+    /// arriving next cycle), the delivery log, the link-utilisation
+    /// matrix and the global counters. Excluded as rebuildable from
+    /// configuration: the topology, the wiring table, the parallel
+    /// stepper (thread count is a performance knob — results are
+    /// bit-identical for any value, see the module docs) and the empty
+    /// per-cycle scratch buffers.
+    fn snapshot(&self) -> JsonValue {
+        obj([
+            ("schema_version", SNAPSHOT_SCHEMA_VERSION.into()),
+            ("config", config_fingerprint(&self.cfg, self.kind())),
+            ("cycles_stepped", self.cycles_stepped.into()),
+            ("routers_stepped", self.routers_stepped.into()),
+            ("routers_skipped", self.routers_skipped.into()),
+            ("skip_idle", self.skip_idle.into()),
+            ("flits_edge_dropped", self.flits_edge_dropped.into()),
+            ("flits_dropped", self.flits_dropped.into()),
+            ("flits_injected", self.flits_injected.into()),
+            ("last_activity", self.last_activity.into()),
+            (
+                "wires",
+                JsonValue::Arr(
+                    self.wires
+                        .iter()
+                        .map(|slot| JsonValue::Arr(slot.iter().map(Snapshot::snapshot).collect()))
+                        .collect(),
+                ),
+            ),
+            ("routers", self.routers.snapshot()),
+            ("nis", self.nis.snapshot()),
+            ("deliveries", self.deliveries.snapshot()),
+            (
+                "link_flits",
+                JsonValue::Arr(
+                    self.link_flits
+                        .iter()
+                        .map(|row| JsonValue::Arr(row.iter().map(|&x| x.into()).collect()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl Restore for Network {
+    fn restore(&mut self, v: &JsonValue) -> Result<(), SnapshotError> {
+        let version = u64_field(v, "schema_version")?;
+        if version != SNAPSHOT_SCHEMA_VERSION {
+            return Err(SnapshotError::new(format!(
+                "snapshot schema version {version} != supported {SNAPSHOT_SCHEMA_VERSION}"
+            )));
+        }
+        let expected = config_fingerprint(&self.cfg, self.kind()).render();
+        let got = field(v, "config")?.render();
+        if got != expected {
+            return Err(SnapshotError::new(format!(
+                "configuration mismatch: snapshot taken under {got}, restoring into {expected}"
+            )));
+        }
+        let routers = arr_field(v, "routers")?;
+        if routers.len() != self.routers.len() {
+            return Err(SnapshotError::new("`routers` length mismatch"));
+        }
+        for (i, (r, s)) in self.routers.iter_mut().zip(routers).enumerate() {
+            r.restore(s)
+                .map_err(|e| e.within(&format!("routers[{i}]")))?;
+        }
+        let nis = arr_field(v, "nis")?;
+        if nis.len() != self.nis.len() {
+            return Err(SnapshotError::new("`nis` length mismatch"));
+        }
+        for (i, (n, s)) in self.nis.iter_mut().zip(nis).enumerate() {
+            n.restore(s).map_err(|e| e.within(&format!("nis[{i}]")))?;
+        }
+        let wires = arr_field(v, "wires")?;
+        if wires.len() != self.wires.len() {
+            return Err(SnapshotError::new(format!(
+                "`wires` has {} slots but link latency {} needs {}",
+                wires.len(),
+                self.cfg.link_latency,
+                self.wires.len()
+            )));
+        }
+        for (i, (slot, s)) in self.wires.iter_mut().zip(wires).enumerate() {
+            slot.clear();
+            slot.extend(
+                Vec::<Wire>::from_snapshot(s).map_err(|e| e.within(&format!("wires[{i}]")))?,
+            );
+        }
+        self.deliveries = Vec::<DeliveredPacket>::from_snapshot(field(v, "deliveries")?)
+            .map_err(|e| e.within("deliveries"))?;
+        let link_flits = arr_field(v, "link_flits")?;
+        if link_flits.len() != self.link_flits.len() {
+            return Err(SnapshotError::new("`link_flits` length mismatch"));
+        }
+        for (row, s) in self.link_flits.iter_mut().zip(link_flits) {
+            let arr = s
+                .as_array()
+                .filter(|a| a.len() == 5)
+                .ok_or_else(|| SnapshotError::new("`link_flits` row is not a 5-entry array"))?;
+            for (slot, e) in row.iter_mut().zip(arr) {
+                *slot = e
+                    .as_u64()
+                    .ok_or_else(|| SnapshotError::new("`link_flits` entry is not a number"))?;
+            }
+        }
+        self.cycles_stepped = u64_field(v, "cycles_stepped")?;
+        self.routers_stepped = u64_field(v, "routers_stepped")?;
+        self.routers_skipped = u64_field(v, "routers_skipped")?;
+        self.skip_idle = match field(v, "skip_idle")? {
+            JsonValue::Bool(b) => *b,
+            _ => return Err(SnapshotError::new("`skip_idle` is not a bool")),
+        };
+        self.flits_edge_dropped = u64_field(v, "flits_edge_dropped")?;
+        self.flits_dropped = u64_field(v, "flits_dropped")?;
+        self.flits_injected = u64_field(v, "flits_injected")?;
+        self.last_activity = u64_field(v, "last_activity")?;
+        // Per-cycle scratch is empty at every cycle boundary; leave the
+        // parallel stepper alone — thread count is orthogonal to state.
+        self.arrivals_scratch.clear();
+        Ok(())
+    }
+}
+
 /// Apply the `NOC_TOPOLOGY` environment override: `mesh` (no-op),
-/// `torus` or `cutmesh<N>` (N = links to cut). Only configs still
-/// carrying the default [`TopologySpec::MeshK`] are rewritten — a config
-/// that names its topology explicitly always wins — so the existing
-/// `mesh_k`-based test matrix can be replayed on other topologies
-/// without touching any test.
+/// `torus` or `cutmesh<N>[:seed]` (N = links to cut). Only configs
+/// still carrying the default [`TopologySpec::MeshK`] are rewritten — a
+/// config that names its topology explicitly always wins — so the
+/// existing `mesh_k`-based test matrix can be replayed on other
+/// topologies without touching any test. Parsing (including the cut
+/// clamp and the default `0xC0FFEE ^ k` seed) is shared with the bench
+/// and CLI `--topology` flags via [`TopologySpec::parse_arg`].
 fn apply_topology_override(mut cfg: NetworkConfig) -> NetworkConfig {
     if cfg.topology != TopologySpec::MeshK {
         return cfg;
@@ -1192,33 +1452,8 @@ fn apply_topology_override(mut cfg: NetworkConfig) -> NetworkConfig {
     let Ok(raw) = std::env::var("NOC_TOPOLOGY") else {
         return cfg;
     };
-    let k = cfg.mesh_k;
-    cfg.topology = match raw.trim() {
-        "" | "mesh" => TopologySpec::MeshK,
-        "torus" => TopologySpec::Torus { w: k, h: k },
-        s if s.starts_with("cutmesh") => {
-            let cuts: u16 = s["cutmesh".len()..]
-                .parse()
-                .unwrap_or_else(|_| panic!("NOC_TOPOLOGY: bad cut count in {s:?}"));
-            // A k×k grid has 2k(k−1) links and needs n−1 to stay
-            // connected; clamp so small grids in property tests don't
-            // request more cuts than connectivity allows.
-            let n = k as u16 * k as u16;
-            let links = 2 * k as u16 * (k as u16 - 1);
-            let cuts = cuts.min(links.saturating_sub(n - 1));
-            TopologySpec::CutMesh {
-                w: k,
-                h: k,
-                cuts,
-                seed: 0xC0FFEE ^ k as u64,
-            }
-        }
-        other => {
-            panic!(
-                "NOC_TOPOLOGY: unrecognised value {other:?} (expected mesh | torus | cutmesh<N>)"
-            )
-        }
-    };
+    cfg.topology =
+        TopologySpec::parse_arg(&raw, cfg.mesh_k).unwrap_or_else(|e| panic!("NOC_TOPOLOGY: {e}"));
     cfg
 }
 

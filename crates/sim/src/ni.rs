@@ -207,6 +207,151 @@ impl NetworkInterface {
     }
 }
 
+// ---------------------------------------------------------------------
+// Snapshot / restore
+// ---------------------------------------------------------------------
+
+use noc_telemetry::json::{obj, JsonValue};
+use noc_telemetry::snapshot::{
+    arr_field, decode_field, u64_field, FromSnapshot, Restore, Snapshot, SnapshotError,
+};
+
+impl Snapshot for NetworkInterface {
+    /// Resumable state only; `node`/`vcs`/`depth`/`queue_cap` are
+    /// construction parameters. The reassembly map is rendered sorted by
+    /// packet id so equal state gives equal bytes regardless of the
+    /// `HashMap`'s internal order.
+    fn snapshot(&self) -> JsonValue {
+        let mut reassembly: Vec<(&PacketId, &Reassembly)> = self.reassembly.iter().collect();
+        reassembly.sort_by_key(|(id, _)| **id);
+        obj([
+            (
+                "queue",
+                JsonValue::Arr(self.queue.iter().map(Snapshot::snapshot).collect()),
+            ),
+            (
+                "credits",
+                JsonValue::Arr(self.credits.iter().map(|&c| (c as u64).into()).collect()),
+            ),
+            (
+                "vc_taken",
+                JsonValue::Arr(self.vc_taken.iter().map(|&b| b.into()).collect()),
+            ),
+            (
+                "sends",
+                JsonValue::Arr(
+                    self.sends
+                        .iter()
+                        .map(|s| {
+                            obj([
+                                ("vc", s.vc.snapshot()),
+                                (
+                                    "remaining",
+                                    JsonValue::Arr(
+                                        s.remaining.iter().map(Snapshot::snapshot).collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("send_rr", (self.send_rr as u64).into()),
+            (
+                "reassembly",
+                JsonValue::Arr(
+                    reassembly
+                        .into_iter()
+                        .map(|(id, re)| {
+                            obj([
+                                ("packet", id.snapshot()),
+                                ("injected_at", re.injected_at.into()),
+                                ("created_at", re.created_at.into()),
+                                ("flits_seen", (re.flits_seen as u64).into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("offered", self.offered.into()),
+            ("accepted", self.accepted.into()),
+            ("injected", self.injected.into()),
+            ("ejected", self.ejected.into()),
+            ("misdelivered", self.misdelivered.into()),
+            ("flits_ejected", self.flits_ejected.into()),
+        ])
+    }
+}
+
+impl Restore for NetworkInterface {
+    fn restore(&mut self, v: &JsonValue) -> Result<(), SnapshotError> {
+        let credits = arr_field(v, "credits")?;
+        if credits.len() != self.credits.len() {
+            return Err(SnapshotError::new("`credits` length mismatch"));
+        }
+        let vc_taken = arr_field(v, "vc_taken")?;
+        if vc_taken.len() != self.vc_taken.len() {
+            return Err(SnapshotError::new("`vc_taken` length mismatch"));
+        }
+        for (slot, e) in self.credits.iter_mut().zip(credits) {
+            *slot = e
+                .as_u64()
+                .ok_or_else(|| SnapshotError::new("`credits` entry is not a number"))?
+                as u8;
+        }
+        for (slot, e) in self.vc_taken.iter_mut().zip(vc_taken) {
+            *slot = match e {
+                JsonValue::Bool(b) => *b,
+                _ => return Err(SnapshotError::new("`vc_taken` entry is not a bool")),
+            };
+        }
+        self.queue = Vec::<Packet>::from_snapshot(
+            v.get("queue")
+                .ok_or_else(|| SnapshotError::new("missing field `queue`"))?,
+        )
+        .map_err(|e| e.within("queue"))?
+        .into();
+        self.sends = arr_field(v, "sends")?
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let decoded = (|| {
+                    let remaining = Vec::<Flit>::from_snapshot(
+                        s.get("remaining")
+                            .ok_or_else(|| SnapshotError::new("missing field `remaining`"))?,
+                    )?;
+                    Ok(ActiveSend {
+                        vc: decode_field(s, "vc")?,
+                        remaining: remaining.into(),
+                    })
+                })();
+                decoded.map_err(|e: SnapshotError| e.within(&format!("sends[{i}]")))
+            })
+            .collect::<Result<_, _>>()?;
+        self.send_rr = u64_field(v, "send_rr")? as usize;
+        self.reassembly.clear();
+        for (i, entry) in arr_field(v, "reassembly")?.iter().enumerate() {
+            let id: PacketId =
+                decode_field(entry, "packet").map_err(|e| e.within(&format!("reassembly[{i}]")))?;
+            self.reassembly.insert(
+                id,
+                Reassembly {
+                    injected_at: u64_field(entry, "injected_at")?,
+                    created_at: u64_field(entry, "created_at")?,
+                    flits_seen: u64_field(entry, "flits_seen")? as usize,
+                },
+            );
+        }
+        self.offered = u64_field(v, "offered")?;
+        self.accepted = u64_field(v, "accepted")?;
+        self.injected = u64_field(v, "injected")?;
+        self.ejected = u64_field(v, "ejected")?;
+        self.misdelivered = u64_field(v, "misdelivered")?;
+        self.flits_ejected = u64_field(v, "flits_ejected")?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

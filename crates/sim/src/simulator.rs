@@ -4,7 +4,12 @@
 use crate::network::Network;
 use crate::stats::NetworkReport;
 use noc_faults::FaultPlan;
+use noc_telemetry::json::{obj, JsonValue};
+use noc_telemetry::snapshot::{
+    field, u64_field, usize_field, Restore, Snapshot, SnapshotError, SNAPSHOT_SCHEMA_VERSION,
+};
 use noc_telemetry::{EpochSample, NullObserver, Observer, ShardedTracer, TimeSeries};
+use noc_traffic::TrafficGenerator;
 use noc_types::{Cycle, NetworkConfig, Packet, SimConfig};
 use shield_router::RouterKind;
 
@@ -21,6 +26,9 @@ pub enum SimOutcome {
     DrainedEarly,
     /// The watchdog fired.
     DeadlockSuspected,
+    /// A [`Simulator::run_resumable`] checkpoint callback asked to stop;
+    /// the run can be resumed from the checkpoint it just emitted.
+    Interrupted,
 }
 
 /// A configured simulation, ready to run against a packet source.
@@ -31,6 +39,22 @@ pub struct Simulator {
     plan: FaultPlan,
     threads: usize,
     sample_every: Option<Cycle>,
+    checkpoint_every: Cycle,
+}
+
+/// A packet source whose state can be checkpointed and restored, so a
+/// run driven by it can resume exactly where it left off. Implemented
+/// by [`TrafficGenerator`]; implement it for custom sources to use
+/// [`Simulator::run_resumable`].
+pub trait PacketSource: Snapshot + Restore {
+    /// Append the packets created at `cycle` to `out`.
+    fn generate(&mut self, cycle: Cycle, out: &mut Vec<Packet>);
+}
+
+impl PacketSource for TrafficGenerator {
+    fn generate(&mut self, cycle: Cycle, out: &mut Vec<Packet>) {
+        self.tick_into(cycle, out);
+    }
 }
 
 /// Default stepper thread count, read from `NOC_SIM_THREADS` (`1` =
@@ -100,6 +124,88 @@ impl EpochState {
         self.routers_stepped = net.routers_stepped();
         self.routers_skipped = net.routers_skipped();
     }
+
+    fn to_json(&self) -> JsonValue {
+        obj([
+            ("series", self.series.to_json()),
+            ("epoch_start", self.epoch_start.into()),
+            ("deliveries_seen", (self.deliveries_seen as u64).into()),
+            ("flits_ejected", self.flits_ejected.into()),
+            ("flits_injected", self.flits_injected.into()),
+            ("routers_stepped", self.routers_stepped.into()),
+            ("routers_skipped", self.routers_skipped.into()),
+        ])
+    }
+
+    fn from_json(v: &JsonValue) -> Result<Self, SnapshotError> {
+        Ok(EpochState {
+            series: TimeSeries::from_json(field(v, "series")?).map_err(|e| e.within("series"))?,
+            epoch_start: u64_field(v, "epoch_start")?,
+            deliveries_seen: usize_field(v, "deliveries_seen")?,
+            flits_ejected: u64_field(v, "flits_ejected")?,
+            flits_injected: u64_field(v, "flits_injected")?,
+            routers_stepped: u64_field(v, "routers_stepped")?,
+            routers_skipped: u64_field(v, "routers_skipped")?,
+        })
+    }
+}
+
+/// What [`Simulator::run_core`] drives each cycle: a packet generator
+/// plus an end-of-cycle hook. The plain `run*` entry points wrap their
+/// closure in [`FnSource`] (hook is a no-op); [`Simulator::run_resumable`]
+/// uses the hook to emit checkpoints, so both paths share one loop and
+/// cannot drift apart.
+trait CoreSource {
+    fn generate(&mut self, cycle: Cycle, out: &mut Vec<Packet>);
+    /// Called after `cycle` fully completed (network stepped, epoch
+    /// sampler closed) and before the loop decides whether to stop.
+    /// Returning `false` interrupts the run.
+    fn cycle_done(&mut self, _cycle: Cycle, _net: &Network, _epochs: &Option<EpochState>) -> bool {
+        true
+    }
+}
+
+struct FnSource<F>(F);
+
+impl<F: FnMut(Cycle, &mut Vec<Packet>)> CoreSource for FnSource<F> {
+    fn generate(&mut self, cycle: Cycle, out: &mut Vec<Packet>) {
+        (self.0)(cycle, out);
+    }
+}
+
+/// The resumable loop's source: forwards packet generation and emits a
+/// full checkpoint document every `every` cycles.
+struct CheckpointingSource<'a, S, F> {
+    source: &'a mut S,
+    every: Cycle,
+    sink: F,
+}
+
+impl<S: PacketSource, F: FnMut(&JsonValue) -> bool> CoreSource for CheckpointingSource<'_, S, F> {
+    fn generate(&mut self, cycle: Cycle, out: &mut Vec<Packet>) {
+        self.source.generate(cycle, out);
+    }
+
+    fn cycle_done(&mut self, cycle: Cycle, net: &Network, epochs: &Option<EpochState>) -> bool {
+        let next = cycle + 1;
+        if self.every == 0 || !next.is_multiple_of(self.every) {
+            return true;
+        }
+        let doc = obj([
+            ("schema_version", SNAPSHOT_SCHEMA_VERSION.into()),
+            ("cycle", next.into()),
+            (
+                "epochs",
+                match epochs {
+                    Some(ep) => ep.to_json(),
+                    None => JsonValue::Null,
+                },
+            ),
+            ("source", self.source.snapshot()),
+            ("network", net.snapshot()),
+        ]);
+        (self.sink)(&doc)
+    }
 }
 
 impl Simulator {
@@ -118,6 +224,7 @@ impl Simulator {
             plan,
             threads: env_threads(),
             sample_every: None,
+            checkpoint_every: 0,
         }
     }
 
@@ -134,6 +241,15 @@ impl Simulator {
     /// [`NetworkReport::epochs`].
     pub fn with_sample_every(mut self, every: Cycle) -> Self {
         self.sample_every = if every == 0 { None } else { Some(every) };
+        self
+    }
+
+    /// Emit a checkpoint every `every` cycles during
+    /// [`Simulator::run_resumable`] (`0`, the default, disables
+    /// checkpointing — the run is still resumable from a checkpoint
+    /// taken earlier).
+    pub fn with_checkpoint_every(mut self, every: Cycle) -> Self {
+        self.checkpoint_every = every;
         self
     }
 
@@ -158,7 +274,67 @@ impl Simulator {
         // Zero-sized observers: the Vec never allocates and every
         // `O::ENABLED` guard in the steppers compiles out.
         let mut nulls = vec![NullObserver; net.shard_count()];
-        self.run_core(&mut net, source, &mut nulls)
+        self.run_core(
+            &mut net,
+            &mut FnSource(source),
+            &mut nulls,
+            0,
+            self.sample_every.map(EpochState::new),
+        )
+    }
+
+    /// Run a checkpointable simulation against a [`PacketSource`].
+    ///
+    /// When `resume_from` is `Some`, the network, the source and the
+    /// epoch sampler are restored from the checkpoint and the loop
+    /// continues from the checkpointed cycle; the returned report is
+    /// **byte-for-byte identical** (via [`NetworkReport::to_json`]) to
+    /// the report an uninterrupted run would have produced, for either
+    /// router kind, any topology and any thread count.
+    ///
+    /// When [`Simulator::with_checkpoint_every`] is set, `on_checkpoint`
+    /// receives a complete self-describing checkpoint document every
+    /// `n` cycles; feed one back as `resume_from` (on a `Simulator`
+    /// with the same configuration) to resume. Returning `false` from
+    /// the callback interrupts the run ([`SimOutcome::Interrupted`])
+    /// right after the checkpoint it was handed — the graceful-shutdown
+    /// hook for the campaign service.
+    pub fn run_resumable<S: PacketSource>(
+        &self,
+        source: &mut S,
+        resume_from: Option<&JsonValue>,
+        on_checkpoint: impl FnMut(&JsonValue) -> bool,
+    ) -> Result<(NetworkReport, SimOutcome), SnapshotError> {
+        let mut net = self.build_network();
+        let (start_cycle, epochs) = match resume_from {
+            None => (0, self.sample_every.map(EpochState::new)),
+            Some(v) => {
+                let version = u64_field(v, "schema_version")?;
+                if version != SNAPSHOT_SCHEMA_VERSION {
+                    return Err(SnapshotError::new(format!(
+                        "checkpoint schema version {version} != supported \
+                         {SNAPSHOT_SCHEMA_VERSION}"
+                    )));
+                }
+                net.restore(field(v, "network")?)
+                    .map_err(|e| e.within("network"))?;
+                source
+                    .restore(field(v, "source")?)
+                    .map_err(|e| e.within("source"))?;
+                let epochs = match field(v, "epochs")? {
+                    JsonValue::Null => None,
+                    ep => Some(EpochState::from_json(ep).map_err(|e| e.within("epochs"))?),
+                };
+                (u64_field(v, "cycle")?, epochs)
+            }
+        };
+        let mut nulls = vec![NullObserver; net.shard_count()];
+        let mut core = CheckpointingSource {
+            source,
+            every: self.checkpoint_every,
+            sink: on_checkpoint,
+        };
+        Ok(self.run_core(&mut net, &mut core, &mut nulls, start_cycle, epochs))
     }
 
     /// [`Simulator::run_with`] with event tracing enabled.
@@ -177,7 +353,13 @@ impl Simulator {
     ) -> (NetworkReport, SimOutcome, ShardedTracer) {
         let mut net = self.build_network();
         let mut tracer = ShardedTracer::new(net.shard_count(), capacity_per_shard);
-        let (report, outcome) = self.run_core(&mut net, source, tracer.rings_mut());
+        let (report, outcome) = self.run_core(
+            &mut net,
+            &mut FnSource(source),
+            tracer.rings_mut(),
+            0,
+            self.sample_every.map(EpochState::new),
+        );
         (report, outcome, tracer)
     }
 
@@ -195,7 +377,13 @@ impl Simulator {
         source: impl FnMut(Cycle, &mut Vec<Packet>),
     ) -> (NetworkReport, SimOutcome) {
         let mut nulls = vec![NullObserver; net.shard_count()];
-        self.run_core(net, source, &mut nulls)
+        self.run_core(
+            net,
+            &mut FnSource(source),
+            &mut nulls,
+            0,
+            self.sample_every.map(EpochState::new),
+        )
     }
 
     fn build_network(&self) -> Network {
@@ -205,25 +393,28 @@ impl Simulator {
     }
 
     /// The shared run loop; `obs` holds one observer per stepper shard.
-    fn run_core<O: Observer + Send>(
+    /// `start_cycle`/`epochs` are `0`/fresh for a normal run and come
+    /// from the checkpoint when resuming.
+    fn run_core<O: Observer + Send, S: CoreSource>(
         &self,
         net: &mut Network,
-        mut source: impl FnMut(Cycle, &mut Vec<Packet>),
+        source: &mut S,
         obs: &mut [O],
+        start_cycle: Cycle,
+        mut epochs: Option<EpochState>,
     ) -> (NetworkReport, SimOutcome) {
         let mut packet_buf: Vec<Packet> = Vec::new();
         let warmup = self.sim_cfg.warmup_cycles;
         let measure_end = warmup + self.sim_cfg.measure_cycles;
         let horizon = self.sim_cfg.total_cycles();
-        let mut epochs = self.sample_every.map(EpochState::new);
 
         let mut outcome = SimOutcome::Completed;
         let mut cycles_run = horizon;
         let mut deadlock = None;
-        for cycle in 0..horizon {
+        for cycle in start_cycle..horizon {
             if cycle < measure_end {
                 packet_buf.clear();
-                source(cycle, &mut packet_buf);
+                source.generate(cycle, &mut packet_buf);
                 if !packet_buf.is_empty() {
                     net.offer_packets_from(&mut packet_buf);
                 }
@@ -234,6 +425,7 @@ impl Simulator {
                     ep.close(net, cycle);
                 }
             }
+            let keep_going = source.cycle_done(cycle, net, &epochs);
             if cycle >= measure_end && net.in_flight_flits() == 0 && net.queued_packets() == 0 {
                 outcome = SimOutcome::DrainedEarly;
                 cycles_run = cycle + 1;
@@ -245,6 +437,11 @@ impl Simulator {
                 outcome = SimOutcome::DeadlockSuspected;
                 cycles_run = cycle + 1;
                 deadlock = Some(net.flight_record(cycle));
+                break;
+            }
+            if !keep_going {
+                outcome = SimOutcome::Interrupted;
+                cycles_run = cycle + 1;
                 break;
             }
         }

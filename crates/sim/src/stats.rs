@@ -1,5 +1,6 @@
 //! Simulation statistics and reporting.
 
+use noc_telemetry::json::{obj, JsonValue};
 use noc_telemetry::{FlightRecord, TimeSeries};
 use noc_types::{Cycle, DeliveredPacket};
 use serde::Serialize;
@@ -46,6 +47,25 @@ impl LatencySummary {
             0 => 0,
             _ => 1u64 << (i - 1),
         }
+    }
+
+    /// Canonical JSON rendering (see [`NetworkReport::to_json`]).
+    pub fn to_json(&self) -> JsonValue {
+        obj([
+            ("count", (self.count as u64).into()),
+            ("mean", self.mean.into()),
+            ("stddev", self.stddev.into()),
+            ("min", self.min.into()),
+            ("p50", self.p50.into()),
+            ("p95", self.p95.into()),
+            ("p99", self.p99.into()),
+            ("p999", self.p999.into()),
+            ("max", self.max.into()),
+            (
+                "histogram",
+                JsonValue::Arr(self.histogram.iter().map(|&b| b.into()).collect()),
+            ),
+        ])
     }
 
     /// Summarise a sample (empty samples give an all-zero summary).
@@ -169,6 +189,21 @@ pub struct RouterEventTotals {
     pub secondary_path_flits: u64,
 }
 
+impl RouterEventTotals {
+    /// Canonical JSON rendering (see [`NetworkReport::to_json`]).
+    pub fn to_json(&self) -> JsonValue {
+        obj([
+            ("rc_duplicate_uses", self.rc_duplicate_uses.into()),
+            ("rc_misroutes", self.rc_misroutes.into()),
+            ("va_borrows", self.va_borrows.into()),
+            ("va_borrow_waits", self.va_borrow_waits.into()),
+            ("sa_bypass_grants", self.sa_bypass_grants.into()),
+            ("vc_transfers", self.vc_transfers.into()),
+            ("secondary_path_flits", self.secondary_path_flits.into()),
+        ])
+    }
+}
+
 impl NetworkReport {
     /// Build a report from the raw delivery log.
     #[allow(clippy::too_many_arguments)]
@@ -230,6 +265,54 @@ impl NetworkReport {
             epochs: None,
             deadlock: None,
         }
+    }
+
+    /// Canonical JSON rendering. Two reports with equal contents render
+    /// to identical bytes — the resume-determinism tests and the
+    /// campaign service's result files both rely on this.
+    pub fn to_json(&self) -> JsonValue {
+        obj([
+            (
+                "window",
+                JsonValue::Arr(vec![self.window.0.into(), self.window.1.into()]),
+            ),
+            ("cycles_run", self.cycles_run.into()),
+            ("nodes", (self.nodes as u64).into()),
+            ("offered", self.offered.into()),
+            ("injected", self.injected.into()),
+            ("delivered", self.delivered.into()),
+            ("misdelivered", self.misdelivered.into()),
+            ("flits_dropped", self.flits_dropped.into()),
+            ("flits_edge_dropped", self.flits_edge_dropped.into()),
+            ("in_flight_at_end", self.in_flight_at_end.into()),
+            ("total_latency", self.total_latency.to_json()),
+            ("network_latency", self.network_latency.to_json()),
+            ("mean_hops", self.mean_hops.into()),
+            ("throughput", self.throughput.into()),
+            ("deadlock_suspected", self.deadlock_suspected.into()),
+            ("router_events", self.router_events.to_json()),
+            (
+                "utilisation_heatmap",
+                self.utilisation_heatmap.clone().into(),
+            ),
+            ("routers_stepped", self.routers_stepped.into()),
+            ("routers_skipped", self.routers_skipped.into()),
+            ("worklist_skip_rate", self.worklist_skip_rate.into()),
+            (
+                "epochs",
+                match &self.epochs {
+                    Some(ts) => ts.to_json(),
+                    None => JsonValue::Null,
+                },
+            ),
+            (
+                "deadlock",
+                match &self.deadlock {
+                    Some(fr) => fr.to_json(),
+                    None => JsonValue::Null,
+                },
+            ),
+        ])
     }
 
     /// Delivered packet count (correct destinations, window only).

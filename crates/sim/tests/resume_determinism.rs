@@ -1,0 +1,162 @@
+//! Resume determinism: a campaign resumed from a mid-run checkpoint
+//! finishes with a **byte-for-byte identical** `NetworkReport` to the
+//! uninterrupted run — for both router kinds, on mesh, torus and
+//! cut-link topologies, at any stepper thread count, with and without
+//! an active fault plan. This is the invariant the campaign service's
+//! crash recovery stands on (ARCHITECTURE.md §5).
+
+use noc_faults::{DetectionModel, FaultPlan, FaultSite};
+use noc_sim::Simulator;
+use noc_telemetry::json::JsonValue;
+use noc_traffic::{SyntheticPattern, TrafficConfig, TrafficGenerator};
+use noc_types::{NetworkConfig, PortId, RouterId, SimConfig, TopologySpec, VcId};
+use shield_router::RouterKind;
+
+const SEED: u64 = 0x5EED_CAFE;
+
+fn net_cfg(topology: TopologySpec) -> NetworkConfig {
+    NetworkConfig {
+        mesh_k: 4,
+        topology,
+        ..NetworkConfig::paper()
+    }
+}
+
+fn sim_cfg() -> SimConfig {
+    SimConfig {
+        warmup_cycles: 200,
+        measure_cycles: 900,
+        drain_cycles: 400,
+        seed: SEED,
+    }
+}
+
+fn generator(cfg: &NetworkConfig) -> TrafficGenerator {
+    let traffic = TrafficConfig::synthetic(SyntheticPattern::UniformRandom, 0.12);
+    // Build via the topology so cut-link node sets stay in sync.
+    let net = noc_sim::Network::with_faults(*cfg, RouterKind::Protected, &FaultPlan::none());
+    TrafficGenerator::for_topology(traffic, net.topology(), SEED)
+}
+
+fn simulator(cfg: NetworkConfig, kind: RouterKind, plan: FaultPlan, threads: usize) -> Simulator {
+    Simulator::new(cfg, sim_cfg(), kind, plan)
+        .with_threads(threads)
+        .with_sample_every(250)
+        .with_checkpoint_every(317)
+}
+
+/// Uninterrupted reference → interrupted-and-resumed runs from every
+/// emitted checkpoint, across thread counts; every report must render
+/// to the reference's exact bytes.
+fn assert_resume_deterministic(cfg: NetworkConfig, kind: RouterKind, plan: FaultPlan) {
+    let reference = {
+        let sim = simulator(cfg, kind, plan.clone(), 1);
+        let mut gen = generator(&cfg);
+        let (report, _) = sim.run_resumable(&mut gen, None, |_| true).unwrap();
+        report.to_json().render()
+    };
+
+    for threads in [1, 4] {
+        let sim = simulator(cfg, kind, plan.clone(), threads);
+
+        // The checkpointed run itself must match the reference: emitting
+        // checkpoints (and the thread count) must not perturb the run.
+        let mut checkpoints: Vec<String> = Vec::new();
+        let mut gen = generator(&cfg);
+        let (report, _) = sim
+            .run_resumable(&mut gen, None, |doc| {
+                checkpoints.push(doc.render());
+                true
+            })
+            .unwrap();
+        assert_eq!(
+            report.to_json().render(),
+            reference,
+            "checkpointed run diverged (threads={threads})"
+        );
+        assert!(
+            !checkpoints.is_empty(),
+            "no checkpoints emitted (threads={threads})"
+        );
+
+        // Resume from every checkpoint — early, mid-measurement and
+        // deep into drain — through a full render/parse round trip.
+        for (i, text) in checkpoints.iter().enumerate() {
+            let doc = JsonValue::parse(text).expect("checkpoint must parse");
+            let mut gen = generator(&cfg);
+            let (resumed, _) = sim.run_resumable(&mut gen, Some(&doc), |_| true).unwrap();
+            assert_eq!(
+                resumed.to_json().render(),
+                reference,
+                "resume from checkpoint {i} diverged (threads={threads})"
+            );
+        }
+    }
+}
+
+#[test]
+fn mesh_resumes_identically_both_kinds() {
+    for kind in [RouterKind::Baseline, RouterKind::Protected] {
+        assert_resume_deterministic(net_cfg(TopologySpec::MeshK), kind, FaultPlan::none());
+    }
+}
+
+#[test]
+fn torus_resumes_identically() {
+    let cfg = net_cfg(TopologySpec::Torus { w: 4, h: 4 });
+    assert_resume_deterministic(cfg, RouterKind::Protected, FaultPlan::none());
+}
+
+#[test]
+fn cutmesh_resumes_identically() {
+    let cfg = net_cfg(TopologySpec::CutMesh {
+        w: 4,
+        h: 4,
+        cuts: 3,
+        seed: 0xC0FFEE ^ 4,
+    });
+    assert_resume_deterministic(cfg, RouterKind::Protected, FaultPlan::none());
+}
+
+#[test]
+fn faulted_campaign_resumes_identically() {
+    // Pre-existing faults exercise the fault-state snapshot path on both
+    // kinds: misroutes/drops on baseline, correction state on protected.
+    let plan = FaultPlan::at_start(
+        [
+            (RouterId(5), FaultSite::RcPrimary { port: PortId(1) }),
+            (
+                RouterId(9),
+                FaultSite::Va1ArbiterSet {
+                    port: PortId(2),
+                    vc: VcId(1),
+                },
+            ),
+        ],
+        DetectionModel::Ideal,
+    );
+    for kind in [RouterKind::Baseline, RouterKind::Protected] {
+        assert_resume_deterministic(net_cfg(TopologySpec::MeshK), kind, plan.clone());
+    }
+}
+
+#[test]
+fn checkpoint_refuses_mismatched_configuration() {
+    let cfg = net_cfg(TopologySpec::MeshK);
+    let sim = simulator(cfg, RouterKind::Protected, FaultPlan::none(), 1);
+    let mut checkpoints = Vec::new();
+    let mut gen = generator(&cfg);
+    sim.run_resumable(&mut gen, None, |doc| {
+        checkpoints.push(doc.render());
+        true
+    })
+    .unwrap();
+    let doc = JsonValue::parse(&checkpoints[0]).unwrap();
+
+    // Same checkpoint, wrong router kind: restore must fail loudly
+    // rather than resume into a different machine.
+    let wrong = simulator(cfg, RouterKind::Baseline, FaultPlan::none(), 1);
+    let mut gen = generator(&cfg);
+    let err = wrong.run_resumable(&mut gen, Some(&doc), |_| true);
+    assert!(err.is_err(), "restoring into the wrong kind must fail");
+}

@@ -28,6 +28,12 @@
 //! [`export::chrome_trace`]), the per-epoch [`TimeSeries`] sampler fed
 //! by the simulator, and the [`FlightRecord`] the deadlock watchdog
 //! dumps instead of a bare boolean.
+//!
+//! Since PR 5 this crate also hosts the [`snapshot`] layer: the
+//! [`Snapshot`]/[`Restore`] traits every stateful component implements
+//! so a campaign can be checkpointed and resumed bit-identically
+//! (ARCHITECTURE.md §5). They live here because the hand-rolled
+//! [`JsonValue`] codec does.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +45,7 @@ pub mod json;
 pub mod observer;
 pub mod ring;
 pub mod sampler;
+pub mod snapshot;
 
 pub use event::{Event, EventCounts, EventKind};
 pub use export::{chrome_trace, jsonl};
@@ -47,3 +54,4 @@ pub use json::JsonValue;
 pub use observer::{NullObserver, Observer};
 pub use ring::{EventRing, ShardedTracer};
 pub use sampler::{EpochSample, TimeSeries};
+pub use snapshot::{FromSnapshot, Restore, Snapshot, SnapshotError, SNAPSHOT_SCHEMA_VERSION};

@@ -5,6 +5,7 @@
 //! bench bins and tests share one schema.
 
 use crate::json::{obj, JsonValue};
+use crate::snapshot::{f64_field, u64_field, SnapshotError};
 use noc_types::Cycle;
 
 /// Aggregate network state over one epoch of `N` cycles.
@@ -78,6 +79,26 @@ impl EpochSample {
             ("throughput", self.throughput().into()),
         ])
     }
+
+    /// Rebuild a sample from its [`EpochSample::json`] rendering. The
+    /// derived `skip_rate`/`throughput` fields are ignored — they are
+    /// recomputed from the counters.
+    pub fn from_json(v: &JsonValue) -> Result<Self, SnapshotError> {
+        Ok(EpochSample {
+            epoch: u64_field(v, "epoch")?,
+            start_cycle: u64_field(v, "start_cycle")?,
+            end_cycle: u64_field(v, "end_cycle")?,
+            delivered_packets: u64_field(v, "delivered_packets")?,
+            delivered_flits: u64_field(v, "delivered_flits")?,
+            injected_flits: u64_field(v, "injected_flits")?,
+            mean_latency: f64_field(v, "mean_latency")?,
+            max_latency: u64_field(v, "max_latency")?,
+            buffered_flits: u64_field(v, "buffered_flits")?,
+            vc_occupancy: f64_field(v, "vc_occupancy")?,
+            routers_stepped: u64_field(v, "routers_stepped")?,
+            routers_skipped: u64_field(v, "routers_skipped")?,
+        })
+    }
 }
 
 /// The ordered sequence of epoch samples for one run.
@@ -142,6 +163,19 @@ impl TimeSeries {
             ),
         ])
     }
+
+    /// Rebuild a series from its [`TimeSeries::to_json`] rendering.
+    pub fn from_json(v: &JsonValue) -> Result<Self, SnapshotError> {
+        let every = u64_field(v, "every")?;
+        let samples = v
+            .get("samples")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| SnapshotError::new("missing `samples` array"))?
+            .iter()
+            .map(EpochSample::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(TimeSeries { every, samples })
+    }
 }
 
 #[cfg(test)]
@@ -183,5 +217,28 @@ mod tests {
         // The rendering must survive our own parser.
         let text = json.render();
         assert!(crate::json::JsonValue::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn json_round_trips_for_checkpoint_restore() {
+        let mut ts = TimeSeries::new(250);
+        ts.push(EpochSample {
+            epoch: 0,
+            start_cycle: 0,
+            end_cycle: 250,
+            delivered_packets: 12,
+            delivered_flits: 36,
+            injected_flits: 40,
+            mean_latency: 31.25,
+            max_latency: 88,
+            buffered_flits: 4,
+            vc_occupancy: 0.015625,
+            routers_stepped: 1000,
+            routers_skipped: 600,
+        });
+        let doc = JsonValue::parse(&ts.to_json().render()).unwrap();
+        let back = TimeSeries::from_json(&doc).unwrap();
+        assert_eq!(back, ts);
+        assert_eq!(back.to_json().render(), ts.to_json().render());
     }
 }

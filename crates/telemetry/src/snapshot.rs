@@ -1,0 +1,628 @@
+//! Deterministic snapshot/restore of simulation state.
+//!
+//! Every stateful component of the stack can render itself into a
+//! self-describing [`JsonValue`] and be rebuilt from one, bit-identically:
+//! the invariant the campaign service rests on is *resume ==
+//! uninterrupted, byte-for-byte on the final report* (ARCHITECTURE.md §5).
+//!
+//! Three traits split the work:
+//!
+//! * [`Snapshot`] — render state into a [`JsonValue`];
+//! * [`FromSnapshot`] — value types that can be constructed straight from
+//!   a snapshot (flits, packets, VC state fields, …);
+//! * [`Restore`] — stateful components that are first rebuilt from their
+//!   configuration and then have snapshot state written *into* them
+//!   (routers, networks, traffic generators) — restoring in place lets
+//!   the component keep everything that is a pure function of its config
+//!   (wiring tables, scratch buffers, thread pools) out of the snapshot.
+//!
+//! The traits live here (rather than `noc-types`) because [`JsonValue`]
+//! does, and the crates below telemetry in the dependency order
+//! (`noc-types`, `noc-faults`) get their implementations in this module —
+//! a local trait may be implemented for foreign types.
+//!
+//! ## Encoding conventions
+//!
+//! * `u64` values that may exceed 2^53 (seeds, RNG state words) are
+//!   encoded as `"0x…"` hex strings — [`JsonValue::Num`] is an `f64` and
+//!   would silently round them. Cycle counts and event counters stay
+//!   numeric: they are bounded by simulated time and stay far below 2^53.
+//! * Enums encode as lowercase tag strings; fault sites reuse their
+//!   canonical `Display`/`FromStr` codec from `noc-faults`.
+//! * Object key order is fixed by construction and [`JsonValue::render`]
+//!   preserves it, so equal state renders to equal bytes.
+
+use crate::json::{obj, JsonValue};
+use noc_faults::{DetectionModel, FaultSite};
+use noc_types::{
+    Coord, DeliveredPacket, Flit, FlitKind, FlitSeq, Packet, PacketId, PacketKind, PortId,
+    VcGlobalState, VcId, VcStateFields,
+};
+
+/// Version stamp carried by every top-level snapshot document
+/// (`Network::snapshot`, checkpoint envelopes, the committed golden
+/// artefact). Bump on any incompatible change to the layout produced by
+/// the [`Snapshot`] implementations; restore refuses mismatched
+/// versions rather than guessing.
+pub const SNAPSHOT_SCHEMA_VERSION: u64 = 1;
+
+/// Error produced when a snapshot document cannot be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotError {
+    /// Human-readable description, innermost context first.
+    pub message: String,
+}
+
+impl SnapshotError {
+    /// Construct an error from a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        SnapshotError {
+            message: message.into(),
+        }
+    }
+
+    /// Wrap the error with the name of the enclosing field/component.
+    pub fn within(mut self, context: &str) -> Self {
+        self.message = format!("{context}: {}", self.message);
+        self
+    }
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "snapshot error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Render state into a self-describing JSON value.
+pub trait Snapshot {
+    /// The component's complete resumable state.
+    fn snapshot(&self) -> JsonValue;
+}
+
+/// Value types constructible directly from a snapshot.
+pub trait FromSnapshot: Sized {
+    /// Rebuild the value. Fails on missing fields or malformed encodings.
+    fn from_snapshot(v: &JsonValue) -> Result<Self, SnapshotError>;
+}
+
+/// Stateful components that restore snapshot state *into* themselves.
+///
+/// The receiver must have been freshly built from the same configuration
+/// the snapshot was taken under; `restore` overwrites all dynamic state
+/// and validates structural agreement (port/VC counts, buffer depths)
+/// where cheap.
+pub trait Restore {
+    /// Overwrite this component's dynamic state from the snapshot.
+    fn restore(&mut self, v: &JsonValue) -> Result<(), SnapshotError>;
+}
+
+// ---------------------------------------------------------------------
+// Decoding helpers
+// ---------------------------------------------------------------------
+
+/// Look up a required object field.
+pub fn field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a JsonValue, SnapshotError> {
+    v.get(key)
+        .ok_or_else(|| SnapshotError::new(format!("missing field `{key}`")))
+}
+
+/// A required `u64` field.
+pub fn u64_field(v: &JsonValue, key: &str) -> Result<u64, SnapshotError> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| SnapshotError::new(format!("field `{key}` is not a u64")))
+}
+
+/// A required `usize` field.
+pub fn usize_field(v: &JsonValue, key: &str) -> Result<usize, SnapshotError> {
+    Ok(u64_field(v, key)? as usize)
+}
+
+/// A required `f64` field.
+pub fn f64_field(v: &JsonValue, key: &str) -> Result<f64, SnapshotError> {
+    field(v, key)?
+        .as_f64()
+        .ok_or_else(|| SnapshotError::new(format!("field `{key}` is not a number")))
+}
+
+/// A required boolean field.
+pub fn bool_field(v: &JsonValue, key: &str) -> Result<bool, SnapshotError> {
+    match field(v, key)? {
+        JsonValue::Bool(b) => Ok(*b),
+        _ => Err(SnapshotError::new(format!("field `{key}` is not a bool"))),
+    }
+}
+
+/// A required string field.
+pub fn str_field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str, SnapshotError> {
+    field(v, key)?
+        .as_str()
+        .ok_or_else(|| SnapshotError::new(format!("field `{key}` is not a string")))
+}
+
+/// A required array field.
+pub fn arr_field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a [JsonValue], SnapshotError> {
+    field(v, key)?
+        .as_array()
+        .ok_or_else(|| SnapshotError::new(format!("field `{key}` is not an array")))
+}
+
+/// Encode a full-width `u64` (seed, RNG word) losslessly as `"0x…"`.
+pub fn hex(x: u64) -> JsonValue {
+    JsonValue::Str(format!("{x:#018x}"))
+}
+
+/// Decode a `"0x…"` string produced by [`hex`].
+pub fn parse_hex(v: &JsonValue) -> Result<u64, SnapshotError> {
+    let s = v
+        .as_str()
+        .ok_or_else(|| SnapshotError::new("hex value is not a string"))?;
+    let digits = s
+        .strip_prefix("0x")
+        .ok_or_else(|| SnapshotError::new(format!("`{s}` lacks the 0x prefix")))?;
+    u64::from_str_radix(digits, 16)
+        .map_err(|e| SnapshotError::new(format!("`{s}` is not valid hex: {e}")))
+}
+
+/// A required hex-encoded `u64` field.
+pub fn hex_field(v: &JsonValue, key: &str) -> Result<u64, SnapshotError> {
+    parse_hex(field(v, key)?).map_err(|e| e.within(key))
+}
+
+/// Decode a required field of any [`FromSnapshot`] type.
+pub fn decode_field<T: FromSnapshot>(v: &JsonValue, key: &str) -> Result<T, SnapshotError> {
+    T::from_snapshot(field(v, key)?).map_err(|e| e.within(key))
+}
+
+// ---------------------------------------------------------------------
+// Blanket impls for containers
+// ---------------------------------------------------------------------
+
+impl<T: Snapshot> Snapshot for Vec<T> {
+    fn snapshot(&self) -> JsonValue {
+        JsonValue::Arr(self.iter().map(Snapshot::snapshot).collect())
+    }
+}
+
+impl<T: FromSnapshot> FromSnapshot for Vec<T> {
+    fn from_snapshot(v: &JsonValue) -> Result<Self, SnapshotError> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| SnapshotError::new("expected an array"))?;
+        arr.iter()
+            .enumerate()
+            .map(|(i, e)| T::from_snapshot(e).map_err(|err| err.within(&format!("[{i}]"))))
+            .collect()
+    }
+}
+
+impl<T: Snapshot> Snapshot for Option<T> {
+    fn snapshot(&self) -> JsonValue {
+        match self {
+            None => JsonValue::Null,
+            Some(x) => x.snapshot(),
+        }
+    }
+}
+
+impl<T: FromSnapshot> FromSnapshot for Option<T> {
+    fn from_snapshot(v: &JsonValue) -> Result<Self, SnapshotError> {
+        match v {
+            JsonValue::Null => Ok(None),
+            other => T::from_snapshot(other).map(Some),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Leaf types from noc-types
+// ---------------------------------------------------------------------
+
+macro_rules! numeric_id {
+    ($ty:ty, $inner:ty) => {
+        impl Snapshot for $ty {
+            fn snapshot(&self) -> JsonValue {
+                (self.0 as u64).into()
+            }
+        }
+        impl FromSnapshot for $ty {
+            fn from_snapshot(v: &JsonValue) -> Result<Self, SnapshotError> {
+                v.as_u64()
+                    .ok_or_else(|| {
+                        SnapshotError::new(concat!(stringify!($ty), " must be a number"))
+                    })
+                    .map(|x| Self(x as $inner))
+            }
+        }
+    };
+}
+
+numeric_id!(PortId, u8);
+numeric_id!(VcId, u8);
+numeric_id!(PacketId, u64);
+numeric_id!(FlitSeq, u16);
+
+impl Snapshot for Coord {
+    fn snapshot(&self) -> JsonValue {
+        // Compact pair form: coordinates appear in every buffered flit.
+        JsonValue::Arr(vec![(self.x as u64).into(), (self.y as u64).into()])
+    }
+}
+
+impl FromSnapshot for Coord {
+    fn from_snapshot(v: &JsonValue) -> Result<Self, SnapshotError> {
+        let arr = v
+            .as_array()
+            .filter(|a| a.len() == 2)
+            .ok_or_else(|| SnapshotError::new("Coord must be a [x, y] pair"))?;
+        let x = arr[0]
+            .as_u64()
+            .ok_or_else(|| SnapshotError::new("Coord.x must be a number"))?;
+        let y = arr[1]
+            .as_u64()
+            .ok_or_else(|| SnapshotError::new("Coord.y must be a number"))?;
+        Ok(Coord::new(x as u8, y as u8))
+    }
+}
+
+impl Snapshot for FlitKind {
+    fn snapshot(&self) -> JsonValue {
+        match self {
+            FlitKind::Head => "head",
+            FlitKind::Body => "body",
+            FlitKind::Tail => "tail",
+            FlitKind::Single => "single",
+        }
+        .into()
+    }
+}
+
+impl FromSnapshot for FlitKind {
+    fn from_snapshot(v: &JsonValue) -> Result<Self, SnapshotError> {
+        match v.as_str() {
+            Some("head") => Ok(FlitKind::Head),
+            Some("body") => Ok(FlitKind::Body),
+            Some("tail") => Ok(FlitKind::Tail),
+            Some("single") => Ok(FlitKind::Single),
+            other => Err(SnapshotError::new(format!("unknown flit kind {other:?}"))),
+        }
+    }
+}
+
+impl Snapshot for PacketKind {
+    fn snapshot(&self) -> JsonValue {
+        match self {
+            PacketKind::Control => "control",
+            PacketKind::Data => "data",
+        }
+        .into()
+    }
+}
+
+impl FromSnapshot for PacketKind {
+    fn from_snapshot(v: &JsonValue) -> Result<Self, SnapshotError> {
+        match v.as_str() {
+            Some("control") => Ok(PacketKind::Control),
+            Some("data") => Ok(PacketKind::Data),
+            other => Err(SnapshotError::new(format!("unknown packet kind {other:?}"))),
+        }
+    }
+}
+
+impl Snapshot for Flit {
+    fn snapshot(&self) -> JsonValue {
+        let payload: String = self.payload.iter().map(|b| format!("{b:02x}")).collect();
+        obj([
+            ("packet", self.packet.snapshot()),
+            ("seq", self.seq.snapshot()),
+            ("kind", self.kind.snapshot()),
+            ("src", self.src.snapshot()),
+            ("dst", self.dst.snapshot()),
+            ("created_at", self.created_at.into()),
+            ("injected_at", self.injected_at.into()),
+            ("payload", payload.into()),
+            ("hops", (self.hops as u64).into()),
+        ])
+    }
+}
+
+impl FromSnapshot for Flit {
+    fn from_snapshot(v: &JsonValue) -> Result<Self, SnapshotError> {
+        let payload_hex = str_field(v, "payload")?;
+        if payload_hex.len() % 2 != 0 {
+            return Err(SnapshotError::new("payload hex has odd length"));
+        }
+        let payload: Vec<u8> = (0..payload_hex.len() / 2)
+            .map(|i| {
+                u8::from_str_radix(&payload_hex[2 * i..2 * i + 2], 16)
+                    .map_err(|e| SnapshotError::new(format!("payload byte {i}: {e}")))
+            })
+            .collect::<Result<_, _>>()?;
+        let mut flit = Flit::new(
+            decode_field(v, "packet")?,
+            decode_field(v, "seq")?,
+            decode_field(v, "kind")?,
+            decode_field(v, "src")?,
+            decode_field(v, "dst")?,
+            u64_field(v, "created_at")?,
+        );
+        flit.injected_at = u64_field(v, "injected_at")?;
+        flit.hops = u64_field(v, "hops")? as u16;
+        if !payload.is_empty() {
+            flit.payload = bytes::Bytes::from(payload);
+        }
+        Ok(flit)
+    }
+}
+
+impl Snapshot for Packet {
+    fn snapshot(&self) -> JsonValue {
+        obj([
+            ("id", self.id.snapshot()),
+            ("kind", self.kind.snapshot()),
+            ("src", self.src.snapshot()),
+            ("dst", self.dst.snapshot()),
+            ("created_at", self.created_at.into()),
+        ])
+    }
+}
+
+impl FromSnapshot for Packet {
+    fn from_snapshot(v: &JsonValue) -> Result<Self, SnapshotError> {
+        Ok(Packet::new(
+            decode_field(v, "id")?,
+            decode_field(v, "kind")?,
+            decode_field(v, "src")?,
+            decode_field(v, "dst")?,
+            u64_field(v, "created_at")?,
+        ))
+    }
+}
+
+impl Snapshot for DeliveredPacket {
+    fn snapshot(&self) -> JsonValue {
+        obj([
+            ("id", self.id.snapshot()),
+            ("kind", self.kind.snapshot()),
+            ("src", self.src.snapshot()),
+            ("dst", self.dst.snapshot()),
+            ("created_at", self.created_at.into()),
+            ("injected_at", self.injected_at.into()),
+            ("ejected_at", self.ejected_at.into()),
+            ("hops", (self.hops as u64).into()),
+        ])
+    }
+}
+
+impl FromSnapshot for DeliveredPacket {
+    fn from_snapshot(v: &JsonValue) -> Result<Self, SnapshotError> {
+        Ok(DeliveredPacket {
+            id: decode_field(v, "id")?,
+            kind: decode_field(v, "kind")?,
+            src: decode_field(v, "src")?,
+            dst: decode_field(v, "dst")?,
+            created_at: u64_field(v, "created_at")?,
+            injected_at: u64_field(v, "injected_at")?,
+            ejected_at: u64_field(v, "ejected_at")?,
+            hops: u64_field(v, "hops")? as u16,
+        })
+    }
+}
+
+impl Snapshot for VcGlobalState {
+    fn snapshot(&self) -> JsonValue {
+        match self {
+            VcGlobalState::Idle => "idle",
+            VcGlobalState::Routing => "routing",
+            VcGlobalState::VcAlloc => "vc_alloc",
+            VcGlobalState::Active => "active",
+        }
+        .into()
+    }
+}
+
+impl FromSnapshot for VcGlobalState {
+    fn from_snapshot(v: &JsonValue) -> Result<Self, SnapshotError> {
+        match v.as_str() {
+            Some("idle") => Ok(VcGlobalState::Idle),
+            Some("routing") => Ok(VcGlobalState::Routing),
+            Some("vc_alloc") => Ok(VcGlobalState::VcAlloc),
+            Some("active") => Ok(VcGlobalState::Active),
+            other => Err(SnapshotError::new(format!(
+                "unknown VC global state {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Snapshot for VcStateFields {
+    fn snapshot(&self) -> JsonValue {
+        obj([
+            ("g", self.g.snapshot()),
+            ("r", self.r.snapshot()),
+            ("o", self.o.snapshot()),
+            ("r2", self.r2.snapshot()),
+            ("vf", self.vf.into()),
+            ("id", self.id.snapshot()),
+            ("sp", self.sp.snapshot()),
+            ("fsp", self.fsp.into()),
+            ("vmask", (self.vmask as u64).into()),
+        ])
+    }
+}
+
+impl FromSnapshot for VcStateFields {
+    fn from_snapshot(v: &JsonValue) -> Result<Self, SnapshotError> {
+        Ok(VcStateFields {
+            g: decode_field(v, "g")?,
+            r: decode_field(v, "r")?,
+            o: decode_field(v, "o")?,
+            r2: decode_field(v, "r2")?,
+            vf: bool_field(v, "vf")?,
+            id: decode_field(v, "id")?,
+            sp: decode_field(v, "sp")?,
+            fsp: bool_field(v, "fsp")?,
+            vmask: u64_field(v, "vmask")? as u32,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Leaf types from noc-faults
+// ---------------------------------------------------------------------
+
+impl Snapshot for FaultSite {
+    fn snapshot(&self) -> JsonValue {
+        // The canonical compact codec lives in noc-faults
+        // (Display / FromStr round-trip, pinned by tests there).
+        self.to_string().into()
+    }
+}
+
+impl FromSnapshot for FaultSite {
+    fn from_snapshot(v: &JsonValue) -> Result<Self, SnapshotError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| SnapshotError::new("fault site must be a string"))?;
+        s.parse()
+            .map_err(|e: String| SnapshotError::new(format!("fault site `{s}`: {e}")))
+    }
+}
+
+impl Snapshot for DetectionModel {
+    fn snapshot(&self) -> JsonValue {
+        match self {
+            DetectionModel::Ideal => "ideal".into(),
+            DetectionModel::Delayed(n) => JsonValue::Str(format!("delayed:{n}")),
+        }
+    }
+}
+
+impl FromSnapshot for DetectionModel {
+    fn from_snapshot(v: &JsonValue) -> Result<Self, SnapshotError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| SnapshotError::new("detection model must be a string"))?;
+        if s == "ideal" {
+            return Ok(DetectionModel::Ideal);
+        }
+        if let Some(n) = s.strip_prefix("delayed:") {
+            return n
+                .parse::<u32>()
+                .map(DetectionModel::Delayed)
+                .map_err(|e| SnapshotError::new(format!("detection latency `{n}`: {e}")));
+        }
+        Err(SnapshotError::new(format!("unknown detection model `{s}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Snapshot + FromSnapshot + PartialEq + std::fmt::Debug>(x: T) {
+        let v = x.snapshot();
+        // The encoding must survive a render/parse cycle too.
+        let reparsed = JsonValue::parse(&v.render()).expect("valid JSON");
+        assert_eq!(T::from_snapshot(&reparsed).unwrap(), x);
+        assert_eq!(v.render(), reparsed.render(), "canonical rendering");
+    }
+
+    #[test]
+    fn leaf_round_trips() {
+        round_trip(PortId(3));
+        round_trip(VcId(2));
+        round_trip(PacketId(123_456_789));
+        round_trip(FlitSeq(4));
+        round_trip(Coord::new(7, 2));
+        round_trip(FlitKind::Single);
+        round_trip(PacketKind::Data);
+        round_trip(VcGlobalState::VcAlloc);
+        round_trip(DetectionModel::Ideal);
+        round_trip(DetectionModel::Delayed(8));
+        round_trip(Some(PortId(1)));
+        round_trip(None::<PortId>);
+        round_trip(vec![VcId(0), VcId(3)]);
+    }
+
+    #[test]
+    fn flit_round_trips_with_payload_and_hops() {
+        let mut f = Flit::new(
+            PacketId(9),
+            FlitSeq(1),
+            FlitKind::Body,
+            Coord::new(0, 0),
+            Coord::new(3, 5),
+            10,
+        )
+        .with_payload(bytes::Bytes::from_static(b"\x01\xff"));
+        f.injected_at = 14;
+        f.hops = 3;
+        round_trip(f);
+    }
+
+    #[test]
+    fn packet_and_delivery_round_trip() {
+        round_trip(Packet::new(
+            PacketId(5),
+            PacketKind::Control,
+            Coord::new(1, 1),
+            Coord::new(2, 0),
+            77,
+        ));
+        round_trip(DeliveredPacket {
+            id: PacketId(5),
+            kind: PacketKind::Data,
+            src: Coord::new(0, 0),
+            dst: Coord::new(7, 7),
+            created_at: 1,
+            injected_at: 2,
+            ejected_at: 40,
+            hops: 14,
+        });
+    }
+
+    #[test]
+    fn vc_state_fields_round_trip() {
+        let f = VcStateFields {
+            g: VcGlobalState::Active,
+            r: Some(PortId(2)),
+            o: Some(VcId(1)),
+            r2: Some(PortId(4)),
+            vf: true,
+            sp: Some(PortId(3)),
+            fsp: true,
+            vmask: 0b1010,
+            ..Default::default()
+        };
+        round_trip(f);
+    }
+
+    #[test]
+    fn fault_sites_round_trip_via_canonical_codec() {
+        for site in FaultSite::enumerate(&noc_types::RouterConfig::paper()) {
+            round_trip(site);
+        }
+    }
+
+    #[test]
+    fn hex_codec_is_lossless_at_full_width() {
+        for x in [0u64, 1, u64::MAX, 0xDEAD_BEEF_CAFE_F00D] {
+            assert_eq!(parse_hex(&hex(x)).unwrap(), x);
+        }
+        assert!(parse_hex(&JsonValue::Str("1234".into())).is_err());
+        assert!(parse_hex(&JsonValue::Num(3.0)).is_err());
+    }
+
+    #[test]
+    fn errors_carry_context() {
+        let v = obj([("a", JsonValue::Null)]);
+        let err = u64_field(&v, "b").unwrap_err();
+        assert!(err.message.contains("`b`"));
+        let err = decode_field::<Coord>(&v, "a").unwrap_err();
+        assert!(err.message.contains("a:"), "{}", err.message);
+    }
+}

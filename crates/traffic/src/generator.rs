@@ -307,6 +307,115 @@ impl TrafficGenerator {
     }
 }
 
+// ---------------------------------------------------------------------
+// Snapshot / restore
+// ---------------------------------------------------------------------
+
+use noc_telemetry::json::{obj, JsonValue};
+use noc_telemetry::snapshot::{
+    arr_field, decode_field, hex, parse_hex, u64_field, Restore, Snapshot, SnapshotError,
+};
+
+impl Snapshot for TrafficGenerator {
+    /// The generator's resumable state: the RNG stream, the packet-id
+    /// counter, per-node burst flags and the in-flight directory
+    /// responses. The configuration (spec, mesh, node set, app model)
+    /// is *not* stored — the generator is rebuilt from it before
+    /// [`Restore::restore`], and the iteration order of `pending` is the
+    /// `BTreeMap`'s sorted order, so equal state renders to equal bytes.
+    fn snapshot(&self) -> JsonValue {
+        let rng = self.rng.state();
+        obj([
+            ("rng", JsonValue::Arr(rng.iter().map(|&w| hex(w)).collect())),
+            ("next_id", self.next_id.into()),
+            (
+                "node_on",
+                JsonValue::Arr(self.node_on.iter().map(|&b| b.into()).collect()),
+            ),
+            (
+                "pending",
+                JsonValue::Arr(
+                    self.pending
+                        .iter()
+                        .map(|(&release, entries)| {
+                            obj([
+                                ("release", release.into()),
+                                (
+                                    "entries",
+                                    JsonValue::Arr(
+                                        entries
+                                            .iter()
+                                            .map(|p| {
+                                                obj([
+                                                    ("home", p.home.snapshot()),
+                                                    ("requester", p.requester.snapshot()),
+                                                    ("kind", p.kind.snapshot()),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("requests_issued", self.requests_issued.into()),
+            ("responses_issued", self.responses_issued.into()),
+        ])
+    }
+}
+
+impl Restore for TrafficGenerator {
+    fn restore(&mut self, v: &JsonValue) -> Result<(), SnapshotError> {
+        let rng = arr_field(v, "rng")?;
+        if rng.len() != 4 {
+            return Err(SnapshotError::new("`rng` must hold 4 state words"));
+        }
+        let mut words = [0u64; 4];
+        for (w, e) in words.iter_mut().zip(rng) {
+            *w = parse_hex(e).map_err(|e| e.within("rng"))?;
+        }
+        let node_on = arr_field(v, "node_on")?;
+        if node_on.len() != self.node_on.len() {
+            return Err(SnapshotError::new(format!(
+                "`node_on` has {} entries but the generator drives {} nodes",
+                node_on.len(),
+                self.node_on.len()
+            )));
+        }
+        for (slot, e) in self.node_on.iter_mut().zip(node_on) {
+            *slot = match e {
+                JsonValue::Bool(b) => *b,
+                _ => return Err(SnapshotError::new("`node_on` entry is not a bool")),
+            };
+        }
+        self.rng = StdRng::from_state(words);
+        self.next_id = u64_field(v, "next_id")?;
+        self.pending.clear();
+        for (i, entry) in arr_field(v, "pending")?.iter().enumerate() {
+            let release =
+                u64_field(entry, "release").map_err(|e| e.within(&format!("pending[{i}]")))?;
+            let entries = arr_field(entry, "entries")
+                .map_err(|e| e.within(&format!("pending[{i}]")))?
+                .iter()
+                .map(|p| {
+                    Ok(PendingResponse {
+                        home: decode_field(p, "home")?,
+                        requester: decode_field(p, "requester")?,
+                        kind: decode_field(p, "kind")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, SnapshotError>>()
+                .map_err(|e| e.within(&format!("pending[{i}]")))?;
+            self.pending.insert(release, entries);
+        }
+        self.requests_issued = u64_field(v, "requests_issued")?;
+        self.responses_issued = u64_field(v, "responses_issued")?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -472,6 +581,28 @@ mod tests {
             frac > expect * 0.7,
             "locality fraction {frac} vs model {expect}"
         );
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_the_exact_stream() {
+        for cfg in [
+            TrafficConfig::synthetic(SyntheticPattern::UniformRandom, 0.1),
+            TrafficConfig::app(AppId::Fft),
+        ] {
+            let mut original = TrafficGenerator::new(cfg, mesh(), 42);
+            for c in 0..500 {
+                let _ = original.tick(c);
+            }
+            let snap = original.snapshot();
+            let text = snap.render();
+            let reparsed = noc_telemetry::JsonValue::parse(&text).unwrap();
+            let mut resumed = TrafficGenerator::new(cfg, mesh(), 42);
+            resumed.restore(&reparsed).unwrap();
+            assert_eq!(resumed.snapshot().render(), text, "canonical bytes");
+            for c in 500..1_000 {
+                assert_eq!(original.tick(c), resumed.tick(c), "cycle {c}");
+            }
+        }
     }
 
     #[test]

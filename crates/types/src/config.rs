@@ -115,6 +115,51 @@ impl TopologySpec {
             TopologySpec::CutMesh { .. } => "cutmesh",
         }
     }
+
+    /// Parse a CLI/env topology argument over a `k × k` grid: `mesh`,
+    /// `torus`, or `cutmesh<N>[:seed]` (`N` = links to cut; the optional
+    /// seed drives the deterministic cut selection and defaults to
+    /// `0xC0FFEE ^ k`, the historical `NOC_TOPOLOGY` value). The one
+    /// shared parser behind the `NOC_TOPOLOGY` override, the bench
+    /// `--topology` flag and the CLI/service campaign specs, so every
+    /// entry point names the same graph for the same string.
+    ///
+    /// Cut counts are clamped to what connectivity allows: a `k × k`
+    /// grid has `2k(k−1)` links and needs `n−1` of them to stay
+    /// connected.
+    pub fn parse_arg(arg: &str, k: u8) -> Result<TopologySpec, String> {
+        match arg.trim() {
+            "" | "mesh" => Ok(TopologySpec::MeshK),
+            "torus" => Ok(TopologySpec::Torus { w: k, h: k }),
+            s if s.starts_with("cutmesh") => {
+                let rest = &s["cutmesh".len()..];
+                let (cuts_str, seed) = match rest.split_once(':') {
+                    None => (rest, 0xC0FFEE ^ k as u64),
+                    Some((c, seed_str)) => {
+                        let seed = seed_str
+                            .parse::<u64>()
+                            .map_err(|_| format!("bad cut-mesh seed in {s:?}"))?;
+                        (c, seed)
+                    }
+                };
+                let cuts: u16 = cuts_str
+                    .parse()
+                    .map_err(|_| format!("bad cut count in {s:?}"))?;
+                let n = k as u16 * k as u16;
+                let links = 2 * k as u16 * (k as u16 - 1);
+                let cuts = cuts.min(links.saturating_sub(n - 1));
+                Ok(TopologySpec::CutMesh {
+                    w: k,
+                    h: k,
+                    cuts,
+                    seed,
+                })
+            }
+            other => Err(format!(
+                "unrecognised topology {other:?} (expected mesh | torus | cutmesh<N>[:seed])"
+            )),
+        }
+    }
 }
 
 /// Parameters of the simulated network.
@@ -317,6 +362,47 @@ mod tests {
         let mut n = NetworkConfig::paper();
         n.topology = TopologySpec::Torus { w: 1, h: 4 };
         assert!(n.validate().is_err(), "a 1-wide torus is degenerate");
+    }
+
+    #[test]
+    fn topology_args_parse_to_specs() {
+        assert_eq!(TopologySpec::parse_arg("mesh", 8), Ok(TopologySpec::MeshK));
+        assert_eq!(TopologySpec::parse_arg("", 8), Ok(TopologySpec::MeshK));
+        assert_eq!(
+            TopologySpec::parse_arg("torus", 6),
+            Ok(TopologySpec::Torus { w: 6, h: 6 })
+        );
+        assert_eq!(
+            TopologySpec::parse_arg("cutmesh4", 8),
+            Ok(TopologySpec::CutMesh {
+                w: 8,
+                h: 8,
+                cuts: 4,
+                seed: 0xC0FFEE ^ 8,
+            })
+        );
+        assert_eq!(
+            TopologySpec::parse_arg("cutmesh6:99", 8),
+            Ok(TopologySpec::CutMesh {
+                w: 8,
+                h: 8,
+                cuts: 6,
+                seed: 99,
+            })
+        );
+        // A 2×2 grid has 4 links and needs 3: at most one cut survives.
+        assert_eq!(
+            TopologySpec::parse_arg("cutmesh9", 2),
+            Ok(TopologySpec::CutMesh {
+                w: 2,
+                h: 2,
+                cuts: 1,
+                seed: 0xC0FFEE ^ 2,
+            })
+        );
+        assert!(TopologySpec::parse_arg("cutmeshX", 8).is_err());
+        assert!(TopologySpec::parse_arg("cutmesh4:zz", 8).is_err());
+        assert!(TopologySpec::parse_arg("ring", 8).is_err());
     }
 
     #[test]

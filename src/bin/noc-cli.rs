@@ -1,19 +1,34 @@
 //! `noc-cli` — command-line front end to the shield-noc stack.
 //!
 //! ```text
-//! noc-cli simulate [--mesh K] [--router protected|baseline]
+//! noc-cli simulate [--mesh K] [--topology mesh|torus|cutmesh<N>[:seed]]
+//!                  [--router protected|baseline]
 //!                  [--pattern NAME --rate F | --app NAME | --trace-in FILE]
 //!                  [--cycles N] [--seed S]
 //!                  [--faults none|accumulate|storm] [--fault-mean N]
-//! noc-cli trace    --app NAME|--pattern NAME --rate F --cycles N --out FILE [--mesh K] [--seed S]
+//! noc-cli trace    --app NAME|--pattern NAME --rate F --cycles N --out FILE
+//!                  [--mesh K] [--topology SPEC] [--seed S]
 //! noc-cli analyze  [--vcs V]
+//! noc-cli serve    [--addr A] [--port P] [--spool DIR] [--workers N]
+//!                  [--queue-cap N] [--checkpoint-every N]
+//! noc-cli submit   --spec FILE|- [--addr A:P]
+//! noc-cli status   JOB_ID [--addr A:P]
+//! noc-cli result   JOB_ID [--addr A:P]
 //! ```
+//!
+//! `serve` runs the campaign daemon in the foreground (same spool
+//! format as `noc-serviced`, which additionally catches SIGTERM for
+//! graceful drains); `submit`/`status`/`result` talk to either over
+//! HTTP. See ARCHITECTURE.md §5.
 
 use shield_noc::faults::{FaultPlan, InjectionConfig};
 use shield_noc::prelude::*;
 use shield_noc::reliability::{AreaPowerModel, MttfReport, SpfAnalysis};
+use shield_noc::service::client::jobs;
+use shield_noc::service::{CampaignSpec, Scheduler, ServiceConfig};
+use shield_noc::topology::Topology;
 use shield_noc::traffic::{AppId, Trace, TrafficGenerator};
-use shield_noc::types::{Mesh, RouterConfig, SimConfig};
+use shield_noc::types::{RouterConfig, SimConfig, TopologySpec};
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,11 +36,16 @@ enum Command {
     Simulate(SimulateArgs),
     Trace(TraceArgs),
     Analyze { vcs: usize },
+    Serve(ServeArgs),
+    Submit { addr: String, spec: String },
+    Status { addr: String, id: String },
+    Result { addr: String, id: String },
 }
 
 #[derive(Debug, Clone, PartialEq)]
 struct SimulateArgs {
     mesh: u8,
+    topology: String,
     protected: bool,
     source: Source,
     cycles: u64,
@@ -33,6 +53,16 @@ struct SimulateArgs {
     faults: FaultMode,
     fault_mean: Option<u64>,
     heatmap: bool,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct ServeArgs {
+    addr: String,
+    port: u16,
+    spool: String,
+    workers: usize,
+    queue_cap: usize,
+    checkpoint_every: u64,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -52,6 +82,7 @@ enum FaultMode {
 #[derive(Debug, Clone, PartialEq)]
 struct TraceArgs {
     mesh: u8,
+    topology: String,
     source: Source,
     cycles: u64,
     seed: u64,
@@ -94,6 +125,7 @@ fn parse(args: &[String]) -> Result<Command, String> {
         "simulate" => {
             let mut a = SimulateArgs {
                 mesh: 8,
+                topology: "mesh".to_string(),
                 protected: true,
                 source: Source::Pattern(SyntheticPattern::UniformRandom, 0.02),
                 cycles: 30_000,
@@ -111,6 +143,9 @@ fn parse(args: &[String]) -> Result<Command, String> {
                         a.mesh = take_value(args, &mut i, "--mesh")?
                             .parse()
                             .map_err(|e| format!("--mesh: {e}"))?
+                    }
+                    "--topology" => {
+                        a.topology = take_value(args, &mut i, "--topology")?.to_string()
                     }
                     "--router" => {
                         a.protected = match take_value(args, &mut i, "--router")? {
@@ -174,6 +209,7 @@ fn parse(args: &[String]) -> Result<Command, String> {
         "trace" => {
             let mut t = TraceArgs {
                 mesh: 8,
+                topology: "mesh".to_string(),
                 source: Source::Pattern(SyntheticPattern::UniformRandom, 0.02),
                 cycles: 10_000,
                 seed: 0xC0FFEE,
@@ -188,6 +224,9 @@ fn parse(args: &[String]) -> Result<Command, String> {
                         t.mesh = take_value(args, &mut i, "--mesh")?
                             .parse()
                             .map_err(|e| format!("--mesh: {e}"))?
+                    }
+                    "--topology" => {
+                        t.topology = take_value(args, &mut i, "--topology")?.to_string()
                     }
                     "--pattern" => {
                         pattern = Some(parse_pattern(take_value(args, &mut i, "--pattern")?)?)
@@ -239,11 +278,106 @@ fn parse(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Analyze { vcs })
         }
+        "serve" => {
+            let mut s = ServeArgs {
+                addr: "127.0.0.1".to_string(),
+                port: 7070,
+                spool: "noc-spool".to_string(),
+                workers: 2,
+                queue_cap: 16,
+                checkpoint_every: 5_000,
+            };
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--addr" => s.addr = take_value(args, &mut i, "--addr")?.to_string(),
+                    "--port" => {
+                        s.port = take_value(args, &mut i, "--port")?
+                            .parse()
+                            .map_err(|e| format!("--port: {e}"))?
+                    }
+                    "--spool" => s.spool = take_value(args, &mut i, "--spool")?.to_string(),
+                    "--workers" => {
+                        s.workers = take_value(args, &mut i, "--workers")?
+                            .parse()
+                            .map_err(|e| format!("--workers: {e}"))?
+                    }
+                    "--queue-cap" => {
+                        s.queue_cap = take_value(args, &mut i, "--queue-cap")?
+                            .parse()
+                            .map_err(|e| format!("--queue-cap: {e}"))?
+                    }
+                    "--checkpoint-every" => {
+                        s.checkpoint_every = take_value(args, &mut i, "--checkpoint-every")?
+                            .parse()
+                            .map_err(|e| format!("--checkpoint-every: {e}"))?
+                    }
+                    other => return Err(format!("serve: unknown flag {other:?}")),
+                }
+                i += 1;
+            }
+            if s.checkpoint_every == 0 {
+                return Err("serve: --checkpoint-every must be positive".into());
+            }
+            Ok(Command::Serve(s))
+        }
+        "submit" => {
+            let (addr, positional) = parse_client_args("submit", args)?;
+            let mut spec = positional;
+            let mut i = 1;
+            while i < args.len() {
+                if args[i] == "--spec" {
+                    spec = Some(take_value(args, &mut i, "--spec")?.to_string());
+                }
+                i += 1;
+            }
+            let spec = spec.ok_or("submit: --spec FILE (or '-' for stdin) is required")?;
+            Ok(Command::Submit { addr, spec })
+        }
+        "status" => {
+            let (addr, id) = parse_client_args("status", args)?;
+            let id = id.ok_or("status: JOB_ID is required")?;
+            Ok(Command::Status { addr, id })
+        }
+        "result" => {
+            let (addr, id) = parse_client_args("result", args)?;
+            let id = id.ok_or("result: JOB_ID is required")?;
+            Ok(Command::Result { addr, id })
+        }
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     }
 }
 
-const USAGE: &str = "usage: noc-cli <simulate|trace|analyze> [flags] (see module docs)";
+/// Shared parse for the client subcommands: an optional `--addr A:P`
+/// plus at most one positional argument (the job id, or the spec file
+/// for `submit` when given positionally).
+fn parse_client_args(cmd: &str, args: &[String]) -> Result<(String, Option<String>), String> {
+    let mut addr = "127.0.0.1:7070".to_string();
+    let mut positional = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = take_value(args, &mut i, "--addr")?.to_string(),
+            "--spec" => {
+                // Consumed by `submit` itself; skip the value here.
+                take_value(args, &mut i, "--spec")?;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("{cmd}: unknown flag {other:?}"))
+            }
+            other => {
+                if positional.replace(other.to_string()).is_some() {
+                    return Err(format!("{cmd}: more than one positional argument"));
+                }
+            }
+        }
+        i += 1;
+    }
+    Ok((addr, positional))
+}
+
+const USAGE: &str =
+    "usage: noc-cli <simulate|trace|analyze|serve|submit|status|result> [flags] (see module docs)";
 
 fn traffic_of(source: &Source) -> Result<TrafficConfig, String> {
     Ok(match source {
@@ -256,7 +390,9 @@ fn traffic_of(source: &Source) -> Result<TrafficConfig, String> {
 fn run_simulate(a: SimulateArgs) -> Result<(), String> {
     let mut net = NetworkConfig::paper();
     net.mesh_k = a.mesh;
+    net.topology = TopologySpec::parse_arg(&a.topology, a.mesh)?;
     net.validate()?;
+    let topo_tag = net.topology.tag();
     let kind = if a.protected {
         RouterKind::Protected
     } else {
@@ -308,7 +444,7 @@ fn run_simulate(a: SimulateArgs) -> Result<(), String> {
         }
     };
 
-    println!("router          : {kind:?} on a {0}x{0} mesh", a.mesh);
+    println!("router          : {kind:?} on a {0}x{0} {topo_tag}", a.mesh);
     println!(
         "faults          : {} permanent, {} transient",
         plan.len(),
@@ -355,7 +491,12 @@ fn run_simulate(a: SimulateArgs) -> Result<(), String> {
 
 fn run_trace(t: TraceArgs) -> Result<(), String> {
     let traffic = traffic_of(&t.source)?;
-    let mut generator = TrafficGenerator::new(traffic, Mesh::new(t.mesh), t.seed ^ 0x5EED);
+    let mut net = NetworkConfig::paper();
+    net.mesh_k = t.mesh;
+    net.topology = TopologySpec::parse_arg(&t.topology, t.mesh)?;
+    net.validate()?;
+    let topo = Topology::from_spec(&net);
+    let mut generator = TrafficGenerator::for_topology(traffic, &topo, t.seed ^ 0x5EED);
     let trace = Trace::record(&mut generator, t.mesh, t.cycles);
     trace.save(&t.out).map_err(|e| e.to_string())?;
     println!(
@@ -393,12 +534,98 @@ fn run_analyze(vcs: usize) -> Result<(), String> {
     Ok(())
 }
 
+/// Run the campaign daemon in the foreground. Unlike `noc-serviced`
+/// this installs no signal handlers (the umbrella crate forbids unsafe
+/// code): Ctrl-C terminates immediately and the next start on the same
+/// spool recovers from the checkpoints, forfeiting at most one
+/// checkpoint interval of work.
+fn run_serve(s: ServeArgs) -> Result<(), String> {
+    let mut cfg = ServiceConfig::new(&s.spool);
+    cfg.workers = s.workers;
+    cfg.queue_cap = s.queue_cap;
+    cfg.default_checkpoint_every = s.checkpoint_every;
+    let listener = std::net::TcpListener::bind((s.addr.as_str(), s.port))
+        .map_err(|e| format!("binding {}:{}: {e}", s.addr, s.port))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    let sched = Scheduler::start(cfg).map_err(|e| format!("starting scheduler: {e}"))?;
+    println!("listening on {local}");
+    println!(
+        "spool {} | {} workers | queue cap {} | checkpoint every {} cycles",
+        s.spool,
+        s.workers.max(1),
+        s.queue_cap,
+        s.checkpoint_every
+    );
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    let outcome = shield_noc::service::http::serve(listener, sched.clone(), || false)
+        .map_err(|e| format!("accept loop: {e}"));
+    sched.shutdown();
+    outcome
+}
+
+fn run_submit(addr: &str, spec: &str) -> Result<(), String> {
+    let text = if spec == "-" {
+        use std::io::Read;
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(spec).map_err(|e| format!("reading {spec}: {e}"))?
+    };
+    // Validate locally first: a bad spec should fail with the parser's
+    // message even when no daemon is running.
+    CampaignSpec::from_text(&text)?;
+    let resp = jobs::submit(addr, &text).map_err(|e| format!("POST {addr}/jobs: {e}"))?;
+    if resp.status != 201 {
+        return Err(format!(
+            "daemon refused the job ({}): {}",
+            resp.status, resp.body
+        ));
+    }
+    let id = shield_noc::telemetry::JsonValue::parse(&resp.body)
+        .ok()
+        .and_then(|doc| doc.get("id")?.as_str().map(str::to_string))
+        .ok_or_else(|| format!("malformed response: {}", resp.body))?;
+    println!("{id}");
+    Ok(())
+}
+
+fn run_status(addr: &str, id: &str) -> Result<(), String> {
+    let resp = jobs::status(addr, id).map_err(|e| format!("GET {addr}/jobs/{id}: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("status {}: {}", resp.status, resp.body));
+    }
+    println!("{}", resp.body);
+    Ok(())
+}
+
+fn run_result(addr: &str, id: &str) -> Result<(), String> {
+    let resp = jobs::result(addr, id).map_err(|e| format!("GET {addr}/jobs/{id}/result: {e}"))?;
+    match resp.status {
+        200 => {
+            println!("{}", resp.body);
+            Ok(())
+        }
+        202 => Err(format!("job {id} is still running: {}", resp.body)),
+        other => Err(format!("status {other}: {}", resp.body)),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let outcome = parse(&args).and_then(|cmd| match cmd {
         Command::Simulate(a) => run_simulate(a),
         Command::Trace(t) => run_trace(t),
         Command::Analyze { vcs } => run_analyze(vcs),
+        Command::Serve(s) => run_serve(s),
+        Command::Submit { addr, spec } => run_submit(&addr, &spec),
+        Command::Status { addr, id } => run_status(&addr, &id),
+        Command::Result { addr, id } => run_result(&addr, &id),
     });
     if let Err(e) = outcome {
         eprintln!("error: {e}");
@@ -484,6 +711,75 @@ mod tests {
             parse(&args("analyze")).unwrap(),
             Command::Analyze { vcs: 4 }
         );
+    }
+
+    #[test]
+    fn parses_topology_everywhere() {
+        match parse(&args("simulate --mesh 4 --topology cutmesh2:9")).unwrap() {
+            Command::Simulate(a) => assert_eq!(a.topology, "cutmesh2:9"),
+            _ => panic!("wrong command"),
+        }
+        match parse(&args("trace --app fft --out /tmp/x.trace --topology torus")).unwrap() {
+            Command::Trace(t) => assert_eq!(t.topology, "torus"),
+            _ => panic!("wrong command"),
+        }
+        // The shared grammar rejects junk at run time, not parse time;
+        // the run path surfaces the parser's message.
+        assert!(run_simulate(SimulateArgs {
+            mesh: 4,
+            topology: "klein-bottle".into(),
+            protected: true,
+            source: Source::Pattern(SyntheticPattern::UniformRandom, 0.01),
+            cycles: 10,
+            seed: 1,
+            faults: FaultMode::None,
+            fault_mean: None,
+            heatmap: false,
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn parses_service_subcommands() {
+        assert_eq!(
+            parse(&args(
+                "serve --port 0 --spool /tmp/s --workers 3 --queue-cap 5"
+            ))
+            .unwrap(),
+            Command::Serve(ServeArgs {
+                addr: "127.0.0.1".into(),
+                port: 0,
+                spool: "/tmp/s".into(),
+                workers: 3,
+                queue_cap: 5,
+                checkpoint_every: 5_000,
+            })
+        );
+        assert!(parse(&args("serve --checkpoint-every 0")).is_err());
+        assert_eq!(
+            parse(&args("submit --spec campaign.json --addr 10.0.0.1:80")).unwrap(),
+            Command::Submit {
+                addr: "10.0.0.1:80".into(),
+                spec: "campaign.json".into(),
+            }
+        );
+        assert!(parse(&args("submit")).is_err());
+        assert_eq!(
+            parse(&args("status job-000001")).unwrap(),
+            Command::Status {
+                addr: "127.0.0.1:7070".into(),
+                id: "job-000001".into(),
+            }
+        );
+        assert_eq!(
+            parse(&args("result job-000001 --addr h:1")).unwrap(),
+            Command::Result {
+                addr: "h:1".into(),
+                id: "job-000001".into(),
+            }
+        );
+        assert!(parse(&args("status")).is_err());
+        assert!(parse(&args("status a b")).is_err());
     }
 
     #[test]

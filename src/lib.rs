@@ -20,6 +20,8 @@
 //! * [`telemetry`] — zero-cost-when-off event tracing, epoch sampling
 //!   and the deadlock flight recorder.
 //! * [`bench`] — the experiment harness behind every table and figure.
+//! * [`service`] — resumable campaign jobs behind the `noc-serviced`
+//!   HTTP daemon (also reachable as `noc-cli serve`).
 //!
 //! ## Quickstart
 //!
@@ -41,8 +43,10 @@ pub use noc_arbiter as arbiter;
 pub use noc_bench as bench;
 pub use noc_faults as faults;
 pub use noc_reliability as reliability;
+pub use noc_service as service;
 pub use noc_sim as sim;
 pub use noc_telemetry as telemetry;
+pub use noc_topology as topology;
 pub use noc_traffic as traffic;
 pub use noc_types as types;
 pub use shield_router as router;
