@@ -15,9 +15,15 @@
 //! Unlike the simulation benches these numbers are wall-clock and
 //! machine-dependent; the envelope's machine note says so. `--quick`
 //! shortens both parts.
+//!
+//! `--long-gate` runs neither measurement: it is the CI regression
+//! gate — one ≥200k-cycle campaign at the dense 1k-cycle cadence,
+//! failing the process if overhead versus checkpointing-off exceeds a
+//! pinned ratio (checkpoint cost must stay O(live state), not
+//! O(campaign length)).
 
 use noc_bench::{bench_envelope, write_json};
-use noc_service::{CampaignSpec, Scheduler, ServiceConfig};
+use noc_service::{CampaignSpec, JsonlStream, Scheduler, ServiceConfig};
 use noc_telemetry::JsonValue;
 use std::time::{Duration, Instant};
 
@@ -86,17 +92,22 @@ fn scheduler_throughput(jobs: u64, measure: u64) -> JsonValue {
     ])
 }
 
-/// One campaign at the given checkpoint cadence, checkpoints written
-/// to disk like the daemon writes them. Returns (wall seconds,
-/// checkpoints written).
+/// One campaign at the given checkpoint cadence, run exactly like the
+/// daemon runs it: deliveries appended to a durable `JsonlStream` at
+/// every checkpoint boundary, checkpoint docs (live state + stream
+/// offset only) written to disk. Returns (wall seconds, checkpoints
+/// written).
 fn timed_run(spec: &CampaignSpec, every: u64, dir: &std::path::Path) -> (f64, u64) {
     let sim = spec.simulator(every).expect("valid spec");
     let mut gen = spec.generator().expect("valid spec");
     let path = dir.join(format!("checkpoint-{every}.json"));
+    let stream_path = dir.join(format!("deliveries-{every}.jsonl"));
+    let _ = std::fs::remove_file(&stream_path);
+    let mut stream = JsonlStream::open(&stream_path).expect("open delivery stream");
     let mut written = 0u64;
     let start = Instant::now();
     let (_report, _outcome) = sim
-        .run_resumable(&mut gen, None, |doc| {
+        .run_streamed(&mut gen, &mut stream, None, |doc| {
             written += 1;
             std::fs::write(&path, doc.render()).expect("write checkpoint");
             true
@@ -138,7 +149,41 @@ fn checkpoint_overhead(measure: u64) -> JsonValue {
     JsonValue::Arr(rows)
 }
 
+/// CI regression gate: one long campaign (≥200k measured cycles) at
+/// the dense 1k-cycle cadence versus checkpointing off. Before the
+/// delivery log moved out of the checkpoint doc this cadence cost
+/// +933% on a 100k-cycle campaign and grew with length; with
+/// O(live-state) checkpoints it must stay within a pinned ratio.
+/// Exits nonzero on regression so CI fails loudly.
+fn long_gate() {
+    const MEASURE: u64 = 200_000;
+    const MAX_OVERHEAD_PCT: f64 = 50.0;
+    let scratch = Scratch::new("long-gate");
+    let spec = campaign("long-gate", 7, MEASURE);
+    // Warm caches so the baseline isn't paying first-touch costs.
+    let _ = timed_run(&spec, 0, &scratch.0);
+    let (base, _) = timed_run(&spec, 0, &scratch.0);
+    let (dense, written) = timed_run(&spec, 1_000, &scratch.0);
+    let overhead = (dense / base - 1.0) * 100.0;
+    println!(
+        "long gate ({MEASURE} measured cycles): off {base:.3}s, 1k cadence {dense:.3}s \
+         ({written} checkpoints), {overhead:+.1}% overhead (limit +{MAX_OVERHEAD_PCT:.0}%)"
+    );
+    if overhead > MAX_OVERHEAD_PCT {
+        eprintln!(
+            "FAIL: 1k-cadence checkpoint overhead {overhead:+.1}% exceeds the pinned \
+             +{MAX_OVERHEAD_PCT:.0}% limit — checkpoint cost has regressed toward \
+             O(campaign length)"
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--long-gate") {
+        long_gate();
+        return;
+    }
     let quick = std::env::args().any(|a| a == "--quick");
     let (jobs, measure) = if quick { (6, 2_000) } else { (24, 20_000) };
     let scheduler = scheduler_throughput(jobs, measure);
@@ -149,11 +194,11 @@ fn main() {
          2 workers, spool on local disk) and the wall-clock overhead of \
          periodic checkpointing at cadences off / 1k / 10k cycles on one \
          long uniform-random campaign (4x4 mesh, protected routers, 100k \
-         measured cycles). Checkpoints are full resumable snapshots rendered \
-         to JSON and written to disk, exactly what noc-serviced persists; \
-         their cost is dominated by the per-packet delivery log, which grows \
-         with campaign length, so dense cadences on long campaigns pay the \
-         most — hence the daemon's 5k-cycle default.",
+         measured cycles). Each checkpoint appends new deliveries to a \
+         durable append-only deliveries.jsonl stream and writes a snapshot \
+         of live network state plus a stream offset — exactly what \
+         noc-serviced persists. Checkpoint size is independent of campaign \
+         length, so dense cadences stay cheap on arbitrarily long runs.",
         "mesh",
         "wall-clock numbers from a single-CPU container run: jobs/sec and \
          overhead percentages depend on the host; the checkpoint counts and \

@@ -16,10 +16,16 @@ use crate::spec::CampaignSpec;
 use noc_telemetry::json::obj;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Largest request body we accept (a campaign spec is < 1 KiB).
 const MAX_BODY: usize = 1 << 20;
+
+/// Total time a connection gets to deliver its complete request.
+/// A per-read timeout alone is not enough: a client trickling one
+/// byte per few seconds (deliberately or not) would reset it forever
+/// and wedge a handler thread. The deadline bounds the whole read.
+const READ_DEADLINE: Duration = Duration::from_secs(10);
 
 /// A parsed request: method, path, body.
 struct Request {
@@ -28,14 +34,46 @@ struct Request {
     body: String,
 }
 
-/// Read one request off the stream. Returns `None` on malformed input
-/// (the connection is just dropped — curl and our client both retry
-/// nothing on a request they never finished sending).
-fn read_request(stream: &mut TcpStream) -> Option<Request> {
-    stream
-        .set_read_timeout(Some(Duration::from_secs(10)))
-        .ok()?;
-    let mut reader = BufReader::new(stream);
+/// A [`Read`] adapter that re-arms the socket read timeout with the
+/// remaining deadline budget before *every* underlying read, and fails
+/// once the budget is spent. Re-arming per read (not per request line)
+/// matters: a client dripping one byte at a time completes each
+/// `recv` within its timeout, so only a shrinking per-read budget
+/// actually bounds the connection's total lifetime.
+struct DeadlineStream<'a> {
+    stream: &'a TcpStream,
+    start: Instant,
+    deadline: Duration,
+}
+
+impl Read for DeadlineStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let remaining = self
+            .deadline
+            .checked_sub(self.start.elapsed())
+            .filter(|d| !d.is_zero())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "request read deadline exceeded",
+                )
+            })?;
+        self.stream.set_read_timeout(Some(remaining))?;
+        (&mut &*self.stream).read(buf)
+    }
+}
+
+/// Read one request off the stream, giving the client `deadline` of
+/// wall-clock time for the *entire* request. Returns `None` on
+/// malformed input or deadline expiry (the connection is just dropped —
+/// curl and our client both retry nothing on a request they never
+/// finished sending).
+fn read_request(stream: &mut TcpStream, deadline: Duration) -> Option<Request> {
+    let mut reader = BufReader::new(DeadlineStream {
+        stream,
+        start: Instant::now(),
+        deadline,
+    });
     let mut line = String::new();
     reader.read_line(&mut line).ok()?;
     let mut parts = line.split_whitespace();
@@ -97,8 +135,8 @@ fn error_body(message: &str) -> String {
     obj([("error", message.into())]).render()
 }
 
-fn handle(stream: &mut TcpStream, sched: &Scheduler) {
-    let Some(req) = read_request(stream) else {
+fn handle(stream: &mut TcpStream, sched: &Scheduler, read_deadline: Duration) {
+    let Some(req) = read_request(stream, read_deadline) else {
         return;
     };
     match (req.method.as_str(), req.path.as_str()) {
@@ -140,12 +178,15 @@ fn handle(stream: &mut TcpStream, sched: &Scheduler) {
                 match sched.result_text(id) {
                     Some(text) => json_response(stream, 200, "OK", &text),
                     None if sched.knows(id) => {
-                        // Known but unfinished: point at the status doc.
-                        let status = sched
-                            .status_json(id)
+                        // Known but unfinished: stream what exists so
+                        // far — the status doc plus a `partial` object
+                        // (cycle, epoch series, deliveries) as of the
+                        // job's last durable checkpoint.
+                        let partial = sched
+                            .partial_json(id)
                             .map(|d| d.render())
                             .unwrap_or_default();
-                        json_response(stream, 202, "Accepted", &status);
+                        json_response(stream, 202, "Accepted", &partial);
                     }
                     None => json_response(stream, 404, "Not Found", &error_body("unknown job")),
                 }
@@ -170,10 +211,23 @@ fn handle(stream: &mut TcpStream, sched: &Scheduler) {
 
 /// Accept connections until `should_stop` turns true (checked between
 /// accepts; the listener runs non-blocking with a short sleep so
-/// shutdown latency is tens of milliseconds).
+/// shutdown latency is tens of milliseconds). Connections get the
+/// default 10-second request read deadline.
 pub fn serve(
     listener: TcpListener,
     sched: Scheduler,
+    should_stop: impl Fn() -> bool,
+) -> std::io::Result<()> {
+    serve_with(listener, sched, READ_DEADLINE, should_stop)
+}
+
+/// [`serve`] with an explicit per-connection request read deadline
+/// (tests shrink it to drop stalled clients quickly). The deadline also
+/// bounds how long shutdown waits joining handler threads.
+pub fn serve_with(
+    listener: TcpListener,
+    sched: Scheduler,
+    read_deadline: Duration,
     should_stop: impl Fn() -> bool,
 ) -> std::io::Result<()> {
     listener.set_nonblocking(true)?;
@@ -187,7 +241,7 @@ pub fn serve(
                 let sched = sched.clone();
                 handlers.push(std::thread::spawn(move || {
                     let _ = stream.set_nonblocking(false);
-                    handle(&mut stream, &sched);
+                    handle(&mut stream, &sched, read_deadline);
                 }));
                 handlers.retain(|h| !h.is_finished());
             }

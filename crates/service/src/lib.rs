@@ -9,11 +9,13 @@
 //!   translation into `Simulator`/`TrafficGenerator` configuration;
 //! * [`scheduler::Scheduler`] — a bounded job queue drained by worker
 //!   threads, with every job spooled to disk (spec, periodic
-//!   checkpoints, final result) so a killed process recovers on the
-//!   next start without losing or changing any result;
+//!   checkpoints, the append-only [`stream::JsonlStream`] delivery
+//!   stream, final result) so a killed process recovers on the next
+//!   start without losing or changing any result;
 //! * [`http`] / [`client`] — a hand-rolled HTTP/1.1 server for the
 //!   `noc-serviced` binary, and the matching client used by the CLI
-//!   and the tests.
+//!   and the tests. `GET /jobs/:id/result` streams partial results
+//!   (202 + deliveries-so-far) while a job is still running.
 //!
 //! The whole crate rides on one invariant, pinned by the
 //! resume-determinism tests in `noc-sim`: a campaign resumed from a
@@ -28,9 +30,12 @@
 #![warn(missing_docs)]
 
 pub mod client;
+mod fsio;
 pub mod http;
 pub mod scheduler;
 pub mod spec;
+pub mod stream;
 
 pub use scheduler::{JobPhase, Scheduler, ServiceConfig, SubmitError};
 pub use spec::CampaignSpec;
+pub use stream::JsonlStream;

@@ -7,6 +7,7 @@
 //! ```text
 //! spool/job-000001/spec.json        # fully-resolved CampaignSpec
 //! spool/job-000001/checkpoint.json  # latest checkpoint (tmp+rename)
+//! spool/job-000001/deliveries.jsonl # append-only delivery stream
 //! spool/job-000001/result.json      # final report; job is done
 //! spool/job-000001/error.txt        # terminal failure; job is dead
 //! ```
@@ -18,13 +19,14 @@
 //! tests in `noc-sim`), a crash costs at most one checkpoint interval
 //! of work and never changes a result.
 
+use crate::fsio::write_atomic;
 use crate::spec::CampaignSpec;
+use crate::stream::JsonlStream;
 use noc_sim::SimOutcome;
 use noc_telemetry::json::{obj, JsonValue};
 use noc_telemetry::snapshot::SNAPSHOT_SCHEMA_VERSION;
 use std::collections::{HashMap, VecDeque};
 use std::fs;
-use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -45,8 +47,9 @@ pub struct ServiceConfig {
     /// at 0. Never 0 itself: the cadence is also the daemon's
     /// graceful-shutdown latency.
     pub default_checkpoint_every: u64,
-    /// `Retry-After` hint (seconds) handed out with queue-full
-    /// rejections.
+    /// Fallback `Retry-After` hint (seconds) for queue-full rejections
+    /// issued before any job has completed; once completions exist the
+    /// hint scales with queue depth and the mean job duration instead.
     pub retry_after_secs: u64,
 }
 
@@ -116,6 +119,10 @@ struct SchedState {
     jobs: HashMap<String, JobRecord>,
     next_id: u64,
     running: usize,
+    /// Wall-clock seconds spent by completed jobs, for the mean job
+    /// duration behind the scaled `Retry-After` hint.
+    job_secs_sum: f64,
+    job_secs_count: u64,
 }
 
 struct SchedInner {
@@ -138,16 +145,24 @@ pub struct Scheduler {
     inner: Arc<SchedInner>,
 }
 
-/// Write `text` to `path` atomically (same-directory tmp + rename), so
-/// a crash mid-write never leaves a torn file for recovery to trip on.
-fn write_atomic(path: &Path, text: &str) -> std::io::Result<()> {
-    let tmp = path.with_extension("tmp");
-    {
-        let mut f = fs::File::create(&tmp)?;
-        f.write_all(text.as_bytes())?;
-        f.sync_all()?;
+/// Seconds a client should wait before retrying a queue-full
+/// submission: the expected time for the backlog to clear one slot,
+/// `mean_job_secs × queue_depth / workers`, clamped to [1, 600]. Falls
+/// back to `fallback` until at least one job has completed (there is
+/// no mean to scale from yet).
+fn retry_after_hint(
+    queue_depth: usize,
+    workers: usize,
+    mean_job_secs: Option<f64>,
+    fallback: u64,
+) -> u64 {
+    match mean_job_secs {
+        None => fallback.max(1),
+        Some(mean) => {
+            let est = mean * queue_depth as f64 / workers.max(1) as f64;
+            (est.ceil() as u64).clamp(1, 600)
+        }
     }
-    fs::rename(&tmp, path)
 }
 
 impl Scheduler {
@@ -163,6 +178,8 @@ impl Scheduler {
                 jobs: HashMap::new(),
                 next_id: 1,
                 running: 0,
+                job_secs_sum: 0.0,
+                job_secs_count: 0,
             }),
             work: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -242,15 +259,22 @@ impl Scheduler {
     }
 
     /// Submit a campaign. Returns the job id, or a queue-full rejection
-    /// carrying the configured retry hint.
+    /// whose retry hint scales with the backlog (see [`retry_after_hint`]).
     pub fn submit(&self, spec: CampaignSpec) -> Result<String, SubmitError> {
         spec.validate().map_err(SubmitError::Invalid)?;
         let id = {
             let mut state = self.inner.state.lock().unwrap();
             if state.queue.len() >= self.inner.cfg.queue_cap {
                 self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                let mean = (state.job_secs_count > 0)
+                    .then(|| state.job_secs_sum / state.job_secs_count as f64);
                 return Err(SubmitError::QueueFull {
-                    retry_after_secs: self.inner.cfg.retry_after_secs,
+                    retry_after_secs: retry_after_hint(
+                        state.queue.len(),
+                        self.inner.cfg.workers.max(1),
+                        mean,
+                        self.inner.cfg.retry_after_secs,
+                    ),
                 });
             }
             let id = format!("job-{:06}", state.next_id);
@@ -350,6 +374,52 @@ impl Scheduler {
     /// Jobs currently being stepped.
     pub fn running(&self) -> usize {
         self.inner.state.lock().unwrap().running
+    }
+
+    /// Mean wall-clock duration of completed jobs, `None` before the
+    /// first completion. This is the term the queue-full `Retry-After`
+    /// hint scales with.
+    pub fn mean_job_secs(&self) -> Option<f64> {
+        let state = self.inner.state.lock().unwrap();
+        (state.job_secs_count > 0).then(|| state.job_secs_sum / state.job_secs_count as f64)
+    }
+
+    /// Partial-progress document for a job that is not finished yet:
+    /// the status fields plus a `partial` object carrying the cycle,
+    /// epoch series and deliveries-so-far at the job's last durable
+    /// checkpoint (`partial` is `null` before the first checkpoint).
+    /// `None` for an unknown id.
+    pub fn partial_json(&self, id: &str) -> Option<JsonValue> {
+        let status = self.status_json(id)?;
+        let dir = self.job_dir(id);
+        let partial = fs::read_to_string(dir.join("checkpoint.json"))
+            .ok()
+            .and_then(|text| JsonValue::parse(&text).ok())
+            .and_then(|doc| {
+                let cycle = doc.get("cycle")?.as_u64()?;
+                let offset = doc.get("delivery_offset")?.as_u64()?;
+                // The epoch series inside the checkpoint is the
+                // client-facing time series; the surrounding sampler
+                // counters are resume internals.
+                let series = doc
+                    .get("epochs")
+                    .and_then(|ep| ep.get("series"))
+                    .cloned()
+                    .unwrap_or(JsonValue::Null);
+                let deliveries = JsonlStream::read_prefix(&dir.join("deliveries.jsonl"), offset)?;
+                Some(obj([
+                    ("cycle", cycle.into()),
+                    ("delivery_offset", offset.into()),
+                    ("epochs", series),
+                    ("deliveries", JsonValue::Arr(deliveries)),
+                ]))
+            })
+            .unwrap_or(JsonValue::Null);
+        let JsonValue::Obj(mut fields) = status else {
+            return Some(status);
+        };
+        fields.push(("partial".into(), partial));
+        Some(JsonValue::Obj(fields))
     }
 
     /// Prometheus text-format metrics.
@@ -495,9 +565,15 @@ fn worker_loop(inner: &Arc<SchedInner>) {
                 state = inner.work.wait(state).unwrap();
             }
         };
+        let started = Instant::now();
         let outcome = run_job(inner, &id);
+        let elapsed = started.elapsed().as_secs_f64();
         let mut state = inner.state.lock().unwrap();
         state.running -= 1;
+        if matches!(outcome, JobOutcome::Completed) {
+            state.job_secs_sum += elapsed;
+            state.job_secs_count += 1;
+        }
         if let Some(rec) = state.jobs.get_mut(&id) {
             match outcome {
                 JobOutcome::Completed => {
@@ -566,7 +642,11 @@ fn run_job(inner: &Arc<SchedInner>, id: &str) -> JobOutcome {
         }
     }
 
-    let run = sim.run_resumable(&mut gen, resume.as_ref(), |doc| {
+    let mut stream = match JsonlStream::open(dir.join("deliveries.jsonl")) {
+        Ok(s) => s,
+        Err(e) => return JobOutcome::Failed(fail(&dir, &format!("opening delivery stream: {e}"))),
+    };
+    let run = sim.run_streamed(&mut gen, &mut stream, resume.as_ref(), |doc| {
         let ok = write_atomic(&checkpoint_path, &doc.render()).is_ok();
         if ok {
             if let Some(cycle) = doc.get("cycle").and_then(JsonValue::as_u64) {
@@ -604,6 +684,8 @@ fn run_job(inner: &Arc<SchedInner>, id: &str) -> JobOutcome {
             if let Err(e) = write_atomic(&dir.join("result.json"), &doc.render()) {
                 return JobOutcome::Failed(fail(&dir, &format!("writing result: {e}")));
             }
+            // The checkpoint is spent; the delivery stream stays — it
+            // now holds the campaign's full delivery log.
             let _ = fs::remove_file(&checkpoint_path);
             JobOutcome::Completed
         }
@@ -615,4 +697,36 @@ fn run_job(inner: &Arc<SchedInner>, id: &str) -> JobOutcome {
 fn fail(dir: &Path, msg: &str) -> String {
     let _ = write_atomic(&dir.join("error.txt"), msg);
     msg.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::retry_after_hint;
+
+    #[test]
+    fn retry_hint_falls_back_before_any_completion() {
+        assert_eq!(retry_after_hint(16, 2, None, 7), 7);
+        // A zero fallback still asks the client to wait at least 1s.
+        assert_eq!(retry_after_hint(16, 2, None, 0), 1);
+    }
+
+    #[test]
+    fn retry_hint_scales_with_backlog_and_mean_duration() {
+        // 8 queued jobs at ~3 s each over 2 workers ≈ 12 s of backlog.
+        assert_eq!(retry_after_hint(8, 2, Some(3.0), 2), 12);
+        // Deeper queue, same jobs: longer wait.
+        assert_eq!(retry_after_hint(16, 2, Some(3.0), 2), 24);
+        // More workers drain faster.
+        assert_eq!(retry_after_hint(16, 8, Some(3.0), 2), 6);
+        // Fractional estimates round up.
+        assert_eq!(retry_after_hint(1, 2, Some(0.5), 2), 1);
+    }
+
+    #[test]
+    fn retry_hint_is_clamped_to_a_sane_range() {
+        assert_eq!(retry_after_hint(1000, 1, Some(120.0), 2), 600);
+        assert_eq!(retry_after_hint(1, 64, Some(0.001), 2), 1);
+        // Zero workers must not divide by zero.
+        assert_eq!(retry_after_hint(4, 0, Some(2.0), 2), 8);
+    }
 }

@@ -5,7 +5,9 @@
 
 use noc_service::client::jobs;
 use noc_service::{CampaignSpec, Scheduler, ServiceConfig, SubmitError};
+use noc_sim::MemoryStream;
 use noc_telemetry::json::JsonValue;
+use noc_telemetry::snapshot::Snapshot;
 use std::io::BufRead;
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
@@ -37,10 +39,25 @@ impl Drop for Scratch {
 /// The report an uninterrupted, service-independent run of `spec`
 /// produces, as canonical JSON bytes.
 fn reference_report(spec: &CampaignSpec) -> String {
+    reference_run(spec).0
+}
+
+/// Reference report bytes plus the delivery stream an uninterrupted
+/// run spools, rendered exactly as the daemon's `deliveries.jsonl`
+/// (one snapshot object per line).
+fn reference_run(spec: &CampaignSpec) -> (String, String) {
     let sim = spec.simulator(1_000).unwrap();
     let mut gen = spec.generator().unwrap();
-    let (report, _) = sim.run_resumable(&mut gen, None, |_| true).unwrap();
-    report.to_json().render()
+    let mut stream = MemoryStream::new();
+    let (report, _) = sim
+        .run_streamed(&mut gen, &mut stream, None, |_| true)
+        .unwrap();
+    let jsonl: String = stream
+        .entries()
+        .iter()
+        .map(|d| d.snapshot().render() + "\n")
+        .collect();
+    (report.to_json().render(), jsonl)
 }
 
 /// The `report` object out of a spooled/HTTP result document.
@@ -112,10 +129,38 @@ fn queue_backpressure_rejects_with_retry_hint() {
             Err(e) => panic!("unexpected submit error: {e:?}"),
         }
     }
+    // Before any job has completed there is no mean duration to scale
+    // from, so the hint is the configured fallback.
     assert_eq!(rejected, Some(7), "flooding a cap-2 queue must reject");
     assert!(sched
         .metrics_text()
         .contains("noc_service_jobs_rejected_total 1"));
+
+    // Once jobs have completed, the hint scales with queue depth and
+    // the observed mean job duration instead of the fallback.
+    assert!(sched.drain(Duration::from_secs(120)), "jobs must finish");
+    let mean = sched
+        .mean_job_secs()
+        .expect("completions must feed the mean");
+    let mut scaled = None;
+    for seed in 100..110 {
+        match sched.submit(quick_spec(seed)) {
+            Ok(_) => {}
+            Err(SubmitError::QueueFull { retry_after_secs }) => {
+                scaled = Some(retry_after_secs);
+                break;
+            }
+            Err(e) => panic!("unexpected submit error: {e:?}"),
+        }
+    }
+    let scaled = scaled.expect("re-flooding must reject again");
+    // Expected: ceil(mean × depth / workers) clamped to [1, 600], with
+    // depth = queue_cap = 2 and workers = 1 at the rejection point.
+    let expected = ((mean * 2.0).ceil() as u64).clamp(1, 600);
+    assert_eq!(
+        scaled, expected,
+        "retry hint must scale from the mean job duration ({mean:.3}s)"
+    );
     sched.shutdown();
 }
 
@@ -254,6 +299,133 @@ fn daemon_survives_sigkill_with_identical_results() {
     }
 }
 
+/// The streamed-results crash drill: partial results must be served
+/// while the job runs, and a SIGKILL landing *between* a delivery-
+/// stream append and its checkpoint write (simulated by padding the
+/// stream with entries and a torn line past the last checkpoint) must
+/// leave both the final report and the delivery stream byte-identical
+/// to an uninterrupted reference after restart.
+#[test]
+fn daemon_streams_partial_results_and_recovers_the_stream_after_sigkill() {
+    let scratch = Scratch::new("stream-drill");
+    let spool = scratch.0.join("spool");
+
+    let mut spec = quick_spec(41);
+    spec.measure_cycles = 6_000;
+    spec.drain_cycles = 800;
+    spec.checkpoint_every = 500;
+    let (reference, reference_jsonl) = reference_run(&spec);
+    assert!(
+        !reference_jsonl.is_empty(),
+        "campaign too quiet to exercise the stream"
+    );
+    let reference_lines: Vec<&str> = reference_jsonl.lines().collect();
+
+    let mut daemon = Daemon::start(&spool, &["--workers", "1"]);
+    let resp = jobs::submit(&daemon.addr, &spec.to_json().render()).unwrap();
+    assert_eq!(resp.status, 201, "{}", resp.body);
+    let id = JsonValue::parse(&resp.body)
+        .unwrap()
+        .get("id")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+
+    // Wait for the first durable checkpoint, then fetch the partial
+    // result the running job serves on 202.
+    let progressed = poll_until(Duration::from_secs(120), || {
+        jobs::status(&daemon.addr, &id).is_ok_and(|resp| {
+            JsonValue::parse(&resp.body)
+                .ok()
+                .and_then(|doc| doc.get("cycles_done")?.as_u64())
+                .is_some_and(|c| c >= 500)
+        })
+    });
+    assert!(progressed, "job must reach its first checkpoint");
+
+    let resp = jobs::result(&daemon.addr, &id).unwrap();
+    if resp.status == 202 {
+        let doc = JsonValue::parse(&resp.body).expect("202 body is JSON");
+        let partial = doc.get("partial").expect("202 body carries `partial`");
+        // `partial` can be null only before the first checkpoint, and
+        // we already waited that out.
+        let offset = partial
+            .get("delivery_offset")
+            .and_then(|v| v.as_u64())
+            .expect("partial carries the stream offset") as usize;
+        let deliveries = partial
+            .get("deliveries")
+            .and_then(|v| v.as_array())
+            .expect("partial carries deliveries");
+        assert_eq!(
+            deliveries.len(),
+            offset,
+            "partial deliveries must be exactly the checkpointed prefix"
+        );
+        assert!(
+            offset > 0,
+            "a checkpointed campaign this busy has deliveries"
+        );
+        // Deliveries-so-far are a prefix of the uninterrupted run's
+        // stream: streaming never shows a client anything a completed
+        // run would not also show.
+        for (i, d) in deliveries.iter().enumerate() {
+            assert_eq!(
+                d.render(),
+                reference_lines[i],
+                "partial delivery {i} diverged from the reference stream"
+            );
+        }
+        assert!(
+            partial.get("cycle").and_then(|v| v.as_u64()).is_some(),
+            "partial carries the checkpoint cycle"
+        );
+    } else {
+        // The job beat us to completion; the drill below still runs
+        // from the completed spool, which is valid but less sharp.
+        assert_eq!(resp.status, 200);
+    }
+
+    daemon.kill9();
+
+    // Simulate the worst crash window: the stream got appends (and a
+    // torn partial line) after the last durable checkpoint was written.
+    // Restore must truncate back to the checkpoint's offset and replay.
+    let stream_path = spool.join(&id).join("deliveries.jsonl");
+    if spool.join(&id).join("checkpoint.json").exists() {
+        let mut text = std::fs::read_to_string(&stream_path).unwrap();
+        // The kill may itself have torn the last line; cut back to the
+        // last complete entry before stacking our own crash debris.
+        let complete = text.rfind('\n').map(|p| p + 1).unwrap_or(0);
+        text.truncate(complete);
+        if let Some(last_line) = text.lines().last().map(str::to_string) {
+            text.push_str(&last_line);
+            text.push('\n');
+            text.push_str(&last_line[..last_line.len() / 2]); // torn append
+            std::fs::write(&stream_path, &text).unwrap();
+        }
+    }
+
+    let daemon = Daemon::start(&spool, &["--workers", "1"]);
+    let done = poll_until(Duration::from_secs(180), || {
+        jobs::result(&daemon.addr, &id).is_ok_and(|resp| resp.status == 200)
+    });
+    assert!(done, "recovered job must complete");
+
+    let resp = jobs::result(&daemon.addr, &id).unwrap();
+    assert_eq!(
+        report_of(&resp.body),
+        reference,
+        "report diverged after SIGKILL on the streamed path"
+    );
+    let final_jsonl = std::fs::read_to_string(&stream_path).unwrap();
+    assert_eq!(
+        final_jsonl, reference_jsonl,
+        "delivery stream diverged after SIGKILL + truncate-on-restore + replay"
+    );
+}
+
 #[test]
 fn daemon_returns_429_and_404_properly() {
     let scratch = Scratch::new("http");
@@ -286,7 +458,16 @@ fn daemon_returns_429_and_404_properly() {
         }
     }
     let retry_after = saw_429.expect("flooding a cap-1 queue must 429");
-    assert!(retry_after.is_some(), "429 must carry Retry-After");
+    let secs: u64 = retry_after
+        .expect("429 must carry Retry-After")
+        .parse()
+        .expect("Retry-After must be integral seconds");
+    // Scaled from backlog and mean job duration (or the fallback before
+    // any completion) — either way it must be a sane, positive wait.
+    assert!(
+        (1..=600).contains(&secs),
+        "Retry-After {secs} outside the scaled hint range"
+    );
 
     let resp = jobs::status(&daemon.addr, "job-999999").unwrap();
     assert_eq!(resp.status, 404);

@@ -1,0 +1,143 @@
+//! The append-only delivery stream.
+//!
+//! The delivery log grows monotonically with campaign length, so
+//! embedding it in every checkpoint (as the v1 snapshot format did)
+//! made checkpoint cost O(campaign length). Instead, deliveries are
+//! spooled incrementally into a [`DeliveryStream`]: the checkpoint
+//! document records only a stream *offset* (`delivery_offset`), and a
+//! resume truncates the stream back to that offset before replaying —
+//! any entries past the offset belong to cycles the resumed run will
+//! re-execute, and determinism guarantees it re-appends them
+//! byte-identically (ARCHITECTURE.md §5.1).
+//!
+//! [`MemoryStream`] is the in-process implementation used by library
+//! callers and tests; the campaign service provides a durable
+//! JSON-lines implementation over `spool/<id>/deliveries.jsonl`.
+
+use noc_telemetry::snapshot::SnapshotError;
+use noc_types::DeliveredPacket;
+
+/// An append-only sink for delivered packets, with just enough
+/// structure to support checkpoint/resume: a stable entry count (the
+/// checkpoint offset) and truncation back to an offset on restore.
+pub trait DeliveryStream {
+    /// Append a batch of deliveries to the end of the stream. The
+    /// batch must be durable (for durable implementations) before this
+    /// returns `Ok` — the simulator appends *before* emitting the
+    /// checkpoint that references the new offset, so a crash between
+    /// the two leaves a stream tail the next resume truncates away.
+    fn append(&mut self, batch: &[DeliveredPacket]) -> Result<(), SnapshotError>;
+
+    /// Number of entries currently in the stream.
+    fn len(&self) -> u64;
+
+    /// Whether the stream holds no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cut the stream back to its first `offset` entries and return
+    /// them (the restore path: the returned prefix reloads the live
+    /// delivery log). Fails if the stream holds fewer than `offset`
+    /// entries — that checkpoint was written against a stream this one
+    /// never was.
+    fn truncate(&mut self, offset: u64) -> Result<Vec<DeliveredPacket>, SnapshotError>;
+}
+
+/// The in-memory [`DeliveryStream`]: a plain vector. This is what
+/// [`crate::Simulator::run_resumable`] uses internally when the caller
+/// does not provide a durable stream.
+#[derive(Default)]
+pub struct MemoryStream {
+    entries: Vec<DeliveredPacket>,
+}
+
+impl MemoryStream {
+    /// An empty stream.
+    pub fn new() -> Self {
+        MemoryStream::default()
+    }
+
+    /// A stream pre-loaded with `entries` — e.g. the full delivery log
+    /// of an earlier run, to resume from one of its checkpoints.
+    pub fn from_entries(entries: Vec<DeliveredPacket>) -> Self {
+        MemoryStream { entries }
+    }
+
+    /// The entries appended so far.
+    pub fn entries(&self) -> &[DeliveredPacket] {
+        &self.entries
+    }
+
+    /// Consume the stream, yielding its entries.
+    pub fn into_entries(self) -> Vec<DeliveredPacket> {
+        self.entries
+    }
+}
+
+impl DeliveryStream for MemoryStream {
+    fn append(&mut self, batch: &[DeliveredPacket]) -> Result<(), SnapshotError> {
+        self.entries.extend_from_slice(batch);
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    fn truncate(&mut self, offset: u64) -> Result<Vec<DeliveredPacket>, SnapshotError> {
+        if offset > self.entries.len() as u64 {
+            return Err(SnapshotError::new(format!(
+                "delivery stream holds {} entries but the checkpoint references offset {offset}",
+                self.entries.len()
+            )));
+        }
+        self.entries.truncate(offset as usize);
+        Ok(self.entries.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_types::{Coord, PacketId, PacketKind};
+
+    fn d(id: u64) -> DeliveredPacket {
+        DeliveredPacket {
+            id: PacketId(id),
+            kind: PacketKind::Control,
+            src: Coord::new(0, 0),
+            dst: Coord::new(1, 1),
+            created_at: id,
+            injected_at: id + 1,
+            ejected_at: id + 5,
+            hops: 2,
+        }
+    }
+
+    #[test]
+    fn append_accumulates_and_len_tracks() {
+        let mut s = MemoryStream::new();
+        assert!(s.is_empty());
+        s.append(&[d(1), d(2)]).unwrap();
+        s.append(&[d(3)]).unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.entries(), &[d(1), d(2), d(3)]);
+    }
+
+    #[test]
+    fn truncate_returns_the_retained_prefix() {
+        let mut s = MemoryStream::from_entries(vec![d(1), d(2), d(3)]);
+        let prefix = s.truncate(2).unwrap();
+        assert_eq!(prefix, vec![d(1), d(2)]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn truncate_past_the_end_is_an_error() {
+        let mut s = MemoryStream::from_entries(vec![d(1)]);
+        assert!(s.truncate(2).is_err());
+        // The failed truncate must not have disturbed the stream.
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -29,10 +29,14 @@
 //! invoked once per cycle. Checkpointable runs use the
 //! [`PacketSource`] trait instead (implemented by
 //! [`noc_traffic::TrafficGenerator`]): [`Simulator::run_resumable`]
-//! emits self-describing JSON checkpoints of the complete simulation
+//! emits self-describing JSON checkpoints of the live simulation
 //! state — every router, NI, wire, credit and RNG stream — and a run
 //! resumed from one produces a byte-identical [`NetworkReport`]
-//! (ARCHITECTURE.md §5).
+//! (ARCHITECTURE.md §5). Delivered packets spool into an append-only
+//! [`DeliveryStream`] ([`Simulator::run_streamed`]) instead of the
+//! checkpoint itself, so checkpoint cost is O(live state), not
+//! O(campaign length); checkpoints record a stream offset and resume
+//! truncates the stream back to it.
 //!
 //! Telemetry: [`Network::step_observed`] threads a
 //! [`noc_telemetry::Observer`] per stepper shard through every router
@@ -48,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod delivery;
 pub mod network;
 pub mod ni;
 pub mod pool;
@@ -55,6 +60,7 @@ pub mod simulator;
 pub mod stats;
 
 pub use batch::run_batch;
+pub use delivery::{DeliveryStream, MemoryStream};
 pub use network::Network;
 pub use ni::NetworkInterface;
 pub use pool::WorkerPool;

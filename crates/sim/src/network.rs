@@ -596,6 +596,14 @@ impl Network {
         &self.deliveries
     }
 
+    /// Replace the delivery log wholesale. Restore path only: network
+    /// snapshots exclude the log (it lives in the append-only delivery
+    /// stream, see [`crate::delivery`]), so a resume loads the stream
+    /// prefix at the checkpointed offset back in through here.
+    pub fn set_deliveries(&mut self, deliveries: Vec<DeliveredPacket>) {
+        self.deliveries = deliveries;
+    }
+
     /// Total packets offered / injected / ejected / misdelivered.
     pub fn packet_counters(&self) -> (u64, u64, u64, u64) {
         let offered = self.nis.iter().map(|n| n.offered).sum();
@@ -1314,12 +1322,17 @@ impl Network {
 impl Snapshot for Network {
     /// The network's complete resumable state at a cycle boundary:
     /// every router and NI, the wire ring (slot 0 first — the slot
-    /// arriving next cycle), the delivery log, the link-utilisation
-    /// matrix and the global counters. Excluded as rebuildable from
-    /// configuration: the topology, the wiring table, the parallel
-    /// stepper (thread count is a performance knob — results are
-    /// bit-identical for any value, see the module docs) and the empty
-    /// per-cycle scratch buffers.
+    /// arriving next cycle), the link-utilisation matrix and the
+    /// global counters. Excluded as rebuildable from configuration:
+    /// the topology, the wiring table, the parallel stepper (thread
+    /// count is a performance knob — results are bit-identical for any
+    /// value, see the module docs) and the empty per-cycle scratch
+    /// buffers. Also excluded — deliberately — is the delivery log: it
+    /// grows with campaign length and lives in the append-only
+    /// delivery stream instead ([`crate::delivery`]), keeping snapshot
+    /// cost O(live network state). Checkpoint envelopes record a
+    /// stream offset; [`Network::set_deliveries`] reloads the prefix
+    /// on restore.
     fn snapshot(&self) -> JsonValue {
         obj([
             ("schema_version", SNAPSHOT_SCHEMA_VERSION.into()),
@@ -1343,7 +1356,6 @@ impl Snapshot for Network {
             ),
             ("routers", self.routers.snapshot()),
             ("nis", self.nis.snapshot()),
-            ("deliveries", self.deliveries.snapshot()),
             (
                 "link_flits",
                 JsonValue::Arr(
@@ -1402,8 +1414,11 @@ impl Restore for Network {
                 Vec::<Wire>::from_snapshot(s).map_err(|e| e.within(&format!("wires[{i}]")))?,
             );
         }
-        self.deliveries = Vec::<DeliveredPacket>::from_snapshot(field(v, "deliveries")?)
-            .map_err(|e| e.within("deliveries"))?;
+        // The delivery log is not in the snapshot (it lives in the
+        // delivery stream); clear any stale entries so a restore into a
+        // used network cannot leak them. Callers resuming a checkpoint
+        // reload the stream prefix via `set_deliveries` afterwards.
+        self.deliveries.clear();
         let link_flits = arr_field(v, "link_flits")?;
         if link_flits.len() != self.link_flits.len() {
             return Err(SnapshotError::new("`link_flits` length mismatch"));

@@ -1,6 +1,7 @@
 //! Run orchestration: warm-up / measurement / drain phases, the
 //! deadlock watchdog, epoch sampling and report assembly.
 
+use crate::delivery::{DeliveryStream, MemoryStream};
 use crate::network::Network;
 use crate::stats::NetworkReport;
 use noc_faults::FaultPlan;
@@ -173,12 +174,23 @@ impl<F: FnMut(Cycle, &mut Vec<Packet>)> CoreSource for FnSource<F> {
     }
 }
 
-/// The resumable loop's source: forwards packet generation and emits a
-/// full checkpoint document every `every` cycles.
+/// The resumable loop's source: forwards packet generation, spools new
+/// deliveries into the stream, and emits a checkpoint document every
+/// `every` cycles. Ordering is load-bearing: deliveries are appended
+/// (durably, for durable streams) **before** the checkpoint document
+/// referencing their offset is handed to the sink, so a crash between
+/// the two leaves at worst a stream tail past the last durable
+/// checkpoint — which the next resume truncates away.
 struct CheckpointingSource<'a, S, F> {
     source: &'a mut S,
     every: Cycle,
     sink: F,
+    stream: &'a mut dyn DeliveryStream,
+    /// Deliveries spooled so far == the offset of the next checkpoint.
+    cursor: usize,
+    /// A stream append failure, stashed so the run loop can stop and
+    /// `run_streamed` can surface it as an error.
+    stream_error: Option<SnapshotError>,
 }
 
 impl<S: PacketSource, F: FnMut(&JsonValue) -> bool> CoreSource for CheckpointingSource<'_, S, F> {
@@ -191,9 +203,15 @@ impl<S: PacketSource, F: FnMut(&JsonValue) -> bool> CoreSource for Checkpointing
         if self.every == 0 || !next.is_multiple_of(self.every) {
             return true;
         }
+        if let Err(e) = self.stream.append(&net.deliveries()[self.cursor..]) {
+            self.stream_error = Some(e);
+            return false;
+        }
+        self.cursor = net.deliveries().len();
         let doc = obj([
             ("schema_version", SNAPSHOT_SCHEMA_VERSION.into()),
             ("cycle", next.into()),
+            ("delivery_offset", (self.cursor as u64).into()),
             (
                 "epochs",
                 match epochs {
@@ -305,9 +323,47 @@ impl Simulator {
         resume_from: Option<&JsonValue>,
         on_checkpoint: impl FnMut(&JsonValue) -> bool,
     ) -> Result<(NetworkReport, SimOutcome), SnapshotError> {
+        // A throwaway in-memory stream: fine for fresh runs and for
+        // resuming a checkpoint taken before any deliveries (offset 0).
+        // To resume a checkpoint with a non-zero `delivery_offset`, use
+        // [`Simulator::run_streamed`] with the stream the checkpointed
+        // run appended to — an empty stream cannot be truncated to a
+        // positive offset and the resume fails cleanly.
+        let mut stream = MemoryStream::new();
+        self.run_streamed(source, &mut stream, resume_from, on_checkpoint)
+    }
+
+    /// [`Simulator::run_resumable`] with an explicit delivery stream.
+    ///
+    /// New deliveries are appended to `stream` at every checkpoint
+    /// boundary *before* the checkpoint document (which records the
+    /// resulting stream offset as `delivery_offset`) reaches
+    /// `on_checkpoint`, and once more when the run completes — so after
+    /// a completed run the stream holds the full delivery log. When
+    /// resuming, `stream` must be the stream the checkpointed run was
+    /// appending to: it is truncated back to the checkpointed offset
+    /// (discarding entries from cycles about to be re-executed) and the
+    /// retained prefix reloads the live delivery log. Determinism makes
+    /// the re-executed cycles re-append the discarded entries
+    /// byte-identically, which is why `resume == uninterrupted` holds
+    /// for the stream as well as the report (ARCHITECTURE.md §5).
+    ///
+    /// A fresh run (`resume_from` = `None`) truncates the stream to
+    /// empty first, so a leftover stream from a crashed run that never
+    /// checkpointed cannot pollute the restart.
+    pub fn run_streamed<S: PacketSource>(
+        &self,
+        source: &mut S,
+        stream: &mut dyn DeliveryStream,
+        resume_from: Option<&JsonValue>,
+        on_checkpoint: impl FnMut(&JsonValue) -> bool,
+    ) -> Result<(NetworkReport, SimOutcome), SnapshotError> {
         let mut net = self.build_network();
-        let (start_cycle, epochs) = match resume_from {
-            None => (0, self.sample_every.map(EpochState::new)),
+        let (start_cycle, epochs, cursor) = match resume_from {
+            None => {
+                stream.truncate(0).map_err(|e| e.within("stream"))?;
+                (0, self.sample_every.map(EpochState::new), 0)
+            }
             Some(v) => {
                 let version = u64_field(v, "schema_version")?;
                 if version != SNAPSHOT_SCHEMA_VERSION {
@@ -316,6 +372,9 @@ impl Simulator {
                          {SNAPSHOT_SCHEMA_VERSION}"
                     )));
                 }
+                let offset = u64_field(v, "delivery_offset")?;
+                // Validate the checkpoint before touching the stream,
+                // so a mismatched document cannot cost stream data.
                 net.restore(field(v, "network")?)
                     .map_err(|e| e.within("network"))?;
                 source
@@ -325,7 +384,9 @@ impl Simulator {
                     JsonValue::Null => None,
                     ep => Some(EpochState::from_json(ep).map_err(|e| e.within("epochs"))?),
                 };
-                (u64_field(v, "cycle")?, epochs)
+                let prefix = stream.truncate(offset).map_err(|e| e.within("stream"))?;
+                net.set_deliveries(prefix);
+                (u64_field(v, "cycle")?, epochs, offset as usize)
             }
         };
         let mut nulls = vec![NullObserver; net.shard_count()];
@@ -333,8 +394,22 @@ impl Simulator {
             source,
             every: self.checkpoint_every,
             sink: on_checkpoint,
+            stream,
+            cursor,
+            stream_error: None,
         };
-        Ok(self.run_core(&mut net, &mut core, &mut nulls, start_cycle, epochs))
+        let (report, outcome) = self.run_core(&mut net, &mut core, &mut nulls, start_cycle, epochs);
+        if let Some(e) = core.stream_error {
+            return Err(e.within("stream"));
+        }
+        if outcome != SimOutcome::Interrupted {
+            // Flush deliveries past the last checkpoint boundary so a
+            // finished run leaves the complete log in the stream.
+            core.stream
+                .append(&net.deliveries()[core.cursor..])
+                .map_err(|e| e.within("stream"))?;
+        }
+        Ok((report, outcome))
     }
 
     /// [`Simulator::run_with`] with event tracing enabled.

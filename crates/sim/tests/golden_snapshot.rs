@@ -1,8 +1,9 @@
 //! Golden-snapshot pin and snapshot round-trip properties.
 //!
-//! The committed artefact `tests/golden/checkpoint_v1.json` is a full
-//! checkpoint document (schema_version, cycle, epochs, source,
-//! network) captured mid-campaign from a fixed configuration. The pin
+//! The committed artefact `tests/golden/checkpoint_v2.json` is a full
+//! checkpoint document (schema_version, cycle, delivery_offset,
+//! epochs, source, network) captured mid-campaign from a fixed
+//! configuration. The pin
 //! test regenerates it from scratch and compares **bytes**: any change
 //! to the snapshot encoding — field order, number formatting, a new or
 //! renamed field — fails here and must come with a
@@ -25,7 +26,7 @@ use shield_router::RouterKind;
 
 const GOLDEN_PATH: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
-    "/tests/golden/checkpoint_v1.json"
+    "/tests/golden/checkpoint_v2.json"
 );
 
 /// The fixed campaign behind the committed artefact. Small enough to
@@ -85,7 +86,7 @@ fn golden_checkpoint_carries_the_schema_version() {
         Some(SNAPSHOT_SCHEMA_VERSION),
         "artefact schema_version must match the code"
     );
-    for key in ["cycle", "epochs", "source", "network"] {
+    for key in ["cycle", "delivery_offset", "epochs", "source", "network"] {
         assert!(doc.get(key).is_some(), "golden checkpoint must carry {key}");
     }
     let net = doc.get("network").unwrap();
@@ -182,6 +183,13 @@ fn random_mid_campaign_states_round_trip_byte_identically() {
             .restore(&parsed)
             .unwrap_or_else(|e| panic!("{label}: restore {e}"));
         assert_eq!(fresh.snapshot().render(), s1, "{label}: network round-trip");
+        // The delivery log is not snapshot state (it lives in the
+        // delivery stream); a resume reloads it explicitly, as here.
+        assert!(
+            fresh.deliveries().is_empty(),
+            "{label}: restore must clear deliveries"
+        );
+        fresh.set_deliveries(net.deliveries().to_vec());
 
         // Same for the traffic source (its RNG is mid-stream).
         let g1 = gen.snapshot().render();
@@ -212,6 +220,11 @@ fn random_mid_campaign_states_round_trip_byte_identically() {
             fresh.snapshot().render(),
             net.snapshot().render(),
             "{label}: evolution diverged after restore"
+        );
+        assert_eq!(
+            fresh.deliveries(),
+            net.deliveries(),
+            "{label}: delivery log diverged after restore"
         );
     }
 }

@@ -6,7 +6,7 @@
 //! crash recovery stands on (ARCHITECTURE.md §5).
 
 use noc_faults::{DetectionModel, FaultPlan, FaultSite};
-use noc_sim::Simulator;
+use noc_sim::{MemoryStream, Simulator};
 use noc_telemetry::json::JsonValue;
 use noc_traffic::{SyntheticPattern, TrafficConfig, TrafficGenerator};
 use noc_types::{NetworkConfig, PortId, RouterId, SimConfig, TopologySpec, VcId};
@@ -47,14 +47,22 @@ fn simulator(cfg: NetworkConfig, kind: RouterKind, plan: FaultPlan, threads: usi
 
 /// Uninterrupted reference → interrupted-and-resumed runs from every
 /// emitted checkpoint, across thread counts; every report must render
-/// to the reference's exact bytes.
+/// to the reference's exact bytes, and the delivery stream each run
+/// leaves behind must match the reference's entry for entry.
 fn assert_resume_deterministic(cfg: NetworkConfig, kind: RouterKind, plan: FaultPlan) {
-    let reference = {
+    let (reference, reference_stream) = {
         let sim = simulator(cfg, kind, plan.clone(), 1);
         let mut gen = generator(&cfg);
-        let (report, _) = sim.run_resumable(&mut gen, None, |_| true).unwrap();
-        report.to_json().render()
+        let mut stream = MemoryStream::new();
+        let (report, _) = sim
+            .run_streamed(&mut gen, &mut stream, None, |_| true)
+            .unwrap();
+        (report.to_json().render(), stream.into_entries())
     };
+    assert!(
+        !reference_stream.is_empty(),
+        "campaign too quiet to exercise the delivery stream"
+    );
 
     for threads in [1, 4] {
         let sim = simulator(cfg, kind, plan.clone(), threads);
@@ -63,8 +71,9 @@ fn assert_resume_deterministic(cfg: NetworkConfig, kind: RouterKind, plan: Fault
         // checkpoints (and the thread count) must not perturb the run.
         let mut checkpoints: Vec<String> = Vec::new();
         let mut gen = generator(&cfg);
+        let mut stream = MemoryStream::new();
         let (report, _) = sim
-            .run_resumable(&mut gen, None, |doc| {
+            .run_streamed(&mut gen, &mut stream, None, |doc| {
                 checkpoints.push(doc.render());
                 true
             })
@@ -74,6 +83,11 @@ fn assert_resume_deterministic(cfg: NetworkConfig, kind: RouterKind, plan: Fault
             reference,
             "checkpointed run diverged (threads={threads})"
         );
+        assert_eq!(
+            stream.entries(),
+            &reference_stream[..],
+            "checkpointed run's delivery stream diverged (threads={threads})"
+        );
         assert!(
             !checkpoints.is_empty(),
             "no checkpoints emitted (threads={threads})"
@@ -81,14 +95,27 @@ fn assert_resume_deterministic(cfg: NetworkConfig, kind: RouterKind, plan: Fault
 
         // Resume from every checkpoint — early, mid-measurement and
         // deep into drain — through a full render/parse round trip.
+        // Each resume gets the *full* delivery stream of the completed
+        // run, longer than the checkpoint's offset: exactly the state a
+        // crash after further appends leaves behind. Restore must
+        // truncate it back to the offset and re-execution must re-append
+        // the discarded tail identically.
         for (i, text) in checkpoints.iter().enumerate() {
             let doc = JsonValue::parse(text).expect("checkpoint must parse");
             let mut gen = generator(&cfg);
-            let (resumed, _) = sim.run_resumable(&mut gen, Some(&doc), |_| true).unwrap();
+            let mut stream = MemoryStream::from_entries(reference_stream.clone());
+            let (resumed, _) = sim
+                .run_streamed(&mut gen, &mut stream, Some(&doc), |_| true)
+                .unwrap();
             assert_eq!(
                 resumed.to_json().render(),
                 reference,
                 "resume from checkpoint {i} diverged (threads={threads})"
+            );
+            assert_eq!(
+                stream.entries(),
+                &reference_stream[..],
+                "delivery stream after resume from checkpoint {i} diverged (threads={threads})"
             );
         }
     }

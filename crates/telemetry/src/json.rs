@@ -369,13 +369,20 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is &str, so
-                    // boundaries are valid).
+                    // Consume the whole run up to the next quote or
+                    // escape in one step. Validating per character
+                    // (str::from_utf8 on the full remaining input)
+                    // made parsing quadratic — minutes on the
+                    // multi-megabyte partial-result bodies.
                     let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    let run = rest
+                        .iter()
+                        .position(|&b| b == b'"' || b == b'\\')
+                        .unwrap_or(rest.len());
+                    let s =
+                        std::str::from_utf8(&rest[..run]).map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(s);
+                    self.pos += run;
                 }
             }
         }
@@ -441,6 +448,24 @@ mod tests {
         let doc = JsonValue::Str("a\"b\\c\nd\te\u{0001}".to_string());
         let text = doc.render();
         assert_eq!(text, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+        assert_eq!(JsonValue::parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn parses_long_strings_in_linear_time() {
+        // Strings are consumed in runs, not per character: per-char
+        // whole-tail UTF-8 validation once made this quadratic and a
+        // megabyte-scale document took minutes. Megabytes must parse
+        // in well under a second; a timing assert would flake in CI,
+        // so pin correctness at a size where the quadratic version is
+        // unmistakably slow in any debug test run.
+        let long = "héllo wörld — ".repeat(200_000);
+        let doc = JsonValue::Arr(vec![
+            JsonValue::Str(long.clone()),
+            JsonValue::Str(format!("{long}\"quoted\\slashed")),
+        ]);
+        let text = doc.render();
+        assert!(text.len() > 4 << 20);
         assert_eq!(JsonValue::parse(&text).unwrap(), doc);
     }
 

@@ -44,7 +44,14 @@ use noc_types::{
 /// artefact). Bump on any incompatible change to the layout produced by
 /// the [`Snapshot`] implementations; restore refuses mismatched
 /// versions rather than guessing.
-pub const SNAPSHOT_SCHEMA_VERSION: u64 = 1;
+/// Version history:
+///
+/// * **1** — initial format; checkpoint envelopes embedded the full
+///   delivery log in `network.deliveries`.
+/// * **2** — the delivery log moved out of snapshots into the
+///   append-only delivery stream; checkpoint envelopes carry a
+///   `delivery_offset` instead, making their size O(live state).
+pub const SNAPSHOT_SCHEMA_VERSION: u64 = 2;
 
 /// Error produced when a snapshot document cannot be decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -611,7 +611,22 @@ fn run_result(addr: &str, id: &str) -> Result<(), String> {
             println!("{}", resp.body);
             Ok(())
         }
-        202 => Err(format!("job {id} is still running: {}", resp.body)),
+        202 => {
+            // Still running: the body is the partial-result document
+            // (status + epoch series + deliveries at the last durable
+            // checkpoint). Print it so pipelines can consume progress,
+            // but exit nonzero — the final report is not ready.
+            println!("{}", resp.body);
+            let progress = shield_noc::telemetry::JsonValue::parse(&resp.body)
+                .ok()
+                .and_then(|doc| {
+                    let cycle = doc.get("partial")?.get("cycle")?.as_u64()?;
+                    let total = doc.get("total_cycles")?.as_u64()?;
+                    Some(format!("checkpointed at cycle {cycle}/{total}"))
+                })
+                .unwrap_or_else(|| "no checkpoint yet".into());
+            Err(format!("job {id} is still running ({progress})"))
+        }
         other => Err(format!("status {other}: {}", resp.body)),
     }
 }
