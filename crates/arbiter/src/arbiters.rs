@@ -41,11 +41,18 @@ fn masked(requests: u32, width: usize) -> u32 {
 /// Round-robin arbiter: the line after the most recent winner has highest
 /// priority, guaranteeing starvation freedom under persistent requests.
 /// This is the canonical arbiter of NoC allocators (Peh & Dally).
+///
+/// Arbitration is a branch-light rotate-and-find-first-set: rotate the
+/// request word so the pointer line becomes bit 0, `trailing_zeros`,
+/// rotate back — no per-line scan.
 #[derive(Debug, Clone)]
 pub struct RoundRobinArbiter {
     width: usize,
     /// Highest-priority line for the next arbitration.
     pointer: usize,
+    /// All-ones over the low `width` request lines (cached so the hot
+    /// path masks without recomputing the shift).
+    mask: u32,
 }
 
 impl RoundRobinArbiter {
@@ -58,7 +65,11 @@ impl RoundRobinArbiter {
             width > 0 && width <= MAX_WIDTH,
             "arbiter width out of range"
         );
-        RoundRobinArbiter { width, pointer: 0 }
+        RoundRobinArbiter {
+            width,
+            pointer: 0,
+            mask: if width >= 32 { !0 } else { (1u32 << width) - 1 },
+        }
     }
 
     /// The line that currently holds highest priority.
@@ -82,22 +93,25 @@ impl RoundRobinArbiter {
         self.pointer = pointer;
     }
 
+    #[inline]
     fn scan(&self, requests: u32) -> Option<usize> {
-        let req = masked(requests, self.width);
+        let req = requests & self.mask;
         if req == 0 {
             return None;
         }
         // Rotate so the pointer line becomes bit 0, pick the lowest set
-        // bit, rotate back.
-        let w = self.width as u32;
-        let p = self.pointer as u32;
+        // bit, rotate back. The `<<` term can carry garbage above
+        // `width`, but a correctly rotated set bit always exists below
+        // it (req != 0), so `trailing_zeros` never reaches the garbage.
+        let w = self.width;
+        let p = self.pointer;
         let rotated = if p == 0 {
             req
         } else {
-            masked((req >> p) | (req << (w - p)), self.width)
+            (req >> p) | (req << (w - p))
         };
-        let first = rotated.trailing_zeros();
-        Some(((first + p) % w) as usize)
+        let first = rotated.trailing_zeros() as usize + p;
+        Some(if first >= w { first - w } else { first })
     }
 }
 
@@ -106,9 +120,11 @@ impl Arbiter for RoundRobinArbiter {
         self.width
     }
 
+    #[inline]
     fn arbitrate(&mut self, requests: u32) -> Option<usize> {
         let grant = self.scan(requests)?;
-        self.pointer = (grant + 1) % self.width;
+        let next = grant + 1;
+        self.pointer = if next == self.width { 0 } else { next };
         Some(grant)
     }
 

@@ -1,0 +1,205 @@
+//! Microbenchmarks of the data-oriented router kernels in isolation:
+//! the per-port VC state masks, the `trailing_zeros` walks the pipeline
+//! stages run over them, and single-router steps pinned to the regimes
+//! each kernel dominates (idle early-out, VA-heavy control churn,
+//! SA-heavy data streaming). The whole-network cost lives in `mesh_sim`;
+//! this leg answers *which kernel* a regression sits in.
+
+use noc_bench::bench;
+use noc_types::{
+    Coord, Direction, Mesh, Packet, PacketId, PacketKind, RouterConfig, VcGlobalState, VcId,
+};
+use shield_router::{InputPort, Router, RouterKind, StepOutput};
+use std::hint::black_box;
+
+const HERE: Coord = Coord::new(3, 3);
+
+/// A port whose four VCs sit in the given `G` states, each non-idle VC
+/// holding one flit — the shape the SA/VA mask queries see mid-run.
+fn port_in_states(states: [VcGlobalState; 4]) -> InputPort {
+    let mut port = InputPort::new(4, 4);
+    for (i, g) in states.into_iter().enumerate() {
+        let vc = VcId(i as u8);
+        if g != VcGlobalState::Idle {
+            let pkt = Packet::new(PacketId(i as u64), PacketKind::Control, HERE, HERE, 0);
+            port.push_flit(vc, pkt.flit(0));
+        }
+        port.vc_mut(vc).fields.g = g;
+        port.sync_state(vc);
+    }
+    port
+}
+
+/// The mask queries plus the `trailing_zeros` walk every stage runs:
+/// this is the whole per-port iteration cost of the bitmask kernels.
+fn bench_mask_walks() {
+    use VcGlobalState::{Active, Idle, Routing, VcAlloc};
+    for (label, states) in [
+        ("dense", [Active, Active, VcAlloc, Routing]),
+        ("sparse", [Idle, Idle, Active, Idle]),
+        ("idle", [Idle, Idle, Idle, Idle]),
+    ] {
+        let port = port_in_states(states);
+        bench(&format!("kernels/mask_walk/{label}"), || {
+            let port = black_box(&port);
+            let mut picked = 0u32;
+            let mut m = port.routing_mask();
+            while m != 0 {
+                picked += m.trailing_zeros();
+                m &= m - 1;
+            }
+            let mut m = port.vc_alloc_mask();
+            while m != 0 {
+                picked += m.trailing_zeros();
+                m &= m - 1;
+            }
+            let mut m = port.sa_candidate_mask();
+            while m != 0 {
+                picked += m.trailing_zeros();
+                m &= m - 1;
+            }
+            black_box(picked);
+        });
+    }
+}
+
+/// Re-deriving the mask bits after a `G`-state write — the bookkeeping
+/// the SoA layout charges each state transition.
+fn bench_sync_state() {
+    use VcGlobalState::{Active, Routing, VcAlloc};
+    let mut port = port_in_states([Active, VcAlloc, Routing, Active]);
+    bench("kernels/sync_state", || {
+        for i in 0..4u8 {
+            port.sync_state(black_box(VcId(i)));
+        }
+        black_box(port.nonidle_mask());
+    });
+}
+
+/// A router under sustained 5-port traffic of one packet kind, with the
+/// upstream credit view carried across calls so repeated measured
+/// windows never overrun a buffer (same flow control as
+/// `router_pipeline`, parameterised by kind and persistent).
+struct Harness {
+    r: Router,
+    kind: PacketKind,
+    /// Per-(port, VC) packet counter, so every in-flight wormhole keeps
+    /// a stable id and destination while others complete.
+    ids: [[u64; 4]; 5],
+    cycle: u64,
+    seq: [[usize; 4]; 5],
+    occupancy: [[u32; 4]; 5],
+    out: StepOutput,
+}
+
+impl Harness {
+    fn new(router_kind: RouterKind, kind: PacketKind) -> Self {
+        Harness {
+            r: Router::new_xy(0, HERE, Mesh::new(8), RouterConfig::paper(), router_kind),
+            kind,
+            ids: [[0; 4]; 5],
+            cycle: 0,
+            seq: [[0; 4]; 5],
+            occupancy: [[0; 4]; 5],
+            out: StepOutput::default(),
+        }
+    }
+
+    /// Drive `cycles` more cycles, recycling credits instantly.
+    fn run(&mut self, cycles: u64) -> u64 {
+        let dsts = [
+            Coord::new(3, 1),
+            Coord::new(6, 3),
+            Coord::new(3, 6),
+            Coord::new(0, 3),
+            Coord::new(3, 3),
+        ];
+        let mesh = Mesh::new(8);
+        let mut sent = 0u64;
+        for _ in 0..cycles {
+            for (p, dir) in Direction::ALL.iter().enumerate() {
+                let vc = VcId((self.cycle % 4) as u8);
+                if self.occupancy[p][vc.index()] < 4 {
+                    let n = self.ids[p][vc.index()];
+                    let dst = dsts[(n as usize + p) % dsts.len()];
+                    let dst = if mesh.xy_route(HERE, dst).port() == dir.port() {
+                        HERE
+                    } else {
+                        dst
+                    };
+                    // Stream packets flit by flit so multi-flit kinds
+                    // keep their wormhole shape; ids stay unique by
+                    // encoding the (port, VC) slot in the high bits.
+                    let id = PacketId((p as u64) << 60 | (vc.index() as u64) << 56 | n);
+                    let pkt = Packet::new(id, self.kind, HERE, dst, self.cycle);
+                    let s = &mut self.seq[p][vc.index()];
+                    self.r.receive_flit(dir.port(), vc, pkt.flit(*s));
+                    self.occupancy[p][vc.index()] += 1;
+                    *s += 1;
+                    if *s == pkt.len_flits() {
+                        *s = 0;
+                        self.ids[p][vc.index()] += 1;
+                    }
+                }
+            }
+            self.r.step_into(self.cycle, &mut self.out);
+            self.cycle += 1;
+            sent += self.out.departures.len() as u64;
+            for c in self.out.credits.drain(..) {
+                self.occupancy[c.in_port.index()][c.vc.index()] -= 1;
+            }
+            for d in self.out.departures.drain(..) {
+                self.r.receive_credit(d.out_port, d.out_vc);
+            }
+            self.out.dropped.clear();
+        }
+        sent
+    }
+}
+
+/// Router steps pinned to each kernel's regime. `step_idle` is the
+/// whole-stage early-out path (all masks zero); `step_va_control`
+/// makes every flit a head (RC + VA + SA per flit); `step_sa_data`
+/// streams 5-flit packets (SA/XB dominate, VA only at heads).
+fn bench_router_regimes() {
+    const CYCLES: u64 = 64;
+    for kind in [RouterKind::Baseline, RouterKind::Protected] {
+        let tag = match kind {
+            RouterKind::Baseline => "baseline",
+            RouterKind::Protected => "protected",
+        };
+        let mut r = Router::new_xy(0, HERE, Mesh::new(8), RouterConfig::paper(), kind);
+        let mut out = StepOutput::default();
+        let mut cycle = 0u64;
+        bench(&format!("kernels/step_idle/{tag}"), || {
+            for _ in 0..CYCLES {
+                r.step_into(cycle, &mut out);
+                cycle += 1;
+            }
+            black_box(&out);
+        });
+
+        let mut h = Harness::new(kind, PacketKind::Control);
+        // Warm the pipeline so the measured window is steady-state.
+        h.run(256);
+        let mut sent = 0u64;
+        bench(&format!("kernels/step_va_control/{tag}"), || {
+            sent += h.run(CYCLES);
+        });
+        assert!(sent > 0, "control traffic must flow");
+
+        let mut h = Harness::new(kind, PacketKind::Data);
+        h.run(256);
+        let mut sent = 0u64;
+        bench(&format!("kernels/step_sa_data/{tag}"), || {
+            sent += h.run(CYCLES);
+        });
+        assert!(sent > 0, "data traffic must flow");
+    }
+}
+
+fn main() {
+    bench_mask_walks();
+    bench_sync_state();
+    bench_router_regimes();
+}

@@ -1,0 +1,91 @@
+//! CI perf-smoke gate: the single-thread hot path must stay within a
+//! generous factor of the committed `BENCH_hotpath.json` "after"
+//! numbers.
+//!
+//! This is a tripwire, not a benchmark: CI machines are slower and
+//! noisier than the recording machine, so the gate only fails when the
+//! measured throughput falls below `MIN_FRACTION` of the committed
+//! number — far outside the recording host's stated ±30% noise, i.e. a
+//! real regression (an accidental allocation per flit, a lost
+//! whole-stage skip, a debug assert in release) rather than a slow
+//! runner. Threshold changes should accompany a re-recorded
+//! `BENCH_hotpath.json`, not paper over one.
+//!
+//! Exit status is the gate: zero iff every workload passes.
+
+use noc_bench::{bench_with, Measurement};
+use noc_sim::Network;
+use noc_telemetry::JsonValue;
+use noc_traffic::{AppId, SyntheticPattern, TrafficConfig, TrafficGenerator};
+use noc_types::NetworkConfig;
+use shield_router::RouterKind;
+use std::hint::black_box;
+use std::time::Duration;
+
+const CYCLES: u64 = 2_000;
+
+/// Fail only below a quarter of the committed throughput: generous
+/// enough for shared CI runners, tight enough that the regressions this
+/// guards against (per-flit allocations, lost stage skips) trip it.
+const MIN_FRACTION: f64 = 0.25;
+
+fn measure(traffic: &TrafficConfig) -> f64 {
+    let mut cfg = NetworkConfig::paper();
+    cfg.mesh_k = 8;
+    let m: Measurement = bench_with("perf_gate", 3, Duration::from_millis(50), || {
+        let mut net = Network::new(cfg, RouterKind::Protected);
+        net.set_threads(1);
+        let mut gen = TrafficGenerator::new(*traffic, cfg.grid(), 1);
+        let mut pkts = Vec::new();
+        for cycle in 0..CYCLES {
+            pkts.clear();
+            gen.tick_into(cycle, &mut pkts);
+            net.offer_packets_from(&mut pkts);
+            net.step(cycle);
+        }
+        black_box(net.packet_counters());
+    });
+    m.per_second() * CYCLES as f64
+}
+
+/// Committed cycles/sec for `bench` from the hotpath envelope's
+/// "after" rows.
+fn committed(doc: &JsonValue, bench: &str) -> f64 {
+    doc.get("data")
+        .and_then(|d| d.get("after"))
+        .and_then(|a| a.as_array())
+        .and_then(|rows| {
+            rows.iter()
+                .find(|r| r.get("bench").and_then(|b| b.as_str()) == Some(bench))
+        })
+        .and_then(|r| r.get("sim_cycles_per_second"))
+        .and_then(|v| v.as_f64())
+        .unwrap_or_else(|| panic!("BENCH_hotpath.json has no after/{bench} row"))
+}
+
+fn main() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let doc = JsonValue::parse(&text).expect("BENCH_hotpath.json is not valid JSON");
+
+    let mut failed = false;
+    for (bench, traffic) in [
+        (
+            "uniform_0.02",
+            TrafficConfig::synthetic(SyntheticPattern::UniformRandom, 0.02),
+        ),
+        ("app_canneal", TrafficConfig::app(AppId::Canneal)),
+    ] {
+        let want = committed(&doc, bench) * MIN_FRACTION;
+        let got = measure(&traffic);
+        let verdict = if got >= want { "PASS" } else { "FAIL" };
+        println!(
+            "perf_gate/{bench}: {got:.0} c/s (floor {want:.0} = {MIN_FRACTION} x committed) {verdict}"
+        );
+        failed |= got < want;
+    }
+    if failed {
+        eprintln!("perf gate failed: hot path fell below {MIN_FRACTION} x the committed numbers");
+        std::process::exit(1);
+    }
+}

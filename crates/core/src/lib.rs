@@ -58,6 +58,8 @@
 pub mod crossbar;
 pub mod fault_state;
 pub mod port;
+#[cfg(test)]
+mod reference;
 pub mod router;
 pub mod snapshot;
 mod stages;

@@ -118,25 +118,48 @@ impl VirtualChannel {
     }
 }
 
-/// One input port: `V` virtual channels.
+/// One input port: `V` virtual channels plus a struct-of-arrays mirror
+/// of the per-VC `G` states as bitmasks.
+///
+/// The masks turn the pipeline's per-VC scans into word-wide kernels:
+/// each stage walks `mask.trailing_zeros()` over exactly the VCs it can
+/// serve (RC walks `routing`, VA walks `vc_alloc`, SA walks
+/// `active & nonempty`) instead of branching over every VC. They are a
+/// pure function of the per-VC state — bit `i` of each mask reflects
+/// `vcs[i].fields.g` (and buffer occupancy for `nonempty`) — kept in
+/// sync by [`InputPort::push_flit`] / [`InputPort::pop_flit`] and by
+/// [`InputPort::sync_state`], which stage code must call after mutating
+/// a VC's `G` field through [`InputPort::vc_mut`].
 #[derive(Debug, Clone)]
 pub struct InputPort {
     vcs: Vec<VirtualChannel>,
-    /// Bit `i` set ⇔ VC `i` is not `Idle`. Lets the pipeline stages skip
-    /// whole ports without touching any per-VC state. Maintained by
-    /// [`InputPort::push_flit`] / [`InputPort::pop_flit`]; the stages
-    /// only ever move VCs between non-idle states, so the mask cannot
-    /// go stale between flit events.
+    /// Bit `i` set ⇔ VC `i` is not `Idle`.
     nonidle: u32,
+    /// Bit `i` set ⇔ VC `i` is in `Routing` (has an RC request).
+    routing: u32,
+    /// Bit `i` set ⇔ VC `i` is in `VcAlloc` (VA-eligible).
+    vc_alloc: u32,
+    /// Bit `i` set ⇔ VC `i` is `Active` (past VA, competing in SA).
+    active: u32,
+    /// Bit `i` set ⇔ VC `i` has at least one buffered flit.
+    nonempty: u32,
 }
 
 impl InputPort {
     /// Build a port with `vcs` channels of `depth` flits each.
+    ///
+    /// The VC count is validated by `RouterConfig::validate` before any
+    /// port is built (`1..=32`, the mask width); this is only a debug
+    /// backstop for direct constructions that bypass the config.
     pub fn new(vcs: usize, depth: usize) -> Self {
-        assert!(vcs <= 32, "the non-idle mask holds at most 32 VCs");
+        debug_assert!(vcs <= 32, "the per-port VC masks hold at most 32 VCs");
         InputPort {
             vcs: (0..vcs).map(|_| VirtualChannel::new(depth)).collect(),
             nonidle: 0,
+            routing: 0,
+            vc_alloc: 0,
+            active: 0,
+            nonempty: 0,
         }
     }
 
@@ -146,31 +169,88 @@ impl InputPort {
         self.nonidle
     }
 
+    /// Bitmask of VCs in the `Routing` state (RC candidates).
     #[inline]
-    fn sync_nonidle(&mut self, vc: VcId) {
-        let bit = 1u32 << vc.index();
-        if self.vcs[vc.index()].fields.g == VcGlobalState::Idle {
-            self.nonidle &= !bit;
+    pub fn routing_mask(&self) -> u32 {
+        self.routing
+    }
+
+    /// Bitmask of VCs in the `VcAlloc` state (VA candidates).
+    #[inline]
+    pub fn vc_alloc_mask(&self) -> u32 {
+        self.vc_alloc
+    }
+
+    /// Bitmask of VCs in the `Active` state.
+    #[inline]
+    pub fn active_mask(&self) -> u32 {
+        self.active
+    }
+
+    /// Bitmask of VCs with at least one buffered flit.
+    #[inline]
+    pub fn nonempty_mask(&self) -> u32 {
+        self.nonempty
+    }
+
+    /// Bitmask of VCs that may request switch allocation this cycle:
+    /// `Active` with a flit buffered.
+    #[inline]
+    pub fn sa_candidate_mask(&self) -> u32 {
+        self.active & self.nonempty
+    }
+
+    /// Re-derive the mask bits of `vc` from its current state. Stage
+    /// code must call this after writing `fields.g` through
+    /// [`InputPort::vc_mut`]; flit movement through
+    /// [`InputPort::push_flit`] / [`InputPort::pop_flit`] syncs
+    /// automatically.
+    #[inline]
+    pub fn sync_state(&mut self, vc: VcId) {
+        let i = vc.index();
+        let bit = 1u32 << i;
+        let ch = &self.vcs[i];
+        self.nonidle &= !bit;
+        self.routing &= !bit;
+        self.vc_alloc &= !bit;
+        self.active &= !bit;
+        match ch.fields.g {
+            VcGlobalState::Idle => {}
+            VcGlobalState::Routing => {
+                self.nonidle |= bit;
+                self.routing |= bit;
+            }
+            VcGlobalState::VcAlloc => {
+                self.nonidle |= bit;
+                self.vc_alloc |= bit;
+            }
+            VcGlobalState::Active => {
+                self.nonidle |= bit;
+                self.active |= bit;
+            }
+        }
+        if ch.buffer.is_empty() {
+            self.nonempty &= !bit;
         } else {
-            self.nonidle |= bit;
+            self.nonempty |= bit;
         }
     }
 
-    /// Append an arriving flit to `vc`, keeping the non-idle mask in
+    /// Append an arriving flit to `vc`, keeping the state masks in
     /// sync. Router code must use this (not `vc_mut().push`) so the
-    /// stage-skipping mask stays accurate.
+    /// stage-skipping masks stay accurate.
     #[inline]
     pub fn push_flit(&mut self, vc: VcId, flit: Flit) {
         self.vcs[vc.index()].push(flit);
-        self.sync_nonidle(vc);
+        self.sync_state(vc);
     }
 
-    /// Remove and return the front flit of `vc`, keeping the non-idle
-    /// mask in sync.
+    /// Remove and return the front flit of `vc`, keeping the state
+    /// masks in sync.
     #[inline]
     pub fn pop_flit(&mut self, vc: VcId) -> Option<Flit> {
         let flit = self.vcs[vc.index()].pop();
-        self.sync_nonidle(vc);
+        self.sync_state(vc);
         flit
     }
 
@@ -263,8 +343,9 @@ impl Restore for VirtualChannel {
 
 impl Snapshot for InputPort {
     fn snapshot(&self) -> JsonValue {
-        // `nonidle` is a pure function of the per-VC `G` fields and is
-        // resynthesised on restore rather than stored.
+        // The state masks are a pure function of the per-VC `G` fields
+        // and buffers and are resynthesised on restore rather than
+        // stored.
         obj([(
             "vcs",
             JsonValue::Arr(self.vcs.iter().map(Snapshot::snapshot).collect()),
@@ -285,9 +366,8 @@ impl Restore for InputPort {
         for (i, (vc, s)) in self.vcs.iter_mut().zip(arr).enumerate() {
             vc.restore(s).map_err(|e| e.within(&format!("vcs[{i}]")))?;
         }
-        self.nonidle = 0;
         for i in 0..self.vcs.len() {
-            self.sync_nonidle(VcId(i as u8));
+            self.sync_state(VcId(i as u8));
         }
         Ok(())
     }
@@ -410,6 +490,45 @@ mod tests {
         assert_eq!(port.nonidle_mask(), 0b0100, "mid-packet stays non-idle");
         port.pop_flit(VcId(2));
         assert_eq!(port.nonidle_mask(), 0, "tail pop emptying the VC goes idle");
+    }
+
+    #[test]
+    fn state_masks_partition_nonidle() {
+        let mut port = InputPort::new(4, 4);
+        port.push_flit(VcId(1), head(7));
+        assert_eq!(port.routing_mask(), 0b0010);
+        assert_eq!(port.vc_alloc_mask(), 0);
+        assert_eq!(port.nonempty_mask(), 0b0010);
+
+        port.vc_mut(VcId(1)).fields.g = VcGlobalState::VcAlloc;
+        port.sync_state(VcId(1));
+        assert_eq!(port.routing_mask(), 0);
+        assert_eq!(port.vc_alloc_mask(), 0b0010);
+
+        port.vc_mut(VcId(1)).fields.g = VcGlobalState::Active;
+        port.sync_state(VcId(1));
+        assert_eq!(port.vc_alloc_mask(), 0);
+        assert_eq!(port.active_mask(), 0b0010);
+        assert_eq!(port.sa_candidate_mask(), 0b0010);
+
+        // Draining the buffer of an active VC removes it from the SA
+        // candidates but not from the active set.
+        port.push_flit(VcId(1), tail(7));
+        port.pop_flit(VcId(1));
+        port.pop_flit(VcId(1));
+        assert_eq!(port.active_mask(), 0, "tail pop resets the VC");
+        assert_eq!(port.nonidle_mask(), 0);
+        assert_eq!(port.sa_candidate_mask(), 0);
+
+        // The union of the per-state masks is always the non-idle mask.
+        port.push_flit(VcId(0), head(8));
+        port.push_flit(VcId(3), head(9));
+        port.vc_mut(VcId(3)).fields.g = VcGlobalState::Active;
+        port.sync_state(VcId(3));
+        assert_eq!(
+            port.routing_mask() | port.vc_alloc_mask() | port.active_mask(),
+            port.nonidle_mask()
+        );
     }
 
     #[test]

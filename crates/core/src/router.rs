@@ -212,16 +212,33 @@ pub struct Router {
     pub(crate) kind: RouterKind,
     pub(crate) route: RoutingAlgorithm,
     pub(crate) ports: Vec<InputPort>,
-    /// `[out][vc]`: downstream VC currently allocated to a packet.
-    pub(crate) out_vc_busy: Vec<Vec<bool>>,
-    /// `[out][vc]`: free buffer slots at the downstream VC.
-    pub(crate) credits: Vec<Vec<u8>>,
-    /// VA stage 1: `[port][vc][out]`, each a `v:1` arbiter over
-    /// downstream VCs (the paper's 100 4:1 arbiters).
-    pub(crate) va1: Vec<Vec<Vec<RoundRobinArbiter>>>,
-    /// VA stage 2: `[out][out_vc]`, each a `(P·V):1` arbiter
-    /// (the paper's 20 20:1 arbiters).
-    pub(crate) va2: Vec<Vec<RoundRobinArbiter>>,
+    /// Bitmask over input ports: bit `p` set ⇔ port `p` has any non-idle
+    /// VC. Summarises the five per-port `nonidle_mask()` words into one
+    /// so the idle check ([`Router::is_idle`]) a network worklist runs
+    /// on *every* router *every* cycle reads a single word instead of
+    /// walking the port array. Set eagerly by [`Router::receive_flit`]
+    /// (a flit arrival flips its VC out of `Idle`), re-derived exactly
+    /// at the end of every step, and recomputed on snapshot restore.
+    pub(crate) nonidle_ports: u32,
+    /// Per-output bitmask over downstream VCs: bit `vc` set ⇔ the VC is
+    /// currently allocated to a packet. (Struct-of-arrays: the VA stage
+    /// computes its request mask as one `&`/`!` word op per VC.)
+    pub(crate) out_vc_busy: Vec<u32>,
+    /// Free buffer slots at the downstream VC, flat-indexed
+    /// `out * V + vc`.
+    pub(crate) credits: Vec<u8>,
+    /// Per-output bitmask over downstream VCs: bit `vc` set ⇔
+    /// `credits[out * V + vc] > 0`. Maintained alongside every credit
+    /// mutation so the SA stage tests credit availability with one mask
+    /// probe.
+    pub(crate) credited: Vec<u32>,
+    /// VA stage 1: one `v:1` arbiter over downstream VCs per
+    /// `(port, vc, out)`, flat-indexed `(port * V + vc) * P + out`
+    /// (the paper's 100 4:1 arbiters).
+    pub(crate) va1: Vec<RoundRobinArbiter>,
+    /// VA stage 2: one `(P·V):1` arbiter per `(out, out_vc)`,
+    /// flat-indexed `out * V + out_vc` (the paper's 20 20:1 arbiters).
+    pub(crate) va2: Vec<RoundRobinArbiter>,
     /// SA stage 1: `[port]`, each a `v:1` arbiter.
     pub(crate) sa1: Vec<RoundRobinArbiter>,
     /// SA stage 2: `[out]`, each a `P:1` arbiter.
@@ -244,19 +261,25 @@ pub struct Router {
 }
 
 impl Router {
-    /// Build a router with an arbitrary routing algorithm.
-    pub fn new(
+    /// Build a router with an arbitrary routing algorithm, returning a
+    /// descriptive error when the configuration is invalid (e.g. more
+    /// than 32 VCs per port — the per-port state masks are `u32`s).
+    ///
+    /// Validation happens here, once, at construction time; the per-VC
+    /// hot path carries no capacity asserts.
+    pub fn try_new(
         id: u16,
         coord: Coord,
         cfg: RouterConfig,
         kind: RouterKind,
         route: RoutingAlgorithm,
         detection: DetectionModel,
-    ) -> Self {
-        cfg.validate().expect("invalid router configuration");
+    ) -> Result<Self, String> {
+        cfg.validate()?;
         let p = cfg.ports;
         let v = cfg.vcs;
-        Router {
+        let vcs_per_port = if v >= 32 { !0u32 } else { (1u32 << v) - 1 };
+        Ok(Router {
             id,
             coord,
             cfg,
@@ -265,18 +288,12 @@ impl Router {
             ports: (0..p)
                 .map(|_| InputPort::new(v, cfg.buffer_depth))
                 .collect(),
-            out_vc_busy: vec![vec![false; v]; p],
-            credits: vec![vec![cfg.buffer_depth as u8; v]; p],
-            va1: (0..p)
-                .map(|_| {
-                    (0..v)
-                        .map(|_| (0..p).map(|_| RoundRobinArbiter::new(v)).collect())
-                        .collect()
-                })
-                .collect(),
-            va2: (0..p)
-                .map(|_| (0..v).map(|_| RoundRobinArbiter::new(p * v)).collect())
-                .collect(),
+            nonidle_ports: 0,
+            out_vc_busy: vec![0; p],
+            credits: vec![cfg.buffer_depth as u8; p * v],
+            credited: vec![vcs_per_port; p],
+            va1: (0..p * v * p).map(|_| RoundRobinArbiter::new(v)).collect(),
+            va2: (0..p * v).map(|_| RoundRobinArbiter::new(p * v)).collect(),
             sa1: (0..p).map(|_| RoundRobinArbiter::new(v)).collect(),
             sa2: (0..p).map(|_| RoundRobinArbiter::new(p)).collect(),
             xbar: Crossbar::new(p),
@@ -286,7 +303,24 @@ impl Router {
             bypass_ptr: vec![None; p],
             scratch: crate::stages::StageScratch::new(p, v),
             stats: RouterStats::default(),
-        }
+        })
+    }
+
+    /// Build a router with an arbitrary routing algorithm.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration; use [`Router::try_new`] for a
+    /// recoverable error.
+    pub fn new(
+        id: u16,
+        coord: Coord,
+        cfg: RouterConfig,
+        kind: RouterKind,
+        route: RoutingAlgorithm,
+        detection: DetectionModel,
+    ) -> Self {
+        Router::try_new(id, coord, cfg, kind, route, detection)
+            .expect("invalid router configuration")
     }
 
     /// Build a router that XY-routes within `mesh` from its own `coord`.
@@ -417,35 +451,58 @@ impl Router {
     /// and needs no pipeline evaluation. A flit arrival flips its VC out
     /// of `Idle`, so the next `is_idle` check sees it.
     pub fn is_idle(&self) -> bool {
-        self.xb_queue.is_empty()
-            && self.faults.is_inert()
-            && self.ports.iter().all(|p| p.nonidle_mask() == 0)
+        self.nonidle_ports == 0 && self.xb_queue.is_empty() && self.faults.is_inert()
     }
 
     /// Accept a flit arriving on `(port, vc)` (buffer write).
     pub fn receive_flit(&mut self, port: PortId, vc: VcId, flit: Flit) {
         self.stats.flits_in += 1;
         self.ports[port.index()].push_flit(vc, flit);
+        // The first flit of an idle VC moves it to `Routing`, and a
+        // non-idle VC stays non-idle across a push: the port is
+        // certainly non-idle now.
+        self.nonidle_ports |= 1 << port.index();
     }
 
     /// Accept a credit returned by the downstream router of `out_port`.
     pub fn receive_credit(&mut self, out_port: PortId, vc: VcId) {
-        let c = &mut self.credits[out_port.index()][vc.index()];
+        let c = &mut self.credits[out_port.index() * self.cfg.vcs + vc.index()];
         assert!(
             (*c as usize) < self.cfg.buffer_depth,
             "credit overflow: downstream returned more credits than slots"
         );
         *c += 1;
+        self.credited[out_port.index()] |= 1 << vc.index();
+    }
+
+    /// Restore one previously reserved credit towards `(out, vc)`
+    /// (cancelled or dropped traversal).
+    #[inline]
+    pub(crate) fn restore_credit(&mut self, out: PortId, vc: VcId) {
+        self.credits[out.index() * self.cfg.vcs + vc.index()] += 1;
+        self.credited[out.index()] |= 1 << vc.index();
+    }
+
+    /// Consume one credit towards `(out, vc)`, keeping the credited
+    /// mask in sync. The caller must have checked availability.
+    #[inline]
+    pub(crate) fn consume_credit(&mut self, out: PortId, vc: VcId) {
+        let i = out.index() * self.cfg.vcs + vc.index();
+        debug_assert!(self.credits[i] > 0, "consuming a credit that is not there");
+        self.credits[i] -= 1;
+        if self.credits[i] == 0 {
+            self.credited[out.index()] &= !(1 << vc.index());
+        }
     }
 
     /// Current credit count towards `(out_port, vc)`.
     pub fn credit(&self, out_port: PortId, vc: VcId) -> u8 {
-        self.credits[out_port.index()][vc.index()]
+        self.credits[out_port.index() * self.cfg.vcs + vc.index()]
     }
 
     /// Whether the downstream VC `(out_port, vc)` is allocated.
     pub fn out_vc_busy(&self, out_port: PortId, vc: VcId) -> bool {
-        self.out_vc_busy[out_port.index()][vc.index()]
+        self.out_vc_busy[out_port.index()] & (1 << vc.index()) != 0
     }
 
     /// Advance one clock cycle, allocating a fresh [`StepOutput`].
@@ -488,10 +545,30 @@ impl Router {
         self.sa_stage(cycle, obs);
         self.va_stage(cycle, obs);
         self.rc_stage(cycle, obs);
+        self.sync_nonidle_ports();
     }
 
-    /// XB stage: execute last cycle's SA grants.
-    fn xb_stage<O: Observer>(&mut self, cycle: Cycle, out: &mut StepOutput, obs: &mut O) {
+    /// Re-derive [`Router::nonidle_ports`] from the per-port masks.
+    /// Stage code moves VC `G` states only inside a step, so running
+    /// this once at the end of the step (plus the eager set in
+    /// `receive_flit`) keeps the summary word exact at every cycle
+    /// boundary.
+    pub(crate) fn sync_nonidle_ports(&mut self) {
+        let mut mask = 0u32;
+        for (i, port) in self.ports.iter().enumerate() {
+            mask |= u32::from(port.nonidle_mask() != 0) << i;
+        }
+        self.nonidle_ports = mask;
+    }
+
+    /// XB stage: execute last cycle's SA grants. (`pub(crate)` so the
+    /// straight-line reference stepper in `reference` can reuse it.)
+    pub(crate) fn xb_stage<O: Observer>(
+        &mut self,
+        cycle: Cycle,
+        out: &mut StepOutput,
+        obs: &mut O,
+    ) {
         // SA refills the queue only after this drain, so the whole
         // current contents are this cycle's work. `XbGrant` is `Copy`:
         // iterate by index and clear, keeping the queue's capacity.
@@ -517,13 +594,13 @@ impl Router {
                         // as the protected cancel path does; otherwise the
                         // link leaks one credit per dropped flit until it
                         // wedges at zero.
-                        self.credits[g.logical_out.index()][g.out_vc.index()] += 1;
+                        self.restore_credit(g.logical_out, g.out_vc);
                         out.credits.push(CreditReturn {
                             in_port: g.in_port,
                             vc: g.in_vc,
                         });
                         if is_tail {
-                            self.out_vc_busy[g.logical_out.index()][g.out_vc.index()] = false;
+                            self.out_vc_busy[g.logical_out.index()] &= !(1 << g.out_vc.index());
                         }
                         if O::ENABLED {
                             obs.record(Event {
@@ -544,7 +621,7 @@ impl Router {
                         // flit stays buffered and SA will re-arbitrate
                         // with the updated secondary path. Restore the
                         // reserved credit.
-                        self.credits[g.logical_out.index()][g.out_vc.index()] += 1;
+                        self.restore_credit(g.logical_out, g.out_vc);
                         continue;
                     }
                 }
@@ -560,7 +637,7 @@ impl Router {
                 self.stats.secondary_path_flits += 1;
             }
             if flit.kind.is_tail() {
-                self.out_vc_busy[g.logical_out.index()][g.out_vc.index()] = false;
+                self.out_vc_busy[g.logical_out.index()] &= !(1 << g.out_vc.index());
             }
             self.stats.flits_out += 1;
             if O::ENABLED {

@@ -125,7 +125,14 @@ fn restore_bank(
 }
 
 impl Snapshot for Router {
+    /// The rendered JSON keeps the nested `[out][vc]` / `[port][vc][out]`
+    /// shapes of the original array-of-arrays layout, re-derived from the
+    /// flat struct-of-arrays storage — snapshots produced before and
+    /// after the data-oriented refactor are byte-identical (pinned by the
+    /// golden checkpoint test).
     fn snapshot(&self) -> JsonValue {
+        let p = self.ports.len();
+        let v = self.cfg.vcs;
         obj([
             (
                 "ports",
@@ -134,32 +141,48 @@ impl Snapshot for Router {
             (
                 "credits",
                 JsonValue::Arr(
-                    self.credits
-                        .iter()
-                        .map(|row| JsonValue::Arr(row.iter().map(|&c| (c as u64).into()).collect()))
+                    (0..p)
+                        .map(|o| {
+                            JsonValue::Arr(
+                                (0..v)
+                                    .map(|vc| (self.credits[o * v + vc] as u64).into())
+                                    .collect(),
+                            )
+                        })
                         .collect(),
                 ),
             ),
             (
                 "out_vc_busy",
                 JsonValue::Arr(
-                    self.out_vc_busy
-                        .iter()
-                        .map(|row| JsonValue::Arr(row.iter().map(|&b| b.into()).collect()))
+                    (0..p)
+                        .map(|o| {
+                            JsonValue::Arr(
+                                (0..v)
+                                    .map(|vc| (self.out_vc_busy[o] & (1 << vc) != 0).into())
+                                    .collect(),
+                            )
+                        })
                         .collect(),
                 ),
             ),
             (
                 "va1",
                 JsonValue::Arr(
-                    self.va1
-                        .iter()
-                        .map(|per_vc| {
+                    (0..p)
+                        .map(|port| {
                             JsonValue::Arr(
-                                per_vc
-                                    .iter()
-                                    .map(|per_out| {
-                                        JsonValue::Arr(per_out.iter().map(pointer_json).collect())
+                                (0..v)
+                                    .map(|vc| {
+                                        JsonValue::Arr(
+                                            (0..p)
+                                                .map(|out| {
+                                                    pointer_json(
+                                                        &self.va1[(port * v + vc) * p + out],
+                                                    )
+                                                })
+                                                .collect(),
+                                        )
                                     })
                                     .collect(),
                             )
@@ -170,9 +193,14 @@ impl Snapshot for Router {
             (
                 "va2",
                 JsonValue::Arr(
-                    self.va2
-                        .iter()
-                        .map(|row| JsonValue::Arr(row.iter().map(pointer_json).collect()))
+                    (0..p)
+                        .map(|o| {
+                            JsonValue::Arr(
+                                (0..v)
+                                    .map(|ovc| pointer_json(&self.va2[o * v + ovc]))
+                                    .collect(),
+                            )
+                        })
                         .collect(),
                 ),
             ),
@@ -228,70 +256,75 @@ impl Restore for Router {
             port.restore(s)
                 .map_err(|e| e.within(&format!("ports[{i}]")))?;
         }
+        // The port-summary word is derived state (not serialised);
+        // re-derive it from the restored ports.
+        self.sync_nonidle_ports();
 
         let credits = arr_field(v, "credits")?;
-        if credits.len() != self.credits.len() {
+        if credits.len() != p {
             return Err(SnapshotError::new("`credits` outer length mismatch"));
         }
-        for (o, (row, s)) in self.credits.iter_mut().zip(credits).enumerate() {
-            let arr = s
-                .as_array()
-                .filter(|a| a.len() == row.len())
-                .ok_or_else(|| {
-                    SnapshotError::new(format!("`credits[{o}]` is not a {}-entry array", row.len()))
-                })?;
-            for (c, val) in row.iter_mut().zip(arr) {
-                *c = val.as_u64().ok_or_else(|| {
+        for (o, s) in credits.iter().enumerate() {
+            let arr = s.as_array().filter(|a| a.len() == vcs).ok_or_else(|| {
+                SnapshotError::new(format!("`credits[{o}]` is not a {vcs}-entry array"))
+            })?;
+            let mut credited = 0u32;
+            for (vc, val) in arr.iter().enumerate() {
+                let c = val.as_u64().ok_or_else(|| {
                     SnapshotError::new(format!("`credits[{o}]` entry is not a number"))
                 })? as u8;
+                self.credits[o * vcs + vc] = c;
+                if c > 0 {
+                    credited |= 1 << vc;
+                }
             }
+            self.credited[o] = credited;
         }
 
         let busy = arr_field(v, "out_vc_busy")?;
-        if busy.len() != self.out_vc_busy.len() {
+        if busy.len() != p {
             return Err(SnapshotError::new("`out_vc_busy` outer length mismatch"));
         }
-        for (o, (row, s)) in self.out_vc_busy.iter_mut().zip(busy).enumerate() {
-            let arr = s
-                .as_array()
-                .filter(|a| a.len() == row.len())
-                .ok_or_else(|| {
-                    SnapshotError::new(format!(
-                        "`out_vc_busy[{o}]` is not a {}-entry array",
-                        row.len()
-                    ))
-                })?;
-            for (b, val) in row.iter_mut().zip(arr) {
-                *b = match val {
-                    JsonValue::Bool(x) => *x,
+        for (o, s) in busy.iter().enumerate() {
+            let arr = s.as_array().filter(|a| a.len() == vcs).ok_or_else(|| {
+                SnapshotError::new(format!("`out_vc_busy[{o}]` is not a {vcs}-entry array"))
+            })?;
+            let mut mask = 0u32;
+            for (vc, val) in arr.iter().enumerate() {
+                match val {
+                    JsonValue::Bool(true) => mask |= 1 << vc,
+                    JsonValue::Bool(false) => {}
                     _ => {
                         return Err(SnapshotError::new(format!(
                             "`out_vc_busy[{o}]` entry is not a bool"
                         )))
                     }
-                };
+                }
             }
+            self.out_vc_busy[o] = mask;
         }
 
         let va1 = arr_field(v, "va1")?;
         if va1.len() != p {
             return Err(SnapshotError::new("`va1` outer length mismatch"));
         }
-        for (port, (per_vc, s)) in self.va1.iter_mut().zip(va1).enumerate() {
+        for (port, s) in va1.iter().enumerate() {
             let rows = s
                 .as_array()
                 .filter(|a| a.len() == vcs)
                 .ok_or_else(|| SnapshotError::new(format!("`va1[{port}]` shape mismatch")))?;
-            for (vc, (bank, row)) in per_vc.iter_mut().zip(rows).enumerate() {
+            for (vc, row) in rows.iter().enumerate() {
+                let bank = &mut self.va1[(port * vcs + vc) * p..][..p];
                 restore_bank(bank, row, &format!("va1[{port}][{vc}]"))?;
             }
         }
 
         let va2 = arr_field(v, "va2")?;
-        if va2.len() != self.va2.len() {
+        if va2.len() != p {
             return Err(SnapshotError::new("`va2` outer length mismatch"));
         }
-        for (o, (bank, row)) in self.va2.iter_mut().zip(va2).enumerate() {
+        for (o, row) in va2.iter().enumerate() {
+            let bank = &mut self.va2[o * vcs..][..vcs];
             restore_bank(bank, row, &format!("va2[{o}]"))?;
         }
 

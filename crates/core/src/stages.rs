@@ -30,8 +30,19 @@ pub(crate) struct StageScratch {
     /// VA stage-2 request masks, indexed `out * v + out_vc`; bit
     /// `port * v + vc` set means that input VC competes.
     va_stage2: Vec<u32>,
+    /// Per-output bitmask of downstream VCs touched by this cycle's
+    /// stage-1 picks: stage 2 walks only these instead of every
+    /// `(out, out_vc)` pair.
+    va2_touched: Vec<u32>,
+    /// Per-output bitmask of downstream VCs whose stage-2 arbiter is
+    /// *not* known-faulty. All-ones when no fault is detected; rebuilt
+    /// at stage entry otherwise (protected router only).
+    va2_ok: Vec<u32>,
     /// SA requests, indexed `port * v + vc`.
     sa_requests: Vec<Option<SaRequest>>,
+    /// Per-port bitmask of VCs with an SA request this cycle, built
+    /// during request formation (saves stage 1 a per-VC rescan).
+    sa_port_req: Vec<u32>,
     /// SA stage-1 winner VC per input port.
     sa_port_winner: Vec<Option<usize>>,
     /// SA stage-2 request masks per target output (bit = input port).
@@ -43,10 +54,44 @@ impl StageScratch {
         StageScratch {
             va_picks: Vec::with_capacity(p * v),
             va_stage2: vec![0; p * v],
+            va2_touched: vec![0; p],
+            va2_ok: vec![0; p],
             sa_requests: vec![None; p * v],
+            sa_port_req: vec![0; p],
             sa_port_winner: vec![None; p],
             sa_stage2: vec![0; p],
         }
+    }
+}
+
+/// All-ones over the low `width` bits.
+#[inline]
+fn width_mask(width: usize) -> u32 {
+    if width >= 32 {
+        !0
+    } else {
+        (1u32 << width) - 1
+    }
+}
+
+/// Index of the first set bit of `mask` at or after `start`, cyclically
+/// (rotate so `start` becomes bit 0, then find-first-set). `mask` must
+/// be non-zero and confined to the low `width` bits; `start < width`.
+#[inline]
+fn first_set_from(mask: u32, start: usize, width: usize) -> usize {
+    debug_assert!(mask != 0 && start < width);
+    let rotated = if start == 0 {
+        mask
+    } else {
+        // High bits of the `<<` term beyond `width` are harmless: a
+        // lower, correctly rotated bit always exists since mask != 0.
+        (mask >> start) | (mask << (width - start))
+    };
+    let first = rotated.trailing_zeros() as usize + start;
+    if first >= width {
+        first - width
+    } else {
+        first
     }
 }
 
@@ -57,23 +102,22 @@ impl Router {
 
     /// Routing computation: one computation per input port per cycle
     /// (each port has one RC unit), served round-robin across VCs.
+    ///
+    /// The per-VC scan is a rotate-and-ffs over the port's `Routing`
+    /// mask: the first Routing VC at or after the service pointer is
+    /// exactly the VC the old per-VC loop would reach (it skipped
+    /// non-Routing VCs and broke on the first match, served or stalled).
     pub(crate) fn rc_stage<O: Observer>(&mut self, cycle: Cycle, obs: &mut O) {
         let v = self.cfg.vcs;
         for port_idx in 0..self.cfg.ports {
             let port_id = PortId(port_idx as u8);
-            let nonidle = self.ports[port_idx].nonidle_mask();
-            if nonidle == 0 {
-                continue; // every VC idle: nothing to route
+            let routing = self.ports[port_idx].routing_mask();
+            if routing == 0 {
+                continue; // no VC awaits routing
             }
-            let start = self.rc_pointer[port_idx];
-            for i in 0..v {
-                let vc_id = VcId(((start + i) % v) as u8);
-                if nonidle & (1 << vc_id.index()) == 0 {
-                    continue;
-                }
-                if self.ports[port_idx].vc(vc_id).fields.g != VcGlobalState::Routing {
-                    continue;
-                }
+            {
+                let start = self.rc_pointer[port_idx];
+                let vc_id = VcId(first_set_from(routing, start, v) as u8);
                 let dst = self.ports[port_idx]
                     .vc(vc_id)
                     .front()
@@ -146,10 +190,10 @@ impl Router {
                             fields.fsp = true;
                         }
                     }
+                    self.ports[port_idx].sync_state(vc_id);
                     self.rc_pointer[port_idx] = (vc_id.index() + 1) % v;
                 }
                 // One RC computation per port per cycle, served or stalled.
-                break;
             }
         }
     }
@@ -161,29 +205,63 @@ impl Router {
     /// Virtual-channel allocation: two separable stages with the
     /// protected router's arbiter-borrowing in stage 1 and downstream-VC
     /// exclusion for faulty stage-2 arbiters.
+    ///
+    /// Stage 1 walks each port's `VcAlloc` mask with
+    /// `trailing_zeros()` (ascending VC order — identical to the old
+    /// per-VC scan, which skipped every VC not in `VcAlloc`), and forms
+    /// each request mask from whole words: free downstream VCs are
+    /// `!out_vc_busy[out]`, the topology restriction is `vmask`, and
+    /// known-faulty stage-2 arbiters are masked via a per-output
+    /// exclusion word that is all-ones on the (overwhelmingly common)
+    /// no-detected-faults path. Stage 2 visits only the `(out, out_vc)`
+    /// pairs touched by stage-1 picks, in the same out-major /
+    /// ascending-VC order as the old exhaustive sweep.
     pub(crate) fn va_stage<O: Observer>(&mut self, cycle: Cycle, obs: &mut O) {
+        // Whole-stage skip: no VC anywhere awaits allocation — common
+        // for routers that are merely forwarding already-active packets.
+        // With no stage-1 requests the old code performed no observable
+        // work (no arbitration, no borrows, empty stage 2).
+        if self.ports.iter().all(|port| port.vc_alloc_mask() == 0) {
+            return;
+        }
         let p = self.cfg.ports;
         let v = self.cfg.vcs;
+        let all_vcs = width_mask(v);
+
+        // Per-output exclusion of known-faulty stage-2 arbiters
+        // (Section V-B3's inherent-redundancy tolerance). Healthy
+        // routers take the constant all-ones path.
+        if self.kind == RouterKind::Protected && !self.faults.detected().is_empty() {
+            for out_idx in 0..p {
+                let mut ok = all_vcs;
+                for ovc in 0..v {
+                    if self.faults.detected().is_faulty(FaultSite::Va2Arbiter {
+                        out_port: PortId(out_idx as u8),
+                        out_vc: VcId(ovc as u8),
+                    }) {
+                        ok &= !(1 << ovc);
+                    }
+                }
+                self.scratch.va2_ok[out_idx] = ok;
+            }
+        } else {
+            self.scratch.va2_ok.fill(all_vcs);
+        }
 
         // ---- Stage 1: each waiting VC picks one free downstream VC ----
         self.scratch.va_picks.clear();
         for port_idx in 0..p {
             let port_id = PortId(port_idx as u8);
-            let nonidle = self.ports[port_idx].nonidle_mask();
-            if nonidle == 0 {
-                continue; // every VC idle: none can be in VcAlloc
-            }
+            // Stage 1 never changes a VC's G state (only stage 2 does),
+            // so the mask snapshot stays valid across the walk.
+            let mut pending = self.ports[port_idx].vc_alloc_mask();
             // Bit per VC: lender already serving a borrower this cycle.
             let mut lent: u32 = 0;
-            for vc_idx in 0..v {
-                if nonidle & (1 << vc_idx) == 0 {
-                    continue;
-                }
+            while pending != 0 {
+                let vc_idx = pending.trailing_zeros() as usize;
+                pending &= pending - 1;
                 let vc_id = VcId(vc_idx as u8);
                 let fields = self.ports[port_idx].vc(vc_id).fields;
-                if fields.g != VcGlobalState::VcAlloc {
-                    continue;
-                }
                 let out = fields.r.expect("VcAlloc implies a routed VC");
 
                 // Whose arbiter set performs the allocation?
@@ -236,33 +314,19 @@ impl Router {
                 };
                 let Some(owner) = owner else { continue };
 
-                // Request mask over free downstream VCs at `out`. With
-                // ideal (or completed) detection, downstream VCs whose
-                // stage-2 arbiter is known-faulty are excluded up front —
-                // the inherent-redundancy tolerance of Section V-B3.
-                let mut req: u32 = 0;
-                for ovc in 0..v {
-                    if self.out_vc_busy[out.index()][ovc] {
-                        continue;
-                    }
-                    if self.kind == RouterKind::Protected
-                        && self.faults.detected().is_faulty(FaultSite::Va2Arbiter {
-                            out_port: out,
-                            out_vc: VcId(ovc as u8),
-                        })
-                    {
-                        continue;
-                    }
-                    req |= 1 << ovc;
-                }
-                // Topology VC-class restriction (torus datelines): the RC
-                // unit deposited the legal downstream set in `vmask`; VA
-                // never requests outside it.
-                req &= fields.vmask;
+                // Request mask over free downstream VCs at `out`,
+                // narrowed by the topology VC-class restriction (torus
+                // datelines: RC deposited the legal set in `vmask`) and
+                // the known-faulty-VA2 exclusion — three word ops.
+                let req = !self.out_vc_busy[out.index()]
+                    & self.scratch.va2_ok[out.index()]
+                    & fields.vmask
+                    & all_vcs;
                 if req == 0 {
                     continue; // no empty VC downstream: retry later
                 }
-                let pick = self.va1[port_idx][owner.index()][out.index()].arbitrate(req);
+                let pick =
+                    self.va1[(port_idx * v + owner.index()) * p + out.index()].arbitrate(req);
                 if let Some(ovc) = pick {
                     if owner != vc_id {
                         // Borrow protocol bookkeeping (Figure 4): the
@@ -295,17 +359,21 @@ impl Router {
 
         // ---- Stage 2: per downstream VC, arbitrate among pickers ----
         self.scratch.va_stage2.fill(0);
+        self.scratch.va2_touched.fill(0);
         for i in 0..self.scratch.va_picks.len() {
             let (port_idx, vc_id, _owner, out, ovc) = self.scratch.va_picks[i];
             self.scratch.va_stage2[out.index() * v + ovc.index()] |=
                 1 << (port_idx * v + vc_id.index());
+            self.scratch.va2_touched[out.index()] |= 1 << ovc.index();
         }
         for out_idx in 0..p {
-            for ovc_idx in 0..v {
+            // Same out-major / ascending-out_vc order as an exhaustive
+            // sweep; the mask walk just skips the request-free pairs.
+            let mut touched = self.scratch.va2_touched[out_idx];
+            while touched != 0 {
+                let ovc_idx = touched.trailing_zeros() as usize;
+                touched &= touched - 1;
                 let req = self.scratch.va_stage2[out_idx * v + ovc_idx];
-                if req == 0 {
-                    continue;
-                }
                 // A faulty stage-2 arbiter grants nothing: in the baseline
                 // the requestors retry forever; in the protected router
                 // (ideal detection) this arbiter receives no requests, and
@@ -316,12 +384,14 @@ impl Router {
                 {
                     continue;
                 }
-                if let Some(winner) = self.va2[out_idx][ovc_idx].arbitrate(req) {
+                if let Some(winner) = self.va2[out_idx * v + ovc_idx].arbitrate(req) {
                     let (port_idx, vc_idx) = (winner / v, winner % v);
-                    let fields = &mut self.ports[port_idx].vc_mut(VcId(vc_idx as u8)).fields;
+                    let vc_id = VcId(vc_idx as u8);
+                    let fields = &mut self.ports[port_idx].vc_mut(vc_id).fields;
                     fields.o = Some(VcId(ovc_idx as u8));
                     fields.g = VcGlobalState::Active;
-                    self.out_vc_busy[out_idx][ovc_idx] = true;
+                    self.ports[port_idx].sync_state(vc_id);
+                    self.out_vc_busy[out_idx] |= 1 << ovc_idx;
                     self.stats.va_grants += 1;
                     if O::ENABLED {
                         obs.record(Event {
@@ -360,25 +430,30 @@ impl Router {
     // structures and mutate several of them at once.
     #[allow(clippy::needless_range_loop)]
     pub(crate) fn sa_stage<O: Observer>(&mut self, cycle: Cycle, obs: &mut O) {
+        // Whole-stage skip: no active VC holds a flit, so no requests
+        // can form — identical to running the stage (no arbitration,
+        // no SP/FSP refresh targets, no bypass action on an empty
+        // request mask).
+        if self.ports.iter().all(|port| port.sa_candidate_mask() == 0) {
+            return;
+        }
         let p = self.cfg.ports;
         let v = self.cfg.vcs;
 
         // ---- Form per-VC requests ----
+        // Candidates are exactly the VCs the old per-VC scan admitted
+        // (`Active` with a buffered flit): one word op per port. The
+        // per-port request mask is accumulated here so stage 1 need not
+        // rescan the request array.
         self.scratch.sa_requests.fill(None);
         for port_idx in 0..p {
-            let nonidle = self.ports[port_idx].nonidle_mask();
-            if nonidle == 0 {
-                continue; // every VC idle: no flits to switch
-            }
-            for vc_idx in 0..v {
-                if nonidle & (1 << vc_idx) == 0 {
-                    continue;
-                }
+            let mut candidates = self.ports[port_idx].sa_candidate_mask();
+            let mut req_mask: u32 = 0;
+            while candidates != 0 {
+                let vc_idx = candidates.trailing_zeros() as usize;
+                candidates &= candidates - 1;
                 let vc_id = VcId(vc_idx as u8);
                 let vc = self.ports[port_idx].vc(vc_id);
-                if vc.fields.g != VcGlobalState::Active || vc.is_empty() {
-                    continue;
-                }
                 let out = vc.fields.r.expect("active VC is routed");
                 let out_vc = vc.fields.o.expect("active VC holds a downstream VC");
                 let target = match self.kind {
@@ -398,7 +473,7 @@ impl Router {
                 let Some(target) = target else {
                     continue; // output unreachable: blocked
                 };
-                if self.credits[out.index()][out_vc.index()] == 0 {
+                if self.credited[out.index()] & (1 << out_vc.index()) == 0 {
                     continue; // no downstream space
                 }
                 self.scratch.sa_requests[port_idx * v + vc_idx] = Some(SaRequest {
@@ -406,16 +481,16 @@ impl Router {
                     target,
                     out_vc,
                 });
+                req_mask |= 1 << vc_idx;
             }
+            self.scratch.sa_port_req[port_idx] = req_mask;
         }
 
         // ---- Stage 1: per input port, pick one VC ----
         self.scratch.sa_port_winner.fill(None);
         for port_idx in 0..p {
             let port_id = PortId(port_idx as u8);
-            let req_mask: u32 = (0..v)
-                .filter(|&vc| self.scratch.sa_requests[port_idx * v + vc].is_some())
-                .fold(0, |m, vc| m | (1 << vc));
+            let req_mask = self.scratch.sa_port_req[port_idx];
             if req_mask == 0 {
                 continue;
             }
@@ -463,10 +538,11 @@ impl Router {
                                 },
                             });
                         }
-                    } else if let Some(src) =
-                        (0..v).find(|&vc| self.scratch.sa_requests[port_idx * v + vc].is_some())
-                    {
-                        // Re-point the register; no grant this cycle.
+                    } else {
+                        // Re-point the register at the first requesting
+                        // VC; no grant this cycle. (`req_mask != 0` is
+                        // established above.)
+                        let src = req_mask.trailing_zeros() as usize;
                         self.bypass_ptr[port_idx] = Some((src, period));
                         self.stats.vc_transfers += 1;
                         if O::ENABLED {
@@ -512,7 +588,7 @@ impl Router {
                     self.scratch.sa_requests[wport * v + vc_idx].expect("winner had a request");
                 // Reserve the downstream buffer slot now; XB sends next
                 // cycle.
-                self.credits[req.logical_out.index()][req.out_vc.index()] -= 1;
+                self.consume_credit(req.logical_out, req.out_vc);
                 self.xb_queue.push(XbGrant {
                     in_port: PortId(wport as u8),
                     in_vc: VcId(vc_idx as u8),

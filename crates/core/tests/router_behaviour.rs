@@ -771,3 +771,55 @@ fn faulted_routers_are_never_idle() {
         assert!(!t.is_idle(), "transient schedule keeps the router active");
     }
 }
+
+/// Oversized configurations come back as a clean `Err` from
+/// [`Router::try_new`] — the per-port state masks are `u32`s, so more
+/// than 32 VCs (or ports) per router cannot be represented. The limit
+/// is enforced once at construction, not by asserts on the hot path.
+#[test]
+fn oversized_vc_count_is_a_construction_error_not_a_panic() {
+    use noc_faults::DetectionModel;
+    use shield_router::RoutingAlgorithm;
+
+    let build = |cfg: RouterConfig| {
+        Router::try_new(
+            0,
+            HERE,
+            cfg,
+            RouterKind::Protected,
+            RoutingAlgorithm::xy(Mesh::new(8), HERE),
+            DetectionModel::Ideal,
+        )
+    };
+
+    let mut cfg = RouterConfig::paper();
+    cfg.vcs = 33;
+    let err = build(cfg).expect_err("33 VCs must be rejected");
+    assert!(err.contains("32"), "error names the limit: {err}");
+
+    let mut cfg = RouterConfig::paper();
+    cfg.ports = 40;
+    assert!(build(cfg).is_err(), "40 ports must be rejected");
+
+    // 8 VCs on a 5-port router overflows the 32-line VA2 request word.
+    let mut cfg = RouterConfig::paper();
+    cfg.vcs = 8;
+    let err = build(cfg).expect_err("5 ports * 8 VCs must be rejected");
+    assert!(err.contains("32"), "error names the word width: {err}");
+
+    // The boundary itself is fine: the widest 5-port router (6 VCs,
+    // 30 allocator lines) constructs and its top VC flows through.
+    let mut cfg = RouterConfig::paper();
+    cfg.vcs = 6;
+    let mut r = build(cfg).expect("6 VCs is the 5-port maximum");
+    r.receive_flit(
+        Direction::Local.port(),
+        VcId(5),
+        packet(1, PacketKind::Control, EAST_DST).remove(0),
+    );
+    let mut departed = false;
+    for cycle in 0..8 {
+        departed |= !r.step(cycle).departures.is_empty();
+    }
+    assert!(departed, "top VC of a 6-VC port flows through the pipeline");
+}

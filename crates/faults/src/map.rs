@@ -34,9 +34,13 @@ impl FaultMap {
     }
 
     /// Whether a site is faulty.
+    ///
+    /// The empty-set early return matters: healthy routers (the
+    /// overwhelming majority in any campaign) issue several of these
+    /// per cycle, and the length check skips the site hash entirely.
     #[inline]
     pub fn is_faulty(&self, site: FaultSite) -> bool {
-        self.faulty.contains(&site)
+        !self.faulty.is_empty() && self.faulty.contains(&site)
     }
 
     /// Number of faulty sites.

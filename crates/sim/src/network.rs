@@ -51,7 +51,7 @@ use noc_types::{
     VcGlobalState, VcId,
 };
 use shield_router::{Router, RouterKind, RouterStats, RoutingAlgorithm, StepOutput};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// One router's outgoing wiring: per output port, the downstream router
 /// and the port the link enters it through (`None` = no link — grid
@@ -112,6 +112,24 @@ struct ShardScratch {
     any_departure: bool,
 }
 
+impl ShardScratch {
+    /// Preallocate every buffer to its hard per-cycle bound — at most
+    /// five wires and one completed packet per router per cycle — for
+    /// a shard that may come to own up to `nodes` routers. Rebalancing
+    /// can hand a shard a much larger span than it started with, so
+    /// sizing for the *current* span would make the first busy cycle
+    /// after a boundary move grow the buffers; sizing for the grid
+    /// keeps the steady-state stepper allocation-free.
+    fn with_bounds(nodes: usize) -> Self {
+        ShardScratch {
+            arrivals: Vec::with_capacity(5 * nodes),
+            wires_out: Vec::with_capacity(5 * nodes),
+            deliveries: Vec::with_capacity(nodes),
+            ..ShardScratch::default()
+        }
+    }
+}
+
 /// Everything the parallel stepper owns: the worker pool plus the
 /// shard partition (contiguous row bands over router ids).
 struct ParState {
@@ -121,6 +139,10 @@ struct ParState {
     /// Router id → owning shard.
     shard_of: Vec<usize>,
     shards: Vec<ShardScratch>,
+    /// Reusable per-grid-row weight buffer for load-aware rebalancing.
+    row_weight: Vec<usize>,
+    /// Grid geometry (shards are whole row bands).
+    mesh: Mesh,
 }
 
 impl ParState {
@@ -151,7 +173,62 @@ impl ParState {
             pool: WorkerPool::new(nshards - 1),
             bounds,
             shard_of,
-            shards: (0..nshards).map(|_| ShardScratch::default()).collect(),
+            shards: (0..nshards)
+                .map(|_| ShardScratch::with_bounds(mesh.len()))
+                .collect(),
+            row_weight: vec![0; h],
+            mesh,
+        }
+    }
+
+    /// Recompute the shard partition from the current per-row load.
+    ///
+    /// Each grid row weighs `1 + (non-idle routers in the row)`: the
+    /// constant term keeps all-idle regions from collapsing shards to
+    /// zero width (an idle router still costs its `is_idle` check and
+    /// arrival handling), and the active count tracks where the real
+    /// pipeline-stepping work sits. Shard `s` then ends at the first
+    /// row where the cumulative weight reaches `(s + 1) / nshards` of
+    /// the total, bounded so every remaining shard keeps at least one
+    /// row. Buffers are reused; this never allocates.
+    ///
+    /// Deterministic by construction: the weights are a pure function
+    /// of router state at the cycle boundary — which is bit-identical
+    /// at every thread count — and the cuts are a pure function of the
+    /// weights. No wall-clock timing, no load feedback, so a resumed
+    /// run repartitions exactly like the original did.
+    fn rebalance(&mut self, routers: &[Router]) {
+        let w = self.mesh.w as usize;
+        let h = self.mesh.h as usize;
+        let nshards = self.bounds.len();
+        for (row, weight) in self.row_weight.iter_mut().enumerate() {
+            let active = routers[row * w..(row + 1) * w]
+                .iter()
+                .filter(|r| !r.is_idle())
+                .count();
+            *weight = 1 + active;
+        }
+        let total: usize = self.row_weight.iter().sum();
+        let mut row = 0;
+        let mut cum = 0;
+        for s in 0..nshards {
+            let start = row;
+            // Leave at least one row for each shard after this one.
+            let max_end = h - (nshards - 1 - s);
+            loop {
+                cum += self.row_weight[row];
+                row += 1;
+                if row >= max_end || cum * nshards >= total * (s + 1) {
+                    break;
+                }
+            }
+            self.bounds[s] = (start * w, row * w);
+        }
+        debug_assert_eq!(row, h, "rebalance must cover every grid row");
+        for (s, &(lo, hi)) in self.bounds.iter().enumerate() {
+            for slot in &mut self.shard_of[lo..hi] {
+                *slot = s;
+            }
         }
     }
 }
@@ -228,6 +305,70 @@ impl<O: Observer> ShardCtx<'_, O> {
                 &mut scratch.any_departure,
             );
         }
+    }
+}
+
+/// The raw-parts view of the mesh that phase B of a parallel cycle
+/// hands to [`WorkerPool::broadcast`]: base pointers into the network's
+/// per-router arrays plus the shard bounds. Carving each shard's slices
+/// out through raw pointers — instead of building a per-cycle `Vec` of
+/// pre-split, `Mutex`-wrapped contexts — keeps the phase allocation-free
+/// (the `no_alloc` suite pins this).
+///
+/// # Safety
+///
+/// `run(i)` materialises `&mut` slices from the base pointers. That is
+/// sound because the one caller (`Network::step_parallel`) upholds:
+///
+/// * `bounds` are disjoint, ascending `[lo, hi)` intervals within every
+///   pointed-to array (`routers`, `nis`, `link_flits`, `wiring`), so
+///   two shards never overlap;
+/// * `obs` and `shards` hold at least `bounds.len()` elements and shard
+///   `i` touches only index `i` of each;
+/// * [`WorkerPool::broadcast`] invokes each index exactly once per
+///   call, so no slice is materialised twice;
+/// * the pointed-to arrays outlive the broadcast (they are `Network`
+///   fields borrowed across it, and nothing else touches them until
+///   the broadcast returns).
+///
+/// The `Sync` impl is what lets the pool share `&ShardTasks` across
+/// worker threads; it is safe for exactly the reasons above.
+struct ShardTasks<'a, O: Observer> {
+    cycle: Cycle,
+    skip_idle: bool,
+    bounds: &'a [(usize, usize)],
+    wiring: &'a [WiringRow],
+    routers: *mut Router,
+    nis: *mut NetworkInterface,
+    link_flits: *mut [u64; 5],
+    obs: *mut O,
+    shards: *mut ShardScratch,
+}
+
+#[allow(unsafe_code)]
+unsafe impl<O: Observer> Sync for ShardTasks<'_, O> {}
+
+impl<O: Observer> ShardTasks<'_, O> {
+    /// Run shard `i`'s share of the cycle.
+    ///
+    /// # Safety
+    /// `i < self.bounds.len()`, each `i` used at most once per
+    /// broadcast, and the type-level contract above holds.
+    #[allow(unsafe_code)]
+    unsafe fn run(&self, i: usize) {
+        let (lo, hi) = self.bounds[i];
+        let len = hi - lo;
+        ShardCtx {
+            base: lo,
+            wiring: &self.wiring[lo..hi],
+            skip_idle: self.skip_idle,
+            routers: std::slice::from_raw_parts_mut(self.routers.add(lo), len),
+            nis: std::slice::from_raw_parts_mut(self.nis.add(lo), len),
+            link_flits: std::slice::from_raw_parts_mut(self.link_flits.add(lo), len),
+            scratch: &mut *self.shards.add(i),
+            obs: &mut *self.obs.add(i),
+        }
+        .run(self.cycle);
     }
 }
 
@@ -364,6 +505,14 @@ pub struct Network {
     wiring: Vec<WiringRow>,
     routers: Vec<Router>,
     nis: Vec<NetworkInterface>,
+    /// Bitmap over nodes (64 per word): bit set ⇔ that NI may have
+    /// injection work (a queued packet or an in-progress send). Set
+    /// when an offer is accepted, cleared by the serial stepper once
+    /// the NI drains; the injection loop walks set bits only, so the
+    /// large majority of NIs that idle through a light-load cycle are
+    /// never touched. Conservative (a set bit with nothing pending is
+    /// a one-visit no-op), never stale-clear.
+    ni_live: Vec<u64>,
     /// Ring buffer of in-flight wire traffic; slot 0 arrives this cycle.
     wires: Vec<Vec<Wire>>,
     /// Spare vector swapped with `wires[0]` each cycle so arrival
@@ -387,6 +536,9 @@ pub struct Network {
     routers_skipped: u64,
     /// Parallel stepper state; `None` = serial.
     par: Option<ParState>,
+    /// Cycles between load-aware shard repartitions (`0` = static
+    /// partition). Only consulted by the parallel stepper.
+    rebalance_every: u64,
     /// Flits that fell off the mesh edge after a misroute.
     pub flits_edge_dropped: u64,
     /// Flits destroyed inside faulty baseline crossbars.
@@ -462,6 +614,7 @@ impl Network {
             wiring,
             routers,
             nis,
+            ni_live: vec![0; mesh.len().div_ceil(64)],
             wires: (0..slots).map(|_| Vec::new()).collect(),
             arrivals_scratch: Vec::new(),
             step_scratch: StepOutput::default(),
@@ -473,6 +626,7 @@ impl Network {
             routers_stepped: 0,
             routers_skipped: 0,
             par: None,
+            rebalance_every: rebalance_every_default(),
             flits_edge_dropped: 0,
             flits_dropped: 0,
             flits_injected: 0,
@@ -557,6 +711,21 @@ impl Network {
     /// Threads stepping the mesh (1 = serial).
     pub fn threads(&self) -> usize {
         self.par.as_ref().map_or(1, |p| p.pool.workers() + 1)
+    }
+
+    /// Set how often (in cycles) the parallel stepper repartitions its
+    /// row bands from the current per-row active-router counts — see
+    /// [`ParState::rebalance`]. `0` keeps the initial static even
+    /// split. Purely a performance knob: results are bit-identical for
+    /// every cadence and thread count. Defaults to 1024, or the
+    /// `NOC_SIM_REBALANCE` environment variable when set.
+    pub fn set_rebalance_every(&mut self, every: u64) {
+        self.rebalance_every = every;
+    }
+
+    /// Cycles between load-aware shard repartitions (`0` = static).
+    pub fn rebalance_every(&self) -> u64 {
+        self.rebalance_every
     }
 
     /// Enable or disable the active-router worklist (default: enabled).
@@ -795,7 +964,9 @@ impl Network {
         let mut refused = 0;
         for p in packets.drain(..) {
             let node = self.mesh.id_of(p.src).index();
-            if !self.nis[node].offer(p) {
+            if self.nis[node].offer(p) {
+                self.ni_live[node / 64] |= 1 << (node % 64);
+            } else {
                 refused += 1;
             }
         }
@@ -900,22 +1071,34 @@ impl Network {
         }
         self.arrivals_scratch = arrivals;
 
-        // 2. NI injection (one flit per node per cycle).
-        for node in 0..self.nis.len() {
-            if let Some((vc, flit)) = self.nis[node].inject(cycle) {
-                self.flits_injected += 1;
-                if O::ENABLED {
-                    obs.record(Event {
-                        cycle,
-                        router: node as u16,
-                        kind: EventKind::FlitInject {
-                            packet: flit.packet.0,
-                            seq: flit.seq.0,
-                            vc: vc.0,
-                        },
-                    });
+        // 2. NI injection (one flit per node per cycle). Only NIs on
+        // the live bitmap can have anything to send; walking its set
+        // bits skips the (at light load, vast) idle majority without
+        // even a call. `inject` on a drained NI is a pure no-op, so
+        // eliding it is unobservable.
+        for wi in 0..self.ni_live.len() {
+            let mut live = self.ni_live[wi];
+            while live != 0 {
+                let node = wi * 64 + live.trailing_zeros() as usize;
+                live &= live - 1;
+                if let Some((vc, flit)) = self.nis[node].inject(cycle) {
+                    self.flits_injected += 1;
+                    if O::ENABLED {
+                        obs.record(Event {
+                            cycle,
+                            router: node as u16,
+                            kind: EventKind::FlitInject {
+                                packet: flit.packet.0,
+                                seq: flit.seq.0,
+                                vc: vc.0,
+                            },
+                        });
+                    }
+                    self.routers[node].receive_flit(Direction::Local.port(), vc, flit);
                 }
-                self.routers[node].receive_flit(Direction::Local.port(), vc, flit);
+                if !self.nis[node].pending_work() {
+                    self.ni_live[wi] &= !(1 << (node % 64));
+                }
             }
         }
 
@@ -969,6 +1152,17 @@ impl Network {
     ///   exact order the serial stepper produces.
     fn step_parallel<O: Observer + Send>(&mut self, cycle: Cycle, obs: &mut [O]) {
         self.cycles_stepped += 1;
+        // Load-aware repartition at the epoch cadence, from the router
+        // state *at this cycle boundary* (before any of this cycle's
+        // arrivals or injections) — the same state every thread count
+        // and every resumed run observes, so the partition is a pure
+        // function of (cycle, worklist state).
+        if self.rebalance_every != 0 && cycle.is_multiple_of(self.rebalance_every) {
+            self.par
+                .as_mut()
+                .expect("parallel step requires ParState")
+                .rebalance(&self.routers);
+        }
         let mut arrivals = std::mem::take(&mut self.arrivals_scratch);
         std::mem::swap(&mut arrivals, &mut self.wires[0]);
         self.wires.rotate_left(1);
@@ -996,6 +1190,7 @@ impl Network {
             bounds,
             shard_of,
             shards,
+            ..
         } = par.as_mut().expect("parallel step requires ParState");
 
         // Phase A: partition arrivals by destination shard. Each shard's
@@ -1006,38 +1201,29 @@ impl Network {
         }
 
         // Phase B: hand each shard its disjoint slice of the mesh (and
-        // its own observer — shard `s` records into `obs[s]`).
-        let mut tasks: Vec<Mutex<ShardCtx<O>>> = Vec::with_capacity(shards.len());
-        {
-            let mut r_rest: &mut [Router] = routers;
-            let mut n_rest: &mut [NetworkInterface] = nis;
-            let mut l_rest: &mut [[u64; 5]] = link_flits;
-            let mut o_rest: &mut [O] = obs;
-            let mut w_rest: &[WiringRow] = wiring;
-            for (scratch, &(lo, hi)) in shards.iter_mut().zip(bounds.iter()) {
-                let len = hi - lo;
-                let (r, rr) = r_rest.split_at_mut(len);
-                let (n, nn) = n_rest.split_at_mut(len);
-                let (l, ll) = l_rest.split_at_mut(len);
-                let (o, oo) = o_rest.split_at_mut(1);
-                let (w, ww) = w_rest.split_at(len);
-                (r_rest, n_rest, l_rest, o_rest, w_rest) = (rr, nn, ll, oo, ww);
-                tasks.push(Mutex::new(ShardCtx {
-                    base: lo,
-                    wiring: w,
-                    skip_idle: *skip_idle,
-                    routers: r,
-                    nis: n,
-                    link_flits: l,
-                    scratch,
-                    obs: &mut o[0],
-                }));
-            }
-        }
-        pool.broadcast(tasks.len(), &|i| {
-            tasks[i].lock().expect("shard task poisoned").run(cycle);
-        });
-        drop(tasks);
+        // its own observer — shard `s` records into `obs[s]`), carved
+        // through `ShardTasks`'s raw pointers so the phase allocates
+        // nothing. The safety contract on `ShardTasks` holds here:
+        // `bounds` are disjoint ascending row bands covering the mesh,
+        // the length assert guarantees per-shard observers, and the
+        // borrowed arrays are untouched until the broadcast returns.
+        assert!(
+            obs.len() >= shards.len(),
+            "phase B needs one observer per shard"
+        );
+        let tasks = ShardTasks {
+            cycle,
+            skip_idle: *skip_idle,
+            bounds,
+            wiring,
+            routers: routers.as_mut_ptr(),
+            nis: nis.as_mut_ptr(),
+            link_flits: link_flits.as_mut_ptr(),
+            obs: obs.as_mut_ptr(),
+            shards: shards.as_mut_ptr(),
+        };
+        #[allow(unsafe_code)]
+        pool.broadcast(tasks.bounds.len(), &|i| unsafe { tasks.run(i) });
 
         // Phase C: merge in fixed shard order (= router-id order).
         let slot = cfg.link_latency as usize - 1;
@@ -1399,6 +1585,18 @@ impl Restore for Network {
         for (i, (n, s)) in self.nis.iter_mut().zip(nis).enumerate() {
             n.restore(s).map_err(|e| e.within(&format!("nis[{i}]")))?;
         }
+        // The live-NI bitmap is derived state (not serialised);
+        // re-derive it from the restored injection queues and sends.
+        for (wi, word) in self.ni_live.iter_mut().enumerate() {
+            let mut w = 0u64;
+            for b in 0..64 {
+                let node = wi * 64 + b;
+                if node < self.nis.len() && self.nis[node].pending_work() {
+                    w |= 1 << b;
+                }
+            }
+            *word = w;
+        }
         let wires = arr_field(v, "wires")?;
         if wires.len() != self.wires.len() {
             return Err(SnapshotError::new(format!(
@@ -1470,6 +1668,20 @@ fn apply_topology_override(mut cfg: NetworkConfig) -> NetworkConfig {
     cfg.topology =
         TopologySpec::parse_arg(&raw, cfg.mesh_k).unwrap_or_else(|e| panic!("NOC_TOPOLOGY: {e}"));
     cfg
+}
+
+/// Default shard-rebalance cadence: the `NOC_SIM_REBALANCE` environment
+/// variable (cycles between repartitions, `0` = static partition), or
+/// 1024 — coarse enough that the O(routers) weight scan is noise, fine
+/// enough to track traffic phases. Like `NOC_SIM_THREADS` this is a
+/// pure performance knob; results are bit-identical for every value.
+fn rebalance_every_default() -> u64 {
+    match std::env::var("NOC_SIM_REBALANCE") {
+        Ok(raw) => raw
+            .parse()
+            .unwrap_or_else(|_| panic!("NOC_SIM_REBALANCE: `{raw}` is not a cycle count")),
+        Err(_) => 1024,
+    }
 }
 
 /// Precompute the per-router wiring table from the topology. For every

@@ -7,7 +7,7 @@
 //! reassembles packets, checks they reached the right node, and returns
 //! credits.
 
-use noc_types::{Coord, Cycle, DeliveredPacket, Flit, Packet, PacketId, VcId};
+use noc_types::{Coord, Cycle, DeliveredPacket, Flit, Packet, PacketId, PacketKind, VcId};
 use std::collections::{HashMap, VecDeque};
 
 /// An in-progress transmission on one local-input VC.
@@ -40,6 +40,9 @@ pub struct NetworkInterface {
     /// Local-input VCs currently owned by an in-progress send.
     vc_taken: Vec<bool>,
     sends: Vec<ActiveSend>,
+    /// Retired send buffers, recycled so starting a packet is
+    /// allocation-free in steady state (at most `vcs` entries).
+    spare: Vec<VecDeque<Flit>>,
     /// Round-robin pointer over `sends`.
     send_rr: usize,
     reassembly: HashMap<PacketId, Reassembly>,
@@ -70,7 +73,13 @@ impl NetworkInterface {
             queue_cap,
             credits: vec![depth as u8; vcs],
             vc_taken: vec![false; vcs],
-            sends: Vec::new(),
+            sends: Vec::with_capacity(vcs),
+            // One buffer per VC, the concurrent-send bound, each sized
+            // for the largest packet kind: starting a packet never
+            // touches the allocator.
+            spare: (0..vcs)
+                .map(|_| VecDeque::with_capacity(PacketKind::Data.flits()))
+                .collect(),
             send_rr: 0,
             reassembly: HashMap::new(),
             offered: 0,
@@ -95,6 +104,14 @@ impl NetworkInterface {
     /// Flits still held by in-progress sends.
     pub fn pending_flits(&self) -> usize {
         self.sends.iter().map(|s| s.remaining.len()).sum()
+    }
+
+    /// Whether any injection work remains (queued packets or in-progress
+    /// sends). When false, [`NetworkInterface::inject`] is a pure no-op
+    /// until the next accepted offer — the network's live-NI bitmap
+    /// elides the call entirely.
+    pub(crate) fn pending_work(&self) -> bool {
+        !self.queue.is_empty() || !self.sends.is_empty()
     }
 
     /// Offer a packet for injection. Returns `false` (and drops it) when
@@ -130,9 +147,14 @@ impl NetworkInterface {
         if !self.queue.is_empty() {
             if let Some(free) = (0..self.vcs).find(|&v| !self.vc_taken[v]) {
                 let packet = self.queue.pop_front().unwrap();
-                let mut flits: VecDeque<Flit> = packet.segment().into();
-                for f in &mut flits {
+                // The spare pool holds one buffer per VC (the
+                // concurrent-send bound), each with capacity for the
+                // largest packet kind: never empty here, never grows.
+                let mut flits = self.spare.pop().expect("one spare buffer per VC");
+                for i in 0..packet.len_flits() {
+                    let mut f = packet.flit(i);
                     f.injected_at = cycle;
+                    flits.push_back(f);
                 }
                 self.vc_taken[free] = true;
                 self.sends.push(ActiveSend {
@@ -159,7 +181,7 @@ impl NetworkInterface {
                 .expect("active send holds flits");
             if self.sends[ix].remaining.is_empty() {
                 self.vc_taken[vc.index()] = false;
-                self.sends.swap_remove(ix);
+                self.spare.push(self.sends.swap_remove(ix).remaining);
                 self.injected += 1;
                 self.send_rr = 0;
             } else {

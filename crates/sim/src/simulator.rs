@@ -39,6 +39,7 @@ pub struct Simulator {
     kind: RouterKind,
     plan: FaultPlan,
     threads: usize,
+    rebalance_every: Option<u64>,
     sample_every: Option<Cycle>,
     checkpoint_every: Cycle,
 }
@@ -241,6 +242,7 @@ impl Simulator {
             kind,
             plan,
             threads: env_threads(),
+            rebalance_every: None,
             sample_every: None,
             checkpoint_every: 0,
         }
@@ -251,6 +253,16 @@ impl Simulator {
     /// [`Network::set_threads`].
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Override the load-aware shard-rebalance cadence (`0` keeps the
+    /// static even partition). Results are bit-identical for every
+    /// value; see [`Network::set_rebalance_every`]. Defaults to the
+    /// network's own default (the `NOC_SIM_REBALANCE` environment
+    /// variable, else 1024).
+    pub fn with_rebalance_every(mut self, every: u64) -> Self {
+        self.rebalance_every = Some(every);
         self
     }
 
@@ -464,6 +476,9 @@ impl Simulator {
     fn build_network(&self) -> Network {
         let mut net = Network::with_faults(self.net_cfg, self.kind, &self.plan);
         net.set_threads(self.threads);
+        if let Some(every) = self.rebalance_every {
+            net.set_rebalance_every(every);
+        }
         net
     }
 

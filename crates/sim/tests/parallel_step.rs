@@ -153,11 +153,28 @@ fn run(
     threads: usize,
     skip_idle: bool,
 ) -> Fingerprint {
+    run_rb(k, kind, plan, seed, rate, threads, skip_idle, 0)
+}
+
+/// `run` with an explicit load-aware shard-rebalance cadence
+/// (`0` = static even partition).
+#[allow(clippy::too_many_arguments)]
+fn run_rb(
+    k: u8,
+    kind: RouterKind,
+    plan: &FaultPlan,
+    seed: u64,
+    rate: f64,
+    threads: usize,
+    skip_idle: bool,
+    rebalance_every: u64,
+) -> Fingerprint {
     let mut net_cfg = NetworkConfig::paper();
     net_cfg.mesh_k = k;
     let mut net = Network::with_faults(net_cfg, kind, plan);
     net.set_threads(threads);
     net.set_skip_idle(skip_idle);
+    net.set_rebalance_every(rebalance_every);
     let mut src = Source {
         rng: StdRng::seed_from_u64(seed),
         k,
@@ -186,6 +203,30 @@ fn parallel_step_matches_serial_for_every_thread_count() {
                 assert_eq!(
                     serial, parallel,
                     "divergence: k={k} campaign={name} threads={threads}"
+                );
+            }
+        }
+    }
+}
+
+/// The load-aware shard rebalancer is purely an optimisation: moving
+/// row boundaries between shards (every cycle, or at the production
+/// cadence) never changes a single observable, at any thread count.
+/// The serial reference never even builds shards, so this also pins
+/// that the rebalance path is unobservable from outside the stepper.
+#[test]
+fn load_aware_rebalancing_preserves_equivalence() {
+    let (k, seed) = (6u8, 0x5EED);
+    for (name, kind, plan) in campaigns(k, seed ^ 0xFA) {
+        let serial = run(k, kind, &plan, seed, 0.02, 1, true);
+        for threads in [2usize, 4, 8] {
+            // Cadence 1 re-partitions before every parallel phase —
+            // maximum stress; 64 is a coarse production-like cadence.
+            for cadence in [1u64, 64] {
+                let parallel = run_rb(k, kind, &plan, seed, 0.02, threads, true, cadence);
+                assert_eq!(
+                    serial, parallel,
+                    "divergence: campaign={name} threads={threads} rebalance={cadence}"
                 );
             }
         }
@@ -336,12 +377,13 @@ fn parallel_step_matches_serial_on_torus_and_cut_mesh() {
             },
         ),
     ] {
-        let run_spec = |threads: usize| {
+        let run_spec = |threads: usize, rebalance_every: u64| {
             let mut net_cfg = NetworkConfig::paper();
             net_cfg.mesh_k = 6;
             net_cfg.topology = spec;
             let mut net = Network::new(net_cfg, RouterKind::Protected);
             net.set_threads(threads);
+            net.set_rebalance_every(rebalance_every);
             let mut src = Source {
                 rng: StdRng::seed_from_u64(0x7070),
                 k: 6,
@@ -356,13 +398,15 @@ fn parallel_step_matches_serial_on_torus_and_cut_mesh() {
             }
             fingerprint(&net)
         };
-        let serial = run_spec(1);
+        let serial = run_spec(1, 0);
         for threads in [2usize, 4, 8] {
-            let parallel = run_spec(threads);
-            assert_eq!(
-                serial, parallel,
-                "divergence: topology={name} threads={threads}"
-            );
+            for rebalance in [0u64, 64] {
+                let parallel = run_spec(threads, rebalance);
+                assert_eq!(
+                    serial, parallel,
+                    "divergence: topology={name} threads={threads} rebalance={rebalance}"
+                );
+            }
         }
     }
 }

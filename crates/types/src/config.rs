@@ -47,6 +47,15 @@ impl RouterConfig {
         if self.vcs == 0 || self.vcs > 32 {
             return Err("1..=32 virtual channels per port are supported".into());
         }
+        if self.ports * self.vcs > 32 {
+            return Err(format!(
+                "ports * vcs must not exceed 32 (got {} * {} = {}): router \
+                 state masks and allocator request words are 32-bit",
+                self.ports,
+                self.vcs,
+                self.ports * self.vcs
+            ));
+        }
         if self.buffer_depth == 0 {
             return Err("VC buffers need at least one slot".into());
         }

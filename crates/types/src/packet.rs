@@ -64,33 +64,40 @@ impl Packet {
         self.kind.flits()
     }
 
+    /// The `i`-th flit of the packet's segmentation, built without
+    /// touching the allocator — injection hot paths call this per flit
+    /// instead of materialising the whole sequence.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len_flits()`.
+    pub fn flit(&self, i: usize) -> Flit {
+        let n = self.len_flits();
+        assert!(i < n, "flit index out of range");
+        let kind = if n == 1 {
+            FlitKind::Single
+        } else if i == 0 {
+            FlitKind::Head
+        } else if i == n - 1 {
+            FlitKind::Tail
+        } else {
+            FlitKind::Body
+        };
+        Flit::new(
+            self.id,
+            FlitSeq(i as u16),
+            kind,
+            self.src,
+            self.dst,
+            self.created_at,
+        )
+    }
+
     /// Segment the packet into its flit sequence.
     ///
     /// A 1-flit packet yields a single [`FlitKind::Single`] flit; longer
     /// packets yield `Head, Body…, Tail`.
     pub fn segment(&self) -> Vec<Flit> {
-        let n = self.len_flits();
-        (0..n)
-            .map(|i| {
-                let kind = if n == 1 {
-                    FlitKind::Single
-                } else if i == 0 {
-                    FlitKind::Head
-                } else if i == n - 1 {
-                    FlitKind::Tail
-                } else {
-                    FlitKind::Body
-                };
-                Flit::new(
-                    self.id,
-                    FlitSeq(i as u16),
-                    kind,
-                    self.src,
-                    self.dst,
-                    self.created_at,
-                )
-            })
-            .collect()
+        (0..self.len_flits()).map(|i| self.flit(i)).collect()
     }
 }
 
