@@ -4,8 +4,15 @@
 //! configuration whose allocation-freedom and equivalence the tier-1
 //! suites pin — and (b) traced into per-shard `EventRing`s, the
 //! `--trace` configuration. The gap is the price of turning tracing
-//! on; (a) versus the pre-telemetry baseline is by construction zero
-//! code difference.
+//! on.
+//!
+//! Both legs include the always-on spatial counter plane (plain `u64`
+//! bumps on each router's `RouterStats`: flits routed, the occupancy
+//! integral, VA/SA grant and stall counts and the Shield mechanism
+//! counters — no atomics, no allocation). Its cost relative to the
+//! pre-counter stepper is recorded as the `counter_plane` section of
+//! `BENCH_telemetry.json`, measured by an A/B run of this bench
+//! against the prior commit.
 //!
 //! Pass `--quick` for a single-sample smoke run; any other argument is
 //! a substring filter on the bench names.
@@ -91,7 +98,8 @@ fn main() {
     let doc = bench_envelope(
         "telemetry_overhead",
         "Simulation throughput with tracing off (NullObserver, compiled out) \
-         versus on (per-shard EventRing recording), 8x8 mesh at uniform 0.02 load.",
+         versus on (per-shard EventRing recording), 8x8 mesh at uniform 0.02 \
+         load. Both legs carry the always-on per-router spatial counter plane.",
         "mesh",
         "see BENCH_telemetry.json for the committed run",
         JsonValue::Arr(rows),

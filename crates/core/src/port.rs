@@ -143,6 +143,12 @@ pub struct InputPort {
     active: u32,
     /// Bit `i` set ⇔ VC `i` has at least one buffered flit.
     nonempty: u32,
+    /// Total flits buffered across all VCs, maintained incrementally by
+    /// [`InputPort::push_flit`] / [`InputPort::pop_flit`] so the
+    /// per-step occupancy integral costs one load instead of a walk
+    /// over every VC buffer. Intra-port moves ([`VirtualChannel::
+    /// transfer_into`]) leave the total unchanged.
+    occupancy: u32,
 }
 
 impl InputPort {
@@ -160,6 +166,7 @@ impl InputPort {
             vc_alloc: 0,
             active: 0,
             nonempty: 0,
+            occupancy: 0,
         }
     }
 
@@ -242,6 +249,7 @@ impl InputPort {
     #[inline]
     pub fn push_flit(&mut self, vc: VcId, flit: Flit) {
         self.vcs[vc.index()].push(flit);
+        self.occupancy += 1;
         self.sync_state(vc);
     }
 
@@ -250,6 +258,9 @@ impl InputPort {
     #[inline]
     pub fn pop_flit(&mut self, vc: VcId) -> Option<Flit> {
         let flit = self.vcs[vc.index()].pop();
+        if flit.is_some() {
+            self.occupancy -= 1;
+        }
         self.sync_state(vc);
         flit
     }
@@ -287,9 +298,15 @@ impl InputPort {
         }
     }
 
-    /// Total flits buffered across all VCs.
+    /// Total flits buffered across all VCs (O(1): maintained by the
+    /// flit push/pop paths, not recomputed).
     pub fn occupancy(&self) -> usize {
-        self.vcs.iter().map(|v| v.occupancy()).sum()
+        debug_assert_eq!(
+            self.occupancy as usize,
+            self.vcs.iter().map(|v| v.occupancy()).sum::<usize>(),
+            "incremental occupancy out of sync with the VC buffers"
+        );
+        self.occupancy as usize
     }
 
     /// Iterate over `(VcId, &VirtualChannel)`.
@@ -366,6 +383,7 @@ impl Restore for InputPort {
         for (i, (vc, s)) in self.vcs.iter_mut().zip(arr).enumerate() {
             vc.restore(s).map_err(|e| e.within(&format!("vcs[{i}]")))?;
         }
+        self.occupancy = self.vcs.iter().map(|v| v.occupancy()).sum::<usize>() as u32;
         for i in 0..self.vcs.len() {
             self.sync_state(VcId(i as u8));
         }
@@ -533,10 +551,13 @@ mod tests {
 
     #[test]
     fn vc_pair_mut_returns_requested_order() {
+        // Flits enter through `push_flit` (the incremental-occupancy
+        // contract); `vc_pair_mut` is for in-port moves only.
         let mut port = InputPort::new(4, 4);
+        port.push_flit(VcId(3), head(1));
         {
             let (a, b) = port.vc_pair_mut(VcId(3), VcId(0));
-            a.push(head(1));
+            assert_eq!(a.occupancy(), 1);
             assert!(b.is_empty());
         }
         assert_eq!(port.vc(VcId(3)).occupancy(), 1);

@@ -102,6 +102,14 @@ fn reference_va_stage(r: &mut Router, _cycle: Cycle) {
     let p = r.cfg.ports;
     let v = r.cfg.vcs;
 
+    // Stall accounting mirror: requesters (VCs awaiting allocation at
+    // stage entry) minus this cycle's grants.
+    let va_requests = (0..p)
+        .flat_map(|port| (0..v).map(move |vc| (port, vc)))
+        .filter(|&(port, vc)| r.ports[port].vc(VcId(vc as u8)).fields.g == VcGlobalState::VcAlloc)
+        .count() as u64;
+    let va_grants_before = r.stats.va_grants;
+
     // ---- Stage 1: each waiting VC picks one free downstream VC ----
     let mut picks: Vec<(usize, VcId, VcId, PortId, VcId)> = Vec::new();
     for port_idx in 0..p {
@@ -214,6 +222,8 @@ fn reference_va_stage(r: &mut Router, _cycle: Cycle) {
     for &(port_idx, _vc, owner, _out, _ovc) in &picks {
         r.ports[port_idx].vc_mut(owner).fields.clear_borrow();
     }
+
+    r.stats.va_stalls += va_requests - (r.stats.va_grants - va_grants_before);
 }
 
 /// One reference SA request (mirror of the private `SaRequest`).
@@ -262,6 +272,11 @@ fn reference_sa_stage(r: &mut Router, cycle: Cycle) {
             });
         }
     }
+
+    // Stall accounting mirror: formed requests minus this cycle's
+    // stage-2 grants.
+    let sa_requests = requests.iter().filter(|r| r.is_some()).count() as u64;
+    let sa_grants_before = r.stats.sa_grants;
 
     // ---- Stage 1: per input port, pick one VC ----
     let mut port_winner: Vec<Option<usize>> = vec![None; p];
@@ -332,6 +347,8 @@ fn reference_sa_stage(r: &mut Router, cycle: Cycle) {
             r.stats.sa_grants += 1;
         }
     }
+
+    r.stats.sa_stalls += sa_requests - (r.stats.sa_grants - sa_grants_before);
 }
 
 /// Reference step: the same reverse-pipeline order as
@@ -340,6 +357,7 @@ fn reference_sa_stage(r: &mut Router, cycle: Cycle) {
 /// kernels under test), then the reference SA, VA and RC stages.
 fn reference_step(r: &mut Router, cycle: Cycle, out: &mut StepOutput) {
     out.clear();
+    r.stats.occ_integral += r.buffered_flits() as u64;
     r.faults.refresh_observed(cycle, r.id, &mut NullObserver);
     r.xb_stage(cycle, out, &mut NullObserver);
     reference_sa_stage(r, cycle);

@@ -91,6 +91,15 @@ pub struct RouterStats {
     pub vc_transfers: u64,
     /// Flits that traversed the crossbar via a secondary path.
     pub secondary_path_flits: u64,
+    /// Sum over executed steps of the flits buffered at step entry
+    /// (buffer-occupancy integral; divide by cycles for mean occupancy).
+    pub occ_integral: u64,
+    /// VC-allocation requests that went ungranted this cycle
+    /// (requesting VCs minus VA grants, summed per step).
+    pub va_stalls: u64,
+    /// Switch-allocation requests that went ungranted this cycle
+    /// (formed SA requests minus SA grants, summed per step).
+    pub sa_stalls: u64,
 }
 
 /// The routing computation a router's RC units perform, as a closed
@@ -248,6 +257,11 @@ pub struct Router {
     /// SA winners awaiting crossbar traversal (filled by SA at cycle t,
     /// drained by XB at t+1).
     pub(crate) xb_queue: Vec<XbGrant>,
+    /// Total flits buffered across the input ports, maintained at the
+    /// flit entry/exit points ([`Router::receive_flit`] and the XB
+    /// traversal pops) so the per-step occupancy integral reads one
+    /// word instead of walking every port. Recomputed on restore.
+    pub(crate) port_flits: u32,
     /// Per-port rotating pointer for RC service order.
     pub(crate) rc_pointer: Vec<usize>,
     /// Per-port reprogrammed bypass register: `(vc, rotation_period)`.
@@ -299,6 +313,7 @@ impl Router {
             xbar: Crossbar::new(p),
             faults: FaultState::new(detection),
             xb_queue: Vec::with_capacity(p),
+            port_flits: 0,
             rc_pointer: vec![0; p],
             bypass_ptr: vec![None; p],
             scratch: crate::stages::StageScratch::new(p, v),
@@ -390,9 +405,16 @@ impl Router {
         self.route = route;
     }
 
-    /// Total flits buffered in the router (drain / conservation checks).
+    /// Total flits buffered in the router (drain / conservation checks,
+    /// occupancy integral). O(1): the port total is maintained at the
+    /// flit entry/exit points rather than recomputed.
     pub fn buffered_flits(&self) -> usize {
-        self.ports.iter().map(|p| p.occupancy()).sum::<usize>() + self.xb_queue.len()
+        debug_assert_eq!(
+            self.port_flits as usize,
+            self.ports.iter().map(|p| p.occupancy()).sum::<usize>(),
+            "incremental port-flit total out of sync with the buffers"
+        );
+        self.port_flits as usize + self.xb_queue.len()
     }
 
     /// SA grants queued for crossbar traversal that target downstream
@@ -442,9 +464,12 @@ impl Router {
     ///   are simply always stepped; fault campaigns touch few routers.
     ///
     /// Arbiter pointers, the bypass register and every statistics counter
-    /// only move when a stage sees a request, so an idle step touches
-    /// nothing observable. The `worklist_is_sound` property test steps
-    /// idle routers anyway and asserts exactly that.
+    /// only move when a stage sees a request — including the occupancy
+    /// integral and stall counters, which add `buffered_flits()` (zero
+    /// when idle) and ungranted-request counts (zero under the stage
+    /// early-outs) — so an idle step touches nothing observable. The
+    /// `worklist_is_sound` property test steps idle routers anyway and
+    /// asserts exactly that.
     ///
     /// Credits arriving from downstream do *not* wake a router: absorbing
     /// a credit is handled at delivery time by [`Router::receive_credit`]
@@ -458,6 +483,7 @@ impl Router {
     pub fn receive_flit(&mut self, port: PortId, vc: VcId, flit: Flit) {
         self.stats.flits_in += 1;
         self.ports[port.index()].push_flit(vc, flit);
+        self.port_flits += 1;
         // The first flit of an idle VC moves it to `Routing`, and a
         // non-idle VC stays non-idle across a push: the port is
         // certainly non-idle now.
@@ -540,6 +566,7 @@ impl Router {
         obs: &mut O,
     ) {
         out.clear();
+        self.stats.occ_integral += self.buffered_flits() as u64;
         self.faults.refresh_observed(cycle, self.id, obs);
         self.xb_stage(cycle, out, obs);
         self.sa_stage(cycle, obs);
@@ -585,6 +612,7 @@ impl Router {
                         let flit = self.ports[g.in_port.index()]
                             .pop_flit(g.in_vc)
                             .expect("granted VC must hold a flit");
+                        self.port_flits -= 1;
                         let is_tail = flit.kind.is_tail();
                         self.stats.flits_dropped += 1;
                         // The downstream slot reserved at SA-grant time is
@@ -633,6 +661,7 @@ impl Router {
                 flit.hops += 1;
                 flit
             };
+            self.port_flits -= 1;
             if g.mux != g.logical_out {
                 self.stats.secondary_path_flits += 1;
             }

@@ -60,6 +60,9 @@ impl Snapshot for RouterStats {
             ("sa_bypass_grants", self.sa_bypass_grants.into()),
             ("vc_transfers", self.vc_transfers.into()),
             ("secondary_path_flits", self.secondary_path_flits.into()),
+            ("occ_integral", self.occ_integral.into()),
+            ("va_stalls", self.va_stalls.into()),
+            ("sa_stalls", self.sa_stalls.into()),
         ])
     }
 }
@@ -79,6 +82,9 @@ impl FromSnapshot for RouterStats {
             sa_bypass_grants: u64_field(v, "sa_bypass_grants")?,
             vc_transfers: u64_field(v, "vc_transfers")?,
             secondary_path_flits: u64_field(v, "secondary_path_flits")?,
+            occ_integral: u64_field(v, "occ_integral")?,
+            va_stalls: u64_field(v, "va_stalls")?,
+            sa_stalls: u64_field(v, "sa_stalls")?,
         })
     }
 }
@@ -256,9 +262,11 @@ impl Restore for Router {
             port.restore(s)
                 .map_err(|e| e.within(&format!("ports[{i}]")))?;
         }
-        // The port-summary word is derived state (not serialised);
-        // re-derive it from the restored ports.
+        // The port-summary word and the incremental flit total are
+        // derived state (not serialised); re-derive both from the
+        // restored ports.
         self.sync_nonidle_ports();
+        self.port_flits = self.ports.iter().map(|p| p.occupancy()).sum::<usize>() as u32;
 
         let credits = arr_field(v, "credits")?;
         if credits.len() != p {

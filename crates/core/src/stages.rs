@@ -220,10 +220,20 @@ impl Router {
         // Whole-stage skip: no VC anywhere awaits allocation — common
         // for routers that are merely forwarding already-active packets.
         // With no stage-1 requests the old code performed no observable
-        // work (no arbitration, no borrows, empty stage 2).
-        if self.ports.iter().all(|port| port.vc_alloc_mask() == 0) {
+        // work (no arbitration, no borrows, empty stage 2). The same
+        // pass yields the requester count for stall accounting
+        // (requesters minus this cycle's grants; the snapshot is taken
+        // before stage 1, which never changes a VC's G state, so it is
+        // exactly the requesting population).
+        let va_requests: u32 = self
+            .ports
+            .iter()
+            .map(|port| port.vc_alloc_mask().count_ones())
+            .sum();
+        if va_requests == 0 {
             return;
         }
+        let va_grants_before = self.stats.va_grants;
         let p = self.cfg.ports;
         let v = self.cfg.vcs;
         let all_vcs = width_mask(v);
@@ -417,6 +427,8 @@ impl Router {
             let (port_idx, _vc, owner, _out, _ovc) = self.scratch.va_picks[i];
             self.ports[port_idx].vc_mut(owner).fields.clear_borrow();
         }
+
+        self.stats.va_stalls += u64::from(va_requests) - (self.stats.va_grants - va_grants_before);
     }
 
     // ------------------------------------------------------------------
@@ -485,6 +497,16 @@ impl Router {
             }
             self.scratch.sa_port_req[port_idx] = req_mask;
         }
+
+        // Stall accounting: formed requests (routed, credited VCs) minus
+        // this cycle's stage-2 grants.
+        let sa_requests: u32 = self
+            .scratch
+            .sa_port_req
+            .iter()
+            .map(|m| m.count_ones())
+            .sum();
+        let sa_grants_before = self.stats.sa_grants;
 
         // ---- Stage 1: per input port, pick one VC ----
         self.scratch.sa_port_winner.fill(None);
@@ -610,5 +632,7 @@ impl Router {
                 }
             }
         }
+
+        self.stats.sa_stalls += u64::from(sa_requests) - (self.stats.sa_grants - sa_grants_before);
     }
 }

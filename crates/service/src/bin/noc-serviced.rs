@@ -17,7 +17,7 @@
 //! checkpoint interval of work.
 
 use noc_service::http::serve;
-use noc_service::{Scheduler, ServiceConfig};
+use noc_service::{ObsLog, Scheduler, ServiceConfig};
 use std::net::TcpListener;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -114,7 +114,9 @@ fn main() -> ExitCode {
     let local = listener
         .local_addr()
         .expect("bound listener has an address");
-    let sched = match Scheduler::start(args.cfg.clone()) {
+    // JSONL events go to stderr: stdout is the script-parsed banner.
+    let log = ObsLog::stderr();
+    let sched = match Scheduler::start_with_log(args.cfg.clone(), log.clone()) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("noc-serviced: starting scheduler: {e}");
@@ -132,7 +134,9 @@ fn main() -> ExitCode {
     use std::io::Write;
     let _ = std::io::stdout().flush();
 
-    if let Err(e) = serve(listener, sched.clone(), || SHUTDOWN.load(Ordering::SeqCst)) {
+    if let Err(e) = serve(listener, sched.clone(), log, || {
+        SHUTDOWN.load(Ordering::SeqCst)
+    }) {
         eprintln!("noc-serviced: accept loop: {e}");
     }
     eprintln!("noc-serviced: shutting down (draining to checkpoints)");

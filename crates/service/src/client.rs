@@ -86,6 +86,11 @@ pub mod jobs {
         request(addr, "GET", &format!("/jobs/{id}/result"), None)
     }
 
+    /// `GET /jobs/:id/progress` — live heatmap + imbalance series.
+    pub fn progress(addr: &str, id: &str) -> std::io::Result<HttpResponse> {
+        request(addr, "GET", &format!("/jobs/{id}/progress"), None)
+    }
+
     /// `GET /healthz`.
     pub fn healthz(addr: &str) -> std::io::Result<HttpResponse> {
         request(addr, "GET", "/healthz", None)

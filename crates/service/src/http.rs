@@ -3,19 +3,29 @@
 //! close` semantics. Exactly what the five-route job API needs and
 //! nothing more.
 //!
-//! | Method | Path              | Purpose                                   |
-//! |--------|-------------------|-------------------------------------------|
-//! | POST   | `/jobs`           | submit a campaign spec (JSON body)        |
-//! | GET    | `/jobs/:id`       | job status + progress                     |
-//! | GET    | `/jobs/:id/result`| final report (202 while still running)    |
-//! | GET    | `/healthz`        | liveness probe                            |
-//! | GET    | `/metrics`        | Prometheus text metrics                   |
+//! | Method | Path                 | Purpose                                   |
+//! |--------|----------------------|-------------------------------------------|
+//! | POST   | `/jobs`              | submit a campaign spec (JSON body)        |
+//! | GET    | `/jobs/:id`          | job status + progress fraction            |
+//! | GET    | `/jobs/:id/result`   | final report (202 while still running)    |
+//! | GET    | `/jobs/:id/progress` | live heatmap + imbalance series from the  |
+//! |        |                      | last durable checkpoint                   |
+//! | GET    | `/healthz`           | liveness probe                            |
+//! | GET    | `/metrics`           | Prometheus text metrics                   |
+//!
+//! Every response carries an `X-Request-Id` correlation header; when
+//! the server was given an [`ObsLog`], each request is also logged as
+//! one JSONL `http_request` event (id, method, path, status,
+//! duration), and `/metrics` includes the per-endpoint
+//! request/latency counters from [`HttpMetrics`].
 
+use crate::obs::{HttpMetrics, ObsLog};
 use crate::scheduler::{Scheduler, SubmitError};
 use crate::spec::CampaignSpec;
-use noc_telemetry::json::obj;
+use noc_telemetry::json::{obj, JsonValue};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Largest request body we accept (a campaign spec is < 1 KiB).
@@ -105,78 +115,101 @@ fn read_request(stream: &mut TcpStream, deadline: Duration) -> Option<Request> {
     })
 }
 
-fn write_response(
-    stream: &mut TcpStream,
+/// A response waiting to be written: keeping it as data (instead of
+/// writing inline from every dispatch arm) lets one wrapper stamp the
+/// `X-Request-Id` header, record per-endpoint metrics and emit the
+/// request log line for every route uniformly.
+struct Response {
     status: u16,
-    reason: &str,
-    content_type: &str,
-    extra_headers: &[(&str, String)],
-    body: &str,
-) {
-    let mut head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n",
-        body.len()
-    );
-    for (name, value) in extra_headers {
-        head.push_str(&format!("{name}: {value}\r\n"));
+    reason: &'static str,
+    content_type: &'static str,
+    extra_headers: Vec<(&'static str, String)>,
+    body: String,
+}
+
+impl Response {
+    fn json(status: u16, reason: &'static str, body: String) -> Response {
+        Response {
+            status,
+            reason,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body,
+        }
     }
-    head.push_str("\r\n");
-    let _ = stream.write_all(head.as_bytes());
-    let _ = stream.write_all(body.as_bytes());
-    let _ = stream.flush();
+
+    fn error(status: u16, reason: &'static str, message: &str) -> Response {
+        Response::json(status, reason, obj([("error", message.into())]).render())
+    }
+
+    fn write(&self, stream: &mut TcpStream, request_id: &str) {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\n\
+             Content-Length: {}\r\nConnection: close\r\nX-Request-Id: {request_id}\r\n",
+            self.status,
+            self.reason,
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
+        let _ = stream.write_all(head.as_bytes());
+        let _ = stream.write_all(self.body.as_bytes());
+        let _ = stream.flush();
+    }
 }
 
-fn json_response(stream: &mut TcpStream, status: u16, reason: &str, body: &str) {
-    write_response(stream, status, reason, "application/json", &[], body);
-}
-
-fn error_body(message: &str) -> String {
-    obj([("error", message.into())]).render()
-}
-
-fn handle(stream: &mut TcpStream, sched: &Scheduler, read_deadline: Duration) {
-    let Some(req) = read_request(stream, read_deadline) else {
-        return;
-    };
+/// Route a parsed request. Returns the endpoint label the metrics
+/// bucket requests under (one of [`crate::obs::HTTP_ENDPOINTS`]) and
+/// the response to send.
+fn dispatch(req: &Request, sched: &Scheduler, metrics: &HttpMetrics) -> (&'static str, Response) {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => write_response(stream, 200, "OK", "text/plain", &[], "ok\n"),
-        ("GET", "/metrics") => write_response(
-            stream,
-            200,
-            "OK",
-            "text/plain; version=0.0.4",
-            &[],
-            &sched.metrics_text(),
-        ),
-        ("POST", "/jobs") => match CampaignSpec::from_text(&req.body) {
-            Err(e) => json_response(stream, 400, "Bad Request", &error_body(&e)),
-            Ok(spec) => match sched.submit(spec) {
-                Ok(id) => json_response(stream, 201, "Created", &obj([("id", id.into())]).render()),
-                Err(SubmitError::QueueFull { retry_after_secs }) => write_response(
-                    stream,
-                    429,
-                    "Too Many Requests",
-                    "application/json",
-                    &[("Retry-After", retry_after_secs.to_string())],
-                    &error_body("queue full"),
-                ),
-                Err(SubmitError::Invalid(e)) => {
-                    json_response(stream, 400, "Bad Request", &error_body(&e))
-                }
-                Err(SubmitError::Io(e)) => json_response(
-                    stream,
-                    500,
-                    "Internal Server Error",
-                    &error_body(&e.to_string()),
-                ),
+        ("GET", "/healthz") => (
+            "healthz",
+            Response {
+                status: 200,
+                reason: "OK",
+                content_type: "text/plain",
+                extra_headers: Vec::new(),
+                body: "ok\n".into(),
             },
-        },
+        ),
+        ("GET", "/metrics") => (
+            "metrics",
+            Response {
+                status: 200,
+                reason: "OK",
+                content_type: "text/plain; version=0.0.4",
+                extra_headers: Vec::new(),
+                body: sched.metrics_text() + &metrics.render(),
+            },
+        ),
+        ("POST", "/jobs") => (
+            "submit",
+            match CampaignSpec::from_text(&req.body) {
+                Err(e) => Response::error(400, "Bad Request", &e),
+                Ok(spec) => match sched.submit(spec) {
+                    Ok(id) => Response::json(201, "Created", obj([("id", id.into())]).render()),
+                    Err(SubmitError::QueueFull { retry_after_secs }) => {
+                        let mut resp = Response::error(429, "Too Many Requests", "queue full");
+                        resp.extra_headers
+                            .push(("Retry-After", retry_after_secs.to_string()));
+                        resp
+                    }
+                    Err(SubmitError::Invalid(e)) => Response::error(400, "Bad Request", &e),
+                    Err(SubmitError::Io(e)) => {
+                        Response::error(500, "Internal Server Error", &e.to_string())
+                    }
+                },
+            },
+        ),
         ("GET", path) if path.starts_with("/jobs/") => {
             let rest = &path["/jobs/".len()..];
             if let Some(id) = rest.strip_suffix("/result") {
-                match sched.result_text(id) {
-                    Some(text) => json_response(stream, 200, "OK", &text),
+                let resp = match sched.result_text(id) {
+                    Some(text) => Response::json(200, "OK", text),
                     None if sched.knows(id) => {
                         // Known but unfinished: stream what exists so
                         // far — the status doc plus a `partial` object
@@ -186,39 +219,87 @@ fn handle(stream: &mut TcpStream, sched: &Scheduler, read_deadline: Duration) {
                             .partial_json(id)
                             .map(|d| d.render())
                             .unwrap_or_default();
-                        json_response(stream, 202, "Accepted", &partial);
+                        Response::json(202, "Accepted", partial)
                     }
-                    None => json_response(stream, 404, "Not Found", &error_body("unknown job")),
-                }
+                    None => Response::error(404, "Not Found", "unknown job"),
+                };
+                ("result", resp)
+            } else if let Some(id) = rest.strip_suffix("/progress") {
+                let resp = match sched.progress_json(id) {
+                    Some(doc) => Response::json(200, "OK", doc.render()),
+                    None => Response::error(404, "Not Found", "unknown job"),
+                };
+                ("progress", resp)
             } else {
-                match sched.status_json(rest) {
-                    Some(doc) => json_response(stream, 200, "OK", &doc.render()),
-                    None => json_response(stream, 404, "Not Found", &error_body("unknown job")),
-                }
+                let resp = match sched.status_json(rest) {
+                    Some(doc) => Response::json(200, "OK", doc.render()),
+                    None => Response::error(404, "Not Found", "unknown job"),
+                };
+                ("status", resp)
             }
         }
-        ("POST" | "GET", _) => {
-            json_response(stream, 404, "Not Found", &error_body("no such route"))
-        }
-        _ => json_response(
-            stream,
-            405,
-            "Method Not Allowed",
-            &error_body("method not allowed"),
+        ("POST" | "GET", _) => ("other", Response::error(404, "Not Found", "no such route")),
+        _ => (
+            "other",
+            Response::error(405, "Method Not Allowed", "method not allowed"),
         ),
     }
+}
+
+fn handle(
+    stream: &mut TcpStream,
+    sched: &Scheduler,
+    metrics: &HttpMetrics,
+    log: &ObsLog,
+    read_deadline: Duration,
+) {
+    let Some(req) = read_request(stream, read_deadline) else {
+        return;
+    };
+    let request_id = log.next_request_id();
+    let started = Instant::now();
+    let (endpoint, resp) = dispatch(&req, sched, metrics);
+    resp.write(stream, &request_id);
+    let elapsed = started.elapsed();
+    metrics.observe(endpoint, elapsed);
+    // Correlate submissions with the job they created: the 201 body is
+    // `{"id": "job-NNNNNN"}`.
+    let job = (endpoint == "submit" && resp.status == 201)
+        .then(|| JsonValue::parse(&resp.body).ok())
+        .flatten()
+        .and_then(|doc| doc.get("id").and_then(JsonValue::as_str).map(String::from));
+    log.event(
+        "http_request",
+        &[
+            ("request_id", request_id.as_str().into()),
+            ("method", req.method.as_str().into()),
+            ("path", req.path.as_str().into()),
+            ("endpoint", endpoint.into()),
+            ("status", u64::from(resp.status).into()),
+            ("duration_ms", (elapsed.as_secs_f64() * 1e3).into()),
+            (
+                "job",
+                match &job {
+                    Some(id) => id.as_str().into(),
+                    None => JsonValue::Null,
+                },
+            ),
+        ],
+    );
 }
 
 /// Accept connections until `should_stop` turns true (checked between
 /// accepts; the listener runs non-blocking with a short sleep so
 /// shutdown latency is tens of milliseconds). Connections get the
-/// default 10-second request read deadline.
+/// default 10-second request read deadline; request events go to
+/// `log` (pass [`ObsLog::disabled`] for silence).
 pub fn serve(
     listener: TcpListener,
     sched: Scheduler,
+    log: ObsLog,
     should_stop: impl Fn() -> bool,
 ) -> std::io::Result<()> {
-    serve_with(listener, sched, READ_DEADLINE, should_stop)
+    serve_with(listener, sched, READ_DEADLINE, log, should_stop)
 }
 
 /// [`serve`] with an explicit per-connection request read deadline
@@ -228,9 +309,11 @@ pub fn serve_with(
     listener: TcpListener,
     sched: Scheduler,
     read_deadline: Duration,
+    log: ObsLog,
     should_stop: impl Fn() -> bool,
 ) -> std::io::Result<()> {
     listener.set_nonblocking(true)?;
+    let metrics = Arc::new(HttpMetrics::new());
     let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
     loop {
         if should_stop() {
@@ -239,9 +322,11 @@ pub fn serve_with(
         match listener.accept() {
             Ok((mut stream, _addr)) => {
                 let sched = sched.clone();
+                let metrics = Arc::clone(&metrics);
+                let log = log.clone();
                 handlers.push(std::thread::spawn(move || {
                     let _ = stream.set_nonblocking(false);
-                    handle(&mut stream, &sched, read_deadline);
+                    handle(&mut stream, &sched, &metrics, &log, read_deadline);
                 }));
                 handlers.retain(|h| !h.is_finished());
             }

@@ -15,7 +15,12 @@
 //! * [`http`] / [`client`] — a hand-rolled HTTP/1.1 server for the
 //!   `noc-serviced` binary, and the matching client used by the CLI
 //!   and the tests. `GET /jobs/:id/result` streams partial results
-//!   (202 + deliveries-so-far) while a job is still running.
+//!   (202 + deliveries-so-far) while a job is still running, and
+//!   `GET /jobs/:id/progress` serves the live per-router heatmap and
+//!   load-imbalance series from the job's last durable checkpoint;
+//! * [`obs`] — structured JSONL logs with request/job correlation
+//!   ids, per-endpoint HTTP metrics behind `GET /metrics`, and the
+//!   Prometheus text-format validator the tests pin `/metrics` with.
 //!
 //! The whole crate rides on one invariant, pinned by the
 //! resume-determinism tests in `noc-sim`: a campaign resumed from a
@@ -32,10 +37,12 @@
 pub mod client;
 mod fsio;
 pub mod http;
+pub mod obs;
 pub mod scheduler;
 pub mod spec;
 pub mod stream;
 
+pub use obs::{validate_prometheus_text, HttpMetrics, ObsLog};
 pub use scheduler::{JobPhase, Scheduler, ServiceConfig, SubmitError};
 pub use spec::CampaignSpec;
 pub use stream::JsonlStream;

@@ -20,6 +20,7 @@
 //! of work and never changes a result.
 
 use crate::fsio::write_atomic;
+use crate::obs::ObsLog;
 use crate::spec::CampaignSpec;
 use crate::stream::JsonlStream;
 use noc_sim::SimOutcome;
@@ -112,6 +113,12 @@ struct JobRecord {
     cycles_done: u64,
     /// When the last checkpoint hit the spool.
     checkpointed: Option<Instant>,
+    /// When a worker picked the job up (cleared on interruption).
+    started: Option<Instant>,
+    /// `cycles_done` at pickup (the resume point), so the cycles/sec
+    /// gauge measures this run's progress, not the checkpoint's head
+    /// start.
+    cycles_at_start: u64,
 }
 
 struct SchedState {
@@ -135,6 +142,9 @@ struct SchedInner {
     completed: AtomicU64,
     failed: AtomicU64,
     rejected: AtomicU64,
+    checkpoint_writes: AtomicU64,
+    checkpoint_write_nanos: AtomicU64,
+    log: ObsLog,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -167,8 +177,18 @@ fn retry_after_hint(
 
 impl Scheduler {
     /// Create the spool (if missing), recover any interrupted jobs and
-    /// start the worker threads.
+    /// start the worker threads. Logging is off; the daemon uses
+    /// [`Scheduler::start_with_log`].
     pub fn start(cfg: ServiceConfig) -> std::io::Result<Scheduler> {
+        Scheduler::start_with_log(cfg, ObsLog::disabled())
+    }
+
+    /// [`Scheduler::start`] with a structured JSONL event log: job
+    /// lifecycle events (`job_submitted`, `job_started`,
+    /// `job_checkpoint`, `job_completed`, `job_failed`,
+    /// `job_interrupted`, `job_recovered`) all carry the job id, so a
+    /// single grep reconstructs any job's history.
+    pub fn start_with_log(cfg: ServiceConfig, log: ObsLog) -> std::io::Result<Scheduler> {
         fs::create_dir_all(&cfg.spool)?;
         let workers = cfg.workers.max(1);
         let inner = Arc::new(SchedInner {
@@ -188,6 +208,9 @@ impl Scheduler {
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            checkpoint_writes: AtomicU64::new(0),
+            checkpoint_write_nanos: AtomicU64::new(0),
+            log,
             workers: Mutex::new(Vec::new()),
         });
         let sched = Scheduler { inner };
@@ -249,9 +272,15 @@ impl Scheduler {
                         0
                     },
                     checkpointed: None,
+                    started: None,
+                    cycles_at_start: 0,
                 },
             );
             if phase == JobPhase::Queued {
+                self.inner.log.event(
+                    "job_recovered",
+                    &[("job", id.as_str().into()), ("phase", "queued".into())],
+                );
                 state.queue.push_back(id);
             }
         }
@@ -287,6 +316,8 @@ impl Scheduler {
                     error: None,
                     cycles_done: 0,
                     checkpointed: None,
+                    started: None,
+                    cycles_at_start: 0,
                 },
             );
             state.queue.push_back(id.clone());
@@ -304,6 +335,13 @@ impl Scheduler {
             return Err(SubmitError::Io(e));
         }
         self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        self.inner.log.event(
+            "job_submitted",
+            &[
+                ("job", id.as_str().into()),
+                ("name", spec.name.clone().into()),
+            ],
+        );
         self.inner.work.notify_one();
         Ok(id)
     }
@@ -422,6 +460,64 @@ impl Scheduler {
         Some(JsonValue::Obj(fields))
     }
 
+    /// Live spatial-progress document for a job: the status fields
+    /// plus `heatmap` (the per-router counter grid), `epochs` (the
+    /// epoch series), `imbalance` (that series' load-imbalance values,
+    /// pre-extracted for dashboards) and `as_of_cycle`. All four come
+    /// from the last durable checkpoint while the job runs, and from
+    /// the final report once it completes; they are `null` before the
+    /// first checkpoint. `None` for an unknown id.
+    pub fn progress_json(&self, id: &str) -> Option<JsonValue> {
+        let status = self.status_json(id)?;
+        let dir = self.job_dir(id);
+        let read_doc = |name: &str| {
+            fs::read_to_string(dir.join(name))
+                .ok()
+                .and_then(|text| JsonValue::parse(&text).ok())
+        };
+        // (as_of_cycle, heatmap, epoch series), each independently
+        // nullable so a torn or legacy document degrades gracefully.
+        let (cycle, heatmap, series) = if let Some(doc) = read_doc("checkpoint.json") {
+            (
+                doc.get("cycle").cloned().unwrap_or(JsonValue::Null),
+                doc.get("progress").cloned().unwrap_or(JsonValue::Null),
+                doc.get("epochs")
+                    .and_then(|ep| ep.get("series"))
+                    .cloned()
+                    .unwrap_or(JsonValue::Null),
+            )
+        } else if let Some(doc) = read_doc("result.json") {
+            let report = doc.get("report").cloned().unwrap_or(JsonValue::Null);
+            (
+                report.get("cycles_run").cloned().unwrap_or(JsonValue::Null),
+                report.get("spatial").cloned().unwrap_or(JsonValue::Null),
+                report.get("epochs").cloned().unwrap_or(JsonValue::Null),
+            )
+        } else {
+            (JsonValue::Null, JsonValue::Null, JsonValue::Null)
+        };
+        let imbalance = series
+            .get("samples")
+            .and_then(JsonValue::as_array)
+            .map(|samples| {
+                JsonValue::Arr(
+                    samples
+                        .iter()
+                        .filter_map(|s| s.get("load_imbalance").cloned())
+                        .collect(),
+                )
+            })
+            .unwrap_or(JsonValue::Null);
+        let JsonValue::Obj(mut fields) = status else {
+            return Some(status);
+        };
+        fields.push(("as_of_cycle".into(), cycle));
+        fields.push(("heatmap".into(), heatmap));
+        fields.push(("imbalance".into(), imbalance));
+        fields.push(("epochs".into(), series));
+        Some(JsonValue::Obj(fields))
+    }
+
     /// Prometheus text-format metrics.
     pub fn metrics_text(&self) -> String {
         let uptime = self.inner.started.elapsed().as_secs_f64();
@@ -431,7 +527,7 @@ impl Scheduler {
         } else {
             0.0
         };
-        let (depth, running, checkpoint_ages) = {
+        let (depth, running, checkpoint_ages, job_rates) = {
             let state = self.inner.state.lock().unwrap();
             let ages: Vec<(String, f64)> = state
                 .jobs
@@ -442,7 +538,22 @@ impl Scheduler {
                         .map(|at| (id.clone(), at.elapsed().as_secs_f64()))
                 })
                 .collect();
-            (state.queue.len(), state.running, ages)
+            // Simulated cycles per wall-clock second since the worker
+            // picked the job up, measured from the resume point so a
+            // recovered job's checkpoint head start does not inflate it.
+            let rates: Vec<(String, f64)> = state
+                .jobs
+                .iter()
+                .filter(|(_, r)| r.phase == JobPhase::Running)
+                .filter_map(|(id, r)| {
+                    let secs = r.started?.elapsed().as_secs_f64();
+                    (secs > 0.0).then(|| {
+                        let cycles = r.cycles_done.saturating_sub(r.cycles_at_start);
+                        (id.clone(), cycles as f64 / secs)
+                    })
+                })
+                .collect();
+            (state.queue.len(), state.running, ages, rates)
         };
         let mut out = String::new();
         let mut gauge = |name: &str, help: &str, value: String| {
@@ -491,10 +602,32 @@ impl Scheduler {
                 "Submissions rejected by backpressure.",
                 &self.inner.rejected,
             ),
+            (
+                "noc_service_checkpoint_writes_total",
+                "Checkpoints durably written to the spool.",
+                &self.inner.checkpoint_writes,
+            ),
         ] {
             out.push_str(&format!(
                 "# HELP {name} {help}\n# TYPE {name} counter\n{name} {}\n",
                 counter.load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str(&format!(
+            "# HELP noc_service_checkpoint_write_seconds_total Total time spent in \
+             atomic checkpoint writes.\n\
+             # TYPE noc_service_checkpoint_write_seconds_total counter\n\
+             noc_service_checkpoint_write_seconds_total {:.6}\n",
+            self.inner.checkpoint_write_nanos.load(Ordering::Relaxed) as f64 / 1e9
+        ));
+        out.push_str(
+            "# HELP noc_service_job_cycles_per_second Simulated cycles per second \
+             for each running job, measured since its worker picked it up.\n\
+             # TYPE noc_service_job_cycles_per_second gauge\n",
+        );
+        for (id, rate) in job_rates {
+            out.push_str(&format!(
+                "noc_service_job_cycles_per_second{{job=\"{id}\"}} {rate:.3}\n"
             ));
         }
         out.push_str(
@@ -559,12 +692,17 @@ fn worker_loop(inner: &Arc<SchedInner>) {
                     state.running += 1;
                     if let Some(rec) = state.jobs.get_mut(&id) {
                         rec.phase = JobPhase::Running;
+                        rec.started = Some(Instant::now());
+                        rec.cycles_at_start = rec.cycles_done;
                     }
                     break id;
                 }
                 state = inner.work.wait(state).unwrap();
             }
         };
+        inner
+            .log
+            .event("job_started", &[("job", id.as_str().into())]);
         let started = Instant::now();
         let outcome = run_job(inner, &id);
         let elapsed = started.elapsed().as_secs_f64();
@@ -580,13 +718,33 @@ fn worker_loop(inner: &Arc<SchedInner>) {
                     rec.phase = JobPhase::Completed;
                     rec.cycles_done = rec.spec.total_cycles();
                     inner.completed.fetch_add(1, Ordering::Relaxed);
+                    inner.log.event(
+                        "job_completed",
+                        &[
+                            ("job", id.as_str().into()),
+                            ("cycles", rec.cycles_done.into()),
+                            ("secs", elapsed.into()),
+                        ],
+                    );
                 }
                 JobOutcome::Interrupted => {
                     // Back to the durable queue: the next start resumes it.
                     rec.phase = JobPhase::Queued;
+                    rec.started = None;
+                    inner.log.event(
+                        "job_interrupted",
+                        &[
+                            ("job", id.as_str().into()),
+                            ("cycles", rec.cycles_done.into()),
+                        ],
+                    );
                 }
                 JobOutcome::Failed(e) => {
                     rec.phase = JobPhase::Failed;
+                    inner.log.event(
+                        "job_failed",
+                        &[("job", id.as_str().into()), ("error", e.as_str().into())],
+                    );
                     rec.error = Some(e);
                     inner.failed.fetch_add(1, Ordering::Relaxed);
                 }
@@ -638,6 +796,9 @@ fn run_job(inner: &Arc<SchedInner>, id: &str) -> JobOutcome {
             let mut state = inner.state.lock().unwrap();
             if let Some(rec) = state.jobs.get_mut(id) {
                 rec.cycles_done = cycle;
+                // The resumed cycles were simulated by an earlier run;
+                // this run's cycles/sec gauge starts counting here.
+                rec.cycles_at_start = cycle;
             }
         }
     }
@@ -647,14 +808,28 @@ fn run_job(inner: &Arc<SchedInner>, id: &str) -> JobOutcome {
         Err(e) => return JobOutcome::Failed(fail(&dir, &format!("opening delivery stream: {e}"))),
     };
     let run = sim.run_streamed(&mut gen, &mut stream, resume.as_ref(), |doc| {
+        let write_started = Instant::now();
         let ok = write_atomic(&checkpoint_path, &doc.render()).is_ok();
+        let write_secs = write_started.elapsed().as_secs_f64();
         if ok {
+            inner.checkpoint_writes.fetch_add(1, Ordering::Relaxed);
+            inner
+                .checkpoint_write_nanos
+                .fetch_add((write_secs * 1e9) as u64, Ordering::Relaxed);
             if let Some(cycle) = doc.get("cycle").and_then(JsonValue::as_u64) {
                 let mut state = inner.state.lock().unwrap();
                 if let Some(rec) = state.jobs.get_mut(id) {
                     rec.cycles_done = cycle;
                     rec.checkpointed = Some(Instant::now());
                 }
+                inner.log.event(
+                    "job_checkpoint",
+                    &[
+                        ("job", id.into()),
+                        ("cycle", cycle.into()),
+                        ("write_secs", write_secs.into()),
+                    ],
+                );
             }
         }
         // A checkpoint that failed to persist must not become the one

@@ -3,7 +3,7 @@
 //! per-connection read deadline expires, while concurrent well-formed
 //! requests keep being served.
 
-use noc_service::{http, Scheduler, ServiceConfig};
+use noc_service::{http, ObsLog, Scheduler, ServiceConfig};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -24,7 +24,10 @@ fn stalled_connection_is_dropped_while_live_requests_succeed() {
         let stop = Arc::clone(&stop);
         let deadline = Duration::from_millis(400);
         std::thread::spawn(move || {
-            http::serve_with(listener, sched, deadline, || stop.load(Ordering::SeqCst)).unwrap()
+            http::serve_with(listener, sched, deadline, ObsLog::disabled(), || {
+                stop.load(Ordering::SeqCst)
+            })
+            .unwrap()
         })
     };
 

@@ -63,7 +63,7 @@ pub mod stats;
 
 pub use batch::run_batch;
 pub use delivery::{DeliveryStream, MemoryStream};
-pub use network::Network;
+pub use network::{IntervalProfile, Network};
 pub use ni::NetworkInterface;
 pub use pool::WorkerPool;
 pub use simulator::{PacketSource, SimOutcome, Simulator};

@@ -41,9 +41,10 @@ use crate::ni::NetworkInterface;
 use crate::pool::WorkerPool;
 use crate::stats::RouterEventTotals;
 use noc_faults::FaultPlan;
+use noc_telemetry::json::{obj, JsonValue};
 use noc_telemetry::{
-    Event, EventKind, FlightRecord, NullObserver, Observer, RouterDump, VcDump, WaitEdge,
-    WaitForGraph, WaitNode, WaitReason,
+    Event, EventKind, FlightRecord, NullObserver, Observer, RouterDump, SpatialGrid, VcDump,
+    WaitEdge, WaitForGraph, WaitNode, WaitReason,
 };
 use noc_topology::Topology;
 use noc_types::{
@@ -110,6 +111,10 @@ struct ShardScratch {
     routers_stepped: u64,
     routers_skipped: u64,
     any_departure: bool,
+    /// Wall-clock nanoseconds this shard spent in phase B this cycle.
+    /// Profiling only — never feeds back into simulation state, so
+    /// determinism is untouched.
+    step_nanos: u64,
 }
 
 impl ShardScratch {
@@ -130,6 +135,85 @@ impl ShardScratch {
     }
 }
 
+/// Rebalance intervals retained by the stepper profile ring.
+const PROFILE_CAP: usize = 64;
+
+/// Wall-clock profile of one rebalance interval of the parallel
+/// stepper: how long each shard's phase B took, how many router steps
+/// it executed, and how imbalanced the row-weight partition was before
+/// and after the interval-closing re-cut.
+///
+/// The timings are wall clock and therefore *nondeterministic*; they
+/// exist for bench harnesses and the service progress endpoint, and
+/// deliberately never enter [`NetworkReport`]s or checkpoints.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct IntervalProfile {
+    /// First cycle of the interval (inclusive).
+    pub start_cycle: Cycle,
+    /// Last cycle of the interval (exclusive; the re-cut cycle).
+    pub end_cycle: Cycle,
+    /// Per-shard wall-clock nanoseconds spent in phase B.
+    pub shard_nanos: Vec<u64>,
+    /// Per-shard router steps executed.
+    pub shard_steps: Vec<u64>,
+    /// Row-weight imbalance (max shard weight / mean shard weight)
+    /// under the cuts the interval ran with, measured at its close.
+    pub imbalance_before: f64,
+    /// The same measure under the fresh cuts — how much the re-cut
+    /// helped (rebalance effectiveness = before / after).
+    pub imbalance_after: f64,
+}
+
+impl IntervalProfile {
+    /// Wall-clock load imbalance: slowest shard's phase-B time divided
+    /// by the mean (1.0 = perfectly balanced).
+    pub fn time_imbalance(&self) -> f64 {
+        let max = self.shard_nanos.iter().copied().max().unwrap_or(0);
+        let total: u64 = self.shard_nanos.iter().sum();
+        if total == 0 {
+            1.0
+        } else {
+            max as f64 * self.shard_nanos.len() as f64 / total as f64
+        }
+    }
+
+    /// Canonical JSON rendering (bench harness output).
+    pub fn to_json(&self) -> JsonValue {
+        obj([
+            ("start_cycle", self.start_cycle.into()),
+            ("end_cycle", self.end_cycle.into()),
+            (
+                "shard_nanos",
+                JsonValue::Arr(self.shard_nanos.iter().map(|&n| n.into()).collect()),
+            ),
+            (
+                "shard_steps",
+                JsonValue::Arr(self.shard_steps.iter().map(|&n| n.into()).collect()),
+            ),
+            ("imbalance_before", self.imbalance_before.into()),
+            ("imbalance_after", self.imbalance_after.into()),
+            ("time_imbalance", self.time_imbalance().into()),
+        ])
+    }
+}
+
+/// Row-weight imbalance of a shard partition: max shard weight over
+/// mean shard weight (1.0 = perfectly balanced).
+fn weight_imbalance(bounds: &[(usize, usize)], row_weight: &[usize], w: usize) -> f64 {
+    let mut max = 0usize;
+    let mut total = 0usize;
+    for &(lo, hi) in bounds {
+        let s: usize = row_weight[lo / w..hi / w].iter().sum();
+        max = max.max(s);
+        total += s;
+    }
+    if total == 0 {
+        1.0
+    } else {
+        max as f64 * bounds.len() as f64 / total as f64
+    }
+}
+
 /// Everything the parallel stepper owns: the worker pool plus the
 /// shard partition (contiguous row bands over router ids).
 struct ParState {
@@ -143,6 +227,19 @@ struct ParState {
     row_weight: Vec<usize>,
     /// Grid geometry (shards are whole row bands).
     mesh: Mesh,
+    /// Per-shard phase-B nanoseconds accumulated this interval.
+    interval_nanos: Vec<u64>,
+    /// Per-shard router steps accumulated this interval.
+    interval_steps: Vec<u64>,
+    /// First cycle of the open interval.
+    interval_start: Cycle,
+    /// Completed interval profiles, a fixed-capacity ring (steady-state
+    /// profiling allocates nothing; old intervals are overwritten).
+    profile: Vec<IntervalProfile>,
+    /// Next ring slot to overwrite.
+    profile_head: usize,
+    /// Completed intervals recorded (saturates at [`PROFILE_CAP`]).
+    profile_len: usize,
 }
 
 impl ParState {
@@ -178,6 +275,20 @@ impl ParState {
                 .collect(),
             row_weight: vec![0; h],
             mesh,
+            interval_nanos: vec![0; nshards],
+            interval_steps: vec![0; nshards],
+            interval_start: 0,
+            // Fully preallocated (per-shard vectors included) so
+            // recording an interval in steady state allocates nothing.
+            profile: (0..PROFILE_CAP)
+                .map(|_| IntervalProfile {
+                    shard_nanos: vec![0; nshards],
+                    shard_steps: vec![0; nshards],
+                    ..IntervalProfile::default()
+                })
+                .collect(),
+            profile_head: 0,
+            profile_len: 0,
         }
     }
 
@@ -197,7 +308,7 @@ impl ParState {
     /// at every thread count — and the cuts are a pure function of the
     /// weights. No wall-clock timing, no load feedback, so a resumed
     /// run repartitions exactly like the original did.
-    fn rebalance(&mut self, routers: &[Router]) {
+    fn rebalance(&mut self, routers: &[Router], cycle: Cycle) {
         let w = self.mesh.w as usize;
         let h = self.mesh.h as usize;
         let nshards = self.bounds.len();
@@ -207,6 +318,26 @@ impl ParState {
                 .filter(|r| !r.is_idle())
                 .count();
             *weight = 1 + active;
+        }
+        // Close the profiling interval under the cuts it ran with
+        // (wall-clock bookkeeping only — the partition below is a pure
+        // function of the weights, never of the timings).
+        let imbalance_before = weight_imbalance(&self.bounds, &self.row_weight, w);
+        let closed_interval = cycle > self.interval_start;
+        if closed_interval {
+            let rec = &mut self.profile[self.profile_head];
+            rec.start_cycle = self.interval_start;
+            rec.end_cycle = cycle;
+            rec.shard_nanos.copy_from_slice(&self.interval_nanos);
+            rec.shard_steps.copy_from_slice(&self.interval_steps);
+            rec.imbalance_before = imbalance_before;
+            // `imbalance_after` is filled in below, once the new cuts
+            // exist.
+            self.profile_head = (self.profile_head + 1) % PROFILE_CAP;
+            self.profile_len = (self.profile_len + 1).min(PROFILE_CAP);
+            self.interval_nanos.fill(0);
+            self.interval_steps.fill(0);
+            self.interval_start = cycle;
         }
         let total: usize = self.row_weight.iter().sum();
         let mut row = 0;
@@ -230,6 +361,20 @@ impl ParState {
                 *slot = s;
             }
         }
+        if closed_interval {
+            let last = (self.profile_head + PROFILE_CAP - 1) % PROFILE_CAP;
+            self.profile[last].imbalance_after =
+                weight_imbalance(&self.bounds, &self.row_weight, w);
+        }
+    }
+
+    /// Completed interval profiles, oldest first (at most
+    /// [`PROFILE_CAP`], older intervals overwritten).
+    fn profiles(&self) -> Vec<IntervalProfile> {
+        let start = (self.profile_head + PROFILE_CAP - self.profile_len) % PROFILE_CAP;
+        (0..self.profile_len)
+            .map(|i| self.profile[(start + i) % PROFILE_CAP].clone())
+            .collect()
     }
 }
 
@@ -358,6 +503,7 @@ impl<O: Observer> ShardTasks<'_, O> {
     unsafe fn run(&self, i: usize) {
         let (lo, hi) = self.bounds[i];
         let len = hi - lo;
+        let started = std::time::Instant::now();
         ShardCtx {
             base: lo,
             wiring: &self.wiring[lo..hi],
@@ -369,6 +515,7 @@ impl<O: Observer> ShardTasks<'_, O> {
             obs: &mut *self.obs.add(i),
         }
         .run(self.cycle);
+        (*self.shards.add(i)).step_nanos += started.elapsed().as_nanos() as u64;
     }
 }
 
@@ -1008,6 +1155,71 @@ impl Network {
         out
     }
 
+    /// The spatial metrics plane: every router's event counters laid
+    /// out on the coordinate grid. Each counter is owned by the one
+    /// router (and thus the one shard) that steps it and the grid reads
+    /// them in row-major id order, so the result is bit-identical for
+    /// every thread count (ARCHITECTURE.md §3).
+    pub fn spatial_grid(&self) -> SpatialGrid {
+        let mut grid = SpatialGrid::new(self.mesh.w as usize, self.mesh.h as usize);
+        for (r, cell) in self.routers.iter().zip(grid.cells.iter_mut()) {
+            let s = r.stats();
+            *cell = noc_telemetry::CellStats {
+                flits_routed: s.flits_out,
+                occ_integral: s.occ_integral,
+                va_grants: s.va_grants,
+                va_stalls: s.va_stalls,
+                sa_grants: s.sa_grants,
+                sa_stalls: s.sa_stalls,
+                sa_bypass_grants: s.sa_bypass_grants,
+                va_borrows: s.va_borrows,
+                vc_transfers: s.vc_transfers,
+            };
+        }
+        grid
+    }
+
+    /// Routers that are not provably idle right now (cycle-boundary
+    /// state, so deterministic across thread counts).
+    pub fn active_routers(&self) -> u64 {
+        self.routers.iter().filter(|r| !r.is_idle()).count() as u64
+    }
+
+    /// Spatial load-imbalance ratio: max over grid rows of the
+    /// rebalancer's row weight (`1 +` non-idle routers in the row)
+    /// divided by the mean row weight. `1.0` = perfectly balanced.
+    /// A pure function of cycle-boundary router state — deterministic
+    /// across thread counts, unlike the wall-clock
+    /// [`Network::shard_profile`].
+    pub fn load_imbalance(&self) -> f64 {
+        let w = self.mesh.w as usize;
+        let h = self.mesh.h as usize;
+        let mut max = 0usize;
+        let mut total = 0usize;
+        for row in 0..h {
+            let weight = 1 + self.routers[row * w..(row + 1) * w]
+                .iter()
+                .filter(|r| !r.is_idle())
+                .count();
+            max = max.max(weight);
+            total += weight;
+        }
+        if total == 0 {
+            1.0
+        } else {
+            max as f64 * h as f64 / total as f64
+        }
+    }
+
+    /// Completed rebalance-interval profiles of the parallel stepper,
+    /// oldest first: per-shard phase-B wall-clock time, router steps
+    /// and the partition imbalance before/after each re-cut. Empty when
+    /// stepping serially, when rebalancing is off, or before the first
+    /// re-cut. Wall-clock data — excluded from reports and checkpoints.
+    pub fn shard_profile(&self) -> Vec<IntervalProfile> {
+        self.par.as_ref().map_or_else(Vec::new, ParState::profiles)
+    }
+
     /// Number of stepper shards (1 when serial). This is how many
     /// observers [`Network::step_observed`] needs; it only changes when
     /// [`Network::set_threads`] does.
@@ -1161,7 +1373,7 @@ impl Network {
             self.par
                 .as_mut()
                 .expect("parallel step requires ParState")
-                .rebalance(&self.routers);
+                .rebalance(&self.routers, cycle);
         }
         let mut arrivals = std::mem::take(&mut self.arrivals_scratch);
         std::mem::swap(&mut arrivals, &mut self.wires[0]);
@@ -1190,6 +1402,8 @@ impl Network {
             bounds,
             shard_of,
             shards,
+            interval_nanos,
+            interval_steps,
             ..
         } = par.as_mut().expect("parallel step requires ParState");
 
@@ -1227,13 +1441,16 @@ impl Network {
 
         // Phase C: merge in fixed shard order (= router-id order).
         let slot = cfg.link_latency as usize - 1;
-        for scratch in shards.iter_mut() {
+        for (s, scratch) in shards.iter_mut().enumerate() {
             wires[slot].append(&mut scratch.wires_out);
             deliveries.append(&mut scratch.deliveries);
             *flits_dropped += std::mem::take(&mut scratch.flits_dropped);
             *flits_edge_dropped += std::mem::take(&mut scratch.flits_edge_dropped);
             *flits_injected += std::mem::take(&mut scratch.flits_injected);
-            *routers_stepped += std::mem::take(&mut scratch.routers_stepped);
+            let stepped = std::mem::take(&mut scratch.routers_stepped);
+            *routers_stepped += stepped;
+            interval_steps[s] += stepped;
+            interval_nanos[s] += std::mem::take(&mut scratch.step_nanos);
             *routers_skipped += std::mem::take(&mut scratch.routers_skipped);
             if std::mem::take(&mut scratch.any_departure) {
                 *last_activity = cycle;
@@ -1377,7 +1594,6 @@ impl Network {
 // Snapshot / restore
 // ---------------------------------------------------------------------
 
-use noc_telemetry::json::{obj, JsonValue};
 use noc_telemetry::snapshot::{
     arr_field, decode_field, field, hex, str_field, u64_field, FromSnapshot, Restore, Snapshot,
     SnapshotError, SNAPSHOT_SCHEMA_VERSION,

@@ -117,6 +117,8 @@ impl EpochState {
             vc_occupancy: net.buffer_occupancy(),
             routers_stepped: net.routers_stepped() - self.routers_stepped,
             routers_skipped: net.routers_skipped() - self.routers_skipped,
+            active_routers: net.active_routers(),
+            load_imbalance: net.load_imbalance(),
         };
         self.series.push(sample);
         self.epoch_start = cycle + 1;
@@ -221,6 +223,13 @@ impl<S: PacketSource, F: FnMut(&JsonValue) -> bool> CoreSource for Checkpointing
                 },
             ),
             ("source", self.source.snapshot()),
+            // The live spatial grid, so observers (the service's
+            // `/jobs/:id/progress`) can read a heatmap straight off the
+            // last durable checkpoint. Deterministic (router-owned
+            // counters), so resumed runs reproduce it exactly; the
+            // restore path ignores it — the grid is re-derived from the
+            // restored routers.
+            ("progress", net.spatial_grid().to_json()),
             ("network", net.snapshot()),
         ]);
         (self.sink)(&doc)
@@ -566,6 +575,7 @@ impl Simulator {
         } else {
             report.routers_skipped as f64 / considered as f64
         };
+        report.spatial = Some(net.spatial_grid());
         report.epochs = epochs.map(|e| e.series);
         report.deadlock = deadlock;
         (report, outcome)

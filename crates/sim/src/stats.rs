@@ -1,7 +1,7 @@
 //! Simulation statistics and reporting.
 
 use noc_telemetry::json::{obj, JsonValue};
-use noc_telemetry::{FlightRecord, TimeSeries};
+use noc_telemetry::{FlightRecord, SpatialGrid, TimeSeries};
 use noc_types::{Cycle, DeliveredPacket};
 use serde::Serialize;
 
@@ -163,6 +163,9 @@ pub struct NetworkReport {
     /// `routers_skipped / (routers_stepped + routers_skipped)`, `0.0`
     /// when no router was ever considered.
     pub worklist_skip_rate: f64,
+    /// Per-router counter grid: congestion and Shield-mechanism
+    /// heatmaps keyed by coordinate (the spatial metrics plane).
+    pub spatial: Option<SpatialGrid>,
     /// Per-epoch time series, when the simulator was configured with
     /// [`crate::Simulator::with_sample_every`].
     pub epochs: Option<TimeSeries>,
@@ -262,6 +265,7 @@ impl NetworkReport {
             routers_stepped: 0,
             routers_skipped: 0,
             worklist_skip_rate: 0.0,
+            spatial: None,
             epochs: None,
             deadlock: None,
         }
@@ -298,6 +302,13 @@ impl NetworkReport {
             ("routers_stepped", self.routers_stepped.into()),
             ("routers_skipped", self.routers_skipped.into()),
             ("worklist_skip_rate", self.worklist_skip_rate.into()),
+            (
+                "spatial",
+                match &self.spatial {
+                    Some(g) => g.to_json(),
+                    None => JsonValue::Null,
+                },
+            ),
             (
                 "epochs",
                 match &self.epochs {

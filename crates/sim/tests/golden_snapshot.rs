@@ -1,6 +1,6 @@
 //! Golden-snapshot pin and snapshot round-trip properties.
 //!
-//! The committed artefact `tests/golden/checkpoint_v2.json` is a full
+//! The committed artefact `tests/golden/checkpoint_v3.json` is a full
 //! checkpoint document (schema_version, cycle, delivery_offset,
 //! epochs, source, network) captured mid-campaign from a fixed
 //! configuration. The pin
@@ -26,7 +26,7 @@ use shield_router::RouterKind;
 
 const GOLDEN_PATH: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
-    "/tests/golden/checkpoint_v2.json"
+    "/tests/golden/checkpoint_v3.json"
 );
 
 /// The fixed campaign behind the committed artefact. Small enough to
@@ -86,7 +86,14 @@ fn golden_checkpoint_carries_the_schema_version() {
         Some(SNAPSHOT_SCHEMA_VERSION),
         "artefact schema_version must match the code"
     );
-    for key in ["cycle", "delivery_offset", "epochs", "source", "network"] {
+    for key in [
+        "cycle",
+        "delivery_offset",
+        "epochs",
+        "progress",
+        "source",
+        "network",
+    ] {
         assert!(doc.get(key).is_some(), "golden checkpoint must carry {key}");
     }
     let net = doc.get("network").unwrap();

@@ -154,5 +154,23 @@ fn steady_state_network_step_allocates_nothing() {
             0,
             "{label}: steady-state network step performed heap allocations (sizes: {sizes:?})"
         );
+
+        // The zero-allocation window above must have exercised the
+        // spatial counter plane (plain u64 bumps on the routers) and,
+        // on the parallel legs, the shard step-time profiling ring
+        // (preallocated records, `copy_from_slice` in steady state) —
+        // prove both actually ran rather than vacuously not allocating.
+        let grid = net.spatial_grid();
+        assert!(
+            grid.metric("occ_integral").unwrap().iter().sum::<u64>() > 0,
+            "{label}: occupancy-integral counters must tick under load"
+        );
+        if rebalance > 0 {
+            assert!(
+                !net.shard_profile().is_empty(),
+                "{label}: the measured window crosses rebalances, so \
+                 profile intervals must have been recorded"
+            );
+        }
     }
 }

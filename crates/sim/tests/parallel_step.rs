@@ -411,6 +411,144 @@ fn parallel_step_matches_serial_on_torus_and_cut_mesh() {
     }
 }
 
+/// The spatial metrics plane rides the same determinism guarantee as
+/// the rest of the stepper: the exported per-router counter grid (the
+/// heatmap document) is bit-identical — byte-for-byte in its JSON
+/// rendering — between the serial stepper and every thread count, on
+/// meshes, tori and cut meshes, healthy and under fault campaigns.
+/// Counters are router-owned and merged in fixed shard order, so this
+/// holds by construction; the test pins it against regressions.
+#[test]
+fn spatial_grid_is_bit_identical_across_thread_counts() {
+    let cfg = RouterConfig::paper();
+    let inj = InjectionConfig::accelerated_accumulating(300, 600);
+    let cases: Vec<(&str, TopologySpec, FaultPlan)> = vec![
+        (
+            "mesh/healthy",
+            TopologySpec::Mesh { w: 6, h: 6 },
+            FaultPlan::none(),
+        ),
+        (
+            "mesh/permanent",
+            TopologySpec::Mesh { w: 6, h: 6 },
+            FaultPlan::uniform_random(&cfg, 36, &inj, 0x0B5),
+        ),
+        (
+            "torus/healthy",
+            TopologySpec::Torus { w: 6, h: 6 },
+            FaultPlan::none(),
+        ),
+        (
+            "cutmesh/transient",
+            TopologySpec::CutMesh {
+                w: 6,
+                h: 6,
+                cuts: 5,
+                seed: 0xC11,
+            },
+            FaultPlan::transient_storm(&cfg, 36, 1.0 / 300.0, 40, 600, 0x77A),
+        ),
+    ];
+    for (name, spec, plan) in cases {
+        let grid_bytes = |threads: usize| {
+            let mut net_cfg = NetworkConfig::paper();
+            net_cfg.mesh_k = 6;
+            net_cfg.topology = spec;
+            let mut net = Network::with_faults(net_cfg, RouterKind::Protected, &plan);
+            net.set_threads(threads);
+            net.set_rebalance_every(64);
+            let mut src = Source {
+                rng: StdRng::seed_from_u64(0x9EA7),
+                k: 6,
+                rate: 0.03,
+                next: 0,
+            };
+            for cycle in 0..800u64 {
+                if cycle < 550 {
+                    net.offer_packets(src.tick(cycle));
+                }
+                net.step(cycle);
+            }
+            net.spatial_grid().to_json().render()
+        };
+        let serial = grid_bytes(1);
+        // A campaign this busy must actually light the heatmap up,
+        // stalls included — otherwise "identical" is vacuous.
+        let grid = noc_telemetry::SpatialGrid::from_json(
+            &noc_telemetry::json::JsonValue::parse(&serial).unwrap(),
+        )
+        .unwrap();
+        for metric in ["flits_routed", "occ_integral", "sa_stalls"] {
+            assert!(
+                grid.metric(metric).unwrap().iter().sum::<u64>() > 0,
+                "{name}: expected nonzero {metric} totals"
+            );
+        }
+        for threads in [2usize, 4, 8] {
+            assert_eq!(
+                serial,
+                grid_bytes(threads),
+                "spatial grid divergence: case={name} threads={threads}"
+            );
+        }
+    }
+}
+
+/// Shard step-time profiling is observable through
+/// [`Network::shard_profile`] when load-aware rebalancing is on: each
+/// closed interval carries per-shard wall-clock and step counts, the
+/// recomputed weight imbalance before/after the re-cut, and interval
+/// bounds that tile the run.
+#[test]
+fn shard_profile_records_rebalance_intervals() {
+    let mut net_cfg = NetworkConfig::paper();
+    net_cfg.mesh_k = 6;
+    let mut net = Network::new(net_cfg, RouterKind::Protected);
+    net.set_threads(4);
+    net.set_rebalance_every(100);
+    let mut src = Source {
+        rng: StdRng::seed_from_u64(0x50F1),
+        k: 6,
+        rate: 0.05,
+        next: 0,
+    };
+    for cycle in 0..900u64 {
+        if cycle < 700 {
+            net.offer_packets(src.tick(cycle));
+        }
+        net.step(cycle);
+    }
+    let profile = net.shard_profile();
+    assert!(
+        profile.len() >= 3,
+        "900 cycles at cadence 100 must close several intervals, got {}",
+        profile.len()
+    );
+    let shards = net.threads();
+    for (i, rec) in profile.iter().enumerate() {
+        assert_eq!(rec.shard_nanos.len(), shards, "interval {i}");
+        assert_eq!(rec.shard_steps.len(), shards, "interval {i}");
+        assert!(rec.end_cycle > rec.start_cycle, "interval {i} is non-empty");
+        assert!(
+            rec.shard_steps.iter().sum::<u64>() > 0,
+            "interval {i}: a loaded mesh steps routers"
+        );
+        assert!(rec.time_imbalance() >= 1.0, "interval {i}");
+        assert!(rec.imbalance_before >= 1.0, "interval {i}");
+        assert!(rec.imbalance_after >= 1.0, "interval {i}");
+        if let Some(next) = profile.get(i + 1) {
+            assert_eq!(rec.end_cycle, next.start_cycle, "intervals must tile");
+        }
+    }
+    // Serial runs (and parallel runs without rebalancing) record none.
+    let mut serial = Network::new(NetworkConfig::paper(), RouterKind::Protected);
+    serial.set_threads(1);
+    for cycle in 0..300u64 {
+        serial.step(cycle);
+    }
+    assert!(serial.shard_profile().is_empty());
+}
+
 /// Thread counts beyond the row count clamp instead of misbehaving, and
 /// `set_threads(1)` returns to the serial path.
 #[test]

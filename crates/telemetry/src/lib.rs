@@ -46,6 +46,7 @@ pub mod observer;
 pub mod ring;
 pub mod sampler;
 pub mod snapshot;
+pub mod spatial;
 
 pub use event::{Event, EventCounts, EventKind};
 pub use export::{chrome_trace, jsonl};
@@ -55,3 +56,4 @@ pub use observer::{NullObserver, Observer};
 pub use ring::{EventRing, ShardedTracer};
 pub use sampler::{EpochSample, TimeSeries};
 pub use snapshot::{FromSnapshot, Restore, Snapshot, SnapshotError, SNAPSHOT_SCHEMA_VERSION};
+pub use spatial::{CellStats, SpatialGrid};

@@ -38,6 +38,13 @@ pub struct EpochSample {
     pub routers_stepped: u64,
     /// Router steps skipped by the worklist during the epoch.
     pub routers_skipped: u64,
+    /// Non-idle routers at the end of the epoch.
+    pub active_routers: u64,
+    /// Load-imbalance ratio at the end of the epoch: max over mesh rows
+    /// of the rebalancer's row weight, divided by the mean row weight
+    /// (1.0 = perfectly balanced; computed from cycle-boundary state,
+    /// so it is deterministic across thread counts).
+    pub load_imbalance: f64,
 }
 
 impl EpochSample {
@@ -75,6 +82,8 @@ impl EpochSample {
             ("vc_occupancy", self.vc_occupancy.into()),
             ("routers_stepped", self.routers_stepped.into()),
             ("routers_skipped", self.routers_skipped.into()),
+            ("active_routers", self.active_routers.into()),
+            ("load_imbalance", self.load_imbalance.into()),
             ("skip_rate", self.skip_rate().into()),
             ("throughput", self.throughput().into()),
         ])
@@ -97,6 +106,8 @@ impl EpochSample {
             vc_occupancy: f64_field(v, "vc_occupancy")?,
             routers_stepped: u64_field(v, "routers_stepped")?,
             routers_skipped: u64_field(v, "routers_skipped")?,
+            active_routers: u64_field(v, "active_routers")?,
+            load_imbalance: f64_field(v, "load_imbalance")?,
         })
     }
 }
@@ -129,11 +140,11 @@ impl TimeSeries {
         let mut out = String::from(
             "epoch,start_cycle,end_cycle,delivered_packets,delivered_flits,injected_flits,\
              mean_latency,max_latency,buffered_flits,vc_occupancy,routers_stepped,\
-             routers_skipped,skip_rate,throughput\n",
+             routers_skipped,active_routers,load_imbalance,skip_rate,throughput\n",
         );
         for s in &self.samples {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{:.4},{},{},{:.6},{},{},{:.6},{:.6}\n",
+                "{},{},{},{},{},{},{:.4},{},{},{:.6},{},{},{},{:.6},{:.6},{:.6}\n",
                 s.epoch,
                 s.start_cycle,
                 s.end_cycle,
@@ -146,6 +157,8 @@ impl TimeSeries {
                 s.vc_occupancy,
                 s.routers_stepped,
                 s.routers_skipped,
+                s.active_routers,
+                s.load_imbalance,
                 s.skip_rate(),
                 s.throughput(),
             ));
@@ -235,6 +248,8 @@ mod tests {
             vc_occupancy: 0.015625,
             routers_stepped: 1000,
             routers_skipped: 600,
+            active_routers: 7,
+            load_imbalance: 1.75,
         });
         let doc = JsonValue::parse(&ts.to_json().render()).unwrap();
         let back = TimeSeries::from_json(&doc).unwrap();

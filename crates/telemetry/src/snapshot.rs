@@ -51,7 +51,12 @@ use noc_types::{
 /// * **2** — the delivery log moved out of snapshots into the
 ///   append-only delivery stream; checkpoint envelopes carry a
 ///   `delivery_offset` instead, making their size O(live state).
-pub const SNAPSHOT_SCHEMA_VERSION: u64 = 2;
+/// * **3** — the spatial metrics plane: router snapshots carry the
+///   `occ_integral` / `va_stalls` / `sa_stalls` counters, epoch samples
+///   carry `active_routers` / `load_imbalance`, and checkpoint
+///   envelopes gain a `progress` section (the per-router counter grid,
+///   informational — restore re-derives it from the routers).
+pub const SNAPSHOT_SCHEMA_VERSION: u64 = 3;
 
 /// Error produced when a snapshot document cannot be decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,0 +1,332 @@
+//! The spatial metrics plane: a per-router counter grid.
+//!
+//! Every router already owns plain-`u64` event counters that only the
+//! shard stepping it mutates, so the grid inherits the parallel
+//! stepper's determinism for free: shard-local accumulation, merged in
+//! fixed shard order, makes serial and N-thread totals bit-identical
+//! (ARCHITECTURE.md §3). This module owns the *data model* — the grid
+//! itself plus its JSON / CSV / ASCII renderings — so the simulator,
+//! the service's `/jobs/:id/progress` endpoint and `noc-cli heatmap`
+//! all share one schema.
+
+use crate::json::{obj, JsonValue};
+use crate::snapshot::{u64_field, SnapshotError};
+use noc_types::Coord;
+
+/// Per-router counter totals for one cell of the grid.
+///
+/// The first six fields localise congestion (where flits flow, where
+/// buffers fill, where allocation stalls); the last three localise the
+/// paper's Shield mechanisms (SA1 bypass grants, VA arbiter lending,
+/// default-winner transfer).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CellStats {
+    /// Flits sent through the router's crossbar.
+    pub flits_routed: u64,
+    /// Buffer-occupancy integral (flit-cycles buffered).
+    pub occ_integral: u64,
+    /// Successful VC allocations.
+    pub va_grants: u64,
+    /// VC-allocation requests that went ungranted.
+    pub va_stalls: u64,
+    /// Switch-allocation grants.
+    pub sa_grants: u64,
+    /// Switch-allocation requests that went ungranted.
+    pub sa_stalls: u64,
+    /// SA grants issued through the bypass path (default winner).
+    pub sa_bypass_grants: u64,
+    /// VA allocations performed through a borrowed arbiter set.
+    pub va_borrows: u64,
+    /// Default-winner re-pointing transfers for the bypass path.
+    pub vc_transfers: u64,
+}
+
+/// Metric names accepted by [`SpatialGrid::metric`], in the column
+/// order of [`SpatialGrid::to_csv`].
+pub const METRIC_NAMES: [&str; 9] = [
+    "flits_routed",
+    "occ_integral",
+    "va_grants",
+    "va_stalls",
+    "sa_grants",
+    "sa_stalls",
+    "sa_bypass_grants",
+    "va_borrows",
+    "vc_transfers",
+];
+
+impl CellStats {
+    /// The named counter, or `None` for an unknown name (the valid
+    /// names are [`METRIC_NAMES`]).
+    pub fn metric(&self, name: &str) -> Option<u64> {
+        Some(match name {
+            "flits_routed" => self.flits_routed,
+            "occ_integral" => self.occ_integral,
+            "va_grants" => self.va_grants,
+            "va_stalls" => self.va_stalls,
+            "sa_grants" => self.sa_grants,
+            "sa_stalls" => self.sa_stalls,
+            "sa_bypass_grants" => self.sa_bypass_grants,
+            "va_borrows" => self.va_borrows,
+            "vc_transfers" => self.vc_transfers,
+            _ => return None,
+        })
+    }
+
+    fn json(&self) -> JsonValue {
+        obj([
+            ("flits_routed", self.flits_routed.into()),
+            ("occ_integral", self.occ_integral.into()),
+            ("va_grants", self.va_grants.into()),
+            ("va_stalls", self.va_stalls.into()),
+            ("sa_grants", self.sa_grants.into()),
+            ("sa_stalls", self.sa_stalls.into()),
+            ("sa_bypass_grants", self.sa_bypass_grants.into()),
+            ("va_borrows", self.va_borrows.into()),
+            ("vc_transfers", self.vc_transfers.into()),
+        ])
+    }
+
+    fn from_json(v: &JsonValue) -> Result<Self, SnapshotError> {
+        Ok(CellStats {
+            flits_routed: u64_field(v, "flits_routed")?,
+            occ_integral: u64_field(v, "occ_integral")?,
+            va_grants: u64_field(v, "va_grants")?,
+            va_stalls: u64_field(v, "va_stalls")?,
+            sa_grants: u64_field(v, "sa_grants")?,
+            sa_stalls: u64_field(v, "sa_stalls")?,
+            sa_bypass_grants: u64_field(v, "sa_bypass_grants")?,
+            va_borrows: u64_field(v, "va_borrows")?,
+            vc_transfers: u64_field(v, "vc_transfers")?,
+        })
+    }
+}
+
+/// A `width × height` grid of [`CellStats`], keyed by [`Coord`] and
+/// stored row-major (`y * width + x`).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct SpatialGrid {
+    /// Routers per row.
+    pub width: usize,
+    /// Rows.
+    pub height: usize,
+    /// Row-major cells (`y * width + x`).
+    pub cells: Vec<CellStats>,
+}
+
+/// Shade ramp for the normalised ASCII heatmap (same palette as the
+/// network utilisation heatmap).
+const RAMP: [char; 6] = ['.', ':', '-', '=', '+', '#'];
+
+impl SpatialGrid {
+    /// An all-zero grid of the given dimensions.
+    pub fn new(width: usize, height: usize) -> Self {
+        SpatialGrid {
+            width,
+            height,
+            cells: vec![CellStats::default(); width * height],
+        }
+    }
+
+    /// The cell for `coord`.
+    pub fn cell(&self, coord: Coord) -> &CellStats {
+        &self.cells[coord.y as usize * self.width + coord.x as usize]
+    }
+
+    /// Mutable access to the cell for `coord`.
+    pub fn cell_mut(&mut self, coord: Coord) -> &mut CellStats {
+        &mut self.cells[coord.y as usize * self.width + coord.x as usize]
+    }
+
+    /// The named counter for every cell, row-major, or `None` for an
+    /// unknown metric name.
+    pub fn metric(&self, name: &str) -> Option<Vec<u64>> {
+        if !METRIC_NAMES.contains(&name) {
+            return None;
+        }
+        Some(
+            self.cells
+                .iter()
+                .map(|c| c.metric(name).expect("name checked against METRIC_NAMES"))
+                .collect(),
+        )
+    }
+
+    /// Render as a JSON object: dimensions plus a grid keyed by
+    /// coordinate (`"x,y"`), cells in row-major order.
+    pub fn to_json(&self) -> JsonValue {
+        let mut grid: Vec<(String, JsonValue)> = Vec::with_capacity(self.cells.len());
+        for y in 0..self.height {
+            for x in 0..self.width {
+                grid.push((format!("{x},{y}"), self.cells[y * self.width + x].json()));
+            }
+        }
+        obj([
+            ("width", (self.width as u64).into()),
+            ("height", (self.height as u64).into()),
+            ("grid", JsonValue::Obj(grid)),
+        ])
+    }
+
+    /// Rebuild a grid from its [`SpatialGrid::to_json`] rendering.
+    pub fn from_json(v: &JsonValue) -> Result<Self, SnapshotError> {
+        let width = u64_field(v, "width")? as usize;
+        let height = u64_field(v, "height")? as usize;
+        let grid = match v.get("grid") {
+            Some(JsonValue::Obj(fields)) => fields,
+            _ => return Err(SnapshotError::new("missing `grid` object")),
+        };
+        if grid.len() != width * height {
+            return Err(SnapshotError::new(format!(
+                "`grid` has {} cells but dimensions say {}",
+                grid.len(),
+                width * height
+            )));
+        }
+        let mut out = SpatialGrid::new(width, height);
+        for (key, cell) in grid {
+            let (x, y) = key
+                .split_once(',')
+                .and_then(|(a, b)| Some((a.parse::<usize>().ok()?, b.parse::<usize>().ok()?)))
+                .ok_or_else(|| SnapshotError::new(format!("bad grid key `{key}`")))?;
+            if x >= width || y >= height {
+                return Err(SnapshotError::new(format!(
+                    "grid key `{key}` outside {width}x{height}"
+                )));
+            }
+            out.cells[y * width + x] =
+                CellStats::from_json(cell).map_err(|e| e.within(&format!("grid[{key}]")))?;
+        }
+        Ok(out)
+    }
+
+    /// Render as CSV: one row per router, `x,y` first, then every
+    /// counter in [`METRIC_NAMES`] order.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("x,y,");
+        out.push_str(&METRIC_NAMES.join(","));
+        out.push('\n');
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let c = &self.cells[y * self.width + x];
+                out.push_str(&format!(
+                    "{x},{y},{},{},{},{},{},{},{},{},{}\n",
+                    c.flits_routed,
+                    c.occ_integral,
+                    c.va_grants,
+                    c.va_stalls,
+                    c.sa_grants,
+                    c.sa_stalls,
+                    c.sa_bypass_grants,
+                    c.va_borrows,
+                    c.vc_transfers,
+                ));
+            }
+        }
+        out
+    }
+
+    /// Render one metric as an aligned ASCII grid: right-justified
+    /// counts, row `y = 0` at the top, plus a shaded miniature
+    /// (normalised against the grid maximum) alongside each row.
+    /// `None` for an unknown metric name.
+    pub fn ascii(&self, name: &str) -> Option<String> {
+        let values = self.metric(name)?;
+        let max = values.iter().copied().max().unwrap_or(0);
+        let cell_width = values
+            .iter()
+            .map(|v| v.to_string().len())
+            .max()
+            .unwrap_or(1);
+        let mut out = String::new();
+        for y in 0..self.height {
+            let row = &values[y * self.width..(y + 1) * self.width];
+            let numbers: Vec<String> = row.iter().map(|v| format!("{v:>cell_width$}")).collect();
+            let shades: String = row
+                .iter()
+                .map(|&v| {
+                    if max == 0 {
+                        RAMP[0]
+                    } else {
+                        RAMP[((v as u128 * (RAMP.len() as u128 - 1)).div_ceil(max as u128))
+                            as usize]
+                    }
+                })
+                .collect();
+            out.push_str(&format!("{}   {}\n", numbers.join(" "), shades));
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_grid() -> SpatialGrid {
+        let mut g = SpatialGrid::new(3, 2);
+        for (i, cell) in g.cells.iter_mut().enumerate() {
+            let i = i as u64;
+            *cell = CellStats {
+                flits_routed: i * 10,
+                occ_integral: i * 7,
+                va_grants: i,
+                va_stalls: i * 2,
+                sa_grants: i,
+                sa_stalls: i * 3,
+                sa_bypass_grants: i % 2,
+                va_borrows: i % 3,
+                vc_transfers: i % 5,
+            };
+        }
+        g
+    }
+
+    #[test]
+    fn json_round_trips_byte_identically() {
+        let g = sample_grid();
+        let text = g.to_json().render();
+        let back = SpatialGrid::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, g);
+        assert_eq!(back.to_json().render(), text);
+    }
+
+    #[test]
+    fn csv_has_one_row_per_router_and_all_columns() {
+        let g = sample_grid();
+        let csv = g.to_csv();
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert_eq!(header.split(',').count(), 2 + METRIC_NAMES.len());
+        assert_eq!(lines.count(), 6);
+    }
+
+    #[test]
+    fn metric_and_cell_lookup_agree() {
+        let g = sample_grid();
+        for name in METRIC_NAMES {
+            let values = g.metric(name).unwrap();
+            assert_eq!(values.len(), 6);
+            // Row-major: (x=2, y=1) lives at index y*width + x = 5.
+            assert_eq!(values[5], g.cell(Coord::new(2, 1)).metric(name).unwrap());
+        }
+        assert!(g.metric("no_such_metric").is_none());
+    }
+
+    #[test]
+    fn ascii_grid_is_aligned() {
+        let g = sample_grid();
+        let art = g.ascii("flits_routed").unwrap();
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // Every line has the same width: counts are right-justified.
+        assert_eq!(lines[0].len(), lines[1].len());
+        // The largest cell shades darkest; an all-zero grid stays light.
+        assert!(lines[1].ends_with('#'));
+        assert!(SpatialGrid::new(2, 2)
+            .ascii("va_stalls")
+            .unwrap()
+            .lines()
+            .all(|l| l.ends_with("..")));
+    }
+}

@@ -14,6 +14,7 @@
 //! noc-cli submit   --spec FILE|- [--addr A:P]
 //! noc-cli status   JOB_ID [--addr A:P]
 //! noc-cli result   JOB_ID [--addr A:P]
+//! noc-cli heatmap  RESULT_JSON [--metric NAME] [--csv]
 //! ```
 //!
 //! `serve` runs the campaign daemon in the foreground (same spool
@@ -35,11 +36,27 @@ use shield_noc::types::{RouterConfig, SimConfig, TopologySpec};
 enum Command {
     Simulate(SimulateArgs),
     Trace(TraceArgs),
-    Analyze { vcs: usize },
+    Analyze {
+        vcs: usize,
+    },
     Serve(ServeArgs),
-    Submit { addr: String, spec: String },
-    Status { addr: String, id: String },
-    Result { addr: String, id: String },
+    Submit {
+        addr: String,
+        spec: String,
+    },
+    Status {
+        addr: String,
+        id: String,
+    },
+    Result {
+        addr: String,
+        id: String,
+    },
+    Heatmap {
+        file: String,
+        metric: String,
+        csv: bool,
+    },
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -344,6 +361,32 @@ fn parse(args: &[String]) -> Result<Command, String> {
             let id = id.ok_or("result: JOB_ID is required")?;
             Ok(Command::Result { addr, id })
         }
+        "heatmap" => {
+            let mut file = None;
+            let mut metric = "flits_routed".to_string();
+            let mut csv = false;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--metric" => metric = take_value(args, &mut i, "--metric")?.to_string(),
+                    "--csv" => csv = true,
+                    other if other.starts_with("--") => {
+                        return Err(format!("heatmap: unknown flag {other:?}"))
+                    }
+                    other => {
+                        if file.replace(other.to_string()).is_some() {
+                            return Err("heatmap: more than one input file".into());
+                        }
+                    }
+                }
+                i += 1;
+            }
+            Ok(Command::Heatmap {
+                file: file.ok_or("heatmap: RESULT_JSON is required")?,
+                metric,
+                csv,
+            })
+        }
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     }
 }
@@ -376,8 +419,8 @@ fn parse_client_args(cmd: &str, args: &[String]) -> Result<(String, Option<Strin
     Ok((addr, positional))
 }
 
-const USAGE: &str =
-    "usage: noc-cli <simulate|trace|analyze|serve|submit|status|result> [flags] (see module docs)";
+const USAGE: &str = "usage: noc-cli <simulate|trace|analyze|serve|submit|status|result|heatmap> \
+     [flags] (see module docs)";
 
 fn traffic_of(source: &Source) -> Result<TrafficConfig, String> {
     Ok(match source {
@@ -549,7 +592,9 @@ fn run_serve(s: ServeArgs) -> Result<(), String> {
     let local = listener
         .local_addr()
         .map_err(|e| format!("local_addr: {e}"))?;
-    let sched = Scheduler::start(cfg).map_err(|e| format!("starting scheduler: {e}"))?;
+    let log = shield_noc::service::ObsLog::stderr();
+    let sched = Scheduler::start_with_log(cfg, log.clone())
+        .map_err(|e| format!("starting scheduler: {e}"))?;
     println!("listening on {local}");
     println!(
         "spool {} | {} workers | queue cap {} | checkpoint every {} cycles",
@@ -560,7 +605,7 @@ fn run_serve(s: ServeArgs) -> Result<(), String> {
     );
     use std::io::Write;
     let _ = std::io::stdout().flush();
-    let outcome = shield_noc::service::http::serve(listener, sched.clone(), || false)
+    let outcome = shield_noc::service::http::serve(listener, sched.clone(), log, || false)
         .map_err(|e| format!("accept loop: {e}"));
     sched.shutdown();
     outcome
@@ -631,6 +676,61 @@ fn run_result(addr: &str, id: &str) -> Result<(), String> {
     }
 }
 
+/// Locate the spatial counter grid inside any artefact that embeds
+/// one: a bare `NetworkReport` (`spatial`), a service result document
+/// (`report.spatial`), a `/jobs/:id/progress` body (`heatmap`) or a
+/// raw checkpoint (`progress`). The `grid` probe rejects same-named
+/// scalars (the status document's `progress` fraction, say).
+fn find_spatial_grid(
+    doc: &shield_noc::telemetry::JsonValue,
+) -> Option<&shield_noc::telemetry::JsonValue> {
+    [
+        doc.get("spatial"),
+        doc.get("report").and_then(|r| r.get("spatial")),
+        doc.get("heatmap"),
+        doc.get("progress"),
+    ]
+    .into_iter()
+    .flatten()
+    .find(|v| v.get("grid").is_some())
+}
+
+/// Render the heatmap text for `noc-cli heatmap`: either the full CSV
+/// dump or the ASCII grid for one metric.
+fn heatmap_text(
+    doc: &shield_noc::telemetry::JsonValue,
+    metric: &str,
+    csv: bool,
+) -> Result<String, String> {
+    let grid_json = find_spatial_grid(doc).ok_or(
+        "no spatial grid in this document (expected a result/report JSON with a \
+         `spatial` section, a progress body, or a checkpoint)",
+    )?;
+    let grid = shield_noc::telemetry::SpatialGrid::from_json(grid_json)
+        .map_err(|e| format!("malformed spatial grid: {e}"))?;
+    if csv {
+        return Ok(grid.to_csv());
+    }
+    let ascii = grid.ascii(metric).ok_or_else(|| {
+        format!(
+            "unknown metric {metric:?} (one of: {})",
+            shield_noc::telemetry::spatial::METRIC_NAMES.join(", ")
+        )
+    })?;
+    Ok(format!(
+        "{metric} ({}x{}, '.' idle -> '#' busiest):\n{ascii}",
+        grid.width, grid.height
+    ))
+}
+
+fn run_heatmap(file: &str, metric: &str, csv: bool) -> Result<(), String> {
+    let text = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+    let doc = shield_noc::telemetry::JsonValue::parse(&text)
+        .map_err(|e| format!("parsing {file}: {e}"))?;
+    print!("{}", heatmap_text(&doc, metric, csv)?);
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let outcome = parse(&args).and_then(|cmd| match cmd {
@@ -641,6 +741,7 @@ fn main() {
         Command::Submit { addr, spec } => run_submit(&addr, &spec),
         Command::Status { addr, id } => run_status(&addr, &id),
         Command::Result { addr, id } => run_result(&addr, &id),
+        Command::Heatmap { file, metric, csv } => run_heatmap(&file, &metric, csv),
     });
     if let Err(e) = outcome {
         eprintln!("error: {e}");
@@ -787,6 +888,16 @@ mod tests {
             }
         );
         assert_eq!(
+            parse(&args("heatmap out/result.json --metric occ_integral --csv")).unwrap(),
+            Command::Heatmap {
+                file: "out/result.json".into(),
+                metric: "occ_integral".into(),
+                csv: true,
+            }
+        );
+        assert!(parse(&args("heatmap")).is_err());
+        assert!(parse(&args("heatmap a.json b.json")).is_err());
+        assert_eq!(
             parse(&args("result job-000001 --addr h:1")).unwrap(),
             Command::Result {
                 addr: "h:1".into(),
@@ -802,5 +913,60 @@ mod tests {
         for a in AppId::SPLASH2.iter().chain(AppId::PARSEC.iter()) {
             assert_eq!(parse_app(a.name()).unwrap(), *a);
         }
+    }
+
+    /// Golden service-result fixture: a 2×2 grid embedded the way the
+    /// daemon's `result.json` embeds it (`report.spatial`). The
+    /// subcommand must find it, render an aligned ASCII grid for the
+    /// requested metric, and dump the full CSV under `--csv`.
+    #[test]
+    fn heatmap_renders_ascii_and_csv_from_a_golden_report() {
+        use shield_noc::telemetry::{CellStats, JsonValue, SpatialGrid};
+        use shield_noc::types::Coord;
+
+        let mut grid = SpatialGrid::new(2, 2);
+        *grid.cell_mut(Coord::new(0, 0)) = CellStats {
+            flits_routed: 12,
+            occ_integral: 40,
+            sa_bypass_grants: 3,
+            ..CellStats::default()
+        };
+        grid.cell_mut(Coord::new(1, 1)).flits_routed = 700;
+        let fixture = JsonValue::Obj(vec![
+            ("job".into(), "job-000001".into()),
+            (
+                "report".into(),
+                JsonValue::Obj(vec![("spatial".into(), grid.to_json())]),
+            ),
+        ]);
+
+        let ascii = heatmap_text(&fixture, "flits_routed", false).unwrap();
+        let rows: Vec<&str> = ascii.lines().collect();
+        assert_eq!(rows.len(), 3, "title line + 2 grid rows:\n{ascii}");
+        assert!(rows[0].contains("flits_routed"));
+        assert!(rows[1].contains("12") && rows[2].contains("700"));
+        // Counts are right-justified to one shared width, so every
+        // grid row renders to the same length.
+        assert_eq!(rows[1].len(), rows[2].len(), "misaligned:\n{ascii}");
+
+        let csv = heatmap_text(&fixture, "flits_routed", true).unwrap();
+        assert_eq!(csv.lines().count(), 5, "header + 4 cells");
+        assert!(csv.starts_with("x,y,flits_routed,"));
+        assert!(csv.contains("0,0,12,40,"));
+
+        // A bare NetworkReport (top-level `spatial`) and a progress
+        // body (`heatmap`) are found too; unknown metrics and
+        // grid-less documents fail with a usable message.
+        let bare = JsonValue::Obj(vec![("spatial".into(), grid.to_json())]);
+        assert!(heatmap_text(&bare, "occ_integral", false).is_ok());
+        let progress = JsonValue::Obj(vec![
+            ("progress".into(), 0.5.into()),
+            ("heatmap".into(), grid.to_json()),
+        ]);
+        assert!(heatmap_text(&progress, "va_borrows", false).is_ok());
+        let err = heatmap_text(&fixture, "no_such_metric", false).unwrap_err();
+        assert!(err.contains("flits_routed"), "{err}");
+        let err = heatmap_text(&JsonValue::Obj(vec![]), "flits_routed", false).unwrap_err();
+        assert!(err.contains("no spatial grid"), "{err}");
     }
 }
