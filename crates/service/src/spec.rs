@@ -20,8 +20,10 @@ pub struct CampaignSpec {
     pub name: String,
     /// Mesh side length `k`.
     pub mesh_k: u8,
-    /// Topology argument: `mesh`, `torus` or `cutmesh<N>[:seed]` —
-    /// the same grammar as the bench/CLI `--topology` flag.
+    /// Topology argument: `mesh`, `torus`, `cutmesh<N>[:seed]`,
+    /// `chipletmesh<KC>x<KN>[:lat[:den]]` or
+    /// `chipletstar<C>x<KN>[:lat[:den]]` — the same grammar as the
+    /// bench/CLI `--topology` flag ([`TopologySpec::parse_arg`]).
     pub topology: String,
     /// `baseline` or `protected`.
     pub router_kind: RouterKind,
@@ -311,5 +313,49 @@ mod tests {
                 seed: 7
             }
         );
+    }
+
+    #[test]
+    fn chiplet_topology_args_are_accepted_and_echoed() {
+        let spec = CampaignSpec::from_text("{\"topology\": \"chipletmesh2x4:6:4\"}").unwrap();
+        let cfg = spec.network_config().unwrap();
+        assert_eq!(
+            cfg.topology,
+            TopologySpec::ChipletMesh {
+                k_chip: 2,
+                k_node: 4,
+                d2d: noc_types::LinkClass {
+                    latency: 6,
+                    width_denom: 4
+                },
+            }
+        );
+        // The resolved echo (what the spool stores) keeps the argument
+        // verbatim and survives a parse round trip.
+        let echoed = spec.to_json().render();
+        assert!(echoed.contains("\"chipletmesh2x4:6:4\""));
+        assert_eq!(CampaignSpec::from_text(&echoed).unwrap(), spec);
+
+        let star = CampaignSpec::from_text("{\"topology\": \"chipletstar3x4\"}").unwrap();
+        assert_eq!(
+            star.network_config().unwrap().topology,
+            TopologySpec::ChipletStar {
+                chiplets: 3,
+                k_node: 4,
+                d2d: noc_types::LinkClass::D2D_DEFAULT,
+                hub: noc_types::LinkClass::HUB_DEFAULT,
+            }
+        );
+
+        // Malformed chiplet arguments fail spec validation — the HTTP
+        // layer turns this into a 400 (pinned in service_e2e).
+        for bad in [
+            "{\"topology\": \"chipletmesh2x\"}",
+            "{\"topology\": \"chipletmeshx4\"}",
+            "{\"topology\": \"chipletstar3x4:abc\"}",
+            "{\"topology\": \"chipletmesh2x4:6:0\"}",
+        ] {
+            assert!(CampaignSpec::from_text(bad).is_err(), "{bad} must reject");
+        }
     }
 }

@@ -476,4 +476,26 @@ fn daemon_returns_429_and_404_properly() {
     let resp =
         noc_service::client::request(&daemon.addr, "POST", "/jobs", Some("{\"rate\": 9}")).unwrap();
     assert_eq!(resp.status, 400);
+
+    // Malformed chiplet topology specs fail validation at submit time.
+    let resp = noc_service::client::request(
+        &daemon.addr,
+        "POST",
+        "/jobs",
+        Some("{\"topology\": \"chipletmesh2x\"}"),
+    )
+    .unwrap();
+    assert_eq!(resp.status, 400, "bad chiplet dims must 400: {}", resp.body);
+    let resp = noc_service::client::request(
+        &daemon.addr,
+        "POST",
+        "/jobs",
+        Some("{\"topology\": \"chipletstar2x3:0\"}"),
+    )
+    .unwrap();
+    assert_eq!(
+        resp.status, 400,
+        "zero-latency d2d class must 400: {}",
+        resp.body
+    );
 }

@@ -48,17 +48,37 @@ use noc_telemetry::{
 };
 use noc_topology::Topology;
 use noc_types::{
-    Cycle, DeliveredPacket, Direction, Flit, Mesh, NetworkConfig, Packet, PortId, TopologySpec,
-    VcGlobalState, VcId,
+    Cycle, DeliveredPacket, Direction, Flit, LinkClass, Mesh, NetworkConfig, Packet, PortId,
+    TopologySpec, VcGlobalState, VcId,
 };
 use shield_router::{Router, RouterKind, RouterStats, RoutingAlgorithm, StepOutput};
 use std::sync::Arc;
 
-/// One router's outgoing wiring: per output port, the downstream router
-/// and the port the link enters it through (`None` = no link — grid
-/// edge, cut link, or the local port). Precomputed from the topology so
-/// the hot path never recomputes neighbours.
-type WiringRow = [Option<(usize, PortId)>; 5];
+/// One fully-resolved link out of a router: the downstream router, the
+/// port the link enters it through, and the link's physical class —
+/// traversal latency and serialization factor — baked in from the
+/// topology at construction so the hot path never queries it.
+#[derive(Debug, Clone, Copy)]
+struct LinkTarget {
+    /// Downstream router id.
+    down: usize,
+    /// Input port our link enters the downstream router through.
+    in_port: PortId,
+    /// Link traversal latency in cycles (`>= 1`).
+    latency: u32,
+    /// Serialization factor: cycles of link occupancy per flit (`1` =
+    /// full width). A flit departing onto a busy narrow link waits for
+    /// the link to free and spends `width_denom` cycles serialising,
+    /// so its arrival is delayed accordingly; credits are single
+    /// signals and never serialise.
+    width_denom: u32,
+}
+
+/// One router's outgoing wiring: per output port, the resolved link
+/// (`None` = no link — grid edge, cut link, or the local port).
+/// Precomputed from the topology so the hot path never recomputes
+/// neighbours or link classes.
+type WiringRow = [Option<LinkTarget>; 5];
 
 /// A flit or credit in flight on a link.
 #[derive(Debug)]
@@ -99,8 +119,11 @@ impl Wire {
 struct ShardScratch {
     /// This shard's slice of the cycle's arrivals, in global order.
     arrivals: Vec<Wire>,
-    /// Wire traffic produced by this shard's routers, in router order.
-    wires_out: Vec<Wire>,
+    /// Wire traffic produced by this shard's routers, in router order,
+    /// each tagged with its arrival delay in cycles (`>= 1`) — links
+    /// have per-class latencies, so departures no longer share a single
+    /// ring slot. Phase C distributes them into the wheel.
+    wires_out: Vec<(u32, Wire)>,
     /// Packets completed at this shard's NIs this cycle.
     deliveries: Vec<DeliveredPacket>,
     /// Per-shard reusable router step output.
@@ -214,6 +237,20 @@ fn weight_imbalance(bounds: &[(usize, usize)], row_weight: &[usize], w: usize) -
     }
 }
 
+/// Shard-cut granularity in grid rows: `chiplet_rows` (the chiplet side
+/// length) when the topology is hierarchical and the grid holds at
+/// least one chiplet-row block per shard, else single rows. Cutting at
+/// block granularity aligns shard boundaries with die boundaries, so
+/// every wire that crosses shards is one of the slow d2d links; when
+/// there are fewer blocks than shards the partitioner falls back to
+/// row granularity (correctness never depends on the cut placement).
+fn cut_block(chiplet_rows: Option<usize>, h: usize, nshards: usize) -> usize {
+    match chiplet_rows {
+        Some(k) if k > 0 && h.div_ceil(k) >= nshards => k,
+        _ => 1,
+    }
+}
+
 /// Everything the parallel stepper owns: the worker pool plus the
 /// shard partition (contiguous row bands over router ids).
 struct ParState {
@@ -227,6 +264,11 @@ struct ParState {
     row_weight: Vec<usize>,
     /// Grid geometry (shards are whole row bands).
     mesh: Mesh,
+    /// Hierarchical topologies only: the chiplet side length in rows.
+    /// When set (and the grid has at least one block per shard), shard
+    /// cuts snap to multiples of it, so cross-shard wires are exactly
+    /// the slow d2d links and each chiplet steps on one thread.
+    chiplet_rows: Option<usize>,
     /// Per-shard phase-B nanoseconds accumulated this interval.
     interval_nanos: Vec<u64>,
     /// Per-shard router steps accumulated this interval.
@@ -243,20 +285,26 @@ struct ParState {
 }
 
 impl ParState {
-    fn new(threads: usize, mesh: Mesh) -> Self {
+    fn new(threads: usize, mesh: Mesh, chiplet_rows: Option<usize>) -> Self {
         let w = mesh.w as usize;
         let h = mesh.h as usize;
         // One band per thread, but never split a grid row and never
         // create an empty shard. Bands follow topology node order
         // (= row-major id order), so the partition is identical for
-        // every topology over the same grid.
+        // every topology over the same grid. On chiplet grids with
+        // enough chiplet-row blocks, bands are whole blocks instead of
+        // whole rows, so shard boundaries coincide with die boundaries.
         let nshards = threads.min(h).max(1);
+        let block = cut_block(chiplet_rows, h, nshards);
+        let nblocks = h.div_ceil(block);
         let mut bounds = Vec::with_capacity(nshards);
-        let mut row = 0;
+        let mut bstart = 0;
         for s in 0..nshards {
-            let rows = h / nshards + usize::from(s < h % nshards);
-            bounds.push((row * w, (row + rows) * w));
-            row += rows;
+            let blocks = nblocks / nshards + usize::from(s < nblocks % nshards);
+            let lo = (bstart * block).min(h);
+            let hi = ((bstart + blocks) * block).min(h);
+            bounds.push((lo * w, hi * w));
+            bstart += blocks;
         }
         let mut shard_of = vec![0; mesh.len()];
         for (s, &(lo, hi)) in bounds.iter().enumerate() {
@@ -275,6 +323,7 @@ impl ParState {
                 .collect(),
             row_weight: vec![0; h],
             mesh,
+            chiplet_rows,
             interval_nanos: vec![0; nshards],
             interval_steps: vec![0; nshards],
             interval_start: 0,
@@ -340,16 +389,22 @@ impl ParState {
             self.interval_start = cycle;
         }
         let total: usize = self.row_weight.iter().sum();
+        // Cut at single-row granularity on flat grids, whole
+        // chiplet-row blocks on hierarchical ones (see `cut_block`) —
+        // either way a pure function of the weights.
+        let block = cut_block(self.chiplet_rows, h, nshards);
+        let nblocks = h.div_ceil(block);
         let mut row = 0;
         let mut cum = 0;
         for s in 0..nshards {
             let start = row;
-            // Leave at least one row for each shard after this one.
-            let max_end = h - (nshards - 1 - s);
+            // Leave at least one block for each shard after this one.
+            let max_end = nblocks - (nshards - 1 - s);
             loop {
-                cum += self.row_weight[row];
-                row += 1;
-                if row >= max_end || cum * nshards >= total * (s + 1) {
+                let next = (row + block).min(h);
+                cum += self.row_weight[row..next].iter().sum::<usize>();
+                row = next;
+                if row.div_ceil(block) >= max_end || cum * nshards >= total * (s + 1) {
                     break;
                 }
             }
@@ -388,9 +443,12 @@ struct ShardCtx<'a, O: Observer> {
     /// This shard's slice of the network wiring table.
     wiring: &'a [WiringRow],
     skip_idle: bool,
+    /// Router→NI link latency (the config's uniform `link_latency`).
+    local_delay: u32,
     routers: &'a mut [Router],
     nis: &'a mut [NetworkInterface],
     link_flits: &'a mut [[u64; 5]],
+    link_free: &'a mut [[Cycle; 5]],
     scratch: &'a mut ShardScratch,
     obs: &'a mut O,
 }
@@ -403,9 +461,11 @@ impl<O: Observer> ShardCtx<'_, O> {
             base,
             wiring,
             skip_idle,
+            local_delay,
             routers,
             nis,
             link_flits,
+            link_free,
             scratch,
             obs,
         } = self;
@@ -439,12 +499,15 @@ impl<O: Observer> ShardCtx<'_, O> {
             scratch.routers_stepped += 1;
             process_router_outputs(
                 base + local,
+                cycle,
+                *local_delay,
                 &mut routers[local],
                 &mut nis[local],
                 &wiring[local],
                 &mut scratch.step_out,
                 &mut scratch.wires_out,
                 &mut link_flits[local],
+                &mut link_free[local],
                 &mut scratch.flits_dropped,
                 &mut scratch.flits_edge_dropped,
                 &mut scratch.any_departure,
@@ -466,8 +529,8 @@ impl<O: Observer> ShardCtx<'_, O> {
 /// sound because the one caller (`Network::step_parallel`) upholds:
 ///
 /// * `bounds` are disjoint, ascending `[lo, hi)` intervals within every
-///   pointed-to array (`routers`, `nis`, `link_flits`, `wiring`), so
-///   two shards never overlap;
+///   pointed-to array (`routers`, `nis`, `link_flits`, `link_free`,
+///   `wiring`), so two shards never overlap;
 /// * `obs` and `shards` hold at least `bounds.len()` elements and shard
 ///   `i` touches only index `i` of each;
 /// * [`WorkerPool::broadcast`] invokes each index exactly once per
@@ -481,11 +544,13 @@ impl<O: Observer> ShardCtx<'_, O> {
 struct ShardTasks<'a, O: Observer> {
     cycle: Cycle,
     skip_idle: bool,
+    local_delay: u32,
     bounds: &'a [(usize, usize)],
     wiring: &'a [WiringRow],
     routers: *mut Router,
     nis: *mut NetworkInterface,
     link_flits: *mut [u64; 5],
+    link_free: *mut [Cycle; 5],
     obs: *mut O,
     shards: *mut ShardScratch,
 }
@@ -508,9 +573,11 @@ impl<O: Observer> ShardTasks<'_, O> {
             base: lo,
             wiring: &self.wiring[lo..hi],
             skip_idle: self.skip_idle,
+            local_delay: self.local_delay,
             routers: std::slice::from_raw_parts_mut(self.routers.add(lo), len),
             nis: std::slice::from_raw_parts_mut(self.nis.add(lo), len),
             link_flits: std::slice::from_raw_parts_mut(self.link_flits.add(lo), len),
+            link_free: std::slice::from_raw_parts_mut(self.link_free.add(lo), len),
             scratch: &mut *self.shards.add(i),
             obs: &mut *self.obs.add(i),
         }
@@ -570,18 +637,37 @@ fn apply_arrival<O: Observer>(
 }
 
 /// Turn one router's [`StepOutput`] into wire traffic and counters.
-/// Shared verbatim by the serial and parallel steppers: the serial path
-/// passes the live wire-ring slot as `wires_out`, a shard passes its
-/// local buffer.
+/// Shared verbatim by the serial and parallel steppers; both collect
+/// `(arrival delay, wire)` pairs and distribute them into the wire
+/// wheel afterwards (the serial path right after the router loop, the
+/// parallel path in phase C).
+///
+/// Delays follow the link class baked into `wiring_row`:
+///
+/// * A flit on a full-width link (`width_denom == 1`) arrives exactly
+///   `latency` cycles later. On a narrow link it first waits for the
+///   link to free (`link_free_row` tracks the cycle each output's link
+///   next accepts a flit), then spends `width_denom` cycles
+///   serialising, arriving `wait + latency + width_denom - 1` cycles
+///   out.
+/// * A credit is a single reverse-direction signal on the (symmetric)
+///   link it answers: it takes that link's `latency` and never
+///   serialises, so a flit+credit round trip over a latency-`d` link
+///   is exactly `2d` cycles.
+/// * NI traffic (`Eject`/`NiCredit`) keeps the uniform `local_delay`
+///   (the config's `link_latency`).
 #[allow(clippy::too_many_arguments)]
 fn process_router_outputs(
     id: usize,
+    cycle: Cycle,
+    local_delay: u32,
     router: &mut Router,
     ni: &mut NetworkInterface,
     wiring_row: &WiringRow,
     out: &mut StepOutput,
-    wires_out: &mut Vec<Wire>,
+    wires_out: &mut Vec<(u32, Wire)>,
     link_row: &mut [u64; 5],
+    link_free_row: &mut [Cycle; 5],
     flits_dropped: &mut u64,
     flits_edge_dropped: &mut u64,
     any_departure: &mut bool,
@@ -597,22 +683,42 @@ fn process_router_outputs(
         if d.out_port == Direction::Local.port() {
             // Local link to the NI; the NI returns the credit for the
             // local-output VC one link-latency later.
-            wires_out.push(Wire::Eject {
-                node: id,
-                flit: d.flit,
-            });
-            wires_out.push(Wire::NiCredit {
-                router: id,
-                vc: d.out_vc,
-            });
+            wires_out.push((
+                local_delay,
+                Wire::Eject {
+                    node: id,
+                    flit: d.flit,
+                },
+            ));
+            wires_out.push((
+                local_delay,
+                Wire::NiCredit {
+                    router: id,
+                    vc: d.out_vc,
+                },
+            ));
         } else {
             match wiring_row[d.out_port.index()] {
-                Some((down, in_port)) => wires_out.push(Wire::Flit {
-                    router: down,
-                    port: in_port,
-                    vc: d.out_vc,
-                    flit: d.flit,
-                }),
+                Some(l) => {
+                    let delay = if l.width_denom == 1 {
+                        l.latency
+                    } else {
+                        // Narrow link: wait for it to free, then hold
+                        // it for `width_denom` serialisation cycles.
+                        let start = cycle.max(link_free_row[d.out_port.index()]);
+                        link_free_row[d.out_port.index()] = start + l.width_denom as Cycle;
+                        (start - cycle) as u32 + l.latency + (l.width_denom - 1)
+                    };
+                    wires_out.push((
+                        delay,
+                        Wire::Flit {
+                            router: l.down,
+                            port: l.in_port,
+                            vc: d.out_vc,
+                            flit: d.flit,
+                        },
+                    ));
+                }
                 None => {
                     // Misrouted onto a missing link — the grid edge or a
                     // cut link (baseline RC faults): the flit is lost;
@@ -628,16 +734,37 @@ fn process_router_outputs(
         if c.in_port == Direction::Local.port() {
             // Slot freed at the local input: credit to the NI.
             ni.credit(c.vc);
-        } else if let Some((upstream, up_port)) = wiring_row[c.in_port.index()] {
+        } else if let Some(l) = wiring_row[c.in_port.index()] {
             // Links are symmetric: the port our link enters the
             // neighbour through is also the neighbour's output port
-            // facing us, which is where the credit belongs.
-            wires_out.push(Wire::Credit {
-                router: upstream,
-                out_port: up_port,
-                vc: c.vc,
-            });
+            // facing us, which is where the credit belongs — and the
+            // return path shares the forward link's latency.
+            wires_out.push((
+                l.latency,
+                Wire::Credit {
+                    router: l.down,
+                    out_port: l.in_port,
+                    vc: c.vc,
+                },
+            ));
         }
+    }
+}
+
+/// Distribute collected `(arrival delay, wire)` pairs into the wire
+/// wheel. The wheel has already rotated for this cycle, so a delay of
+/// `d` lands in slot `d - 1` and is taken `d` cycles from now. Pacing
+/// on narrow links can push a delay past the wheel's precomputed
+/// horizon; the wheel grows on demand (deterministically — growth is a
+/// pure function of the departure sequence, identical at every thread
+/// count).
+fn spill_into_wheel(wires: &mut Vec<Vec<Wire>>, pending: &mut Vec<(u32, Wire)>) {
+    for (delay, w) in pending.drain(..) {
+        let slot = delay as usize - 1;
+        if slot >= wires.len() {
+            wires.resize_with(slot + 1, Vec::new);
+        }
+        wires[slot].push(w);
     }
 }
 
@@ -660,11 +787,22 @@ pub struct Network {
     /// never touched. Conservative (a set bit with nothing pending is
     /// a one-visit no-op), never stale-clear.
     ni_live: Vec<u64>,
-    /// Ring buffer of in-flight wire traffic; slot 0 arrives this cycle.
+    /// The wire wheel: in-flight wire traffic bucketed by arrival
+    /// cycle; slot 0 arrives this cycle. Sized for the longest link
+    /// class at construction and grown on demand when serialisation
+    /// pacing pushes an arrival past the horizon.
     wires: Vec<Vec<Wire>>,
     /// Spare vector swapped with `wires[0]` each cycle so arrival
     /// processing reuses capacity instead of reallocating.
     arrivals_scratch: Vec<Wire>,
+    /// Serial stepper's reusable `(delay, wire)` departure buffer,
+    /// drained into the wheel after the router loop.
+    wire_out_scratch: Vec<(u32, Wire)>,
+    /// Per router, per output port: the first cycle the outgoing link
+    /// accepts another flit — the serialisation pacing state of narrow
+    /// (`width_denom > 1`) links. Full-width links neither consult nor
+    /// advance it (their entries stay 0).
+    link_free: Vec<[Cycle; 5]>,
     /// Reusable per-router step output (cleared, not reallocated).
     step_scratch: StepOutput,
     deliveries: Vec<DeliveredPacket>,
@@ -715,15 +853,18 @@ impl Network {
         cfg.validate().expect("invalid network configuration");
         let mesh = cfg.grid();
         let topo = Arc::new(Topology::from_spec(&cfg));
-        let wiring = build_wiring(&topo);
+        let wiring = build_wiring(&topo, cfg.link_latency);
         let mut routers: Vec<Router> = (0..mesh.len())
             .map(|i| {
                 let coord = mesh.coord_of(noc_types::RouterId(i as u16));
                 // Meshes keep the two-comparator XY algorithm (the
-                // paper's configuration and the hot path); the other
-                // topologies route through the shared topology.
+                // paper's configuration and the hot path) — the chiplet
+                // mesh is a full grid and routes the same way; the
+                // other topologies route through the shared topology.
                 let mut r = match &*topo {
-                    Topology::Mesh(_) => Router::new_xy(i as u16, coord, mesh, cfg.router, kind),
+                    Topology::Mesh(_) | Topology::ChipletMesh { .. } => {
+                        Router::new_xy(i as u16, coord, mesh, cfg.router, kind)
+                    }
                     _ => Router::new(
                         i as u16,
                         coord,
@@ -753,7 +894,17 @@ impl Network {
                 )
             })
             .collect();
-        let slots = cfg.link_latency as usize + 1;
+        // The wheel must reach the slowest link class; serialisation
+        // pacing can still push past this and grows the wheel then.
+        let max_latency = wiring
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|l| l.latency)
+            .max()
+            .unwrap_or(1)
+            .max(cfg.link_latency);
+        let slots = max_latency as usize + 1;
         Network {
             cfg,
             mesh,
@@ -764,6 +915,8 @@ impl Network {
             ni_live: vec![0; mesh.len().div_ceil(64)],
             wires: (0..slots).map(|_| Vec::new()).collect(),
             arrivals_scratch: Vec::new(),
+            wire_out_scratch: Vec::new(),
+            link_free: vec![[0; 5]; mesh.len()],
             step_scratch: StepOutput::default(),
             deliveries: Vec::new(),
             link_flits: vec![[0; 5]; mesh.len()],
@@ -851,7 +1004,11 @@ impl Network {
         if t <= 1 {
             self.par = None;
         } else if self.threads() != t {
-            self.par = Some(ParState::new(t, self.mesh));
+            self.par = Some(ParState::new(
+                t,
+                self.mesh,
+                self.cfg.topology.chiplet_k().map(usize::from),
+            ));
         }
     }
 
@@ -1016,8 +1173,8 @@ impl Network {
                         if out == Direction::Local.port() {
                             return None;
                         }
-                        let (nb, in_port) = self.wiring[id][out.index()]?;
-                        Some((nb as u16, in_port.0))
+                        let l = self.wiring[id][out.index()]?;
+                        Some((l.down as u16, l.in_port.0))
                     };
                     match state {
                         VcGlobalState::Active => {
@@ -1162,6 +1319,7 @@ impl Network {
     /// every thread count (ARCHITECTURE.md §3).
     pub fn spatial_grid(&self) -> SpatialGrid {
         let mut grid = SpatialGrid::new(self.mesh.w as usize, self.mesh.h as usize);
+        grid.chiplet_k = self.cfg.topology.chiplet_k().map(usize::from);
         for (r, cell) in self.routers.iter().zip(grid.cells.iter_mut()) {
             let s = r.stats();
             *cell = noc_telemetry::CellStats {
@@ -1315,10 +1473,11 @@ impl Network {
         }
 
         // 3. Routers compute one cycle, reusing one StepOutput across
-        // the whole mesh. The ring already rotated, so departures land
-        // in slot `link_latency - 1`, taken `link_latency` cycles from
-        // now.
-        let slot = self.cfg.link_latency as usize - 1;
+        // the whole mesh. Departures collect as `(delay, wire)` pairs
+        // (links have per-class latencies) and spill into the wheel
+        // after the loop; the wheel already rotated, so a delay-`d`
+        // wire lands in slot `d - 1`, taken `d` cycles from now.
+        let local_delay = self.cfg.link_latency;
         let mut out = std::mem::take(&mut self.step_scratch);
         for id in 0..self.routers.len() {
             let idle = self.routers[id].is_idle();
@@ -1335,12 +1494,15 @@ impl Network {
             let mut any_departure = false;
             process_router_outputs(
                 id,
+                cycle,
+                local_delay,
                 &mut self.routers[id],
                 &mut self.nis[id],
                 &self.wiring[id],
                 &mut out,
-                &mut self.wires[slot],
+                &mut self.wire_out_scratch,
                 &mut self.link_flits[id],
+                &mut self.link_free[id],
                 &mut self.flits_dropped,
                 &mut self.flits_edge_dropped,
                 &mut any_departure,
@@ -1350,6 +1512,7 @@ impl Network {
             }
         }
         self.step_scratch = out;
+        spill_into_wheel(&mut self.wires, &mut self.wire_out_scratch);
     }
 
     /// The sharded parallel stepper. Three phases per cycle:
@@ -1387,6 +1550,7 @@ impl Network {
             wires,
             deliveries,
             link_flits,
+            link_free,
             skip_idle,
             routers_stepped,
             routers_skipped,
@@ -1428,21 +1592,24 @@ impl Network {
         let tasks = ShardTasks {
             cycle,
             skip_idle: *skip_idle,
+            local_delay: cfg.link_latency,
             bounds,
             wiring,
             routers: routers.as_mut_ptr(),
             nis: nis.as_mut_ptr(),
             link_flits: link_flits.as_mut_ptr(),
+            link_free: link_free.as_mut_ptr(),
             obs: obs.as_mut_ptr(),
             shards: shards.as_mut_ptr(),
         };
         #[allow(unsafe_code)]
         pool.broadcast(tasks.bounds.len(), &|i| unsafe { tasks.run(i) });
 
-        // Phase C: merge in fixed shard order (= router-id order).
-        let slot = cfg.link_latency as usize - 1;
+        // Phase C: merge in fixed shard order (= router-id order), so
+        // each wheel slot receives a subsequence of the serial
+        // stepper's push order.
         for (s, scratch) in shards.iter_mut().enumerate() {
-            wires[slot].append(&mut scratch.wires_out);
+            spill_into_wheel(wires, &mut scratch.wires_out);
             deliveries.append(&mut scratch.deliveries);
             *flits_dropped += std::mem::take(&mut scratch.flits_dropped);
             *flits_edge_dropped += std::mem::take(&mut scratch.flits_edge_dropped);
@@ -1550,10 +1717,10 @@ impl Network {
                         (0, ni_credits_in_flight[id * v + vc_idx] as usize, 0)
                     } else {
                         match self.wiring[id][out_port.index()] {
-                            Some((down, in_port)) => (
-                                flits_in_flight[at(down, in_port, vc)] as usize,
+                            Some(l) => (
+                                flits_in_flight[at(l.down, l.in_port, vc)] as usize,
                                 credits_in_flight[at(id, out_port, vc)] as usize,
-                                self.routers[down].port(in_port).vc(vc).occupancy(),
+                                self.routers[l.down].port(l.in_port).vc(vc).occupancy(),
                             ),
                             // Missing link (grid edge or cut): no
                             // downstream exists. Drops onto it restore
@@ -1670,6 +1837,12 @@ impl FromSnapshot for Wire {
 /// rendered bytes) on restore: a snapshot only restores into a network
 /// built from the *same* configuration.
 fn config_fingerprint(cfg: &NetworkConfig, kind: RouterKind) -> JsonValue {
+    let class = |c: LinkClass| {
+        obj([
+            ("latency", (c.latency as u64).into()),
+            ("width_denom", (c.width_denom as u64).into()),
+        ])
+    };
     let topology = match cfg.topology {
         TopologySpec::MeshK => obj([("kind", "mesh_k".into())]),
         TopologySpec::Mesh { w, h } => obj([
@@ -1688,6 +1861,28 @@ fn config_fingerprint(cfg: &NetworkConfig, kind: RouterKind) -> JsonValue {
             ("h", (h as u64).into()),
             ("cuts", (cuts as u64).into()),
             ("seed", hex(seed)),
+        ]),
+        TopologySpec::ChipletMesh {
+            k_chip,
+            k_node,
+            d2d,
+        } => obj([
+            ("kind", "chipletmesh".into()),
+            ("k_chip", (k_chip as u64).into()),
+            ("k_node", (k_node as u64).into()),
+            ("d2d", class(d2d)),
+        ]),
+        TopologySpec::ChipletStar {
+            chiplets,
+            k_node,
+            d2d,
+            hub,
+        } => obj([
+            ("kind", "chipletstar".into()),
+            ("chiplets", (chiplets as u64).into()),
+            ("k_node", (k_node as u64).into()),
+            ("d2d", class(d2d)),
+            ("hub", class(hub)),
         ]),
     };
     obj([
@@ -1718,6 +1913,20 @@ impl Network {
     /// construction).
     pub fn kind(&self) -> RouterKind {
         self.routers[0].kind()
+    }
+
+    /// The wire wheel's minimum slot count: one past the slowest link
+    /// class (the horizon the constructor sizes for).
+    fn min_wheel_slots(&self) -> usize {
+        self.wiring
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|l| l.latency)
+            .max()
+            .unwrap_or(1)
+            .max(self.cfg.link_latency) as usize
+            + 1
     }
 }
 
@@ -1762,6 +1971,15 @@ impl Snapshot for Network {
                 "link_flits",
                 JsonValue::Arr(
                     self.link_flits
+                        .iter()
+                        .map(|row| JsonValue::Arr(row.iter().map(|&x| x.into()).collect()))
+                        .collect(),
+                ),
+            ),
+            (
+                "link_free",
+                JsonValue::Arr(
+                    self.link_free
                         .iter()
                         .map(|row| JsonValue::Arr(row.iter().map(|&x| x.into()).collect()))
                         .collect(),
@@ -1813,15 +2031,20 @@ impl Restore for Network {
             }
             *word = w;
         }
+        // The wheel's base length is fixed by the link classes (which
+        // the config fingerprint pinned above), but serialisation
+        // pacing may have grown it past that; adopt the snapshot's
+        // horizon so in-flight wires land in the slots they left from.
         let wires = arr_field(v, "wires")?;
-        if wires.len() != self.wires.len() {
+        let min_slots = self.min_wheel_slots();
+        if wires.len() < min_slots {
             return Err(SnapshotError::new(format!(
-                "`wires` has {} slots but link latency {} needs {}",
+                "`wires` has {} slots but the slowest link class needs {}",
                 wires.len(),
-                self.cfg.link_latency,
-                self.wires.len()
+                min_slots,
             )));
         }
+        self.wires.resize_with(wires.len(), Vec::new);
         for (i, (slot, s)) in self.wires.iter_mut().zip(wires).enumerate() {
             slot.clear();
             slot.extend(
@@ -1848,6 +2071,21 @@ impl Restore for Network {
                     .ok_or_else(|| SnapshotError::new("`link_flits` entry is not a number"))?;
             }
         }
+        let link_free = arr_field(v, "link_free")?;
+        if link_free.len() != self.link_free.len() {
+            return Err(SnapshotError::new("`link_free` length mismatch"));
+        }
+        for (row, s) in self.link_free.iter_mut().zip(link_free) {
+            let arr = s
+                .as_array()
+                .filter(|a| a.len() == 5)
+                .ok_or_else(|| SnapshotError::new("`link_free` row is not a 5-entry array"))?;
+            for (slot, e) in row.iter_mut().zip(arr) {
+                *slot = e
+                    .as_u64()
+                    .ok_or_else(|| SnapshotError::new("`link_free` entry is not a number"))?;
+            }
+        }
         self.cycles_stepped = u64_field(v, "cycles_stepped")?;
         self.routers_stepped = u64_field(v, "routers_stepped")?;
         self.routers_skipped = u64_field(v, "routers_skipped")?;
@@ -1862,6 +2100,7 @@ impl Restore for Network {
         // Per-cycle scratch is empty at every cycle boundary; leave the
         // parallel stepper alone — thread count is orthogonal to state.
         self.arrivals_scratch.clear();
+        self.wire_out_scratch.clear();
         Ok(())
     }
 }
@@ -1901,12 +2140,14 @@ fn rebalance_every_default() -> u64 {
 }
 
 /// Precompute the per-router wiring table from the topology. For every
-/// output direction the entry names the downstream router and the input
-/// port our link enters it through; links are symmetric, so the same
-/// entry also names where the reverse credit belongs. The local port's
-/// slot stays `None` — NI traffic takes the dedicated `Eject`/`NiCredit`
-/// wires.
-fn build_wiring(topo: &Topology) -> Vec<WiringRow> {
+/// output direction the entry names the downstream router, the input
+/// port our link enters it through, and the link's physical class —
+/// [`Topology::link_class`] where the topology declares one, the
+/// uniform full-width `default_latency` otherwise. Links are symmetric,
+/// so the same entry also names where (and how fast) the reverse credit
+/// travels. The local port's slot stays `None` — NI traffic takes the
+/// dedicated `Eject`/`NiCredit` wires.
+fn build_wiring(topo: &Topology, default_latency: u32) -> Vec<WiringRow> {
     (0..topo.len())
         .map(|n| {
             let mut row: WiringRow = [None; 5];
@@ -1914,7 +2155,17 @@ fn build_wiring(topo: &Topology) -> Vec<WiringRow> {
                 if dir == Direction::Local {
                     continue;
                 }
-                row[dir.port().index()] = topo.link(n, dir).map(|m| (m, dir.opposite().port()));
+                row[dir.port().index()] = topo.link(n, dir).map(|m| {
+                    let class = topo
+                        .link_class(n, dir)
+                        .unwrap_or(LinkClass::full(default_latency));
+                    LinkTarget {
+                        down: m,
+                        in_port: dir.opposite().port(),
+                        latency: class.latency,
+                        width_denom: class.width_denom,
+                    }
+                });
             }
             row
         })

@@ -1,6 +1,6 @@
 //! Golden-snapshot pin and snapshot round-trip properties.
 //!
-//! The committed artefact `tests/golden/checkpoint_v3.json` is a full
+//! The committed artefact `tests/golden/checkpoint_v4.json` is a full
 //! checkpoint document (schema_version, cycle, delivery_offset,
 //! epochs, source, network) captured mid-campaign from a fixed
 //! configuration. The pin
@@ -26,7 +26,7 @@ use shield_router::RouterKind;
 
 const GOLDEN_PATH: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
-    "/tests/golden/checkpoint_v3.json"
+    "/tests/golden/checkpoint_v4.json"
 );
 
 /// The fixed campaign behind the committed artefact. Small enough to
@@ -144,14 +144,28 @@ fn random_mid_campaign_states_round_trip_byte_identically() {
     let mut rng = Lcg(0xFACADE);
     for case in 0..8 {
         let k = 3 + rng.pick(2) as u8; // 3x3 or 4x4
-        let topology = match rng.pick(3) {
+        let topology = match rng.pick(5) {
             0 => TopologySpec::MeshK,
             1 => TopologySpec::Torus { w: k, h: k },
-            _ => TopologySpec::CutMesh {
+            2 => TopologySpec::CutMesh {
                 w: k,
                 h: k,
                 cuts: 1 + rng.pick(2) as u16,
                 seed: rng.next(),
+            },
+            // The chiplet topologies put heterogeneous link classes —
+            // and thus the serialisation pacing state and a deeper
+            // wire wheel — mid-flight at the capture point.
+            3 => TopologySpec::ChipletMesh {
+                k_chip: 2,
+                k_node: k,
+                d2d: noc_types::LinkClass::D2D_DEFAULT,
+            },
+            _ => TopologySpec::ChipletStar {
+                chiplets: 2,
+                k_node: k,
+                d2d: noc_types::LinkClass::D2D_DEFAULT,
+                hub: noc_types::LinkClass::HUB_DEFAULT,
             },
         };
         let kind = if rng.pick(2) == 0 {

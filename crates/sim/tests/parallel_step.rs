@@ -17,22 +17,47 @@ use shield_router::{RouterKind, RouterStats};
 /// Deterministic uniform source (same shape as the property tests).
 struct Source {
     rng: StdRng,
-    k: u8,
+    w: u8,
+    h: u8,
     rate: f64,
     next: u64,
 }
 
 impl Source {
+    fn square(seed: u64, k: u8, rate: f64) -> Self {
+        Source {
+            rng: StdRng::seed_from_u64(seed),
+            w: k,
+            h: k,
+            rate,
+            next: 0,
+        }
+    }
+
+    /// A source covering exactly the network's (override-resolved)
+    /// grid, so the suite stays valid when `NOC_TOPOLOGY` rewrites a
+    /// `mesh_k` config onto a grid of different dimensions (the
+    /// chiplet-star override does; torus/cutmesh preserve them).
+    fn for_net(net: &Network, seed: u64, rate: f64) -> Self {
+        Source {
+            rng: StdRng::seed_from_u64(seed),
+            w: net.mesh().w,
+            h: net.mesh().h,
+            rate,
+            next: 0,
+        }
+    }
+
     fn tick(&mut self, cycle: u64) -> Vec<Packet> {
         let mut out = Vec::new();
-        for y in 0..self.k {
-            for x in 0..self.k {
+        for y in 0..self.h {
+            for x in 0..self.w {
                 if self.rng.random::<f64>() < self.rate {
                     let src = Coord::new(x, y);
                     let dst = loop {
                         let d = Coord::new(
-                            self.rng.random_range(0..self.k),
-                            self.rng.random_range(0..self.k),
+                            self.rng.random_range(0..self.w),
+                            self.rng.random_range(0..self.h),
                         );
                         if d != src {
                             break d;
@@ -108,10 +133,28 @@ fn fingerprint(net: &Network) -> Fingerprint {
     }
 }
 
+/// The grid dimensions of a `mesh_k = k` config after the
+/// `NOC_TOPOLOGY` override (mirrors [`Network::with_faults`]): sources
+/// and fault plans sized off them stay in range when the override
+/// changes the grid (the chiplet-star override does).
+fn resolved_dims(k: u8) -> (u8, u8) {
+    let mut cfg = NetworkConfig::paper();
+    cfg.mesh_k = k;
+    if let Ok(raw) = std::env::var("NOC_TOPOLOGY") {
+        cfg.topology = TopologySpec::parse_arg(&raw, k).expect("NOC_TOPOLOGY parses");
+    }
+    cfg.dims()
+}
+
+fn resolved_nodes(k: u8) -> usize {
+    let (w, h) = resolved_dims(k);
+    w as usize * h as usize
+}
+
 /// The campaigns the equivalence matrix runs: healthy meshes, permanent
 /// campaigns on both router kinds, and a transient storm.
 fn campaigns(k: u8, fault_seed: u64) -> Vec<(String, RouterKind, FaultPlan)> {
-    let nodes = (k as usize).pow(2);
+    let nodes = resolved_nodes(k);
     let cfg = RouterConfig::paper();
     let inj = InjectionConfig::accelerated_accumulating(300, 600);
     vec![
@@ -175,12 +218,7 @@ fn run_rb(
     net.set_threads(threads);
     net.set_skip_idle(skip_idle);
     net.set_rebalance_every(rebalance_every);
-    let mut src = Source {
-        rng: StdRng::seed_from_u64(seed),
-        k,
-        rate,
-        next: 0,
-    };
+    let mut src = Source::for_net(&net, seed, rate);
     for cycle in 0..900u64 {
         if cycle < 600 {
             net.offer_packets(src.tick(cycle));
@@ -269,12 +307,7 @@ fn worklist_is_sound() {
         net_cfg.mesh_k = k;
         let mut net = Network::with_faults(net_cfg, kind, &plan);
         net.set_worklist_audit(true);
-        let mut src = Source {
-            rng: StdRng::seed_from_u64(seed),
-            k,
-            rate: 0.03,
-            next: 0,
-        };
+        let mut src = Source::for_net(&net, seed, 0.03);
         for cycle in 0..700u64 {
             if cycle < 500 {
                 net.offer_packets(src.tick(cycle));
@@ -305,19 +338,14 @@ fn worklist_skips_most_idle_routers_at_low_load() {
     let mut net_cfg = NetworkConfig::paper();
     net_cfg.mesh_k = 6;
     let mut net = Network::new(net_cfg, RouterKind::Protected);
-    let mut src = Source {
-        rng: StdRng::seed_from_u64(0x10AD),
-        k: 6,
-        rate: 0.005,
-        next: 0,
-    };
+    let mut src = Source::for_net(&net, 0x10AD, 0.005);
     for cycle in 0..500u64 {
         net.offer_packets(src.tick(cycle));
         net.step(cycle);
     }
     let stepped = net.routers_stepped();
     let skipped = net.routers_skipped();
-    assert_eq!(stepped + skipped, 36 * 500);
+    assert_eq!(stepped + skipped, net.mesh().len() as u64 * 500);
     assert!(
         skipped > stepped,
         "expected most steps skipped at 0.5% load, got {stepped} stepped / {skipped} skipped"
@@ -337,9 +365,12 @@ fn report_exposes_worklist_skip_rate() {
         drain_cycles: 500,
         seed: 0,
     };
+    let (w, h) = resolved_dims(6);
+    let nodes = w as u64 * h as u64;
     let mut src = Source {
         rng: StdRng::seed_from_u64(0x10AD),
-        k: 6,
+        w,
+        h,
         rate: 0.005,
         next: 0,
     };
@@ -348,7 +379,7 @@ fn report_exposes_worklist_skip_rate() {
     let considered = report.routers_stepped + report.routers_skipped;
     assert_eq!(
         considered,
-        36 * report.cycles_run,
+        nodes * report.cycles_run,
         "every router is either stepped or skipped each cycle"
     );
     let expected = report.routers_skipped as f64 / considered as f64;
@@ -384,12 +415,7 @@ fn parallel_step_matches_serial_on_torus_and_cut_mesh() {
             let mut net = Network::new(net_cfg, RouterKind::Protected);
             net.set_threads(threads);
             net.set_rebalance_every(rebalance_every);
-            let mut src = Source {
-                rng: StdRng::seed_from_u64(0x7070),
-                k: 6,
-                rate: 0.03,
-                next: 0,
-            };
+            let mut src = Source::square(0x7070, 6, 0.03);
             for cycle in 0..800u64 {
                 if cycle < 550 {
                     net.offer_packets(src.tick(cycle));
@@ -457,12 +483,7 @@ fn spatial_grid_is_bit_identical_across_thread_counts() {
             let mut net = Network::with_faults(net_cfg, RouterKind::Protected, &plan);
             net.set_threads(threads);
             net.set_rebalance_every(64);
-            let mut src = Source {
-                rng: StdRng::seed_from_u64(0x9EA7),
-                k: 6,
-                rate: 0.03,
-                next: 0,
-            };
+            let mut src = Source::square(0x9EA7, 6, 0.03);
             for cycle in 0..800u64 {
                 if cycle < 550 {
                     net.offer_packets(src.tick(cycle));
@@ -506,12 +527,7 @@ fn shard_profile_records_rebalance_intervals() {
     let mut net = Network::new(net_cfg, RouterKind::Protected);
     net.set_threads(4);
     net.set_rebalance_every(100);
-    let mut src = Source {
-        rng: StdRng::seed_from_u64(0x50F1),
-        k: 6,
-        rate: 0.05,
-        next: 0,
-    };
+    let mut src = Source::for_net(&net, 0x50F1, 0.05);
     for cycle in 0..900u64 {
         if cycle < 700 {
             net.offer_packets(src.tick(cycle));
@@ -549,6 +565,149 @@ fn shard_profile_records_rebalance_intervals() {
     assert!(serial.shard_profile().is_empty());
 }
 
+/// Hierarchical topologies ride the same guarantee: d2d boundary links
+/// with latency > 1 and serialised narrow links land departures deeper
+/// in the wire wheel, and chiplet-boundary sharding cuts partitions at
+/// die edges — none of which may change a single observable versus the
+/// serial stepper. The star campaign also kills a hub router mid-run
+/// (`fail_router`, which recomputes the up*/down* tables around it) so
+/// re-routing around a dead die crossing is part of the equivalence;
+/// the XY-routed chiplet mesh cannot detour, so it runs a permanent
+/// fault campaign instead.
+#[test]
+fn parallel_step_matches_serial_on_chiplet_topologies() {
+    let d2d = noc_types::LinkClass {
+        latency: 4,
+        width_denom: 2,
+    };
+    let hub = noc_types::LinkClass {
+        latency: 2,
+        width_denom: 1,
+    };
+    let router_cfg = RouterConfig::paper();
+    let inj = InjectionConfig::accelerated_accumulating(300, 600);
+    let cases: Vec<(&str, TopologySpec, Option<Coord>, FaultPlan)> = vec![
+        (
+            "chipletmesh",
+            TopologySpec::ChipletMesh {
+                k_chip: 2,
+                k_node: 3,
+                d2d,
+            },
+            None,
+            FaultPlan::uniform_random(&router_cfg, 36, &inj, 0xD1E),
+        ),
+        (
+            "chipletstar",
+            TopologySpec::ChipletStar {
+                chiplets: 2,
+                k_node: 3,
+                d2d,
+                hub,
+            },
+            // The end-of-row hub router: killing it mid-campaign forces
+            // the up*/down* fabric to carry traffic around it. (An
+            // *interior* hub router is an articulation point of the
+            // up*/down* orientation — its neighbours could no longer
+            // route up — so the end router is the one that can die.)
+            Some(Coord::new(0, 3)),
+            FaultPlan::none(),
+        ),
+    ];
+    for (name, spec, dead, plan) in cases {
+        let run_spec = |threads: usize, rebalance_every: u64| {
+            let mut net_cfg = NetworkConfig::paper();
+            net_cfg.mesh_k = 6;
+            net_cfg.topology = spec;
+            net_cfg.validate().unwrap();
+            let (w, h) = net_cfg.dims();
+            let mut net = Network::with_faults(net_cfg, RouterKind::Protected, &plan);
+            net.set_threads(threads);
+            net.set_rebalance_every(rebalance_every);
+            let dead_id = dead.map(|c| net.mesh().id_of(c).index());
+            let mut src = Source {
+                rng: StdRng::seed_from_u64(0xC417),
+                w,
+                h,
+                rate: 0.03,
+                next: 0,
+            };
+            for cycle in 0..800u64 {
+                if cycle == 400 {
+                    if let Some(id) = dead_id {
+                        net.fail_router(id);
+                    }
+                }
+                if cycle < 550 {
+                    net.offer_packets(src.tick(cycle));
+                }
+                net.step(cycle);
+            }
+            fingerprint(&net)
+        };
+        let serial = run_spec(1, 0);
+        assert!(
+            !serial.deliveries.is_empty(),
+            "{name}: cross-die traffic must actually flow"
+        );
+        for threads in [2usize, 4, 8] {
+            for rebalance in [0u64, 64] {
+                let parallel = run_spec(threads, rebalance);
+                assert_eq!(
+                    serial, parallel,
+                    "divergence: topology={name} threads={threads} rebalance={rebalance}"
+                );
+            }
+        }
+    }
+}
+
+/// The exported heatmap document (chiplet-major keys included) is
+/// byte-identical between the serial stepper and every thread count on
+/// a hierarchical topology.
+#[test]
+fn chiplet_spatial_grid_is_bit_identical_across_thread_counts() {
+    let spec = TopologySpec::ChipletMesh {
+        k_chip: 2,
+        k_node: 3,
+        d2d: noc_types::LinkClass::D2D_DEFAULT,
+    };
+    let grid_bytes = |threads: usize| {
+        let mut net_cfg = NetworkConfig::paper();
+        net_cfg.mesh_k = 6;
+        net_cfg.topology = spec;
+        let mut net = Network::new(net_cfg, RouterKind::Protected);
+        net.set_threads(threads);
+        net.set_rebalance_every(64);
+        let mut src = Source::square(0x9EA7, 6, 0.03);
+        for cycle in 0..600u64 {
+            if cycle < 450 {
+                net.offer_packets(src.tick(cycle));
+            }
+            net.step(cycle);
+        }
+        net.spatial_grid().to_json().render()
+    };
+    let serial = grid_bytes(1);
+    let grid = noc_telemetry::SpatialGrid::from_json(
+        &noc_telemetry::json::JsonValue::parse(&serial).unwrap(),
+    )
+    .unwrap();
+    assert_eq!(
+        grid.chiplet_k,
+        Some(3),
+        "hierarchical grid keeps its die size"
+    );
+    assert!(grid.metric("flits_routed").unwrap().iter().sum::<u64>() > 0);
+    for threads in [2usize, 4, 8] {
+        assert_eq!(
+            serial,
+            grid_bytes(threads),
+            "chiplet spatial grid divergence: threads={threads}"
+        );
+    }
+}
+
 /// Thread counts beyond the row count clamp instead of misbehaving, and
 /// `set_threads(1)` returns to the serial path.
 #[test]
@@ -557,7 +716,12 @@ fn thread_count_knob_clamps_and_reverts() {
     net_cfg.mesh_k = 2;
     let mut net = Network::new(net_cfg, RouterKind::Protected);
     net.set_threads(16);
-    assert_eq!(net.threads(), 2, "a 2-row mesh clamps to 2 shards");
+    let rows = net.mesh().h as usize;
+    assert!(
+        (2..=rows).contains(&net.threads()),
+        "a {rows}-row grid clamps 16 threads to at most {rows} shards, got {}",
+        net.threads()
+    );
     for cycle in 0..50u64 {
         net.step(cycle);
     }

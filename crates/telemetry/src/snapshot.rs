@@ -56,7 +56,14 @@ use noc_types::{
 ///   carry `active_routers` / `load_imbalance`, and checkpoint
 ///   envelopes gain a `progress` section (the per-router counter grid,
 ///   informational — restore re-derives it from the routers).
-pub const SNAPSHOT_SCHEMA_VERSION: u64 = 3;
+/// * **4** — the heterogeneous link model: network snapshots carry the
+///   per-router `link_free` serialisation-pacing state, the `wires`
+///   wheel records its actual (possibly pacing-grown) horizon instead
+///   of a fixed `link_latency + 1` slots, config fingerprints cover the
+///   chiplet topologies (`chipletmesh` / `chipletstar` with their d2d
+///   and hub link classes), and spatial grids may carry a `chiplet_k`
+///   with chiplet-major `cx,cy:x,y` cell keys.
+pub const SNAPSHOT_SCHEMA_VERSION: u64 = 4;
 
 /// Error produced when a snapshot document cannot be decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]

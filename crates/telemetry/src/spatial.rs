@@ -110,6 +110,13 @@ pub struct SpatialGrid {
     pub width: usize,
     /// Rows.
     pub height: usize,
+    /// Hierarchical (chiplet) topologies only: the chiplet side length.
+    /// When set, JSON grid keys are chiplet-major (`"cx,cy:x,y"` — the
+    /// chiplet coordinate, then the router's position within it), CSV
+    /// rows gain `cx,cy` columns and the ASCII rendering draws chiplet
+    /// boundaries. Storage stays row-major over the global grid either
+    /// way.
+    pub chiplet_k: Option<usize>,
     /// Row-major cells (`y * width + x`).
     pub cells: Vec<CellStats>,
 }
@@ -124,7 +131,46 @@ impl SpatialGrid {
         SpatialGrid {
             width,
             height,
+            chiplet_k: None,
             cells: vec![CellStats::default(); width * height],
+        }
+    }
+
+    /// Mark the grid as hierarchical: cells group into `k × k` chiplets
+    /// (`k >= 1`; the chiplet coordinate of `(x, y)` is `(x/k, y/k)`).
+    pub fn with_chiplets(mut self, k: usize) -> Self {
+        assert!(k >= 1, "chiplet side length must be >= 1");
+        self.chiplet_k = Some(k);
+        self
+    }
+
+    /// The JSON grid key for the cell at global `(x, y)`: `"x,y"` on
+    /// flat grids, chiplet-major `"cx,cy:x,y"` (intra-chiplet `x,y`) on
+    /// hierarchical ones.
+    fn key(&self, x: usize, y: usize) -> String {
+        match self.chiplet_k {
+            Some(k) => format!("{},{}:{},{}", x / k, y / k, x % k, y % k),
+            None => format!("{x},{y}"),
+        }
+    }
+
+    /// Parse a JSON grid key back to global `(x, y)` under the grid's
+    /// keying scheme.
+    fn parse_key(&self, key: &str) -> Option<(usize, usize)> {
+        let pair = |s: &str| -> Option<(usize, usize)> {
+            let (a, b) = s.split_once(',')?;
+            Some((a.parse().ok()?, b.parse().ok()?))
+        };
+        match self.chiplet_k {
+            Some(k) => {
+                let (chip, local) = key.split_once(':')?;
+                let ((cx, cy), (lx, ly)) = (pair(chip)?, pair(local)?);
+                if lx >= k || ly >= k {
+                    return None;
+                }
+                Some((cx * k + lx, cy * k + ly))
+            }
+            None => pair(key),
         }
     }
 
@@ -153,25 +199,41 @@ impl SpatialGrid {
     }
 
     /// Render as a JSON object: dimensions plus a grid keyed by
-    /// coordinate (`"x,y"`), cells in row-major order.
+    /// coordinate (`"x,y"` flat, `"cx,cy:x,y"` hierarchical), cells in
+    /// row-major order. Flat grids omit the `chiplet_k` field, so their
+    /// rendering is byte-identical to the pre-chiplet schema.
     pub fn to_json(&self) -> JsonValue {
         let mut grid: Vec<(String, JsonValue)> = Vec::with_capacity(self.cells.len());
         for y in 0..self.height {
             for x in 0..self.width {
-                grid.push((format!("{x},{y}"), self.cells[y * self.width + x].json()));
+                grid.push((self.key(x, y), self.cells[y * self.width + x].json()));
             }
         }
-        obj([
-            ("width", (self.width as u64).into()),
-            ("height", (self.height as u64).into()),
-            ("grid", JsonValue::Obj(grid)),
-        ])
+        let mut fields = vec![
+            ("width".to_string(), (self.width as u64).into()),
+            ("height".to_string(), (self.height as u64).into()),
+        ];
+        if let Some(k) = self.chiplet_k {
+            fields.push(("chiplet_k".to_string(), (k as u64).into()));
+        }
+        fields.push(("grid".to_string(), JsonValue::Obj(grid)));
+        JsonValue::Obj(fields)
     }
 
     /// Rebuild a grid from its [`SpatialGrid::to_json`] rendering.
     pub fn from_json(v: &JsonValue) -> Result<Self, SnapshotError> {
         let width = u64_field(v, "width")? as usize;
         let height = u64_field(v, "height")? as usize;
+        let chiplet_k = match v.get("chiplet_k") {
+            None => None,
+            Some(field) => Some(
+                field
+                    .as_u64()
+                    .filter(|&k| k >= 1)
+                    .ok_or_else(|| SnapshotError::new("`chiplet_k` is not a positive number"))?
+                    as usize,
+            ),
+        };
         let grid = match v.get("grid") {
             Some(JsonValue::Obj(fields)) => fields,
             _ => return Err(SnapshotError::new("missing `grid` object")),
@@ -184,10 +246,10 @@ impl SpatialGrid {
             )));
         }
         let mut out = SpatialGrid::new(width, height);
+        out.chiplet_k = chiplet_k;
         for (key, cell) in grid {
-            let (x, y) = key
-                .split_once(',')
-                .and_then(|(a, b)| Some((a.parse::<usize>().ok()?, b.parse::<usize>().ok()?)))
+            let (x, y) = out
+                .parse_key(key)
                 .ok_or_else(|| SnapshotError::new(format!("bad grid key `{key}`")))?;
             if x >= width || y >= height {
                 return Err(SnapshotError::new(format!(
@@ -200,15 +262,23 @@ impl SpatialGrid {
         Ok(out)
     }
 
-    /// Render as CSV: one row per router, `x,y` first, then every
-    /// counter in [`METRIC_NAMES`] order.
+    /// Render as CSV: one row per router, `x,y` first (prefixed with
+    /// the `cx,cy` chiplet coordinate on hierarchical grids), then
+    /// every counter in [`METRIC_NAMES`] order.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("x,y,");
+        let mut out = String::new();
+        if self.chiplet_k.is_some() {
+            out.push_str("cx,cy,");
+        }
+        out.push_str("x,y,");
         out.push_str(&METRIC_NAMES.join(","));
         out.push('\n');
         for y in 0..self.height {
             for x in 0..self.width {
                 let c = &self.cells[y * self.width + x];
+                if let Some(k) = self.chiplet_k {
+                    out.push_str(&format!("{},{},", x / k, y / k));
+                }
                 out.push_str(&format!(
                     "{x},{y},{},{},{},{},{},{},{},{},{}\n",
                     c.flits_routed,
@@ -228,8 +298,10 @@ impl SpatialGrid {
 
     /// Render one metric as an aligned ASCII grid: right-justified
     /// counts, row `y = 0` at the top, plus a shaded miniature
-    /// (normalised against the grid maximum) alongside each row.
-    /// `None` for an unknown metric name.
+    /// (normalised against the grid maximum) alongside each row. On
+    /// hierarchical grids a `|` column and a `-` rule mark chiplet
+    /// boundaries in both renderings. `None` for an unknown metric
+    /// name.
     pub fn ascii(&self, name: &str) -> Option<String> {
         let values = self.metric(name)?;
         let max = values.iter().copied().max().unwrap_or(0);
@@ -238,22 +310,35 @@ impl SpatialGrid {
             .map(|v| v.to_string().len())
             .max()
             .unwrap_or(1);
+        let boundary = |i: usize| self.chiplet_k.is_some_and(|k| i > 0 && i.is_multiple_of(k));
         let mut out = String::new();
+        let mut line_len = 0;
         for y in 0..self.height {
             let row = &values[y * self.width..(y + 1) * self.width];
-            let numbers: Vec<String> = row.iter().map(|v| format!("{v:>cell_width$}")).collect();
-            let shades: String = row
-                .iter()
-                .map(|&v| {
-                    if max == 0 {
-                        RAMP[0]
-                    } else {
-                        RAMP[((v as u128 * (RAMP.len() as u128 - 1)).div_ceil(max as u128))
-                            as usize]
-                    }
-                })
-                .collect();
-            out.push_str(&format!("{}   {}\n", numbers.join(" "), shades));
+            let mut numbers = String::new();
+            let mut shades = String::new();
+            for (x, &v) in row.iter().enumerate() {
+                if x > 0 {
+                    numbers.push_str(if boundary(x) { " | " } else { " " });
+                }
+                if boundary(x) {
+                    shades.push('|');
+                }
+                numbers.push_str(&format!("{v:>cell_width$}"));
+                shades.push(if max == 0 {
+                    RAMP[0]
+                } else {
+                    RAMP[((v as u128 * (RAMP.len() as u128 - 1)).div_ceil(max as u128)) as usize]
+                });
+            }
+            let line = format!("{numbers}   {shades}");
+            if boundary(y) {
+                out.push_str(&"-".repeat(line_len));
+                out.push('\n');
+            }
+            line_len = line.len();
+            out.push_str(&line);
+            out.push('\n');
         }
         Some(out)
     }
@@ -311,6 +396,54 @@ mod tests {
             assert_eq!(values[5], g.cell(Coord::new(2, 1)).metric(name).unwrap());
         }
         assert!(g.metric("no_such_metric").is_none());
+    }
+
+    #[test]
+    fn chiplet_grids_use_chiplet_major_keys_and_round_trip() {
+        // A 4×4 grid of 2×2 chiplets: (3, 2) lives in chiplet (1, 1)
+        // at intra-chiplet (1, 0). The key format is golden-pinned —
+        // the service progress endpoint and `noc-cli heatmap` both
+        // parse it.
+        let mut g = SpatialGrid::new(4, 4).with_chiplets(2);
+        g.cell_mut(Coord::new(3, 2)).flits_routed = 99;
+        let text = g.to_json().render();
+        assert!(!text.contains("\"chiplet_k\":4"));
+        assert!(text.contains("\"chiplet_k\":2"));
+        assert!(text.contains("\"1,1:1,0\":{\"flits_routed\":99"));
+        assert!(text.contains("\"0,0:0,0\":"));
+        let back = SpatialGrid::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, g);
+        assert_eq!(back.to_json().render(), text);
+        // Flat keys are rejected on hierarchical grids and vice versa.
+        assert!(SpatialGrid::from_json(
+            &JsonValue::parse(&text.replace("\"1,1:1,0\"", "\"3,2\"")).unwrap()
+        )
+        .is_err());
+        // Intra-chiplet coordinates past the chiplet side are invalid.
+        assert!(SpatialGrid::from_json(
+            &JsonValue::parse(&text.replace("\"1,1:1,0\"", "\"1,1:2,0\"")).unwrap()
+        )
+        .is_err());
+        // CSV rows carry the chiplet coordinate first.
+        let csv = g.to_csv();
+        assert!(csv.starts_with("cx,cy,x,y,"));
+        assert!(csv.contains("\n1,1,3,2,99,"));
+    }
+
+    #[test]
+    fn chiplet_ascii_draws_die_boundaries() {
+        let mut g = SpatialGrid::new(4, 4).with_chiplets(2);
+        for (i, cell) in g.cells.iter_mut().enumerate() {
+            cell.flits_routed = i as u64;
+        }
+        let art = g.ascii("flits_routed").unwrap();
+        let lines: Vec<&str> = art.lines().collect();
+        // 4 value rows plus one horizontal rule between chiplet rows.
+        assert_eq!(lines.len(), 5);
+        assert!(lines[2].chars().all(|c| c == '-'), "rule between dies");
+        assert_eq!(lines[2].len(), lines[1].len());
+        // Vertical boundary in both the numbers and the shade strip.
+        assert_eq!(lines[0].matches('|').count(), 2);
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Hierarchical (chiplet) link classification.
+//!
+//! The chiplet topologies are ordinary grid graphs — [`crate::Topology`]
+//! already knows how to wire and route them — but their links fall into
+//! *classes* with different physical parameters: intra-chiplet links
+//! keep the global uniform default, die-to-die boundary links are long
+//! and often narrow, hub-chip links sit in between. This module owns
+//! the geometry of that classification; the simulator bakes the
+//! returned [`LinkClass`] into its wiring table once at construction,
+//! so the hot path never re-derives it.
+
+use noc_types::{Coord, Direction, LinkClass};
+
+/// Class of the `ChipletMesh` link leaving `c` through `dir`, on a grid
+/// tiled from `k_node × k_node` chiplets: `Some(d2d)` when the link
+/// crosses a chiplet boundary, `None` for intra-chiplet links (which
+/// use the uniform default).
+pub fn chiplet_mesh_link_class(
+    c: Coord,
+    dir: Direction,
+    k_node: u8,
+    d2d: LinkClass,
+) -> Option<LinkClass> {
+    let crosses = match dir {
+        Direction::East => (c.x + 1).is_multiple_of(k_node),
+        Direction::West => c.x.is_multiple_of(k_node),
+        Direction::South => (c.y + 1).is_multiple_of(k_node),
+        Direction::North => c.y.is_multiple_of(k_node),
+        Direction::Local => false,
+    };
+    crosses.then_some(d2d)
+}
+
+/// Class of the `ChipletStar` link leaving `c` through `dir`, on the
+/// `chiplets·k_node × (k_node+1)` star grid: hub-row horizontal links
+/// are `hub` class, vertical links between the chiplet bottom row and
+/// the hub row are `d2d`, intra-chiplet links are `None` (uniform
+/// default). The caller is responsible for only asking about links the
+/// star graph actually has.
+pub fn chiplet_star_link_class(
+    c: Coord,
+    dir: Direction,
+    k_node: u8,
+    d2d: LinkClass,
+    hub: LinkClass,
+) -> Option<LinkClass> {
+    let hub_row = k_node;
+    match dir {
+        Direction::East | Direction::West if c.y == hub_row => Some(hub),
+        Direction::South if c.y + 1 == hub_row => Some(d2d),
+        Direction::North if c.y == hub_row => Some(d2d),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const D2D: LinkClass = LinkClass::D2D_DEFAULT;
+    const HUB: LinkClass = LinkClass::HUB_DEFAULT;
+
+    #[test]
+    fn mesh_boundary_links_are_d2d_both_ways() {
+        // 2×2 chiplets of side 4: the x=3→x=4 and y=3→y=4 links cross.
+        let k = 4;
+        assert_eq!(
+            chiplet_mesh_link_class(Coord::new(3, 1), Direction::East, k, D2D),
+            Some(D2D)
+        );
+        assert_eq!(
+            chiplet_mesh_link_class(Coord::new(4, 1), Direction::West, k, D2D),
+            Some(D2D)
+        );
+        assert_eq!(
+            chiplet_mesh_link_class(Coord::new(2, 3), Direction::South, k, D2D),
+            Some(D2D)
+        );
+        assert_eq!(
+            chiplet_mesh_link_class(Coord::new(2, 4), Direction::North, k, D2D),
+            Some(D2D)
+        );
+        // Interior links stay uniform.
+        assert_eq!(
+            chiplet_mesh_link_class(Coord::new(1, 1), Direction::East, k, D2D),
+            None
+        );
+        assert_eq!(
+            chiplet_mesh_link_class(Coord::new(5, 6), Direction::North, k, D2D),
+            None
+        );
+        assert_eq!(
+            chiplet_mesh_link_class(Coord::new(3, 3), Direction::Local, k, D2D),
+            None
+        );
+    }
+
+    #[test]
+    fn star_classes_split_hub_d2d_and_inner() {
+        // 2 chiplets of side 3: hub row y = 3.
+        let k = 3;
+        assert_eq!(
+            chiplet_star_link_class(Coord::new(1, 3), Direction::East, k, D2D, HUB),
+            Some(HUB)
+        );
+        assert_eq!(
+            chiplet_star_link_class(Coord::new(4, 2), Direction::South, k, D2D, HUB),
+            Some(D2D)
+        );
+        assert_eq!(
+            chiplet_star_link_class(Coord::new(4, 3), Direction::North, k, D2D, HUB),
+            Some(D2D)
+        );
+        assert_eq!(
+            chiplet_star_link_class(Coord::new(1, 1), Direction::East, k, D2D, HUB),
+            None
+        );
+        assert_eq!(
+            chiplet_star_link_class(Coord::new(1, 1), Direction::South, k, D2D, HUB),
+            None
+        );
+    }
+}

@@ -86,6 +86,45 @@ impl Irregular {
     /// Panics if a cut names a non-existent link or if the cuts
     /// disconnect the graph.
     pub fn mesh_with_cut_links(w: u8, h: u8, cuts: &[(Coord, Direction)]) -> Self {
+        let mut topo = Irregular::with_root(w, h, cuts, 0);
+        topo.rebuild_tables();
+        topo
+    }
+
+    /// The chiplet-star graph of [`crate::Topology::ChipletStar`]:
+    /// `chiplets` disjoint `k_node × k_node` meshes side by side in
+    /// rows `0 .. k_node` (every horizontal link crossing a chiplet
+    /// boundary is absent), plus a hub row at `y = k_node` that every
+    /// bottom-row router connects down into and whose routers
+    /// interconnect left-to-right.
+    ///
+    /// The up\*/down\* orientation is rooted at the hub row's centre
+    /// router, so "up" always points toward the hub: legal routes
+    /// descend from a chiplet into the hub and back out, which is
+    /// exactly the star traffic pattern, and the standard up\*/down\*
+    /// acyclicity argument covers the cross-die links.
+    pub fn star(chiplets: u8, k_node: u8) -> Self {
+        assert!(chiplets >= 1 && k_node >= 2, "degenerate chiplet star");
+        let w = chiplets * k_node;
+        let h = k_node + 1;
+        let mut cuts: Vec<(Coord, Direction)> = Vec::new();
+        for chip in 1..chiplets {
+            let x = chip * k_node - 1;
+            for y in 0..k_node {
+                cuts.push((Coord::new(x, y), Direction::East));
+            }
+        }
+        let grid = Mesh::rect(w, h);
+        let root = grid.id_of(Coord::new(w / 2, k_node)).index();
+        let mut topo = Irregular::with_root(w, h, &cuts, root);
+        debug_assert!(topo.is_connected());
+        topo.rebuild_tables();
+        topo
+    }
+
+    /// [`Irregular::mesh_with_cut_links`] with an explicit orientation
+    /// root (tables left unbuilt — callers rebuild).
+    fn with_root(w: u8, h: u8, cuts: &[(Coord, Direction)], root: usize) -> Self {
         let grid = Mesh::rect(w, h);
         let n = grid.len();
         let mut active = vec![[false; 5]; n];
@@ -110,8 +149,7 @@ impl Irregular {
             topo.is_connected(),
             "the requested cuts disconnect the {w}x{h} mesh"
         );
-        topo.level = topo.bfs_levels();
-        topo.rebuild_tables();
+        topo.level = topo.bfs_levels(root);
         topo
     }
 
@@ -150,7 +188,7 @@ impl Irregular {
             done == cuts,
             "only {done} of {cuts} requested cuts keep the {w}x{h} mesh connected"
         );
-        topo.level = topo.bfs_levels();
+        topo.level = topo.bfs_levels(0);
         topo.rebuild_tables();
         topo
     }
@@ -283,14 +321,14 @@ impl Irregular {
         count == (0..n).filter(|&i| self.alive[i]).count()
     }
 
-    /// BFS levels from node 0 over active links (alive nodes only at
+    /// BFS levels from `root` over active links (alive nodes only at
     /// construction time, when everything is alive).
-    fn bfs_levels(&self) -> Vec<u32> {
+    fn bfs_levels(&self, root: usize) -> Vec<u32> {
         let n = self.grid.len();
         let mut level = vec![u32::MAX; n];
         let mut queue = std::collections::VecDeque::new();
-        level[0] = 0;
-        queue.push_back(0usize);
+        level[root] = 0;
+        queue.push_back(root);
         while let Some(u) = queue.pop_front() {
             for (_, v) in self.neighbours(u) {
                 if level[v] == u32::MAX {

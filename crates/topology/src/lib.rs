@@ -34,12 +34,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chiplet;
 pub mod irregular;
 pub mod torus;
 
 pub use irregular::Irregular;
 
-use noc_types::{Direction, Mesh, NetworkConfig, TopologySpec};
+use noc_types::{Direction, LinkClass, Mesh, NetworkConfig, TopologySpec};
 
 /// Which class of downstream virtual channels a routed hop may use.
 ///
@@ -86,6 +87,32 @@ pub enum Topology {
     Torus(Mesh),
     /// Connected subgraph of the grid with precomputed routing tables.
     Irregular(Irregular),
+    /// Grid of chiplets, each an internal mesh, neighbouring chiplets
+    /// joined along their full boundary by die-to-die links. The graph
+    /// is a plain global mesh (XY-routed, so deadlock freedom is
+    /// inherited — the channel-dependency acyclicity of XY does not
+    /// depend on per-link latency); only [`Topology::link_class`] is
+    /// hierarchical.
+    ChipletMesh {
+        /// The global bounding grid (`k_chip·k_node` per side).
+        grid: Mesh,
+        /// Chiplet side length.
+        k_node: u8,
+        /// Class of chiplet-boundary links.
+        d2d: LinkClass,
+    },
+    /// Chiplets around a central hub row, routed up\*/down\* with the
+    /// orientation rooted at the hub (see [`Irregular::star`]).
+    ChipletStar {
+        /// The star graph and its hub-rooted routing tables.
+        irr: Irregular,
+        /// Chiplet side length (the hub row sits at `y = k_node`).
+        k_node: u8,
+        /// Class of chiplet→hub links.
+        d2d: LinkClass,
+        /// Class of hub-internal links.
+        hub: LinkClass,
+    },
 }
 
 impl Topology {
@@ -102,6 +129,22 @@ impl Topology {
             TopologySpec::CutMesh { cuts, seed, .. } => {
                 Topology::Irregular(Irregular::random_cuts(w, h, cuts, seed))
             }
+            TopologySpec::ChipletMesh { k_node, d2d, .. } => Topology::ChipletMesh {
+                grid: Mesh::rect(w, h),
+                k_node,
+                d2d,
+            },
+            TopologySpec::ChipletStar {
+                chiplets,
+                k_node,
+                d2d,
+                hub,
+            } => Topology::ChipletStar {
+                irr: Irregular::star(chiplets, k_node),
+                k_node,
+                d2d,
+                hub,
+            },
         }
     }
 
@@ -110,8 +153,8 @@ impl Topology {
     #[inline]
     pub fn grid(&self) -> Mesh {
         match self {
-            Topology::Mesh(g) | Topology::Torus(g) => *g,
-            Topology::Irregular(ir) => ir.grid(),
+            Topology::Mesh(g) | Topology::Torus(g) | Topology::ChipletMesh { grid: g, .. } => *g,
+            Topology::Irregular(ir) | Topology::ChipletStar { irr: ir, .. } => ir.grid(),
         }
     }
 
@@ -127,12 +170,40 @@ impl Topology {
         false
     }
 
-    /// A short lowercase tag (`mesh` / `torus` / `irregular`).
+    /// A short lowercase tag (`mesh` / `torus` / `irregular` /
+    /// `chipletmesh` / `chipletstar`).
     pub fn tag(&self) -> &'static str {
         match self {
             Topology::Mesh(_) => "mesh",
             Topology::Torus(_) => "torus",
             Topology::Irregular(_) => "irregular",
+            Topology::ChipletMesh { .. } => "chipletmesh",
+            Topology::ChipletStar { .. } => "chipletstar",
+        }
+    }
+
+    /// The non-default link class of the link leaving `node` through
+    /// `dir`, if any: `None` means the uniform default
+    /// (`NetworkConfig::link_latency`, full width). Links are
+    /// symmetric — the reverse hop has the same class — so credits
+    /// returning upstream see the same latency as the flits they pay
+    /// for.
+    pub fn link_class(&self, node: usize, dir: Direction) -> Option<LinkClass> {
+        match self {
+            Topology::Mesh(_) | Topology::Torus(_) | Topology::Irregular(_) => None,
+            Topology::ChipletMesh { grid, k_node, d2d } => {
+                let c = grid.coord_of(noc_types::RouterId(node as u16));
+                chiplet::chiplet_mesh_link_class(c, dir, *k_node, *d2d)
+            }
+            Topology::ChipletStar {
+                irr,
+                k_node,
+                d2d,
+                hub,
+            } => {
+                let c = irr.grid().coord_of(noc_types::RouterId(node as u16));
+                chiplet::chiplet_star_link_class(c, dir, *k_node, *d2d, *hub)
+            }
         }
     }
 
@@ -158,7 +229,10 @@ impl Topology {
                     Some(id)
                 }
             }
-            Topology::Irregular(ir) => ir.link(node, dir),
+            Topology::Irregular(ir) | Topology::ChipletStar { irr: ir, .. } => ir.link(node, dir),
+            Topology::ChipletMesh { grid: g, .. } => g
+                .neighbour(g.coord_of(noc_types::RouterId(node as u16)), dir)
+                .map(|id| id.index()),
         }
     }
 
@@ -178,7 +252,14 @@ impl Topology {
                 let to = g.coord_of(noc_types::RouterId(dst as u16));
                 torus::route(*g, here, to)
             }
-            Topology::Irregular(ir) => (ir.route(node, dst), VcClass::Any),
+            Topology::Irregular(ir) | Topology::ChipletStar { irr: ir, .. } => {
+                (ir.route(node, dst), VcClass::Any)
+            }
+            Topology::ChipletMesh { grid: g, .. } => {
+                let here = g.coord_of(noc_types::RouterId(node as u16));
+                let to = g.coord_of(noc_types::RouterId(dst as u16));
+                (g.xy_route(here, to), VcClass::Any)
+            }
         }
     }
 
@@ -186,8 +267,8 @@ impl Topology {
     /// for mesh and torus; irregular graphs may have dead routers.
     pub fn is_alive(&self, node: usize) -> bool {
         match self {
-            Topology::Mesh(_) | Topology::Torus(_) => true,
-            Topology::Irregular(ir) => ir.is_alive(node),
+            Topology::Mesh(_) | Topology::Torus(_) | Topology::ChipletMesh { .. } => true,
+            Topology::Irregular(ir) | Topology::ChipletStar { irr: ir, .. } => ir.is_alive(node),
         }
     }
 
@@ -195,8 +276,10 @@ impl Topology {
     /// topology's routing (always true on mesh/torus).
     pub fn reachable(&self, node: usize, dst: usize) -> bool {
         match self {
-            Topology::Mesh(_) | Topology::Torus(_) => true,
-            Topology::Irregular(ir) => ir.reachable(node, dst),
+            Topology::Mesh(_) | Topology::Torus(_) | Topology::ChipletMesh { .. } => true,
+            Topology::Irregular(ir) | Topology::ChipletStar { irr: ir, .. } => {
+                ir.reachable(node, dst)
+            }
         }
     }
 
@@ -223,6 +306,17 @@ impl Topology {
     pub fn with_dead(&self, node: usize) -> Topology {
         match self {
             Topology::Irregular(ir) => Topology::Irregular(ir.with_dead(node)),
+            Topology::ChipletStar {
+                irr,
+                k_node,
+                d2d,
+                hub,
+            } => Topology::ChipletStar {
+                irr: irr.with_dead(node),
+                k_node: *k_node,
+                d2d: *d2d,
+                hub: *hub,
+            },
             _ => panic!(
                 "with_dead is only supported on irregular topologies \
                  (build one with Irregular::from_full_mesh)"
@@ -297,6 +391,145 @@ mod tests {
         }
         // Wraparound spot check: (0,0) west → (3,0) = id 3.
         assert_eq!(t.link(0, Direction::West), Some(3));
+    }
+
+    fn chiplet_mesh_cfg(k_chip: u8, k_node: u8) -> NetworkConfig {
+        let mut cfg = NetworkConfig::paper();
+        cfg.topology = noc_types::TopologySpec::ChipletMesh {
+            k_chip,
+            k_node,
+            d2d: noc_types::LinkClass::D2D_DEFAULT,
+        };
+        cfg
+    }
+
+    fn chiplet_star_cfg(chiplets: u8, k_node: u8) -> NetworkConfig {
+        let mut cfg = NetworkConfig::paper();
+        cfg.topology = noc_types::TopologySpec::ChipletStar {
+            chiplets,
+            k_node,
+            d2d: noc_types::LinkClass::D2D_DEFAULT,
+            hub: noc_types::LinkClass::HUB_DEFAULT,
+        };
+        cfg
+    }
+
+    #[test]
+    fn chiplet_mesh_is_a_full_mesh_with_classed_boundaries() {
+        let t = Topology::from_spec(&chiplet_mesh_cfg(2, 4));
+        assert_eq!(t.tag(), "chipletmesh");
+        assert_eq!(t.len(), 64);
+        let g = t.grid();
+        let mut d2d_links = 0;
+        for n in 0..t.len() {
+            let c = g.coord_of(noc_types::RouterId(n as u16));
+            for d in Direction::ALL {
+                // Wiring is exactly the full mesh's.
+                assert_eq!(t.link(n, d), g.neighbour(c, d).map(|id| id.index()));
+                // Link classes are symmetric across every link.
+                if let Some(m) = t.link(n, d) {
+                    assert_eq!(
+                        t.link_class(n, d),
+                        t.link_class(m, d.opposite()),
+                        "asymmetric class on {n}→{m}"
+                    );
+                    if t.link_class(n, d).is_some() {
+                        d2d_links += 1;
+                    }
+                }
+            }
+            // Routing is XY on the global grid.
+            for dst in 0..t.len() {
+                let to = g.coord_of(noc_types::RouterId(dst as u16));
+                assert_eq!(t.route(n, dst), (g.xy_route(c, to), VcClass::Any));
+            }
+        }
+        // 2×2 chiplets of side 4: one 4-wide seam per axis per chiplet
+        // pair = 2 seams × 8 links... counted from both endpoints.
+        assert_eq!(d2d_links, 2 * 2 * 4 * 2);
+    }
+
+    #[test]
+    fn chiplet_star_routes_between_dies_through_the_hub() {
+        let t = Topology::from_spec(&chiplet_star_cfg(3, 3));
+        assert_eq!(t.tag(), "chipletstar");
+        let g = t.grid();
+        assert_eq!((g.w, g.h), (9, 4));
+        // No direct chiplet-to-chiplet links.
+        for y in 0..3u8 {
+            for boundary in [2u8, 5] {
+                let n = g.id_of(noc_types::Coord::new(boundary, y)).index();
+                assert_eq!(t.link(n, Direction::East), None);
+            }
+        }
+        // Every cross-die route transits the hub row, and every pair
+        // routes (walk the tables like the irregular suite does).
+        for s in 0..t.len() {
+            for dst in 0..t.len() {
+                assert!(t.reachable(s, dst));
+                let mut here = s;
+                let mut hops = 0;
+                let mut saw_hub = false;
+                while here != dst {
+                    let (dir, _) = t.route(here, dst);
+                    here = t.link(here, dir).expect("route follows live links");
+                    if g.coord_of(noc_types::RouterId(here as u16)).y == 3 {
+                        saw_hub = true;
+                    }
+                    hops += 1;
+                    assert!(hops <= 2 * t.len(), "route {s}→{dst} did not terminate");
+                }
+                let (cs, cd) = (
+                    g.coord_of(noc_types::RouterId(s as u16)),
+                    g.coord_of(noc_types::RouterId(dst as u16)),
+                );
+                if cs.y < 3 && cd.y < 3 && cs.x / 3 != cd.x / 3 {
+                    assert!(saw_hub, "cross-die route {s}→{dst} skipped the hub");
+                }
+            }
+        }
+        // Link classes: hub row horizontal = hub, verticals into the
+        // hub = d2d, intra-chiplet = default.
+        let hub_node = g.id_of(noc_types::Coord::new(4, 3)).index();
+        assert_eq!(
+            t.link_class(hub_node, Direction::East),
+            Some(noc_types::LinkClass::HUB_DEFAULT)
+        );
+        assert_eq!(
+            t.link_class(hub_node, Direction::North),
+            Some(noc_types::LinkClass::D2D_DEFAULT)
+        );
+        let inner = g.id_of(noc_types::Coord::new(1, 1)).index();
+        assert_eq!(t.link_class(inner, Direction::East), None);
+    }
+
+    #[test]
+    fn chiplet_star_survives_a_mid_die_kill() {
+        let t = Topology::from_spec(&chiplet_star_cfg(2, 3));
+        let g = t.grid();
+        let dead = g.id_of(noc_types::Coord::new(1, 1)).index();
+        let t = t.with_dead(dead);
+        assert_eq!(t.tag(), "chipletstar");
+        assert!(!t.is_alive(dead));
+        for s in 0..t.len() {
+            for dst in 0..t.len() {
+                if s != dead {
+                    assert!(t.reachable(s, dst), "{s}→{dst} lost after kill");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_topologies_have_no_classed_links() {
+        for cfg in [NetworkConfig::paper()] {
+            let t = Topology::from_spec(&cfg);
+            for n in 0..t.len() {
+                for d in Direction::ALL {
+                    assert_eq!(t.link_class(n, d), None);
+                }
+            }
+        }
     }
 
     #[test]

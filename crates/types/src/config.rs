@@ -72,6 +72,69 @@ impl Default for RouterConfig {
     }
 }
 
+/// Physical class of one link: traversal latency plus a serialization
+/// width factor.
+///
+/// The historical model had a single global scalar
+/// ([`NetworkConfig::link_latency`], full-width); hierarchical
+/// topologies attach a `LinkClass` to the links that differ — long
+/// off-die d2d links, hub-chip wiring — while intra-chiplet links keep
+/// the global default. `width_denom` is the reciprocal of the
+/// width factor: a `width_denom = 4` link carries one flit per 4
+/// cycles (quarter width), so flits serialize onto it with 4-cycle
+/// spacing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkClass {
+    /// Link traversal latency in cycles (`>= 1`).
+    pub latency: u32,
+    /// Serialization factor: cycles of link occupancy per flit (`>= 1`;
+    /// `1` = full width).
+    pub width_denom: u32,
+}
+
+impl LinkClass {
+    /// A full-width link of the given latency (the uniform default).
+    pub const fn full(latency: u32) -> Self {
+        LinkClass {
+            latency,
+            width_denom: 1,
+        }
+    }
+
+    /// Default die-to-die boundary link: 4-cycle traversal at half
+    /// width (flits serialize with 2-cycle spacing), in the spirit of
+    /// the off-chip serial interfaces of the chiplet exemplars.
+    pub const D2D_DEFAULT: LinkClass = LinkClass {
+        latency: 4,
+        width_denom: 2,
+    };
+
+    /// Default hub-chip link for [`TopologySpec::ChipletStar`]: the
+    /// popnet-style "outer" wire delay, full width.
+    pub const HUB_DEFAULT: LinkClass = LinkClass {
+        latency: 2,
+        width_denom: 1,
+    };
+
+    /// Validate invariants: latency `1..=64` (bounds the wire wheel),
+    /// width denominator `1..=32`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.latency == 0 || self.latency > 64 {
+            return Err(format!(
+                "link-class latency must be 1..=64 cycles (got {})",
+                self.latency
+            ));
+        }
+        if self.width_denom == 0 || self.width_denom > 32 {
+            return Err(format!(
+                "link-class width denominator must be 1..=32 (got {})",
+                self.width_denom
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Which network graph to build on top of the `w × h` coordinate grid.
 ///
 /// Route computation for each variant lives in the `noc-topology` crate;
@@ -113,6 +176,39 @@ pub enum TopologySpec {
         /// Seed for the deterministic cut selection.
         seed: u64,
     },
+    /// A `k_chip × k_chip` grid of chiplets, each an internal
+    /// `k_node × k_node` mesh, with neighbouring chiplets joined along
+    /// their full boundary by die-to-die links of class `d2d`. The
+    /// global graph is a plain `(k_chip·k_node)²` mesh, XY-routed —
+    /// only the link classes are hierarchical — so deadlock freedom is
+    /// XY's, independent of per-link latency.
+    ChipletMesh {
+        /// Chiplets per side of the package.
+        k_chip: u8,
+        /// Routers per side of each chiplet (`>= 2`).
+        k_node: u8,
+        /// Class of the chiplet-boundary (die-to-die) links.
+        d2d: LinkClass,
+    },
+    /// `chiplets` square dies in a row, each an internal
+    /// `k_node × k_node` mesh with **no** direct chiplet-to-chiplet
+    /// links; instead every bottom-row router connects down to a
+    /// central hub chip (an extra grid row) over a `d2d` link, and the
+    /// hub routers interconnect over `hub`-class links — popnet-style
+    /// inner (on-die) vs outer (hub) wire delays. Routed up\*/down\*
+    /// with the orientation rooted at the hub, so every legal route
+    /// descends into the hub and back out, and the classic up\*/down\*
+    /// argument gives cross-die deadlock freedom.
+    ChipletStar {
+        /// Number of chiplets around the hub.
+        chiplets: u8,
+        /// Routers per side of each chiplet (`>= 2`).
+        k_node: u8,
+        /// Class of the chiplet→hub (die-to-die) links.
+        d2d: LinkClass,
+        /// Class of the hub-internal links.
+        hub: LinkClass,
+    },
 }
 
 impl TopologySpec {
@@ -122,16 +218,39 @@ impl TopologySpec {
             TopologySpec::MeshK | TopologySpec::Mesh { .. } => "mesh",
             TopologySpec::Torus { .. } => "torus",
             TopologySpec::CutMesh { .. } => "cutmesh",
+            TopologySpec::ChipletMesh { .. } => "chipletmesh",
+            TopologySpec::ChipletStar { .. } => "chipletstar",
+        }
+    }
+
+    /// For hierarchical (chiplet) topologies, the chiplet side length
+    /// `k_node` — the block size that groups global grid coordinates
+    /// into chiplets (`cx = x / k_node`). `None` for flat topologies.
+    pub const fn chiplet_k(&self) -> Option<u8> {
+        match self {
+            TopologySpec::ChipletMesh { k_node, .. } | TopologySpec::ChipletStar { k_node, .. } => {
+                Some(*k_node)
+            }
+            _ => None,
         }
     }
 
     /// Parse a CLI/env topology argument over a `k × k` grid: `mesh`,
-    /// `torus`, or `cutmesh<N>[:seed]` (`N` = links to cut; the optional
+    /// `torus`, `cutmesh<N>[:seed]` (`N` = links to cut; the optional
     /// seed drives the deterministic cut selection and defaults to
-    /// `0xC0FFEE ^ k`, the historical `NOC_TOPOLOGY` value). The one
-    /// shared parser behind the `NOC_TOPOLOGY` override, the bench
-    /// `--topology` flag and the CLI/service campaign specs, so every
-    /// entry point names the same graph for the same string.
+    /// `0xC0FFEE ^ k`, the historical `NOC_TOPOLOGY` value),
+    /// `chipletmesh<KC>x<KN>[:lat[:den]]` (a `KC × KC` grid of
+    /// `KN × KN` chiplets; `lat`/`den` override the d2d link latency
+    /// and width denominator), or `chipletstar<C>x<KN>[:lat[:den]]`
+    /// (`C` chiplets around a hub row). Bare `chipletmesh` /
+    /// `chipletstar` derive their shape from `k` (a `k × k` grid split
+    /// into chiplets where `k` is even, and two chiplets of side
+    /// `k / 2` around the hub respectively), so the `NOC_TOPOLOGY`
+    /// override maps default mesh configs onto chiplet graphs of
+    /// comparable size. The one shared parser behind the
+    /// `NOC_TOPOLOGY` override, the bench `--topology` flag and the
+    /// CLI/service campaign specs, so every entry point names the same
+    /// graph for the same string.
     ///
     /// Cut counts are clamped to what connectivity allows: a `k × k`
     /// grid has `2k(k−1)` links and needs `n−1` of them to stay
@@ -140,6 +259,45 @@ impl TopologySpec {
         match arg.trim() {
             "" | "mesh" => Ok(TopologySpec::MeshK),
             "torus" => Ok(TopologySpec::Torus { w: k, h: k }),
+            "chipletmesh" => {
+                // Preserve the k × k grid of the config being
+                // overridden: split an even side into 2 × 2 chiplets,
+                // else fall back to a single chiplet (degenerate but
+                // dimension-preserving).
+                let (k_chip, k_node) = if k >= 4 && k.is_multiple_of(2) {
+                    (2, k / 2)
+                } else {
+                    (1, k.max(2))
+                };
+                Ok(TopologySpec::ChipletMesh {
+                    k_chip,
+                    k_node,
+                    d2d: LinkClass::D2D_DEFAULT,
+                })
+            }
+            "chipletstar" => Ok(TopologySpec::ChipletStar {
+                chiplets: 2,
+                k_node: (k / 2).max(2),
+                d2d: LinkClass::D2D_DEFAULT,
+                hub: LinkClass::HUB_DEFAULT,
+            }),
+            s if s.starts_with("chipletmesh") => {
+                let (a, b, d2d) = parse_chiplet_dims(&s["chipletmesh".len()..], s)?;
+                Ok(TopologySpec::ChipletMesh {
+                    k_chip: a,
+                    k_node: b,
+                    d2d,
+                })
+            }
+            s if s.starts_with("chipletstar") => {
+                let (a, b, d2d) = parse_chiplet_dims(&s["chipletstar".len()..], s)?;
+                Ok(TopologySpec::ChipletStar {
+                    chiplets: a,
+                    k_node: b,
+                    d2d,
+                    hub: LinkClass::HUB_DEFAULT,
+                })
+            }
             s if s.starts_with("cutmesh") => {
                 let rest = &s["cutmesh".len()..];
                 let (cuts_str, seed) = match rest.split_once(':') {
@@ -165,10 +323,40 @@ impl TopologySpec {
                 })
             }
             other => Err(format!(
-                "unrecognised topology {other:?} (expected mesh | torus | cutmesh<N>[:seed])"
+                "unrecognised topology {other:?} (expected mesh | torus | cutmesh<N>[:seed] | \
+                 chipletmesh<KC>x<KN>[:lat[:den]] | chipletstar<C>x<KN>[:lat[:den]])"
             )),
         }
     }
+}
+
+/// Parse the `<A>x<B>[:lat[:den]]` tail of a chiplet topology argument:
+/// two grid factors plus an optional d2d link-class override.
+fn parse_chiplet_dims(rest: &str, whole: &str) -> Result<(u8, u8, LinkClass), String> {
+    let (dims, class) = match rest.split_once(':') {
+        None => (rest, None),
+        Some((d, c)) => (d, Some(c)),
+    };
+    let (a, b) = dims
+        .split_once('x')
+        .and_then(|(a, b)| Some((a.parse::<u8>().ok()?, b.parse::<u8>().ok()?)))
+        .ok_or_else(|| format!("bad chiplet dimensions in {whole:?} (expected <A>x<B>)"))?;
+    let mut d2d = LinkClass::D2D_DEFAULT;
+    if let Some(class) = class {
+        let (lat, den) = match class.split_once(':') {
+            None => (class, None),
+            Some((l, d)) => (l, Some(d)),
+        };
+        d2d.latency = lat
+            .parse()
+            .map_err(|_| format!("bad d2d latency in {whole:?}"))?;
+        if let Some(den) = den {
+            d2d.width_denom = den
+                .parse()
+                .map_err(|_| format!("bad d2d width denominator in {whole:?}"))?;
+        }
+    }
+    Ok((a, b, d2d))
 }
 
 /// Parameters of the simulated network.
@@ -210,6 +398,21 @@ impl NetworkConfig {
             TopologySpec::Mesh { w, h }
             | TopologySpec::Torus { w, h }
             | TopologySpec::CutMesh { w, h, .. } => (w, h),
+            // Saturate at the u8 coordinate ceiling; validate() rejects
+            // shapes that actually exceed it.
+            TopologySpec::ChipletMesh { k_chip, k_node, .. } => {
+                let side = k_chip as u16 * k_node as u16;
+                let side = if side > 255 { 255 } else { side as u8 };
+                (side, side)
+            }
+            TopologySpec::ChipletStar {
+                chiplets, k_node, ..
+            } => {
+                let w = chiplets as u16 * k_node as u16;
+                let w = if w > 255 { 255 } else { w as u8 };
+                let h = if k_node == 255 { 255 } else { k_node + 1 };
+                (w, h)
+            }
         }
     }
 
@@ -254,6 +457,55 @@ impl NetworkConfig {
                 if (w as usize) * (h as usize) < 2 && cuts > 0 {
                     return Err("cannot cut links of a single-node mesh".into());
                 }
+            }
+            TopologySpec::ChipletMesh {
+                k_chip,
+                k_node,
+                d2d,
+            } => {
+                if k_chip == 0 {
+                    return Err("a chiplet mesh needs at least one chiplet".into());
+                }
+                if k_node < 2 {
+                    return Err("chiplets need side length >= 2".into());
+                }
+                if k_chip as u16 * k_node as u16 > 255 {
+                    return Err(format!(
+                        "chiplet mesh side {k_chip}·{k_node} exceeds the 255-router \
+                         coordinate ceiling"
+                    ));
+                }
+                d2d.validate()?;
+            }
+            TopologySpec::ChipletStar {
+                chiplets,
+                k_node,
+                d2d,
+                hub,
+            } => {
+                if chiplets == 0 {
+                    return Err("a chiplet star needs at least one chiplet".into());
+                }
+                if k_node < 2 {
+                    return Err("chiplets need side length >= 2".into());
+                }
+                if chiplets as u16 * k_node as u16 > 255 {
+                    return Err(format!(
+                        "chiplet star width {chiplets}·{k_node} exceeds the 255-router \
+                         coordinate ceiling"
+                    ));
+                }
+                // Up*/down* tables are O(n²): keep the star family in
+                // the regime they were built for.
+                let nodes = chiplets as usize * k_node as usize * (k_node as usize + 1);
+                if nodes > 2048 {
+                    return Err(format!(
+                        "chiplet star has {nodes} routers; up*/down* routing tables cap \
+                         the family at 2048 (use chipletmesh for larger systems)"
+                    ));
+                }
+                d2d.validate()?;
+                hub.validate()?;
             }
             TopologySpec::MeshK | TopologySpec::Mesh { .. } => {}
         }
@@ -412,6 +664,132 @@ mod tests {
         assert!(TopologySpec::parse_arg("cutmeshX", 8).is_err());
         assert!(TopologySpec::parse_arg("cutmesh4:zz", 8).is_err());
         assert!(TopologySpec::parse_arg("ring", 8).is_err());
+    }
+
+    #[test]
+    fn chiplet_args_parse_to_specs() {
+        assert_eq!(
+            TopologySpec::parse_arg("chipletmesh4x8", 8),
+            Ok(TopologySpec::ChipletMesh {
+                k_chip: 4,
+                k_node: 8,
+                d2d: LinkClass::D2D_DEFAULT,
+            })
+        );
+        assert_eq!(
+            TopologySpec::parse_arg("chipletmesh2x4:6:4", 8),
+            Ok(TopologySpec::ChipletMesh {
+                k_chip: 2,
+                k_node: 4,
+                d2d: LinkClass {
+                    latency: 6,
+                    width_denom: 4,
+                },
+            })
+        );
+        assert_eq!(
+            TopologySpec::parse_arg("chipletstar4x4:3", 8),
+            Ok(TopologySpec::ChipletStar {
+                chiplets: 4,
+                k_node: 4,
+                d2d: LinkClass {
+                    latency: 3,
+                    width_denom: 2,
+                },
+                hub: LinkClass::HUB_DEFAULT,
+            })
+        );
+        // Bare forms derive a dimension-preserving shape from k.
+        assert_eq!(
+            TopologySpec::parse_arg("chipletmesh", 6),
+            Ok(TopologySpec::ChipletMesh {
+                k_chip: 2,
+                k_node: 3,
+                d2d: LinkClass::D2D_DEFAULT,
+            })
+        );
+        assert_eq!(
+            TopologySpec::parse_arg("chipletmesh", 5),
+            Ok(TopologySpec::ChipletMesh {
+                k_chip: 1,
+                k_node: 5,
+                d2d: LinkClass::D2D_DEFAULT,
+            })
+        );
+        assert_eq!(
+            TopologySpec::parse_arg("chipletstar", 8),
+            Ok(TopologySpec::ChipletStar {
+                chiplets: 2,
+                k_node: 4,
+                d2d: LinkClass::D2D_DEFAULT,
+                hub: LinkClass::HUB_DEFAULT,
+            })
+        );
+        assert!(TopologySpec::parse_arg("chipletmesh4", 8).is_err());
+        assert!(TopologySpec::parse_arg("chipletmeshAxB", 8).is_err());
+        assert!(TopologySpec::parse_arg("chipletmesh2x4:zz", 8).is_err());
+        assert!(TopologySpec::parse_arg("chipletstar4x4:2:nope", 8).is_err());
+    }
+
+    #[test]
+    fn chiplet_specs_validate_and_carry_dims() {
+        let mut n = NetworkConfig::paper();
+        n.topology = TopologySpec::ChipletMesh {
+            k_chip: 8,
+            k_node: 8,
+            d2d: LinkClass::D2D_DEFAULT,
+        };
+        assert_eq!(n.dims(), (64, 64));
+        assert_eq!(n.nodes(), 4096);
+        assert_eq!(n.topology.tag(), "chipletmesh");
+        assert_eq!(n.topology.chiplet_k(), Some(8));
+        assert!(n.validate().is_ok());
+
+        n.topology = TopologySpec::ChipletStar {
+            chiplets: 4,
+            k_node: 4,
+            d2d: LinkClass::D2D_DEFAULT,
+            hub: LinkClass::HUB_DEFAULT,
+        };
+        assert_eq!(n.dims(), (16, 5));
+        assert_eq!(n.nodes(), 80);
+        assert!(n.validate().is_ok());
+
+        // Invalid shapes and link classes are rejected.
+        n.topology = TopologySpec::ChipletMesh {
+            k_chip: 40,
+            k_node: 8,
+            d2d: LinkClass::D2D_DEFAULT,
+        };
+        assert!(n.validate().is_err(), "side 320 > 255");
+        n.topology = TopologySpec::ChipletMesh {
+            k_chip: 2,
+            k_node: 1,
+            d2d: LinkClass::D2D_DEFAULT,
+        };
+        assert!(n.validate().is_err(), "1-wide chiplets are degenerate");
+        n.topology = TopologySpec::ChipletMesh {
+            k_chip: 2,
+            k_node: 4,
+            d2d: LinkClass {
+                latency: 0,
+                width_denom: 1,
+            },
+        };
+        assert!(n.validate().is_err(), "zero-latency link class");
+        n.topology = TopologySpec::ChipletStar {
+            chiplets: 16,
+            k_node: 12,
+            d2d: LinkClass::D2D_DEFAULT,
+            hub: LinkClass::HUB_DEFAULT,
+        };
+        assert!(n.validate().is_err(), "2496 routers exceed the star cap");
+        assert!(LinkClass {
+            latency: 4,
+            width_denom: 33
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod ids;
 pub mod packet;
 pub mod vc;
 
-pub use config::{NetworkConfig, RouterConfig, SimConfig, TopologySpec};
+pub use config::{LinkClass, NetworkConfig, RouterConfig, SimConfig, TopologySpec};
 pub use flit::{Flit, FlitKind};
 pub use geometry::{Coord, Direction, Mesh};
 pub use ids::{FlitSeq, PacketId, PortId, RouterId, VcId};

@@ -1,7 +1,10 @@
 //! `noc-cli` — command-line front end to the shield-noc stack.
 //!
 //! ```text
-//! noc-cli simulate [--mesh K] [--topology mesh|torus|cutmesh<N>[:seed]]
+//! noc-cli simulate [--mesh K]
+//!                  [--topology mesh|torus|cutmesh<N>[:seed]
+//!                   |chipletmesh<KC>x<KN>[:lat[:den]]
+//!                   |chipletstar<C>x<KN>[:lat[:den]]]
 //!                  [--router protected|baseline]
 //!                  [--pattern NAME --rate F | --app NAME | --trace-in FILE]
 //!                  [--cycles N] [--seed S]
@@ -420,7 +423,8 @@ fn parse_client_args(cmd: &str, args: &[String]) -> Result<(String, Option<Strin
 }
 
 const USAGE: &str = "usage: noc-cli <simulate|trace|analyze|serve|submit|status|result|heatmap> \
-     [flags] (see module docs)";
+     [flags] (see module docs; --topology accepts mesh, torus, cutmesh<N>[:seed], \
+     chipletmesh<KC>x<KN>[:lat[:den]] and chipletstar<C>x<KN>[:lat[:den]])";
 
 fn traffic_of(source: &Source) -> Result<TrafficConfig, String> {
     Ok(match source {
@@ -839,6 +843,32 @@ mod tests {
             Command::Trace(t) => assert_eq!(t.topology, "torus"),
             _ => panic!("wrong command"),
         }
+        // Chiplet arguments flow through the same shared grammar.
+        match parse(&args("simulate --topology chipletmesh2x4:6:4")).unwrap() {
+            Command::Simulate(a) => {
+                assert_eq!(a.topology, "chipletmesh2x4:6:4");
+                assert_eq!(
+                    TopologySpec::parse_arg(&a.topology, a.mesh).unwrap(),
+                    TopologySpec::ChipletMesh {
+                        k_chip: 2,
+                        k_node: 4,
+                        d2d: shield_noc::types::LinkClass {
+                            latency: 6,
+                            width_denom: 4
+                        },
+                    }
+                );
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse(&args(
+            "trace --app fft --out /tmp/x.trace --topology chipletstar3x4",
+        ))
+        .unwrap()
+        {
+            Command::Trace(t) => assert_eq!(t.topology, "chipletstar3x4"),
+            _ => panic!("wrong command"),
+        }
         // The shared grammar rejects junk at run time, not parse time;
         // the run path surfaces the parser's message.
         assert!(run_simulate(SimulateArgs {
@@ -968,5 +998,53 @@ mod tests {
         assert!(err.contains("flits_routed"), "{err}");
         let err = heatmap_text(&JsonValue::Obj(vec![]), "flits_routed", false).unwrap_err();
         assert!(err.contains("no spatial grid"), "{err}");
+    }
+
+    /// Hierarchical (chiplet) grids flow through the same subcommand:
+    /// the chiplet-major keyed JSON from a `/jobs/:id/progress` body
+    /// parses, the ASCII rendering marks die boundaries, and the CSV
+    /// carries the chiplet coordinate columns. The rendering is pinned
+    /// structurally so a silent fall-back to flat keys fails here.
+    #[test]
+    fn heatmap_renders_chiplet_grids_with_die_boundaries() {
+        use shield_noc::telemetry::{JsonValue, SpatialGrid};
+        use shield_noc::types::Coord;
+
+        // 4×4 grid of 2×2 dies, one hot router per die quadrant.
+        let mut grid = SpatialGrid::new(4, 4).with_chiplets(2);
+        grid.cell_mut(Coord::new(0, 0)).flits_routed = 5;
+        grid.cell_mut(Coord::new(3, 0)).flits_routed = 7;
+        grid.cell_mut(Coord::new(1, 3)).flits_routed = 9;
+        let body = JsonValue::Obj(vec![
+            ("progress".into(), 0.25.into()),
+            ("heatmap".into(), grid.to_json()),
+        ]);
+
+        // The hierarchical keying survives the embed → find → parse
+        // path (a flat-keyed parser would reject "cx,cy:x,y" keys).
+        assert!(grid.to_json().render().contains("\"1,1:1,1\""));
+
+        let ascii = heatmap_text(&body, "flits_routed", false).unwrap();
+        let rows: Vec<&str> = ascii.lines().collect();
+        assert_eq!(rows.len(), 6, "title + 4 rows + 1 die rule:\n{ascii}");
+        assert!(rows[0].contains("4x4"));
+        assert!(
+            rows[3].chars().all(|c| c == '-'),
+            "die boundary rule between chiplet rows:\n{ascii}"
+        );
+        for row in [rows[1], rows[2], rows[4], rows[5]] {
+            assert_eq!(
+                row.matches(" | ").count(),
+                1,
+                "one vertical die boundary per row:\n{ascii}"
+            );
+        }
+        assert!(rows[1].contains('5') && rows[1].contains('7'));
+        assert!(rows[5].contains('9'));
+
+        let csv = heatmap_text(&body, "flits_routed", true).unwrap();
+        assert!(csv.starts_with("cx,cy,x,y,flits_routed,"), "{csv}");
+        assert!(csv.contains("\n1,0,3,0,7,"), "die coords precede: {csv}");
+        assert!(csv.contains("\n0,1,1,3,9,"), "die coords precede: {csv}");
     }
 }
