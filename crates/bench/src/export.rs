@@ -240,7 +240,10 @@ mod tests {
             );
             let topo = doc.get("topology").and_then(|v| v.as_str());
             assert!(
-                matches!(topo, Some("mesh" | "torus" | "cutmesh")),
+                matches!(
+                    topo,
+                    Some("mesh" | "torus" | "cutmesh" | "chipletmesh" | "chipletstar")
+                ),
                 "{name} must carry a known topology tag, got {topo:?}"
             );
         }

@@ -1,0 +1,418 @@
+//! Campaign execution: thousands of seeded fault scenarios per
+//! configuration, run in parallel over serial networks and classified.
+//!
+//! Every scenario is a fully deterministic function of the campaign
+//! seed, the fault count and the scenario index — the same fault sets
+//! and the same traffic are replayed under every routing mode, so the
+//! static-vs-adaptive comparison is paired. Parallelism comes from
+//! [`run_batch`] over independent scenarios (each simulated serially),
+//! which keeps results bit-identical at any thread count.
+
+use crate::scenario::LinkPool;
+use noc_faults::{FaultPlan, LinkFaultEvent};
+use noc_sim::{run_batch, Network};
+use noc_types::{
+    splitmix64, Cycle, Mesh, NetworkConfig, Packet, PacketId, PacketKind, RouterId, RoutingMode,
+};
+use shield_router::RouterKind;
+
+/// Mass fault-campaign configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Network under test. `base.routing` is overridden per arm.
+    pub base: NetworkConfig,
+    /// Router variant (protected by default).
+    pub router_kind: RouterKind,
+    /// Routing arms to compare (the same scenarios run under each).
+    pub modes: Vec<RoutingMode>,
+    /// Curve points: every fault count in `1..=max_faults`.
+    pub max_faults: u32,
+    /// Scenarios per (mode, fault count) point.
+    pub scenarios_per_point: u32,
+    /// Master seed; everything else derives from it.
+    pub seed: u64,
+    /// Cycles of traffic injection per scenario.
+    pub inject_cycles: Cycle,
+    /// Offered load in packets per node per 1000 cycles.
+    pub rate_permille: u64,
+    /// Extra cycles allowed for draining after injection stops.
+    pub drain_cycles: Cycle,
+    /// No observable progress for this many cycles ⇒ wedged.
+    pub stall_cycles: Cycle,
+    /// A drained scenario whose mean latency exceeds
+    /// `baseline × threshold / 100` is Degraded rather than
+    /// DeliveredAll.
+    pub degraded_threshold_pct: u64,
+    /// Worker threads for the scenario sweep (`0` = all cores,
+    /// `1` = serial). Results are identical at any setting.
+    pub threads: usize,
+}
+
+impl CampaignConfig {
+    /// A campaign over `base` with the paper-scale defaults: both
+    /// routing arms, 1000 scenarios per point, faults 1..=6.
+    pub fn new(base: NetworkConfig) -> Self {
+        CampaignConfig {
+            base,
+            router_kind: RouterKind::Protected,
+            modes: vec![RoutingMode::Static, RoutingMode::Adaptive],
+            max_faults: 6,
+            scenarios_per_point: 1_000,
+            seed: 1,
+            inject_cycles: 300,
+            rate_permille: 30,
+            drain_cycles: 4_000,
+            stall_cycles: 1_500,
+            degraded_threshold_pct: 150,
+            threads: 0,
+        }
+    }
+
+    /// CI-sized variant: 100 scenarios per point, faults 1..=2.
+    pub fn quick(base: NetworkConfig) -> Self {
+        CampaignConfig {
+            max_faults: 2,
+            scenarios_per_point: 100,
+            inject_cycles: 200,
+            drain_cycles: 2_500,
+            ..CampaignConfig::new(base)
+        }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.modes.is_empty() {
+            return Err("campaign needs at least one routing mode".into());
+        }
+        // The NOC_ROUTING override rewrites Static configs inside the
+        // simulator, which would silently turn a static arm into a
+        // second adaptive arm and fake the comparison. Refuse loudly.
+        if self.modes.contains(&RoutingMode::Static) && std::env::var("NOC_ROUTING").is_ok() {
+            return Err(
+                "NOC_ROUTING is set: it would override the campaign's static arm; unset it".into(),
+            );
+        }
+        if self.max_faults == 0 || self.scenarios_per_point == 0 {
+            return Err("campaign needs at least one fault point and one scenario".into());
+        }
+        if self.inject_cycles == 0 || self.rate_permille == 0 {
+            return Err("campaign needs non-zero traffic".into());
+        }
+        self.base.validate()
+    }
+}
+
+/// How one scenario ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Drained, every offered packet delivered, latency within the
+    /// degradation threshold of the fault-free baseline.
+    DeliveredAll,
+    /// Drained and delivered everything, but slower than the threshold
+    /// allows — the faults cost real performance.
+    Degraded,
+    /// Packets were lost (dropped on dead links, misdelivered, or the
+    /// network wedged without a circular wait — truncated in-flight
+    /// packets starving a buffer).
+    LostPackets,
+    /// The network wedged and the flight recorder found a circular
+    /// wait.
+    Deadlocked,
+}
+
+impl Outcome {
+    /// Stable tag for JSON and tables.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Outcome::DeliveredAll => "delivered_all",
+            Outcome::Degraded => "degraded",
+            Outcome::LostPackets => "lost_packets",
+            Outcome::Deadlocked => "deadlocked",
+        }
+    }
+
+    /// Whether the scenario counts as surviving for the
+    /// faults-to-failure curve.
+    pub fn survived(self) -> bool {
+        matches!(self, Outcome::DeliveredAll | Outcome::Degraded)
+    }
+}
+
+/// One classified scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Routing arm.
+    pub mode: RoutingMode,
+    /// Requested fault count (the curve's x-coordinate).
+    pub faults: u32,
+    /// Faults actually placed (≤ `faults` when the keep-connected
+    /// filter ran out of candidates).
+    pub placed: u32,
+    /// Scenario index within the point.
+    pub scenario: u32,
+    /// Classified outcome.
+    pub outcome: Outcome,
+    /// Packets offered.
+    pub offered: u64,
+    /// Packets delivered to the right destination.
+    pub delivered: u64,
+    /// Mean end-to-end latency ×100 (0 when nothing delivered).
+    pub mean_latency_x100: u64,
+    /// Whether the network fully drained within the cycle budget
+    /// (false ⇒ wedged: deadlocked or starved).
+    pub drained: bool,
+    /// Cycles simulated.
+    pub cycles_run: Cycle,
+    /// Rendered wait-for cycle when deadlocked.
+    pub wait_cycle: Vec<String>,
+}
+
+/// A finished campaign: every classified scenario plus throughput
+/// metadata.
+#[derive(Debug, Clone)]
+pub struct CampaignRun {
+    /// Configuration the campaign ran with.
+    pub config: CampaignConfig,
+    /// Every scenario, ordered (mode, faults, scenario).
+    pub results: Vec<ScenarioResult>,
+    /// Fault-free mean latency ×100 per (mode, scenario) — the
+    /// Degraded classification baseline.
+    pub baselines: Vec<(RoutingMode, u64)>,
+    /// Wall-clock milliseconds for the whole sweep.
+    pub elapsed_ms: u64,
+    /// Scenario simulations per wall-clock second (includes the
+    /// fault-free baseline runs).
+    pub scenarios_per_sec: f64,
+}
+
+/// Raw per-run measurements, before classification.
+struct RawRun {
+    offered: u64,
+    delivered: u64,
+    misdelivered: u64,
+    drained: bool,
+    mean_latency_x100: u64,
+    cycles_run: Cycle,
+    wait_cycle: Vec<String>,
+}
+
+/// Deterministic uniform-random source over all routers.
+struct Source {
+    rng: u64,
+    grid: Mesh,
+    rate_permille: u64,
+    next: u64,
+}
+
+impl Source {
+    fn tick(&mut self, cycle: Cycle) -> Vec<Packet> {
+        let mut out = Vec::new();
+        let n = self.grid.len() as u64;
+        for src in self.grid.coords() {
+            if splitmix64(&mut self.rng) % 1000 >= self.rate_permille {
+                continue;
+            }
+            let dst = loop {
+                let d = self
+                    .grid
+                    .coord_of(RouterId((splitmix64(&mut self.rng) % n) as u16));
+                if d != src {
+                    break d;
+                }
+            };
+            let kind = if self.next.is_multiple_of(3) {
+                PacketKind::Data
+            } else {
+                PacketKind::Control
+            };
+            self.next += 1;
+            out.push(Packet::new(PacketId(self.next), kind, src, dst, cycle));
+        }
+        out
+    }
+}
+
+fn mix(parts: &[u64]) -> u64 {
+    let mut h = 0x243F_6A88_85A3_08D3u64;
+    for &p in parts {
+        h ^= p;
+        splitmix64(&mut h);
+    }
+    h
+}
+
+/// Simulate one scenario to completion (or to a stall verdict).
+fn run_one(
+    cc: &CampaignConfig,
+    mode: RoutingMode,
+    faults: &[LinkFaultEvent],
+    traffic_seed: u64,
+) -> RawRun {
+    let mut cfg = cc.base;
+    cfg.routing = mode;
+    let plan = FaultPlan::none().with_link_faults(faults.to_vec());
+    let mut net = Network::with_faults(cfg, cc.router_kind, &plan);
+    let grid = net.topology().grid();
+    let mut src = Source {
+        rng: traffic_seed,
+        grid,
+        rate_permille: cc.rate_permille,
+        next: 0,
+    };
+    let budget = cc.inject_cycles + cc.drain_cycles;
+    let mut cycle: Cycle = 0;
+    let mut drained = false;
+    while cycle < budget {
+        if cycle < cc.inject_cycles {
+            net.offer_packets(src.tick(cycle));
+        }
+        net.step(cycle);
+        cycle += 1;
+        if cycle >= cc.inject_cycles {
+            if net.in_flight_flits() == 0 && net.queued_packets() == 0 {
+                drained = true;
+                break;
+            }
+            if net.last_activity + cc.stall_cycles < cycle {
+                break; // wedged — classify from the flight record
+            }
+        }
+    }
+    let (offered, _injected, ejected, misdelivered) = net.packet_counters();
+    let deliveries = net.deliveries();
+    let mean_latency_x100 = if deliveries.is_empty() {
+        0
+    } else {
+        let total: u64 = deliveries
+            .iter()
+            .map(|d| d.ejected_at.saturating_sub(d.created_at))
+            .sum();
+        total * 100 / deliveries.len() as u64
+    };
+    let wait_cycle = if drained {
+        Vec::new()
+    } else {
+        net.flight_record(cycle)
+            .cycle_edges
+            .map(|edges| edges.iter().map(|e| e.to_string()).collect())
+            .unwrap_or_default()
+    };
+    RawRun {
+        offered,
+        delivered: ejected,
+        misdelivered,
+        drained,
+        mean_latency_x100,
+        cycles_run: cycle,
+        wait_cycle,
+    }
+}
+
+fn classify(raw: &RawRun, baseline_x100: u64, threshold_pct: u64) -> Outcome {
+    if !raw.drained {
+        return if raw.wait_cycle.is_empty() {
+            Outcome::LostPackets
+        } else {
+            Outcome::Deadlocked
+        };
+    }
+    if raw.delivered < raw.offered || raw.misdelivered > 0 {
+        return Outcome::LostPackets;
+    }
+    if baseline_x100 > 0 && raw.mean_latency_x100 * 100 > baseline_x100 * threshold_pct {
+        return Outcome::Degraded;
+    }
+    Outcome::DeliveredAll
+}
+
+/// Run the full campaign: fault-free baselines first, then every
+/// (mode × fault count × scenario) cell, classified against the
+/// baselines.
+pub fn run_campaign(cc: &CampaignConfig) -> Result<CampaignRun, String> {
+    cc.validate()?;
+    let pool = LinkPool::new(&cc.base);
+    if pool.is_empty() {
+        return Err("topology has no links to fault".into());
+    }
+    let started = std::time::Instant::now();
+
+    // Fault-free baselines: one per (mode, scenario) traffic stream.
+    // The traffic seed depends on the scenario index only, so the
+    // baseline pairs exactly with the faulted runs it classifies.
+    let base_jobs: Vec<(RoutingMode, u32)> = cc
+        .modes
+        .iter()
+        .flat_map(|&m| (0..cc.scenarios_per_point).map(move |s| (m, s)))
+        .collect();
+    let base_raw = run_batch(base_jobs.clone(), cc.threads, |(mode, sc)| {
+        run_one(cc, mode, &[], mix(&[cc.seed, 0x7_72AF, sc as u64]))
+    });
+    let baselines: Vec<(RoutingMode, u64)> = base_jobs
+        .iter()
+        .zip(&base_raw)
+        .map(|(&(mode, _), raw)| (mode, raw.mean_latency_x100))
+        .collect();
+    let baseline_of = |mode: RoutingMode, sc: u32| -> u64 {
+        let ix = cc.modes.iter().position(|&m| m == mode).unwrap_or(0);
+        base_raw[ix * cc.scenarios_per_point as usize + sc as usize].mean_latency_x100
+    };
+
+    // Fault sets: one per (faults, scenario), shared by every mode.
+    let mut fault_sets: Vec<Vec<LinkFaultEvent>> = Vec::new();
+    for faults in 1..=cc.max_faults {
+        for sc in 0..cc.scenarios_per_point {
+            fault_sets.push(pool.sample(
+                mix(&[cc.seed, 0xFA_17, faults as u64, sc as u64]),
+                faults as usize,
+                cc.inject_cycles,
+            ));
+        }
+    }
+    let set_of = |faults: u32, sc: u32| {
+        &fault_sets[(faults - 1) as usize * cc.scenarios_per_point as usize + sc as usize]
+    };
+
+    let jobs: Vec<(RoutingMode, u32, u32)> = cc
+        .modes
+        .iter()
+        .flat_map(|&m| {
+            (1..=cc.max_faults)
+                .flat_map(move |f| (0..cc.scenarios_per_point).map(move |s| (m, f, s)))
+        })
+        .collect();
+    let raw = run_batch(jobs.clone(), cc.threads, |(mode, faults, sc)| {
+        run_one(
+            cc,
+            mode,
+            set_of(faults, sc),
+            mix(&[cc.seed, 0x7_72AF, sc as u64]),
+        )
+    });
+
+    let results: Vec<ScenarioResult> = jobs
+        .iter()
+        .zip(&raw)
+        .map(|(&(mode, faults, sc), r)| ScenarioResult {
+            mode,
+            faults,
+            placed: set_of(faults, sc).len() as u32,
+            scenario: sc,
+            outcome: classify(r, baseline_of(mode, sc), cc.degraded_threshold_pct),
+            offered: r.offered,
+            delivered: r.delivered,
+            mean_latency_x100: r.mean_latency_x100,
+            drained: r.drained,
+            cycles_run: r.cycles_run,
+            wait_cycle: r.wait_cycle.clone(),
+        })
+        .collect();
+
+    let elapsed_ms = started.elapsed().as_millis().max(1) as u64;
+    let total_runs = (base_raw.len() + raw.len()) as f64;
+    Ok(CampaignRun {
+        config: cc.clone(),
+        results,
+        baselines,
+        elapsed_ms,
+        scenarios_per_sec: total_runs * 1000.0 / elapsed_ms as f64,
+    })
+}

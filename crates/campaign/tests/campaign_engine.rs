@@ -1,0 +1,155 @@
+//! End-to-end campaign engine checks on a small mesh: adaptive routing
+//! must dominate static dimension-order routing, adaptive must never
+//! deadlock, and results must be bit-identical at any thread count.
+
+use noc_campaign::{report_json, run_campaign, summarise, CampaignConfig, Outcome};
+use noc_telemetry::json::JsonValue;
+use noc_types::{NetworkConfig, RoutingMode, TopologySpec};
+
+fn mesh_cfg(k: u8) -> NetworkConfig {
+    let mut cfg = NetworkConfig::paper();
+    cfg.mesh_k = k;
+    cfg.topology = TopologySpec::Mesh { w: k, h: k };
+    cfg
+}
+
+/// A CI-sized campaign that still has enough scenarios for the
+/// dominance signal to be unambiguous.
+fn small_campaign(k: u8, scenarios: u32, max_faults: u32) -> CampaignConfig {
+    let mut cc = CampaignConfig::quick(mesh_cfg(k));
+    cc.scenarios_per_point = scenarios;
+    cc.max_faults = max_faults;
+    cc.inject_cycles = 150;
+    cc.drain_cycles = 2_000;
+    cc.stall_cycles = 800;
+    cc.seed = 0xCA_3A16;
+    cc
+}
+
+#[test]
+fn adaptive_dominates_static_and_never_deadlocks() {
+    let cc = small_campaign(6, 16, 3);
+    let run = run_campaign(&cc).expect("campaign runs");
+    assert_eq!(
+        run.results.len(),
+        2 * 3 * 16,
+        "every (mode, faults, scenario) cell is present"
+    );
+
+    // Layer-1 tentpole claim at network scale: adaptive always drains
+    // and never wedges. Packets physically on a link at the moment it
+    // dies are unavoidable casualties (any routing loses them), so the
+    // only loss adaptive may show is a handful per placed fault; all
+    // traffic injected afterwards routes around the damage.
+    for r in &run.results {
+        if r.mode == RoutingMode::Adaptive {
+            assert!(
+                r.drained,
+                "adaptive scenario wedged: faults={} scenario={} outcome={:?} wait_cycle={:?}",
+                r.faults, r.scenario, r.outcome, r.wait_cycle,
+            );
+            assert_ne!(r.outcome, Outcome::Deadlocked);
+            assert!(
+                r.offered - r.delivered <= 5 * u64::from(r.placed),
+                "adaptive lost more than the onset casualties: faults={} scenario={} \
+                 offered={} delivered={}",
+                r.faults,
+                r.scenario,
+                r.offered,
+                r.delivered,
+            );
+        }
+    }
+    let static_losses = run
+        .results
+        .iter()
+        .filter(|r| r.mode == RoutingMode::Static && !r.outcome.survived())
+        .count();
+    assert!(
+        static_losses > 0,
+        "static XY should lose packets somewhere across {} faulted scenarios",
+        3 * 16
+    );
+
+    let summaries = summarise(&run);
+    let curve_of = |mode| {
+        &summaries
+            .iter()
+            .find(|s| s.mode == mode)
+            .expect("mode summarised")
+            .curve
+    };
+    assert!(
+        curve_of(RoutingMode::Adaptive).dominates(curve_of(RoutingMode::Static)),
+        "adaptive curve must dominate static:\nadaptive: {:?}\nstatic: {:?}",
+        curve_of(RoutingMode::Adaptive),
+        curve_of(RoutingMode::Static),
+    );
+
+    // The report round-trips through the JSON writer/parser and keeps
+    // the envelope fields the bench/service consumers key on.
+    let json = report_json(&run);
+    let text = json.render();
+    let back = JsonValue::parse(&text).expect("report JSON parses");
+    assert_eq!(
+        back.get("kind").and_then(JsonValue::as_str),
+        Some("fault_campaign")
+    );
+    assert_eq!(
+        back.get("topology").and_then(JsonValue::as_str),
+        Some("mesh")
+    );
+    let modes = back
+        .get("modes")
+        .and_then(JsonValue::as_array)
+        .expect("modes array");
+    assert_eq!(modes.len(), 2);
+    for m in modes {
+        let curve = m
+            .get("curve")
+            .and_then(JsonValue::as_array)
+            .expect("curve array");
+        assert_eq!(curve.len(), 3, "one point per fault count");
+    }
+}
+
+#[test]
+fn campaign_results_are_identical_at_any_thread_count() {
+    let mut cc = small_campaign(4, 6, 2);
+    cc.modes = vec![RoutingMode::Adaptive, RoutingMode::Static];
+    let runs: Vec<_> = [1usize, 4]
+        .into_iter()
+        .map(|threads| {
+            let mut c = cc.clone();
+            c.threads = threads;
+            run_campaign(&c).expect("campaign runs")
+        })
+        .collect();
+    assert_eq!(runs[0].baselines, runs[1].baselines);
+    assert_eq!(runs[0].results.len(), runs[1].results.len());
+    for (a, b) in runs[0].results.iter().zip(&runs[1].results) {
+        assert_eq!(a.mode, b.mode);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.placed, b.placed);
+        assert_eq!(a.scenario, b.scenario);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.offered, b.offered);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.mean_latency_x100, b.mean_latency_x100);
+        assert_eq!(a.cycles_run, b.cycles_run);
+        assert_eq!(a.wait_cycle, b.wait_cycle);
+    }
+}
+
+#[test]
+fn degenerate_configs_are_rejected() {
+    let mut cc = small_campaign(4, 4, 1);
+    cc.modes.clear();
+    assert!(run_campaign(&cc).is_err(), "no modes");
+    let mut cc = small_campaign(4, 4, 1);
+    cc.scenarios_per_point = 0;
+    assert!(run_campaign(&cc).is_err(), "no scenarios");
+    let mut cc = small_campaign(4, 4, 1);
+    cc.rate_permille = 0;
+    assert!(run_campaign(&cc).is_err(), "no traffic");
+}

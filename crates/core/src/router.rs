@@ -134,6 +134,35 @@ pub enum RoutingAlgorithm {
         /// This router's node id within the topology.
         node: usize,
     },
+    /// Congestion-adaptive minimal routing with a reserved escape VC
+    /// class (Duato's protocol). RC computes the *minimal quadrant*
+    /// candidate set, filters it by the per-direction live-link mask,
+    /// and picks the least-congested candidate from the router's own
+    /// credit state; deadlock freedom comes from the lower half of every
+    /// port's VCs being reserved as an *escape class* routed by shared
+    /// up\*/down\* tables over the surviving grid links. Packets may
+    /// transfer from adaptive VCs into the escape class but never back
+    /// out, so the combined channel-dependency graph stays acyclic.
+    /// See `Router::route_adaptively` in `stages.rs` and
+    /// ARCHITECTURE.md §"Adaptive routing & fault campaigns".
+    Adaptive {
+        /// The physical topology (mesh / torus / chiplet-mesh).
+        topo: std::sync::Arc<Topology>,
+        /// The escape network: up\*/down\* tables over the surviving
+        /// non-wrap grid links, shared across the network's routers and
+        /// swapped atomically when a link fault severs a grid link.
+        escape: std::sync::Arc<noc_topology::Irregular>,
+        /// This router's node id within the topology.
+        node: usize,
+        /// Live-link bitmask over [`Direction`] discriminants (bit 1 =
+        /// North … bit 4 = West); a link fault clears its bit.
+        live: u8,
+        /// Test hook: `false` removes the escape class entirely,
+        /// deliberately reintroducing the adaptive-cycle deadlock the
+        /// escape class exists to prevent (the property suite proves
+        /// the watchdog catches it).
+        escape_on: bool,
+    },
 }
 
 impl RoutingAlgorithm {
@@ -161,7 +190,50 @@ impl RoutingAlgorithm {
         RoutingAlgorithm::Topo { topo, node }
     }
 
+    /// Congestion-adaptive routing over `topo` with `escape` as the
+    /// deadlock-free escape network. The live-link mask starts as the
+    /// topology's wired directions.
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range or the topology family routes
+    /// by fault-aware static tables (irregular / chiplet-star), where
+    /// adaptive candidate sets do not apply.
+    pub fn adaptive(
+        topo: std::sync::Arc<Topology>,
+        escape: std::sync::Arc<noc_topology::Irregular>,
+        node: usize,
+    ) -> Self {
+        assert!(node < topo.len(), "node id outside the topology");
+        assert!(
+            noc_topology::adaptive::supports_adaptive(&topo),
+            "adaptive routing applies to grid families only"
+        );
+        let mut live = 0u8;
+        for dir in [
+            noc_types::Direction::North,
+            noc_types::Direction::East,
+            noc_types::Direction::South,
+            noc_types::Direction::West,
+        ] {
+            if topo.link(node, dir).is_some() {
+                live |= noc_topology::adaptive::dir_bit(dir);
+            }
+        }
+        RoutingAlgorithm::Adaptive {
+            topo,
+            escape,
+            node,
+            live,
+            escape_on: true,
+        }
+    }
+
     /// The output port for a packet headed to `dst`.
+    ///
+    /// For [`RoutingAlgorithm::Adaptive`] this is the congestion-blind
+    /// approximation (first live minimal candidate, escape direction as
+    /// fallback); the router's RC stage consults its own credit state
+    /// instead (`Router::route_adaptively`).
     #[inline]
     pub fn route(&self, dst: Coord) -> PortId {
         match self {
@@ -170,6 +242,29 @@ impl RoutingAlgorithm {
             RoutingAlgorithm::Topo { topo, node } => {
                 let d = topo.grid().id_of(dst).index();
                 topo.route(*node, d).0.port()
+            }
+            RoutingAlgorithm::Adaptive {
+                topo,
+                escape,
+                node,
+                live,
+                ..
+            } => {
+                let d = topo.grid().id_of(dst).index();
+                if d == *node {
+                    return noc_types::Direction::Local.port();
+                }
+                let cand = noc_topology::adaptive::candidate_mask(topo, *node, d);
+                if let Some(dir) = noc_topology::adaptive::dirs_in(cand & live).next() {
+                    return dir.port();
+                }
+                let esc = escape.route(*node, d);
+                if esc != noc_types::Direction::Local {
+                    return esc.port();
+                }
+                noc_topology::adaptive::dirs_in(cand)
+                    .next()
+                    .map_or(noc_types::Direction::Local.port(), |dir| dir.port())
             }
         }
     }
@@ -188,6 +283,10 @@ impl RoutingAlgorithm {
                 let (dir, class) = topo.route(*node, d);
                 (dir.port(), class.mask(vcs))
             }
+            // Congestion-blind approximation; the router's RC stage uses
+            // `Router::route_adaptively` (which restricts the VC mask by
+            // class) instead.
+            RoutingAlgorithm::Adaptive { .. } => (self.route(dst), !0),
         }
     }
 }
@@ -403,6 +502,38 @@ impl Router {
     /// without replacing it).
     pub fn set_routing(&mut self, route: RoutingAlgorithm) {
         self.route = route;
+    }
+
+    /// Whether the router routes adaptively.
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self.route, RoutingAlgorithm::Adaptive { .. })
+    }
+
+    /// Remove `dir` from the adaptive live-link mask (a link fault on
+    /// that output). No-op under non-adaptive routing, where the wiring
+    /// and recomputed static tables carry the information instead.
+    pub fn adaptive_cut_link(&mut self, dir: noc_types::Direction) {
+        if let RoutingAlgorithm::Adaptive { live, .. } = &mut self.route {
+            *live &= !noc_topology::adaptive::dir_bit(dir);
+        }
+    }
+
+    /// Swap the shared escape-network tables after a grid-link fault.
+    /// No-op under non-adaptive routing.
+    pub fn set_adaptive_escape(&mut self, escape: std::sync::Arc<noc_topology::Irregular>) {
+        if let RoutingAlgorithm::Adaptive { escape: e, .. } = &mut self.route {
+            *e = escape;
+        }
+    }
+
+    /// Test hook: turn the escape class off, making every VC adaptive
+    /// with no fallback — deliberately deadlock-prone. The acyclicity
+    /// property suite uses this to prove the deadlock watchdog would
+    /// catch an escape-class regression.
+    pub fn disable_adaptive_escape(&mut self) {
+        if let RoutingAlgorithm::Adaptive { escape_on, .. } = &mut self.route {
+            *escape_on = false;
+        }
     }
 
     /// Total flits buffered in the router (drain / conservation checks,

@@ -1,11 +1,12 @@
 //! RC, VA and SA pipeline stages, including every correction mechanism
 //! of Section V. (XB lives in `router.rs` next to the grant queue.)
 
-use crate::router::{Router, RouterKind, XbGrant, DEFAULT_WINNER_PERIOD};
+use crate::router::{Router, RouterKind, RoutingAlgorithm, XbGrant, DEFAULT_WINNER_PERIOD};
 use noc_arbiter::Arbiter;
 use noc_faults::FaultSite;
 use noc_telemetry::{Event, EventKind, Observer};
-use noc_types::{Cycle, PortId, VcGlobalState, VcId};
+use noc_topology::adaptive::{candidate_mask, dirs_in};
+use noc_types::{Coord, Cycle, Direction, PortId, VcGlobalState, VcId};
 
 /// One switch-allocation request, formed per active VC each cycle.
 #[derive(Debug, Clone, Copy)]
@@ -97,6 +98,131 @@ fn first_set_from(mask: u32, start: usize, width: usize) -> usize {
 
 impl Router {
     // ------------------------------------------------------------------
+    // Adaptive route computation (Duato escape protocol)
+    // ------------------------------------------------------------------
+
+    /// The adaptive RC decision for the head flit of `(port, vc)` headed
+    /// to `dst`: output port plus the legal downstream-VC mask.
+    ///
+    /// The VC-class rules (lower half of each port's VCs = escape class,
+    /// upper half = adaptive class):
+    ///
+    /// * an **escape-class** input VC (non-local port, lower half) is
+    ///   committed to the escape network — up\*/down\* direction, escape
+    ///   VCs only downstream. Escape-to-escape dependencies inherit the
+    ///   up\*/down\* acyclicity, and nothing below ever requests an
+    ///   adaptive VC, so the escape subgraph is deadlock-free on its own;
+    /// * an **adaptive-class** input VC (upper half, and every local-port
+    ///   VC — injected packets start adaptive) picks the least-congested
+    ///   live minimal candidate, scored by the router's own free-VC and
+    ///   credit counts. It requests adaptive VCs, plus the escape VCs of
+    ///   the escape direction when the pick happens to coincide — the
+    ///   one-way adaptive→escape transfer Duato's protocol allows;
+    /// * a **stuck** adaptive VC (already `VcAlloc`, re-served by RC) is
+    ///   re-routed every service, alternating by `(cycle + node) & 1`
+    ///   between the congestion pick and the escape fallback, so a
+    ///   waiting packet requests the deadlock-free escape path
+    ///   infinitely often — the liveness leg of the protocol.
+    ///
+    /// Everything read here (candidate sets, live mask, escape tables,
+    /// own credits) is cycle-boundary router-local state, so the
+    /// decision is identical at any thread count.
+    ///
+    /// A destination unreachable even through the escape graph (severed
+    /// by link faults) is aimed at the raw minimal quadrant; the dead
+    /// link's nulled wiring edge-drops the flit, which the campaign
+    /// engine classifies as a lost packet.
+    pub(crate) fn route_adaptively(
+        &self,
+        dst: Coord,
+        cycle: Cycle,
+        port_idx: usize,
+        vc_idx: usize,
+        revisit: bool,
+    ) -> (PortId, u32) {
+        let RoutingAlgorithm::Adaptive {
+            ref topo,
+            ref escape,
+            node,
+            live,
+            escape_on,
+        } = self.route
+        else {
+            unreachable!("route_adaptively on a non-adaptive router")
+        };
+        let v = self.cfg.vcs;
+        let all = width_mask(v);
+        let lower = width_mask(v / 2);
+        let upper = all & !lower;
+        let dstn = topo.grid().id_of(dst).index();
+        if dstn == node {
+            return (Direction::Local.port(), all);
+        }
+        let esc_dir = if escape_on && escape.reachable(node, dstn) {
+            let d = escape.route(node, dstn);
+            (d != Direction::Local).then_some(d)
+        } else {
+            None
+        };
+        if escape_on && port_idx != 0 && vc_idx < v / 2 {
+            // Escape class: committed to the up*/down* network.
+            return match esc_dir {
+                Some(d) => (d.port(), lower),
+                None => (self.quadrant_or_local(topo, node, dstn), all),
+            };
+        }
+        let cand = candidate_mask(topo, node, dstn) & live;
+        let prefer_escape = revisit && (cycle.wrapping_add(node as Cycle)) & 1 == 1;
+        if cand != 0 && !(prefer_escape && esc_dir.is_some()) {
+            // Least-congested live candidate: most free adaptive VCs
+            // first, most buffered credit second, N/E/S/W order on ties.
+            let mut best: Option<(u32, u32, Direction)> = None;
+            for d in dirs_in(cand) {
+                let out = d.port().index();
+                let free = (!self.out_vc_busy[out] & upper & self.credited[out]).count_ones();
+                let credit: u32 = (v / 2..v)
+                    .map(|ovc| u32::from(self.credits[out * v + ovc]))
+                    .sum();
+                if best.is_none_or(|(bf, bc, _)| (free, credit) > (bf, bc)) {
+                    best = Some((free, credit, d));
+                }
+            }
+            let d = best.expect("non-empty candidate set").2;
+            let mut vmask = upper;
+            if esc_dir == Some(d) {
+                vmask |= lower;
+            }
+            return (d.port(), vmask);
+        }
+        match esc_dir {
+            // Escape fallback out of the adaptive class: escape VCs
+            // only, so the one-way transfer actually happens. Offering
+            // adaptive VCs too would let the packet stay in the
+            // adaptive class after a non-minimal hop, and a fresh
+            // minimal decision at the next router could bounce it
+            // straight back — a two-router ping-pong livelock the
+            // watchdog never sees, because every bounce counts as
+            // progress.
+            Some(d) => (d.port(), lower),
+            None => (
+                self.quadrant_or_local(topo, node, dstn),
+                if escape_on { all } else { upper },
+            ),
+        }
+    }
+
+    /// First raw minimal-quadrant direction towards an escape-unreachable
+    /// destination (the flit edge-drops on the severed link), or `Local`
+    /// if even the quadrant is empty (cannot happen on grid families).
+    fn quadrant_or_local(&self, topo: &noc_topology::Topology, node: usize, dstn: usize) -> PortId {
+        let raw = candidate_mask(topo, node, dstn);
+        debug_assert!(raw != 0, "grid candidate set empty for distinct nodes");
+        dirs_in(raw)
+            .next()
+            .map_or(Direction::Local.port(), |d| d.port())
+    }
+
+    // ------------------------------------------------------------------
     // RC stage (Section V-A)
     // ------------------------------------------------------------------
 
@@ -109,21 +235,36 @@ impl Router {
     /// non-Routing VCs and broke on the first match, served or stalled).
     pub(crate) fn rc_stage<O: Observer>(&mut self, cycle: Cycle, obs: &mut O) {
         let v = self.cfg.vcs;
+        let adaptive = matches!(self.route, RoutingAlgorithm::Adaptive { .. });
         for port_idx in 0..self.cfg.ports {
             let port_id = PortId(port_idx as u8);
             let routing = self.ports[port_idx].routing_mask();
-            if routing == 0 {
+            // Adaptive RC also re-serves VCs already waiting in VcAlloc:
+            // a stuck packet must be re-routed (alternating towards the
+            // escape path) or the adaptive candidate cycles could wait
+            // forever. Static modes route exactly once, as before.
+            let service = if adaptive {
+                routing | self.ports[port_idx].vc_alloc_mask()
+            } else {
+                routing
+            };
+            if service == 0 {
                 continue; // no VC awaits routing
             }
             {
                 let start = self.rc_pointer[port_idx];
-                let vc_id = VcId(first_set_from(routing, start, v) as u8);
+                let vc_id = VcId(first_set_from(service, start, v) as u8);
+                let revisit = routing & (1 << vc_id.index()) == 0;
                 let dst = self.ports[port_idx]
                     .vc(vc_id)
                     .front()
                     .expect("routing VC holds its head flit")
                     .dst;
-                let (correct, vmask) = self.route.route_masked(dst, v);
+                let (correct, vmask) = if adaptive {
+                    self.route_adaptively(dst, cycle, port_idx, vc_id.index(), revisit)
+                } else {
+                    self.route.route_masked(dst, v)
+                };
                 let primary_faulty = self.faults.rc_primary_faulty(port_id);
                 let mut misrouted = false;
                 let mut duplicate = false;
@@ -237,6 +378,14 @@ impl Router {
         let p = self.cfg.ports;
         let v = self.cfg.vcs;
         let all_vcs = width_mask(v);
+        // Adaptive mode: a packet that can claim an adaptive-class VC
+        // leaves the escape VCs for the packets that need them (the
+        // escape class is the deadlock-freedom reserve, not extra
+        // capacity). Zero outside adaptive mode = no restriction.
+        let adaptive_upper = match self.route {
+            RoutingAlgorithm::Adaptive { .. } => all_vcs & !width_mask(v / 2),
+            _ => 0,
+        };
 
         // Per-output exclusion of known-faulty stage-2 arbiters
         // (Section V-B3's inherent-redundancy tolerance). Healthy
@@ -328,10 +477,13 @@ impl Router {
                 // narrowed by the topology VC-class restriction (torus
                 // datelines: RC deposited the legal set in `vmask`) and
                 // the known-faulty-VA2 exclusion — three word ops.
-                let req = !self.out_vc_busy[out.index()]
+                let mut req = !self.out_vc_busy[out.index()]
                     & self.scratch.va2_ok[out.index()]
                     & fields.vmask
                     & all_vcs;
+                if adaptive_upper != 0 && out.index() != 0 && req & adaptive_upper != 0 {
+                    req &= adaptive_upper;
+                }
                 if req == 0 {
                     continue; // no empty VC downstream: retry later
                 }

@@ -30,5 +30,7 @@ pub mod plan;
 pub mod site;
 
 pub use map::FaultMap;
-pub use plan::{DetectionModel, FaultPlan, InjectionConfig, InjectionEvent, TransientEvent};
-pub use site::{canonical_secondary_source, FaultSite, PipelineStage};
+pub use plan::{
+    DetectionModel, FaultPlan, InjectionConfig, InjectionEvent, LinkFaultEvent, TransientEvent,
+};
+pub use site::{canonical_secondary_source, FaultSite, LinkSite, PipelineStage};

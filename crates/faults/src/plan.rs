@@ -12,7 +12,7 @@
 
 use crate::map::FaultMap;
 use crate::site::{FaultSite, PipelineStage};
-use noc_types::{Cycle, RouterConfig, RouterId};
+use noc_types::{Cycle, Direction, RouterConfig, RouterId};
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
 use rand::{Rng, SeedableRng};
@@ -27,6 +27,24 @@ pub struct InjectionEvent {
     pub router: RouterId,
     /// Component affected.
     pub site: FaultSite,
+}
+
+/// One scheduled permanent *link* fault: the bidirectional link out of
+/// `router` through `dir` goes dead at `cycle`. Unlike the in-router
+/// [`FaultSite`]s (which a protected router corrects), a link fault is
+/// a network-level event: the simulator unplugs the wiring and the
+/// routing layer self-heals around it (adaptive candidate masks and
+/// escape-table recomputes, or static up\*/down\* recomputes — see
+/// `noc_sim::Network::fail_link`). Sites render through
+/// [`crate::site::LinkSite`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkFaultEvent {
+    /// Cycle at which the link dies.
+    pub cycle: Cycle,
+    /// One endpoint of the link.
+    pub router: RouterId,
+    /// The direction of the link out of `router`.
+    pub dir: Direction,
 }
 
 /// One scheduled *transient* fault: the component misbehaves for a
@@ -140,6 +158,7 @@ impl InjectionConfig {
 pub struct FaultPlan {
     events: Vec<InjectionEvent>,
     transients: Vec<TransientEvent>,
+    link_faults: Vec<LinkFaultEvent>,
     detection: Option<DetectionModel>,
 }
 
@@ -149,6 +168,7 @@ impl FaultPlan {
         FaultPlan {
             events: Vec::new(),
             transients: Vec::new(),
+            link_faults: Vec::new(),
             detection: Some(DetectionModel::Ideal),
         }
     }
@@ -159,6 +179,7 @@ impl FaultPlan {
         FaultPlan {
             events,
             transients: Vec::new(),
+            link_faults: Vec::new(),
             detection: Some(detection),
         }
     }
@@ -298,6 +319,21 @@ impl FaultPlan {
         &self.transients
     }
 
+    /// Add scheduled link faults to the plan. Events are kept in a
+    /// canonical `(cycle, router, dir)` order so the same set of faults
+    /// always applies in the same sequence, whatever order the caller
+    /// listed them in.
+    pub fn with_link_faults(mut self, mut link_faults: Vec<LinkFaultEvent>) -> Self {
+        link_faults.sort_by_key(|f| (f.cycle, f.router.0, f.dir as u8));
+        self.link_faults = link_faults;
+        self
+    }
+
+    /// The scheduled link faults, in `(cycle, router, dir)` order.
+    pub fn link_faults(&self) -> &[LinkFaultEvent] {
+        &self.link_faults
+    }
+
     /// Override the detection model.
     pub fn with_detection(mut self, detection: DetectionModel) -> Self {
         self.detection = Some(detection);
@@ -319,9 +355,9 @@ impl FaultPlan {
         self.events.len()
     }
 
-    /// Whether the plan schedules no faults of either kind.
+    /// Whether the plan schedules no faults of any kind.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty() && self.transients.is_empty()
+        self.events.is_empty() && self.transients.is_empty() && self.link_faults.is_empty()
     }
 
     /// The final fault map of one router once every event has fired.
@@ -417,6 +453,29 @@ mod tests {
             .final_map(RouterId(3))
             .is_faulty(FaultSite::Sa1Arbiter { port: PortId(2) }));
         assert!(plan.final_map(RouterId(0)).is_empty());
+    }
+
+    #[test]
+    fn link_faults_sort_canonically_and_count_toward_emptiness() {
+        let a = LinkFaultEvent {
+            cycle: 200,
+            router: RouterId(3),
+            dir: Direction::East,
+        };
+        let b = LinkFaultEvent {
+            cycle: 50,
+            router: RouterId(7),
+            dir: Direction::North,
+        };
+        let c = LinkFaultEvent {
+            cycle: 50,
+            router: RouterId(2),
+            dir: Direction::West,
+        };
+        let plan = FaultPlan::none().with_link_faults(vec![a, b, c]);
+        assert!(!plan.is_empty(), "link faults alone make a non-empty plan");
+        assert_eq!(plan.link_faults(), &[c, b, a]);
+        assert!(plan.events().is_empty());
     }
 
     #[test]

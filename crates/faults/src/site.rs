@@ -1,6 +1,6 @@
 //! Fault-site addressing over the router component graph.
 
-use noc_types::{PortId, RouterConfig, VcId};
+use noc_types::{Direction, PortId, RouterConfig, RouterId, VcId};
 use serde::{Deserialize, Serialize};
 
 /// The four stages of the router control pipeline (Figure 2).
@@ -235,6 +235,60 @@ impl std::str::FromStr for FaultSite {
     }
 }
 
+/// The address of a network link, as a fault-campaign site: one
+/// endpoint router plus the outgoing direction. Deliberately *not* a
+/// [`FaultSite`] variant — the in-router site enumeration (75 sites on
+/// the paper's router, pinned by tests and the SPF analysis) addresses
+/// components the correction circuitry routes around, while a link
+/// fault is a network-level event the routing layer heals. The codec
+/// renders `Link[12@east]` and round-trips through `FromStr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkSite {
+    /// One endpoint of the link.
+    pub router: RouterId,
+    /// The direction of the link out of `router`.
+    pub dir: Direction,
+}
+
+impl std::fmt::Display for LinkSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let dir = match self.dir {
+            Direction::Local => "local",
+            Direction::North => "north",
+            Direction::East => "east",
+            Direction::South => "south",
+            Direction::West => "west",
+        };
+        write!(f, "Link[{}@{dir}]", self.router.0)
+    }
+}
+
+impl std::str::FromStr for LinkSite {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let addr = s
+            .strip_prefix("Link[")
+            .and_then(|r| r.strip_suffix(']'))
+            .ok_or_else(|| format!("`{s}`: expected Link[ROUTER@DIR]"))?;
+        let (router, dir) = addr
+            .split_once('@')
+            .ok_or_else(|| format!("`{addr}`: expected ROUTER@DIR"))?;
+        let router = router
+            .parse::<u16>()
+            .map(RouterId)
+            .map_err(|_| format!("`{router}` is not a router id"))?;
+        let dir = match dir {
+            "north" => Direction::North,
+            "east" => Direction::East,
+            "south" => Direction::South,
+            "west" => Direction::West,
+            other => return Err(format!("`{other}` is not a link direction")),
+        };
+        Ok(LinkSite { router, dir })
+    }
+}
+
 impl std::fmt::Display for FaultSite {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -342,6 +396,36 @@ mod tests {
         assert!("RC[3]".parse::<FaultSite>().is_err(), "port needs P prefix");
         assert!("BOGUS[P0]".parse::<FaultSite>().is_err());
         assert!("RC".parse::<FaultSite>().is_err());
+    }
+
+    #[test]
+    fn link_site_codec_round_trips() {
+        use noc_types::Direction;
+        for dir in [
+            Direction::North,
+            Direction::East,
+            Direction::South,
+            Direction::West,
+        ] {
+            let site = LinkSite {
+                router: RouterId(12),
+                dir,
+            };
+            let parsed: LinkSite = site.to_string().parse().expect("canonical form parses");
+            assert_eq!(parsed, site);
+        }
+        assert_eq!(
+            LinkSite {
+                router: RouterId(12),
+                dir: Direction::East
+            }
+            .to_string(),
+            "Link[12@east]"
+        );
+        assert!("Link[12@local]".parse::<LinkSite>().is_err());
+        assert!("Link[x@east]".parse::<LinkSite>().is_err());
+        assert!("Link[3]".parse::<LinkSite>().is_err());
+        assert!("RC[P0]".parse::<LinkSite>().is_err());
     }
 
     #[test]

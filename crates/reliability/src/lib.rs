@@ -23,6 +23,9 @@
 //!   (Table III).
 //! * [`area`] — the area and average-power overhead model behind the
 //!   31% / 30% figures of Section VI-A.
+//! * [`curves`] — faults-to-failure curve aggregation for network-level
+//!   fault campaigns: survival fractions per injected fault count and
+//!   the truncated mean they imply.
 //! * [`timing`] — the gate-depth critical-path model behind the
 //!   per-stage increases of Section VI-B.
 
@@ -31,6 +34,7 @@
 
 pub mod area;
 pub mod comparators;
+pub mod curves;
 pub mod forc;
 pub mod gates;
 pub mod inventory;
@@ -40,6 +44,7 @@ pub mod timing;
 
 pub use area::{AreaPowerModel, AreaPowerReport};
 pub use comparators::{derive_comparators, RedundancyModel};
+pub use curves::{CurvePoint, FaultsToFailureCurve};
 pub use forc::{ForcParams, TddbModel};
 pub use gates::{Component, GateLibrary};
 pub use inventory::{baseline_inventory, correction_inventory, StageInventory};

@@ -770,6 +770,9 @@ fn run_job(inner: &Arc<SchedInner>, id: &str) -> JobOutcome {
             None => return JobOutcome::Failed("job record vanished".into()),
         }
     };
+    if spec.kind == "fault_campaign" {
+        return run_campaign_job(inner, id, &dir, &spec);
+    }
     let every = if spec.checkpoint_every == 0 {
         inner.cfg.default_checkpoint_every
     } else {
@@ -865,6 +868,52 @@ fn run_job(inner: &Arc<SchedInner>, id: &str) -> JobOutcome {
             JobOutcome::Completed
         }
     }
+}
+
+/// Execute a `fault_campaign` job. Campaigns are thousands of short
+/// independent runs rather than one long one, so they neither
+/// checkpoint nor resume: an interrupted campaign simply restarts from
+/// its (deterministic) seed on the next daemon start.
+fn run_campaign_job(
+    inner: &Arc<SchedInner>,
+    id: &str,
+    dir: &Path,
+    spec: &CampaignSpec,
+) -> JobOutcome {
+    let cc = match spec.campaign_config() {
+        Ok(cc) => cc,
+        Err(e) => return JobOutcome::Failed(fail(dir, &e)),
+    };
+    inner.log.event(
+        "campaign_started",
+        &[
+            ("job", id.into()),
+            ("scenarios", u64::from(cc.scenarios_per_point).into()),
+            ("max_faults", u64::from(cc.max_faults).into()),
+        ],
+    );
+    let run = match noc_campaign::run_campaign(&cc) {
+        Ok(run) => run,
+        Err(e) => return JobOutcome::Failed(fail(dir, &e)),
+    };
+    let doc = obj([
+        ("schema_version", SNAPSHOT_SCHEMA_VERSION.into()),
+        ("job", id.into()),
+        ("outcome", "completed".into()),
+        ("spec", spec.to_json()),
+        ("report", noc_campaign::report_json(&run)),
+    ]);
+    if let Err(e) = write_atomic(&dir.join("result.json"), &doc.render()) {
+        return JobOutcome::Failed(fail(dir, &format!("writing result: {e}")));
+    }
+    inner.log.event(
+        "campaign_completed",
+        &[
+            ("job", id.into()),
+            ("scenarios_per_sec", run.scenarios_per_sec.into()),
+        ],
+    );
+    JobOutcome::Completed
 }
 
 /// Record a terminal failure in the spool (so recovery won't retry it

@@ -7,7 +7,7 @@ use noc_sim::Simulator;
 use noc_telemetry::json::{obj, JsonValue};
 use noc_topology::Topology;
 use noc_traffic::{SyntheticPattern, TrafficConfig, TrafficGenerator};
-use noc_types::{NetworkConfig, SimConfig, TopologySpec};
+use noc_types::{NetworkConfig, RoutingMode, SimConfig, TopologySpec};
 use shield_router::RouterKind;
 
 /// One simulation campaign, as submitted over HTTP. Every field has a
@@ -16,6 +16,11 @@ use shield_router::RouterKind;
 /// stores.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignSpec {
+    /// Job kind: `simulate` (one cycle-accurate run, checkpointed and
+    /// resumable) or `fault_campaign` (a mass link-fault sweep over
+    /// thousands of seeded scenarios, classified into a
+    /// faults-to-failure curve per routing arm).
+    pub kind: String,
     /// Free-form label echoed in status responses.
     pub name: String,
     /// Mesh side length `k`.
@@ -47,11 +52,20 @@ pub struct CampaignSpec {
     pub sample_every: u64,
     /// Checkpoint cadence in cycles; `0` defers to the daemon default.
     pub checkpoint_every: u64,
+    /// Routing mode: `static`, `adaptive`, or (for `fault_campaign`
+    /// only) `both` — the paired static-vs-adaptive comparison.
+    pub routing: String,
+    /// `fault_campaign` only: scenarios per (mode, fault count) point.
+    pub scenarios: u32,
+    /// `fault_campaign` only: curve points run 1..=`max_faults` link
+    /// faults per scenario.
+    pub max_faults: u32,
 }
 
 impl Default for CampaignSpec {
     fn default() -> Self {
         CampaignSpec {
+            kind: "simulate".into(),
             name: String::new(),
             mesh_k: 4,
             topology: "mesh".into(),
@@ -65,6 +79,9 @@ impl Default for CampaignSpec {
             threads: 1,
             sample_every: 0,
             checkpoint_every: 0,
+            routing: "static".into(),
+            scenarios: 100,
+            max_faults: 2,
         }
     }
 }
@@ -124,6 +141,7 @@ impl CampaignSpec {
             return Err("campaign spec must be a JSON object".into());
         };
         const KNOWN: &[&str] = &[
+            "kind",
             "name",
             "mesh_k",
             "topology",
@@ -137,6 +155,9 @@ impl CampaignSpec {
             "threads",
             "sample_every",
             "checkpoint_every",
+            "routing",
+            "scenarios",
+            "max_faults",
         ];
         for (k, _) in entries {
             if !KNOWN.contains(&k.as_str()) {
@@ -145,6 +166,7 @@ impl CampaignSpec {
         }
         let d = CampaignSpec::default();
         let spec = CampaignSpec {
+            kind: opt_str(v, "kind", &d.kind)?,
             name: opt_str(v, "name", &d.name)?,
             mesh_k: u8::try_from(opt_u64(v, "mesh_k", d.mesh_k as u64)?)
                 .map_err(|_| "`mesh_k` out of range".to_string())?,
@@ -163,6 +185,11 @@ impl CampaignSpec {
             threads: opt_u64(v, "threads", d.threads as u64)? as usize,
             sample_every: opt_u64(v, "sample_every", d.sample_every)?,
             checkpoint_every: opt_u64(v, "checkpoint_every", d.checkpoint_every)?,
+            routing: opt_str(v, "routing", &d.routing)?,
+            scenarios: u32::try_from(opt_u64(v, "scenarios", d.scenarios as u64)?)
+                .map_err(|_| "`scenarios` out of range".to_string())?,
+            max_faults: u32::try_from(opt_u64(v, "max_faults", d.max_faults as u64)?)
+                .map_err(|_| "`max_faults` out of range".to_string())?,
         };
         spec.validate()?;
         Ok(spec)
@@ -177,6 +204,7 @@ impl CampaignSpec {
     /// The fully-resolved spec as JSON.
     pub fn to_json(&self) -> JsonValue {
         obj([
+            ("kind", self.kind.clone().into()),
             ("name", self.name.clone().into()),
             ("mesh_k", (self.mesh_k as u64).into()),
             ("topology", self.topology.clone().into()),
@@ -197,6 +225,9 @@ impl CampaignSpec {
             ("threads", (self.threads as u64).into()),
             ("sample_every", self.sample_every.into()),
             ("checkpoint_every", self.checkpoint_every.into()),
+            ("routing", self.routing.clone().into()),
+            ("scenarios", u64::from(self.scenarios).into()),
+            ("max_faults", u64::from(self.max_faults).into()),
         ])
     }
 
@@ -209,6 +240,19 @@ impl CampaignSpec {
         if self.measure_cycles == 0 {
             return Err("`measure_cycles` must be positive".into());
         }
+        match self.kind.as_str() {
+            "simulate" | "fault_campaign" => {}
+            other => return Err(format!("unknown job kind {other:?}")),
+        }
+        match self.routing.as_str() {
+            "static" | "adaptive" => {}
+            "both" if self.kind == "fault_campaign" => {}
+            "both" => return Err("`routing: both` only applies to `fault_campaign` jobs".into()),
+            other => return Err(format!("unknown routing mode {other:?}")),
+        }
+        if self.kind == "fault_campaign" && (self.scenarios == 0 || self.max_faults == 0) {
+            return Err("`fault_campaign` needs `scenarios` ≥ 1 and `max_faults` ≥ 1".into());
+        }
         parse_pattern(&self.pattern)?;
         self.network_config()?.validate()
     }
@@ -218,13 +262,42 @@ impl CampaignSpec {
         self.warmup_cycles + self.measure_cycles + self.drain_cycles
     }
 
-    /// The network configuration this spec describes.
+    /// The network configuration this spec describes. `routing: both`
+    /// (fault campaigns) resolves to Static here; the campaign engine
+    /// overrides the mode per arm anyway.
     pub fn network_config(&self) -> Result<NetworkConfig, String> {
         Ok(NetworkConfig {
             mesh_k: self.mesh_k,
             topology: TopologySpec::parse_arg(&self.topology, self.mesh_k)?,
+            routing: if self.routing == "adaptive" {
+                RoutingMode::Adaptive
+            } else {
+                RoutingMode::Static
+            },
             ..NetworkConfig::paper()
         })
+    }
+
+    /// The fault-campaign configuration this spec describes
+    /// (`kind: fault_campaign`). Starts from the engine's CI-sized
+    /// defaults; `scenarios`, `max_faults`, `routing`, `seed` and
+    /// `threads` come from the spec.
+    pub fn campaign_config(&self) -> Result<noc_campaign::CampaignConfig, String> {
+        if self.kind != "fault_campaign" {
+            return Err(format!("job kind {:?} is not a fault campaign", self.kind));
+        }
+        let mut cc = noc_campaign::CampaignConfig::quick(self.network_config()?);
+        cc.router_kind = self.router_kind;
+        cc.modes = match self.routing.as_str() {
+            "static" => vec![RoutingMode::Static],
+            "adaptive" => vec![RoutingMode::Adaptive],
+            _ => vec![RoutingMode::Static, RoutingMode::Adaptive],
+        };
+        cc.scenarios_per_point = self.scenarios;
+        cc.max_faults = self.max_faults;
+        cc.seed = self.seed;
+        cc.threads = self.threads;
+        Ok(cc)
     }
 
     /// The simulation phase configuration this spec describes.
@@ -298,6 +371,43 @@ mod tests {
         assert!(CampaignSpec::from_text("{\"pattern\": \"zigzag\"}").is_err());
         assert!(CampaignSpec::from_text("{\"topology\": \"klein-bottle\"}").is_err());
         assert!(CampaignSpec::from_text("not json").is_err());
+    }
+
+    #[test]
+    fn fault_campaign_kind_round_trips_and_validates() {
+        let spec = CampaignSpec::from_text(
+            "{\"kind\": \"fault_campaign\", \"routing\": \"both\", \"mesh_k\": 6, \
+             \"scenarios\": 250, \"max_faults\": 3, \"seed\": 9, \"threads\": 2}",
+        )
+        .unwrap();
+        assert_eq!(spec.kind, "fault_campaign");
+        let text = spec.to_json().render();
+        assert_eq!(CampaignSpec::from_text(&text).unwrap(), spec);
+
+        let cc = spec.campaign_config().unwrap();
+        assert_eq!(cc.scenarios_per_point, 250);
+        assert_eq!(cc.max_faults, 3);
+        assert_eq!(cc.seed, 9);
+        assert_eq!(cc.threads, 2);
+        assert_eq!(cc.modes.len(), 2, "routing: both runs a paired comparison");
+        assert_eq!(cc.base.mesh_k, 6);
+
+        // `routing: both` is a campaign concept; plain simulations must
+        // pick one mode. Unknown kinds and modes fail loudly, and a
+        // simulate spec has no campaign configuration.
+        assert!(CampaignSpec::from_text("{\"routing\": \"both\"}").is_err());
+        assert!(CampaignSpec::from_text("{\"kind\": \"replay\"}").is_err());
+        assert!(CampaignSpec::from_text("{\"routing\": \"zigzag\"}").is_err());
+        assert!(
+            CampaignSpec::from_text("{\"kind\": \"fault_campaign\", \"scenarios\": 0}").is_err()
+        );
+        let sim = CampaignSpec::from_text("{\"routing\": \"adaptive\"}").unwrap();
+        assert!(sim.campaign_config().is_err());
+        assert_eq!(
+            sim.network_config().unwrap().routing,
+            RoutingMode::Adaptive,
+            "simulate jobs honour the routing field"
+        );
     }
 
     #[test]

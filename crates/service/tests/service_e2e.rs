@@ -107,6 +107,65 @@ fn scheduler_completes_jobs_with_reference_identical_reports() {
     sched.shutdown();
 }
 
+/// A `fault_campaign` job flows through the same queue as simulate
+/// jobs and spools a curve report identical to a direct engine run of
+/// the same spec — campaigns are deterministic, so the daemon adds
+/// nothing but scheduling.
+#[test]
+fn scheduler_runs_fault_campaign_jobs_to_reference_identical_curves() {
+    let scratch = Scratch::new("campaign");
+    let mut cfg = ServiceConfig::new(scratch.0.join("spool"));
+    cfg.workers = 1;
+    let sched = Scheduler::start(cfg).unwrap();
+
+    let spec = CampaignSpec {
+        kind: "fault_campaign".into(),
+        name: "smoke sweep".into(),
+        mesh_k: 4,
+        routing: "both".into(),
+        scenarios: 4,
+        max_faults: 2,
+        seed: 23,
+        ..CampaignSpec::default()
+    };
+    let id = sched.submit(spec.clone()).unwrap();
+    assert!(
+        sched.drain(Duration::from_secs(120)),
+        "campaign must finish"
+    );
+
+    let status = sched.status_json(&id).unwrap();
+    assert_eq!(status.get("phase").unwrap().as_str(), Some("completed"));
+    let result = sched.result_text(&id).expect("completed job has a result");
+    let doc = JsonValue::parse(&result).unwrap();
+    let report = doc.get("report").expect("campaign result embeds a report");
+    assert_eq!(
+        report.get("kind").and_then(JsonValue::as_str),
+        Some("fault_campaign")
+    );
+    // Everything except wall-clock throughput must be byte-identical
+    // to a direct engine run — campaigns are deterministic.
+    let strip_timing = |v: &JsonValue| -> JsonValue {
+        match v {
+            JsonValue::Obj(entries) => JsonValue::Obj(
+                entries
+                    .iter()
+                    .filter(|(k, _)| k != "elapsed_ms" && k != "scenarios_per_sec")
+                    .cloned()
+                    .collect(),
+            ),
+            other => other.clone(),
+        }
+    };
+    let reference = noc_campaign::run_campaign(&spec.campaign_config().unwrap()).unwrap();
+    assert_eq!(
+        strip_timing(report).render(),
+        strip_timing(&noc_campaign::report_json(&reference)).render(),
+        "daemon-run campaign must match a direct run"
+    );
+    sched.shutdown();
+}
+
 #[test]
 fn queue_backpressure_rejects_with_retry_hint() {
     let scratch = Scratch::new("backpressure");

@@ -40,16 +40,16 @@
 use crate::ni::NetworkInterface;
 use crate::pool::WorkerPool;
 use crate::stats::RouterEventTotals;
-use noc_faults::FaultPlan;
+use noc_faults::{FaultPlan, LinkFaultEvent};
 use noc_telemetry::json::{obj, JsonValue};
 use noc_telemetry::{
     Event, EventKind, FlightRecord, NullObserver, Observer, RouterDump, SpatialGrid, VcDump,
     WaitEdge, WaitForGraph, WaitNode, WaitReason,
 };
-use noc_topology::Topology;
+use noc_topology::{Irregular, Topology};
 use noc_types::{
     Cycle, DeliveredPacket, Direction, Flit, LinkClass, Mesh, NetworkConfig, Packet, PortId,
-    TopologySpec, VcGlobalState, VcId,
+    RoutingMode, TopologySpec, VcGlobalState, VcId,
 };
 use shield_router::{Router, RouterKind, RouterStats, RoutingAlgorithm, StepOutput};
 use std::sync::Arc;
@@ -819,6 +819,16 @@ pub struct Network {
     routers_stepped: u64,
     /// Router steps skipped by the worklist.
     routers_skipped: u64,
+    /// Adaptive mode's shared escape topology: up\*/down\* tables over
+    /// the surviving non-wrap grid links, swapped network-wide when a
+    /// link fault heals (`None` under static routing, and on families
+    /// that keep their fault-aware static tables even in adaptive
+    /// mode).
+    escape: Option<Arc<Irregular>>,
+    /// Scheduled link faults not yet applied, in *reverse* canonical
+    /// `(cycle, router, dir)` order so the next due event pops off the
+    /// end at each cycle boundary.
+    pending_link_faults: Vec<LinkFaultEvent>,
     /// Parallel stepper state; `None` = serial.
     par: Option<ParState>,
     /// Cycles between load-aware shard repartitions (`0` = static
@@ -849,11 +859,20 @@ impl Network {
     /// win. The override reuses `mesh_k` as both grid dimensions, so CI
     /// can re-run the mesh test matrix on other topologies untouched.
     pub fn with_faults(cfg: NetworkConfig, kind: RouterKind, plan: &FaultPlan) -> Self {
-        let cfg = apply_topology_override(cfg);
+        let cfg = apply_routing_override(apply_topology_override(cfg));
         cfg.validate().expect("invalid network configuration");
         let mesh = cfg.grid();
         let topo = Arc::new(Topology::from_spec(&cfg));
         let wiring = build_wiring(&topo, cfg.link_latency);
+        // Adaptive mode pairs congestion-chosen minimal candidates with
+        // an escape VC class routed up*/down* over the (non-wrap) grid
+        // links; the escape tables are shared by every router and
+        // swapped network-wide when a link fault heals. Families that
+        // already route by fault-aware static tables (cut-mesh,
+        // chiplet-star) keep those tables even in adaptive mode.
+        let escape = (cfg.routing == RoutingMode::Adaptive
+            && noc_topology::adaptive::supports_adaptive(&topo))
+        .then(|| Arc::new(Irregular::from_full_mesh(mesh.w, mesh.h)));
         let mut routers: Vec<Router> = (0..mesh.len())
             .map(|i| {
                 let coord = mesh.coord_of(noc_types::RouterId(i as u16));
@@ -861,18 +880,29 @@ impl Network {
                 // paper's configuration and the hot path) — the chiplet
                 // mesh is a full grid and routes the same way; the
                 // other topologies route through the shared topology.
-                let mut r = match &*topo {
-                    Topology::Mesh(_) | Topology::ChipletMesh { .. } => {
-                        Router::new_xy(i as u16, coord, mesh, cfg.router, kind)
-                    }
-                    _ => Router::new(
+                let mut r = if let Some(esc) = &escape {
+                    Router::new(
                         i as u16,
                         coord,
                         cfg.router,
                         kind,
-                        RoutingAlgorithm::topo(Arc::clone(&topo), i),
+                        RoutingAlgorithm::adaptive(Arc::clone(&topo), Arc::clone(esc), i),
                         noc_faults::DetectionModel::Ideal,
-                    ),
+                    )
+                } else {
+                    match &*topo {
+                        Topology::Mesh(_) | Topology::ChipletMesh { .. } => {
+                            Router::new_xy(i as u16, coord, mesh, cfg.router, kind)
+                        }
+                        _ => Router::new(
+                            i as u16,
+                            coord,
+                            cfg.router,
+                            kind,
+                            RoutingAlgorithm::topo(Arc::clone(&topo), i),
+                            noc_faults::DetectionModel::Ideal,
+                        ),
+                    }
                 };
                 r.set_detection(plan.detection());
                 r
@@ -905,6 +935,10 @@ impl Network {
             .unwrap_or(1)
             .max(cfg.link_latency);
         let slots = max_latency as usize + 1;
+        // Scheduled link faults apply at cycle boundaries, next due
+        // event last so it pops off cheaply.
+        let mut pending_link_faults = plan.link_faults().to_vec();
+        pending_link_faults.reverse();
         Network {
             cfg,
             mesh,
@@ -925,6 +959,8 @@ impl Network {
             worklist_audit: false,
             routers_stepped: 0,
             routers_skipped: 0,
+            escape,
+            pending_link_faults,
             par: None,
             rebalance_every: rebalance_every_default(),
             flits_edge_dropped: 0,
@@ -962,10 +998,184 @@ impl Network {
     /// to make a mesh survivable), or if the kill disconnects alive
     /// routers.
     pub fn fail_router(&mut self, node: usize) {
-        let new_topo = Arc::new(self.topo.with_dead(node));
-        self.topo = Arc::clone(&new_topo);
+        if self.escape.is_some() {
+            // Shared quarantine path, adaptive flavour: a node fault is
+            // the fault of all its incident links as the neighbours see
+            // it — their live masks stop offering the node as an
+            // adaptive candidate, and the escape tables quarantine it
+            // as a transit node. The node's own candidates and table
+            // entries survive so its buffered flits drain — the same
+            // drain contract as `Irregular::with_dead`, whose
+            // alive-pair tables a test pins equal to the incident-link
+            // fold of `with_cut_link`.
+            for dir in Direction::ALL {
+                if dir == Direction::Local {
+                    continue;
+                }
+                if let Some(m) = self.topo.link(node, dir) {
+                    self.routers[m].adaptive_cut_link(dir.opposite());
+                }
+            }
+            let healed = self
+                .escape
+                .as_ref()
+                .expect("adaptive mode has escape tables")
+                .with_dead(node);
+            self.swap_escape(healed);
+        } else {
+            self.swap_static_topo(self.topo.with_dead(node));
+        }
+    }
+
+    /// Permanently fail the bidirectional link out of `node` through
+    /// `dir`, at a cycle boundary. Two layers share one quarantine
+    /// path with [`Network::fail_router`]:
+    ///
+    /// * **routing-level self-healing** — in adaptive mode both
+    ///   endpoints drop the link from their live candidate masks and
+    ///   the shared escape tables are recomputed around the cut
+    ///   ([`Irregular::with_cut_link`]) and swapped into every router;
+    ///   statically-routed irregular topologies recompute their
+    ///   up\*/down\* tables the same way. A cut the fixed orientation
+    ///   cannot survive keeps the old tables — flits whose route
+    ///   crosses the dead link then fall off it, which the campaign
+    ///   engine counts as packet loss rather than failing the build.
+    ///   Statically-routed grid families (XY / DOR) cannot detour at
+    ///   all, so there the fault is purely physical.
+    /// * **the physical unplug** — both wiring directions are nulled,
+    ///   traffic in flight on the link is destroyed (flits counted in
+    ///   [`Network::flits_edge_dropped`]) and the upstream credit
+    ///   ledgers are settled for every slot whose credit return can no
+    ///   longer travel, so the credit-conservation invariant keeps
+    ///   holding around the dead link.
+    ///
+    /// Failing an already-dead link (or a grid edge) is a no-op, so
+    /// scheduled campaigns may name both endpoints of one link.
+    pub fn fail_link(&mut self, node: usize, dir: Direction) {
+        assert!(dir != Direction::Local, "the local port is not a link");
+        let Some(l) = self.wiring[node][dir.port().index()] else {
+            return; // grid edge, or already failed
+        };
+        let other = l.down;
+        let back = dir.opposite();
+        // Routing-level self-healing (the path `fail_router` shares).
+        if let Some(esc) = self.escape.clone() {
+            self.routers[node].adaptive_cut_link(dir);
+            self.routers[other].adaptive_cut_link(back);
+            // Wrap links (torus) live outside the escape graph; only
+            // grid links recompute the shared escape tables.
+            if esc.link(node, dir).is_some() {
+                if let Ok(healed) = esc.with_cut_link(node, dir) {
+                    self.swap_escape(healed);
+                }
+            }
+        } else if let Ok(healed) = self.topo.with_cut_link(node, dir) {
+            self.swap_static_topo(healed);
+        }
+        // Physical unplug, both directions, with the ledgers settled.
+        self.wiring[node][dir.port().index()] = None;
+        self.wiring[other][back.port().index()] = None;
+        self.scrub_dead_link(node, dir.port(), other, back.port());
+        self.scrub_dead_link(other, back.port(), node, dir.port());
+    }
+
+    /// Swap healed escape tables into every adaptive router.
+    fn swap_escape(&mut self, escape: Irregular) {
+        let esc = Arc::new(escape);
+        for r in &mut self.routers {
+            r.set_adaptive_escape(Arc::clone(&esc));
+        }
+        self.escape = Some(esc);
+    }
+
+    /// Swap recomputed static routing tables into every router.
+    fn swap_static_topo(&mut self, topo: Topology) {
+        let t = Arc::new(topo);
+        self.topo = Arc::clone(&t);
         for (i, r) in self.routers.iter_mut().enumerate() {
-            r.set_routing(RoutingAlgorithm::topo(Arc::clone(&new_topo), i));
+            r.set_routing(RoutingAlgorithm::topo(Arc::clone(&t), i));
+        }
+    }
+
+    /// Settle one direction of a freshly-unplugged link (`up --out-->
+    /// down.in_port`): traffic in flight on it is destroyed, and the
+    /// upstream output's credit counters recover every slot whose
+    /// credit can no longer return — in-flight flits (they will never
+    /// occupy the downstream buffer), in-flight credits (their wire is
+    /// gone; applied now) and flits already buffered downstream (they
+    /// drain normally, but their credit returns would travel the
+    /// nulled wire and be dropped).
+    fn scrub_dead_link(&mut self, up: usize, out: PortId, down: usize, in_port: PortId) {
+        let v = self.cfg.router.vcs;
+        let mut restore = vec![0u32; v];
+        let mut lost = 0u64;
+        for slot in &mut self.wires {
+            slot.retain(|w| match *w {
+                Wire::Flit {
+                    router, port, vc, ..
+                } if router == down && port == in_port => {
+                    lost += 1;
+                    restore[vc.index()] += 1;
+                    false
+                }
+                Wire::Credit {
+                    router,
+                    out_port,
+                    vc,
+                } if router == up && out_port == out => {
+                    restore[vc.index()] += 1;
+                    false
+                }
+                _ => true,
+            });
+        }
+        self.flits_edge_dropped += lost;
+        for (vc_idx, &restored) in restore.iter().enumerate().take(v) {
+            let vc = VcId(vc_idx as u8);
+            let occupied = self.routers[down].port(in_port).vc(vc).occupancy() as u32;
+            for _ in 0..restored + occupied {
+                self.routers[up].receive_credit(out, vc);
+            }
+        }
+    }
+
+    /// Apply every scheduled link fault due at this cycle boundary.
+    /// Runs before any stepping: boundary state is bit-identical at
+    /// every thread count, so the fault application — and everything
+    /// downstream of it — is too.
+    fn apply_due_link_faults(&mut self, cycle: Cycle) {
+        while self
+            .pending_link_faults
+            .last()
+            .is_some_and(|f| f.cycle <= cycle)
+        {
+            let f = self.pending_link_faults.pop().expect("checked non-empty");
+            self.fail_link(f.router.index(), f.dir);
+        }
+    }
+
+    /// The adaptive escape tables currently in force (`None` under
+    /// static routing).
+    pub fn adaptive_escape(&self) -> Option<&Irregular> {
+        self.escape.as_deref()
+    }
+
+    /// Test hook: switch every adaptive router's escape commitment off,
+    /// leaving packets purely on congestion-chosen minimal candidates.
+    /// This deliberately re-opens the quadrant-turn cycles the escape
+    /// class exists to break — the deadlock property test uses it to
+    /// prove the watchdog and flight recorder actually surface a
+    /// circular wait once the safety argument is removed.
+    ///
+    /// # Panics
+    /// Panics when the network is not routing adaptively.
+    pub fn disable_adaptive_escape(&mut self) {
+        assert!(
+            self.escape.is_some(),
+            "escape can only be disabled in adaptive mode"
+        );
+        for r in &mut self.routers {
+            r.disable_adaptive_escape();
         }
     }
 
@@ -1196,10 +1406,19 @@ impl Network {
                         }
                         VcGlobalState::VcAlloc => {
                             if let Some(out) = route {
-                                let all_busy = (0..v).all(|ov| r.out_vc_busy(out, VcId(ov as u8)));
+                                // Only the RC-legal downstream VCs can
+                                // unblock this VC; a free-but-illegal
+                                // one (e.g. an escape VC the adaptive
+                                // class may not claim here) must not
+                                // hide the wait.
+                                let legal: Vec<usize> = (0..v)
+                                    .filter(|ov| ch.fields.vmask & (1 << ov) != 0)
+                                    .collect();
+                                let all_busy = !legal.is_empty()
+                                    && legal.iter().all(|&ov| r.out_vc_busy(out, VcId(ov as u8)));
                                 if all_busy {
                                     if let Some((down, in_port)) = downstream(out) {
-                                        for ov in 0..v {
+                                        for &ov in &legal {
                                             graph.edges.push(WaitEdge {
                                                 from,
                                                 to: WaitNode {
@@ -1387,6 +1606,7 @@ impl Network {
 
     /// Advance the whole network by one cycle.
     pub fn step(&mut self, cycle: Cycle) {
+        self.apply_due_link_faults(cycle);
         if self.par.is_some() {
             // A `Vec` of zero-sized observers never allocates, so the
             // untraced hot path stays allocation-free.
@@ -1411,6 +1631,7 @@ impl Network {
             obs.len(),
             self.shard_count()
         );
+        self.apply_due_link_faults(cycle);
         if self.par.is_some() {
             self.step_parallel(cycle, obs);
         } else {
@@ -1885,7 +2106,7 @@ fn config_fingerprint(cfg: &NetworkConfig, kind: RouterKind) -> JsonValue {
             ("hub", class(hub)),
         ]),
     };
-    obj([
+    let mut fp = obj([
         ("mesh_k", (cfg.mesh_k as u64).into()),
         ("topology", topology),
         ("ports", (cfg.router.ports as u64).into()),
@@ -1905,7 +2126,17 @@ fn config_fingerprint(cfg: &NetworkConfig, kind: RouterKind) -> JsonValue {
             }
             .into(),
         ),
-    ])
+    ]);
+    // The routing mode joined the config after the v4 golden
+    // checkpoints were recorded; fingerprint it only when it departs
+    // from the default so those checkpoints keep restoring byte-for-
+    // byte.
+    if cfg.routing != RoutingMode::Static {
+        if let JsonValue::Obj(pairs) = &mut fp {
+            pairs.push(("routing".to_string(), cfg.routing.tag().into()));
+        }
+    }
+    fp
 }
 
 impl Network {
@@ -2122,6 +2353,25 @@ fn apply_topology_override(mut cfg: NetworkConfig) -> NetworkConfig {
     };
     cfg.topology =
         TopologySpec::parse_arg(&raw, cfg.mesh_k).unwrap_or_else(|e| panic!("NOC_TOPOLOGY: {e}"));
+    cfg
+}
+
+/// Apply the `NOC_ROUTING` environment override: `static` (no-op) or
+/// `adaptive`. Like `NOC_TOPOLOGY`, only configs still carrying the
+/// default [`RoutingMode::Static`] are rewritten — an explicit routing
+/// mode always wins — so the whole existing test matrix can be
+/// replayed under adaptive routing (the CI `adaptive-matrix` leg)
+/// without touching any test. Parsing is shared with the CLI
+/// `--routing` flags and the service spec field via
+/// [`RoutingMode::parse_arg`].
+fn apply_routing_override(mut cfg: NetworkConfig) -> NetworkConfig {
+    if cfg.routing != RoutingMode::Static {
+        return cfg;
+    }
+    let Ok(raw) = std::env::var("NOC_ROUTING") else {
+        return cfg;
+    };
+    cfg.routing = RoutingMode::parse_arg(&raw).unwrap_or_else(|e| panic!("NOC_ROUTING: {e}"));
     cfg
 }
 

@@ -708,6 +708,64 @@ fn chiplet_spatial_grid_is_bit_identical_across_thread_counts() {
     }
 }
 
+/// Adaptive routing rides the same guarantee: congestion-chosen output
+/// candidates are computed from router-local state only, and mid-run
+/// `fail_link` heals (escape-table swap included) before the next
+/// step, so serial and every thread count stay bit-identical — the
+/// full fingerprint (delivery stream included) and the exported
+/// spatial grid, on meshes and tori, across two staggered link kills.
+#[test]
+fn parallel_step_matches_serial_under_adaptive_with_mid_run_link_faults() {
+    use noc_types::Direction;
+    for (name, spec) in [
+        ("mesh", TopologySpec::Mesh { w: 6, h: 6 }),
+        ("torus", TopologySpec::Torus { w: 6, h: 6 }),
+    ] {
+        let run_spec = |threads: usize, rebalance_every: u64| {
+            let mut net_cfg = NetworkConfig::paper();
+            net_cfg.mesh_k = 6;
+            net_cfg.topology = spec;
+            net_cfg.routing = noc_types::RoutingMode::Adaptive;
+            let mut net = Network::new(net_cfg, RouterKind::Protected);
+            net.set_threads(threads);
+            net.set_rebalance_every(rebalance_every);
+            let mut src = Source::square(0xADA7, 6, 0.03);
+            for cycle in 0..900u64 {
+                if cycle == 300 {
+                    net.fail_link(net.mesh().id_of(Coord::new(2, 2)).index(), Direction::East);
+                }
+                if cycle == 450 {
+                    net.fail_link(net.mesh().id_of(Coord::new(4, 1)).index(), Direction::South);
+                }
+                if cycle < 600 {
+                    net.offer_packets(src.tick(cycle));
+                }
+                net.step(cycle);
+            }
+            (fingerprint(&net), net.spatial_grid().to_json().render())
+        };
+        let (serial, serial_grid) = run_spec(1, 0);
+        assert!(
+            !serial.deliveries.is_empty(),
+            "{name}: adaptive traffic must actually flow"
+        );
+        for threads in [2usize, 4, 8] {
+            for rebalance in [0u64, 64] {
+                let (parallel, grid) = run_spec(threads, rebalance);
+                assert_eq!(
+                    serial, parallel,
+                    "divergence: topology={name} threads={threads} rebalance={rebalance}"
+                );
+                assert_eq!(
+                    serial_grid, grid,
+                    "spatial grid divergence: topology={name} threads={threads} \
+                     rebalance={rebalance}"
+                );
+            }
+        }
+    }
+}
+
 /// Thread counts beyond the row count clamp instead of misbehaving, and
 /// `set_threads(1)` returns to the serial path.
 #[test]

@@ -108,11 +108,17 @@ fn torus_campaign_delivers_every_packet() {
     // one per link plus the ejection at the destination — so the
     // longest possible delivery is 9; a mesh-routed far corner pair
     // would show up as 15.
-    let max_hops = net.deliveries().iter().map(|d| d.hops).max().unwrap();
-    assert!(
-        max_hops <= 9,
-        "torus routes must use the wraparound; saw a {max_hops}-hop delivery"
-    );
+    // The hop bound pins static minimal-wrap DOR. Under the
+    // NOC_ROUTING=adaptive override a packet may transfer to the
+    // escape class, which routes up*/down* over the non-wrap grid
+    // links, so non-minimal deliveries are legal there.
+    if std::env::var("NOC_ROUTING").is_err() {
+        let max_hops = net.deliveries().iter().map(|d| d.hops).max().unwrap();
+        assert!(
+            max_hops <= 9,
+            "torus routes must use the wraparound; saw a {max_hops}-hop delivery"
+        );
+    }
 }
 
 #[test]

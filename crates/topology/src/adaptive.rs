@@ -1,0 +1,202 @@
+//! Candidate-set computation for adaptive minimal routing.
+//!
+//! Static routing answers "which output?" with one direction. Adaptive
+//! routing instead asks "which outputs make progress?" and lets the
+//! router pick among them by local congestion. On the grid families
+//! (mesh, chiplet-mesh, torus) the answer is the *minimal quadrant*:
+//! every dimension whose coordinate still differs contributes its
+//! productive direction, so a packet sees up to two candidates until
+//! one dimension resolves. On the torus each dimension independently
+//! takes the shorter way around its ring, with ties broken East/South
+//! exactly like [`crate::torus::route`] so static and adaptive modes
+//! agree on which links a route may legally use.
+//!
+//! Candidates are returned as a bitmask over [`Direction::port`]
+//! indices (bit 1 = North … bit 4 = West; bit 0 / Local is never set)
+//! so the router can AND it against its live-link mask in one
+//! instruction. Irregular families (cut-mesh, chiplet-star) return the
+//! empty mask: their up\*/down\* tables are already fault-aware, and
+//! restricting them to a minimal quadrant would break the up-then-down
+//! legality argument, so adaptive mode leaves them on static tables.
+//!
+//! Deadlock freedom is *not* this module's job: candidates may close
+//! cycles in the channel-dependency graph (two packets circling a
+//! quadrant corner). The router core keeps the network live by pairing
+//! these adaptive channels with an escape VC class routed up\*/down\*
+//! (see `shield-router`'s adaptive plumbing and ARCHITECTURE.md).
+
+use crate::Topology;
+use noc_types::{Direction, RouterId};
+
+/// The bit representing `dir` in a candidate/liveness mask.
+#[inline]
+pub const fn dir_bit(dir: Direction) -> u8 {
+    1 << (dir as u8)
+}
+
+/// The mask with every non-local direction set.
+pub const ALL_SIDES: u8 = dir_bit(Direction::North)
+    | dir_bit(Direction::East)
+    | dir_bit(Direction::South)
+    | dir_bit(Direction::West);
+
+/// Directions set in `mask`, in fixed N, E, S, W order.
+#[inline]
+pub fn dirs_in(mask: u8) -> impl Iterator<Item = Direction> {
+    [
+        Direction::North,
+        Direction::East,
+        Direction::South,
+        Direction::West,
+    ]
+    .into_iter()
+    .filter(move |&d| mask & dir_bit(d) != 0)
+}
+
+/// The minimal-quadrant candidate directions for a packet at `node`
+/// headed to `dst`, as a direction bitmask. Empty when `node == dst`
+/// (the caller ejects locally) and on topology families that route by
+/// fault-aware static tables instead (see module docs).
+pub fn candidate_mask(topo: &Topology, node: usize, dst: usize) -> u8 {
+    let grid = topo.grid();
+    let here = grid.coord_of(RouterId(node as u16));
+    let to = grid.coord_of(RouterId(dst as u16));
+    match topo {
+        Topology::Mesh(_) | Topology::ChipletMesh { .. } => {
+            let mut mask = 0u8;
+            if to.x > here.x {
+                mask |= dir_bit(Direction::East);
+            } else if to.x < here.x {
+                mask |= dir_bit(Direction::West);
+            }
+            if to.y > here.y {
+                mask |= dir_bit(Direction::South);
+            } else if to.y < here.y {
+                mask |= dir_bit(Direction::North);
+            }
+            mask
+        }
+        Topology::Torus(g) => {
+            let mut mask = 0u8;
+            if here.x != to.x {
+                let w = g.w as u16;
+                let east = (to.x as u16 + w - here.x as u16) % w;
+                let west = w - east;
+                mask |= dir_bit(if east <= west {
+                    Direction::East
+                } else {
+                    Direction::West
+                });
+            }
+            if here.y != to.y {
+                let h = g.h as u16;
+                let south = (to.y as u16 + h - here.y as u16) % h;
+                let north = h - south;
+                mask |= dir_bit(if south <= north {
+                    Direction::South
+                } else {
+                    Direction::North
+                });
+            }
+            mask
+        }
+        Topology::Irregular(_) | Topology::ChipletStar { .. } => 0,
+    }
+}
+
+/// Whether adaptive candidate routing applies to this topology family
+/// (grid families yes; table-routed irregular families keep their
+/// static up\*/down\* routes even in adaptive mode).
+#[inline]
+pub fn supports_adaptive(topo: &Topology) -> bool {
+    matches!(
+        topo,
+        Topology::Mesh(_) | Topology::Torus(_) | Topology::ChipletMesh { .. }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_types::{NetworkConfig, TopologySpec};
+
+    #[test]
+    fn mesh_candidates_are_the_minimal_quadrant() {
+        let t = Topology::from_spec(&NetworkConfig::paper());
+        let g = t.grid();
+        for n in 0..t.len() {
+            for d in 0..t.len() {
+                let mask = candidate_mask(&t, n, d);
+                let (xy, _) = t.route(n, d);
+                if n == d {
+                    assert_eq!(mask, 0);
+                    continue;
+                }
+                assert!(
+                    mask & dir_bit(xy) != 0,
+                    "XY direction {xy:?} missing from candidates for {n}→{d}"
+                );
+                assert!(mask.count_ones() <= 2);
+                // Every candidate strictly reduces Manhattan distance.
+                let here = g.coord_of(RouterId(n as u16));
+                let to = g.coord_of(RouterId(d as u16));
+                for dir in dirs_in(mask) {
+                    let next = here.step(dir, g.w, g.h).expect("candidate stays on grid");
+                    assert!(next.manhattan(to) < here.manhattan(to));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torus_candidates_contain_the_static_route_and_shrink_distance() {
+        let mut cfg = NetworkConfig::paper();
+        cfg.topology = TopologySpec::Torus { w: 5, h: 4 };
+        let t = Topology::from_spec(&cfg);
+        let g = t.grid();
+        for n in 0..t.len() {
+            for d in 0..t.len() {
+                let mask = candidate_mask(&t, n, d);
+                if n == d {
+                    assert_eq!(mask, 0);
+                    continue;
+                }
+                let (dir, _class) = t.route(n, d);
+                assert!(
+                    mask & dir_bit(dir) != 0,
+                    "DOR direction {dir:?} missing from candidates for {n}→{d}"
+                );
+                let here = g.coord_of(RouterId(n as u16));
+                let to = g.coord_of(RouterId(d as u16));
+                for dir in dirs_in(mask) {
+                    let next = here.step_wrapping(dir, g.w, g.h);
+                    assert!(
+                        crate::torus::distance(g, next, to) < crate::torus::distance(g, here, to),
+                        "candidate {dir:?} is non-minimal for {n}→{d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn irregular_families_opt_out() {
+        let mut cfg = NetworkConfig::paper();
+        cfg.topology = TopologySpec::CutMesh {
+            w: 4,
+            h: 4,
+            cuts: 2,
+            seed: 7,
+        };
+        let t = Topology::from_spec(&cfg);
+        assert!(!supports_adaptive(&t));
+        for n in 0..t.len() {
+            for d in 0..t.len() {
+                assert_eq!(candidate_mask(&t, n, d), 0);
+            }
+        }
+        assert!(supports_adaptive(&Topology::from_spec(
+            &NetworkConfig::paper()
+        )));
+    }
+}

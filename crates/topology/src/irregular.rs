@@ -37,7 +37,7 @@
 //! orientation keeps every mixed path inside the same up\*/down\* legal
 //! set, preserving deadlock freedom across the swap.
 
-use noc_types::{Coord, Direction, Mesh, RouterId};
+use noc_types::{splitmix64, Coord, Direction, Mesh, RouterId};
 
 /// Distances use this as infinity; small enough that `1 + INF` cannot
 /// wrap.
@@ -214,6 +214,85 @@ impl Irregular {
             }
         }
         topo
+    }
+
+    /// A new topology with the bidirectional link `node → dir` removed,
+    /// for incremental self-healing after a link fault.
+    ///
+    /// The BFS orientation is kept when it can be, exactly as in
+    /// [`Irregular::with_dead`] and for the same reason: in-flight
+    /// packets routed under the old tables then share one up\*/down\*
+    /// legal set with the new ones. When the fixed orientation leaves
+    /// some alive pair unroutable (a node whose every remaining link
+    /// points down cannot climb), the orientation is recomputed from
+    /// scratch instead — a fresh BFS over the cut graph always routes
+    /// every alive pair, at the cost of a one-shot table swap that
+    /// in-flight traffic re-reads at its next hop. If the cut isolates
+    /// an endpoint (its last link), that endpoint is quarantined as
+    /// dead instead of failing — a node fault *is* the fault of all
+    /// its incident links. Errors only when the cut splits the alive
+    /// graph into larger pieces.
+    pub fn with_cut_link(&self, node: usize, dir: Direction) -> Result<Irregular, String> {
+        let Some(other) = self.link(node, dir) else {
+            return Err(format!("no active link out of router {node} through {dir}"));
+        };
+        let mut topo = self.clone();
+        let c = topo.grid.coord_of(RouterId(node as u16));
+        topo.cut(c, dir);
+        for end in [node, other] {
+            if topo.alive[end] && !topo.neighbours(end).any(|(_, m)| topo.alive[m]) {
+                topo.alive[end] = false;
+            }
+        }
+        if !topo.is_connected() {
+            return Err(format!(
+                "cutting link {node} {dir} splits the alive graph in two"
+            ));
+        }
+        topo.rebuild_tables();
+        let n = topo.grid.len();
+        let fixed_ok = (0..n)
+            .all(|s| (0..n).all(|d| !topo.alive[s] || !topo.alive[d] || topo.reach[s * n + d]));
+        if !fixed_ok {
+            topo.reorient();
+        }
+        Ok(topo)
+    }
+
+    /// Recompute the up\*/down\* orientation from scratch: fresh BFS
+    /// levels rooted at the lowest-numbered alive router, traversing
+    /// alive nodes only, then rebuilt tables. Because every alive
+    /// non-root node keeps an alive BFS parent one level up, every
+    /// alive pair can climb to the root and descend the BFS tree, so
+    /// the rebuilt reach table covers all alive pairs by construction.
+    /// Dead routers keep `u32::MAX` levels: every remaining link *into*
+    /// one is a down hop (it stays addressable for draining) and every
+    /// link *out* an up hop, preserving acyclicity.
+    fn reorient(&mut self) {
+        let n = self.grid.len();
+        let root = (0..n)
+            .find(|&i| self.alive[i])
+            .expect("reorient on a network with no alive routers");
+        let mut level = vec![u32::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        level[root] = 0;
+        queue.push_back(root);
+        while let Some(u) = queue.pop_front() {
+            for (_, v) in self.neighbours(u) {
+                if self.alive[v] && level[v] == u32::MAX {
+                    level[v] = level[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        debug_assert!(
+            (0..n).all(|i| !self.alive[i] || level[i] != u32::MAX),
+            "reorient BFS must reach every alive node of a connected graph"
+        );
+        self.level = level;
+        self.rebuild_tables();
+        debug_assert!((0..n)
+            .all(|s| (0..n).all(|d| !self.alive[s] || !self.alive[d] || self.reach[s * n + d])));
     }
 
     /// The bounding grid.
@@ -455,16 +534,6 @@ impl Irregular {
     }
 }
 
-/// SplitMix64 — a tiny, seedable, dependency-free PRNG for the
-/// deterministic cut selection.
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E3779B97F4A7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-    z ^ (z >> 31)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -593,6 +662,86 @@ mod tests {
     fn killing_a_cut_vertex_panics() {
         // On a 1-wide strip every interior node is a cut vertex.
         Irregular::from_full_mesh(3, 1).with_dead(1);
+    }
+
+    #[test]
+    fn cut_link_reroutes_and_keeps_orientation() {
+        let base = Irregular::from_full_mesh(4, 4);
+        let a = base.grid().id_of(Coord::new(1, 1)).index();
+        let t = base
+            .with_cut_link(a, Direction::East)
+            .expect("interior cut");
+        assert_eq!(t.link(a, Direction::East), None);
+        assert_eq!(base.level, t.level, "BFS orientation is kept");
+        for s in 0..16 {
+            for d in 0..16 {
+                walk(&t, s, d);
+            }
+        }
+        assert!(t.with_cut_link(a, Direction::East).is_err(), "already cut");
+    }
+
+    #[test]
+    fn cutting_a_last_link_quarantines_the_endpoint() {
+        // Sever every link of the far corner (away from the orientation
+        // root at node 0); the final cut must auto-quarantine it rather
+        // than error.
+        let base = Irregular::from_full_mesh(4, 4);
+        let corner = base.grid().id_of(Coord::new(3, 3)).index();
+        let t = base
+            .with_cut_link(corner, Direction::North)
+            .expect("first corner cut keeps the graph connected")
+            .with_cut_link(corner, Direction::West)
+            .expect("isolating cut quarantines the corner");
+        assert!(!t.is_alive(corner));
+        for s in 0..16 {
+            for d in 0..16 {
+                if s == corner || d == corner {
+                    continue;
+                }
+                let path = walk(&t, s, d);
+                assert!(!path.contains(&corner));
+            }
+        }
+    }
+
+    #[test]
+    fn orientation_failure_reorients_instead_of_erroring() {
+        // Cutting (4,2)S and then (3,3)E on an 8×8 mesh leaves (4,3)
+        // with only deeper-level neighbours under the original
+        // root-at-0 orientation — unreachable without a climb. The
+        // heal must recompute the orientation, not refuse.
+        let base = Irregular::from_full_mesh(8, 8);
+        let grid = base.grid();
+        let t = base
+            .with_cut_link(grid.id_of(Coord::new(4, 2)).index(), Direction::South)
+            .expect("first cut keeps the fixed orientation")
+            .with_cut_link(grid.id_of(Coord::new(3, 3)).index(), Direction::East)
+            .expect("orientation failure must heal by re-rooting");
+        assert_ne!(base.level, t.level, "the orientation was recomputed");
+        assert_eq!(t.link_count(), 2 * 8 * 7 - 2);
+        for s in 0..64 {
+            for d in 0..64 {
+                assert!(t.reachable(s, d));
+                let path = walk(&t, s, d);
+                // Fresh orientation, same up-then-down legality.
+                let mut descending = false;
+                for hop in path.windows(2) {
+                    if t.is_up(hop[0], hop[1]) {
+                        assert!(!descending, "illegal down→up turn in {path:?}");
+                    } else {
+                        descending = true;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cutting_a_bridge_between_big_components_errors() {
+        // A 1-wide strip: every link is a bridge between multi-node halves.
+        let t = Irregular::from_full_mesh(4, 1);
+        assert!(t.with_cut_link(1, Direction::East).is_err());
     }
 
     #[test]

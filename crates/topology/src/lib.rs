@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod chiplet;
 pub mod irregular;
 pub mod torus;
@@ -321,6 +322,40 @@ impl Topology {
                 "with_dead is only supported on irregular topologies \
                  (build one with Irregular::from_full_mesh)"
             ),
+        }
+    }
+
+    /// A copy of the topology with the bidirectional link `node → dir`
+    /// removed and the routing tables recomputed around it — the
+    /// link-fault counterpart of [`Topology::with_dead`], sharing its
+    /// fixed-orientation contract (see [`Irregular::with_cut_link`]).
+    ///
+    /// Supported on the table-routed families only; grid families
+    /// (mesh/torus/chiplet-mesh) return `Err` — their dimension-order
+    /// routes cannot detour, so a link fault there is purely a wiring
+    /// event. Also errors when the cut would split the alive graph or
+    /// break the fixed up\*/down\* orientation; callers keep the old
+    /// tables then.
+    pub fn with_cut_link(&self, node: usize, dir: Direction) -> Result<Topology, String> {
+        match self {
+            Topology::Irregular(ir) => ir.with_cut_link(node, dir).map(Topology::Irregular),
+            Topology::ChipletStar {
+                irr,
+                k_node,
+                d2d,
+                hub,
+            } => irr
+                .with_cut_link(node, dir)
+                .map(|irr| Topology::ChipletStar {
+                    irr,
+                    k_node: *k_node,
+                    d2d: *d2d,
+                    hub: *hub,
+                }),
+            _ => Err(format!(
+                "{} routes dimension-order and cannot detour around a cut link",
+                self.tag()
+            )),
         }
     }
 }

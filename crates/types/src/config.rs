@@ -359,6 +359,54 @@ fn parse_chiplet_dims(rest: &str, whole: &str) -> Result<(u8, u8, LinkClass), St
     Ok((a, b, d2d))
 }
 
+/// How packets pick their output port at each hop.
+///
+/// `Static` is the historical behaviour: the topology's deterministic
+/// scheme (XY on meshes, dimension-order with dateline VCs on tori,
+/// precomputed up\*/down\* tables on irregular graphs). `Adaptive`
+/// switches the grid families (mesh / torus / chiplet mesh) to
+/// fault-aware congestion-adaptive routing: route computation emits the
+/// set of minimal-quadrant directions whose link is still alive, VC
+/// allocation picks among them by local credit occupancy, and deadlock
+/// freedom comes from a reserved escape VC class (the lower half of
+/// each port's VCs) that always falls back to a deadlock-free
+/// up\*/down\* path over the surviving non-wraparound links. Requires
+/// `vcs >= 2` so the escape class is non-empty. Topologies that are
+/// already table-routed and self-healing (cut mesh, chiplet star) keep
+/// their up\*/down\* tables under either mode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutingMode {
+    /// The topology's deterministic scheme (XY / DOR-dateline /
+    /// up\*/down\*).
+    #[default]
+    Static,
+    /// Fault-aware congestion-adaptive routing with an escape VC class.
+    Adaptive,
+}
+
+impl RoutingMode {
+    /// A short lowercase tag for reports and bench envelopes.
+    pub const fn tag(&self) -> &'static str {
+        match self {
+            RoutingMode::Static => "static",
+            RoutingMode::Adaptive => "adaptive",
+        }
+    }
+
+    /// Parse a CLI/env routing argument: `static` (or empty) and
+    /// `adaptive` — the one grammar behind the `NOC_ROUTING` override,
+    /// the CLI `--routing` flag and the service spec field.
+    pub fn parse_arg(arg: &str) -> Result<RoutingMode, String> {
+        match arg.trim() {
+            "" | "static" => Ok(RoutingMode::Static),
+            "adaptive" => Ok(RoutingMode::Adaptive),
+            other => Err(format!(
+                "unrecognised routing mode {other:?} (expected static | adaptive)"
+            )),
+        }
+    }
+}
+
 /// Parameters of the simulated network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NetworkConfig {
@@ -370,6 +418,10 @@ pub struct NetworkConfig {
     /// [`NetworkConfig::mesh_k`]).
     #[serde(default)]
     pub topology: TopologySpec,
+    /// How packets pick output ports (default: the topology's static
+    /// scheme).
+    #[serde(default)]
+    pub routing: RoutingMode,
     /// Per-router configuration.
     pub router: RouterConfig,
     /// Link traversal latency in cycles (1 in GARNET's fixed pipeline).
@@ -384,6 +436,7 @@ impl NetworkConfig {
         NetworkConfig {
             mesh_k: 8,
             topology: TopologySpec::MeshK,
+            routing: RoutingMode::Static,
             router: RouterConfig::paper(),
             link_latency: 1,
             ni_queue_packets: 0,
@@ -441,6 +494,13 @@ impl NetworkConfig {
         }
         if self.link_latency == 0 {
             return Err("link latency must be at least 1 cycle".into());
+        }
+        if self.routing == RoutingMode::Adaptive && self.router.vcs < 2 {
+            return Err(
+                "adaptive routing reserves the lower half of each port's VCs as the \
+                 escape class and needs at least 2 VCs per port"
+                    .into(),
+            );
         }
         match self.topology {
             TopologySpec::Torus { w, h } => {
@@ -790,6 +850,28 @@ mod tests {
         }
         .validate()
         .is_err());
+    }
+
+    #[test]
+    fn routing_mode_parses_validates_and_tags() {
+        assert_eq!(RoutingMode::parse_arg(""), Ok(RoutingMode::Static));
+        assert_eq!(RoutingMode::parse_arg("static"), Ok(RoutingMode::Static));
+        assert_eq!(
+            RoutingMode::parse_arg(" adaptive "),
+            Ok(RoutingMode::Adaptive)
+        );
+        assert!(RoutingMode::parse_arg("zigzag").is_err());
+        assert_eq!(RoutingMode::Adaptive.tag(), "adaptive");
+        assert_eq!(NetworkConfig::paper().routing, RoutingMode::Static);
+
+        let mut n = NetworkConfig::paper();
+        n.routing = RoutingMode::Adaptive;
+        assert!(
+            n.validate().is_ok(),
+            "4 VCs leave room for the escape class"
+        );
+        n.router.vcs = 1;
+        assert!(n.validate().is_err(), "adaptive needs vcs >= 2");
     }
 
     #[test]

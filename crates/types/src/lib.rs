@@ -24,13 +24,15 @@ pub mod flit;
 pub mod geometry;
 pub mod ids;
 pub mod packet;
+pub mod rng;
 pub mod vc;
 
-pub use config::{LinkClass, NetworkConfig, RouterConfig, SimConfig, TopologySpec};
+pub use config::{LinkClass, NetworkConfig, RouterConfig, RoutingMode, SimConfig, TopologySpec};
 pub use flit::{Flit, FlitKind};
 pub use geometry::{Coord, Direction, Mesh};
 pub use ids::{FlitSeq, PacketId, PortId, RouterId, VcId};
 pub use packet::{DeliveredPacket, Packet, PacketKind};
+pub use rng::splitmix64;
 pub use vc::{VcGlobalState, VcStateFields};
 
 /// Simulation time, measured in router clock cycles from simulation start.

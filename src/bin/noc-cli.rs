@@ -18,6 +18,10 @@
 //! noc-cli status   JOB_ID [--addr A:P]
 //! noc-cli result   JOB_ID [--addr A:P]
 //! noc-cli heatmap  RESULT_JSON [--metric NAME] [--csv]
+//! noc-cli campaign [--mesh K] [--topology SPEC]
+//!                  [--routing static|adaptive|both]
+//!                  [--scenarios N] [--max-faults N] [--seed S]
+//!                  [--threads N] [--quick] [--out FILE]
 //! ```
 //!
 //! `serve` runs the campaign daemon in the foreground (same spool
@@ -60,6 +64,20 @@ enum Command {
         metric: String,
         csv: bool,
     },
+    Campaign(CampaignArgs),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct CampaignArgs {
+    mesh: u8,
+    topology: String,
+    routing: String,
+    scenarios: Option<u32>,
+    max_faults: Option<u32>,
+    seed: u64,
+    threads: usize,
+    quick: bool,
+    out: Option<String>,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -390,6 +408,69 @@ fn parse(args: &[String]) -> Result<Command, String> {
                 csv,
             })
         }
+        "campaign" => {
+            let mut c = CampaignArgs {
+                mesh: 8,
+                topology: "mesh".to_string(),
+                routing: "both".to_string(),
+                scenarios: None,
+                max_faults: None,
+                seed: 1,
+                threads: 0,
+                quick: false,
+                out: None,
+            };
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--mesh" => {
+                        c.mesh = take_value(args, &mut i, "--mesh")?
+                            .parse()
+                            .map_err(|e| format!("--mesh: {e}"))?
+                    }
+                    "--topology" => {
+                        c.topology = take_value(args, &mut i, "--topology")?.to_string()
+                    }
+                    "--routing" => {
+                        let r = take_value(args, &mut i, "--routing")?;
+                        if r != "both" {
+                            shield_noc::types::RoutingMode::parse_arg(r)
+                                .map_err(|e| format!("--routing: {e}"))?;
+                        }
+                        c.routing = r.to_string();
+                    }
+                    "--scenarios" => {
+                        c.scenarios = Some(
+                            take_value(args, &mut i, "--scenarios")?
+                                .parse()
+                                .map_err(|e| format!("--scenarios: {e}"))?,
+                        )
+                    }
+                    "--max-faults" => {
+                        c.max_faults = Some(
+                            take_value(args, &mut i, "--max-faults")?
+                                .parse()
+                                .map_err(|e| format!("--max-faults: {e}"))?,
+                        )
+                    }
+                    "--seed" => {
+                        c.seed = take_value(args, &mut i, "--seed")?
+                            .parse()
+                            .map_err(|e| format!("--seed: {e}"))?
+                    }
+                    "--threads" => {
+                        c.threads = take_value(args, &mut i, "--threads")?
+                            .parse()
+                            .map_err(|e| format!("--threads: {e}"))?
+                    }
+                    "--quick" => c.quick = true,
+                    "--out" => c.out = Some(take_value(args, &mut i, "--out")?.to_string()),
+                    other => return Err(format!("campaign: unknown flag {other:?}")),
+                }
+                i += 1;
+            }
+            Ok(Command::Campaign(c))
+        }
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     }
 }
@@ -422,7 +503,8 @@ fn parse_client_args(cmd: &str, args: &[String]) -> Result<(String, Option<Strin
     Ok((addr, positional))
 }
 
-const USAGE: &str = "usage: noc-cli <simulate|trace|analyze|serve|submit|status|result|heatmap> \
+const USAGE: &str =
+    "usage: noc-cli <simulate|trace|analyze|serve|submit|status|result|heatmap|campaign> \
      [flags] (see module docs; --topology accepts mesh, torus, cutmesh<N>[:seed], \
      chipletmesh<KC>x<KN>[:lat[:den]] and chipletstar<C>x<KN>[:lat[:den]])";
 
@@ -727,6 +809,56 @@ fn heatmap_text(
     ))
 }
 
+/// Run a mass fault-injection campaign and print the
+/// faults-to-failure curves; optionally write the JSON report.
+fn run_campaign_cmd(c: CampaignArgs) -> Result<(), String> {
+    use shield_noc::campaign::{render_table, report_json, run_campaign, CampaignConfig};
+    use shield_noc::types::RoutingMode;
+
+    let mut net = NetworkConfig::paper();
+    net.mesh_k = c.mesh;
+    net.topology = TopologySpec::parse_arg(&c.topology, c.mesh)?;
+    net.validate()?;
+    let mut cc = if c.quick {
+        CampaignConfig::quick(net)
+    } else {
+        CampaignConfig::new(net)
+    };
+    cc.modes = match c.routing.as_str() {
+        "both" => vec![RoutingMode::Static, RoutingMode::Adaptive],
+        r => vec![RoutingMode::parse_arg(r)?],
+    };
+    if let Some(s) = c.scenarios {
+        cc.scenarios_per_point = s;
+    }
+    if let Some(f) = c.max_faults {
+        cc.max_faults = f;
+    }
+    cc.seed = c.seed;
+    cc.threads = c.threads;
+
+    let run = run_campaign(&cc)?;
+    println!(
+        "campaign        : {0}x{0} {1}, {2} scenarios x {3} fault points, seed {4}",
+        c.mesh,
+        cc.base.topology.tag(),
+        cc.scenarios_per_point,
+        cc.max_faults,
+        cc.seed
+    );
+    println!(
+        "throughput      : {:.1} scenarios/sec ({} ms total)",
+        run.scenarios_per_sec, run.elapsed_ms
+    );
+    print!("{}", render_table(&run));
+    if let Some(path) = &c.out {
+        std::fs::write(path, report_json(&run).render())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("report          : {path}");
+    }
+    Ok(())
+}
+
 fn run_heatmap(file: &str, metric: &str, csv: bool) -> Result<(), String> {
     let text = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
     let doc = shield_noc::telemetry::JsonValue::parse(&text)
@@ -746,6 +878,7 @@ fn main() {
         Command::Status { addr, id } => run_status(&addr, &id),
         Command::Result { addr, id } => run_result(&addr, &id),
         Command::Heatmap { file, metric, csv } => run_heatmap(&file, &metric, csv),
+        Command::Campaign(c) => run_campaign_cmd(c),
     });
     if let Err(e) = outcome {
         eprintln!("error: {e}");
@@ -936,6 +1069,38 @@ mod tests {
         );
         assert!(parse(&args("status")).is_err());
         assert!(parse(&args("status a b")).is_err());
+    }
+
+    #[test]
+    fn parses_campaign_subcommand() {
+        assert_eq!(
+            parse(&args(
+                "campaign --mesh 6 --topology torus --routing adaptive --scenarios 50 \
+                 --max-faults 3 --seed 7 --threads 2 --quick --out /tmp/c.json"
+            ))
+            .unwrap(),
+            Command::Campaign(CampaignArgs {
+                mesh: 6,
+                topology: "torus".into(),
+                routing: "adaptive".into(),
+                scenarios: Some(50),
+                max_faults: Some(3),
+                seed: 7,
+                threads: 2,
+                quick: true,
+                out: Some("/tmp/c.json".into()),
+            })
+        );
+        match parse(&args("campaign")).unwrap() {
+            Command::Campaign(c) => {
+                assert_eq!(c.routing, "both");
+                assert_eq!(c.scenarios, None, "defaults come from CampaignConfig");
+                assert!(!c.quick);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&args("campaign --routing sideways")).is_err());
+        assert!(parse(&args("campaign --bogus")).is_err());
     }
 
     #[test]

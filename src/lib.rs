@@ -20,6 +20,9 @@
 //! * [`telemetry`] — zero-cost-when-off event tracing, epoch sampling
 //!   and the deadlock flight recorder.
 //! * [`bench`] — the experiment harness behind every table and figure.
+//! * [`campaign`] — mass fault-injection campaigns: thousands of seeded
+//!   link-fault scenarios per configuration, classified and aggregated
+//!   into faults-to-failure curves (static vs adaptive routing).
 //! * [`service`] — resumable campaign jobs behind the `noc-serviced`
 //!   HTTP daemon (also reachable as `noc-cli serve`).
 //!
@@ -41,6 +44,7 @@
 
 pub use noc_arbiter as arbiter;
 pub use noc_bench as bench;
+pub use noc_campaign as campaign;
 pub use noc_faults as faults;
 pub use noc_reliability as reliability;
 pub use noc_service as service;
